@@ -1,0 +1,34 @@
+//! Ablation bench: TSLICE slicing latency under the design-choice variants
+//! DESIGN.md calls out (decay rate/shape, indirect-call cut, lea tracking).
+//! The quality side of the ablation is `tiara-eval ablation`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tiara_eval::ablation::ablation_configs;
+use tiara_ir::ContainerClass;
+use tiara_slice::tslice_with;
+use tiara_synth::{generate, ProjectSpec, TypeCounts};
+
+fn bench_ablation(c: &mut Criterion) {
+    let bin = generate(&ProjectSpec {
+        name: "abl".into(),
+        index: 0,
+        seed: 42,
+        counts: TypeCounts { list: 4, vector: 10, map: 10, primitive: 40, ..Default::default() },
+    });
+    let (addr, _) = bin
+        .labeled_vars()
+        .find(|(_, k)| *k == ContainerClass::Map)
+        .expect("map variable exists");
+
+    let mut group = c.benchmark_group("ablation/tslice_one_map_variable");
+    for (name, cfg) in ablation_configs() {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| black_box(tslice_with(&bin.program, addr, cfg)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Bench E-F1/F2 (Figures 1–2): the motivating example — building the
+//! inlined+interleaved binary, slicing the `std::list` variable (with and
+//! without trace recording), and rendering the Figure 2(a) table.
+//! Regenerate the figure with `cargo run -p tiara-eval -- fig2`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tiara_slice::{tslice, tslice_with, TsliceConfig};
+use tiara_synth::motivating_example;
+
+fn bench_fig2(c: &mut Criterion) {
+    c.bench_function("fig2/build_example", |b| {
+        b.iter(|| black_box(motivating_example()));
+    });
+
+    let ex = motivating_example();
+    c.bench_function("fig2/tslice_l", |b| {
+        b.iter(|| black_box(tslice(&ex.binary.program, ex.l)));
+    });
+    c.bench_function("fig2/tslice_l_traced", |b| {
+        b.iter(|| black_box(tslice_with(&ex.binary.program, ex.l, &TsliceConfig::with_trace())));
+    });
+    c.bench_function("fig2/render_table", |b| {
+        b.iter(|| black_box(tiara_eval::fig2::render_figure2()));
+    });
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Bench E-F5 (Figure 5): the 42-dimensional instruction feature encoding
+//! and the slice→graph conversion feeding the GCN.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tiara::features::encode;
+use tiara::slice_to_graph;
+use tiara_slice::tslice;
+use tiara_synth::{generate, ProjectSpec, TypeCounts};
+
+fn bench_encoding(c: &mut Criterion) {
+    let bin = generate(&ProjectSpec {
+        name: "enc".into(),
+        index: 0,
+        seed: 42,
+        counts: TypeCounts { list: 2, vector: 4, map: 4, primitive: 10, ..Default::default() },
+    });
+    let (addr, _) = bin.labeled_vars().next().expect("has variables");
+    let slice = tslice(&bin.program, addr);
+    assert!(!slice.is_empty());
+
+    c.bench_function("fig5/encode_one_instruction", |b| {
+        b.iter(|| black_box(encode(&bin.program, &slice.nodes[0])));
+    });
+    c.bench_function("fig5/slice_to_graph", |b| {
+        b.iter(|| black_box(slice_to_graph(&bin.program, &slice, 0)));
+    });
+}
+
+criterion_group!(benches, bench_encoding);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Bench E-T1 (Table I): generating the benchmark suite binaries and
+//! collecting their statistics. Regenerate the table itself with
+//! `cargo run -p tiara-eval -- table1`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tiara_eval::tables::table1;
+use tiara_eval::{build_suite, scale_spec};
+use tiara_synth::{benchmark_suite, generate};
+
+fn bench_generate_projects(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/generate_project");
+    group.sample_size(10);
+    for spec in benchmark_suite(42) {
+        let small = scale_spec(&spec, 0.1);
+        group.bench_with_input(BenchmarkId::from_parameter(&spec.name), &small, |b, s| {
+            b.iter(|| black_box(generate(s)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_table1_stats(c: &mut Criterion) {
+    let bins = build_suite(42, 0.1);
+    c.bench_function("table1/stats", |b| {
+        b.iter(|| black_box(table1(black_box(&bins))));
+    });
+}
+
+criterion_group!(benches, bench_generate_projects, bench_table1_stats);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Bench E-T2-cross (Table II, RQ2): one cross-project experiment end to
+//! end (train on all-minus-one, test on the held-out project). Regenerate
+//! the full table with `cargo run -p tiara-eval -- table2-cross`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tiara::{ClassifierConfig, Slicer};
+use tiara_eval::{build_suite, cross_experiments, run_experiment, SlicedSuite};
+
+fn bench_cross_experiment(c: &mut Criterion) {
+    let bins = build_suite(42, 0.05);
+    let suite = SlicedSuite::build(&bins, &Slicer::default(), 2);
+    let cfg = ClassifierConfig { epochs: 8, ..Default::default() };
+    let spec = &cross_experiments()[1]; // C7: all - clang -> clang
+
+    let mut group = c.benchmark_group("table2_cross");
+    group.sample_size(10);
+    group.bench_function("C7/TSLICE", |b| {
+        b.iter(|| black_box(run_experiment(&suite, spec, &cfg, 1)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cross_experiment);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Bench E-T2-intra (Table II, RQ1/RQ3): one intra-project experiment end to
+//! end — slice, train 4:1, evaluate — for both slicers. Regenerate the full
+//! table with `cargo run -p tiara-eval -- table2-intra`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tiara::{ClassifierConfig, Slicer};
+use tiara_eval::{build_suite, intra_experiments, run_experiment, SlicedSuite};
+
+fn bench_intra_experiment(c: &mut Criterion) {
+    let bins = build_suite(42, 0.05);
+    let cfg = ClassifierConfig { epochs: 8, ..Default::default() };
+    let spec = &intra_experiments()[0]; // I1: clang
+
+    let mut group = c.benchmark_group("table2_intra/I1");
+    group.sample_size(10);
+    for slicer in [Slicer::default(), Slicer::Sslice] {
+        let suite = SlicedSuite::build(&bins, &slicer, 2);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(slicer.name()),
+            &suite,
+            |b, suite| {
+                b.iter(|| black_box(run_experiment(suite, spec, &cfg, 1)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_intra_experiment);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Bench E-T3 (Table III): per-slice latency of TSLICE vs SSLICE for one
+//! variable of each type — the "0.2 seconds per slice" claim of Section II.
+//! Regenerate the size table with `cargo run -p tiara-eval -- table3`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tiara_ir::ContainerClass;
+use tiara_slice::{sslice, tslice};
+use tiara_synth::{generate, ProjectSpec, TypeCounts};
+
+fn bench_per_slice(c: &mut Criterion) {
+    let bin = generate(&ProjectSpec {
+        name: "bench".into(),
+        index: 0,
+        seed: 42,
+        counts: TypeCounts { list: 6, vector: 20, map: 20, primitive: 100, ..Default::default() },
+    });
+
+    let mut group = c.benchmark_group("table3/slice_one_variable");
+    for class in ContainerClass::ALL {
+        let (addr, _) = bin
+            .labeled_vars()
+            .find(|(_, k)| *k == class)
+            .expect("variable of each class exists");
+        group.bench_with_input(BenchmarkId::new("TSLICE", class), &addr, |b, &addr| {
+            b.iter(|| black_box(tslice(&bin.program, addr)))
+        });
+        group.bench_with_input(BenchmarkId::new("SSLICE", class), &addr, |b, &addr| {
+            b.iter(|| black_box(sslice(&bin.program, addr)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_per_slice);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Bench E-T4 (Table IV): slicing throughput over a whole binary and GCN
+//! training throughput per epoch, for both slicers. Regenerate the table
+//! with `cargo run -p tiara-eval -- table4`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tiara::{Classifier, ClassifierConfig, Dataset, Slicer};
+use tiara_synth::{generate, ProjectSpec, TypeCounts};
+
+fn test_binary() -> tiara_synth::Binary {
+    generate(&ProjectSpec {
+        name: "timing".into(),
+        index: 1,
+        seed: 42,
+        counts: TypeCounts { list: 3, vector: 10, map: 10, primitive: 40, ..Default::default() },
+    })
+}
+
+fn bench_slicing_whole_binary(c: &mut Criterion) {
+    let bin = test_binary();
+    let mut group = c.benchmark_group("table4/slice_binary");
+    group.sample_size(10);
+    for slicer in [Slicer::default(), Slicer::Sslice] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(slicer.name()),
+            &slicer,
+            |b, slicer| {
+                b.iter(|| black_box(Dataset::from_binary(&bin.program, &bin.debug, "t", slicer)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_training_epoch(c: &mut Criterion) {
+    let bin = test_binary();
+    let mut group = c.benchmark_group("table4/train_one_epoch");
+    group.sample_size(10);
+    for slicer in [Slicer::default(), Slicer::Sslice] {
+        let ds = Dataset::from_binary(&bin.program, &bin.debug, "t", &slicer);
+        let cfg = ClassifierConfig { epochs: 1, ..Default::default() };
+        group.bench_with_input(BenchmarkId::from_parameter(slicer.name()), &ds, |b, ds| {
+            b.iter(|| {
+                let mut clf = Classifier::new(&cfg);
+                black_box(clf.train(ds).expect("nonempty dataset"));
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_slicing_whole_binary, bench_training_epoch);
+criterion_main!(benches);

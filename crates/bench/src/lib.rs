@@ -1,0 +1,20 @@
+//! # tiara-bench
+//!
+//! Criterion benchmarks regenerating the TIARA paper's tables and figures.
+//! Each bench target corresponds to one experiment in DESIGN.md's
+//! per-experiment index:
+//!
+//! | target | artifact |
+//! |---|---|
+//! | `table1_generate` | Table I (suite generation + statistics) |
+//! | `table2_intra` | Table II, rows I1a–I5b (RQ1, RQ3) |
+//! | `table2_cross` | Table II, rows C6a–C9b (RQ2, RQ3) |
+//! | `table3_slice_sizes` | Table III (per-slice latency, TSLICE vs SSLICE) |
+//! | `table4_timing` | Table IV (slicing + training throughput) |
+//! | `fig2_slice_trace` | Figure 2 (motivating example trace) |
+//! | `fig5_encoding` | Figure 5 (feature encoding) |
+//!
+//! Benches use scaled-down inputs for feasible iteration counts; the
+//! `tiara-eval` CLI regenerates the *full* tables with paper-shaped data.
+
+#![forbid(unsafe_code)]

@@ -1,0 +1,307 @@
+//! The `tiara` command-line tool: the full pipeline over on-disk artifacts.
+//!
+//! ```text
+//! tiara asm     --in listing.asm --out prog.tira
+//! tiara disasm  --binary prog.tira
+//! tiara synth   --out prog.tira --pdb labels.json [--seed N] [--style K]
+//!               [--counts LIST,VEC,MAP,PRIM]
+//! tiara slice   --binary prog.tira --addr <ADDR> [--sslice] [--trace] [--dot]
+//! tiara train   --binary prog.tira --pdb labels.json --model model.json
+//!               [--epochs N] [--sslice]
+//! tiara predict --binary prog.tira --model model.json --addr <ADDR>
+//!
+//! <ADDR> is `0x74404` / `74404h` for a global, or `func:<name>:<offset>`
+//! for a frame slot (e.g. `func:fn_0000:-0x18`).
+//! ```
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use tiara::{Classifier, ClassifierConfig, Dataset, Slicer, Tiara, TiaraConfig};
+use tiara_ir::{
+    assemble, disassemble, format_inst, format_program, parse_program, DebugInfo, MemAddr,
+    Program, VarAddr,
+};
+use tiara_slice::{tslice_with, TsliceConfig};
+
+fn usage() -> &'static str {
+    "usage: tiara <asm|disasm|synth|slice|train|predict> [flags]\n\
+     \n\
+     tiara asm     --in listing.asm --out prog.tira\n\
+     tiara disasm  --binary prog.tira\n\
+     tiara synth   --out prog.tira --pdb labels.json [--seed N] [--style K] [--counts L,V,M,P]\n\
+     tiara slice   --binary prog.tira --addr ADDR [--sslice] [--trace] [--dot]\n\
+     tiara train   --binary prog.tira --pdb labels.json --model model.json [--epochs N] [--sslice]\n\
+     tiara predict --binary prog.tira --model model.json --addr ADDR\n\
+     \n\
+     ADDR: 0x74404 | 74404h (global) | func:<name>:<offset> (frame slot)"
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("tiara: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().ok_or_else(|| usage().to_owned())?;
+    let mut flags: HashMap<String, String> = HashMap::new();
+    let mut switches: Vec<String> = Vec::new();
+    while let Some(a) = args.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            match name {
+                "sslice" | "trace" | "dot" => switches.push(name.to_owned()),
+                _ => {
+                    let v = args.next().ok_or(format!("missing value for --{name}"))?;
+                    flags.insert(name.to_owned(), v);
+                }
+            }
+        } else {
+            return Err(format!("unexpected argument `{a}`\n{}", usage()));
+        }
+    }
+    let get = |k: &str| -> Result<&String, String> {
+        flags.get(k).ok_or(format!("missing required flag --{k}\n{}", usage()))
+    };
+    let has = |k: &str| switches.iter().any(|s| s == k);
+
+    match command.as_str() {
+        "asm" => {
+            let text = read(get("in")?)?;
+            let prog = parse_program(&text).map_err(|e| e.to_string())?;
+            write(get("out")?, &assemble(&prog))?;
+            eprintln!(
+                "assembled {} instructions in {} functions",
+                prog.num_insts(),
+                prog.funcs().len()
+            );
+        }
+        "disasm" => {
+            let prog = load_binary(get("binary")?)?;
+            print!("{}", format_program(&prog));
+        }
+        "synth" => {
+            let counts = match flags.get("counts") {
+                Some(c) => parse_counts(c)?,
+                None => tiara_synth::TypeCounts { list: 4, vector: 8, map: 8, primitive: 30, ..Default::default() },
+            };
+            let spec = tiara_synth::ProjectSpec {
+                name: "synth".into(),
+                index: flags.get("style").map(|s| s.parse().unwrap_or(0)).unwrap_or(0),
+                seed: flags.get("seed").map(|s| s.parse().unwrap_or(42)).unwrap_or(42),
+                counts,
+            };
+            let bin = tiara_synth::generate(&spec);
+            write(get("out")?, &assemble(&bin.program))?;
+            let pdb = serde_json::to_string(&bin.debug).map_err(|e| e.to_string())?;
+            std::fs::write(get("pdb")?, pdb).map_err(|e| e.to_string())?;
+            eprintln!(
+                "generated {} instructions, {} labeled variables",
+                bin.program.num_insts(),
+                bin.debug.len()
+            );
+        }
+        "slice" => {
+            let prog = load_binary(get("binary")?)?;
+            let addr = parse_addr(get("addr")?, &prog)?;
+            if has("sslice") {
+                let s = tiara_slice::sslice(&prog, addr);
+                if has("dot") {
+                    println!("{}", s.to_dot(&prog));
+                } else {
+                    print_slice(&prog, &s);
+                }
+            } else {
+                let cfg = if has("trace") {
+                    TsliceConfig::with_trace()
+                } else {
+                    TsliceConfig::default()
+                };
+                let out = tslice_with(&prog, addr, &cfg);
+                if has("dot") {
+                    println!("{}", out.slice.to_dot(&prog));
+                } else {
+                    print_slice(&prog, &out.slice);
+                }
+                if has("trace") {
+                    eprintln!("\ntrace ({} events):", out.trace.len());
+                    for e in out.trace.iter().take(100) {
+                        eprintln!(
+                            "  {} {} faith {:.3} dep {}",
+                            e.inst,
+                            e.rules.iter().map(|r| r.to_string()).collect::<Vec<_>>().join(";"),
+                            e.faith,
+                            e.dep
+                        );
+                    }
+                }
+            }
+        }
+        "train" => {
+            let prog = load_binary(get("binary")?)?;
+            let pdb: DebugInfo =
+                serde_json::from_str(&read(get("pdb")?)?).map_err(|e| e.to_string())?;
+            let slicer = if has("sslice") { Slicer::Sslice } else { Slicer::default() };
+            let epochs = flags.get("epochs").map(|s| s.parse().unwrap_or(60)).unwrap_or(60);
+            let ds = Dataset::from_binary(&prog, &pdb, "cli", &slicer);
+            let mut clf = Classifier::new(&ClassifierConfig { epochs, ..Default::default() });
+            let stats = clf
+                .train_with_progress(&ds, |s| {
+                    if s.epoch % 10 == 0 {
+                        eprintln!("epoch {:>4}: loss {:.4} acc {:.2}", s.epoch, s.loss, s.accuracy);
+                    }
+                })
+                .map_err(|e| e.to_string())?;
+            clf.save(&PathBuf::from(get("model")?)).map_err(|e| e.to_string())?;
+            let last = stats.last().expect("at least one epoch");
+            eprintln!(
+                "trained on {} slices: final loss {:.4}, accuracy {:.2}; model saved",
+                ds.len(),
+                last.loss,
+                last.accuracy
+            );
+        }
+        "predict" => {
+            let prog = load_binary(get("binary")?)?;
+            let clf =
+                Classifier::load(&PathBuf::from(get("model")?)).map_err(|e| e.to_string())?;
+            let addr = parse_addr(get("addr")?, &prog)?;
+            let tiara = Tiara::new(TiaraConfig::default()).with_classifier(clf);
+            let probs = tiara.predict_proba(&prog, addr);
+            let class = tiara.predict(&prog, addr);
+            println!("{addr}: {class}");
+            for c in tiara_ir::ContainerClass::ALL {
+                println!("  {:<12} {:.3}", c.to_string(), probs[c.index()]);
+            }
+        }
+        other => return Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+    Ok(())
+}
+
+fn read(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
+}
+
+fn write(path: &str, bytes: &[u8]) -> Result<(), String> {
+    std::fs::write(path, bytes).map_err(|e| format!("{path}: {e}"))
+}
+
+fn load_binary(path: &str) -> Result<Program, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    disassemble(&bytes).map_err(|e| format!("{path}: {e}"))
+}
+
+fn parse_counts(s: &str) -> Result<tiara_synth::TypeCounts, String> {
+    let parts: Vec<usize> = s
+        .split(',')
+        .map(|p| p.trim().parse::<usize>().map_err(|e| format!("--counts: {e}")))
+        .collect::<Result<_, _>>()?;
+    if parts.len() != 4 {
+        return Err("--counts expects LIST,VECTOR,MAP,PRIMITIVE".into());
+    }
+    Ok(tiara_synth::TypeCounts {
+        list: parts[0],
+        vector: parts[1],
+        map: parts[2],
+        primitive: parts[3],
+        ..Default::default()
+    })
+}
+
+fn parse_hex(s: &str) -> Result<u64, String> {
+    let s = s.trim();
+    if let Some(h) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(h, 16).map_err(|e| e.to_string())
+    } else if let Some(h) = s.strip_suffix('h').or_else(|| s.strip_suffix('H')) {
+        u64::from_str_radix(h, 16).map_err(|e| e.to_string())
+    } else {
+        s.parse::<u64>().map_err(|e| e.to_string())
+    }
+}
+
+fn parse_addr(s: &str, prog: &Program) -> Result<VarAddr, String> {
+    if let Some(rest) = s.strip_prefix("func:") {
+        let (name, off) = rest
+            .rsplit_once(':')
+            .ok_or("frame address must be func:<name>:<offset>")?;
+        let func = prog
+            .func_by_name(name)
+            .ok_or(format!("no function named `{name}`"))?
+            .id;
+        let offset = if let Some(neg) = off.strip_prefix('-') {
+            -(parse_hex(neg)? as i64)
+        } else {
+            parse_hex(off)? as i64
+        };
+        Ok(VarAddr::Stack { func, offset })
+    } else {
+        Ok(VarAddr::Global(MemAddr(parse_hex(s)?)))
+    }
+}
+
+fn print_slice(prog: &Program, slice: &tiara_slice::Slice) {
+    println!(
+        "slice of {}: {} nodes, {} edges",
+        slice.criterion,
+        slice.num_nodes(),
+        slice.num_edges()
+    );
+    for n in &slice.nodes {
+        println!("  [{:.3}] {}", n.faith, format_inst(prog, n.inst));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiara_ir::{InstKind, Opcode, Operand, ProgramBuilder, Reg};
+
+    fn tiny_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        b.begin_func("fn_0000");
+        b.inst(
+            Opcode::Mov,
+            InstKind::Mov { dst: Operand::reg(Reg::Eax), src: Operand::imm(1) },
+        );
+        b.ret();
+        b.end_func();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn hex_notations() {
+        assert_eq!(parse_hex("0x74404").unwrap(), 0x74404);
+        assert_eq!(parse_hex("74404h").unwrap(), 0x74404);
+        assert_eq!(parse_hex("1234").unwrap(), 1234);
+        assert!(parse_hex("xyz").is_err());
+    }
+
+    #[test]
+    fn counts_parsing() {
+        let c = parse_counts("1, 2,3 ,4").unwrap();
+        assert_eq!((c.list, c.vector, c.map, c.primitive), (1, 2, 3, 4));
+        assert!(parse_counts("1,2,3").is_err());
+        assert!(parse_counts("a,b,c,d").is_err());
+    }
+
+    #[test]
+    fn address_forms() {
+        let p = tiny_program();
+        assert_eq!(
+            parse_addr("0x74404", &p).unwrap(),
+            VarAddr::Global(MemAddr(0x74404))
+        );
+        match parse_addr("func:fn_0000:-0x18", &p).unwrap() {
+            VarAddr::Stack { offset, .. } => assert_eq!(offset, -0x18),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse_addr("func:nope:8", &p).is_err());
+        assert!(parse_addr("func:fn_0000", &p).is_err());
+    }
+}

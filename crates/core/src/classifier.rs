@@ -1,0 +1,321 @@
+//! The TIARA type classifier: the paper's GCN wrapped with container-class
+//! labels, training, evaluation, and model persistence.
+
+use crate::dataset::Dataset;
+use crate::error::Error;
+use crate::features::FEATURE_DIM;
+use crate::metrics::Evaluation;
+use serde::{Deserialize, Serialize};
+use tiara_gnn::{EpochStats, Gcn, GcnConfig, GraphSample, Mlp, MlpConfig};
+use tiara_ir::ContainerClass;
+
+/// Which model backs the classifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// The paper's graph convolutional network.
+    Gcn,
+    /// A bag-of-instructions MLP that ignores the slice CFG's edges —
+    /// the "no graph structure" ablation baseline.
+    Mlp,
+}
+
+/// Configuration of the classifier; defaults are the paper's
+/// (GCN, 2 conv layers of 64, mean pooling, Adam, lr 0.001).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassifierConfig {
+    /// The model family.
+    pub model: ModelKind,
+    /// Hidden width of the GCN layers.
+    pub hidden_dim: usize,
+    /// Number of graph-convolution layers.
+    pub num_layers: usize,
+    /// Neighborhood pooling.
+    pub aggregation: tiara_gnn::Aggregation,
+    /// Learning rate.
+    pub learning_rate: f32,
+    /// Training epochs. The paper uses 300 (on a Tesla P100); the CPU-bound
+    /// evaluation harness defaults lower — see EXPERIMENTS.md.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ClassifierConfig {
+    fn default() -> ClassifierConfig {
+        ClassifierConfig {
+            model: ModelKind::Gcn,
+            hidden_dim: 64,
+            num_layers: 2,
+            aggregation: tiara_gnn::Aggregation::Mean,
+            learning_rate: 1e-3,
+            epochs: 300,
+            batch_size: 32,
+            seed: 0x0007_1A2A,
+        }
+    }
+}
+
+impl ClassifierConfig {
+    fn to_mlp(&self) -> MlpConfig {
+        MlpConfig {
+            input_dim: FEATURE_DIM,
+            hidden_dim: self.hidden_dim,
+            num_classes: ContainerClass::COUNT,
+            learning_rate: self.learning_rate,
+            epochs: self.epochs,
+            batch_size: self.batch_size,
+            seed: self.seed,
+        }
+    }
+
+    fn to_gcn(&self) -> GcnConfig {
+        GcnConfig {
+            input_dim: FEATURE_DIM,
+            hidden_dim: self.hidden_dim,
+            num_layers: self.num_layers,
+            aggregation: self.aggregation,
+            num_classes: ContainerClass::COUNT,
+            learning_rate: self.learning_rate,
+            epochs: self.epochs,
+            batch_size: self.batch_size,
+            seed: self.seed,
+        }
+    }
+}
+
+/// The model behind a classifier.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum Model {
+    Gcn(Gcn),
+    Mlp(Mlp),
+}
+
+/// A trainable/trained container-type classifier.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Classifier {
+    model: Model,
+}
+
+impl Classifier {
+    /// Creates an untrained classifier.
+    pub fn new(config: &ClassifierConfig) -> Classifier {
+        let model = match config.model {
+            ModelKind::Gcn => Model::Gcn(Gcn::new(config.to_gcn())),
+            ModelKind::Mlp => Model::Mlp(Mlp::new(config.to_mlp())),
+        };
+        Classifier { model }
+    }
+
+    /// Trains on a dataset, returning per-epoch statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::EmptyDataset`] if `train` has no samples.
+    pub fn train(&mut self, train: &Dataset) -> Result<Vec<EpochStats>, Error> {
+        self.train_with_progress(train, |_| {})
+    }
+
+    /// Trains with a per-epoch callback (for progress reporting).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::EmptyDataset`] if `train` has no samples.
+    pub fn train_with_progress(
+        &mut self,
+        train: &Dataset,
+        progress: impl FnMut(&EpochStats),
+    ) -> Result<Vec<EpochStats>, Error> {
+        if train.is_empty() {
+            return Err(Error::EmptyDataset);
+        }
+        Ok(match &mut self.model {
+            Model::Gcn(g) => g.train_with_progress(&train.graphs(), progress),
+            Model::Mlp(m) => {
+                let stats = m.train(&train.graphs());
+                let mut progress = progress;
+                for s in &stats {
+                    progress(s);
+                }
+                stats
+            }
+        })
+    }
+
+    /// Trains with a held-out validation dataset, keeping the epoch with the
+    /// best validation accuracy (see [`Gcn::train_with_validation`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::EmptyDataset`] if either dataset is empty.
+    pub fn train_with_validation(
+        &mut self,
+        train: &Dataset,
+        validation: &Dataset,
+    ) -> Result<(Vec<EpochStats>, f32), Error> {
+        if train.is_empty() || validation.is_empty() {
+            return Err(Error::EmptyDataset);
+        }
+        Ok(match &mut self.model {
+            Model::Gcn(g) => g.train_with_validation(&train.graphs(), &validation.graphs()),
+            Model::Mlp(m) => {
+                // The MLP baseline trains straight through; validation
+                // accuracy is reported for the final weights.
+                let stats = m.train(&train.graphs());
+                let preds = m.predict_batch(&validation.graphs());
+                let correct = preds
+                    .iter()
+                    .zip(&validation.samples)
+                    .filter(|(p, s)| **p as usize == s.label.index())
+                    .count();
+                (stats, correct as f32 / validation.len() as f32)
+            }
+        })
+    }
+
+    /// Predicts the class of one slice graph.
+    pub fn predict(&self, graph: &GraphSample) -> ContainerClass {
+        let idx = match &self.model {
+            Model::Gcn(g) => g.predict(graph),
+            Model::Mlp(m) => m.predict(graph),
+        };
+        ContainerClass::from_index(idx as usize)
+    }
+
+    /// Class probabilities for one slice graph, indexed by
+    /// [`ContainerClass::index`].
+    pub fn predict_proba(&self, graph: &GraphSample) -> Vec<f32> {
+        match &self.model {
+            Model::Gcn(g) => g.predict_proba(graph),
+            Model::Mlp(m) => m.predict_proba(graph),
+        }
+    }
+
+    /// Evaluates on a test dataset.
+    pub fn evaluate(&self, test: &Dataset) -> Evaluation {
+        let graphs = test.graphs();
+        let preds = match &self.model {
+            Model::Gcn(g) => g.predict_batch(&graphs),
+            Model::Mlp(m) => m.predict_batch(&graphs),
+        };
+        Evaluation::from_pairs(
+            test.samples
+                .iter()
+                .zip(preds)
+                .map(|(s, p)| (s.label, ContainerClass::from_index(p as usize))),
+        )
+    }
+
+    /// Serializes the model to JSON (the artifact's `model.pt` analogue).
+    ///
+    /// # Errors
+    ///
+    /// Returns a serializer error.
+    pub fn to_json(&self) -> Result<String, Error> {
+        serde_json::to_string(self).map_err(Error::from)
+    }
+
+    /// Deserializes a model from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns a deserializer error.
+    pub fn from_json(s: &str) -> Result<Classifier, Error> {
+        serde_json::from_str(s).map_err(Error::from)
+    }
+
+    /// Saves the model to a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns serialization or I/O errors.
+    pub fn save(&self, path: &std::path::Path) -> Result<(), Error> {
+        std::fs::write(path, self.to_json()?).map_err(Error::from)
+    }
+
+    /// Loads a model from a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns deserialization or I/O errors.
+    pub fn load(path: &std::path::Path) -> Result<Classifier, Error> {
+        Classifier::from_json(&std::fs::read_to_string(path)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Slicer;
+    use tiara_synth::{generate, ProjectSpec, TypeCounts};
+
+    fn dataset() -> Dataset {
+        let bin = generate(&ProjectSpec {
+            name: "t".into(),
+            index: 2,
+            seed: 21,
+            counts: TypeCounts { list: 6, vector: 8, map: 7, primitive: 16, ..Default::default() },
+        });
+        Dataset::from_binary(&bin.program, &bin.debug, "t", &Slicer::default())
+    }
+
+    fn quick_config(epochs: usize) -> ClassifierConfig {
+        ClassifierConfig { epochs, batch_size: 8, ..ClassifierConfig::default() }
+    }
+
+    #[test]
+    fn learns_to_separate_container_classes() {
+        let ds = dataset();
+        let (train, test) = ds.split(0.8, 3);
+        let mut clf = Classifier::new(&quick_config(40));
+        let stats = clf.train(&train).unwrap();
+        assert!(stats.last().unwrap().accuracy > 0.7, "train acc {}", stats.last().unwrap().accuracy);
+        let eval = clf.evaluate(&test);
+        assert!(eval.accuracy() > 0.5, "test acc {}", eval.accuracy());
+    }
+
+    #[test]
+    fn validation_training_through_the_classifier() {
+        let ds = dataset();
+        let (rest, val) = ds.split(0.8, 11);
+        let (train, test) = rest.split(0.75, 12);
+        let mut clf = Classifier::new(&quick_config(25));
+        let (stats, best) = clf.train_with_validation(&train, &val).unwrap();
+        assert_eq!(stats.len(), 25);
+        assert!(best > 0.0);
+        let eval = clf.evaluate(&test);
+        assert!(eval.total() > 0);
+        assert!(matches!(
+            clf.train_with_validation(&Dataset::new(), &val),
+            Err(Error::EmptyDataset)
+        ));
+    }
+
+    #[test]
+    fn empty_training_set_is_an_error() {
+        let mut clf = Classifier::new(&quick_config(1));
+        assert!(matches!(clf.train(&Dataset::new()), Err(Error::EmptyDataset)));
+    }
+
+    #[test]
+    fn model_round_trips_through_json() {
+        let ds = dataset();
+        let mut clf = Classifier::new(&quick_config(3));
+        clf.train(&ds).unwrap();
+        let json = clf.to_json().unwrap();
+        let back = Classifier::from_json(&json).unwrap();
+        for s in ds.samples.iter().take(5) {
+            assert_eq!(clf.predict(&s.graph), back.predict(&s.graph));
+        }
+    }
+
+    #[test]
+    fn probabilities_are_a_distribution() {
+        let ds = dataset();
+        let clf = Classifier::new(&quick_config(1));
+        let p = clf.predict_proba(&ds.samples[0].graph);
+        assert_eq!(p.len(), ContainerClass::COUNT);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+    }
+}

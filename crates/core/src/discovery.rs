@@ -1,0 +1,189 @@
+//! Variable-address discovery: proposing the slicing criteria.
+//!
+//! The paper assumes variable addresses are given (extracted from PDBs via
+//! the DIA SDK) and notes that for truly stripped binaries "finding such
+//! addresses is much less challenging than finding their types", citing TIE.
+//! This module implements that orthogonal step for our IR: it scans a
+//! program for memory access patterns and clusters them into candidate
+//! variable base addresses — globals from absolute accesses, locals from
+//! frame-relative accesses in functions that keep their frame pointer.
+
+use tiara_ir::{detect_frame_mode, FrameMode, Operand, Program, VarAddr};
+
+/// Tunable knobs of the discovery pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiscoveryConfig {
+    /// Accesses within this many bytes of a cluster base are fields of the
+    /// same variable (matches the slicing criterion window).
+    pub window: i64,
+    /// Frame offsets in `(-spill_region..0)` are ignored: compilers place
+    /// register spills immediately below the saved frame pointer.
+    pub spill_region: i64,
+}
+
+impl Default for DiscoveryConfig {
+    fn default() -> DiscoveryConfig {
+        DiscoveryConfig { window: 16, spill_region: 0x20 }
+    }
+}
+
+/// Clusters a sorted list of addresses/offsets into window-separated bases.
+fn cluster(mut points: Vec<i64>, window: i64) -> Vec<i64> {
+    points.sort_unstable();
+    points.dedup();
+    let mut bases = Vec::new();
+    let mut current: Option<i64> = None;
+    for p in points {
+        match current {
+            Some(base) if p < base + window => {}
+            _ => {
+                bases.push(p);
+                current = Some(p);
+            }
+        }
+    }
+    bases
+}
+
+/// Discovers candidate variable addresses in a program.
+///
+/// Returns global candidates (from absolute memory accesses) and
+/// frame-slot candidates (from `[ebp ± c]` accesses in frame-pointer
+/// functions, excluding the spill region and the argument/return area
+/// `0..8`).
+pub fn discover_variables(prog: &Program, cfg: &DiscoveryConfig) -> Vec<VarAddr> {
+    let mut globals: Vec<i64> = Vec::new();
+    let mut per_func: Vec<Vec<i64>> = vec![Vec::new(); prog.funcs().len()];
+
+    for f in prog.funcs() {
+        let framed = matches!(detect_frame_mode(prog, f.id), FrameMode::FramePointer);
+        for id in f.inst_ids() {
+            for opr in prog.inst(id).kind.operands() {
+                match opr {
+                    Operand::Deref(loc) | Operand::Loc(loc) => {
+                        if let Some(m) = loc.base_mem() {
+                            // Skip `offset label` push/jump targets that are
+                            // plainly code or string addresses? We cannot
+                            // know; clustering keeps the noise bounded.
+                            globals.push(m.value() as i64 + loc.offset);
+                        } else if framed && loc.base_reg() == Some(tiara_ir::Reg::Ebp) {
+                            let off = loc.offset;
+                            let in_spills = -cfg.spill_region <= off && off < 0;
+                            let in_linkage = (0..8).contains(&off);
+                            if !in_spills && !in_linkage {
+                                per_func[f.id.index()].push(off);
+                            }
+                        }
+                    }
+                    Operand::Imm(_) => {}
+                }
+            }
+        }
+    }
+
+    let mut out: Vec<VarAddr> = cluster(globals, cfg.window)
+        .into_iter()
+        .filter(|&b| b >= 0)
+        .map(|b| VarAddr::Global(tiara_ir::MemAddr(b as u64)))
+        .collect();
+    for (k, offsets) in per_func.into_iter().enumerate() {
+        let func = prog.funcs()[k].id;
+        for off in cluster(offsets, cfg.window) {
+            out.push(VarAddr::Stack { func, offset: off });
+        }
+    }
+    out
+}
+
+/// Discovery quality against ground truth: how many labeled variables were
+/// proposed, and how many proposals have no label (spurious — unlabeled
+/// temporaries, strings, import slots).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiscoveryScore {
+    /// Labeled variables whose exact base was proposed.
+    pub found: usize,
+    /// Labeled variables missed.
+    pub missed: usize,
+    /// Proposals with no matching label.
+    pub spurious: usize,
+}
+
+impl DiscoveryScore {
+    /// Recall over the labeled variables.
+    pub fn recall(&self) -> f64 {
+        let total = self.found + self.missed;
+        if total == 0 {
+            return 0.0;
+        }
+        self.found as f64 / total as f64
+    }
+}
+
+/// Scores a discovery result against a ground-truth table.
+pub fn score_discovery(
+    discovered: &[VarAddr],
+    truth: &tiara_ir::DebugInfo,
+) -> DiscoveryScore {
+    let mut found = 0usize;
+    let mut missed = 0usize;
+    for rec in truth.iter() {
+        if discovered.contains(&rec.addr) {
+            found += 1;
+        } else {
+            missed += 1;
+        }
+    }
+    let spurious = discovered
+        .iter()
+        .filter(|d| truth.iter().all(|rec| rec.addr != **d))
+        .count();
+    DiscoveryScore { found, missed, spurious }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiara_synth::{generate, ProjectSpec, TypeCounts};
+
+    #[test]
+    fn clustering_respects_the_window() {
+        assert_eq!(cluster(vec![100, 104, 108, 132, 133], 16), vec![100, 132]);
+        assert_eq!(cluster(vec![], 16), Vec::<i64>::new());
+        assert_eq!(cluster(vec![5, 5, 5], 16), vec![5]);
+    }
+
+    #[test]
+    fn discovers_most_labeled_variables() {
+        let bin = generate(&ProjectSpec {
+            name: "disc".into(),
+            index: 0,
+            seed: 33,
+            counts: TypeCounts { list: 4, vector: 6, map: 6, primitive: 20, ..Default::default() },
+        });
+        let discovered = discover_variables(&bin.program, &DiscoveryConfig::default());
+        let score = score_discovery(&discovered, &bin.debug);
+        assert!(
+            score.recall() > 0.85,
+            "recall {:.2} ({} found, {} missed)",
+            score.recall(),
+            score.found,
+            score.missed
+        );
+        // Spurious proposals exist (noise globals, string tables) but stay
+        // within the same order of magnitude.
+        assert!(score.spurious < discovered.len());
+    }
+
+    #[test]
+    fn globals_and_stack_slots_are_both_proposed() {
+        let bin = generate(&ProjectSpec {
+            name: "disc2".into(),
+            index: 1,
+            seed: 8,
+            counts: TypeCounts { list: 2, vector: 3, map: 3, primitive: 10, ..Default::default() },
+        });
+        let discovered = discover_variables(&bin.program, &DiscoveryConfig::default());
+        assert!(discovered.iter().any(|d| matches!(d, VarAddr::Global(_))));
+        assert!(discovered.iter().any(|d| matches!(d, VarAddr::Stack { .. })));
+    }
+}

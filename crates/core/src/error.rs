@@ -1,0 +1,67 @@
+//! Error types of the TIARA pipeline.
+
+/// Errors produced by the TIARA pipeline.
+#[derive(Debug)]
+pub enum Error {
+    /// Training was attempted on an empty dataset.
+    EmptyDataset,
+    /// A model or dataset failed to (de)serialize.
+    Serde(serde_json::Error),
+    /// An I/O failure while persisting a model.
+    Io(std::io::Error),
+    /// A prediction was requested for an address with no recorded variable.
+    UnknownVariable(String),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::EmptyDataset => write!(f, "training dataset is empty"),
+            Error::Serde(e) => write!(f, "serialization failed: {e}"),
+            Error::Io(e) => write!(f, "i/o failed: {e}"),
+            Error::UnknownVariable(a) => write!(f, "no variable recorded at {a}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Serde(e) => Some(e),
+            Error::Io(e) => Some(e),
+            Error::EmptyDataset | Error::UnknownVariable(_) => None,
+        }
+    }
+}
+
+impl From<serde_json::Error> for Error {
+    fn from(e: serde_json::Error) -> Error {
+        Error::Serde(e)
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Error {
+        Error::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_concise() {
+        assert_eq!(Error::EmptyDataset.to_string(), "training dataset is empty");
+        let io: Error = std::io::Error::other("boom").into();
+        assert!(io.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn sources_are_chained() {
+        use std::error::Error as _;
+        let io: Error = std::io::Error::other("x").into();
+        assert!(io.source().is_some());
+        assert!(Error::EmptyDataset.source().is_none());
+    }
+}

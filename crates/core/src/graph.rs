@@ -1,0 +1,74 @@
+//! Conversion of slices into the GCN's graph samples (Figure 2(b)).
+
+use crate::features::{encode, FEATURE_DIM};
+use tiara_gnn::{GraphSample, Matrix};
+use tiara_ir::Program;
+use tiara_slice::Slice;
+
+/// Converts a slice (a CFG of dependent instructions) into a graph sample
+/// for the classifier.
+///
+/// Node features are the 42-dimensional encodings of Section III-B1; edges
+/// are the slice CFG edges. An *empty* slice — a variable whose first access
+/// was never found or that produced no dependent instructions — becomes a
+/// single all-zero node so the classifier still emits a prediction (the
+/// paper's pipeline likewise predicts for every queried address).
+pub fn slice_to_graph(prog: &Program, slice: &Slice, label: u32) -> GraphSample {
+    if slice.nodes.is_empty() {
+        return GraphSample::new(Matrix::zeros(1, FEATURE_DIM), &[], label);
+    }
+    let mut features = Matrix::zeros(slice.nodes.len(), FEATURE_DIM);
+    for (r, node) in slice.nodes.iter().enumerate() {
+        features.row_mut(r).copy_from_slice(&encode(prog, node));
+    }
+    GraphSample::new(features, &slice.edges, label)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiara_ir::{InstKind, MemAddr, Opcode, Operand, ProgramBuilder, Reg, VarAddr};
+    use tiara_slice::tslice;
+
+    fn program_and_slice() -> (Program, tiara_slice::Slice) {
+        let v0 = 0x74404u64;
+        let mut b = ProgramBuilder::new();
+        b.begin_func("main");
+        b.inst(
+            Opcode::Mov,
+            InstKind::Mov { dst: Operand::reg(Reg::Esi), src: Operand::mem_abs(v0, 0) },
+        );
+        b.inst(
+            Opcode::Mov,
+            InstKind::Mov { dst: Operand::reg(Reg::Eax), src: Operand::reg(Reg::Esi) },
+        );
+        b.ret();
+        b.end_func();
+        let p = b.finish().unwrap();
+        let s = tslice(&p, VarAddr::Global(MemAddr(v0)));
+        (p, s)
+    }
+
+    #[test]
+    fn graph_mirrors_slice_topology() {
+        let (p, s) = program_and_slice();
+        assert_eq!(s.num_nodes(), 2);
+        let g = slice_to_graph(&p, &s, 0);
+        assert_eq!(g.num_nodes(), 2);
+        assert_eq!(g.features.cols(), FEATURE_DIM);
+        assert_eq!(g.label, 0);
+        // The slice edge I0 -> I1 is carried into the graph sample.
+        assert_eq!(g.edges, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn empty_slice_becomes_single_zero_node() {
+        let (p, _) = program_and_slice();
+        let empty = tslice(&p, VarAddr::Global(MemAddr(0x99999)));
+        assert!(empty.is_empty());
+        let g = slice_to_graph(&p, &empty, 3);
+        assert_eq!(g.num_nodes(), 1);
+        assert!(g.features.as_slice().iter().all(|&x| x == 0.0));
+        assert_eq!(g.label, 3);
+    }
+}

@@ -1,0 +1,61 @@
+//! # tiara
+//!
+//! A reproduction of **TIARA** (Wang, Xu, Li, Yuan, Xue — *Recovering
+//! Container Class Types in C++ Binaries*, CGO 2022): given a variable
+//! address in a stripped C++ binary, infer whether the variable is a
+//! `std::list`, `std::vector`, `std::map`, or a primitive.
+//!
+//! The system has two stages (the paper's Figure 3):
+//!
+//! 1. **Type-relevant slicing** ([`tiara_slice`]): TSLICE computes a small
+//!    inter-procedural forward slice of instructions that use values derived
+//!    from the variable, bounded by a faith/decay function.
+//! 2. **Type classification**: each sliced instruction becomes a
+//!    42-dimensional feature vector ([`features`]); the slice CFG is fed to a
+//!    2×64 mean-pooling GCN ([`tiara_gnn`]) trained with Adam and
+//!    cross-entropy.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use tiara::{Tiara, TiaraConfig, ClassifierConfig};
+//! use tiara_synth::{generate, ProjectSpec, TypeCounts};
+//!
+//! // A small synthetic "COTS binary" with ground truth (stands in for an
+//! // MSVC-compiled project + PDB; see DESIGN.md).
+//! let bin = generate(&ProjectSpec {
+//!     name: "demo".into(),
+//!     index: 0,
+//!     seed: 1,
+//!     counts: TypeCounts { list: 2, vector: 3, map: 2, primitive: 6, ..Default::default() },
+//! });
+//!
+//! let mut tiara = Tiara::new(TiaraConfig {
+//!     classifier: ClassifierConfig { epochs: 5, ..Default::default() },
+//!     ..Default::default()
+//! });
+//! tiara.train(&[("demo", &bin.program, &bin.debug)])?;
+//! let (addr, _truth) = bin.labeled_vars().next().unwrap();
+//! let predicted = tiara.predict(&bin.program, addr);
+//! println!("{addr} is predicted to be {predicted}");
+//! # Ok::<(), tiara::Error>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod classifier;
+mod dataset;
+pub mod discovery;
+mod error;
+pub mod features;
+mod graph;
+mod metrics;
+mod pipeline;
+
+pub use classifier::{Classifier, ClassifierConfig, ModelKind};
+pub use dataset::{Dataset, Sample, Slicer};
+pub use error::Error;
+pub use graph::slice_to_graph;
+pub use metrics::Evaluation;
+pub use pipeline::{Tiara, TiaraConfig};

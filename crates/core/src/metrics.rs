@@ -1,0 +1,206 @@
+//! Evaluation metrics: per-class precision, recall and F1 plus their macro
+//! averages — exactly the columns of the paper's Table II.
+
+use serde::{Deserialize, Serialize};
+use tiara_ir::ContainerClass;
+
+/// A 4-class confusion matrix and the derived metrics.
+///
+/// Rows are ground-truth classes, columns are predictions.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Evaluation {
+    confusion: [[usize; ContainerClass::COUNT]; ContainerClass::COUNT],
+}
+
+impl Evaluation {
+    /// An empty evaluation.
+    pub fn new() -> Evaluation {
+        Evaluation::default()
+    }
+
+    /// Builds an evaluation from `(truth, prediction)` pairs.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (ContainerClass, ContainerClass)>) -> Evaluation {
+        let mut e = Evaluation::new();
+        for (truth, pred) in pairs {
+            e.record(truth, pred);
+        }
+        e
+    }
+
+    /// Records one prediction.
+    pub fn record(&mut self, truth: ContainerClass, pred: ContainerClass) {
+        self.confusion[truth.index()][pred.index()] += 1;
+    }
+
+    /// The raw confusion count for `(truth, pred)`.
+    pub fn count(&self, truth: ContainerClass, pred: ContainerClass) -> usize {
+        self.confusion[truth.index()][pred.index()]
+    }
+
+    /// Total number of recorded samples.
+    pub fn total(&self) -> usize {
+        self.confusion.iter().flatten().sum()
+    }
+
+    /// Number of ground-truth samples of a class.
+    pub fn support(&self, class: ContainerClass) -> usize {
+        self.confusion[class.index()].iter().sum()
+    }
+
+    /// Precision for one class: TP / (TP + FP). `None` when the class was
+    /// never predicted (the paper reports such cells as N/A).
+    pub fn precision(&self, class: ContainerClass) -> Option<f64> {
+        let c = class.index();
+        let tp = self.confusion[c][c];
+        let predicted: usize = (0..ContainerClass::COUNT).map(|t| self.confusion[t][c]).sum();
+        (predicted > 0).then(|| tp as f64 / predicted as f64)
+    }
+
+    /// Recall for one class: TP / (TP + FN). `None` when the class has no
+    /// ground-truth samples.
+    pub fn recall(&self, class: ContainerClass) -> Option<f64> {
+        let c = class.index();
+        let tp = self.confusion[c][c];
+        let actual = self.support(class);
+        (actual > 0).then(|| tp as f64 / actual as f64)
+    }
+
+    /// F1 score for one class: the harmonic mean of precision and recall.
+    /// `None` when either is undefined or both are zero.
+    pub fn f1(&self, class: ContainerClass) -> Option<f64> {
+        let p = self.precision(class)?;
+        let r = self.recall(class)?;
+        if p + r == 0.0 {
+            return None;
+        }
+        Some(2.0 * p * r / (p + r))
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: usize = (0..ContainerClass::COUNT).map(|c| self.confusion[c][c]).sum();
+        correct as f64 / total as f64
+    }
+
+    /// Macro-averaged precision over the classes with ground-truth samples
+    /// (classes absent from the test set are skipped, as the paper does for
+    /// projects with zero `std::list` variables).
+    pub fn macro_precision(&self) -> f64 {
+        self.macro_over(|e, c| e.precision(c))
+    }
+
+    /// Macro-averaged recall.
+    pub fn macro_recall(&self) -> f64 {
+        self.macro_over(|e, c| e.recall(c))
+    }
+
+    /// Macro-averaged F1.
+    pub fn macro_f1(&self) -> f64 {
+        self.macro_over(|e, c| e.f1(c))
+    }
+
+    fn macro_over(&self, f: impl Fn(&Evaluation, ContainerClass) -> Option<f64>) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for c in ContainerClass::ALL {
+            if self.support(c) == 0 {
+                continue;
+            }
+            sum += f(self, c).unwrap_or(0.0);
+            n += 1;
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+
+    /// Merges another evaluation's counts into this one.
+    pub fn merge(&mut self, other: &Evaluation) {
+        for t in 0..ContainerClass::COUNT {
+            for p in 0..ContainerClass::COUNT {
+                self.confusion[t][p] += other.confusion[t][p];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ContainerClass::{List, Map, Primitive, Vector};
+
+    #[test]
+    fn perfect_predictions_score_one() {
+        let e = Evaluation::from_pairs([(List, List), (Vector, Vector), (Map, Map)]);
+        for c in [List, Vector, Map] {
+            assert_eq!(e.precision(c), Some(1.0));
+            assert_eq!(e.recall(c), Some(1.0));
+            assert_eq!(e.f1(c), Some(1.0));
+        }
+        assert_eq!(e.accuracy(), 1.0);
+        assert_eq!(e.macro_f1(), 1.0);
+    }
+
+    #[test]
+    fn hand_computed_confusion() {
+        // 2 lists: one predicted list, one predicted vector.
+        // 3 vectors: all predicted vector.
+        let e = Evaluation::from_pairs([
+            (List, List),
+            (List, Vector),
+            (Vector, Vector),
+            (Vector, Vector),
+            (Vector, Vector),
+        ]);
+        assert_eq!(e.precision(List), Some(1.0));
+        assert_eq!(e.recall(List), Some(0.5));
+        let f1 = e.f1(List).unwrap();
+        assert!((f1 - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(e.precision(Vector), Some(0.75));
+        assert_eq!(e.recall(Vector), Some(1.0));
+        assert_eq!(e.support(List), 2);
+        assert_eq!(e.total(), 5);
+        assert!((e.accuracy() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn never_predicted_class_has_no_precision() {
+        let e = Evaluation::from_pairs([(Map, Primitive)]);
+        assert_eq!(e.precision(Map), None, "map never predicted");
+        assert_eq!(e.recall(Map), Some(0.0));
+        assert_eq!(e.f1(Map), None);
+        // Macro average only covers classes with support.
+        assert_eq!(e.macro_recall(), 0.0);
+    }
+
+    #[test]
+    fn absent_classes_are_skipped_in_macro_average() {
+        // Only vectors in the test set, all correct.
+        let e = Evaluation::from_pairs([(Vector, Vector), (Vector, Vector)]);
+        assert_eq!(e.macro_precision(), 1.0);
+        assert_eq!(e.macro_recall(), 1.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Evaluation::from_pairs([(List, List)]);
+        let b = Evaluation::from_pairs([(List, Map)]);
+        a.merge(&b);
+        assert_eq!(a.support(List), 2);
+        assert_eq!(a.recall(List), Some(0.5));
+    }
+
+    #[test]
+    fn empty_evaluation_is_safe() {
+        let e = Evaluation::new();
+        assert_eq!(e.accuracy(), 0.0);
+        assert_eq!(e.macro_f1(), 0.0);
+        assert_eq!(e.total(), 0);
+    }
+}

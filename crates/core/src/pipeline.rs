@@ -1,0 +1,152 @@
+//! The end-to-end TIARA pipeline (Figure 3): slice → encode → classify.
+//!
+//! [`Tiara`] bundles a slicer and a classifier: train it on binaries with
+//! ground truth, then query container types for raw variable addresses in
+//! new binaries.
+
+use crate::classifier::{Classifier, ClassifierConfig};
+use crate::dataset::{Dataset, Slicer};
+use crate::error::Error;
+use crate::graph::slice_to_graph;
+use tiara_gnn::EpochStats;
+use tiara_ir::{ContainerClass, DebugInfo, Program, VarAddr};
+
+/// The full TIARA system: a configured slicer plus a (trainable) GCN
+/// classifier.
+///
+/// # Examples
+///
+/// ```no_run
+/// use tiara::{Tiara, TiaraConfig};
+/// use tiara_ir::{MemAddr, VarAddr};
+/// # let (program, debug) = unimplemented!();
+///
+/// let mut tiara = Tiara::new(TiaraConfig::default());
+/// tiara.train(&[("proj", &program, &debug)])?;
+/// let class = tiara.predict(&program, VarAddr::Global(MemAddr(0x74404)));
+/// println!("the variable is a {class}");
+/// # Ok::<(), tiara::Error>(())
+/// ```
+#[derive(Debug, Clone)]
+#[derive(Default)]
+pub struct TiaraConfig {
+    /// The slicing stage.
+    pub slicer: Slicer,
+    /// The classification stage.
+    pub classifier: ClassifierConfig,
+}
+
+
+/// The TIARA system.
+#[derive(Debug)]
+pub struct Tiara {
+    slicer: Slicer,
+    classifier: Classifier,
+}
+
+impl Tiara {
+    /// Creates an untrained system.
+    pub fn new(config: TiaraConfig) -> Tiara {
+        Tiara { slicer: config.slicer.clone(), classifier: Classifier::new(&config.classifier) }
+    }
+
+    /// The slicer in use.
+    pub fn slicer(&self) -> &Slicer {
+        &self.slicer
+    }
+
+    /// The underlying classifier.
+    pub fn classifier(&self) -> &Classifier {
+        &self.classifier
+    }
+
+    /// Builds the training dataset from labeled binaries (slicing every
+    /// recorded variable) and trains the classifier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::EmptyDataset`] if the binaries contain no labeled
+    /// variables.
+    pub fn train(
+        &mut self,
+        binaries: &[(&str, &Program, &DebugInfo)],
+    ) -> Result<Vec<EpochStats>, Error> {
+        let mut ds = Dataset::new();
+        for (name, prog, debug) in binaries {
+            ds.merge(Dataset::from_binary(prog, debug, name, &self.slicer));
+        }
+        self.classifier.train(&ds)
+    }
+
+    /// Trains directly on a pre-built dataset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::EmptyDataset`] if the dataset is empty.
+    pub fn train_on(&mut self, dataset: &Dataset) -> Result<Vec<EpochStats>, Error> {
+        self.classifier.train(dataset)
+    }
+
+    /// Predicts the container class of the variable at `addr`: runs the
+    /// slicer, encodes the slice, and queries the classifier.
+    pub fn predict(&self, prog: &Program, addr: VarAddr) -> ContainerClass {
+        let slice = self.slicer.run(prog, addr);
+        let graph = slice_to_graph(prog, &slice, 0);
+        self.classifier.predict(&graph)
+    }
+
+    /// Predicts with per-class probabilities.
+    pub fn predict_proba(&self, prog: &Program, addr: VarAddr) -> Vec<f32> {
+        let slice = self.slicer.run(prog, addr);
+        let graph = slice_to_graph(prog, &slice, 0);
+        self.classifier.predict_proba(&graph)
+    }
+
+    /// Replaces the classifier with a previously trained one.
+    pub fn with_classifier(mut self, classifier: Classifier) -> Tiara {
+        self.classifier = classifier;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::ClassifierConfig;
+    use tiara_synth::{generate, ProjectSpec, TypeCounts};
+
+    #[test]
+    fn end_to_end_train_and_predict() {
+        let bin = generate(&ProjectSpec {
+            name: "e2e".into(),
+            index: 1,
+            seed: 77,
+            counts: TypeCounts { list: 5, vector: 6, map: 5, primitive: 14, ..Default::default() },
+        });
+        let cfg = TiaraConfig {
+            classifier: ClassifierConfig { epochs: 30, batch_size: 8, ..Default::default() },
+            ..Default::default()
+        };
+        let mut tiara = Tiara::new(cfg);
+        tiara.train(&[("e2e", &bin.program, &bin.debug)]).unwrap();
+
+        // Predict on the training variables: most should come back right.
+        let mut correct = 0usize;
+        for (addr, class) in bin.labeled_vars() {
+            if tiara.predict(&bin.program, addr) == class {
+                correct += 1;
+            }
+        }
+        let acc = correct as f64 / bin.debug.len() as f64;
+        assert!(acc > 0.6, "training-set accuracy {acc}");
+
+        let p = tiara.predict_proba(&bin.program, bin.debug.vars[0].addr);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn untrained_training_set_must_be_nonempty() {
+        let mut tiara = Tiara::new(TiaraConfig::default());
+        assert!(matches!(tiara.train(&[]), Err(Error::EmptyDataset)));
+    }
+}

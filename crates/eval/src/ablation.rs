@@ -1,0 +1,260 @@
+//! Ablation study over TSLICE's design choices: the decay constants and
+//! shape (the paper: "other more sophisticated decay functions can also be
+//! used"), the indirect-call cut, and `lea` pointer-arithmetic tracking.
+//!
+//! Each configuration re-slices one project, trains the classifier on a 4:1
+//! split, and reports slice size + macro F1 — quantifying how much each
+//! heuristic contributes.
+
+use crate::suite::parallel_dataset;
+use tiara::{Classifier, ClassifierConfig, Slicer};
+use tiara_ir::ContainerClass;
+use tiara_slice::{DecayFunction, TsliceConfig};
+use tiara_synth::Binary;
+
+/// The named slicer configurations of the ablation.
+pub fn ablation_configs() -> Vec<(&'static str, TsliceConfig)> {
+    let base = TsliceConfig::default();
+    vec![
+        ("paper (linear decay)", base.clone()),
+        (
+            "2x faster decay",
+            TsliceConfig {
+                decay_default: 0.002,
+                decay_stack: 0.01,
+                decay_indirect: 0.02,
+                ..base.clone()
+            },
+        ),
+        (
+            "5x slower decay",
+            TsliceConfig {
+                decay_default: 0.0002,
+                decay_stack: 0.001,
+                decay_indirect: 0.002,
+                ..base.clone()
+            },
+        ),
+        (
+            "exponential decay",
+            TsliceConfig {
+                decay_function: DecayFunction::Exponential { scale: 8.0, floor: 1e-3 },
+                ..base.clone()
+            },
+        ),
+        (
+            "no indirect-call cut",
+            TsliceConfig { cut_indirect_calls: false, ..base.clone() },
+        ),
+        (
+            "lea tracks pointer arith",
+            TsliceConfig { lea_tracks_pointer_arith: true, ..base },
+        ),
+    ]
+}
+
+/// One ablation row.
+#[derive(Debug, Clone)]
+pub struct AblationResult {
+    /// Configuration name.
+    pub name: &'static str,
+    /// Mean container-slice size (nodes).
+    pub mean_container_nodes: f64,
+    /// Slicing wall time, seconds.
+    pub slice_secs: f64,
+    /// Macro F1 on the held-out 20%.
+    pub macro_f1: f64,
+    /// Accuracy on the held-out 20%.
+    pub accuracy: f64,
+}
+
+/// Runs the ablation on one binary.
+pub fn run_ablation(
+    bin: &Binary,
+    classifier: &ClassifierConfig,
+    split_seed: u64,
+    threads: usize,
+) -> Vec<AblationResult> {
+    ablation_configs()
+        .into_iter()
+        .map(|(name, cfg)| {
+            let t0 = std::time::Instant::now();
+            let ds = parallel_dataset(bin, &Slicer::Tslice(cfg), threads);
+            let slice_secs = t0.elapsed().as_secs_f64();
+
+            let containers: Vec<&tiara::Sample> = ds
+                .samples
+                .iter()
+                .filter(|s| s.label != ContainerClass::Primitive)
+                .collect();
+            let mean_container_nodes = if containers.is_empty() {
+                0.0
+            } else {
+                containers.iter().map(|s| s.slice_nodes).sum::<usize>() as f64
+                    / containers.len() as f64
+            };
+
+            let (train, test) = ds.split(0.8, split_seed);
+            let mut clf = Classifier::new(classifier);
+            clf.train(&train).expect("nonempty training split");
+            let eval = clf.evaluate(&test);
+
+            AblationResult {
+                name,
+                mean_container_nodes,
+                slice_secs,
+                macro_f1: eval.macro_f1(),
+                accuracy: eval.accuracy(),
+            }
+        })
+        .collect()
+}
+
+/// One classifier-architecture ablation row.
+#[derive(Debug, Clone)]
+pub struct ModelAblationResult {
+    /// Configuration name.
+    pub name: &'static str,
+    /// Macro F1 on the held-out 20%.
+    pub macro_f1: f64,
+    /// Accuracy on the held-out 20%.
+    pub accuracy: f64,
+    /// Training wall time, seconds.
+    pub train_secs: f64,
+}
+
+/// The classifier-architecture variants: the paper's 2×64 mean-pooling GCN,
+/// depth variants, GIN-style sum pooling, and the edge-blind MLP baseline.
+pub fn model_ablation_configs() -> Vec<(&'static str, ClassifierConfig)> {
+    use tiara::ModelKind;
+    use tiara_gnn::Aggregation;
+    let base = ClassifierConfig::default();
+    vec![
+        ("paper (GCN 2x64, mean)", base.clone()),
+        ("GCN 1 layer", ClassifierConfig { num_layers: 1, ..base.clone() }),
+        ("GCN 3 layers", ClassifierConfig { num_layers: 3, ..base.clone() }),
+        ("GCN sum pooling (GIN)", ClassifierConfig { aggregation: Aggregation::Sum, ..base.clone() }),
+        ("MLP (no graph structure)", ClassifierConfig { model: ModelKind::Mlp, ..base }),
+    ]
+}
+
+/// Runs the classifier-architecture ablation on one TSLICE-sliced binary.
+pub fn run_model_ablation(
+    bin: &Binary,
+    epochs: usize,
+    seed: u64,
+    threads: usize,
+) -> Vec<ModelAblationResult> {
+    let ds = parallel_dataset(bin, &Slicer::default(), threads);
+    let (train, test) = ds.split(0.8, seed);
+    model_ablation_configs()
+        .into_iter()
+        .map(|(name, mut cfg)| {
+            cfg.epochs = epochs;
+            cfg.seed = seed;
+            let mut clf = Classifier::new(&cfg);
+            let t0 = std::time::Instant::now();
+            clf.train(&train).expect("nonempty training split");
+            let train_secs = t0.elapsed().as_secs_f64();
+            let eval = clf.evaluate(&test);
+            ModelAblationResult {
+                name,
+                macro_f1: eval.macro_f1(),
+                accuracy: eval.accuracy(),
+                train_secs,
+            }
+        })
+        .collect()
+}
+
+/// Renders the model-ablation table.
+pub fn render_model_ablation(rows: &[ModelAblationResult]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(s, "MODEL ABLATION — classifier architectures (one project, 4:1 split)");
+    let _ = writeln!(s, "{:<28} {:>9} {:>9} {:>13}", "Architecture", "macro F1", "accuracy", "training (s)");
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{:<28} {:>9.2} {:>9.2} {:>13.2}",
+            r.name, r.macro_f1, r.accuracy, r.train_secs
+        );
+    }
+    s
+}
+
+/// Renders the ablation table.
+pub fn render_ablation(rows: &[AblationResult]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(s, "ABLATION — TSLICE design choices (one project, 4:1 split)");
+    let _ = writeln!(
+        s,
+        "{:<28} {:>16} {:>12} {:>9} {:>9}",
+        "Configuration", "container nodes", "slicing (s)", "macro F1", "accuracy"
+    );
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{:<28} {:>16.1} {:>12.2} {:>9.2} {:>9.2}",
+            r.name, r.mean_container_nodes, r.slice_secs, r.macro_f1, r.accuracy
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiara_synth::{generate, ProjectSpec, TypeCounts};
+
+    #[test]
+    fn ablation_covers_the_design_choices() {
+        let names: Vec<&str> = ablation_configs().iter().map(|(n, _)| *n).collect();
+        assert!(names.iter().any(|n| n.contains("linear")));
+        assert!(names.iter().any(|n| n.contains("exponential")));
+        assert!(names.iter().any(|n| n.contains("indirect")));
+        assert!(names.iter().any(|n| n.contains("lea")));
+        assert_eq!(names.len(), 6);
+    }
+
+    #[test]
+    fn model_ablation_includes_the_mlp_baseline() {
+        let names: Vec<&str> = model_ablation_configs().iter().map(|(n, _)| *n).collect();
+        assert!(names.iter().any(|n| n.contains("MLP")));
+        assert!(names.iter().any(|n| n.contains("paper")));
+        assert_eq!(names.len(), 5);
+
+        let bin = generate(&ProjectSpec {
+            name: "mabl".into(),
+            index: 2,
+            seed: 27,
+            counts: TypeCounts { list: 3, vector: 5, map: 5, primitive: 12, ..Default::default() },
+        });
+        let rows = run_model_ablation(&bin, 6, 1, 2);
+        assert_eq!(rows.len(), 5);
+        assert!(rows.iter().all(|r| r.macro_f1 >= 0.0 && r.accuracy <= 1.0));
+        let text = render_model_ablation(&rows);
+        assert!(text.contains("MLP"));
+    }
+
+    #[test]
+    fn ablation_runs_and_faster_decay_shrinks_slices() {
+        let bin = generate(&ProjectSpec {
+            name: "abl".into(),
+            index: 0,
+            seed: 17,
+            counts: TypeCounts { list: 3, vector: 5, map: 5, primitive: 12, ..Default::default() },
+        });
+        let cfg = ClassifierConfig { epochs: 5, ..Default::default() };
+        let rows = run_ablation(&bin, &cfg, 1, 2);
+        assert_eq!(rows.len(), 6);
+        let base = rows.iter().find(|r| r.name.contains("linear")).unwrap();
+        let fast = rows.iter().find(|r| r.name.contains("faster")).unwrap();
+        let slow = rows.iter().find(|r| r.name.contains("slower")).unwrap();
+        assert!(fast.mean_container_nodes <= base.mean_container_nodes);
+        assert!(slow.mean_container_nodes >= base.mean_container_nodes);
+        let text = render_ablation(&rows);
+        assert!(text.contains("macro F1"));
+    }
+}

@@ -1,0 +1,219 @@
+//! The `tiara-eval` CLI: regenerates every table and figure of the paper's
+//! evaluation section on the synthetic benchmark suite.
+//!
+//! ```text
+//! tiara-eval <command> [--scale F] [--epochs N] [--seed N] [--threads N]
+//!
+//! commands:
+//!   table1        benchmark statistics (Table I)
+//!   table2-intra  intra-project prediction, rows I1a–I5b (Table II, RQ1+RQ3)
+//!   table2-cross  cross-project prediction, rows C6a–C9b (Table II, RQ2+RQ3)
+//!   table3        average slice sizes (Table III)
+//!   table4        efficiency (Table IV; implied by running table2)
+//!   fig2          the motivating example's slicing trace (Figure 2)
+//!   ablation      TSLICE design-choice + classifier-architecture ablations
+//!   extended      six-class extension (std::deque and std::set added)
+//!   all           everything above
+//! ```
+
+use std::process::ExitCode;
+use tiara::{ClassifierConfig, Slicer};
+use tiara_eval::report::{
+    render_table1, render_table2_rows, render_table2_summary, render_table3, render_table4,
+};
+use tiara_eval::tables::{table1, table3, Table4Row};
+use tiara_eval::{
+    build_suite, cross_experiments, intra_experiments, run_experiment, ExperimentResult,
+    SlicedSuite,
+};
+
+#[derive(Debug, Clone)]
+struct Options {
+    command: String,
+    scale: f64,
+    epochs: usize,
+    seed: u64,
+    threads: usize,
+}
+
+fn usage() -> String {
+    "usage: tiara-eval <table1|table2-intra|table2-cross|table3|table4|fig2|ablation|extended|all> \
+     [--scale F] [--epochs N] [--seed N] [--threads N]"
+        .to_owned()
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().ok_or_else(usage)?;
+    let mut opts = Options {
+        command,
+        scale: 1.0,
+        epochs: 60,
+        seed: 42,
+        threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+    };
+    while let Some(flag) = args.next() {
+        let mut value = || args.next().ok_or(format!("missing value for {flag}"));
+        match flag.as_str() {
+            "--scale" => opts.scale = value()?.parse().map_err(|e| format!("--scale: {e}"))?,
+            "--epochs" => opts.epochs = value()?.parse().map_err(|e| format!("--epochs: {e}"))?,
+            "--seed" => opts.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--threads" => {
+                opts.threads = value()?.parse().map_err(|e| format!("--threads: {e}"))?;
+            }
+            other => return Err(format!("unknown flag `{other}`\n{}", usage())),
+        }
+    }
+    Ok(opts)
+}
+
+fn classifier_config(opts: &Options) -> ClassifierConfig {
+    ClassifierConfig { epochs: opts.epochs, seed: opts.seed, ..ClassifierConfig::default() }
+}
+
+fn build_suites(opts: &Options) -> (SlicedSuite, SlicedSuite) {
+    eprintln!(
+        "[tiara-eval] generating the 8-project suite (scale {}, seed {}) …",
+        opts.scale, opts.seed
+    );
+    let bins = build_suite(opts.seed, opts.scale);
+    eprintln!("[tiara-eval] slicing with TSLICE ({} threads) …", opts.threads);
+    let t = SlicedSuite::build(&bins, &Slicer::default(), opts.threads);
+    eprintln!(
+        "[tiara-eval]   TSLICE done in {:.1}s ({} slices)",
+        t.total_slice_secs(),
+        t.datasets.iter().map(|d| d.len()).sum::<usize>()
+    );
+    eprintln!("[tiara-eval] slicing with SSLICE …");
+    let s = SlicedSuite::build(&bins, &Slicer::Sslice, opts.threads);
+    eprintln!("[tiara-eval]   SSLICE done in {:.1}s", s.total_slice_secs());
+    (t, s)
+}
+
+fn run_rows(
+    suites: &(SlicedSuite, SlicedSuite),
+    specs: &[tiara_eval::ExperimentSpec],
+    opts: &Options,
+) -> (Vec<ExperimentResult>, Vec<Table4Row>, Vec<Table4Row>) {
+    let cfg = classifier_config(opts);
+    let mut results = Vec::new();
+    let mut t_rows = Vec::new();
+    let mut s_rows = Vec::new();
+    for spec in specs {
+        for suite in [&suites.0, &suites.1] {
+            let suffix = if suite.slicer_name == "TSLICE" { "a" } else { "b" };
+            eprintln!("[tiara-eval] running {}{} …", spec.id, suffix);
+            let res = run_experiment(suite, spec, &cfg, opts.seed);
+            let row = Table4Row {
+                id: res.id.clone(),
+                slice_secs: tiara_eval::tables::experiment_slice_secs(suite, spec),
+                train_secs: res.train_secs,
+            };
+            if suite.slicer_name == "TSLICE" {
+                t_rows.push(row);
+            } else {
+                s_rows.push(row);
+            }
+            results.push(res);
+        }
+    }
+    (results, t_rows, s_rows)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match opts.command.as_str() {
+        "fig2" => {
+            println!("{}", tiara_eval::fig2::render_figure2());
+        }
+        "ablation" => {
+            let bins = build_suite(opts.seed, opts.scale);
+            let clang = bins.into_iter().next().expect("suite is nonempty");
+            eprintln!("[tiara-eval] ablating TSLICE configurations on `{}` …", clang.name);
+            let rows = tiara_eval::ablation::run_ablation(
+                &clang,
+                &classifier_config(&opts),
+                opts.seed,
+                opts.threads,
+            );
+            println!("{}", tiara_eval::ablation::render_ablation(&rows));
+            eprintln!("[tiara-eval] ablating classifier architectures …");
+            let model_rows = tiara_eval::ablation::run_model_ablation(
+                &clang,
+                opts.epochs,
+                opts.seed,
+                opts.threads,
+            );
+            println!("{}", tiara_eval::ablation::render_model_ablation(&model_rows));
+        }
+        "extended" => {
+            eprintln!(
+                "[tiara-eval] building the 6-class extension suite (scale {}) …",
+                opts.scale
+            );
+            let bins = tiara_eval::build_extended_suite(opts.seed, opts.scale);
+            let suite = SlicedSuite::build(&bins, &Slicer::default(), opts.threads);
+            let cfg = classifier_config(&opts);
+            let results: Vec<_> = tiara_eval::extended_experiments()
+                .iter()
+                .map(|spec| {
+                    eprintln!("[tiara-eval] running {}a …", spec.id);
+                    run_experiment(&suite, spec, &cfg, opts.seed)
+                })
+                .collect();
+            println!("\nEXTENSION — SIX-CLASS TYPE RECOVERY (deque + set added)");
+            println!("{}", render_table2_rows(&results));
+            println!("{}", render_table2_summary(&results));
+        }
+        "table1" => {
+            let bins = build_suite(opts.seed, opts.scale);
+            println!("{}", render_table1(&table1(&bins)));
+        }
+        "table3" => {
+            let (t, s) = build_suites(&opts);
+            println!("{}", render_table3(&table3(&t, &s)));
+        }
+        "table2-intra" | "table2-cross" | "table4" | "all" => {
+            let suites = build_suites(&opts);
+            let intra = intra_experiments();
+            let cross = cross_experiments();
+            let mut t4_t = Vec::new();
+            let mut t4_s = Vec::new();
+
+            if opts.command != "table2-cross" {
+                let (res, tt, ts) = run_rows(&suites, &intra, &opts);
+                println!("\nTABLE II — INTRA-PROJECT (RQ1, RQ3)");
+                println!("{}", render_table2_rows(&res));
+                println!("{}", render_table2_summary(&res));
+                t4_t.extend(tt);
+                t4_s.extend(ts);
+            }
+            if opts.command != "table2-intra" {
+                let (res, tt, ts) = run_rows(&suites, &cross, &opts);
+                println!("\nTABLE II — CROSS-PROJECT (RQ2, RQ3)");
+                println!("{}", render_table2_rows(&res));
+                println!("{}", render_table2_summary(&res));
+                t4_t.extend(tt);
+                t4_s.extend(ts);
+            }
+            println!("\n{}", render_table4(&t4_t, &t4_s));
+            if opts.command == "all" {
+                println!("{}", render_table1(&table1(&suites.0.binaries)));
+                println!("{}", render_table3(&table3(&suites.0, &suites.1)));
+                println!("{}", tiara_eval::fig2::render_figure2());
+            }
+        }
+        other => {
+            eprintln!("unknown command `{other}`\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

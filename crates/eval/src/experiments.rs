@@ -1,0 +1,208 @@
+//! The experiment matrix of Table II: five intra-project experiments
+//! (I1–I5) and four cross-project experiments (C6–C9), each run with TSLICE
+//! (`a` rows, TIARA) and SSLICE (`b` rows, TIARA_SSLICE).
+
+use crate::suite::SlicedSuite;
+use tiara::{Classifier, ClassifierConfig, Dataset, Evaluation};
+
+/// How the test set is chosen.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestSelection {
+    /// Random 4:1 split of the training projects' own samples (RQ1).
+    HoldOut,
+    /// Test on these projects, train on the `train_projects` (RQ2).
+    Projects(Vec<&'static str>),
+}
+
+/// One experiment definition.
+#[derive(Debug, Clone)]
+pub struct ExperimentSpec {
+    /// Row id without the slicer suffix, e.g. `"I1"` or `"C7"`.
+    pub id: &'static str,
+    /// Human-readable training-data description (the paper's column).
+    pub training_label: &'static str,
+    /// Projects whose samples form the training pool.
+    pub train_projects: Vec<&'static str>,
+    /// Test selection.
+    pub selection: TestSelection,
+}
+
+/// The five intra-project experiments (I1–I5).
+pub fn intra_experiments() -> Vec<ExperimentSpec> {
+    vec![
+        ExperimentSpec {
+            id: "I1",
+            training_label: "clang",
+            train_projects: vec!["clang"],
+            selection: TestSelection::HoldOut,
+        },
+        ExperimentSpec {
+            id: "I2",
+            training_label: "cmake + list_ext",
+            train_projects: vec!["cmake", "list_ext"],
+            selection: TestSelection::HoldOut,
+        },
+        ExperimentSpec {
+            id: "I3",
+            training_label: "bitcoind + list_ext",
+            train_projects: vec!["bitcoind", "list_ext"],
+            selection: TestSelection::HoldOut,
+        },
+        ExperimentSpec {
+            id: "I4",
+            training_label: "spdlog + list_ext",
+            train_projects: vec!["spdlog", "list_ext"],
+            selection: TestSelection::HoldOut,
+        },
+        ExperimentSpec {
+            id: "I5",
+            training_label: "soci + list_ext",
+            train_projects: vec!["soci", "list_ext"],
+            selection: TestSelection::HoldOut,
+        },
+    ]
+}
+
+/// The four cross-project experiments (C6–C9).
+pub fn cross_experiments() -> Vec<ExperimentSpec> {
+    let all = ["clang", "cmake", "bitcoind", "spdlog", "soci", "re2", "arduinojson", "list_ext"];
+    let minus = |ex: &[&'static str]| -> Vec<&'static str> {
+        all.iter().copied().filter(|p| !ex.contains(p)).collect()
+    };
+    vec![
+        ExperimentSpec {
+            id: "C6",
+            training_label: "clang+cmake+bitcoind",
+            train_projects: vec!["clang", "cmake", "bitcoind"],
+            selection: TestSelection::Projects(minus(&["clang", "cmake", "bitcoind"])),
+        },
+        ExperimentSpec {
+            id: "C7",
+            training_label: "all - clang",
+            train_projects: minus(&["clang"]),
+            selection: TestSelection::Projects(vec!["clang"]),
+        },
+        ExperimentSpec {
+            id: "C8",
+            training_label: "all - cmake",
+            train_projects: minus(&["cmake"]),
+            selection: TestSelection::Projects(vec!["cmake"]),
+        },
+        ExperimentSpec {
+            id: "C9",
+            training_label: "all - bitcoind",
+            train_projects: minus(&["bitcoind"]),
+            selection: TestSelection::Projects(vec!["bitcoind"]),
+        },
+    ]
+}
+
+/// The extension experiments over the six-class label set (the paper's four
+/// labels plus `std::deque` and `std::set`): an intra-suite 4:1 split and a
+/// cross-project split within the extension suite.
+pub fn extended_experiments() -> Vec<ExperimentSpec> {
+    vec![
+        ExperimentSpec {
+            id: "X1",
+            training_label: "ext suite (6 classes)",
+            train_projects: vec!["ext_app", "ext_svc", "ext_kit"],
+            selection: TestSelection::HoldOut,
+        },
+        ExperimentSpec {
+            id: "X2",
+            training_label: "ext_app+ext_svc",
+            train_projects: vec!["ext_app", "ext_svc"],
+            selection: TestSelection::Projects(vec!["ext_kit"]),
+        },
+    ]
+}
+
+/// The outcome of one experiment row.
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    /// Full row id, e.g. `"I1a"`.
+    pub id: String,
+    /// Training-data description.
+    pub training_label: String,
+    /// Slicer name (`TSLICE` / `SSLICE`).
+    pub slicer: &'static str,
+    /// The confusion-matrix evaluation.
+    pub eval: Evaluation,
+    /// Training wall time in seconds (a Table IV column).
+    pub train_secs: f64,
+    /// Training set size.
+    pub train_size: usize,
+    /// Test set size.
+    pub test_size: usize,
+}
+
+/// Runs one experiment against a sliced suite.
+///
+/// # Panics
+///
+/// Panics if a referenced project is missing from the suite or the training
+/// pool ends up empty.
+pub fn run_experiment(
+    suite: &SlicedSuite,
+    spec: &ExperimentSpec,
+    config: &ClassifierConfig,
+    split_seed: u64,
+) -> ExperimentResult {
+    let pool = suite.merged(&spec.train_projects);
+    let (train, test): (Dataset, Dataset) = match &spec.selection {
+        TestSelection::HoldOut => pool.split(0.8, split_seed),
+        TestSelection::Projects(projects) => {
+            let test = suite.merged(projects);
+            (pool, test)
+        }
+    };
+    assert!(!train.is_empty(), "experiment {} has an empty training pool", spec.id);
+
+    let mut clf = Classifier::new(config);
+    let t0 = std::time::Instant::now();
+    clf.train(&train).expect("nonempty training set");
+    let train_secs = t0.elapsed().as_secs_f64();
+    let eval = clf.evaluate(&test);
+
+    let suffix = if suite.slicer_name == "TSLICE" { "a" } else { "b" };
+    ExperimentResult {
+        id: format!("{}{}", spec.id, suffix),
+        training_label: spec.training_label.to_owned(),
+        slicer: suite.slicer_name,
+        eval,
+        train_secs,
+        train_size: train.len(),
+        test_size: test.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn experiment_matrix_matches_table2() {
+        let intra = intra_experiments();
+        assert_eq!(intra.len(), 5);
+        assert!(intra.iter().all(|e| e.selection == TestSelection::HoldOut));
+        assert_eq!(intra[0].train_projects, vec!["clang"]);
+        // I2–I5 add list_ext to boost std::list samples, as the paper does.
+        for e in &intra[1..] {
+            assert!(e.train_projects.contains(&"list_ext"), "{} lacks list_ext", e.id);
+        }
+
+        let cross = cross_experiments();
+        assert_eq!(cross.len(), 4);
+        match &cross[1].selection {
+            TestSelection::Projects(p) => assert_eq!(p, &vec!["clang"]),
+            other => panic!("unexpected selection {other:?}"),
+        }
+        assert_eq!(cross[1].train_projects.len(), 7);
+        assert!(!cross[1].train_projects.contains(&"clang"));
+        // C6 tests on the five projects not trained on.
+        match &cross[0].selection {
+            TestSelection::Projects(p) => assert_eq!(p.len(), 5),
+            other => panic!("unexpected selection {other:?}"),
+        }
+    }
+}

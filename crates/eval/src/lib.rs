@@ -1,0 +1,31 @@
+//! # tiara-eval
+//!
+//! The experiment harness reproducing the evaluation section of the TIARA
+//! paper (CGO 2022) on the synthetic benchmark suite:
+//!
+//! * **Table I** — benchmark statistics ([`tables::table1`]);
+//! * **Table II** — intra-project (RQ1) and cross-project (RQ2) prediction
+//!   quality for TIARA and the TIARA_SSLICE baseline (RQ3)
+//!   ([`experiments`]);
+//! * **Table III** — average slice sizes ([`tables::table3`]);
+//! * **Table IV** — slicing/training efficiency ([`tables::table4`]);
+//! * **Figure 2** — the motivating example's slicing trace
+//!   ([`fig2::render_figure2`]).
+//!
+//! The `tiara-eval` binary drives everything; see `tiara-eval --help`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ablation;
+pub mod experiments;
+pub mod fig2;
+pub mod report;
+pub mod suite;
+pub mod tables;
+
+pub use experiments::{
+    cross_experiments, extended_experiments, intra_experiments, run_experiment,
+    ExperimentResult, ExperimentSpec, TestSelection,
+};
+pub use suite::{build_extended_suite, build_suite, parallel_dataset, scale_spec, SlicedSuite};

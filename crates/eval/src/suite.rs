@@ -1,0 +1,197 @@
+//! Suite construction: generating the eight benchmark binaries of Table I
+//! and slicing every labeled variable with both slicers.
+
+use parking_lot::Mutex;
+use tiara::{Dataset, Sample, Slicer};
+use tiara_ir::VarRecord;
+use tiara_synth::{benchmark_suite, generate, Binary, ProjectSpec};
+
+/// Scales a project spec's variable counts (for quick runs and tests).
+pub fn scale_spec(spec: &ProjectSpec, scale: f64) -> ProjectSpec {
+    let s = |n: usize| -> usize {
+        if n == 0 {
+            0
+        } else {
+            ((n as f64 * scale).round() as usize).max(1)
+        }
+    };
+    ProjectSpec {
+        counts: tiara_synth::TypeCounts {
+            list: s(spec.counts.list),
+            vector: s(spec.counts.vector),
+            map: s(spec.counts.map),
+            primitive: s(spec.counts.primitive),
+            deque: s(spec.counts.deque),
+            set: s(spec.counts.set),
+        },
+        ..spec.clone()
+    }
+}
+
+/// Generates the full benchmark suite, optionally scaled.
+pub fn build_suite(seed: u64, scale: f64) -> Vec<Binary> {
+    benchmark_suite(seed)
+        .iter()
+        .map(|spec| generate(&scale_spec(spec, scale)))
+        .collect()
+}
+
+/// Generates the three-project extension suite (with `std::deque` and
+/// `std::set` variables), optionally scaled.
+pub fn build_extended_suite(seed: u64, scale: f64) -> Vec<Binary> {
+    tiara_synth::extended_suite(seed)
+        .iter()
+        .map(|spec| generate(&scale_spec(spec, scale)))
+        .collect()
+}
+
+/// Builds the labeled dataset of one binary, slicing variables in parallel
+/// across `threads` worker threads (the paper slices >100k addresses; even
+/// scaled down, parallel slicing keeps the harness responsive).
+pub fn parallel_dataset(bin: &Binary, slicer: &Slicer, threads: usize) -> Dataset {
+    let records: Vec<VarRecord> = bin.debug.iter().copied().collect();
+    if records.is_empty() {
+        return Dataset::new();
+    }
+    let threads = threads.clamp(1, records.len());
+    let results: Mutex<Vec<(usize, Vec<Sample>)>> = Mutex::new(Vec::new());
+    let chunk = records.len().div_ceil(threads);
+
+    crossbeam::scope(|scope| {
+        for (k, part) in records.chunks(chunk).enumerate() {
+            let results = &results;
+            let slicer = slicer.clone();
+            let bin = &bin;
+            scope.spawn(move |_| {
+                let mut debug = tiara_ir::DebugInfo::new();
+                for r in part {
+                    debug.record(r.addr, r.class, r.ptr_levels);
+                }
+                let ds = Dataset::from_binary(&bin.program, &debug, &bin.name, &slicer);
+                results.lock().push((k, ds.samples));
+            });
+        }
+    })
+    .expect("slicing worker panicked");
+
+    let mut parts = results.into_inner();
+    parts.sort_by_key(|(k, _)| *k);
+    let mut ds = Dataset::new();
+    for (_, samples) in parts {
+        ds.samples.extend(samples);
+    }
+    ds
+}
+
+/// Per-(project, slicer) datasets for the whole suite, with wall-clock
+/// slicing time per project.
+#[derive(Debug)]
+pub struct SlicedSuite {
+    /// The generated binaries.
+    pub binaries: Vec<Binary>,
+    /// One dataset per binary, same order.
+    pub datasets: Vec<Dataset>,
+    /// Slicing wall time per binary, in seconds.
+    pub slice_secs: Vec<f64>,
+    /// The slicer used.
+    pub slicer_name: &'static str,
+}
+
+impl SlicedSuite {
+    /// Slices every binary of the suite with the given slicer.
+    pub fn build(binaries: &[Binary], slicer: &Slicer, threads: usize) -> SlicedSuite {
+        let mut datasets = Vec::with_capacity(binaries.len());
+        let mut slice_secs = Vec::with_capacity(binaries.len());
+        for bin in binaries {
+            let t0 = std::time::Instant::now();
+            datasets.push(parallel_dataset(bin, slicer, threads));
+            slice_secs.push(t0.elapsed().as_secs_f64());
+        }
+        SlicedSuite {
+            binaries: binaries.to_vec(),
+            datasets,
+            slice_secs,
+            slicer_name: slicer.name(),
+        }
+    }
+
+    /// The dataset of a project by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the project is not in the suite.
+    pub fn dataset(&self, project: &str) -> &Dataset {
+        let idx = self
+            .binaries
+            .iter()
+            .position(|b| b.name == project)
+            .unwrap_or_else(|| panic!("unknown project `{project}`"));
+        &self.datasets[idx]
+    }
+
+    /// Merges the datasets of several projects.
+    pub fn merged(&self, projects: &[&str]) -> Dataset {
+        let mut out = Dataset::new();
+        for p in projects {
+            let mut d = Dataset::new();
+            d.samples.extend(self.dataset(p).samples.iter().cloned());
+            out.merge(d);
+        }
+        out
+    }
+
+    /// All project names.
+    pub fn project_names(&self) -> Vec<&str> {
+        self.binaries.iter().map(|b| b.name.as_str()).collect()
+    }
+
+    /// Total slicing time in seconds.
+    pub fn total_slice_secs(&self) -> f64 {
+        self.slice_secs.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_keeps_zeros_and_minimums() {
+        let spec = ProjectSpec {
+            name: "x".into(),
+            index: 0,
+            seed: 1,
+            counts: tiara_synth::TypeCounts { list: 0, vector: 10, map: 3, primitive: 100, ..Default::default() },
+        };
+        let s = scale_spec(&spec, 0.1);
+        assert_eq!(s.counts.list, 0, "zero stays zero");
+        assert_eq!(s.counts.vector, 1);
+        assert_eq!(s.counts.map, 1, "nonzero floors at 1");
+        assert_eq!(s.counts.primitive, 10);
+    }
+
+    #[test]
+    fn parallel_dataset_matches_sequential() {
+        let bin = generate(&ProjectSpec {
+            name: "p".into(),
+            index: 3,
+            seed: 4,
+            counts: tiara_synth::TypeCounts { list: 2, vector: 3, map: 2, primitive: 6, ..Default::default() },
+        });
+        let slicer = Slicer::default();
+        let par = parallel_dataset(&bin, &slicer, 4);
+        let seq = Dataset::from_binary(&bin.program, &bin.debug, "p", &slicer);
+        assert_eq!(par.len(), seq.len());
+        let pa: Vec<_> = par.samples.iter().map(|s| (s.addr, s.slice_nodes)).collect();
+        let sa: Vec<_> = seq.samples.iter().map(|s| (s.addr, s.slice_nodes)).collect();
+        assert_eq!(pa, sa, "same slices in the same order");
+    }
+
+    #[test]
+    fn suite_builds_scaled() {
+        let bins = build_suite(5, 0.02);
+        assert_eq!(bins.len(), 8);
+        assert_eq!(bins[0].name, "clang");
+        assert!(bins.iter().all(|b| b.program.num_insts() > 0));
+    }
+}

@@ -1,0 +1,205 @@
+//! Computation of the paper's Tables I, III and IV from suite data.
+
+use crate::experiments::{ExperimentResult, ExperimentSpec, TestSelection};
+use crate::suite::SlicedSuite;
+use tiara_ir::ContainerClass;
+use tiara_synth::Binary;
+
+/// One row of Table I: benchmark statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Row {
+    /// Project name.
+    pub name: String,
+    /// Number of instructions in the generated binary.
+    pub instructions: usize,
+    /// Estimated binary size in bytes (x86 instructions average ~3.7 bytes).
+    pub est_bytes: u64,
+    /// Variable counts per label.
+    pub counts: [usize; ContainerClass::COUNT],
+}
+
+/// Computes Table I from the generated binaries.
+pub fn table1(binaries: &[Binary]) -> Vec<Table1Row> {
+    binaries
+        .iter()
+        .map(|b| {
+            let mut counts = [0usize; ContainerClass::COUNT];
+            for c in ContainerClass::ALL {
+                counts[c.index()] = b.debug.count_of(c);
+            }
+            Table1Row {
+                name: b.name.clone(),
+                instructions: b.program.num_insts(),
+                est_bytes: (b.program.num_insts() as f64 * 3.7) as u64,
+                counts,
+            }
+        })
+        .collect()
+}
+
+/// One row of Table III: average slice sizes per type, per slicer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table3Row {
+    /// The type label.
+    pub class: ContainerClass,
+    /// Mean SSLICE (nodes, edges).
+    pub sslice: (f64, f64),
+    /// Mean TSLICE (nodes, edges).
+    pub tslice: (f64, f64),
+}
+
+/// Computes Table III from the two sliced suites.
+///
+/// # Panics
+///
+/// Panics if the suites are not a (TSLICE, SSLICE) pair over the same
+/// binaries.
+pub fn table3(tslice_suite: &SlicedSuite, sslice_suite: &SlicedSuite) -> Vec<Table3Row> {
+    assert_eq!(tslice_suite.slicer_name, "TSLICE");
+    assert_eq!(sslice_suite.slicer_name, "SSLICE");
+    let mean_for = |suite: &SlicedSuite, class: ContainerClass| -> (f64, f64) {
+        let mut nodes = 0usize;
+        let mut edges = 0usize;
+        let mut n = 0usize;
+        for ds in &suite.datasets {
+            for s in ds.samples.iter().filter(|s| s.label == class) {
+                nodes += s.slice_nodes;
+                edges += s.slice_edges;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            (0.0, 0.0)
+        } else {
+            (nodes as f64 / n as f64, edges as f64 / n as f64)
+        }
+    };
+    ContainerClass::ALL
+        .into_iter()
+        .filter(|&class| {
+            tslice_suite
+                .datasets
+                .iter()
+                .any(|ds| ds.samples.iter().any(|s| s.label == class))
+        })
+        .map(|class| Table3Row {
+            class,
+            sslice: mean_for(sslice_suite, class),
+            tslice: mean_for(tslice_suite, class),
+        })
+        .collect()
+}
+
+/// One row of Table IV: per-experiment slicing and training times.
+#[derive(Debug, Clone)]
+pub struct Table4Row {
+    /// Experiment id (e.g. `"I1a"`).
+    pub id: String,
+    /// Slicing wall time for the projects the experiment touches, seconds.
+    pub slice_secs: f64,
+    /// Training wall time, seconds.
+    pub train_secs: f64,
+}
+
+/// Computes the slicing time attributable to one experiment: the sum over
+/// every project it touches (training and testing), following the paper's
+/// convention that each cross-project experiment pays for slicing all
+/// programs.
+pub fn experiment_slice_secs(suite: &SlicedSuite, spec: &ExperimentSpec) -> f64 {
+    let mut projects: Vec<&str> = spec.train_projects.clone();
+    if let TestSelection::Projects(test) = &spec.selection {
+        projects.extend(test.iter().copied());
+    }
+    projects.sort_unstable();
+    projects.dedup();
+    projects
+        .iter()
+        .map(|p| {
+            let idx = suite
+                .binaries
+                .iter()
+                .position(|b| b.name == *p)
+                .unwrap_or_else(|| panic!("unknown project `{p}`"));
+            suite.slice_secs[idx]
+        })
+        .sum()
+}
+
+/// Assembles Table IV rows from experiment results.
+pub fn table4(
+    suite: &SlicedSuite,
+    specs: &[ExperimentSpec],
+    results: &[ExperimentResult],
+) -> Vec<Table4Row> {
+    specs
+        .iter()
+        .zip(results)
+        .map(|(spec, res)| Table4Row {
+            id: res.id.clone(),
+            slice_secs: experiment_slice_secs(suite, spec),
+            train_secs: res.train_secs,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::{build_suite, SlicedSuite};
+    use tiara::Slicer;
+
+    fn tiny_suites() -> (Vec<Binary>, SlicedSuite, SlicedSuite) {
+        let bins = build_suite(3, 0.015);
+        let t = SlicedSuite::build(&bins, &Slicer::default(), 4);
+        let s = SlicedSuite::build(&bins, &Slicer::Sslice, 4);
+        (bins, t, s)
+    }
+
+    #[test]
+    fn table1_counts_match_debug_info() {
+        let (bins, _, _) = tiny_suites();
+        let rows = table1(&bins);
+        assert_eq!(rows.len(), 8);
+        for (row, bin) in rows.iter().zip(&bins) {
+            assert_eq!(row.name, bin.name);
+            assert_eq!(
+                row.counts[ContainerClass::Primitive.index()],
+                bin.debug.count_of(ContainerClass::Primitive)
+            );
+            assert!(row.instructions > 0);
+            assert!(row.est_bytes > row.instructions as u64);
+        }
+    }
+
+    #[test]
+    fn table3_shows_tslice_smaller_for_containers() {
+        let (_, t, s) = tiny_suites();
+        let rows = table3(&t, &s);
+        assert_eq!(rows.len(), 4);
+        for row in &rows {
+            if row.sslice.0 > 0.0 && row.class != ContainerClass::Primitive {
+                assert!(
+                    row.tslice.0 < row.sslice.0,
+                    "{}: TSLICE {} !< SSLICE {}",
+                    row.class,
+                    row.tslice.0,
+                    row.sslice.0
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn experiment_slice_time_covers_train_and_test_projects() {
+        let (_, t, _) = tiny_suites();
+        let cross = crate::experiments::cross_experiments();
+        // C7 touches all 8 projects.
+        let total = experiment_slice_secs(&t, &cross[1]);
+        let expected: f64 = t.slice_secs.iter().sum();
+        assert!((total - expected).abs() < 1e-9);
+        // I1 touches only clang.
+        let intra = crate::experiments::intra_experiments();
+        let i1 = experiment_slice_secs(&t, &intra[0]);
+        assert!((i1 - t.slice_secs[0]).abs() < 1e-9);
+    }
+}

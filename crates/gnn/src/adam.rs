@@ -1,0 +1,121 @@
+//! The Adam optimizer (Kingma & Ba), the paper's training algorithm.
+
+use crate::matrix::Matrix;
+use crate::tape::ParamId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Adam optimizer state.
+///
+/// # Examples
+///
+/// ```
+/// use tiara_gnn::{Adam, Matrix, ParamId};
+///
+/// let mut opt = Adam::new(0.1);
+/// let mut w = Matrix::from_rows(&[&[1.0]]);
+/// let g = Matrix::from_rows(&[&[1.0]]);
+/// let before = w.get(0, 0);
+/// opt.step(&mut [(ParamId(0), &mut w)], &[(ParamId(0), g)]);
+/// assert!(w.get(0, 0) < before, "gradient descent moves against the gradient");
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Adam {
+    /// Learning rate (the paper uses `0.001`).
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical-stability epsilon.
+    pub eps: f32,
+    t: u64,
+    m: HashMap<usize, Matrix>,
+    v: HashMap<usize, Matrix>,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with the standard `β1 = 0.9`, `β2 = 0.999`.
+    pub fn new(lr: f32) -> Adam {
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: HashMap::new(), v: HashMap::new() }
+    }
+
+    /// Applies one update step.
+    ///
+    /// `params` are `(id, value)` pairs; `grads` are the `(id, gradient)`
+    /// pairs returned by [`crate::Tape::backward`]. Parameters without a
+    /// gradient are left untouched.
+    pub fn step(&mut self, params: &mut [(ParamId, &mut Matrix)], grads: &[(ParamId, Matrix)]) {
+        self.t += 1;
+        let t = self.t as i32;
+        let bc1 = 1.0 - self.beta1.powi(t);
+        let bc2 = 1.0 - self.beta2.powi(t);
+        for (id, w) in params.iter_mut() {
+            let Some((_, g)) = grads.iter().find(|(gid, _)| gid == id) else { continue };
+            let m = self
+                .m
+                .entry(id.0)
+                .or_insert_with(|| Matrix::zeros(w.rows(), w.cols()));
+            let v = self
+                .v
+                .entry(id.0)
+                .or_insert_with(|| Matrix::zeros(w.rows(), w.cols()));
+            let (mw, vw, ww) = (m.as_mut_slice(), v.as_mut_slice(), w.as_mut_slice());
+            for ((wi, (mi, vi)), gi) in ww.iter_mut().zip(mw.iter_mut().zip(vw.iter_mut())).zip(g.as_slice()) {
+                *mi = self.beta1 * *mi + (1.0 - self.beta1) * gi;
+                *vi = self.beta2 * *vi + (1.0 - self.beta2) * gi * gi;
+                let mhat = *mi / bc1;
+                let vhat = *vi / bc2;
+                *wi -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+    }
+
+    /// Number of steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Adam minimizes a simple quadratic `f(w) = (w - 3)^2`.
+    #[test]
+    fn converges_on_a_quadratic() {
+        let mut opt = Adam::new(0.1);
+        let mut w = Matrix::from_rows(&[&[0.0]]);
+        for _ in 0..300 {
+            let g = Matrix::from_rows(&[&[2.0 * (w.get(0, 0) - 3.0)]]);
+            opt.step(&mut [(ParamId(0), &mut w)], &[(ParamId(0), g)]);
+        }
+        assert!((w.get(0, 0) - 3.0).abs() < 0.05, "w = {}", w.get(0, 0));
+        assert_eq!(opt.steps(), 300);
+    }
+
+    #[test]
+    fn params_without_grads_are_untouched() {
+        let mut opt = Adam::new(0.1);
+        let mut w = Matrix::from_rows(&[&[5.0]]);
+        opt.step(&mut [(ParamId(1), &mut w)], &[]);
+        assert_eq!(w.get(0, 0), 5.0);
+    }
+
+    #[test]
+    fn separate_params_have_separate_moments() {
+        let mut opt = Adam::new(0.1);
+        let mut a = Matrix::from_rows(&[&[0.0]]);
+        let mut b = Matrix::from_rows(&[&[0.0]]);
+        // Only `a` gets gradients; `b` must stay exactly 0.
+        for _ in 0..10 {
+            let g = Matrix::from_rows(&[&[1.0]]);
+            opt.step(
+                &mut [(ParamId(0), &mut a), (ParamId(1), &mut b)],
+                &[(ParamId(0), g)],
+            );
+        }
+        assert!(a.get(0, 0) < 0.0);
+        assert_eq!(b.get(0, 0), 0.0);
+    }
+}

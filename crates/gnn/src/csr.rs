@@ -1,0 +1,285 @@
+//! Compressed sparse row matrices for graph adjacency.
+//!
+//! The GCN aggregation of eq. (4) multiplies node features by the normalized
+//! predecessor adjacency `Â`, where row `v` holds `1 / |N(v) ∪ {v}|` at the
+//! columns of `v`'s predecessors and of `v` itself.
+
+use crate::matrix::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// A sparse matrix in CSR form.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Csr {
+    rows: usize,
+    cols: usize,
+    indptr: Vec<u32>,
+    indices: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl Csr {
+    /// Builds a CSR matrix from `(row, col, value)` triplets.
+    ///
+    /// Duplicate coordinates are summed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a coordinate is out of bounds.
+    pub fn from_triplets(rows: usize, cols: usize, mut triplets: Vec<(u32, u32, f32)>) -> Csr {
+        for &(r, c, _) in &triplets {
+            assert!((r as usize) < rows && (c as usize) < cols, "triplet out of bounds");
+        }
+        triplets.sort_unstable_by_key(|&(r, c, _)| (r, c));
+        let mut indptr = Vec::with_capacity(rows + 1);
+        let mut indices: Vec<u32> = Vec::with_capacity(triplets.len());
+        let mut values: Vec<f32> = Vec::with_capacity(triplets.len());
+        indptr.push(0u32);
+        let mut cur_row = 0usize;
+        for (r, c, v) in triplets {
+            while cur_row < r as usize {
+                indptr.push(indices.len() as u32);
+                cur_row += 1;
+            }
+            if indices.len() > *indptr.last().expect("nonempty") as usize
+                && indices.last() == Some(&c)
+            {
+                // Duplicate coordinate within the current row: accumulate.
+                *values.last_mut().expect("values nonempty") += v;
+            } else {
+                indices.push(c);
+                values.push(v);
+            }
+        }
+        while cur_row < rows {
+            indptr.push(indices.len() as u32);
+            cur_row += 1;
+        }
+        Csr { rows, cols, indptr, indices, values }
+    }
+
+    /// The normalized predecessor adjacency `Â` of eq. (4): entry `(v, u)`
+    /// is `1 / |N(v) ∪ {v}|` for each predecessor `u` of `v` plus `v`
+    /// itself (mean pooling over the in-neighborhood).
+    pub fn mean_pool_adjacency(n: usize, edges: &[(u32, u32)]) -> Csr {
+        let mut preds: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for &(u, v) in edges {
+            assert!((u as usize) < n && (v as usize) < n, "edge out of bounds");
+            preds[v as usize].push(u);
+        }
+        let mut indptr = Vec::with_capacity(n + 1);
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        indptr.push(0u32);
+        for (v, p) in preds.iter_mut().enumerate() {
+            p.push(v as u32); // self loop
+            p.sort_unstable();
+            p.dedup();
+            let w = 1.0 / p.len() as f32;
+            for &u in p.iter() {
+                indices.push(u);
+                values.push(w);
+            }
+            indptr.push(indices.len() as u32);
+        }
+        Csr { rows: n, cols: n, indptr, indices, values }
+    }
+
+    /// The unnormalized predecessor adjacency with self-loops: entry
+    /// `(v, u)` is 1 for each `u ∈ N(v) ∪ {v}` (GIN-style sum pooling).
+    pub fn sum_adjacency(n: usize, edges: &[(u32, u32)]) -> Csr {
+        let mut preds: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for &(u, v) in edges {
+            assert!((u as usize) < n && (v as usize) < n, "edge out of bounds");
+            preds[v as usize].push(u);
+        }
+        let mut indptr = Vec::with_capacity(n + 1);
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        indptr.push(0u32);
+        for (v, p) in preds.iter_mut().enumerate() {
+            p.push(v as u32);
+            p.sort_unstable();
+            p.dedup();
+            for &u in p.iter() {
+                indices.push(u);
+                values.push(1.0);
+            }
+            indptr.push(indices.len() as u32);
+        }
+        Csr { rows: n, cols: n, indptr, indices, values }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Sparse × dense product `self @ dense`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn spmm(&self, dense: &Matrix) -> Matrix {
+        assert_eq!(self.cols, dense.rows(), "spmm shape mismatch");
+        let mut out = Matrix::zeros(self.rows, dense.cols());
+        for r in 0..self.rows {
+            let lo = self.indptr[r] as usize;
+            let hi = self.indptr[r + 1] as usize;
+            for k in lo..hi {
+                let c = self.indices[k] as usize;
+                let w = self.values[k];
+                let src = dense.row(c);
+                let dst = out.row_mut(r);
+                for (d, s) in dst.iter_mut().zip(src) {
+                    *d += w * s;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transposed sparse × dense product `self^T @ dense` (used by the
+    /// backward pass) without materializing the transpose.
+    pub fn t_spmm(&self, dense: &Matrix) -> Matrix {
+        assert_eq!(self.rows, dense.rows(), "t_spmm shape mismatch");
+        let mut out = Matrix::zeros(self.cols, dense.cols());
+        for r in 0..self.rows {
+            let lo = self.indptr[r] as usize;
+            let hi = self.indptr[r + 1] as usize;
+            let src = dense.row(r).to_vec();
+            for k in lo..hi {
+                let c = self.indices[k] as usize;
+                let w = self.values[k];
+                let dst = out.row_mut(c);
+                for (d, s) in dst.iter_mut().zip(&src) {
+                    *d += w * s;
+                }
+            }
+        }
+        out
+    }
+
+    /// The dense equivalent (testing aid).
+    pub fn to_dense(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            for k in self.indptr[r] as usize..self.indptr[r + 1] as usize {
+                m.set(r, self.indices[k] as usize, self.values[k]);
+            }
+        }
+        m
+    }
+
+    /// Block-diagonal stacking of several CSR matrices (graph batching).
+    pub fn block_diag(blocks: &[&Csr]) -> Csr {
+        let rows: usize = blocks.iter().map(|b| b.rows).sum();
+        let cols: usize = blocks.iter().map(|b| b.cols).sum();
+        let nnz: usize = blocks.iter().map(|b| b.nnz()).sum();
+        let mut indptr = Vec::with_capacity(rows + 1);
+        let mut indices = Vec::with_capacity(nnz);
+        let mut values = Vec::with_capacity(nnz);
+        indptr.push(0u32);
+        let mut col_off = 0u32;
+        for b in blocks {
+            for r in 0..b.rows {
+                for k in b.indptr[r] as usize..b.indptr[r + 1] as usize {
+                    indices.push(b.indices[k] + col_off);
+                    values.push(b.values[k]);
+                }
+                indptr.push(indices.len() as u32);
+            }
+            col_off += b.cols as u32;
+        }
+        Csr { rows, cols, indptr, indices, values }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_pool_rows_sum_to_one() {
+        // 0 -> 1 -> 2, 0 -> 2.
+        let a = Csr::mean_pool_adjacency(3, &[(0, 1), (1, 2), (0, 2)]);
+        let d = a.to_dense();
+        for r in 0..3 {
+            let sum: f32 = (0..3).map(|c| d.get(r, c)).sum();
+            assert!((sum - 1.0).abs() < 1e-6, "row {r} sums to {sum}");
+        }
+        // Node 2 has preds {0, 1} plus itself: weight 1/3 each.
+        assert!((d.get(2, 0) - 1.0 / 3.0).abs() < 1e-6);
+        assert!((d.get(2, 2) - 1.0 / 3.0).abs() < 1e-6);
+        // Node 0 has no preds: self loop only.
+        assert!((d.get(0, 0) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn duplicate_edges_do_not_double_count() {
+        let a = Csr::mean_pool_adjacency(2, &[(0, 1), (0, 1)]);
+        let d = a.to_dense();
+        assert!((d.get(1, 0) - 0.5).abs() < 1e-6);
+        assert!((d.get(1, 1) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn spmm_matches_dense() {
+        let a = Csr::mean_pool_adjacency(3, &[(0, 1), (1, 2)]);
+        let x = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[2.0, 2.0]]);
+        let sparse = a.spmm(&x);
+        let dense = a.to_dense().matmul(&x);
+        for r in 0..3 {
+            for c in 0..2 {
+                assert!((sparse.get(r, c) - dense.get(r, c)).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn t_spmm_matches_dense_transpose() {
+        let a = Csr::mean_pool_adjacency(3, &[(0, 1), (1, 2), (0, 2)]);
+        let g = Matrix::from_rows(&[&[1.0], &[2.0], &[3.0]]);
+        let t = a.t_spmm(&g);
+        // Manual: A^T @ g.
+        let ad = a.to_dense();
+        for c in 0..3 {
+            let manual: f32 = (0..3).map(|r| ad.get(r, c) * g.get(r, 0)).sum();
+            assert!((t.get(c, 0) - manual).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn from_triplets_sums_duplicates_and_handles_empty_rows() {
+        let c = Csr::from_triplets(4, 3, vec![(0, 2, 1.0), (2, 1, 2.0), (2, 1, 0.5), (3, 0, 4.0)]);
+        let d = c.to_dense();
+        assert_eq!(d.get(0, 2), 1.0);
+        assert_eq!(d.get(2, 1), 2.5);
+        assert_eq!(d.get(3, 0), 4.0);
+        // Row 1 is empty.
+        assert!((0..3).all(|j| d.get(1, j) == 0.0));
+        assert_eq!(c.nnz(), 3);
+    }
+
+    #[test]
+    fn block_diag_stacks() {
+        let a = Csr::mean_pool_adjacency(2, &[(0, 1)]);
+        let b = Csr::mean_pool_adjacency(1, &[]);
+        let bd = Csr::block_diag(&[&a, &b]);
+        assert_eq!(bd.rows(), 3);
+        assert_eq!(bd.cols(), 3);
+        let d = bd.to_dense();
+        assert!((d.get(1, 0) - 0.5).abs() < 1e-6);
+        assert!((d.get(2, 2) - 1.0).abs() < 1e-6);
+        assert_eq!(d.get(2, 0), 0.0);
+    }
+}

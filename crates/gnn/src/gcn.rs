@@ -1,0 +1,521 @@
+//! The GCN classifier of Section III-B2:
+//!
+//! * `h_v^0 = X_v`                                       (eq. 3)
+//! * `h_v^k = ReLU(W^k · mean_{u ∈ N(v) ∪ {v}} h_u^{k-1})` (eq. 4)
+//! * `h_G   = Σ_v h_v`                                   (eq. 5)
+//! * `ŷ_G   = argmax softmax(W_L · h_G)`                 (eq. 6)
+//!
+//! with two graph-convolution layers of size 64, trained with Adam
+//! (lr = 0.001) and cross-entropy loss, as in the paper.
+
+use crate::adam::Adam;
+use crate::csr::Csr;
+use crate::matrix::Matrix;
+use crate::tape::{ParamId, Tape, Var};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// One graph sample: node features, the directed edge list, and the label.
+/// The normalized adjacency is built at batch time according to the model's
+/// [`Aggregation`] configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GraphSample {
+    /// `n × input_dim` node features.
+    pub features: Matrix,
+    /// Directed edges `(from, to)` over `0..n`.
+    pub edges: Vec<(u32, u32)>,
+    /// Class label.
+    pub label: u32,
+}
+
+impl GraphSample {
+    /// Builds a sample from raw features and an edge list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge endpoint is out of range.
+    pub fn new(features: Matrix, edges: &[(u32, u32)], label: u32) -> GraphSample {
+        let n = features.rows() as u32;
+        for &(u, v) in edges {
+            assert!(u < n && v < n, "edge ({u}, {v}) out of range for {n} nodes");
+        }
+        GraphSample { features, edges: edges.to_vec(), label }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.features.rows()
+    }
+}
+
+/// How node representations are pooled over the in-neighborhood.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Aggregation {
+    /// Element-wise mean over `N(v) ∪ {v}` — the paper's eq. (4)
+    /// (Kipf & Welling style).
+    Mean,
+    /// Element-wise sum over `N(v) ∪ {v}` — GIN style (Xu et al., the
+    /// paper's reference \[24\]); provided for the aggregation ablation.
+    Sum,
+}
+
+/// Hyper-parameters of the GCN (paper defaults).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GcnConfig {
+    /// Input feature dimension (42 in the paper).
+    pub input_dim: usize,
+    /// Hidden width of the graph-convolution layers (64).
+    pub hidden_dim: usize,
+    /// Number of graph-convolution layers (2 in the paper).
+    pub num_layers: usize,
+    /// Neighborhood pooling (the paper uses mean).
+    pub aggregation: Aggregation,
+    /// Number of classes (4).
+    pub num_classes: usize,
+    /// Adam learning rate (0.001).
+    pub learning_rate: f32,
+    /// Training epochs (the paper uses 300; the eval harness typically runs
+    /// fewer on CPU — see EXPERIMENTS.md).
+    pub epochs: usize,
+    /// Mini-batch size (graphs per step).
+    pub batch_size: usize,
+    /// RNG seed for initialization and shuffling.
+    pub seed: u64,
+}
+
+impl Default for GcnConfig {
+    fn default() -> GcnConfig {
+        GcnConfig {
+            input_dim: 42,
+            hidden_dim: 64,
+            num_layers: 2,
+            aggregation: Aggregation::Mean,
+            num_classes: 4,
+            learning_rate: 1e-3,
+            epochs: 300,
+            batch_size: 32,
+            seed: 0xC60,
+        }
+    }
+}
+
+/// The trained model: the convolution weights plus the linear head.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Gcn {
+    config: GcnConfig,
+    convs: Vec<Matrix>,
+    head: Matrix,
+}
+
+/// Per-epoch training statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EpochStats {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Mean training loss.
+    pub loss: f32,
+    /// Training accuracy.
+    pub accuracy: f32,
+}
+
+impl Gcn {
+    /// Initializes an untrained model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.num_layers` is zero.
+    pub fn new(config: GcnConfig) -> Gcn {
+        assert!(config.num_layers >= 1, "at least one convolution layer");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut convs = Vec::with_capacity(config.num_layers);
+        let mut dim_in = config.input_dim;
+        for _ in 0..config.num_layers {
+            convs.push(Matrix::xavier(dim_in, config.hidden_dim, &mut rng));
+            dim_in = config.hidden_dim;
+        }
+        let head = Matrix::xavier(config.hidden_dim, config.num_classes, &mut rng);
+        Gcn { config, convs, head }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &GcnConfig {
+        &self.config
+    }
+
+    /// Builds the batched forward pass on a tape and returns the logits node.
+    fn forward(&self, tape: &mut Tape, batch: &[&GraphSample]) -> Var {
+        let total_nodes: usize = batch.iter().map(|g| g.num_nodes()).sum();
+        let mut features = Matrix::zeros(total_nodes, self.config.input_dim);
+        let mut segments = Vec::with_capacity(total_nodes);
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        let mut row = 0usize;
+        for (gi, g) in batch.iter().enumerate() {
+            let base = row as u32;
+            edges.extend(g.edges.iter().map(|&(u, v)| (u + base, v + base)));
+            for r in 0..g.num_nodes() {
+                features.row_mut(row).copy_from_slice(g.features.row(r));
+                segments.push(gi as u32);
+                row += 1;
+            }
+        }
+        let adj = Arc::new(match self.config.aggregation {
+            Aggregation::Mean => Csr::mean_pool_adjacency(total_nodes, &edges),
+            Aggregation::Sum => Csr::sum_adjacency(total_nodes, &edges),
+        });
+        let segments = Arc::new(segments);
+
+        // Each layer: h <- ReLU(Â h W) (eq. 4), then sum readout (eq. 5)
+        // and the linear head (eq. 6).
+        let mut h = tape.input(features);
+        for (k, w) in self.convs.iter().enumerate() {
+            let wk = tape.param(ParamId(k), w.clone());
+            let agg = tape.spmm(adj.clone(), h);
+            let hw = tape.matmul(agg, wk);
+            h = tape.relu(hw);
+        }
+        let head = tape.param(ParamId(self.convs.len()), self.head.clone());
+        let hg = tape.segment_sum(h, segments, batch.len());
+        tape.matmul(hg, head)
+    }
+
+    /// Trains on the samples, returning per-epoch statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or a sample's feature width differs from
+    /// the configured `input_dim`.
+    pub fn train(&mut self, samples: &[GraphSample]) -> Vec<EpochStats> {
+        self.train_with_progress(samples, |_| {})
+    }
+
+    /// Trains with a per-epoch callback.
+    ///
+    /// # Panics
+    ///
+    /// See [`Gcn::train`].
+    pub fn train_with_progress(
+        &mut self,
+        samples: &[GraphSample],
+        mut progress: impl FnMut(&EpochStats),
+    ) -> Vec<EpochStats> {
+        assert!(!samples.is_empty(), "no training samples");
+        for s in samples {
+            assert_eq!(s.features.cols(), self.config.input_dim, "feature width mismatch");
+        }
+        let n_convs = self.convs.len();
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0xADA);
+        let mut opt = Adam::new(self.config.learning_rate);
+        let mut order: Vec<usize> = (0..samples.len()).collect();
+        let mut stats = Vec::with_capacity(self.config.epochs);
+
+        for epoch in 0..self.config.epochs {
+            order.shuffle(&mut rng);
+            let mut loss_sum = 0.0f64;
+            let mut correct = 0usize;
+            for chunk in order.chunks(self.config.batch_size) {
+                let batch: Vec<&GraphSample> = chunk.iter().map(|&i| &samples[i]).collect();
+                let labels: Arc<Vec<u32>> = Arc::new(batch.iter().map(|g| g.label).collect());
+
+                let mut tape = Tape::new();
+                let logits = self.forward(&mut tape, &batch);
+                let loss = tape.softmax_cross_entropy(logits, labels.clone());
+                loss_sum += f64::from(tape.value(loss).get(0, 0)) * batch.len() as f64;
+                let probs = tape.softmax(logits);
+                for (r, &y) in labels.iter().enumerate() {
+                    if probs.argmax_row(r) == y as usize {
+                        correct += 1;
+                    }
+                }
+
+                let grads = tape.backward(loss);
+                let mut params: Vec<(ParamId, &mut Matrix)> = self
+                    .convs
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(k, w)| (ParamId(k), w))
+                    .collect();
+                params.push((ParamId(n_convs), &mut self.head));
+                opt.step(&mut params, &grads);
+            }
+            let s = EpochStats {
+                epoch,
+                loss: (loss_sum / samples.len() as f64) as f32,
+                accuracy: correct as f32 / samples.len() as f32,
+            };
+            progress(&s);
+            stats.push(s);
+        }
+        stats
+    }
+
+    /// Trains with a held-out validation set, keeping the parameters of the
+    /// epoch with the best validation accuracy (simple model selection;
+    /// useful when the caller can spare a validation split).
+    ///
+    /// Returns the per-epoch stats and the best validation accuracy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either sample set is empty.
+    pub fn train_with_validation(
+        &mut self,
+        train: &[GraphSample],
+        validation: &[GraphSample],
+    ) -> (Vec<EpochStats>, f32) {
+        assert!(!train.is_empty(), "no training samples");
+        assert!(!validation.is_empty(), "no validation samples");
+        let n_convs = self.convs.len();
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0xADA);
+        let mut opt = Adam::new(self.config.learning_rate);
+        let mut order: Vec<usize> = (0..train.len()).collect();
+        let mut stats = Vec::with_capacity(self.config.epochs);
+        let mut best_acc = -1.0f32;
+        let mut best: Option<(Vec<Matrix>, Matrix)> = None;
+
+        for epoch in 0..self.config.epochs {
+            order.shuffle(&mut rng);
+            let mut loss_sum = 0.0f64;
+            let mut correct = 0usize;
+            for chunk in order.chunks(self.config.batch_size) {
+                let batch: Vec<&GraphSample> = chunk.iter().map(|&i| &train[i]).collect();
+                let labels: Arc<Vec<u32>> = Arc::new(batch.iter().map(|g| g.label).collect());
+                let mut tape = Tape::new();
+                let logits = self.forward(&mut tape, &batch);
+                let loss = tape.softmax_cross_entropy(logits, labels.clone());
+                loss_sum += f64::from(tape.value(loss).get(0, 0)) * batch.len() as f64;
+                let probs = tape.softmax(logits);
+                for (r, &y) in labels.iter().enumerate() {
+                    if probs.argmax_row(r) == y as usize {
+                        correct += 1;
+                    }
+                }
+                let grads = tape.backward(loss);
+                let mut params: Vec<(ParamId, &mut Matrix)> = self
+                    .convs
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(k, w)| (ParamId(k), w))
+                    .collect();
+                params.push((ParamId(n_convs), &mut self.head));
+                opt.step(&mut params, &grads);
+            }
+            stats.push(EpochStats {
+                epoch,
+                loss: (loss_sum / train.len() as f64) as f32,
+                accuracy: correct as f32 / train.len() as f32,
+            });
+
+            // Validation checkpoint.
+            let preds = self.predict_batch(validation);
+            let v_correct =
+                preds.iter().zip(validation).filter(|(p, g)| **p == g.label).count();
+            let acc = v_correct as f32 / validation.len() as f32;
+            if acc > best_acc {
+                best_acc = acc;
+                best = Some((self.convs.clone(), self.head.clone()));
+            }
+        }
+        if let Some((convs, head)) = best {
+            self.convs = convs;
+            self.head = head;
+        }
+        (stats, best_acc)
+    }
+
+    /// Predicts the class of one graph.
+    pub fn predict(&self, sample: &GraphSample) -> u32 {
+        self.predict_batch(std::slice::from_ref(sample))[0]
+    }
+
+    /// Predicts the classes of a batch of graphs.
+    pub fn predict_batch(&self, samples: &[GraphSample]) -> Vec<u32> {
+        if samples.is_empty() {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(samples.len());
+        for chunk in samples.chunks(self.config.batch_size.max(1)) {
+            let batch: Vec<&GraphSample> = chunk.iter().collect();
+            let mut tape = Tape::new();
+            let logits = self.forward(&mut tape, &batch);
+            let probs = tape.softmax(logits);
+            for r in 0..batch.len() {
+                out.push(probs.argmax_row(r) as u32);
+            }
+        }
+        out
+    }
+
+    /// Class probabilities for one graph.
+    pub fn predict_proba(&self, sample: &GraphSample) -> Vec<f32> {
+        let mut tape = Tape::new();
+        let logits = self.forward(&mut tape, &[sample]);
+        let probs = tape.softmax(logits);
+        probs.row(0).to_vec()
+    }
+
+    /// Serializes the model to JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns any serializer error.
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string(self)
+    }
+
+    /// Deserializes a model from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns any deserializer error.
+    pub fn from_json(s: &str) -> Result<Gcn, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two easily separable synthetic graph families:
+    /// class 0 = a 3-chain with feature pattern A, class 1 = a 4-star with
+    /// feature pattern B.
+    fn toy_dataset(n_per_class: usize) -> Vec<GraphSample> {
+        let mut out = Vec::new();
+        for k in 0..n_per_class {
+            let bump = (k % 3) as f32 * 0.1;
+            let mut fa = Matrix::zeros(3, 4);
+            for r in 0..3 {
+                fa.set(r, 0, 1.0 + bump);
+                fa.set(r, 1, 0.1);
+            }
+            out.push(GraphSample::new(fa, &[(0, 1), (1, 2)], 0));
+            let mut fb = Matrix::zeros(4, 4);
+            for r in 0..4 {
+                fb.set(r, 2, 1.0 + bump);
+                fb.set(r, 3, 0.2);
+            }
+            out.push(GraphSample::new(fb, &[(0, 1), (0, 2), (0, 3)], 1));
+        }
+        out
+    }
+
+    fn toy_config(epochs: usize) -> GcnConfig {
+        GcnConfig {
+            input_dim: 4,
+            hidden_dim: 8,
+            num_layers: 2,
+            aggregation: Aggregation::Mean,
+            num_classes: 2,
+            learning_rate: 0.01,
+            epochs,
+            batch_size: 4,
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn learns_a_separable_toy_problem() {
+        let data = toy_dataset(8);
+        let mut gcn = Gcn::new(toy_config(60));
+        let stats = gcn.train(&data);
+        let last = stats.last().unwrap();
+        assert!(last.accuracy > 0.95, "final accuracy {}", last.accuracy);
+        assert!(last.loss < stats[0].loss, "loss decreased");
+        // Held-out-ish check: fresh samples from the same generator.
+        let test = toy_dataset(2);
+        let preds = gcn.predict_batch(&test);
+        let correct = preds
+            .iter()
+            .zip(test.iter())
+            .filter(|(p, s)| **p == s.label)
+            .count();
+        assert!(correct >= 3, "correct {correct}/4");
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let data = toy_dataset(1);
+        let gcn = Gcn::new(toy_config(1));
+        let p = gcn.predict_proba(&data[0]);
+        assert_eq!(p.len(), 2);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn serialization_round_trips() {
+        let data = toy_dataset(2);
+        let mut gcn = Gcn::new(toy_config(5));
+        gcn.train(&data);
+        let json = gcn.to_json().unwrap();
+        let back = Gcn::from_json(&json).unwrap();
+        assert_eq!(gcn.predict_batch(&data), back.predict_batch(&data));
+    }
+
+    #[test]
+    fn training_is_deterministic_given_seed() {
+        let data = toy_dataset(3);
+        let mut a = Gcn::new(toy_config(5));
+        let mut b = Gcn::new(toy_config(5));
+        let sa = a.train(&data);
+        let sb = b.train(&data);
+        assert_eq!(sa, sb);
+        assert_eq!(a.predict_batch(&data), b.predict_batch(&data));
+    }
+
+    #[test]
+    fn validation_training_keeps_the_best_model() {
+        let train = toy_dataset(6);
+        let val = toy_dataset(2);
+        let mut gcn = Gcn::new(toy_config(40));
+        let (stats, best_acc) = gcn.train_with_validation(&train, &val);
+        assert_eq!(stats.len(), 40);
+        assert!(best_acc > 0.9, "best validation accuracy {best_acc}");
+        // The restored weights actually achieve the reported accuracy.
+        let preds = gcn.predict_batch(&val);
+        let correct = preds.iter().zip(&val).filter(|(p, g)| **p == g.label).count();
+        assert_eq!(correct as f32 / val.len() as f32, best_acc);
+    }
+
+    #[test]
+    fn sum_aggregation_also_learns() {
+        let data = toy_dataset(8);
+        let cfg = GcnConfig { aggregation: Aggregation::Sum, ..toy_config(60) };
+        let mut gcn = Gcn::new(cfg);
+        let stats = gcn.train(&data);
+        assert!(stats.last().unwrap().accuracy > 0.9, "sum-pooling accuracy");
+    }
+
+    #[test]
+    fn layer_count_is_configurable() {
+        let data = toy_dataset(4);
+        for layers in [1usize, 3] {
+            let cfg = GcnConfig { num_layers: layers, ..toy_config(20) };
+            let mut gcn = Gcn::new(cfg);
+            let stats = gcn.train(&data);
+            assert!(
+                stats.last().unwrap().accuracy > 0.7,
+                "{layers}-layer model accuracy {}",
+                stats.last().unwrap().accuracy
+            );
+            assert!(gcn.predict(&data[0]) < 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one convolution layer")]
+    fn zero_layers_is_rejected() {
+        let _ = Gcn::new(GcnConfig { num_layers: 0, ..toy_config(1) });
+    }
+
+    #[test]
+    fn single_node_graph_is_handled() {
+        let f = Matrix::from_rows(&[&[1.0, 0.0, 0.0, 0.0]]);
+        let g = GraphSample::new(f, &[], 0);
+        let gcn = Gcn::new(toy_config(1));
+        let p = gcn.predict(&g);
+        assert!(p < 2);
+    }
+}

@@ -1,0 +1,42 @@
+//! # tiara-gnn
+//!
+//! A from-scratch graph neural network stack for the TIARA reproduction:
+//! dense/sparse matrices, a reverse-mode autodiff tape, the paper's
+//! 2×64 mean-pooling GCN (Section III-B2, eqs. 3–6), and the Adam optimizer.
+//!
+//! The paper implements this stage on DGL + PyTorch with a Tesla P100; the
+//! graph-ML ecosystem being thin in Rust, this crate provides the minimal
+//! equivalent executor with the identical architecture and hyper-parameters
+//! (see DESIGN.md).
+//!
+//! ## Example
+//!
+//! ```
+//! use tiara_gnn::{Gcn, GcnConfig, GraphSample, Matrix};
+//!
+//! let cfg = GcnConfig { input_dim: 4, hidden_dim: 8, num_classes: 2,
+//!                       epochs: 30, batch_size: 2, ..GcnConfig::default() };
+//! let a = GraphSample::new(Matrix::from_rows(&[&[1.0, 0.0, 0.0, 0.0]]), &[], 0);
+//! let b = GraphSample::new(Matrix::from_rows(&[&[0.0, 0.0, 1.0, 0.0]]), &[], 1);
+//! let mut gcn = Gcn::new(cfg);
+//! gcn.train(&[a.clone(), b.clone()]);
+//! assert_eq!(gcn.predict(&a), 0);
+//! assert_eq!(gcn.predict(&b), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod adam;
+mod csr;
+mod gcn;
+mod matrix;
+mod mlp;
+mod tape;
+
+pub use adam::Adam;
+pub use csr::Csr;
+pub use gcn::{Aggregation, EpochStats, Gcn, GcnConfig, GraphSample};
+pub use matrix::Matrix;
+pub use mlp::{Mlp, MlpConfig};
+pub use tape::{ParamId, Tape, Var};

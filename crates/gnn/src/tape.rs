@@ -1,0 +1,365 @@
+//! A small reverse-mode autodiff tape over dense matrices, with exactly the
+//! operations the paper's GCN needs: dense/sparse matrix products, ReLU,
+//! segment-sum readout (eq. 5), and a fused softmax + cross-entropy loss.
+
+use crate::csr::Csr;
+use crate::matrix::Matrix;
+use std::sync::Arc;
+
+/// A handle to a tape node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Var(usize);
+
+/// Identifies a trainable parameter across tape rebuilds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ParamId(pub usize);
+
+#[derive(Debug)]
+enum Op {
+    /// A constant input (features).
+    Input,
+    /// A trainable parameter (its gradient is collected after backward).
+    Param(ParamId),
+    /// `a @ b`.
+    MatMul(usize, usize),
+    /// `sparse @ a`.
+    Spmm(Arc<Csr>, usize),
+    /// Element-wise ReLU of `a`.
+    Relu(usize),
+    /// Row-segment sum of `a` (the readout): output row `g` is the sum of
+    /// input rows `r` with `segments[r] == g`.
+    SegmentSum(usize, Arc<Vec<u32>>),
+    /// Fused mean softmax-cross-entropy of logits `a` against labels.
+    SoftmaxCrossEntropy(usize, Arc<Vec<u32>>),
+}
+
+#[derive(Debug)]
+struct Node {
+    op: Op,
+    value: Matrix,
+    grad: Option<Matrix>,
+}
+
+/// The autodiff tape: build a forward expression, call
+/// [`Tape::backward`], then read gradients.
+#[derive(Debug, Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+}
+
+impl Tape {
+    /// An empty tape.
+    pub fn new() -> Tape {
+        Tape::default()
+    }
+
+    fn push(&mut self, op: Op, value: Matrix) -> Var {
+        self.nodes.push(Node { op, value, grad: None });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// Registers a constant input.
+    pub fn input(&mut self, value: Matrix) -> Var {
+        self.push(Op::Input, value)
+    }
+
+    /// Registers a trainable parameter (a snapshot of its current value).
+    pub fn param(&mut self, id: ParamId, value: Matrix) -> Var {
+        self.push(Op::Param(id), value)
+    }
+
+    /// The current value of a node.
+    pub fn value(&self, v: Var) -> &Matrix {
+        &self.nodes[v.0].value
+    }
+
+    /// Dense product `a @ b`.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let value = self.nodes[a.0].value.matmul(&self.nodes[b.0].value);
+        self.push(Op::MatMul(a.0, b.0), value)
+    }
+
+    /// Sparse product `sparse @ a`.
+    pub fn spmm(&mut self, sparse: Arc<Csr>, a: Var) -> Var {
+        let value = sparse.spmm(&self.nodes[a.0].value);
+        self.push(Op::Spmm(sparse, a.0), value)
+    }
+
+    /// Element-wise ReLU.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let value = self.nodes[a.0].value.relu();
+        self.push(Op::Relu(a.0), value)
+    }
+
+    /// Segment sum over rows: the readout `h_G = Σ_v h_v` of eq. (5),
+    /// batched over `num_segments` graphs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments.len()` differs from the number of rows of `a`,
+    /// or a segment id is out of range.
+    pub fn segment_sum(&mut self, a: Var, segments: Arc<Vec<u32>>, num_segments: usize) -> Var {
+        let x = &self.nodes[a.0].value;
+        assert_eq!(segments.len(), x.rows(), "one segment id per row");
+        let mut out = Matrix::zeros(num_segments, x.cols());
+        for (r, &g) in segments.iter().enumerate() {
+            assert!((g as usize) < num_segments, "segment id out of range");
+            let src = x.row(r);
+            let dst = out.row_mut(g as usize);
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d += s;
+            }
+        }
+        self.push(Op::SegmentSum(a.0, segments), out)
+    }
+
+    /// Fused mean softmax-cross-entropy loss: returns a `1×1` node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len()` differs from the number of logit rows.
+    pub fn softmax_cross_entropy(&mut self, logits: Var, labels: Arc<Vec<u32>>) -> Var {
+        let z = &self.nodes[logits.0].value;
+        assert_eq!(labels.len(), z.rows(), "one label per row");
+        let mut loss = 0.0f64;
+        for (r, &y) in labels.iter().enumerate() {
+            let row = z.row(r);
+            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let lse: f32 = row.iter().map(|&v| (v - max).exp()).sum::<f32>().ln() + max;
+            loss += f64::from(lse - row[y as usize]);
+        }
+        let mean = (loss / labels.len() as f64) as f32;
+        self.push(
+            Op::SoftmaxCrossEntropy(logits.0, labels),
+            Matrix::from_vec(1, 1, vec![mean]),
+        )
+    }
+
+    /// Softmax probabilities of a logits node (inference helper; not
+    /// differentiated).
+    pub fn softmax(&self, logits: Var) -> Matrix {
+        let z = &self.nodes[logits.0].value;
+        let mut out = Matrix::zeros(z.rows(), z.cols());
+        for r in 0..z.rows() {
+            let row = z.row(r);
+            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let exps: Vec<f32> = row.iter().map(|&v| (v - max).exp()).collect();
+            let sum: f32 = exps.iter().sum();
+            for (c, e) in exps.iter().enumerate() {
+                out.set(r, c, e / sum);
+            }
+        }
+        out
+    }
+
+    /// Runs the backward pass from a scalar loss node and returns the
+    /// gradients of all parameters touched, as `(ParamId, grad)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is not `1×1`.
+    pub fn backward(&mut self, loss: Var) -> Vec<(ParamId, Matrix)> {
+        {
+            let l = &self.nodes[loss.0].value;
+            assert_eq!((l.rows(), l.cols()), (1, 1), "loss must be scalar");
+        }
+        self.nodes[loss.0].grad = Some(Matrix::from_vec(1, 1, vec![1.0]));
+
+        enum Step {
+            Leaf,
+            MatMul(usize, usize),
+            Spmm(Arc<Csr>, usize),
+            Relu(usize),
+            SegmentSum(usize, Arc<Vec<u32>>),
+            SoftmaxCe(usize, Arc<Vec<u32>>),
+        }
+
+        for i in (0..=loss.0).rev() {
+            let Some(g) = self.nodes[i].grad.take() else { continue };
+            let step = match &self.nodes[i].op {
+                Op::Input | Op::Param(_) => Step::Leaf,
+                Op::MatMul(a, b) => Step::MatMul(*a, *b),
+                Op::Spmm(s, a) => Step::Spmm(s.clone(), *a),
+                Op::Relu(a) => Step::Relu(*a),
+                Op::SegmentSum(a, segments) => Step::SegmentSum(*a, segments.clone()),
+                Op::SoftmaxCrossEntropy(a, labels) => Step::SoftmaxCe(*a, labels.clone()),
+            };
+            match step {
+                Step::Leaf => {}
+                Step::MatMul(a, b) => {
+                    let ga = g.matmul_t(&self.nodes[b].value);
+                    let gb = self.nodes[a].value.t_matmul(&g);
+                    accumulate(&mut self.nodes[a].grad, ga);
+                    accumulate(&mut self.nodes[b].grad, gb);
+                }
+                Step::Spmm(s, a) => {
+                    let ga = s.t_spmm(&g);
+                    accumulate(&mut self.nodes[a].grad, ga);
+                }
+                Step::Relu(a) => {
+                    let mut ga = g.clone();
+                    let x = &self.nodes[a].value;
+                    for r in 0..ga.rows() {
+                        for c in 0..ga.cols() {
+                            if x.get(r, c) <= 0.0 {
+                                ga.set(r, c, 0.0);
+                            }
+                        }
+                    }
+                    accumulate(&mut self.nodes[a].grad, ga);
+                }
+                Step::SegmentSum(a, segments) => {
+                    let rows = self.nodes[a].value.rows();
+                    let mut ga = Matrix::zeros(rows, g.cols());
+                    for (r, &seg) in segments.iter().enumerate() {
+                        ga.row_mut(r).copy_from_slice(g.row(seg as usize));
+                    }
+                    accumulate(&mut self.nodes[a].grad, ga);
+                }
+                Step::SoftmaxCe(a, labels) => {
+                    let scale = g.get(0, 0) / labels.len() as f32;
+                    let mut ga = self.softmax(Var(a));
+                    for (r, &y) in labels.iter().enumerate() {
+                        let v = ga.get(r, y as usize) - 1.0;
+                        ga.set(r, y as usize, v);
+                    }
+                    ga.scale(scale);
+                    accumulate(&mut self.nodes[a].grad, ga);
+                }
+            }
+            self.nodes[i].grad = Some(g);
+        }
+
+        let mut out = Vec::new();
+        for node in &self.nodes {
+            if let (Op::Param(id), Some(grad)) = (&node.op, &node.grad) {
+                out.push((*id, grad.clone()));
+            }
+        }
+        out
+    }
+
+    /// The gradient of any node after [`Tape::backward`] (testing aid).
+    pub fn grad(&self, v: Var) -> Option<&Matrix> {
+        self.nodes[v.0].grad.as_ref()
+    }
+}
+
+fn accumulate(slot: &mut Option<Matrix>, g: Matrix) {
+    match slot {
+        Some(existing) => existing.add_assign(&g),
+        None => *slot = Some(g),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Numerically checks d(loss)/d(param) for a tiny GCN-shaped graph.
+    #[test]
+    fn gradients_match_finite_differences() {
+        // Values chosen so no pre-activation lands exactly on the ReLU
+        // boundary (finite differences are meaningless there).
+        let adj = Arc::new(Csr::mean_pool_adjacency(3, &[(0, 1), (1, 2)]));
+        let x = Matrix::from_rows(&[&[1.1, 0.53], &[0.07, 1.02], &[2.3, -0.91]]);
+        let w0 = Matrix::from_rows(&[&[0.31, -0.23, 0.52], &[0.11, 0.43, -0.61]]);
+        let labels = Arc::new(vec![1u32]);
+        let segs = Arc::new(vec![0u32, 0, 0]);
+
+        let loss_at = |w: &Matrix| -> f32 {
+            let mut t = Tape::new();
+            let xi = t.input(x.clone());
+            let wi = t.param(ParamId(0), w.clone());
+            let agg = t.spmm(adj.clone(), xi);
+            let h = t.matmul(agg, wi);
+            let h = t.relu(h);
+            let hg = t.segment_sum(h, segs.clone(), 1);
+            let l = t.softmax_cross_entropy(hg, labels.clone());
+            t.value(l).get(0, 0)
+        };
+
+        // Analytic gradient.
+        let mut t = Tape::new();
+        let xi = t.input(x.clone());
+        let wi = t.param(ParamId(0), w0.clone());
+        let agg = t.spmm(adj.clone(), xi);
+        let h = t.matmul(agg, wi);
+        let h = t.relu(h);
+        let hg = t.segment_sum(h, segs.clone(), 1);
+        let l = t.softmax_cross_entropy(hg, labels.clone());
+        let grads = t.backward(l);
+        assert_eq!(grads.len(), 1);
+        let (id, g) = &grads[0];
+        assert_eq!(*id, ParamId(0));
+
+        // Finite differences.
+        let eps = 1e-3f32;
+        for r in 0..w0.rows() {
+            for c in 0..w0.cols() {
+                let mut wp = w0.clone();
+                wp.set(r, c, w0.get(r, c) + eps);
+                let mut wm = w0.clone();
+                wm.set(r, c, w0.get(r, c) - eps);
+                let num = (loss_at(&wp) - loss_at(&wm)) / (2.0 * eps);
+                let ana = g.get(r, c);
+                assert!(
+                    (num - ana).abs() < 3e-3,
+                    "dW[{r}][{c}]: numeric {num} vs analytic {ana}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn segment_sum_groups_rows() {
+        let mut t = Tape::new();
+        let x = t.input(Matrix::from_rows(&[&[1.0], &[2.0], &[4.0]]));
+        let s = t.segment_sum(x, Arc::new(vec![0, 1, 0]), 2);
+        assert_eq!(t.value(s).get(0, 0), 5.0);
+        assert_eq!(t.value(s).get(1, 0), 2.0);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut t = Tape::new();
+        let z = t.input(Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[0.0, 0.0, 0.0]]));
+        let p = t.softmax(z);
+        for r in 0..2 {
+            let s: f32 = (0..3).map(|c| p.get(r, c)).sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+        assert!(p.get(0, 2) > p.get(0, 0));
+    }
+
+    #[test]
+    fn cross_entropy_of_perfect_prediction_is_small() {
+        let mut t = Tape::new();
+        let z = t.input(Matrix::from_rows(&[&[10.0, -10.0]]));
+        let l = t.softmax_cross_entropy(z, Arc::new(vec![0]));
+        assert!(t.value(l).get(0, 0) < 1e-3);
+        let l2 = {
+            let mut t2 = Tape::new();
+            let z2 = t2.input(Matrix::from_rows(&[&[10.0, -10.0]]));
+            let l2 = t2.softmax_cross_entropy(z2, Arc::new(vec![1]));
+            t2.value(l2).get(0, 0)
+        };
+        assert!(l2 > 10.0, "confidently wrong prediction has high loss");
+    }
+
+    #[test]
+    fn relu_blocks_gradient_through_negatives() {
+        let mut t = Tape::new();
+        let x = t.input(Matrix::from_rows(&[&[-5.0, 5.0]]));
+        let w = t.param(ParamId(7), Matrix::eye(2));
+        let h = t.matmul(x, w);
+        let r = t.relu(h);
+        let l = t.softmax_cross_entropy(r, Arc::new(vec![1]));
+        let grads = t.backward(l);
+        let g = &grads[0].1;
+        // Column 0 of W only feeds the negative (clamped) activation.
+        assert_eq!(g.get(0, 0), 0.0);
+        assert_eq!(g.get(1, 0), 0.0);
+        assert!(g.get(1, 1).abs() > 0.0);
+    }
+}

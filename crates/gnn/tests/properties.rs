@@ -1,0 +1,143 @@
+//! Property-based tests for the tensor/autodiff/GCN stack.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use tiara_gnn::{Csr, Gcn, GcnConfig, GraphSample, Matrix, ParamId, Tape};
+
+/// Strategy: a dense matrix with bounded entries.
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-3.0f32..3.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+/// Strategy: a random edge list over `n` nodes.
+fn edges(n: u32, max_edges: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
+    prop::collection::vec((0..n, 0..n), 0..max_edges)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// (A·B)·C == A·(B·C) within float tolerance.
+    #[test]
+    fn matmul_is_associative(a in matrix(3, 4), b in matrix(4, 2), c in matrix(2, 5)) {
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    /// Identity is a two-sided unit for matmul.
+    #[test]
+    fn identity_is_a_unit(a in matrix(4, 4)) {
+        let i = Matrix::eye(4);
+        prop_assert_eq!(a.matmul(&i), a.clone());
+        prop_assert_eq!(i.matmul(&a), a);
+    }
+
+    /// The implicit-transpose products agree with explicit computation.
+    #[test]
+    fn transpose_products_agree(a in matrix(3, 4), b in matrix(3, 5)) {
+        let t = a.t_matmul(&b); // a^T @ b, 4x5
+        for i in 0..4 {
+            for j in 0..5 {
+                let manual: f32 = (0..3).map(|k| a.get(k, i) * b.get(k, j)).sum();
+                prop_assert!((t.get(i, j) - manual).abs() < 1e-3);
+            }
+        }
+    }
+
+    /// Every row of the mean-pooling adjacency sums to exactly 1 (it is a
+    /// stochastic matrix), for arbitrary edge lists with duplicates.
+    #[test]
+    fn mean_pool_rows_are_stochastic(es in edges(6, 20)) {
+        let a = Csr::mean_pool_adjacency(6, &es);
+        let d = a.to_dense();
+        for r in 0..6 {
+            let sum: f32 = (0..6).map(|c| d.get(r, c)).sum();
+            prop_assert!((sum - 1.0).abs() < 1e-5, "row {r} sums to {sum}");
+        }
+    }
+
+    /// spmm against a CSR equals dense matmul against its densification.
+    #[test]
+    fn spmm_matches_dense(es in edges(5, 12), x in matrix(5, 3)) {
+        let a = Csr::mean_pool_adjacency(5, &es);
+        let sparse = a.spmm(&x);
+        let dense = a.to_dense().matmul(&x);
+        for (s, d) in sparse.as_slice().iter().zip(dense.as_slice()) {
+            prop_assert!((s - d).abs() < 1e-4);
+        }
+    }
+
+    /// Softmax rows are probability distributions for arbitrary logits.
+    #[test]
+    fn softmax_rows_are_distributions(z in matrix(4, 6)) {
+        let mut t = Tape::new();
+        let v = t.input(z);
+        let p = t.softmax(v);
+        for r in 0..4 {
+            let sum: f32 = (0..6).map(|c| p.get(r, c)).sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!((0..6).all(|c| p.get(r, c) >= 0.0));
+        }
+    }
+
+    /// The cross-entropy loss is non-negative and finite.
+    #[test]
+    fn cross_entropy_is_nonnegative(z in matrix(3, 4), labels in prop::collection::vec(0u32..4, 3)) {
+        let mut t = Tape::new();
+        let v = t.input(z);
+        let l = t.softmax_cross_entropy(v, Arc::new(labels));
+        let loss = t.value(l).get(0, 0);
+        prop_assert!(loss.is_finite());
+        prop_assert!(loss >= -1e-6, "loss {loss}");
+    }
+
+    /// Gradients are finite for arbitrary inputs (no NaN blowups).
+    #[test]
+    fn gradients_are_finite(x in matrix(4, 3), w in matrix(3, 2)) {
+        let mut t = Tape::new();
+        let xi = t.input(x);
+        let wi = t.param(ParamId(0), w);
+        let h = t.matmul(xi, wi);
+        let h = t.relu(h);
+        let l = t.softmax_cross_entropy(h, Arc::new(vec![0, 1, 0, 1]));
+        let grads = t.backward(l);
+        prop_assert_eq!(grads.len(), 1);
+        prop_assert!(grads[0].1.as_slice().iter().all(|g| g.is_finite()));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// GCN prediction never panics and returns a valid class for arbitrary
+    /// graph shapes, including edgeless and single-node graphs.
+    #[test]
+    fn gcn_prediction_is_total(
+        n in 1usize..12,
+        es in edges(12, 24),
+        label in 0u32..3,
+    ) {
+        let feats = Matrix::zeros(n, 5);
+        let es: Vec<(u32, u32)> = es
+            .into_iter()
+            .filter(|&(u, v)| (u as usize) < n && (v as usize) < n)
+            .collect();
+        let g = GraphSample::new(feats, &es, label);
+        let gcn = Gcn::new(GcnConfig {
+            input_dim: 5,
+            hidden_dim: 6,
+            num_classes: 3,
+            epochs: 1,
+            batch_size: 2,
+            ..GcnConfig::default()
+        });
+        let pred = gcn.predict(&g);
+        prop_assert!(pred < 3);
+        let proba = gcn.predict_proba(&g);
+        prop_assert!((proba.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,156 @@
+//! Light-weight program analyses mirroring checks the paper performs on real
+//! binaries.
+//!
+//! The paper (Section III-A) notes that TSLICE's frame tracking assumes the
+//! MSVC frame-pointer-omission flag (`/Oy`) is **off**, "which can be checked
+//! easily": a prologue of the form `push ebp; mov ebp, esp` (with a matching
+//! `mov esp, ebp; pop ebp; ret` or `leave; ret` epilogue) means `/Oy` is
+//! off; a bare `sub esp, …` prologue with `add esp, …; ret` means it is on.
+
+use crate::{FuncId, InstKind, Opcode, Operand, Program, Reg};
+use serde::{Deserialize, Serialize};
+
+/// How a function addresses its frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FrameMode {
+    /// `/Oy` off: `ebp` is the frame pointer (`push ebp; mov ebp, esp`).
+    FramePointer,
+    /// `/Oy` on: no `ebp` frame; locals addressed off `esp`.
+    Omitted,
+    /// Neither pattern found (leaf functions with no locals, thunks, …).
+    Unknown,
+}
+
+/// Detects the frame mode of one function from its prologue, as the paper
+/// describes.
+pub fn detect_frame_mode(prog: &Program, func: FuncId) -> FrameMode {
+    let f = prog.func(func);
+    let insts: Vec<_> = f.inst_ids().take(4).map(|id| prog.inst(id)).collect();
+
+    // `push ebp` followed (possibly after a scheduling gap) by `mov ebp, esp`.
+    let mut saw_push_ebp = false;
+    for inst in &insts {
+        match &inst.kind {
+            InstKind::Push { src } if src.as_reg() == Some(Reg::Ebp) => {
+                saw_push_ebp = true;
+            }
+            InstKind::Mov { dst, src }
+                if saw_push_ebp
+                    && dst.as_reg() == Some(Reg::Ebp)
+                    && src.as_reg() == Some(Reg::Esp) =>
+            {
+                return FrameMode::FramePointer;
+            }
+            _ => {}
+        }
+    }
+
+    // A bare `sub esp, imm` near the entry without an ebp frame.
+    for inst in &insts {
+        if inst.opcode == Opcode::Sub {
+            if let InstKind::Op { dst, src: Operand::Imm(_), .. } = &inst.kind {
+                if dst.as_reg() == Some(Reg::Esp) {
+                    return FrameMode::Omitted;
+                }
+            }
+        }
+    }
+    FrameMode::Unknown
+}
+
+/// Detects the frame mode of every function.
+pub fn detect_frame_modes(prog: &Program) -> Vec<FrameMode> {
+    prog.funcs().iter().map(|f| detect_frame_mode(prog, f.id)).collect()
+}
+
+/// Returns `true` if every non-trivial function keeps its frame pointer —
+/// the precondition under which TSLICE's default rule set (which strongly
+/// tracks both `fp` and `sp`) is applicable.
+pub fn frame_pointers_preserved(prog: &Program) -> bool {
+    detect_frame_modes(prog).iter().all(|m| !matches!(m, FrameMode::Omitted))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BinOp, ProgramBuilder};
+
+    fn framed_func(b: &mut ProgramBuilder, name: &str) {
+        b.begin_func(name);
+        b.inst(Opcode::Push, InstKind::Push { src: Operand::reg(Reg::Ebp) });
+        b.inst(
+            Opcode::Mov,
+            InstKind::Mov { dst: Operand::reg(Reg::Ebp), src: Operand::reg(Reg::Esp) },
+        );
+        b.inst(
+            Opcode::Sub,
+            InstKind::Op { op: BinOp::Sub, dst: Operand::reg(Reg::Esp), src: Operand::imm(0x20) },
+        );
+        b.ret();
+        b.end_func();
+    }
+
+    fn fpo_func(b: &mut ProgramBuilder, name: &str) {
+        b.begin_func(name);
+        b.inst(
+            Opcode::Sub,
+            InstKind::Op { op: BinOp::Sub, dst: Operand::reg(Reg::Esp), src: Operand::imm(0x10) },
+        );
+        b.inst(
+            Opcode::Mov,
+            InstKind::Mov { dst: Operand::reg(Reg::Eax), src: Operand::mem_reg(Reg::Esp, 4) },
+        );
+        b.inst(
+            Opcode::Add,
+            InstKind::Op { op: BinOp::Add, dst: Operand::reg(Reg::Esp), src: Operand::imm(0x10) },
+        );
+        b.ret();
+        b.end_func();
+    }
+
+    fn leaf_func(b: &mut ProgramBuilder, name: &str) {
+        b.begin_func(name);
+        b.inst(
+            Opcode::Mov,
+            InstKind::Mov { dst: Operand::reg(Reg::Eax), src: Operand::imm(1) },
+        );
+        b.ret();
+        b.end_func();
+    }
+
+    #[test]
+    fn detects_all_three_modes() {
+        let mut b = ProgramBuilder::new();
+        framed_func(&mut b, "framed");
+        fpo_func(&mut b, "fpo");
+        leaf_func(&mut b, "leaf");
+        let p = b.finish().unwrap();
+        assert_eq!(detect_frame_mode(&p, FuncId(0)), FrameMode::FramePointer);
+        assert_eq!(detect_frame_mode(&p, FuncId(1)), FrameMode::Omitted);
+        assert_eq!(detect_frame_mode(&p, FuncId(2)), FrameMode::Unknown);
+        assert_eq!(
+            detect_frame_modes(&p),
+            vec![FrameMode::FramePointer, FrameMode::Omitted, FrameMode::Unknown]
+        );
+        assert!(!frame_pointers_preserved(&p));
+    }
+
+    #[test]
+    fn framed_only_program_preserves_frame_pointers() {
+        let mut b = ProgramBuilder::new();
+        framed_func(&mut b, "a");
+        leaf_func(&mut b, "b");
+        let p = b.finish().unwrap();
+        assert!(frame_pointers_preserved(&p));
+    }
+
+    #[test]
+    fn the_sub_after_an_ebp_frame_is_not_fpo() {
+        // `push ebp; mov ebp, esp; sub esp, N` is a framed function even
+        // though it contains the `sub esp` pattern.
+        let mut b = ProgramBuilder::new();
+        framed_func(&mut b, "f");
+        let p = b.finish().unwrap();
+        assert_eq!(detect_frame_mode(&p, FuncId(0)), FrameMode::FramePointer);
+    }
+}

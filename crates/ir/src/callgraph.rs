@@ -1,0 +1,261 @@
+//! The direct call graph of a program: adjacency, reachability, strongly
+//! connected components (recursion groups), and a Graphviz export.
+//!
+//! The slicer's context-sensitive descent and the `malloc`/`free`
+//! reachability features both walk this structure implicitly; this module
+//! exposes it for tooling (and mirrors what IDA Pro's call-graph view
+//! provides in the paper's workflow).
+
+use crate::{CallTarget, FuncId, InstKind, Program};
+use std::collections::VecDeque;
+
+/// The direct call graph of a program.
+#[derive(Debug, Clone)]
+pub struct CallGraph {
+    callees: Vec<Vec<FuncId>>,
+    callers: Vec<Vec<FuncId>>,
+}
+
+impl CallGraph {
+    /// Builds the call graph from every direct call instruction.
+    pub fn build(prog: &Program) -> CallGraph {
+        let n = prog.funcs().len();
+        let mut callees: Vec<Vec<FuncId>> = vec![Vec::new(); n];
+        for f in prog.funcs() {
+            for id in f.inst_ids() {
+                if let InstKind::Call { target: CallTarget::Direct(callee) } =
+                    &prog.inst(id).kind
+                {
+                    callees[f.id.index()].push(*callee);
+                }
+            }
+        }
+        for c in &mut callees {
+            c.sort_unstable_by_key(|f| f.0);
+            c.dedup();
+        }
+        let mut callers: Vec<Vec<FuncId>> = vec![Vec::new(); n];
+        for (from, cs) in callees.iter().enumerate() {
+            for c in cs {
+                callers[c.index()].push(FuncId(from as u32));
+            }
+        }
+        CallGraph { callees, callers }
+    }
+
+    /// Number of functions.
+    pub fn len(&self) -> usize {
+        self.callees.len()
+    }
+
+    /// Returns `true` if the graph has no functions.
+    pub fn is_empty(&self) -> bool {
+        self.callees.is_empty()
+    }
+
+    /// Functions directly called by `f`.
+    pub fn callees(&self, f: FuncId) -> &[FuncId] {
+        &self.callees[f.index()]
+    }
+
+    /// Functions directly calling `f`.
+    pub fn callers(&self, f: FuncId) -> &[FuncId] {
+        &self.callers[f.index()]
+    }
+
+    /// All functions reachable from `from` (inclusive), in BFS order.
+    pub fn reachable_from(&self, from: FuncId) -> Vec<FuncId> {
+        let mut seen = vec![false; self.len()];
+        let mut out = Vec::new();
+        let mut queue = VecDeque::new();
+        queue.push_back(from);
+        seen[from.index()] = true;
+        while let Some(f) = queue.pop_front() {
+            out.push(f);
+            for &c in self.callees(f) {
+                if !seen[c.index()] {
+                    seen[c.index()] = true;
+                    queue.push_back(c);
+                }
+            }
+        }
+        out
+    }
+
+    /// Strongly connected components in reverse topological order
+    /// (Tarjan's algorithm, iterative). Components with more than one
+    /// member — or a self-loop — are recursion groups.
+    pub fn sccs(&self) -> Vec<Vec<FuncId>> {
+        let n = self.len();
+        let mut index = vec![usize::MAX; n];
+        let mut low = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut next_index = 0usize;
+        let mut out: Vec<Vec<FuncId>> = Vec::new();
+
+        // Iterative Tarjan: (node, next child position).
+        for root in 0..n {
+            if index[root] != usize::MAX {
+                continue;
+            }
+            let mut call: Vec<(usize, usize)> = vec![(root, 0)];
+            while let Some(&mut (v, ref mut child)) = call.last_mut() {
+                if *child == 0 {
+                    index[v] = next_index;
+                    low[v] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[v] = true;
+                }
+                let succs = &self.callees[v];
+                if *child < succs.len() {
+                    let w = succs[*child].index();
+                    *child += 1;
+                    if index[w] == usize::MAX {
+                        call.push((w, 0));
+                    } else if on_stack[w] {
+                        low[v] = low[v].min(index[w]);
+                    }
+                } else {
+                    if low[v] == index[v] {
+                        let mut comp = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("tarjan stack nonempty");
+                            on_stack[w] = false;
+                            comp.push(FuncId(w as u32));
+                            if w == v {
+                                break;
+                            }
+                        }
+                        comp.sort_unstable_by_key(|f| f.0);
+                        out.push(comp);
+                    }
+                    call.pop();
+                    if let Some(&mut (parent, _)) = call.last_mut() {
+                        low[parent] = low[parent].min(low[v]);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The recursion groups: SCCs with more than one member, plus
+    /// self-recursive singletons.
+    pub fn recursion_groups(&self) -> Vec<Vec<FuncId>> {
+        self.sccs()
+            .into_iter()
+            .filter(|c| c.len() > 1 || self.callees(c[0]).contains(&c[0]))
+            .collect()
+    }
+
+    /// Renders the call graph as a Graphviz `dot` digraph.
+    pub fn to_dot(&self, prog: &Program) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "digraph callgraph {{");
+        let _ = writeln!(s, "  node [shape=box, fontname=\"monospace\"];");
+        for f in prog.funcs() {
+            let _ = writeln!(s, "  f{} [label=\"{}\"];", f.id.0, f.name.replace('"', "\\\""));
+        }
+        for (from, cs) in self.callees.iter().enumerate() {
+            for c in cs {
+                let _ = writeln!(s, "  f{from} -> f{};", c.0);
+            }
+        }
+        let _ = writeln!(s, "}}");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ProgramBuilder;
+
+    /// main -> a -> b -> a (recursion pair), main -> c, d unreachable.
+    fn sample() -> Program {
+        let mut b = ProgramBuilder::new();
+        b.begin_func("main");
+        b.call_named("a");
+        b.call_named("c");
+        b.ret();
+        b.end_func();
+        b.begin_func("a");
+        b.call_named("b");
+        b.ret();
+        b.end_func();
+        b.begin_func("b");
+        b.call_named("a");
+        b.ret();
+        b.end_func();
+        b.begin_func("c");
+        b.ret();
+        b.end_func();
+        b.begin_func("d");
+        b.call_named("d");
+        b.ret();
+        b.end_func();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn adjacency_is_consistent() {
+        let p = sample();
+        let g = CallGraph::build(&p);
+        assert_eq!(g.len(), 5);
+        assert_eq!(g.callees(FuncId(0)), &[FuncId(1), FuncId(3)]);
+        assert_eq!(g.callers(FuncId(1)), &[FuncId(0), FuncId(2)]);
+        for f in 0..5u32 {
+            for &c in g.callees(FuncId(f)) {
+                assert!(g.callers(c).contains(&FuncId(f)));
+            }
+        }
+    }
+
+    #[test]
+    fn reachability_excludes_disconnected_functions() {
+        let p = sample();
+        let g = CallGraph::build(&p);
+        let reach = g.reachable_from(FuncId(0));
+        assert_eq!(reach.len(), 4, "d is unreachable from main");
+        assert!(!reach.contains(&FuncId(4)));
+        assert_eq!(reach[0], FuncId(0), "BFS starts at the root");
+    }
+
+    #[test]
+    fn sccs_find_the_recursion_groups() {
+        let p = sample();
+        let g = CallGraph::build(&p);
+        let sccs = g.sccs();
+        // Every function appears in exactly one component.
+        let total: usize = sccs.iter().map(Vec::len).sum();
+        assert_eq!(total, 5);
+        let groups = g.recursion_groups();
+        assert_eq!(groups.len(), 2, "a<->b and the self-recursive d");
+        assert!(groups.iter().any(|c| c == &vec![FuncId(1), FuncId(2)]));
+        assert!(groups.iter().any(|c| c == &vec![FuncId(4)]));
+    }
+
+    #[test]
+    fn sccs_are_in_reverse_topological_order() {
+        let p = sample();
+        let g = CallGraph::build(&p);
+        let sccs = g.sccs();
+        let pos = |f: FuncId| sccs.iter().position(|c| c.contains(&f)).unwrap();
+        // Callees' components come before their callers'.
+        assert!(pos(FuncId(1)) < pos(FuncId(0)), "a/b before main");
+        assert!(pos(FuncId(3)) < pos(FuncId(0)), "c before main");
+    }
+
+    #[test]
+    fn dot_export_names_functions() {
+        let p = sample();
+        let g = CallGraph::build(&p);
+        let dot = g.to_dot(&p);
+        assert!(dot.contains("label=\"main\""));
+        assert!(dot.contains("f0 -> f1;"));
+        assert!(dot.contains("f4 -> f4;"));
+    }
+}

@@ -1,0 +1,581 @@
+//! A byte-level binary image format for programs, with an encoder
+//! ("assembler") and decoder ("disassembler").
+//!
+//! The paper's pipeline starts from an on-disk PE binary that IDA Pro
+//! disassembles; this module provides the equivalent boundary for the
+//! reproduction: a [`Program`] can be assembled into a flat byte image
+//! (`TIRA` format) and disassembled back, so binaries can be stored,
+//! shipped between machines (as the paper's artifact ships slice files),
+//! and re-analyzed without the generator.
+//!
+//! ## Image layout (all little-endian)
+//!
+//! ```text
+//! "TIRA" magic | u16 version | u32 entry-function index | u32 #functions
+//! per function: u16 name-len | name bytes | u32 #instructions
+//! instruction stream (variable length, see `encode_inst`)
+//! ```
+//!
+//! Jump targets and call targets are encoded as instruction/function
+//! *indices*, so the image is position-independent.
+
+use crate::{
+    BinOp, CallTarget, ExternKind, FuncId, InstId, InstKind, Opcode, Operand, Program,
+    ProgramBuilder, Reg,
+};
+use std::collections::HashMap;
+
+/// Magic bytes of the image format.
+pub const MAGIC: &[u8; 4] = b"TIRA";
+/// Current format version.
+pub const VERSION: u16 = 1;
+
+/// A decode failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The image does not start with the `TIRA` magic.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u16),
+    /// The image ended in the middle of a structure.
+    Truncated,
+    /// An enum tag was out of range.
+    BadTag(&'static str, u8),
+    /// An index pointed outside the image's tables.
+    BadIndex(&'static str, u32),
+    /// The decoded structures failed program construction.
+    Malformed(String),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadMagic => write!(f, "missing TIRA magic"),
+            DecodeError::BadVersion(v) => write!(f, "unsupported image version {v}"),
+            DecodeError::Truncated => write!(f, "truncated image"),
+            DecodeError::BadTag(what, t) => write!(f, "invalid {what} tag {t}"),
+            DecodeError::BadIndex(what, i) => write!(f, "{what} index {i} out of range"),
+            DecodeError::Malformed(m) => write!(f, "malformed program: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+// ---------------------------------------------------------------- encoding
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn i32(&mut self, v: i32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn bytes(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+}
+
+fn encode_operand(w: &mut Writer, o: Operand) {
+    match o {
+        Operand::Imm(c) => {
+            w.u8(0);
+            w.i64(c);
+        }
+        Operand::Loc(loc) => match loc.base {
+            crate::Addr::Reg(r) => {
+                w.u8(1);
+                w.u8(r.index() as u8);
+                w.i32(loc.offset as i32);
+            }
+            crate::Addr::Mem(m) => {
+                w.u8(2);
+                w.u64(m.value());
+                w.i32(loc.offset as i32);
+            }
+        },
+        Operand::Deref(loc) => match loc.base {
+            crate::Addr::Reg(r) => {
+                w.u8(3);
+                w.u8(r.index() as u8);
+                w.i32(loc.offset as i32);
+            }
+            crate::Addr::Mem(m) => {
+                w.u8(4);
+                w.u64(m.value());
+                w.i32(loc.offset as i32);
+            }
+        },
+    }
+}
+
+fn binop_tag(op: BinOp) -> u8 {
+    match op {
+        BinOp::Add => 0,
+        BinOp::Sub => 1,
+        BinOp::Mul => 2,
+        BinOp::And => 3,
+        BinOp::Or => 4,
+        BinOp::Xor => 5,
+        BinOp::Shl => 6,
+        BinOp::Shr => 7,
+    }
+}
+
+fn extern_tag(k: ExternKind) -> u8 {
+    match k {
+        ExternKind::Malloc => 0,
+        ExternKind::Free => 1,
+        ExternKind::Realloc => 2,
+        ExternKind::Other => 3,
+    }
+}
+
+/// Assembles a program into a flat byte image.
+pub fn assemble(prog: &Program) -> Vec<u8> {
+    let mut w = Writer { buf: Vec::with_capacity(prog.num_insts() * 8 + 64) };
+    w.bytes(MAGIC);
+    w.u16(VERSION);
+    w.u32(prog.entry_func().0);
+    w.u32(prog.funcs().len() as u32);
+    for f in prog.funcs() {
+        let name = f.name.as_bytes();
+        w.u16(name.len() as u16);
+        w.bytes(name);
+        w.u32(f.len() as u32);
+    }
+
+    // Address → instruction index, for jump target resolution.
+    let addr_index: HashMap<u64, u32> = prog
+        .insts()
+        .iter()
+        .enumerate()
+        .map(|(k, inst)| (inst.addr, k as u32))
+        .collect();
+
+    for (idx, inst) in prog.insts().iter().enumerate() {
+        w.u16(inst.opcode.id());
+        match &inst.kind {
+            InstKind::Use { oprs } if is_encoded_jump(prog, InstId(idx as u32), &addr_index) => {
+                // A resolved jump: encode the target instruction index.
+                let target = match oprs.first() {
+                    Some(Operand::Imm(a)) => addr_index[&(*a as u64)],
+                    _ => unreachable!("is_encoded_jump checked the shape"),
+                };
+                w.u8(7);
+                w.u32(target);
+            }
+            InstKind::Mov { dst, src } => {
+                w.u8(0);
+                encode_operand(&mut w, *dst);
+                encode_operand(&mut w, *src);
+            }
+            InstKind::Op { op, dst, src } => {
+                w.u8(1);
+                w.u8(binop_tag(*op));
+                encode_operand(&mut w, *dst);
+                encode_operand(&mut w, *src);
+            }
+            InstKind::Use { oprs } => {
+                w.u8(2);
+                w.u8(oprs.len() as u8);
+                for &o in oprs {
+                    encode_operand(&mut w, o);
+                }
+            }
+            InstKind::Push { src } => {
+                w.u8(3);
+                encode_operand(&mut w, *src);
+            }
+            InstKind::Pop { dst } => {
+                w.u8(4);
+                encode_operand(&mut w, *dst);
+            }
+            InstKind::Call { target } => {
+                w.u8(5);
+                match target {
+                    CallTarget::Direct(f) => {
+                        w.u8(0);
+                        w.u32(f.0);
+                    }
+                    CallTarget::External(k) => {
+                        w.u8(1);
+                        w.u8(extern_tag(*k));
+                    }
+                    CallTarget::Indirect(o) => {
+                        w.u8(2);
+                        encode_operand(&mut w, *o);
+                    }
+                }
+            }
+            InstKind::Ret => {
+                w.u8(6);
+            }
+        }
+    }
+    w.buf
+}
+
+/// Is this `Use` a jump whose single immediate operand resolves to a known
+/// instruction address (the form the builder produces for label jumps)?
+fn is_encoded_jump(prog: &Program, id: InstId, addr_index: &HashMap<u64, u32>) -> bool {
+    let inst = prog.inst(id);
+    let is_jump = inst.opcode == Opcode::Jmp || inst.opcode.is_conditional_jump();
+    if !is_jump {
+        return false;
+    }
+    match &inst.kind {
+        InstKind::Use { oprs } => match oprs.as_slice() {
+            [Operand::Imm(a)] => addr_index.contains_key(&(*a as u64)),
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+// ---------------------------------------------------------------- decoding
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.pos + n > self.buf.len() {
+            return Err(DecodeError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, DecodeError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+    }
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+    fn i32(&mut self) -> Result<i32, DecodeError> {
+        Ok(i32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+    fn i64(&mut self) -> Result<i64, DecodeError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+}
+
+fn decode_operand(r: &mut Reader) -> Result<Operand, DecodeError> {
+    match r.u8()? {
+        0 => Ok(Operand::Imm(r.i64()?)),
+        1 => {
+            let reg = decode_reg(r.u8()?)?;
+            let off = r.i32()? as i64;
+            Ok(Operand::Loc(crate::Loc::with_offset(reg, off)))
+        }
+        2 => {
+            let m = r.u64()?;
+            let off = r.i32()? as i64;
+            Ok(Operand::addr_of(m, off))
+        }
+        3 => {
+            let reg = decode_reg(r.u8()?)?;
+            let off = r.i32()? as i64;
+            Ok(Operand::mem_reg(reg, off))
+        }
+        4 => {
+            let m = r.u64()?;
+            let off = r.i32()? as i64;
+            Ok(Operand::mem_abs(m, off))
+        }
+        t => Err(DecodeError::BadTag("operand", t)),
+    }
+}
+
+fn decode_reg(idx: u8) -> Result<Reg, DecodeError> {
+    if (idx as usize) < Reg::ALL.len() {
+        Ok(Reg::from_index(idx as usize))
+    } else {
+        Err(DecodeError::BadTag("register", idx))
+    }
+}
+
+fn decode_binop(t: u8) -> Result<BinOp, DecodeError> {
+    Ok(match t {
+        0 => BinOp::Add,
+        1 => BinOp::Sub,
+        2 => BinOp::Mul,
+        3 => BinOp::And,
+        4 => BinOp::Or,
+        5 => BinOp::Xor,
+        6 => BinOp::Shl,
+        7 => BinOp::Shr,
+        other => return Err(DecodeError::BadTag("binop", other)),
+    })
+}
+
+fn decode_extern(t: u8) -> Result<ExternKind, DecodeError> {
+    Ok(match t {
+        0 => ExternKind::Malloc,
+        1 => ExternKind::Free,
+        2 => ExternKind::Realloc,
+        3 => ExternKind::Other,
+        other => return Err(DecodeError::BadTag("extern", other)),
+    })
+}
+
+fn opcode_by_id(id: u16) -> Option<Opcode> {
+    // ALL misses a few tail opcodes by construction; extend the search over
+    // the fixed table.
+    Opcode::ALL.into_iter().find(|o| o.id() == id).or(match id {
+        401 => Some(Opcode::Cdq),
+        402 => Some(Opcode::Sete),
+        403 => Some(Opcode::Setne),
+        404 => Some(Opcode::Int3),
+        _ => None,
+    })
+}
+
+/// One decoded instruction before program reconstruction.
+enum Decoded {
+    Plain(Opcode, InstKind),
+    Jump(Opcode, u32),
+    CallDirect(u32),
+    CallExtern(ExternKind),
+    CallIndirect(Operand),
+    Ret,
+}
+
+/// Disassembles a byte image back into a [`Program`].
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] on magic/version mismatch, truncation, invalid
+/// tags, out-of-range indices, or if the decoded structures cannot form a
+/// well-formed program.
+pub fn disassemble(image: &[u8]) -> Result<Program, DecodeError> {
+    let mut r = Reader { buf: image, pos: 0 };
+    if r.take(4)? != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let version = r.u16()?;
+    if version != VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+    let entry = r.u32()?;
+    let nfuncs = r.u32()? as usize;
+    // Counts come from untrusted bytes: bound them by what the remaining
+    // image could possibly hold (a function header is ≥ 6 bytes, an
+    // instruction ≥ 3) before allocating anything.
+    let remaining = image.len().saturating_sub(r.pos);
+    if nfuncs > remaining / 6 + 1 {
+        return Err(DecodeError::Truncated);
+    }
+    let mut names: Vec<String> = Vec::with_capacity(nfuncs);
+    let mut lens: Vec<u32> = Vec::with_capacity(nfuncs);
+    for _ in 0..nfuncs {
+        let nlen = r.u16()? as usize;
+        let name = String::from_utf8(r.take(nlen)?.to_vec())
+            .map_err(|_| DecodeError::Malformed("non-utf8 function name".into()))?;
+        names.push(name);
+        lens.push(r.u32()?);
+    }
+    if entry as usize >= nfuncs {
+        return Err(DecodeError::BadIndex("entry function", entry));
+    }
+    let total: u64 = lens.iter().map(|&l| u64::from(l)).sum();
+    let remaining = image.len().saturating_sub(r.pos);
+    if total > remaining as u64 / 3 + 1 {
+        return Err(DecodeError::Truncated);
+    }
+    let total = total as u32;
+
+    let mut decoded: Vec<Decoded> = Vec::with_capacity(total as usize);
+    for _ in 0..total {
+        let opcode = opcode_by_id(r.u16()?)
+            .ok_or(DecodeError::BadTag("opcode", 0))?;
+        let d = match r.u8()? {
+            0 => {
+                let dst = decode_operand(&mut r)?;
+                let src = decode_operand(&mut r)?;
+                Decoded::Plain(opcode, InstKind::Mov { dst, src })
+            }
+            1 => {
+                let op = decode_binop(r.u8()?)?;
+                let dst = decode_operand(&mut r)?;
+                let src = decode_operand(&mut r)?;
+                Decoded::Plain(opcode, InstKind::Op { op, dst, src })
+            }
+            2 => {
+                let n = r.u8()? as usize;
+                let mut oprs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    oprs.push(decode_operand(&mut r)?);
+                }
+                Decoded::Plain(opcode, InstKind::Use { oprs })
+            }
+            3 => Decoded::Plain(opcode, InstKind::Push { src: decode_operand(&mut r)? }),
+            4 => Decoded::Plain(opcode, InstKind::Pop { dst: decode_operand(&mut r)? }),
+            5 => match r.u8()? {
+                0 => {
+                    let f = r.u32()?;
+                    if f as usize >= nfuncs {
+                        return Err(DecodeError::BadIndex("callee", f));
+                    }
+                    Decoded::CallDirect(f)
+                }
+                1 => Decoded::CallExtern(decode_extern(r.u8()?)?),
+                2 => Decoded::CallIndirect(decode_operand(&mut r)?),
+                t => return Err(DecodeError::BadTag("call target", t)),
+            },
+            6 => Decoded::Ret,
+            7 => {
+                let target = r.u32()?;
+                if target >= total {
+                    return Err(DecodeError::BadIndex("jump target", target));
+                }
+                Decoded::Jump(opcode, target)
+            }
+            t => return Err(DecodeError::BadTag("instruction kind", t)),
+        };
+        decoded.push(d);
+    }
+
+    // Rebuild through the program builder, re-deriving labels and callees.
+    let mut b = ProgramBuilder::new();
+    let mut labels: HashMap<u32, crate::Label> = HashMap::new();
+    for d in &decoded {
+        if let Decoded::Jump(_, target) = d {
+            labels.entry(*target).or_insert_with(|| b.new_label());
+        }
+    }
+    let mut idx = 0u32;
+    for (k, name) in names.iter().enumerate() {
+        b.begin_func(name);
+        for _ in 0..lens[k] {
+            if let Some(label) = labels.get(&idx) {
+                b.bind_label(*label);
+            }
+            match &decoded[idx as usize] {
+                Decoded::Plain(op, kind) => {
+                    b.inst(*op, kind.clone());
+                }
+                Decoded::Jump(op, target) => {
+                    b.jump(*op, labels[target]);
+                }
+                Decoded::CallDirect(f) => {
+                    b.call_direct(FuncId(*f));
+                }
+                Decoded::CallExtern(k) => {
+                    b.call_extern(*k);
+                }
+                Decoded::CallIndirect(o) => {
+                    b.call_indirect(*o);
+                }
+                Decoded::Ret => {
+                    b.ret();
+                }
+            }
+            idx += 1;
+        }
+        b.end_func();
+    }
+    b.set_entry(&names[entry as usize]);
+    b.finish().map_err(|e| DecodeError::Malformed(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Program {
+        crate::parse_program(
+            "func main {\n\
+                 mov esi, [74404h]\n\
+                 cmp esi, 1\n\
+                 jae .skip\n\
+                 push esi\n\
+                 call helper\n\
+             .skip:\n\
+                 ret\n\
+             }\n\
+             func helper {\n\
+                 call malloc\n\
+                 ret\n\
+             }\n\
+             entry main",
+        )
+        .expect("sample parses")
+    }
+
+    #[test]
+    fn image_round_trip_preserves_everything() {
+        let p = sample();
+        let image = assemble(&p);
+        assert_eq!(&image[..4], MAGIC);
+        let q = disassemble(&image).expect("decodes");
+        assert_eq!(p.num_insts(), q.num_insts());
+        assert_eq!(p.funcs().len(), q.funcs().len());
+        assert_eq!(p.func(p.entry_func()).name, q.func(q.entry_func()).name);
+        for i in 0..p.num_insts() as u32 {
+            let id = InstId(i);
+            assert_eq!(p.inst(id).opcode, q.inst(id).opcode, "opcode of I{i}");
+            assert_eq!(p.inst(id).kind, q.inst(id).kind, "kind of I{i}");
+            assert_eq!(p.cfg_succs(id), q.cfg_succs(id), "edges of I{i}");
+        }
+        assert!(q.func_allocates(q.func_by_name("helper").unwrap().id));
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        assert!(matches!(disassemble(b"NOPE"), Err(DecodeError::BadMagic)));
+        assert!(matches!(disassemble(b"TI"), Err(DecodeError::Truncated)));
+    }
+
+    #[test]
+    fn bad_version_is_rejected() {
+        let mut image = assemble(&sample());
+        image[4] = 0xFF;
+        assert!(matches!(disassemble(&image), Err(DecodeError::BadVersion(_))));
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let image = assemble(&sample());
+        for cut in [5, 12, 20, image.len() - 1] {
+            let e = disassemble(&image[..cut]);
+            assert!(e.is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn corrupted_tags_are_rejected_not_panicking() {
+        let image = assemble(&sample());
+        // Flip every byte one at a time; decoding must never panic.
+        for k in 0..image.len() {
+            let mut bad = image.clone();
+            bad[k] ^= 0xA5;
+            let _ = disassemble(&bad);
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Functions: contiguous instruction ranges with an entry point.
+
+use crate::{FuncId, InstId};
+use serde::{Deserialize, Serialize};
+
+/// A function in a binary program.
+///
+/// Instructions of a function occupy a contiguous index range in the owning
+/// [`crate::Program`]; the entry is the first instruction of the range.
+/// In a stripped COTS binary function names are not available — the name here
+/// is the *synthetic* symbol kept for diagnostics and tests (IDA Pro shows
+/// recovered names like `std::_List_buy<int>::_Buynode` for statically-linked
+/// template code, which is how the paper's Figure 1 displays them).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Function {
+    /// This function's id.
+    pub id: FuncId,
+    /// Diagnostic symbol name.
+    pub name: String,
+    /// First instruction index (the entry point).
+    pub start: InstId,
+    /// One past the last instruction index.
+    pub end: InstId,
+}
+
+impl Function {
+    /// The entry instruction.
+    #[inline]
+    pub fn entry(&self) -> InstId {
+        self.start
+    }
+
+    /// Number of instructions in the function.
+    #[inline]
+    pub fn len(&self) -> usize {
+        (self.end.0 - self.start.0) as usize
+    }
+
+    /// Returns `true` if the function has no instructions.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Iterates over the instruction ids of this function.
+    pub fn inst_ids(&self) -> impl Iterator<Item = InstId> + '_ {
+        (self.start.0..self.end.0).map(InstId)
+    }
+
+    /// Returns `true` if `id` belongs to this function.
+    #[inline]
+    pub fn contains(&self, id: InstId) -> bool {
+        self.start <= id && id < self.end
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Function {
+        Function {
+            id: FuncId(0),
+            name: "main".to_owned(),
+            start: InstId(3),
+            end: InstId(7),
+        }
+    }
+
+    #[test]
+    fn len_and_contains() {
+        let f = sample();
+        assert_eq!(f.len(), 4);
+        assert!(!f.is_empty());
+        assert!(f.contains(InstId(3)));
+        assert!(f.contains(InstId(6)));
+        assert!(!f.contains(InstId(7)));
+        assert!(!f.contains(InstId(2)));
+    }
+
+    #[test]
+    fn inst_ids_cover_range() {
+        let f = sample();
+        let ids: Vec<u32> = f.inst_ids().map(|i| i.0).collect();
+        assert_eq!(ids, vec![3, 4, 5, 6]);
+    }
+}

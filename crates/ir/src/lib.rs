@@ -1,0 +1,85 @@
+//! # tiara-ir
+//!
+//! The binary intermediate representation underlying the TIARA reproduction
+//! (Wang et al., *Recovering Container Class Types in C++ Binaries*,
+//! CGO 2022).
+//!
+//! This crate models the paper's small language (Section III-A, eq. 1):
+//!
+//! ```text
+//! I    := mov opr1, opr2 | op⊕ opr1, opr2 | use ... oprk ... | push r | pop r
+//! opr  := c | loc | [loc]
+//! loc  := addr | addr + c
+//! addr := r | m
+//! ```
+//!
+//! together with the facts the paper obtains from IDA Pro and the Microsoft
+//! DIA SDK: concrete opcodes and operand types (for the GCN feature
+//! encoding), call/jump targets, transitive `malloc`/`free` reachability, and
+//! ground-truth variable type labels.
+//!
+//! A program is a single CFG `G = (I, E)` over all instructions
+//! ([`Program::cfg_succs`]), with functions as contiguous instruction ranges.
+//!
+//! Around the core IR, the crate provides the boundaries a binary-analysis
+//! pipeline needs:
+//!
+//! * [`parse_program`] — a textual assembly parser for Figure-1-style
+//!   listings;
+//! * [`assemble`] / [`disassemble`] — a byte-level `TIRA` image format
+//!   (hardened against corrupt inputs);
+//! * [`detect_frame_mode`] — the paper's `/Oy` frame-pointer-omission check;
+//! * [`CallGraph`] — reachability, recursion groups (SCCs), and Graphviz
+//!   export;
+//! * [`format_program`] — a disassembly pretty-printer.
+//!
+//! ## Example
+//!
+//! ```
+//! use tiara_ir::{ExternKind, InstKind, Opcode, Operand, ProgramBuilder, Reg};
+//!
+//! let mut b = ProgramBuilder::new();
+//! b.begin_func("main");
+//! b.inst(
+//!     Opcode::Mov,
+//!     InstKind::Mov {
+//!         dst: Operand::reg(Reg::Esi),
+//!         src: Operand::mem_abs(0x74404u64, 0),
+//!     },
+//! );
+//! b.call_extern(ExternKind::Malloc);
+//! b.ret();
+//! b.end_func();
+//! let prog = b.finish()?;
+//! assert_eq!(prog.num_insts(), 3);
+//! # Ok::<(), tiara_ir::BuildError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod analysis;
+mod callgraph;
+mod display;
+mod encode;
+mod func;
+mod inst;
+mod label;
+mod opcode;
+mod operand;
+mod parse;
+mod program;
+mod reg;
+
+pub use analysis::{detect_frame_mode, detect_frame_modes, frame_pointers_preserved, FrameMode};
+pub use callgraph::CallGraph;
+pub use display::{format_inst, format_program};
+pub use encode::{assemble, disassemble, DecodeError, MAGIC, VERSION};
+pub use func::Function;
+pub use inst::{BinOp, CallTarget, ExternKind, FuncId, Inst, InstId, InstKind};
+pub use label::{ContainerClass, DebugInfo, VarAddr, VarRecord};
+pub use opcode::Opcode;
+pub use operand::{Addr, Loc, MemAddr, Operand, OperandType};
+pub use parse::{parse_program, ParseError};
+pub use program::{BuildError, Label, Program, ProgramBuilder};
+pub use reg::Reg;

@@ -1,0 +1,333 @@
+//! Concrete x86 opcodes carried by IR instructions.
+//!
+//! The slicer works over the *semantic* instruction forms of the paper's small
+//! language ([`crate::InstKind`]), but the GCN feature encoding (Section
+//! III-B1, feature `F2`) needs the concrete opcode: a 12-bit binary
+//! representation of the opcode's numeric id, assigned so that "opcodes with
+//! similar semantics are close together (e.g. push/pushaw/pusha assigned with
+//! 143/144/145)". We follow the same design: mnemonics are grouped by family
+//! and family members get adjacent ids.
+
+use serde::{Deserialize, Serialize};
+
+/// A concrete x86 mnemonic.
+///
+/// The numeric id ([`Opcode::id`]) feeds feature `F2` of the instruction
+/// encoding; ids are stable and grouped by semantic family, mirroring IDA
+/// Pro's opcode-id layout that the paper relies on.
+///
+/// # Examples
+///
+/// ```
+/// use tiara_ir::Opcode;
+///
+/// // Family members have adjacent ids, like IDA's push/pusha/pushaw.
+/// assert_eq!(Opcode::Pusha.id(), Opcode::Push.id() + 1);
+/// assert!(Opcode::Call.id() < (1 << 12), "must fit in 12 bits");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+#[allow(missing_docs)] // variants are the standard x86 mnemonics
+pub enum Opcode {
+    // --- data movement family (ids 20..) ---
+    Mov,
+    Movzx,
+    Movsx,
+    Lea,
+    Xchg,
+    Cmovcc,
+    // --- stack family (ids 143.., matching the paper's example ids) ---
+    Push,
+    Pusha,
+    Pushaw,
+    Pop,
+    Popa,
+    Popaw,
+    // --- arithmetic family (ids 200..) ---
+    Add,
+    Adc,
+    Sub,
+    Sbb,
+    Inc,
+    Dec,
+    Neg,
+    Mul,
+    Imul,
+    Div,
+    Idiv,
+    // --- bitwise family (ids 230..) ---
+    And,
+    Or,
+    Xor,
+    Not,
+    Shl,
+    Shr,
+    Sar,
+    Rol,
+    Ror,
+    // --- comparison / test family (ids 260..) ---
+    Cmp,
+    Test,
+    // --- control flow family (ids 300..) ---
+    Jmp,
+    Je,
+    Jne,
+    Jb,
+    Jae,
+    Jbe,
+    Ja,
+    Jl,
+    Jge,
+    Jle,
+    Jg,
+    Js,
+    Jns,
+    Call,
+    Ret,
+    Leave,
+    // --- misc family (ids 400..) ---
+    Nop,
+    Cdq,
+    Sete,
+    Setne,
+    Int3,
+}
+
+impl Opcode {
+    /// Every opcode, in id order.
+    pub const ALL: [Opcode; 51] = [
+        Opcode::Mov,
+        Opcode::Movzx,
+        Opcode::Movsx,
+        Opcode::Lea,
+        Opcode::Xchg,
+        Opcode::Cmovcc,
+        Opcode::Push,
+        Opcode::Pusha,
+        Opcode::Pushaw,
+        Opcode::Pop,
+        Opcode::Popa,
+        Opcode::Popaw,
+        Opcode::Add,
+        Opcode::Adc,
+        Opcode::Sub,
+        Opcode::Sbb,
+        Opcode::Inc,
+        Opcode::Dec,
+        Opcode::Neg,
+        Opcode::Mul,
+        Opcode::Imul,
+        Opcode::Div,
+        Opcode::Idiv,
+        Opcode::And,
+        Opcode::Or,
+        Opcode::Xor,
+        Opcode::Not,
+        Opcode::Shl,
+        Opcode::Shr,
+        Opcode::Sar,
+        Opcode::Rol,
+        Opcode::Ror,
+        Opcode::Cmp,
+        Opcode::Test,
+        Opcode::Jmp,
+        Opcode::Je,
+        Opcode::Jne,
+        Opcode::Jb,
+        Opcode::Jae,
+        Opcode::Jbe,
+        Opcode::Ja,
+        Opcode::Jl,
+        Opcode::Jge,
+        Opcode::Jle,
+        Opcode::Jg,
+        Opcode::Js,
+        Opcode::Jns,
+        Opcode::Call,
+        Opcode::Ret,
+        Opcode::Leave,
+        Opcode::Nop,
+    ];
+
+    /// The IDA-style numeric id of this opcode. Fits in 12 bits; family
+    /// members are adjacent.
+    pub fn id(self) -> u16 {
+        match self {
+            Opcode::Mov => 20,
+            Opcode::Movzx => 21,
+            Opcode::Movsx => 22,
+            Opcode::Lea => 23,
+            Opcode::Xchg => 24,
+            Opcode::Cmovcc => 25,
+            Opcode::Push => 143,
+            Opcode::Pusha => 144,
+            Opcode::Pushaw => 145,
+            Opcode::Pop => 146,
+            Opcode::Popa => 147,
+            Opcode::Popaw => 148,
+            Opcode::Add => 200,
+            Opcode::Adc => 201,
+            Opcode::Sub => 202,
+            Opcode::Sbb => 203,
+            Opcode::Inc => 204,
+            Opcode::Dec => 205,
+            Opcode::Neg => 206,
+            Opcode::Mul => 207,
+            Opcode::Imul => 208,
+            Opcode::Div => 209,
+            Opcode::Idiv => 210,
+            Opcode::And => 230,
+            Opcode::Or => 231,
+            Opcode::Xor => 232,
+            Opcode::Not => 233,
+            Opcode::Shl => 234,
+            Opcode::Shr => 235,
+            Opcode::Sar => 236,
+            Opcode::Rol => 237,
+            Opcode::Ror => 238,
+            Opcode::Cmp => 260,
+            Opcode::Test => 261,
+            Opcode::Jmp => 300,
+            Opcode::Je => 301,
+            Opcode::Jne => 302,
+            Opcode::Jb => 303,
+            Opcode::Jae => 304,
+            Opcode::Jbe => 305,
+            Opcode::Ja => 306,
+            Opcode::Jl => 307,
+            Opcode::Jge => 308,
+            Opcode::Jle => 309,
+            Opcode::Jg => 310,
+            Opcode::Js => 311,
+            Opcode::Jns => 312,
+            Opcode::Call => 340,
+            Opcode::Ret => 341,
+            Opcode::Leave => 342,
+            Opcode::Nop => 400,
+            Opcode::Cdq => 401,
+            Opcode::Sete => 402,
+            Opcode::Setne => 403,
+            Opcode::Int3 => 404,
+        }
+    }
+
+    /// The assembly mnemonic, lowercase.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Opcode::Mov => "mov",
+            Opcode::Movzx => "movzx",
+            Opcode::Movsx => "movsx",
+            Opcode::Lea => "lea",
+            Opcode::Xchg => "xchg",
+            Opcode::Cmovcc => "cmov",
+            Opcode::Push => "push",
+            Opcode::Pusha => "pusha",
+            Opcode::Pushaw => "pushaw",
+            Opcode::Pop => "pop",
+            Opcode::Popa => "popa",
+            Opcode::Popaw => "popaw",
+            Opcode::Add => "add",
+            Opcode::Adc => "adc",
+            Opcode::Sub => "sub",
+            Opcode::Sbb => "sbb",
+            Opcode::Inc => "inc",
+            Opcode::Dec => "dec",
+            Opcode::Neg => "neg",
+            Opcode::Mul => "mul",
+            Opcode::Imul => "imul",
+            Opcode::Div => "div",
+            Opcode::Idiv => "idiv",
+            Opcode::And => "and",
+            Opcode::Or => "or",
+            Opcode::Xor => "xor",
+            Opcode::Not => "not",
+            Opcode::Shl => "shl",
+            Opcode::Shr => "shr",
+            Opcode::Sar => "sar",
+            Opcode::Rol => "rol",
+            Opcode::Ror => "ror",
+            Opcode::Cmp => "cmp",
+            Opcode::Test => "test",
+            Opcode::Jmp => "jmp",
+            Opcode::Je => "je",
+            Opcode::Jne => "jne",
+            Opcode::Jb => "jb",
+            Opcode::Jae => "jae",
+            Opcode::Jbe => "jbe",
+            Opcode::Ja => "ja",
+            Opcode::Jl => "jl",
+            Opcode::Jge => "jge",
+            Opcode::Jle => "jle",
+            Opcode::Jg => "jg",
+            Opcode::Js => "js",
+            Opcode::Jns => "jns",
+            Opcode::Call => "call",
+            Opcode::Ret => "ret",
+            Opcode::Leave => "leave",
+            Opcode::Nop => "nop",
+            Opcode::Cdq => "cdq",
+            Opcode::Sete => "sete",
+            Opcode::Setne => "setne",
+            Opcode::Int3 => "int3",
+        }
+    }
+
+    /// Returns `true` for conditional jump opcodes (`je`, `jne`, …).
+    pub fn is_conditional_jump(self) -> bool {
+        matches!(
+            self,
+            Opcode::Je
+                | Opcode::Jne
+                | Opcode::Jb
+                | Opcode::Jae
+                | Opcode::Jbe
+                | Opcode::Ja
+                | Opcode::Jl
+                | Opcode::Jge
+                | Opcode::Jle
+                | Opcode::Jg
+                | Opcode::Js
+                | Opcode::Jns
+        )
+    }
+}
+
+impl std::fmt::Display for Opcode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn ids_fit_in_twelve_bits() {
+        for op in Opcode::ALL {
+            assert!(op.id() < (1 << 12), "{op} id {} exceeds 12 bits", op.id());
+        }
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let ids: BTreeSet<u16> = Opcode::ALL.iter().map(|o| o.id()).collect();
+        assert_eq!(ids.len(), Opcode::ALL.len());
+    }
+
+    #[test]
+    fn push_family_matches_paper_ids() {
+        // Section III-B1 example: push/pushaw/pusha assigned 143/144/145.
+        assert_eq!(Opcode::Push.id(), 143);
+        assert_eq!(Opcode::Pusha.id(), 144);
+        assert_eq!(Opcode::Pushaw.id(), 145);
+    }
+
+    #[test]
+    fn conditional_jumps_classified() {
+        assert!(Opcode::Jae.is_conditional_jump());
+        assert!(!Opcode::Jmp.is_conditional_jump());
+        assert!(!Opcode::Call.is_conditional_jump());
+    }
+}

@@ -1,0 +1,355 @@
+//! Operands of the paper's small language (Section III-A, eq. 1):
+//!
+//! ```text
+//! opr  := c | loc | [loc]
+//! loc  := addr | addr + c
+//! addr := r | m
+//! ```
+//!
+//! An operand is a constant, a reference to a location (the location's own
+//! value — a register read, or the *address* of a memory location as produced
+//! by `lea`/`offset`), or an indirect reference `[loc]` (a memory load or
+//! store through the location).
+
+use crate::Reg;
+use serde::{Deserialize, Serialize};
+
+/// An absolute memory address `m` (e.g. the address of a global variable such
+/// as the paper's `v0 = 074404h`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MemAddr(pub u64);
+
+impl MemAddr {
+    /// The raw address value.
+    #[inline]
+    pub fn value(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for MemAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:06X}h", self.0)
+    }
+}
+
+impl From<u64> for MemAddr {
+    fn from(v: u64) -> Self {
+        MemAddr(v)
+    }
+}
+
+/// A base address `addr := r | m`: a register or an absolute memory address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Addr {
+    /// A register base.
+    Reg(Reg),
+    /// An absolute memory address base.
+    Mem(MemAddr),
+}
+
+impl Addr {
+    /// The register, if this base is a register.
+    #[inline]
+    pub fn as_reg(self) -> Option<Reg> {
+        match self {
+            Addr::Reg(r) => Some(r),
+            Addr::Mem(_) => None,
+        }
+    }
+
+    /// The memory address, if this base is absolute.
+    #[inline]
+    pub fn as_mem(self) -> Option<MemAddr> {
+        match self {
+            Addr::Mem(m) => Some(m),
+            Addr::Reg(_) => None,
+        }
+    }
+}
+
+impl From<Reg> for Addr {
+    fn from(r: Reg) -> Self {
+        Addr::Reg(r)
+    }
+}
+
+impl From<MemAddr> for Addr {
+    fn from(m: MemAddr) -> Self {
+        Addr::Mem(m)
+    }
+}
+
+/// A location `loc := addr + c`: a base with a constant byte offset
+/// (offset 0 encodes the plain `addr` form).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Loc {
+    /// Base register or absolute address.
+    pub base: Addr,
+    /// Constant byte offset `c`.
+    pub offset: i64,
+}
+
+impl Loc {
+    /// A location with zero offset.
+    #[inline]
+    pub fn new(base: impl Into<Addr>) -> Loc {
+        Loc { base: base.into(), offset: 0 }
+    }
+
+    /// A location `base + offset`.
+    #[inline]
+    pub fn with_offset(base: impl Into<Addr>, offset: i64) -> Loc {
+        Loc { base: base.into(), offset }
+    }
+
+    /// Returns the register base, if any.
+    #[inline]
+    pub fn base_reg(self) -> Option<Reg> {
+        self.base.as_reg()
+    }
+
+    /// Returns the absolute base address, if any.
+    #[inline]
+    pub fn base_mem(self) -> Option<MemAddr> {
+        self.base.as_mem()
+    }
+}
+
+impl std::fmt::Display for Loc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.base {
+            Addr::Reg(r) => {
+                if self.offset == 0 {
+                    write!(f, "{r}")
+                } else if self.offset > 0 {
+                    write!(f, "{r}+{:X}h", self.offset)
+                } else {
+                    write!(f, "{r}-{:X}h", -self.offset)
+                }
+            }
+            Addr::Mem(m) => {
+                if self.offset == 0 {
+                    write!(f, "{m}")
+                } else if self.offset > 0 {
+                    write!(f, "{m}+{:X}h", self.offset)
+                } else {
+                    write!(f, "{m}-{:X}h", -self.offset)
+                }
+            }
+        }
+    }
+}
+
+/// An operand `opr := c | loc | [loc]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Operand {
+    /// An immediate constant `c`.
+    Imm(i64),
+    /// A direct reference to a location: a register read/write, or the
+    /// *address* of a memory location (`lea r, [m]` / `push offset m`).
+    Loc(Loc),
+    /// An indirect reference `[loc]`: a memory access through the location.
+    Deref(Loc),
+}
+
+impl Operand {
+    /// A register operand.
+    #[inline]
+    pub fn reg(r: Reg) -> Operand {
+        Operand::Loc(Loc::new(r))
+    }
+
+    /// An immediate operand.
+    #[inline]
+    pub fn imm(c: i64) -> Operand {
+        Operand::Imm(c)
+    }
+
+    /// A memory load/store `[r + offset]`.
+    #[inline]
+    pub fn mem_reg(r: Reg, offset: i64) -> Operand {
+        Operand::Deref(Loc::with_offset(r, offset))
+    }
+
+    /// A memory load/store at an absolute address `[m + offset]`.
+    #[inline]
+    pub fn mem_abs(m: impl Into<MemAddr>, offset: i64) -> Operand {
+        Operand::Deref(Loc::with_offset(m.into(), offset))
+    }
+
+    /// The *address* of a global, as in `push offset m` or `lea`.
+    #[inline]
+    pub fn addr_of(m: impl Into<MemAddr>, offset: i64) -> Operand {
+        Operand::Loc(Loc::with_offset(m.into(), offset))
+    }
+
+    /// Returns the register if this operand is a plain register reference.
+    #[inline]
+    pub fn as_reg(self) -> Option<Reg> {
+        match self {
+            Operand::Loc(Loc { base: Addr::Reg(r), offset: 0 }) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if the operand reads memory through an indirection.
+    #[inline]
+    pub fn is_indirect(self) -> bool {
+        matches!(self, Operand::Deref(_))
+    }
+
+    /// The register this operand dereferences through, if any (`[r+c]`).
+    #[inline]
+    pub fn deref_reg(self) -> Option<(Reg, i64)> {
+        match self {
+            Operand::Deref(Loc { base: Addr::Reg(r), offset }) => Some((r, offset)),
+            _ => None,
+        }
+    }
+
+    /// The absolute address this operand dereferences, if any (`[m+c]`).
+    #[inline]
+    pub fn deref_mem(self) -> Option<(MemAddr, i64)> {
+        match self {
+            Operand::Deref(Loc { base: Addr::Mem(m), offset }) => Some((m, offset)),
+            _ => None,
+        }
+    }
+
+    /// The IDA-style operand type classification used by feature `F3`/`F4`.
+    pub fn operand_type(self) -> OperandType {
+        match self {
+            Operand::Imm(_) => OperandType::Immediate,
+            Operand::Loc(Loc { base: Addr::Reg(_), offset: 0 }) => OperandType::Register,
+            // `lea`-style address computations over a register frame.
+            Operand::Loc(Loc { base: Addr::Reg(_), .. }) => OperandType::Displacement,
+            // `offset m` immediates naming a global.
+            Operand::Loc(Loc { base: Addr::Mem(_), .. }) => OperandType::ImmediateNear,
+            Operand::Deref(Loc { base: Addr::Mem(_), .. }) => OperandType::MemoryDirect,
+            Operand::Deref(Loc { base: Addr::Reg(_), offset: 0 }) => OperandType::Phrase,
+            Operand::Deref(Loc { base: Addr::Reg(_), .. }) => OperandType::Displacement,
+        }
+    }
+}
+
+impl std::fmt::Display for Operand {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Operand::Imm(c) => {
+                if *c >= 0 {
+                    write!(f, "{:X}h", c)
+                } else {
+                    write!(f, "-{:X}h", -c)
+                }
+            }
+            Operand::Loc(loc) => match loc.base {
+                Addr::Reg(_) => write!(f, "{loc}"),
+                Addr::Mem(_) => write!(f, "offset {loc}"),
+            },
+            Operand::Deref(loc) => write!(f, "dword ptr [{loc}]"),
+        }
+    }
+}
+
+/// The 13 operand types IDA Pro distinguishes, used for the one-hot encoding
+/// of features `F3` and `F4` (Section III-B1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum OperandType {
+    /// No operand (`o_void`).
+    Nil = 0,
+    /// General register (`o_reg`).
+    Register = 1,
+    /// Direct memory reference (`o_mem`).
+    MemoryDirect = 2,
+    /// Memory reference with base and index registers (`o_phrase`).
+    Phrase = 3,
+    /// Base + index + displacement (`o_displ`).
+    Displacement = 4,
+    /// Immediate value (`o_imm`).
+    Immediate = 5,
+    /// Immediate far address (`o_far`).
+    ImmediateFar = 6,
+    /// Immediate near address (`o_near`).
+    ImmediateNear = 7,
+    /// Processor-specific type 1 (`o_idpspec0`).
+    Spec0 = 8,
+    /// Processor-specific type 2.
+    Spec1 = 9,
+    /// Processor-specific type 3.
+    Spec2 = 10,
+    /// Processor-specific type 4.
+    Spec3 = 11,
+    /// Processor-specific type 5.
+    Spec4 = 12,
+}
+
+impl OperandType {
+    /// Number of distinct operand types (the width of the one-hot encoding).
+    pub const COUNT: usize = 13;
+
+    /// Dense index in `0..13` for one-hot encoding.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operand_type_of_common_forms() {
+        assert_eq!(Operand::reg(Reg::Eax).operand_type(), OperandType::Register);
+        assert_eq!(Operand::imm(10).operand_type(), OperandType::Immediate);
+        assert_eq!(
+            Operand::mem_abs(0x74404u64, 0).operand_type(),
+            OperandType::MemoryDirect
+        );
+        assert_eq!(
+            Operand::mem_reg(Reg::Esi, 4).operand_type(),
+            OperandType::Displacement
+        );
+        assert_eq!(Operand::mem_reg(Reg::Esi, 0).operand_type(), OperandType::Phrase);
+        assert_eq!(
+            Operand::addr_of(0x73034u64, 0).operand_type(),
+            OperandType::ImmediateNear
+        );
+    }
+
+    #[test]
+    fn as_reg_only_for_plain_registers() {
+        assert_eq!(Operand::reg(Reg::Ecx).as_reg(), Some(Reg::Ecx));
+        assert_eq!(Operand::mem_reg(Reg::Ecx, 0).as_reg(), None);
+        assert_eq!(Operand::imm(1).as_reg(), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Operand::reg(Reg::Esi).to_string(), "esi");
+        assert_eq!(Operand::imm(0x14).to_string(), "14h");
+        assert_eq!(
+            Operand::mem_reg(Reg::Ebp, 8).to_string(),
+            "dword ptr [ebp+8h]"
+        );
+        assert_eq!(
+            Operand::mem_abs(0x74404u64, 0).to_string(),
+            "dword ptr [074404h]"
+        );
+    }
+
+    #[test]
+    fn deref_accessors() {
+        assert_eq!(
+            Operand::mem_reg(Reg::Esi, 4).deref_reg(),
+            Some((Reg::Esi, 4))
+        );
+        assert_eq!(
+            Operand::mem_abs(0x100u64, -4).deref_mem(),
+            Some((MemAddr(0x100), -4))
+        );
+        assert_eq!(Operand::reg(Reg::Esi).deref_reg(), None);
+    }
+}

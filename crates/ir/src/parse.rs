@@ -1,0 +1,536 @@
+//! A textual assembly parser: builds [`Program`]s from human-readable
+//! listings, so externally produced disassembly (in the style of the paper's
+//! Figure 1) can be fed to the slicer directly.
+//!
+//! # Syntax
+//!
+//! ```text
+//! func main {
+//!     mov esi, dword ptr [74404h]
+//!     push esi
+//!     call std::_List_buynode
+//!     cmp ebx, 1
+//!     jae .done
+//!     push offset 7A010h
+//!     call dword ptr [73034h]
+//! .done:
+//!     inc ecx
+//!     ret
+//! }
+//!
+//! func std::_List_buynode {
+//!     push ebp
+//!     mov ebp, esp
+//!     call malloc
+//!     ret
+//! }
+//! ```
+//!
+//! * one instruction per line; `;` starts a comment;
+//! * labels are `.name:` on their own line, referenced as `.name`;
+//! * numbers are decimal, or hex with an `h` suffix (`74404h`) or `0x`
+//!   prefix;
+//! * memory operands: `[74404h]`, `[esi+4]`, `[ebp-18h]`, optionally
+//!   prefixed with `dword ptr`;
+//! * `offset 74404h` is an address-of immediate;
+//! * `call` targets: a function name, one of the known externs
+//!   (`malloc`, `free`, `realloc`), or an indirect `dword ptr […]` operand;
+//! * the first function is the entry unless a line `entry <name>` appears.
+
+use crate::{
+    BinOp, ExternKind, InstKind, Label, Opcode, Operand, Program, ProgramBuilder, Reg,
+};
+use std::collections::HashMap;
+
+/// A parse failure, with a 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line of the failure.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError { line, message: message.into() }
+}
+
+/// Parses a textual listing into a [`Program`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with the offending line on any syntax problem,
+/// and converts [`crate::BuildError`]s (unknown callee, unbound label, …)
+/// into errors on the closing line.
+pub fn parse_program(text: &str) -> Result<Program, ParseError> {
+    let mut b = ProgramBuilder::new();
+    let mut in_func = false;
+    let mut labels: HashMap<String, Label> = HashMap::new();
+    let mut entry: Option<String> = None;
+    let mut last_line = 0usize;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let ln = idx + 1;
+        last_line = ln;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+
+        if let Some(rest) = line.strip_prefix("entry ") {
+            entry = Some(rest.trim().to_owned());
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("func ") {
+            if in_func {
+                return Err(err(ln, "`func` before the previous `}`"));
+            }
+            let name = rest.trim_end_matches('{').trim();
+            if name.is_empty() {
+                return Err(err(ln, "missing function name"));
+            }
+            b.begin_func(name);
+            labels.clear();
+            in_func = true;
+            continue;
+        }
+        if line == "}" {
+            if !in_func {
+                return Err(err(ln, "`}` outside a function"));
+            }
+            b.end_func();
+            in_func = false;
+            continue;
+        }
+        if !in_func {
+            return Err(err(ln, format!("instruction outside a function: `{line}`")));
+        }
+        if let Some(name) = line.strip_prefix('.').and_then(|l| l.strip_suffix(':')) {
+            let label = *labels
+                .entry(name.to_owned())
+                .or_insert_with(|| b.new_label());
+            b.bind_label(label);
+            continue;
+        }
+        parse_inst(&mut b, &mut labels, line, ln)?;
+    }
+    if in_func {
+        return Err(err(last_line, "unterminated function (missing `}`)"));
+    }
+
+    if let Some(name) = entry {
+        b.set_entry(&name);
+    }
+    b.finish().map_err(|e| err(last_line, e.to_string()))
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find(';') {
+        Some(k) => &line[..k],
+        None => line,
+    }
+}
+
+/// Splits `mov esi, dword ptr [74404h]` into mnemonic and operand strings.
+fn split_operands(rest: &str) -> Vec<String> {
+    rest.split(',').map(|s| s.trim().to_owned()).filter(|s| !s.is_empty()).collect()
+}
+
+fn parse_inst(
+    b: &mut ProgramBuilder,
+    labels: &mut HashMap<String, Label>,
+    line: &str,
+    ln: usize,
+) -> Result<(), ParseError> {
+    let (mn, rest) = match line.find(char::is_whitespace) {
+        Some(k) => (&line[..k], line[k..].trim()),
+        None => (line, ""),
+    };
+    let mnemonic = mn.to_ascii_lowercase();
+
+    // Control flow first.
+    match mnemonic.as_str() {
+        "ret" => {
+            b.ret();
+            return Ok(());
+        }
+        "call" => {
+            return parse_call(b, rest, ln);
+        }
+        "jmp" | "je" | "jne" | "jb" | "jae" | "jbe" | "ja" | "jl" | "jge" | "jle" | "jg"
+        | "js" | "jns" => {
+            let opcode = jump_opcode(&mnemonic).expect("matched above");
+            let Some(name) = rest.strip_prefix('.') else {
+                return Err(err(ln, format!("jump target must be a `.label`, got `{rest}`")));
+            };
+            let label = *labels
+                .entry(name.trim().to_owned())
+                .or_insert_with(|| b.new_label());
+            b.jump(opcode, label);
+            return Ok(());
+        }
+        _ => {}
+    }
+
+    let oprs = split_operands(rest);
+    let parsed: Result<Vec<Operand>, ParseError> =
+        oprs.iter().map(|o| parse_operand(o, ln)).collect();
+    let parsed = parsed?;
+
+    let two = |ln: usize| -> Result<(Operand, Operand), ParseError> {
+        if parsed.len() != 2 {
+            return Err(err(ln, format!("`{mnemonic}` expects 2 operands, got {}", parsed.len())));
+        }
+        Ok((parsed[0], parsed[1]))
+    };
+
+    match mnemonic.as_str() {
+        "mov" | "movzx" | "movsx" | "lea" => {
+            let (dst, src) = two(ln)?;
+            let opcode = match mnemonic.as_str() {
+                "lea" => Opcode::Lea,
+                "movzx" => Opcode::Movzx,
+                "movsx" => Opcode::Movsx,
+                _ => Opcode::Mov,
+            };
+            // `lea r, [x]` takes the address: re-express the deref as a Loc.
+            let src = if opcode == Opcode::Lea {
+                match src {
+                    Operand::Deref(loc) => Operand::Loc(loc),
+                    other => other,
+                }
+            } else {
+                src
+            };
+            b.inst(opcode, InstKind::Mov { dst, src });
+        }
+        "add" | "sub" | "and" | "or" | "xor" | "shl" | "shr" | "sar" | "imul" => {
+            let (dst, src) = two(ln)?;
+            let (opcode, op) = match mnemonic.as_str() {
+                "add" => (Opcode::Add, BinOp::Add),
+                "sub" => (Opcode::Sub, BinOp::Sub),
+                "and" => (Opcode::And, BinOp::And),
+                "or" => (Opcode::Or, BinOp::Or),
+                "xor" => (Opcode::Xor, BinOp::Xor),
+                "shl" => (Opcode::Shl, BinOp::Shl),
+                "sar" => (Opcode::Sar, BinOp::Shr),
+                "shr" => (Opcode::Shr, BinOp::Shr),
+                _ => (Opcode::Imul, BinOp::Mul),
+            };
+            b.inst(opcode, InstKind::Op { op, dst, src });
+        }
+        "inc" | "dec" => {
+            if parsed.len() != 1 {
+                return Err(err(ln, format!("`{mnemonic}` expects 1 operand")));
+            }
+            let (opcode, op) = if mnemonic == "inc" {
+                (Opcode::Inc, BinOp::Add)
+            } else {
+                (Opcode::Dec, BinOp::Sub)
+            };
+            b.inst(opcode, InstKind::Op { op, dst: parsed[0], src: Operand::imm(1) });
+        }
+        "cmp" | "test" => {
+            let (a, s) = two(ln)?;
+            let opcode = if mnemonic == "cmp" { Opcode::Cmp } else { Opcode::Test };
+            b.inst(opcode, InstKind::Use { oprs: vec![a, s] });
+        }
+        "push" => {
+            if parsed.len() != 1 {
+                return Err(err(ln, "`push` expects 1 operand"));
+            }
+            b.inst(Opcode::Push, InstKind::Push { src: parsed[0] });
+        }
+        "pop" => {
+            if parsed.len() != 1 {
+                return Err(err(ln, "`pop` expects 1 operand"));
+            }
+            b.inst(Opcode::Pop, InstKind::Pop { dst: parsed[0] });
+        }
+        "nop" => {
+            b.inst(Opcode::Nop, InstKind::Use { oprs: Vec::new() });
+        }
+        other => return Err(err(ln, format!("unknown mnemonic `{other}`"))),
+    }
+    Ok(())
+}
+
+fn jump_opcode(mnemonic: &str) -> Option<Opcode> {
+    Some(match mnemonic {
+        "jmp" => Opcode::Jmp,
+        "je" => Opcode::Je,
+        "jne" => Opcode::Jne,
+        "jb" => Opcode::Jb,
+        "jae" => Opcode::Jae,
+        "jbe" => Opcode::Jbe,
+        "ja" => Opcode::Ja,
+        "jl" => Opcode::Jl,
+        "jge" => Opcode::Jge,
+        "jle" => Opcode::Jle,
+        "jg" => Opcode::Jg,
+        "js" => Opcode::Js,
+        "jns" => Opcode::Jns,
+        _ => return None,
+    })
+}
+
+fn parse_call(b: &mut ProgramBuilder, rest: &str, ln: usize) -> Result<(), ParseError> {
+    let target = rest.trim();
+    if target.is_empty() {
+        return Err(err(ln, "`call` needs a target"));
+    }
+    match target.to_ascii_lowercase().as_str() {
+        "malloc" | "operator_new" => {
+            b.call_extern(ExternKind::Malloc);
+            return Ok(());
+        }
+        "free" | "operator_delete" => {
+            b.call_extern(ExternKind::Free);
+            return Ok(());
+        }
+        "realloc" => {
+            b.call_extern(ExternKind::Realloc);
+            return Ok(());
+        }
+        "extern" => {
+            b.call_extern(ExternKind::Other);
+            return Ok(());
+        }
+        _ => {}
+    }
+    if target.starts_with('[') || target.starts_with("dword ptr") {
+        let opr = parse_operand(target, ln)?;
+        b.call_indirect(opr);
+        return Ok(());
+    }
+    b.call_named(target);
+    Ok(())
+}
+
+/// Parses a number: decimal, `0x…`, or trailing-`h` hex.
+fn parse_number(s: &str, ln: usize) -> Result<i64, ParseError> {
+    let s = s.trim();
+    let (neg, s) = match s.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, s),
+    };
+    let value = if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16)
+    } else if let Some(hex) = s.strip_suffix('h').or_else(|| s.strip_suffix('H')) {
+        i64::from_str_radix(hex, 16)
+    } else {
+        s.parse::<i64>()
+    }
+    .map_err(|_| err(ln, format!("invalid number `{s}`")))?;
+    Ok(if neg { -value } else { value })
+}
+
+fn parse_reg(s: &str) -> Option<Reg> {
+    Reg::ALL.into_iter().find(|r| r.name() == s.to_ascii_lowercase())
+}
+
+/// Parses one operand.
+fn parse_operand(s: &str, ln: usize) -> Result<Operand, ParseError> {
+    let s = s.trim();
+    let s = s
+        .strip_prefix("dword ptr")
+        .or_else(|| s.strip_prefix("byte ptr"))
+        .or_else(|| s.strip_prefix("word ptr"))
+        .map(str::trim)
+        .unwrap_or(s);
+    // ds: segment prefixes as in `ds:[74408h]`.
+    let s = s.strip_prefix("ds:").map(str::trim).unwrap_or(s);
+
+    if let Some(rest) = s.strip_prefix("offset ") {
+        let addr = parse_number(rest, ln)?;
+        if addr < 0 {
+            return Err(err(ln, "negative address in `offset`"));
+        }
+        return Ok(Operand::addr_of(addr as u64, 0));
+    }
+    if let Some(inner) = s.strip_prefix('[').and_then(|x| x.strip_suffix(']')) {
+        return parse_mem(inner, ln);
+    }
+    if let Some(r) = parse_reg(s) {
+        return Ok(Operand::reg(r));
+    }
+    Ok(Operand::imm(parse_number(s, ln)?))
+}
+
+/// Parses the inside of a memory operand: `74404h`, `esi+4`, `ebp-18h`.
+fn parse_mem(inner: &str, ln: usize) -> Result<Operand, ParseError> {
+    let inner = inner.trim();
+    // Find a +/- separator after the base token.
+    let split_at = inner
+        .char_indices()
+        .skip(1)
+        .find(|(_, c)| *c == '+' || *c == '-')
+        .map(|(k, _)| k);
+    let (base_str, off) = match split_at {
+        Some(k) => {
+            let (b, rest) = inner.split_at(k);
+            let sign = if rest.starts_with('-') { -1 } else { 1 };
+            let num = parse_number(&rest[1..], ln)?;
+            (b.trim(), sign * num)
+        }
+        None => (inner, 0),
+    };
+    if let Some(r) = parse_reg(base_str) {
+        return Ok(Operand::mem_reg(r, off));
+    }
+    let addr = parse_number(base_str, ln)?;
+    if addr < 0 {
+        return Err(err(ln, "negative absolute address"));
+    }
+    Ok(Operand::mem_abs(addr as u64, off))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemAddr;
+
+    const FIG1: &str = r"
+        ; the paper's Figure 1, abridged
+        func main {
+            mov esi, dword ptr [74404h]
+            lea eax, [ebp-20h]
+            push eax
+            mov dword ptr [ebp-20h], 0Ah
+            push dword ptr [esi+4]
+            push esi
+            call std::_List_buynode
+            add esp, 12
+            mov ecx, dword ptr ds:[74408h]
+            mov edx, eax
+            sub ebx, ecx
+            cmp ebx, 1
+            jae .ok
+            push offset 7A010h
+            call dword ptr [73034h]
+        .ok:
+            inc ecx
+            mov dword ptr [ebp+8], 14h
+            ret
+        }
+
+        func std::_List_buynode {
+            push ebp
+            mov ebp, esp
+            call malloc
+            pop ebp
+            ret
+        }
+    ";
+
+    #[test]
+    fn parses_the_figure1_listing() {
+        let p = parse_program(FIG1).expect("parses");
+        assert_eq!(p.funcs().len(), 2);
+        let main = p.func_by_name("main").unwrap();
+        assert!(main.len() >= 17);
+        // First instruction loads the list header.
+        let first = p.inst(main.entry());
+        match &first.kind {
+            InstKind::Mov { src, .. } => {
+                assert_eq!(src.deref_mem(), Some((MemAddr(0x74404), 0)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // The callee is resolved and reaches malloc.
+        let buynode = p.func_by_name("std::_List_buynode").unwrap();
+        assert!(p.func_allocates(buynode.id));
+    }
+
+    #[test]
+    fn parsed_program_is_sliceable() {
+        use crate::VarAddr;
+        let p = parse_program(FIG1).unwrap();
+        // Slicing lives in tiara-slice; here we only check the CFG shape the
+        // slicer depends on: the conditional jump has two successors.
+        let main = p.func_by_name("main").unwrap();
+        let jae = main
+            .inst_ids()
+            .find(|&id| p.inst(id).opcode == Opcode::Jae)
+            .expect("has the jae");
+        assert_eq!(p.cfg_succs(jae).len(), 2);
+        let _ = VarAddr::Global(MemAddr(0x74404));
+    }
+
+    #[test]
+    fn numbers_in_all_notations() {
+        assert_eq!(parse_number("10", 1).unwrap(), 10);
+        assert_eq!(parse_number("0x1A", 1).unwrap(), 26);
+        assert_eq!(parse_number("1Ah", 1).unwrap(), 26);
+        assert_eq!(parse_number("-8", 1).unwrap(), -8);
+        assert_eq!(parse_number("-18h", 1).unwrap(), -24);
+        assert!(parse_number("zz", 1).is_err());
+    }
+
+    #[test]
+    fn operand_forms() {
+        assert_eq!(parse_operand("esi", 1).unwrap(), Operand::reg(Reg::Esi));
+        assert_eq!(parse_operand("42", 1).unwrap(), Operand::imm(42));
+        assert_eq!(
+            parse_operand("dword ptr [esi+4]", 1).unwrap(),
+            Operand::mem_reg(Reg::Esi, 4)
+        );
+        assert_eq!(
+            parse_operand("[ebp-18h]", 1).unwrap(),
+            Operand::mem_reg(Reg::Ebp, -0x18)
+        );
+        assert_eq!(
+            parse_operand("ds:[74408h]", 1).unwrap(),
+            Operand::mem_abs(0x74408u64, 0)
+        );
+        assert_eq!(
+            parse_operand("offset 7A010h", 1).unwrap(),
+            Operand::addr_of(0x7A010u64, 0)
+        );
+    }
+
+    #[test]
+    fn error_reporting_has_line_numbers() {
+        let bad = "func f {\n    bogus eax, ebx\n}";
+        let e = parse_program(bad).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("bogus"));
+
+        let outside = "mov eax, ebx";
+        let e = parse_program(outside).unwrap_err();
+        assert!(e.message.contains("outside a function"));
+
+        let unterminated = "func f {\n    ret";
+        let e = parse_program(unterminated).unwrap_err();
+        assert!(e.message.contains("unterminated"));
+
+        let unknown_callee = "func f {\n    call nowhere\n    ret\n}";
+        let e = parse_program(unknown_callee).unwrap_err();
+        assert!(e.message.contains("unknown function"));
+    }
+
+    #[test]
+    fn entry_directive_selects_entry() {
+        let text = "func helper {\n ret\n}\nfunc main {\n ret\n}\nentry main";
+        let p = parse_program(text).unwrap();
+        assert_eq!(p.func(p.entry_func()).name, "main");
+    }
+
+    #[test]
+    fn forward_label_references_work() {
+        let text = "func f {\n    jmp .end\n    mov eax, 1\n.end:\n    ret\n}";
+        let p = parse_program(text).unwrap();
+        // jmp goes straight to ret.
+        let succs = p.cfg_succs(crate::InstId(0));
+        assert_eq!(succs.len(), 1);
+        assert!(matches!(p.inst(succs[0]).kind, InstKind::Ret));
+    }
+}

@@ -1,0 +1,147 @@
+//! x86 general-purpose registers.
+//!
+//! The paper's language (Section III-A, eq. 1) distinguishes the frame pointer
+//! `fp` and stack pointer `sp` from every other register; on x86 these are
+//! `ebp` and `esp`. We model the eight 32-bit general-purpose registers, which
+//! is the register file the MSVC x86 code in the paper's Figures 1 and 2 uses.
+
+use serde::{Deserialize, Serialize};
+
+/// A 32-bit x86 general-purpose register.
+///
+/// `Ebp` plays the role of the paper's `fp` and `Esp` of `sp` (see
+/// [`Reg::is_frame`] / [`Reg::is_stack`]). All other registers are "ordinary"
+/// registers `r ∉ {fp, sp}` in the inference rules of Figure 4.
+///
+/// # Examples
+///
+/// ```
+/// use tiara_ir::Reg;
+///
+/// assert!(Reg::Ebp.is_frame());
+/// assert!(Reg::Esp.is_stack());
+/// assert!(!Reg::Eax.is_pointer_reg());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Reg {
+    /// Accumulator; holds return values.
+    Eax,
+    /// Base register.
+    Ebx,
+    /// Counter register.
+    Ecx,
+    /// Data register.
+    Edx,
+    /// Source index.
+    Esi,
+    /// Destination index.
+    Edi,
+    /// Frame pointer (`fp` in the paper).
+    Ebp,
+    /// Stack pointer (`sp` in the paper).
+    Esp,
+}
+
+impl Reg {
+    /// All registers, in encoding order.
+    pub const ALL: [Reg; 8] = [
+        Reg::Eax,
+        Reg::Ebx,
+        Reg::Ecx,
+        Reg::Edx,
+        Reg::Esi,
+        Reg::Edi,
+        Reg::Ebp,
+        Reg::Esp,
+    ];
+
+    /// The ordinary (non-`fp`/`sp`) registers usable for value computation.
+    pub const GENERAL: [Reg; 6] = [Reg::Eax, Reg::Ebx, Reg::Ecx, Reg::Edx, Reg::Esi, Reg::Edi];
+
+    /// Returns `true` if this is the frame pointer `fp` (`ebp`).
+    #[inline]
+    pub fn is_frame(self) -> bool {
+        self == Reg::Ebp
+    }
+
+    /// Returns `true` if this is the stack pointer `sp` (`esp`).
+    #[inline]
+    pub fn is_stack(self) -> bool {
+        self == Reg::Esp
+    }
+
+    /// Returns `true` if this register is `fp` or `sp`, i.e. the registers the
+    /// rules of Figure 4 strongly update (`r ∈ {fp, sp}`).
+    #[inline]
+    pub fn is_pointer_reg(self) -> bool {
+        self.is_frame() || self.is_stack()
+    }
+
+    /// A dense index in `0..8`, used to key per-register tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The inverse of [`Reg::index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= 8`.
+    #[inline]
+    pub fn from_index(idx: usize) -> Reg {
+        Self::ALL[idx]
+    }
+
+    /// The conventional assembly mnemonic, lowercase.
+    pub fn name(self) -> &'static str {
+        match self {
+            Reg::Eax => "eax",
+            Reg::Ebx => "ebx",
+            Reg::Ecx => "ecx",
+            Reg::Edx => "edx",
+            Reg::Esi => "esi",
+            Reg::Edi => "edi",
+            Reg::Ebp => "ebp",
+            Reg::Esp => "esp",
+        }
+    }
+}
+
+impl std::fmt::Display for Reg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        for r in Reg::ALL {
+            assert_eq!(Reg::from_index(r.index()), r);
+        }
+    }
+
+    #[test]
+    fn pointer_regs_are_exactly_ebp_esp() {
+        let ptrs: Vec<Reg> = Reg::ALL.into_iter().filter(|r| r.is_pointer_reg()).collect();
+        assert_eq!(ptrs, vec![Reg::Ebp, Reg::Esp]);
+    }
+
+    #[test]
+    fn general_excludes_pointer_regs() {
+        for r in Reg::GENERAL {
+            assert!(!r.is_pointer_reg(), "{r} must not be fp/sp");
+        }
+        assert_eq!(Reg::GENERAL.len() + 2, Reg::ALL.len());
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(Reg::Eax.to_string(), "eax");
+        assert_eq!(Reg::Ebp.to_string(), "ebp");
+    }
+}

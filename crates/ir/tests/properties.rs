@@ -1,0 +1,123 @@
+//! Property-based tests for the IR: builder/program invariants and
+//! serialization round-trips over randomly shaped programs.
+
+use proptest::prelude::*;
+use tiara_ir::{
+    BinOp, ExternKind, InstKind, Opcode, Operand, Program, ProgramBuilder, Reg,
+};
+
+/// Strategy: instructions for one function body (no control flow — jumps are
+/// exercised separately so label scoping stays valid).
+fn body_inst() -> impl Strategy<Value = (Opcode, InstKind)> {
+    let reg = prop::sample::select(Reg::GENERAL.to_vec());
+    prop_oneof![
+        (reg.clone(), reg.clone()).prop_map(|(a, b)| (
+            Opcode::Mov,
+            InstKind::Mov { dst: Operand::reg(a), src: Operand::reg(b) }
+        )),
+        (reg.clone(), -64i64..64).prop_map(|(a, c)| (
+            Opcode::Add,
+            InstKind::Op { op: BinOp::Add, dst: Operand::reg(a), src: Operand::imm(c) }
+        )),
+        (reg.clone(), 0x70000u64..0x80000).prop_map(|(a, m)| (
+            Opcode::Mov,
+            InstKind::Mov { dst: Operand::reg(a), src: Operand::mem_abs(m, 0) }
+        )),
+        reg.prop_map(|a| (Opcode::Push, InstKind::Push { src: Operand::reg(a) })),
+    ]
+}
+
+/// Builds a program with `nf` functions, each with the given body, where
+/// every function calls the next one.
+fn chained_program(bodies: Vec<Vec<(Opcode, InstKind)>>) -> Program {
+    let mut b = ProgramBuilder::new();
+    let n = bodies.len();
+    for (k, body) in bodies.into_iter().enumerate() {
+        b.begin_func(&format!("f{k}"));
+        for (op, kind) in body {
+            b.inst(op, kind);
+        }
+        if k + 1 < n {
+            b.call_named(&format!("f{}", k + 1));
+        } else {
+            b.call_extern(ExternKind::Malloc);
+        }
+        b.ret();
+        b.end_func();
+    }
+    b.finish().expect("well-formed chained program")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// CFG successors and predecessors are mutually consistent and in range.
+    #[test]
+    fn cfg_edges_are_consistent(
+        bodies in prop::collection::vec(prop::collection::vec(body_inst(), 0..10), 1..5)
+    ) {
+        let p = chained_program(bodies);
+        let n = p.num_insts() as u32;
+        for i in 0..n {
+            let id = tiara_ir::InstId(i);
+            for &s in p.cfg_succs(id) {
+                prop_assert!(s.0 < n);
+                prop_assert!(
+                    p.cfg_preds(s).contains(&id),
+                    "succ edge {id} -> {s} missing the reverse pred edge"
+                );
+            }
+            for &pr in p.cfg_preds(id) {
+                prop_assert!(p.cfg_succs(pr).contains(&id));
+            }
+        }
+    }
+
+    /// Every instruction belongs to exactly one function, and function
+    /// ranges tile the program.
+    #[test]
+    fn functions_tile_the_program(
+        bodies in prop::collection::vec(prop::collection::vec(body_inst(), 0..8), 1..5)
+    ) {
+        let p = chained_program(bodies);
+        let mut covered = 0u32;
+        for f in p.funcs() {
+            prop_assert_eq!(f.start.0, covered, "functions are contiguous");
+            covered = f.end.0;
+            for id in f.inst_ids() {
+                prop_assert_eq!(p.func_of(id), f.id);
+            }
+        }
+        prop_assert_eq!(covered as usize, p.num_insts());
+    }
+
+    /// Heap reachability is transitive along the call chain: every function
+    /// in the chain reaches the final malloc.
+    #[test]
+    fn malloc_reachability_spans_the_chain(
+        bodies in prop::collection::vec(prop::collection::vec(body_inst(), 0..6), 1..5)
+    ) {
+        let p = chained_program(bodies);
+        for f in p.funcs() {
+            prop_assert!(p.func_allocates(f.id), "{} must reach malloc", f.name);
+            prop_assert!(!p.func_frees(f.id));
+        }
+    }
+
+    /// Programs survive a serde JSON round-trip unchanged.
+    #[test]
+    fn program_serde_round_trip(
+        bodies in prop::collection::vec(prop::collection::vec(body_inst(), 0..6), 1..4)
+    ) {
+        let p = chained_program(bodies);
+        let json = serde_json::to_string(&p).expect("serialize");
+        let q: Program = serde_json::from_str(&json).expect("deserialize");
+        prop_assert_eq!(p.num_insts(), q.num_insts());
+        for i in 0..p.num_insts() as u32 {
+            let id = tiara_ir::InstId(i);
+            prop_assert_eq!(p.inst(id), q.inst(id));
+            prop_assert_eq!(p.cfg_succs(id), q.cfg_succs(id));
+            prop_assert_eq!(p.is_call_jump_target(id), q.is_call_jump_target(id));
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! The slicing criterion: a variable address `v0` together with the matching
+//! logic that recognizes accesses to the variable in operands.
+//!
+//! Binaries reference container fields both as `[v0 + c]` *and* as absolute
+//! addresses with the offset pre-folded (the paper's Figure 1 contains
+//! `mov dword ptr ds:[74408h], ecx` for the `v0 + 4` size field of the list
+//! at `74404h`). The criterion therefore matches any absolute access landing
+//! within a small window starting at `v0`.
+
+use tiara_ir::{FuncId, MemAddr, VarAddr};
+
+/// A slicing criterion for TSLICE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Criterion {
+    /// The variable address `v0`.
+    pub addr: VarAddr,
+    /// Bytes after `v0` still considered part of the variable.
+    pub window: i64,
+}
+
+impl Criterion {
+    /// Creates a criterion with the given window.
+    pub fn new(addr: VarAddr, window: i64) -> Criterion {
+        Criterion { addr, window }
+    }
+
+    /// If an absolute memory access `[m + c]` touches the variable, returns
+    /// the offset relative to `v0`.
+    pub fn match_mem(&self, m: MemAddr, c: i64) -> Option<i64> {
+        match self.addr {
+            VarAddr::Global(base) => {
+                let eff = m.value() as i64 + c;
+                let lo = base.value() as i64;
+                (eff >= lo && eff < lo + self.window).then_some(eff - lo)
+            }
+            VarAddr::Stack { .. } => None,
+        }
+    }
+
+    /// If a frame access `[fp + c]` in function `func` touches the variable,
+    /// returns the offset relative to `v0`.
+    pub fn match_stack(&self, func: FuncId, c: i64) -> Option<i64> {
+        match self.addr {
+            VarAddr::Stack { func: vf, offset } => {
+                (vf == func && c >= offset && c < offset + self.window).then_some(c - offset)
+            }
+            VarAddr::Global(_) => None,
+        }
+    }
+
+    /// Returns `true` if the criterion is a frame slot (so the stack map `S`
+    /// must not shadow its reads).
+    pub fn is_stack(&self) -> bool {
+        matches!(self.addr, VarAddr::Stack { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_matching_with_folded_offsets() {
+        let c = Criterion::new(VarAddr::Global(MemAddr(0x74404)), 16);
+        // Direct base access.
+        assert_eq!(c.match_mem(MemAddr(0x74404), 0), Some(0));
+        // Symbolic offset form [v0 + 4].
+        assert_eq!(c.match_mem(MemAddr(0x74404), 4), Some(4));
+        // Pre-folded absolute form [74408h].
+        assert_eq!(c.match_mem(MemAddr(0x74408), 0), Some(4));
+        // Outside the window.
+        assert_eq!(c.match_mem(MemAddr(0x74404), 16), None);
+        assert_eq!(c.match_mem(MemAddr(0x74400), 0), None);
+        // A stack access never matches a global criterion.
+        assert_eq!(c.match_stack(FuncId(0), 0x74404), None);
+    }
+
+    #[test]
+    fn stack_matching_is_function_scoped() {
+        let c = Criterion::new(VarAddr::Stack { func: FuncId(1), offset: 8 }, 16);
+        assert_eq!(c.match_stack(FuncId(1), 8), Some(0));
+        assert_eq!(c.match_stack(FuncId(1), 12), Some(4));
+        assert_eq!(c.match_stack(FuncId(1), 24), None);
+        assert_eq!(c.match_stack(FuncId(0), 8), None, "wrong function frame");
+        assert_eq!(c.match_mem(MemAddr(8), 0), None);
+        assert!(c.is_stack());
+    }
+}

@@ -1,0 +1,170 @@
+//! SSLICE: the simple baseline slicer of RQ3.
+//!
+//! "Given a variable address `v0`, SSLICE produces a slice consisting of all
+//! the instructions in the function that contains the first access to `v0`
+//! and all the instructions in its directly called functions."
+
+use crate::slice::{Slice, SliceNode};
+use std::collections::HashSet;
+use tiara_ir::{Addr, CallTarget, FuncId, InstId, InstKind, Loc, Operand, Program, VarAddr};
+
+/// Returns the offset-free window used to recognize accesses; mirrors the
+/// TSLICE criterion window.
+const WINDOW: i64 = 16;
+
+/// Returns `true` if the operand accesses the variable at `v0`.
+fn touches(prog: &Program, id: InstId, opr: Operand, v0: VarAddr) -> bool {
+    match (opr, v0) {
+        (Operand::Deref(Loc { base: Addr::Mem(m), offset }), VarAddr::Global(base))
+        | (Operand::Loc(Loc { base: Addr::Mem(m), offset }), VarAddr::Global(base)) => {
+            let eff = m.value() as i64 + offset;
+            let lo = base.value() as i64;
+            eff >= lo && eff < lo + WINDOW
+        }
+        (Operand::Deref(Loc { base: Addr::Reg(r), offset }), VarAddr::Stack { func, offset: off })
+        | (Operand::Loc(Loc { base: Addr::Reg(r), offset }), VarAddr::Stack { func, offset: off }) => {
+            r.is_frame() && prog.func_of(id) == func && offset >= off && offset < off + WINDOW
+        }
+        _ => false,
+    }
+}
+
+/// Finds the first instruction (in program order) that accesses `v0`.
+pub fn first_access(prog: &Program, v0: VarAddr) -> Option<InstId> {
+    (0..prog.num_insts() as u32).map(InstId).find(|&id| {
+        prog.inst(id).kind.operands().iter().any(|&o| touches(prog, id, o, v0))
+    })
+}
+
+/// Runs SSLICE for the variable at `v0`.
+///
+/// The slice contains every instruction of the function holding the first
+/// access plus every instruction of its directly called functions; the edges
+/// are the CFG edges among them (no contraction — SSLICE keeps everything).
+pub fn sslice(prog: &Program, v0: VarAddr) -> Slice {
+    let Some(first) = first_access(prog, v0) else {
+        return Slice { criterion: v0, nodes: Vec::new(), edges: Vec::new(), explored: 0, steps: 0 };
+    };
+    let root = prog.func_of(first);
+
+    let mut funcs: HashSet<FuncId> = HashSet::new();
+    funcs.insert(root);
+    for id in prog.func(root).inst_ids() {
+        if let InstKind::Call { target: CallTarget::Direct(f) } = &prog.inst(id).kind {
+            funcs.insert(*f);
+        }
+    }
+
+    let mut nodes: Vec<SliceNode> = Vec::new();
+    let mut member: HashSet<u32> = HashSet::new();
+    for &f in &funcs {
+        for id in prog.func(f).inst_ids() {
+            if member.insert(id.0) {
+                nodes.push(SliceNode { inst: id, faith: 1.0, indirection: 0 });
+            }
+        }
+    }
+    nodes.sort_by_key(|n| n.inst);
+
+    let index: std::collections::HashMap<u32, u32> = nodes
+        .iter()
+        .enumerate()
+        .map(|(k, n)| (n.inst.0, k as u32))
+        .collect();
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    for n in &nodes {
+        let u = index[&n.inst.0];
+        for &s in prog.cfg_succs(n.inst) {
+            if let Some(&w) = index.get(&s.0) {
+                edges.push((u, w));
+            }
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+
+    let explored = nodes.len();
+    Slice { criterion: v0, nodes, edges, explored, steps: 0 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiara_ir::{ExternKind, MemAddr, Opcode, Operand, ProgramBuilder, Reg};
+
+    fn program(v0: u64) -> Program {
+        let mut b = ProgramBuilder::new();
+        b.begin_func("other");
+        b.inst(
+            Opcode::Mov,
+            InstKind::Mov { dst: Operand::reg(Reg::Eax), src: Operand::reg(Reg::Ebx) },
+        );
+        b.ret();
+        b.end_func();
+        b.begin_func("main");
+        b.inst(
+            Opcode::Mov,
+            InstKind::Mov { dst: Operand::reg(Reg::Esi), src: Operand::mem_abs(v0, 0) },
+        );
+        b.call_named("callee");
+        b.ret();
+        b.end_func();
+        b.begin_func("callee");
+        b.call_extern(ExternKind::Malloc);
+        b.ret();
+        b.end_func();
+        b.set_entry("main");
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn includes_enclosing_function_and_direct_callees() {
+        let v0 = 0x74404u64;
+        let prog = program(v0);
+        let s = sslice(&prog, VarAddr::Global(MemAddr(v0)));
+        // main (3 insts) + callee (2 insts); `other` excluded.
+        assert_eq!(s.num_nodes(), 5);
+        assert!(!s.contains(InstId(0)), "unrelated function excluded");
+        assert!(s.contains(InstId(2)), "first access");
+        assert!(s.contains(InstId(5)), "directly called function body");
+        assert!(s.num_edges() >= 4);
+    }
+
+    #[test]
+    fn missing_variable_gives_empty_slice() {
+        let prog = program(0x74404);
+        let s = sslice(&prog, VarAddr::Global(MemAddr(0x99999)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn first_access_scans_in_program_order() {
+        let v0 = 0x74404u64;
+        let prog = program(v0);
+        assert_eq!(first_access(&prog, VarAddr::Global(MemAddr(v0))), Some(InstId(2)));
+    }
+
+    #[test]
+    fn stack_variable_first_access_respects_function() {
+        let mut b = ProgramBuilder::new();
+        b.begin_func("a");
+        b.inst(
+            Opcode::Mov,
+            InstKind::Mov { dst: Operand::reg(Reg::Eax), src: Operand::mem_reg(Reg::Ebp, 8) },
+        );
+        b.ret();
+        b.end_func();
+        b.begin_func("b");
+        b.inst(
+            Opcode::Mov,
+            InstKind::Mov { dst: Operand::reg(Reg::Eax), src: Operand::mem_reg(Reg::Ebp, 8) },
+        );
+        b.ret();
+        b.end_func();
+        let prog = b.finish().unwrap();
+        let v0 = VarAddr::Stack { func: FuncId(1), offset: 8 };
+        assert_eq!(first_access(&prog, v0), Some(InstId(2)));
+        let s = sslice(&prog, v0);
+        assert_eq!(s.num_nodes(), 2, "only function b");
+    }
+}

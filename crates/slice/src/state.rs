@@ -1,0 +1,221 @@
+//! The four analysis maps of Algorithm 1:
+//!
+//! * `V : I → (R → 2^A)` — register values after each instruction;
+//! * `S : I → (Z → 2^A)` — abstract stack slot values after each instruction;
+//! * `D : I → {true, false}` — dependence of each instruction on `v0`;
+//! * `F : I → [0, 1]` — the faith in that dependence.
+//!
+//! Only instructions actually reached by the traversal get a state record;
+//! the explored region is small thanks to the faith bound, so states are kept
+//! in a hash map rather than a dense table.
+
+use crate::value::ValueSet;
+use std::collections::{BTreeMap, HashMap};
+use tiara_ir::{InstId, Reg};
+
+/// Per-instruction analysis state: the `V(i)`, `S(i)`, `D(i)` and `F(i)`
+/// entries for one instruction.
+#[derive(Debug, Clone, Default)]
+pub struct InstState {
+    /// Register values (`V(i)`), indexed by [`Reg::index`].
+    pub regs: [ValueSet; 8],
+    /// Abstract stack (`S(i)`), keyed by absolute abstract slot index.
+    pub stack: BTreeMap<i64, ValueSet>,
+    /// Dependence flag (`D(i)`).
+    pub dep: bool,
+    /// The maximum pointer-indirection level with which `v0` was used at this
+    /// instruction (feature `F7`); meaningful only when `dep` is true.
+    pub indirection: u8,
+}
+
+impl InstState {
+    /// Reads a register set.
+    #[inline]
+    pub fn reg(&self, r: Reg) -> &ValueSet {
+        &self.regs[r.index()]
+    }
+
+    /// Weakly updates a register set. Returns `true` on change.
+    pub fn reg_union(&mut self, r: Reg, vs: &ValueSet) -> bool {
+        self.regs[r.index()].union_with(vs)
+    }
+
+    /// Strongly updates a register set. Returns `true` on change.
+    pub fn reg_assign(&mut self, r: Reg, vs: ValueSet) -> bool {
+        self.regs[r.index()].assign(vs)
+    }
+
+    /// Reads a stack slot; missing slots are the empty set.
+    pub fn stack_slot(&self, z: i64) -> ValueSet {
+        self.stack.get(&z).cloned().unwrap_or_default()
+    }
+
+    /// Weakly updates a stack slot. Returns `true` on change.
+    pub fn stack_union(&mut self, z: i64, vs: &ValueSet) -> bool {
+        if vs.is_empty() {
+            return false;
+        }
+        self.stack.entry(z).or_default().union_with(vs)
+    }
+
+    /// Strongly updates a stack slot (a `push` definitely overwrites its
+    /// slot). Returns `true` on change.
+    pub fn stack_assign(&mut self, z: i64, vs: ValueSet) -> bool {
+        match self.stack.get_mut(&z) {
+            Some(old) => old.assign(vs),
+            None => {
+                if vs.is_empty() {
+                    return false;
+                }
+                self.stack.insert(z, vs);
+                true
+            }
+        }
+    }
+
+    /// Merges the whole of `pre` into `self` (the flow join). Dependence
+    /// flags are per-instruction facts and are *not* merged. Returns `true`
+    /// on change.
+    pub fn merge_from(&mut self, pre: &InstState) -> bool {
+        let mut changed = false;
+        for idx in 0..8 {
+            changed |= self.regs[idx].union_with(&pre.regs[idx]);
+        }
+        for (&z, vs) in &pre.stack {
+            changed |= self.stack_union(z, vs);
+        }
+        changed
+    }
+
+    /// Marks the instruction dependent with the given indirection level.
+    /// Returns `true` if the dependence flag flipped.
+    pub fn mark_dep(&mut self, level: u8) -> bool {
+        self.indirection = self.indirection.max(level);
+        if self.dep {
+            return false;
+        }
+        self.dep = true;
+        true
+    }
+}
+
+/// The complete analysis state: one [`InstState`] per reached instruction
+/// plus the faith map.
+#[derive(Debug, Default)]
+pub struct AnalysisState {
+    states: HashMap<u32, InstState>,
+    faith: HashMap<u32, f64>,
+}
+
+impl AnalysisState {
+    /// Creates an empty state.
+    pub fn new() -> AnalysisState {
+        AnalysisState::default()
+    }
+
+    /// The state of an instruction, if it was reached.
+    pub fn get(&self, id: InstId) -> Option<&InstState> {
+        self.states.get(&id.0)
+    }
+
+    /// The state of an instruction, creating an empty record on first use.
+    pub fn get_mut(&mut self, id: InstId) -> &mut InstState {
+        self.states.entry(id.0).or_default()
+    }
+
+    /// A clone of the state of an instruction (empty if unreached). Cloning
+    /// keeps the borrow checker happy while `i` is being mutated from `pre`;
+    /// states are small (faith bounds growth).
+    pub fn snapshot(&self, id: InstId) -> InstState {
+        self.states.get(&id.0).cloned().unwrap_or_default()
+    }
+
+    /// The faith `F(i)`, initially 1 for every instruction.
+    pub fn faith(&self, id: InstId) -> f64 {
+        self.faith.get(&id.0).copied().unwrap_or(1.0)
+    }
+
+    /// Applies Algorithm 1, line 10, with the given decay-function shape:
+    /// `F(i) ← max(min(F(pre), F(i)) − decay, 0)` in the linear case.
+    pub fn decay_faith_with(
+        &mut self,
+        pre: InstId,
+        i: InstId,
+        decay: f64,
+        f: crate::DecayFunction,
+    ) -> f64 {
+        let fp = self.faith(pre);
+        let fi = self.faith(i);
+        let updated = f.apply(fp.min(fi), decay);
+        self.faith.insert(i.0, updated);
+        updated
+    }
+
+    /// Forces the faith of an instruction to zero (path cut).
+    pub fn zero_faith(&mut self, id: InstId) {
+        self.faith.insert(id.0, 0.0);
+    }
+
+    /// Iterates over all reached instructions and their states.
+    pub fn iter(&self) -> impl Iterator<Item = (InstId, &InstState)> {
+        self.states.iter().map(|(&k, v)| (InstId(k), v))
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::AbsValue;
+
+    #[test]
+    fn merge_joins_registers_and_stack() {
+        let mut pre = InstState::default();
+        pre.reg_union(Reg::Esi, &ValueSet::singleton(AbsValue::Ref(0)));
+        pre.stack_union(3, &ValueSet::singleton(AbsValue::Ptr(0)));
+        pre.dep = true;
+
+        let mut cur = InstState::default();
+        assert!(cur.merge_from(&pre));
+        assert!(cur.reg(Reg::Esi).contains(AbsValue::Ref(0)));
+        assert!(cur.stack_slot(3).contains(AbsValue::Ptr(0)));
+        assert!(!cur.dep, "dependence must not flow through merges");
+        assert!(!cur.merge_from(&pre), "idempotent");
+    }
+
+    #[test]
+    fn mark_dep_tracks_max_level() {
+        let mut s = InstState::default();
+        assert!(s.mark_dep(1));
+        assert!(!s.mark_dep(0));
+        assert_eq!(s.indirection, 1);
+        s.mark_dep(2);
+        assert_eq!(s.indirection, 2);
+    }
+
+    #[test]
+    fn faith_defaults_to_one_and_decays_monotonically() {
+        let mut st = AnalysisState::new();
+        let (a, b) = (InstId(0), InstId(1));
+        assert_eq!(st.faith(b), 1.0);
+        let f1 = st.decay_faith_with(a, b, 0.001, crate::DecayFunction::Linear);
+        assert!((f1 - 0.999).abs() < 1e-12);
+        // Re-decaying through a lower-faith pre takes the min first.
+        st.faith.insert(a.0, 0.5);
+        let f2 = st.decay_faith_with(a, b, 0.001, crate::DecayFunction::Linear);
+        assert!((f2 - 0.499).abs() < 1e-12);
+        // Never below zero.
+        st.faith.insert(a.0, 0.0005);
+        let f3 = st.decay_faith_with(a, b, 0.01, crate::DecayFunction::Linear);
+        assert_eq!(f3, 0.0);
+    }
+
+    #[test]
+    fn snapshot_of_unreached_is_empty() {
+        let st = AnalysisState::new();
+        let snap = st.snapshot(InstId(9));
+        assert!(!snap.dep);
+        assert!(snap.reg(Reg::Eax).is_empty());
+        assert!(st.get(InstId(9)).is_none());
+    }
+}

@@ -1,0 +1,310 @@
+//! The abstract value domain of TSLICE (Section III-A):
+//!
+//! ```text
+//! A = {ptr, ref, const} × Z ∪ {(other, ∗)}
+//! ```
+//!
+//! * `(ptr, c)`   — a pointer to `v0 + c` (the variable's address itself);
+//! * `(ref, c)`   — the value stored at `v0 + c`, i.e. `∗(v0 + c)`;
+//! * `(const, c)` — the constant `c`;
+//! * `(other, ∗)` — a `v0`-dependent but unknown value (e.g. the result of
+//!   arithmetic on a heap value loaded from `v0`), which is not tracked
+//!   further precisely.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// One abstract value from the domain `A`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum AbsValue {
+    /// `(ptr, c)`: a pointer to `v0 + c`.
+    Ptr(i64),
+    /// `(ref, c)`: the value `∗(v0 + c)`.
+    Ref(i64),
+    /// `(const, c)`: the constant `c`.
+    Const(i64),
+    /// `(other, ∗)`: `v0`-dependent but unknown.
+    Other,
+}
+
+impl AbsValue {
+    /// Returns `true` if the value witnesses a dependence on `v0`; this is
+    /// the per-value part of the paper's `HasDep` test (eq. 2): every tag
+    /// except `const` depends on `v0`.
+    #[inline]
+    pub fn is_dep(self) -> bool {
+        !matches!(self, AbsValue::Const(_))
+    }
+
+    /// The pointer-indirection level of the value with respect to `v0`,
+    /// used for feature `F7`: holding the address itself is level 0, a value
+    /// loaded through it is level 1, and anything derived further is level 2.
+    #[inline]
+    pub fn indirection_level(self) -> u8 {
+        match self {
+            AbsValue::Ptr(_) => 0,
+            AbsValue::Ref(_) => 1,
+            AbsValue::Other => 2,
+            AbsValue::Const(_) => 0,
+        }
+    }
+}
+
+impl std::fmt::Display for AbsValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AbsValue::Ptr(c) => write!(f, "(ptr, {c})"),
+            AbsValue::Ref(c) => write!(f, "(ref, {c})"),
+            AbsValue::Const(c) => write!(f, "(const, {c})"),
+            AbsValue::Other => write!(f, "(other, ∗)"),
+        }
+    }
+}
+
+/// A set of abstract values (`2^A`), the codomain of the register map `V`
+/// and stack map `S`.
+///
+/// Sets are capped at [`ValueSet::CAP`] elements to bound memory; when the
+/// cap is hit, constants are evicted first (they never witness a dependence)
+/// and dependence-carrying values are collapsed into `(other, ∗)`.
+/// Termination of the analysis does not rely on the cap — the faith/decay
+/// mechanism of Algorithm 1 bounds revisits — the cap only bounds space.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ValueSet {
+    values: BTreeSet<AbsValue>,
+}
+
+impl ValueSet {
+    /// Maximum number of values kept per set.
+    pub const CAP: usize = 48;
+
+    /// The empty set.
+    pub fn new() -> ValueSet {
+        ValueSet::default()
+    }
+
+    /// A singleton set.
+    pub fn singleton(v: AbsValue) -> ValueSet {
+        let mut s = ValueSet::new();
+        s.insert(v);
+        s
+    }
+
+    /// Inserts a value (weak update). Returns `true` if the set changed.
+    pub fn insert(&mut self, v: AbsValue) -> bool {
+        if self.values.contains(&v) {
+            return false;
+        }
+        if self.values.len() >= Self::CAP {
+            // Evict a constant; if none, collapse the incoming dependence
+            // into (other, ∗) which is already present or representable.
+            let victim = self.values.iter().find(|x| matches!(x, AbsValue::Const(_))).copied();
+            match victim {
+                Some(c) => {
+                    self.values.remove(&c);
+                }
+                None => {
+                    return if v.is_dep() { self.values.insert(AbsValue::Other) } else { false };
+                }
+            }
+        }
+        self.values.insert(v)
+    }
+
+    /// Unions `other` into `self` (weak update). Returns `true` on change.
+    pub fn union_with(&mut self, other: &ValueSet) -> bool {
+        let mut changed = false;
+        for &v in &other.values {
+            changed |= self.insert(v);
+        }
+        changed
+    }
+
+    /// Replaces the contents (strong update). Returns `true` on change.
+    pub fn assign(&mut self, other: ValueSet) -> bool {
+        if self.values == other.values {
+            return false;
+        }
+        self.values = other.values;
+        true
+    }
+
+    /// Clears the set (the `kill` rules). Returns `true` on change.
+    pub fn clear(&mut self) -> bool {
+        if self.values.is_empty() {
+            return false;
+        }
+        self.values.clear();
+        true
+    }
+
+    /// The paper's `HasDep(X)` (eq. 2): true iff some value is not a const.
+    pub fn has_dep(&self) -> bool {
+        self.values.iter().any(|v| v.is_dep())
+    }
+
+    /// If the set is exactly one constant, returns it. This implements the
+    /// `{(const, n)} = V(pre)(r)` singleton premises of Figure 4.
+    pub fn singleton_const(&self) -> Option<i64> {
+        if self.values.len() == 1 {
+            if let Some(AbsValue::Const(n)) = self.values.first() {
+                return Some(*n);
+            }
+        }
+        None
+    }
+
+    /// Iterates over the values.
+    pub fn iter(&self) -> impl Iterator<Item = AbsValue> + '_ {
+        self.values.iter().copied()
+    }
+
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` if the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Returns `true` if the set contains `v`.
+    pub fn contains(&self, v: AbsValue) -> bool {
+        self.values.contains(&v)
+    }
+
+    /// The highest indirection level among dependence-carrying values, if any.
+    pub fn max_dep_level(&self) -> Option<u8> {
+        self.values
+            .iter()
+            .filter(|v| v.is_dep())
+            .map(|v| v.indirection_level())
+            .max()
+    }
+}
+
+impl FromIterator<AbsValue> for ValueSet {
+    fn from_iter<T: IntoIterator<Item = AbsValue>>(iter: T) -> Self {
+        let mut s = ValueSet::new();
+        for v in iter {
+            s.insert(v);
+        }
+        s
+    }
+}
+
+impl Extend<AbsValue> for ValueSet {
+    fn extend<T: IntoIterator<Item = AbsValue>>(&mut self, iter: T) {
+        for v in iter {
+            self.insert(v);
+        }
+    }
+}
+
+impl std::fmt::Display for ValueSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{{")?;
+        for (k, v) in self.values.iter().enumerate() {
+            if k > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_dep_matches_paper_eq2() {
+        assert!(AbsValue::Ptr(0).is_dep());
+        assert!(AbsValue::Ref(4).is_dep());
+        assert!(AbsValue::Other.is_dep());
+        assert!(!AbsValue::Const(7).is_dep());
+        let s: ValueSet = [AbsValue::Const(1), AbsValue::Const(2)].into_iter().collect();
+        assert!(!s.has_dep());
+        let s: ValueSet = [AbsValue::Const(1), AbsValue::Ref(0)].into_iter().collect();
+        assert!(s.has_dep());
+    }
+
+    #[test]
+    fn insert_reports_change() {
+        let mut s = ValueSet::new();
+        assert!(s.insert(AbsValue::Ptr(0)));
+        assert!(!s.insert(AbsValue::Ptr(0)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn union_and_assign() {
+        let a: ValueSet = [AbsValue::Ptr(0)].into_iter().collect();
+        let mut b = ValueSet::singleton(AbsValue::Const(3));
+        assert!(b.union_with(&a));
+        assert!(!b.union_with(&a));
+        assert_eq!(b.len(), 2);
+        let mut c = b.clone();
+        assert!(!c.assign(b.clone()));
+        assert!(c.assign(ValueSet::new()));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn singleton_const_premise() {
+        assert_eq!(ValueSet::singleton(AbsValue::Const(5)).singleton_const(), Some(5));
+        assert_eq!(ValueSet::singleton(AbsValue::Ptr(5)).singleton_const(), None);
+        let two: ValueSet = [AbsValue::Const(5), AbsValue::Const(6)].into_iter().collect();
+        assert_eq!(two.singleton_const(), None);
+        assert_eq!(ValueSet::new().singleton_const(), None);
+    }
+
+    #[test]
+    fn cap_evicts_consts_before_deps() {
+        let mut s = ValueSet::new();
+        for c in 0..ValueSet::CAP as i64 {
+            s.insert(AbsValue::Const(c));
+        }
+        assert_eq!(s.len(), ValueSet::CAP);
+        // Inserting a dependence evicts a constant, keeping the dependence.
+        assert!(s.insert(AbsValue::Ref(1)));
+        assert!(s.contains(AbsValue::Ref(1)));
+        assert_eq!(s.len(), ValueSet::CAP);
+    }
+
+    #[test]
+    fn cap_collapses_dep_overflow_to_other() {
+        let mut s = ValueSet::new();
+        for c in 0..ValueSet::CAP as i64 {
+            s.insert(AbsValue::Ref(c));
+        }
+        // No constants to evict: a new dependence collapses to Other.
+        assert!(s.insert(AbsValue::Ref(999)));
+        assert!(s.contains(AbsValue::Other));
+        assert!(!s.contains(AbsValue::Ref(999)));
+        // A new constant is simply dropped.
+        assert!(!s.insert(AbsValue::Const(1)));
+    }
+
+    #[test]
+    fn indirection_levels() {
+        assert_eq!(AbsValue::Ptr(0).indirection_level(), 0);
+        assert_eq!(AbsValue::Ref(0).indirection_level(), 1);
+        assert_eq!(AbsValue::Other.indirection_level(), 2);
+        let s: ValueSet = [AbsValue::Const(1), AbsValue::Ref(0), AbsValue::Ptr(4)]
+            .into_iter()
+            .collect();
+        assert_eq!(s.max_dep_level(), Some(1));
+        assert_eq!(ValueSet::singleton(AbsValue::Const(1)).max_dep_level(), None);
+    }
+
+    #[test]
+    fn display_is_set_notation() {
+        let s: ValueSet = [AbsValue::Ref(0), AbsValue::Ptr(4)].into_iter().collect();
+        let t = s.to_string();
+        assert!(t.starts_with('{') && t.ends_with('}'));
+        assert!(t.contains("(ref, 0)"));
+    }
+}

@@ -1,0 +1,154 @@
+//! Integration tests: TSLICE and SSLICE on the paper's motivating example
+//! (Figures 1 and 2) and on generated projects.
+//!
+//! The paper's Figure 2 finds, for the `std::list` variable `l` at `v0`,
+//! the slice `S_v0 = {I0, I4–I7, I9–I10, I14, I16, I17}` and explicitly
+//! excludes `I1–I3`, `I8`, `I11–I13`, `I15`, and `I18–I20`.
+
+use tiara_ir::InstId;
+use tiara_slice::{sslice, tslice, tslice_with, TsliceConfig};
+use tiara_synth::{benchmark_suite, generate, motivating_example, ProjectSpec, TypeCounts};
+
+/// Maps a Figure 2 index (0-based from the paper's `I0`) to the real
+/// instruction id: the example's `I0` sits after a 3-instruction prologue,
+/// and the paper counts `call`+`add esp` cleanup as part of the flow (our
+/// builder emits the cleanup as a separate instruction after `I6`).
+fn fig2(ex: &tiara_synth::MotivatingExample, paper_index: u32) -> InstId {
+    let base = ex.i0.0;
+    // Paper indices 0..=6 map directly; 7.. are shifted by the `add esp, 12`
+    // cleanup instruction emitted after the I6 call.
+    if paper_index <= 6 {
+        InstId(base + paper_index)
+    } else {
+        InstId(base + paper_index + 1)
+    }
+}
+
+#[test]
+fn figure2_slice_membership_for_l() {
+    let ex = motivating_example();
+    let slice = tslice(&ex.binary.program, ex.l);
+
+    let expect_in = [0u32, 4, 5, 6, 7, 9, 10, 14, 16, 17];
+    for k in expect_in {
+        assert!(
+            slice.contains(fig2(&ex, k)),
+            "paper I{k} (inst {}) must be in the slice; slice nodes: {:?}",
+            fig2(&ex, k),
+            slice.nodes.iter().map(|n| n.inst.0).collect::<Vec<_>>()
+        );
+    }
+    let expect_out = [1u32, 2, 3, 8, 11, 12, 13, 15, 18, 19, 20];
+    for k in expect_out {
+        assert!(
+            !slice.contains(fig2(&ex, k)),
+            "paper I{k} (inst {}) must NOT be in the slice",
+            fig2(&ex, k)
+        );
+    }
+}
+
+#[test]
+fn figure2_vector_variable_v_gets_its_own_slice() {
+    let ex = motivating_example();
+    let slice = tslice(&ex.binary.program, ex.v);
+    // I15 (store to v's slot) and I20 (lea of v's slot) belong to v.
+    assert!(slice.contains(fig2(&ex, 15)), "store into v's slot");
+    assert!(slice.contains(fig2(&ex, 20)), "address-of v");
+    // Nothing from l's stream.
+    assert!(!slice.contains(fig2(&ex, 0)));
+    assert!(!slice.contains(fig2(&ex, 16)));
+}
+
+#[test]
+fn trace_reproduces_figure2_rules() {
+    use tiara_slice::RuleName;
+    let ex = motivating_example();
+    let out = tslice_with(&ex.binary.program, ex.l, &TsliceConfig::with_trace());
+    let rules_at = |paper: u32| -> Vec<RuleName> {
+        let id = fig2(&ex, paper);
+        out.trace
+            .iter()
+            .filter(|e| e.inst == id)
+            .flat_map(|e| e.rules.iter().copied())
+            .collect()
+    };
+    assert!(rules_at(0).contains(&RuleName::MovRiv), "I0 is [Mov-riv]");
+    assert!(rules_at(1).contains(&RuleName::MovRivKill), "I1 lea kills");
+    assert!(rules_at(4).contains(&RuleName::StkPush), "I4 pushes");
+    assert!(rules_at(7).contains(&RuleName::MovRiv), "I7 loads *(v0+4)");
+    assert!(rules_at(9).contains(&RuleName::OpRref), "I9 [Op-rref]");
+    assert!(rules_at(10).contains(&RuleName::UseDep), "I10 [Use-dep]");
+    assert!(rules_at(16).contains(&RuleName::MovDv), "I16 stores to v0+4");
+    assert!(rules_at(17).contains(&RuleName::MovDr), "I17 writes via dep ptr");
+}
+
+#[test]
+fn faith_decays_along_figure2() {
+    let ex = motivating_example();
+    let out = tslice_with(&ex.binary.program, ex.l, &TsliceConfig::with_trace());
+    let final_faith = |paper: u32| -> f64 {
+        let id = fig2(&ex, paper);
+        out.trace
+            .iter()
+            .filter(|e| e.inst == id)
+            .map(|e| e.faith)
+            .fold(f64::NAN, |_, f| f)
+    };
+    let f0 = final_faith(0);
+    let f5 = final_faith(5);
+    let f17 = final_faith(17);
+    assert!(f0 > f5 && f5 > f17, "faith decreases along the flow: {f0} {f5} {f17}");
+    assert!(f17 > 0.0, "the example never exhausts faith");
+}
+
+#[test]
+fn tslice_is_much_smaller_than_sslice_on_generated_code() {
+    let spec = ProjectSpec {
+        name: "t".into(),
+        index: 1,
+        seed: 99,
+        counts: TypeCounts { list: 4, vector: 6, map: 5, primitive: 20, ..Default::default() },
+    };
+    let bin = generate(&spec);
+    let mut t_nodes = 0usize;
+    let mut s_nodes = 0usize;
+    let mut samples = 0usize;
+    for (addr, class) in bin.labeled_vars() {
+        if class == tiara_ir::ContainerClass::Primitive {
+            continue;
+        }
+        let t = tslice(&bin.program, addr);
+        let s = sslice(&bin.program, addr);
+        assert!(!t.is_empty(), "container variable {addr} has a nonempty TSLICE");
+        assert!(!s.is_empty());
+        t_nodes += t.num_nodes();
+        s_nodes += s.num_nodes();
+        samples += 1;
+    }
+    assert!(samples > 0);
+    let t_avg = t_nodes as f64 / samples as f64;
+    let s_avg = s_nodes as f64 / samples as f64;
+    assert!(
+        t_avg * 2.0 < s_avg,
+        "TSLICE ({t_avg:.1}) must be far smaller than SSLICE ({s_avg:.1})"
+    );
+}
+
+#[test]
+fn all_benchmark_variables_are_sliceable() {
+    // A smoke pass over the smallest suite project: every labeled variable
+    // yields a slice without panicking, and container slices are nonempty.
+    let spec = {
+        let mut s = benchmark_suite(7)[7].clone(); // list_ext, the smallest
+        s.counts = TypeCounts { list: 6, vector: 2, map: 0, primitive: 12, ..Default::default() };
+        s
+    };
+    let bin = generate(&spec);
+    for (addr, class) in bin.labeled_vars() {
+        let t = tslice(&bin.program, addr);
+        if class != tiara_ir::ContainerClass::Primitive {
+            assert!(!t.is_empty(), "{class} variable {addr} produced an empty slice");
+        }
+    }
+}

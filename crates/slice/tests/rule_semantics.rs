@@ -1,0 +1,400 @@
+//! Rule-level semantics tests: one minimal program per Figure 4 rule,
+//! asserting exactly which instructions become dependent and which rules
+//! fire. These pin the transfer function down instruction form by
+//! instruction form.
+
+use tiara_ir::{
+    BinOp, ExternKind, InstId, InstKind, Loc, MemAddr, Opcode, Operand, Program, ProgramBuilder,
+    Reg, VarAddr,
+};
+use tiara_slice::{tslice_with, RuleName, TsliceConfig, TsliceOutput};
+
+const V0: u64 = 0x74404;
+
+/// Builds a single-function program from instruction kinds and runs TSLICE
+/// on the global criterion, returning the traced output.
+fn run(insts: Vec<(Opcode, InstKind)>) -> (Program, TsliceOutput) {
+    let mut b = ProgramBuilder::new();
+    b.begin_func("main");
+    for (op, kind) in insts {
+        b.inst(op, kind);
+    }
+    b.ret();
+    b.end_func();
+    let prog = b.finish().unwrap();
+    let out = tslice_with(&prog, VarAddr::Global(MemAddr(V0)), &TsliceConfig::with_trace());
+    (prog, out)
+}
+
+fn dep(out: &TsliceOutput, i: u32) -> bool {
+    out.slice.contains(InstId(i))
+}
+
+fn fired(out: &TsliceOutput, i: u32, rule: RuleName) -> bool {
+    out.trace.iter().any(|e| e.inst == InstId(i) && e.rules.contains(&rule))
+}
+
+fn mov(dst: Operand, src: Operand) -> (Opcode, InstKind) {
+    (Opcode::Mov, InstKind::Mov { dst, src })
+}
+
+fn add(dst: Operand, src: Operand) -> (Opcode, InstKind) {
+    (Opcode::Add, InstKind::Op { op: BinOp::Add, dst, src })
+}
+
+fn reg(r: Reg) -> Operand {
+    Operand::reg(r)
+}
+
+#[test]
+fn mov_riv_loads_are_dependent_and_tracked() {
+    // I0: mov esi, [v0]    -> dep, esi = (ref, 0)
+    // I1: mov eax, esi     -> dep via [Mov-rr]
+    let (_, out) = run(vec![
+        mov(reg(Reg::Esi), Operand::mem_abs(V0, 0)),
+        mov(reg(Reg::Eax), reg(Reg::Esi)),
+    ]);
+    assert!(dep(&out, 0) && fired(&out, 0, RuleName::MovRiv));
+    assert!(dep(&out, 1) && fired(&out, 1, RuleName::MovRr));
+}
+
+#[test]
+fn mov_rv_address_of_is_dependent() {
+    // mov esi, offset v0 -> (ptr, 0), dep.
+    let (_, out) = run(vec![
+        mov(reg(Reg::Esi), Operand::addr_of(V0, 0)),
+        mov(reg(Reg::Eax), reg(Reg::Esi)),
+    ]);
+    assert!(dep(&out, 0) && fired(&out, 0, RuleName::MovRv));
+    assert!(dep(&out, 1));
+}
+
+#[test]
+fn kill_rules_stop_tracking() {
+    // I0: mov esi, [v0]        -> dep
+    // I1: mov esi, [80000h]    -> [Mov-riv-kill]: esi cleared
+    // I2: mov eax, esi         -> NOT dep
+    let (_, out) = run(vec![
+        mov(reg(Reg::Esi), Operand::mem_abs(V0, 0)),
+        mov(reg(Reg::Esi), Operand::mem_abs(0x80000u64, 0)),
+        mov(reg(Reg::Eax), reg(Reg::Esi)),
+    ]);
+    assert!(dep(&out, 0));
+    assert!(fired(&out, 1, RuleName::MovRivKill));
+    assert!(!dep(&out, 1));
+    assert!(!dep(&out, 2), "killed register carries no dependence");
+}
+
+#[test]
+fn mov_ri_turns_pointer_into_reference_and_reference_into_other() {
+    // I0: mov esi, offset v0   -> esi = (ptr, 0)
+    // I1: mov eax, [esi+4]     -> [Mov-ri]: eax = (ref, 4), dep
+    // I2: mov ebx, [eax]       -> [Mov-ri] on a ref: ebx = (other, *), dep
+    // I3: mov ecx, [ebx]       -> (other) not propagated: NOT dep
+    let (_, out) = run(vec![
+        mov(reg(Reg::Esi), Operand::addr_of(V0, 0)),
+        mov(reg(Reg::Eax), Operand::mem_reg(Reg::Esi, 4)),
+        mov(reg(Reg::Ebx), Operand::mem_reg(Reg::Eax, 0)),
+        mov(reg(Reg::Ecx), Operand::mem_reg(Reg::Ebx, 0)),
+    ]);
+    assert!(dep(&out, 1) && fired(&out, 1, RuleName::MovRi));
+    assert!(dep(&out, 2));
+    assert!(!dep(&out, 3), "(other, *) must not flow through loads");
+}
+
+#[test]
+fn mov_dr_writes_through_dependent_pointers() {
+    // I0: mov esi, [v0]
+    // I1: mov [esi+4], eax     -> [Mov-dr]: dep
+    // I2: mov [edi+4], eax     -> edi untracked: NOT dep
+    let (_, out) = run(vec![
+        mov(reg(Reg::Esi), Operand::mem_abs(V0, 0)),
+        mov(Operand::mem_reg(Reg::Esi, 4), reg(Reg::Eax)),
+        mov(Operand::mem_reg(Reg::Edi, 4), reg(Reg::Eax)),
+    ]);
+    assert!(dep(&out, 1) && fired(&out, 1, RuleName::MovDr));
+    assert!(!dep(&out, 2));
+}
+
+#[test]
+fn mov_dv_stores_into_criterion_memory() {
+    // mov [v0+4], ecx — the paper's I16 (pre-folded address form).
+    let (_, out) = run(vec![mov(Operand::mem_abs(V0 + 4, 0), reg(Reg::Ecx))]);
+    assert!(dep(&out, 0) && fired(&out, 0, RuleName::MovDv));
+}
+
+#[test]
+fn op_rc_shifts_pointers_and_degrades_references() {
+    // I0: mov esi, offset v0   -> (ptr, 0)
+    // I1: add esi, 4           -> [Op-rc]: (ptr, 4), dep
+    // I2: mov eax, [esi]       -> reads *(v0+4): (ref, 4), dep
+    // I3: mov ecx, [v0]        -> (ref, 0)
+    // I4: add ecx, 1           -> ref + const = (other, *), dep
+    let (_, out) = run(vec![
+        mov(reg(Reg::Esi), Operand::addr_of(V0, 0)),
+        add(reg(Reg::Esi), Operand::imm(4)),
+        mov(reg(Reg::Eax), Operand::mem_reg(Reg::Esi, 0)),
+        mov(reg(Reg::Ecx), Operand::mem_abs(V0, 0)),
+        add(reg(Reg::Ecx), Operand::imm(1)),
+    ]);
+    assert!(dep(&out, 1) && fired(&out, 1, RuleName::OpRc));
+    assert!(dep(&out, 2), "pointer arithmetic preserved the field offset");
+    assert!(dep(&out, 4) && fired(&out, 4, RuleName::OpRc));
+}
+
+#[test]
+fn op_rr_and_rref_mark_arithmetic_with_dependent_operands() {
+    // I0: mov ecx, [v0+4]      -> (ref, 4)
+    // I1: sub ebx, ecx         -> [Op-rref]: ebx = (other, *), dep (Fig 2 I9)
+    // I2: cmp ebx, 1           -> [Use-dep] via ebx (Fig 2 I10)
+    let (_, out) = run(vec![
+        mov(reg(Reg::Ecx), Operand::mem_abs(V0, 4)),
+        (Opcode::Sub, InstKind::Op { op: BinOp::Sub, dst: reg(Reg::Ebx), src: reg(Reg::Ecx) }),
+        (Opcode::Cmp, InstKind::Use { oprs: vec![reg(Reg::Ebx), Operand::imm(1)] }),
+    ]);
+    assert!(dep(&out, 1) && fired(&out, 1, RuleName::OpRref));
+    assert!(dep(&out, 2) && fired(&out, 2, RuleName::UseDep));
+}
+
+#[test]
+fn op_ri_reads_through_dependent_pointers() {
+    // I0: mov esi, offset v0
+    // I1: add eax, [esi+8]     -> [Op-ri]: dep, eax = (other, *)
+    let (_, out) = run(vec![
+        mov(reg(Reg::Esi), Operand::addr_of(V0, 0)),
+        (Opcode::Add, InstKind::Op {
+            op: BinOp::Add,
+            dst: reg(Reg::Eax),
+            src: Operand::mem_reg(Reg::Esi, 8),
+        }),
+    ]);
+    assert!(dep(&out, 1) && fired(&out, 1, RuleName::OpRi));
+}
+
+#[test]
+fn op_riv_arithmetic_on_criterion_memory() {
+    // add eax, [v0+4] — the op⊕ analogue of [Mov-riv].
+    let (_, out) = run(vec![(Opcode::Add, InstKind::Op {
+        op: BinOp::Add,
+        dst: reg(Reg::Eax),
+        src: Operand::mem_abs(V0 + 4, 0),
+    })]);
+    assert!(dep(&out, 0) && fired(&out, 0, RuleName::OpRiv));
+}
+
+#[test]
+fn stack_roundtrip_preserves_dependence() {
+    // I0: mov esi, [v0]
+    // I1: push esi             -> [Stk-Push], dep
+    // I2: pop edi              -> [Stk-Pop], dep; edi = (ref, 0)
+    // I3: mov eax, edi         -> dep via [Mov-rr]
+    let (_, out) = run(vec![
+        mov(reg(Reg::Esi), Operand::mem_abs(V0, 0)),
+        (Opcode::Push, InstKind::Push { src: reg(Reg::Esi) }),
+        (Opcode::Pop, InstKind::Pop { dst: reg(Reg::Edi) }),
+        mov(reg(Reg::Eax), reg(Reg::Edi)),
+    ]);
+    assert!(dep(&out, 1) && fired(&out, 1, RuleName::StkPush));
+    assert!(dep(&out, 2) && fired(&out, 2, RuleName::StkPop));
+    assert!(dep(&out, 3), "dependence survives a push/pop roundtrip");
+}
+
+#[test]
+fn push_of_constant_is_not_dependent() {
+    let (_, out) = run(vec![
+        mov(reg(Reg::Esi), Operand::mem_abs(V0, 0)), // anchor the criterion
+        (Opcode::Push, InstKind::Push { src: Operand::imm(10) }),
+    ]);
+    assert!(!dep(&out, 1));
+}
+
+#[test]
+fn frame_slot_store_and_load_track_dependence() {
+    // I0: mov esi, [v0]
+    // I1: mov [ebp-8], esi     -> [Mov-sr]: slot tainted, dep
+    // I2: mov eax, [ebp-8]     -> [Mov-rs]: dep
+    // I3: mov ebx, [ebp-16]    -> different slot: NOT dep
+    let (_, out) = run(vec![
+        mov(reg(Reg::Esi), Operand::mem_abs(V0, 0)),
+        mov(Operand::mem_reg(Reg::Ebp, -8), reg(Reg::Esi)),
+        mov(reg(Reg::Eax), Operand::mem_reg(Reg::Ebp, -8)),
+        mov(reg(Reg::Ebx), Operand::mem_reg(Reg::Ebp, -16)),
+    ]);
+    assert!(dep(&out, 1) && fired(&out, 1, RuleName::MovSr));
+    assert!(dep(&out, 2) && fired(&out, 2, RuleName::MovRs));
+    assert!(!dep(&out, 3));
+}
+
+#[test]
+fn op_sr_arithmetic_into_tainted_frame_slot() {
+    // I0: mov esi, [v0]
+    // I1: mov [ebp-8], esi
+    // I2: add [ebp-8], 1       -> [Op-sr]: dep, slot degrades to (other, *)
+    let (_, out) = run(vec![
+        mov(reg(Reg::Esi), Operand::mem_abs(V0, 0)),
+        mov(Operand::mem_reg(Reg::Ebp, -8), reg(Reg::Esi)),
+        (Opcode::Add, InstKind::Op {
+            op: BinOp::Add,
+            dst: Operand::mem_reg(Reg::Ebp, -8),
+            src: Operand::imm(1),
+        }),
+    ]);
+    assert!(dep(&out, 2));
+}
+
+#[test]
+fn use_dep_checks_memory_operands_through_registers() {
+    // I0: mov esi, [v0]
+    // I1: cmp [esi+4], 0       -> [Use-dep] via the register's values
+    let (_, out) = run(vec![
+        mov(reg(Reg::Esi), Operand::mem_abs(V0, 0)),
+        (Opcode::Cmp, InstKind::Use {
+            oprs: vec![Operand::mem_reg(Reg::Esi, 4), Operand::imm(0)],
+        }),
+    ]);
+    assert!(dep(&out, 1) && fired(&out, 1, RuleName::UseDep));
+}
+
+#[test]
+fn call_with_dependent_argument_is_dependent() {
+    // push [v0]; call free  — the call itself must be dependent (Fig 2 I6).
+    let mut b = ProgramBuilder::new();
+    b.begin_func("main");
+    b.inst(Opcode::Push, InstKind::Push { src: Operand::mem_abs(V0, 0) });
+    b.call_extern(ExternKind::Free);
+    b.ret();
+    b.end_func();
+    let prog = b.finish().unwrap();
+    let out = tslice_with(&prog, VarAddr::Global(MemAddr(V0)), &TsliceConfig::with_trace());
+    assert!(out.slice.contains(InstId(1)), "call with dep arg is dep");
+}
+
+#[test]
+fn external_calls_clobber_caller_save_registers() {
+    // I0: mov ecx, [v0]
+    // I1: call Other           -> clobbers eax/ecx/edx
+    // I2: mov eax, ecx         -> NOT dep (ecx was clobbered)
+    // but esi survives:
+    // I3: mov esi, [v0]; I4: call Other; I5: mov eax, esi -> dep
+    let mut b = ProgramBuilder::new();
+    b.begin_func("main");
+    b.inst(Opcode::Mov, InstKind::Mov { dst: reg(Reg::Ecx), src: Operand::mem_abs(V0, 0) });
+    b.call_extern(ExternKind::Other);
+    b.inst(Opcode::Mov, InstKind::Mov { dst: reg(Reg::Eax), src: reg(Reg::Ecx) });
+    b.inst(Opcode::Mov, InstKind::Mov { dst: reg(Reg::Esi), src: Operand::mem_abs(V0, 0) });
+    b.call_extern(ExternKind::Other);
+    b.inst(Opcode::Mov, InstKind::Mov { dst: reg(Reg::Eax), src: reg(Reg::Esi) });
+    b.ret();
+    b.end_func();
+    let prog = b.finish().unwrap();
+    let out = tslice_with(&prog, VarAddr::Global(MemAddr(V0)), &TsliceConfig::default());
+    assert!(!out.slice.contains(InstId(2)), "ecx clobbered by the call");
+    assert!(out.slice.contains(InstId(5)), "esi is callee-save");
+}
+
+#[test]
+fn lea_kills_by_default_but_tracks_with_the_ablation_flag() {
+    let build = || {
+        let mut b = ProgramBuilder::new();
+        b.begin_func("main");
+        // I0: mov esi, offset v0; I1: lea esi, [esi+4]; I2: mov eax, [esi]
+        b.inst(Opcode::Mov, InstKind::Mov { dst: reg(Reg::Esi), src: Operand::addr_of(V0, 0) });
+        b.inst(
+            Opcode::Lea,
+            InstKind::Mov {
+                dst: reg(Reg::Esi),
+                src: Operand::Loc(Loc::with_offset(Reg::Esi, 4)),
+            },
+        );
+        b.inst(Opcode::Mov, InstKind::Mov { dst: reg(Reg::Eax), src: Operand::mem_reg(Reg::Esi, 0) });
+        b.ret();
+        b.end_func();
+        b.finish().unwrap()
+    };
+    let v0 = VarAddr::Global(MemAddr(V0));
+
+    let paper = tslice_with(&build(), v0, &TsliceConfig::default());
+    assert!(!paper.slice.contains(InstId(2)), "paper semantics: lea kills");
+
+    let cfg = TsliceConfig { lea_tracks_pointer_arith: true, ..TsliceConfig::default() };
+    let tracked = tslice_with(&build(), v0, &cfg);
+    assert!(tracked.slice.contains(InstId(2)), "ablation: lea tracks (ptr, 4)");
+}
+
+#[test]
+fn criterion_window_bounds_field_matching() {
+    // Accesses inside the 16-byte window are the variable; outside are not.
+    let (_, out) = run(vec![
+        mov(reg(Reg::Esi), Operand::mem_abs(V0, 0)),
+        mov(reg(Reg::Eax), Operand::mem_abs(V0 + 12, 0)),
+        mov(reg(Reg::Ebx), Operand::mem_abs(V0 + 16, 0)),
+    ]);
+    assert!(dep(&out, 1), "v0+12 is inside the window");
+    assert!(!dep(&out, 2), "v0+16 is the next variable");
+}
+
+#[test]
+fn call_return_is_context_sensitive() {
+    // `main` and `other` both call the helper `id`. Slicing starts in
+    // `main`; a context-sensitive return must resume ONLY at `main`'s
+    // return site, never at `other`'s (which the single-CFG ret edges would
+    // also allow). `other` contains a blatant v0 access that would be
+    // marked dependent if the traversal ever leaked into it.
+    let mut b = ProgramBuilder::new();
+    b.begin_func("main");
+    // I0: mov esi, [v0]; I1: call id; I2: mov eax, esi (dep).
+    b.inst(
+        Opcode::Mov,
+        InstKind::Mov { dst: Operand::reg(Reg::Esi), src: Operand::mem_abs(V0, 0) },
+    );
+    b.call_named("id");
+    b.inst(
+        Opcode::Mov,
+        InstKind::Mov { dst: Operand::reg(Reg::Eax), src: Operand::reg(Reg::Esi) },
+    );
+    b.ret();
+    b.end_func();
+    b.begin_func("other");
+    // I4: call id; I5: mov ebx, [v0+4] — dependent IF ever visited.
+    b.call_named("id");
+    let leak = b.inst(
+        Opcode::Mov,
+        InstKind::Mov { dst: Operand::reg(Reg::Ebx), src: Operand::mem_abs(V0, 4) },
+    );
+    b.ret();
+    b.end_func();
+    b.begin_func("id");
+    b.inst(
+        Opcode::Mov,
+        InstKind::Mov { dst: Operand::reg(Reg::Edx), src: Operand::reg(Reg::Edx) },
+    );
+    b.ret();
+    b.end_func();
+    b.set_entry("main");
+    let prog = b.finish().unwrap();
+    let out = tslice_with(&prog, VarAddr::Global(MemAddr(V0)), &TsliceConfig::default());
+    assert!(out.slice.contains(InstId(2)), "return resumes after main's call site");
+    assert!(
+        !out.slice.contains(leak),
+        "traversal leaked through a ret edge into a function that never ran"
+    );
+}
+
+#[test]
+fn recursion_terminates_via_the_faith_bound() {
+    // A self-recursive function touching v0: the analysis must terminate
+    // (faith exhausts) and still find the dependent body instructions.
+    let mut b = ProgramBuilder::new();
+    b.begin_func("rec");
+    b.inst(
+        Opcode::Mov,
+        InstKind::Mov { dst: Operand::reg(Reg::Esi), src: Operand::mem_abs(V0, 0) },
+    );
+    b.call_named("rec");
+    b.ret();
+    b.end_func();
+    let prog = b.finish().unwrap();
+    let out = tslice_with(&prog, VarAddr::Global(MemAddr(V0)), &TsliceConfig::default());
+    assert!(out.slice.contains(InstId(0)));
+    assert!(out.slice.steps < 1_000_000, "terminated well before the step cap");
+}

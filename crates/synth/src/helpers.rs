@@ -1,0 +1,273 @@
+//! Shared out-of-line STL helper functions emitted once per binary.
+//!
+//! These are the routines MSVC keeps out of line even at `/O2` (they appear
+//! as named calls in the paper's Figure 1, e.g.
+//! `std::_List_buy<int>::_Buynode<int>`): node allocators, the vector growth
+//! path, and the red-black rebalance. Their bodies are where `malloc`/`free`
+//! reachability (features `F5`/`F6`) comes from.
+
+use crate::style::Style;
+use crate::templates::{list, map, vector};
+use tiara_ir::{
+    BinOp, ExternKind, InstKind, Opcode, Operand, ProgramBuilder, Reg,
+};
+
+/// Per-style register roles inside helper bodies: which caller-save register
+/// ferries loaded arguments and which holds copies. Real builds differ here
+/// by compiler version and surrounding register pressure.
+#[derive(Debug, Clone, Copy)]
+struct HelperRegs {
+    a: Reg,
+    b: Reg,
+}
+
+fn helper_regs(style: &Style) -> HelperRegs {
+    if style.seed.is_multiple_of(2) {
+        HelperRegs { a: Reg::Ecx, b: Reg::Edx }
+    } else {
+        HelperRegs { a: Reg::Edx, b: Reg::Ecx }
+    }
+}
+
+fn prologue(b: &mut ProgramBuilder, style: &Style) {
+    b.inst(Opcode::Push, InstKind::Push { src: Operand::reg(Reg::Ebp) });
+    b.inst(
+        Opcode::Mov,
+        InstKind::Mov { dst: Operand::reg(Reg::Ebp), src: Operand::reg(Reg::Esp) },
+    );
+    if style.seed.is_multiple_of(3) {
+        // Some builds reserve scratch space even in small helpers.
+        b.inst(
+            Opcode::Sub,
+            InstKind::Op { op: BinOp::Sub, dst: Operand::reg(Reg::Esp), src: Operand::imm(8) },
+        );
+    }
+}
+
+fn epilogue(b: &mut ProgramBuilder, style: &Style) {
+    b.inst(
+        if style.use_leave_epilogue { Opcode::Leave } else { Opcode::Mov },
+        InstKind::Mov { dst: Operand::reg(Reg::Esp), src: Operand::reg(Reg::Ebp) },
+    );
+    b.inst(Opcode::Pop, InstKind::Pop { dst: Operand::reg(Reg::Ebp) });
+    b.ret();
+}
+
+fn mov(b: &mut ProgramBuilder, dst: Operand, src: Operand) {
+    b.inst(Opcode::Mov, InstKind::Mov { dst, src });
+}
+
+fn add(b: &mut ProgramBuilder, dst: Operand, src: Operand) {
+    b.inst(Opcode::Add, InstKind::Op { op: BinOp::Add, dst, src });
+}
+
+/// Emits `std::_List_buynode(_Next, _Prev, _Val)`: malloc a 12-byte node and
+/// fill in the links and payload. Returns the node in `eax`.
+pub fn emit_list_buynode(b: &mut ProgramBuilder, style: &Style) {
+    let r = helper_regs(style);
+    b.begin_func(list::BUYNODE);
+    prologue(b, style);
+    b.inst(Opcode::Push, InstKind::Push { src: Operand::imm(12) });
+    b.call_extern(ExternKind::Malloc);
+    add(b, Operand::reg(Reg::Esp), Operand::imm(4));
+    // node->_Next = arg1; node->_Prev = arg2; node->_Myval = arg3.
+    mov(b, Operand::reg(r.a), Operand::mem_reg(Reg::Ebp, 8));
+    mov(b, Operand::mem_reg(Reg::Eax, 0), Operand::reg(r.a));
+    mov(b, Operand::reg(r.b), Operand::mem_reg(Reg::Ebp, 12));
+    mov(b, Operand::mem_reg(Reg::Eax, 4), Operand::reg(r.b));
+    mov(b, Operand::reg(r.a), Operand::mem_reg(Reg::Ebp, 16));
+    mov(b, Operand::mem_reg(Reg::Eax, 8), Operand::reg(r.a));
+    epilogue(b, style);
+    b.end_func();
+}
+
+/// Emits `std::vector::_Emplace_realloc(vec*, val)`: malloc a bigger buffer,
+/// copy the elements, free the old buffer, append the value, update the
+/// header. The only template routine reaching *both* `malloc` and `free` —
+/// the paper's key discriminator between `std::vector` and `std::list`.
+pub fn emit_vector_emplace_realloc(b: &mut ProgramBuilder, style: &Style) {
+    b.begin_func(vector::EMPLACE_REALLOC);
+    prologue(b, style);
+    // edi = malloc(new_cap)
+    b.inst(Opcode::Push, InstKind::Push { src: Operand::imm(64) });
+    b.call_extern(ExternKind::Malloc);
+    add(b, Operand::reg(Reg::Esp), Operand::imm(4));
+    mov(b, Operand::reg(Reg::Edi), Operand::reg(Reg::Eax));
+    // ecx = &v; esi = v->_Myfirst
+    mov(b, Operand::reg(Reg::Ecx), Operand::mem_reg(Reg::Ebp, 8));
+    mov(b, Operand::reg(Reg::Esi), Operand::mem_reg(Reg::Ecx, 0));
+    // copy loop: while (esi != v->_Mylast) *edi++ = *esi++;
+    let top = b.new_label();
+    let done = b.new_label();
+    b.bind_label(top);
+    b.inst(
+        Opcode::Cmp,
+        InstKind::Use { oprs: vec![Operand::reg(Reg::Esi), Operand::mem_reg(Reg::Ecx, 4)] },
+    );
+    b.jump(Opcode::Jae, done);
+    mov(b, Operand::reg(Reg::Edx), Operand::mem_reg(Reg::Esi, 0));
+    mov(b, Operand::mem_reg(Reg::Edi, 0), Operand::reg(Reg::Edx));
+    add(b, Operand::reg(Reg::Esi), Operand::imm(4));
+    add(b, Operand::reg(Reg::Edi), Operand::imm(4));
+    b.jump(Opcode::Jmp, top);
+    b.bind_label(done);
+    // free(v->_Myfirst)
+    b.inst(Opcode::Push, InstKind::Push { src: Operand::mem_reg(Reg::Ecx, 0) });
+    b.call_extern(ExternKind::Free);
+    add(b, Operand::reg(Reg::Esp), Operand::imm(4));
+    // append the value and rewrite the header
+    mov(b, Operand::reg(Reg::Edx), Operand::mem_reg(Reg::Ebp, 12));
+    mov(b, Operand::mem_reg(Reg::Edi, 0), Operand::reg(Reg::Edx));
+    add(b, Operand::reg(Reg::Edi), Operand::imm(4));
+    mov(b, Operand::mem_reg(Reg::Ecx, 4), Operand::reg(Reg::Edi)); // _Mylast
+    // _Myfirst = new buffer (still spilled in eax? reload pattern instead)
+    mov(b, Operand::reg(Reg::Edx), Operand::reg(Reg::Edi));
+    add(b, Operand::reg(Reg::Edx), Operand::imm(60));
+    mov(b, Operand::mem_reg(Reg::Ecx, 8), Operand::reg(Reg::Edx)); // _Myend
+    epilogue(b, style);
+    b.end_func();
+}
+
+/// Emits `std::_Tree_buynode(attach, key, val)`: malloc a 24-byte red-black
+/// node and initialize parent/key/value/color.
+pub fn emit_tree_buynode(b: &mut ProgramBuilder, style: &Style) {
+    let r = helper_regs(style);
+    b.begin_func(map::TREE_BUYNODE);
+    prologue(b, style);
+    b.inst(Opcode::Push, InstKind::Push { src: Operand::imm(24) });
+    b.call_extern(ExternKind::Malloc);
+    add(b, Operand::reg(Reg::Esp), Operand::imm(4));
+    mov(b, Operand::reg(r.a), Operand::mem_reg(Reg::Ebp, 8));
+    mov(b, Operand::mem_reg(Reg::Eax, 4), Operand::reg(r.a)); // _Parent
+    mov(b, Operand::reg(r.b), Operand::mem_reg(Reg::Ebp, 12));
+    mov(b, Operand::mem_reg(Reg::Eax, 16), Operand::reg(r.b)); // _Key
+    mov(b, Operand::reg(r.a), Operand::mem_reg(Reg::Ebp, 16));
+    mov(b, Operand::mem_reg(Reg::Eax, 20), Operand::reg(r.a)); // _Val
+    mov(b, Operand::mem_reg(Reg::Eax, 12), Operand::imm(0)); // red
+    epilogue(b, style);
+    b.end_func();
+}
+
+/// Emits `std::_Tree_rebalance(head, node)`: the recolor/rotate walk up the
+/// tree. Pointer chasing and stores, no heap traffic.
+pub fn emit_tree_rebalance(b: &mut ProgramBuilder, style: &Style) {
+    b.begin_func(map::TREE_REBALANCE);
+    prologue(b, style);
+    mov(b, Operand::reg(Reg::Ecx), Operand::mem_reg(Reg::Ebp, 12)); // node
+    mov(b, Operand::reg(Reg::Edx), Operand::mem_reg(Reg::Ebp, 8)); // head
+    let top = b.new_label();
+    let done = b.new_label();
+    b.bind_label(top);
+    b.inst(
+        Opcode::Cmp,
+        InstKind::Use { oprs: vec![Operand::mem_reg(Reg::Ecx, 12), Operand::imm(0)] },
+    );
+    b.jump(Opcode::Jne, done);
+    mov(b, Operand::reg(Reg::Eax), Operand::mem_reg(Reg::Ecx, 4)); // parent
+    b.inst(
+        Opcode::Cmp,
+        InstKind::Use { oprs: vec![Operand::reg(Reg::Eax), Operand::reg(Reg::Edx)] },
+    );
+    b.jump(Opcode::Je, done);
+    mov(b, Operand::reg(Reg::Esi), Operand::mem_reg(Reg::Eax, 4)); // grandparent
+    mov(b, Operand::mem_reg(Reg::Esi, 0), Operand::reg(Reg::Ecx)); // rotate link
+    mov(b, Operand::mem_reg(Reg::Eax, 12), Operand::imm(1)); // recolor black
+    mov(b, Operand::reg(Reg::Ecx), Operand::reg(Reg::Eax)); // ascend
+    b.jump(Opcode::Jmp, top);
+    b.bind_label(done);
+    epilogue(b, style);
+    b.end_func();
+}
+
+/// Emits `std::_Tree_buynode_set(key)`: malloc a 20-byte key-only node —
+/// the value-less sibling of the map allocator.
+pub fn emit_set_buynode(b: &mut ProgramBuilder, style: &Style) {
+    let r = helper_regs(style);
+    b.begin_func(crate::templates::set::SET_BUYNODE);
+    prologue(b, style);
+    b.inst(Opcode::Push, InstKind::Push { src: Operand::imm(20) });
+    b.call_extern(ExternKind::Malloc);
+    add(b, Operand::reg(Reg::Esp), Operand::imm(4));
+    mov(b, Operand::reg(r.a), Operand::mem_reg(Reg::Ebp, 8));
+    mov(b, Operand::mem_reg(Reg::Eax, 16), Operand::reg(r.a)); // _Key
+    mov(b, Operand::mem_reg(Reg::Eax, 12), Operand::imm(0)); // red
+    epilogue(b, style);
+    b.end_func();
+}
+
+/// Emits `std::deque::_Growmap(deque*)`: malloc a bigger block-pointer map,
+/// copy the pointers, free the old map — heap churn over *pointers*, not
+/// elements (the deque's growth signature).
+pub fn emit_deque_growmap(b: &mut ProgramBuilder, style: &Style) {
+    b.begin_func(crate::templates::deque::GROWMAP);
+    prologue(b, style);
+    b.inst(Opcode::Push, InstKind::Push { src: Operand::imm(128) });
+    b.call_extern(ExternKind::Malloc);
+    add(b, Operand::reg(Reg::Esp), Operand::imm(4));
+    mov(b, Operand::reg(Reg::Edi), Operand::reg(Reg::Eax)); // new map
+    mov(b, Operand::reg(Reg::Ecx), Operand::mem_reg(Reg::Ebp, 8)); // deque*
+    mov(b, Operand::reg(Reg::Esi), Operand::mem_reg(Reg::Ecx, 0)); // old map
+    mov(b, Operand::reg(Reg::Edx), Operand::mem_reg(Reg::Ecx, 4)); // _Mapsize
+    // Copy the block pointers.
+    let top = b.new_label();
+    let done = b.new_label();
+    b.bind_label(top);
+    b.inst(
+        Opcode::Test,
+        InstKind::Use { oprs: vec![Operand::reg(Reg::Edx), Operand::reg(Reg::Edx)] },
+    );
+    b.jump(Opcode::Je, done);
+    mov(b, Operand::reg(Reg::Eax), Operand::mem_reg(Reg::Esi, 0));
+    mov(b, Operand::mem_reg(Reg::Edi, 0), Operand::reg(Reg::Eax));
+    add(b, Operand::reg(Reg::Esi), Operand::imm(4));
+    add(b, Operand::reg(Reg::Edi), Operand::imm(4));
+    b.inst(
+        Opcode::Sub,
+        InstKind::Op { op: BinOp::Sub, dst: Operand::reg(Reg::Edx), src: Operand::imm(1) },
+    );
+    b.jump(Opcode::Jmp, top);
+    b.bind_label(done);
+    // free(old map); install the new one; double _Mapsize.
+    b.inst(Opcode::Push, InstKind::Push { src: Operand::mem_reg(Reg::Ecx, 0) });
+    b.call_extern(ExternKind::Free);
+    add(b, Operand::reg(Reg::Esp), Operand::imm(4));
+    mov(b, Operand::reg(Reg::Edx), Operand::mem_reg(Reg::Ecx, 4));
+    add(b, Operand::reg(Reg::Edx), Operand::reg(Reg::Edx));
+    mov(b, Operand::mem_reg(Reg::Ecx, 4), Operand::reg(Reg::Edx));
+    epilogue(b, style);
+    b.end_func();
+}
+
+/// Emits all shared helpers into the builder, in the build style of the
+/// project (register roles, prologue shape, and epilogue idiom differ
+/// between real builds).
+pub fn emit_all(b: &mut ProgramBuilder, style: &Style) {
+    emit_list_buynode(b, style);
+    emit_vector_emplace_realloc(b, style);
+    emit_tree_buynode(b, style);
+    emit_tree_rebalance(b, style);
+    emit_set_buynode(b, style);
+    emit_deque_growmap(b, style);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiara_ir::FuncId;
+
+    #[test]
+    fn helpers_build_and_reach_heap_routines() {
+        let mut b = ProgramBuilder::new();
+        emit_all(&mut b, &Style::default());
+        let p = b.finish().unwrap();
+        let buynode = p.func_by_name(list::BUYNODE).unwrap().id;
+        let realloc = p.func_by_name(vector::EMPLACE_REALLOC).unwrap().id;
+        let rebalance = p.func_by_name(map::TREE_REBALANCE).unwrap().id;
+        assert!(p.func_allocates(buynode));
+        assert!(!p.func_frees(buynode), "list never frees on insert");
+        assert!(p.func_allocates(realloc));
+        assert!(p.func_frees(realloc), "vector growth both allocates and frees");
+        assert!(!p.func_allocates(rebalance));
+        let _ = FuncId(0);
+    }
+}

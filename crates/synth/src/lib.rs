@@ -1,0 +1,55 @@
+//! # tiara-synth
+//!
+//! The synthetic binary substrate of the TIARA reproduction: an "MSVC-like"
+//! code generator that stands in for the paper's toolchain of Visual C++ 15
+//! 2017 `/O2`, IDA Pro disassembly, and DIA SDK ground-truth extraction
+//! (none of which are available here — see DESIGN.md for the substitution
+//! argument).
+//!
+//! The generator emits the x86-shaped IR of [`tiara_ir`] directly:
+//!
+//! * container operation **templates** reproduce the instruction idioms of
+//!   the MSVC STL (`std::list::push_back` buying nodes through `_Buynode`,
+//!   `std::vector::push_back` growing through a malloc+copy+free helper,
+//!   `std::map::insert` walking and rebalancing a red-black tree);
+//! * an **interleaver** merges the instruction chunks of adjacent variables,
+//!   reproducing the inlining+scheduling mix of the paper's Figure 1;
+//! * per-project **styles** vary register use, addressing forms, loop
+//!   idioms, noise, and layout, giving the distribution shift RQ2 needs;
+//! * every labeled variable is recorded in a synthetic **PDB**
+//!   ([`tiara_ir::DebugInfo`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use tiara_synth::{generate, ProjectSpec, TypeCounts};
+//!
+//! let spec = ProjectSpec {
+//!     name: "demo".into(),
+//!     index: 0,
+//!     seed: 42,
+//!     counts: TypeCounts { list: 2, vector: 2, map: 2, primitive: 5, ..Default::default() },
+//! };
+//! let binary = generate(&spec);
+//! assert_eq!(binary.debug.len(), 11);
+//! assert!(binary.program.num_insts() > 100);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod chunk;
+mod helpers;
+mod motivating;
+mod noise;
+mod project;
+mod style;
+pub mod templates;
+
+pub use chunk::{interleave, Chunk, LocalLabel, Micro};
+pub use helpers::emit_all as emit_helpers;
+pub use motivating::{motivating_example, MotivatingExample, L_ADDR, V_OFFSET};
+pub use noise::{noise_chunk, noise_chunks, NOISE_GLOBAL_BASE};
+pub use project::{benchmark_suite, extended_suite, generate, Binary, ProjectSpec, TypeCounts};
+pub use style::Style;
+pub use templates::{VarCtx, VarPlace};

@@ -1,0 +1,171 @@
+//! The paper's motivating example (Figures 1 and 2): a `std::list<int> l` at
+//! global address `074404h` and a `std::vector<int> v` in the frame at
+//! `[ebp+8]`, with `l.push_back(10)` and `v.push_back(20)` inlined and
+//! interleaved. Instruction indices `I0`–`I20` match the Figure 2 table.
+
+use crate::templates::{list, vector};
+use crate::{helpers, Binary};
+use tiara_ir::{
+    BinOp, ContainerClass, DebugInfo, InstKind, MemAddr, Opcode, Operand, ProgramBuilder, Reg,
+    VarAddr,
+};
+
+/// The global address of the list `l` (the paper's `v0`).
+pub const L_ADDR: u64 = 0x74404;
+/// The frame offset of the vector `v`.
+pub const V_OFFSET: i64 = 8;
+
+/// The motivating-example binary plus the two variable addresses.
+#[derive(Debug, Clone)]
+pub struct MotivatingExample {
+    /// The binary (program + synthetic PDB).
+    pub binary: Binary,
+    /// The address of `std::list<int> l`.
+    pub l: VarAddr,
+    /// The address of `std::vector<int> v`.
+    pub v: VarAddr,
+    /// The instruction index of the Figure 2 `I0` (`mov esi, [l]`).
+    pub i0: tiara_ir::InstId,
+}
+
+/// Builds the motivating example.
+pub fn motivating_example() -> MotivatingExample {
+    let mut b = ProgramBuilder::new();
+    let eax = Operand::reg(Reg::Eax);
+    let ebx = Operand::reg(Reg::Ebx);
+    let ecx = Operand::reg(Reg::Ecx);
+    let edx = Operand::reg(Reg::Edx);
+    let esi = Operand::reg(Reg::Esi);
+
+    b.begin_func("main");
+    // Prologue.
+    b.inst(Opcode::Push, InstKind::Push { src: Operand::reg(Reg::Ebp) });
+    b.inst(
+        Opcode::Mov,
+        InstKind::Mov { dst: Operand::reg(Reg::Ebp), src: Operand::reg(Reg::Esp) },
+    );
+    b.inst(
+        Opcode::Sub,
+        InstKind::Op { op: BinOp::Sub, dst: Operand::reg(Reg::Esp), src: Operand::imm(0x30) },
+    );
+
+    // --- Figure 2 body ---
+    // I0: mov esi, dword ptr [l (074404h)]
+    let i0 = b.inst(Opcode::Mov, InstKind::Mov { dst: esi, src: Operand::mem_abs(L_ADDR, 0) });
+    // I1: lea eax, [argn]  (argn is a local at ebp-20h)
+    b.inst(
+        Opcode::Lea,
+        InstKind::Mov { dst: eax, src: Operand::Loc(tiara_ir::Loc::with_offset(Reg::Ebp, -0x20)) },
+    );
+    // I2: push eax
+    b.inst(Opcode::Push, InstKind::Push { src: eax });
+    // I3: mov dword ptr [argn], 0Ah
+    b.inst(Opcode::Mov, InstKind::Mov { dst: Operand::mem_reg(Reg::Ebp, -0x20), src: Operand::imm(0x0A) });
+    // I4: push dword ptr [esi+4]
+    b.inst(Opcode::Push, InstKind::Push { src: Operand::mem_reg(Reg::Esi, 4) });
+    // I5: push esi
+    b.inst(Opcode::Push, InstKind::Push { src: esi });
+    // I6: call std::_List_buynode
+    b.call_named(list::BUYNODE);
+    b.inst(
+        Opcode::Add,
+        InstKind::Op { op: BinOp::Add, dst: Operand::reg(Reg::Esp), src: Operand::imm(12) },
+    );
+    // I7: mov ecx, dword ptr ds:[v0+4]
+    b.inst(Opcode::Mov, InstKind::Mov { dst: ecx, src: Operand::mem_abs(L_ADDR + 4, 0) });
+    // I8: mov edx, eax
+    b.inst(Opcode::Mov, InstKind::Mov { dst: edx, src: eax });
+    // I9: sub ebx, ecx
+    b.inst(Opcode::Sub, InstKind::Op { op: BinOp::Sub, dst: ebx, src: ecx });
+    // I10: cmp ebx, 1
+    b.inst(Opcode::Cmp, InstKind::Use { oprs: vec![ebx, Operand::imm(1)] });
+    // I11: jae I14
+    let l14 = b.new_label();
+    b.jump(Opcode::Jae, l14);
+    // I12: push offset string...
+    b.inst(Opcode::Push, InstKind::Push { src: Operand::addr_of(0x7A010u64, 0) });
+    // I13: call dword ptr [_Xlength_error (073034h)]
+    b.call_indirect(Operand::mem_abs(list::XLENGTH_SLOT, 0));
+    // I14: inc ecx
+    b.bind_label(l14);
+    b.inst(Opcode::Inc, InstKind::Op { op: BinOp::Add, dst: ecx, src: Operand::imm(1) });
+    // I15: mov dword ptr [ebp+8], 14h   (v.push_back(20) interleaved)
+    b.inst(
+        Opcode::Mov,
+        InstKind::Mov { dst: Operand::mem_reg(Reg::Ebp, V_OFFSET), src: Operand::imm(0x14) },
+    );
+    // I16: mov dword ptr ds:[v0+4], ecx
+    b.inst(Opcode::Mov, InstKind::Mov { dst: Operand::mem_abs(L_ADDR + 4, 0), src: ecx });
+    // I17: mov dword ptr [esi+4], edx
+    b.inst(Opcode::Mov, InstKind::Mov { dst: Operand::mem_reg(Reg::Esi, 4), src: edx });
+    // I18: mov eax, dword ptr [edx+4]
+    b.inst(Opcode::Mov, InstKind::Mov { dst: eax, src: Operand::mem_reg(Reg::Edx, 4) });
+    // I19: mov dword ptr [eax], edx
+    b.inst(Opcode::Mov, InstKind::Mov { dst: Operand::mem_reg(Reg::Eax, 0), src: edx });
+    // I20: lea eax, [ebp+8]
+    b.inst(
+        Opcode::Lea,
+        InstKind::Mov { dst: eax, src: Operand::Loc(tiara_ir::Loc::with_offset(Reg::Ebp, V_OFFSET)) },
+    );
+    // ... the rest of v.push_back(20): capacity test + growth call.
+    b.inst(Opcode::Push, InstKind::Push { src: Operand::imm(0x14) });
+    b.inst(Opcode::Push, InstKind::Push { src: eax });
+    b.call_named(vector::EMPLACE_REALLOC);
+    b.inst(
+        Opcode::Add,
+        InstKind::Op { op: BinOp::Add, dst: Operand::reg(Reg::Esp), src: Operand::imm(8) },
+    );
+
+    // Epilogue.
+    b.inst(
+        Opcode::Mov,
+        InstKind::Mov { dst: Operand::reg(Reg::Esp), src: Operand::reg(Reg::Ebp) },
+    );
+    b.inst(Opcode::Pop, InstKind::Pop { dst: Operand::reg(Reg::Ebp) });
+    b.ret();
+    b.end_func();
+    b.set_entry("main");
+
+    helpers::emit_all(&mut b, &crate::Style::default());
+    let program = b.finish().expect("motivating example is well-formed");
+
+    let l = VarAddr::Global(MemAddr(L_ADDR));
+    let func = program.entry_func();
+    let v = VarAddr::Stack { func, offset: V_OFFSET };
+    let mut debug = DebugInfo::new();
+    debug.record(l, ContainerClass::List, 0);
+    debug.record(v, ContainerClass::Vector, 0);
+
+    MotivatingExample {
+        binary: Binary { name: "motivating".into(), program, debug },
+        l,
+        v,
+        i0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_labels_both_variables() {
+        let ex = motivating_example();
+        assert_eq!(ex.binary.debug.class_of(ex.l), Some(ContainerClass::List));
+        assert_eq!(ex.binary.debug.class_of(ex.v), Some(ContainerClass::Vector));
+        assert!(ex.binary.program.num_insts() > 25);
+    }
+
+    #[test]
+    fn i0_is_the_first_load_of_l() {
+        let ex = motivating_example();
+        let inst = ex.binary.program.inst(ex.i0);
+        assert_eq!(inst.opcode, Opcode::Mov);
+        match &inst.kind {
+            InstKind::Mov { src, .. } => {
+                assert_eq!(src.deref_mem().map(|(m, _)| m.value()), Some(L_ADDR));
+            }
+            other => panic!("unexpected kind {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Unrelated instruction noise: the code surrounding container operations in
+//! a real binary (other statements, address computations, spilled
+//! temporaries). Noise chunks never touch the labeled variables' address
+//! ranges, so they are exactly what TSLICE must prune.
+
+use crate::chunk::Chunk;
+use rand::rngs::StdRng;
+use rand::Rng;
+use tiara_ir::{Opcode, Operand, Reg};
+
+/// The global range noise loads/stores use; disjoint from the labeled
+/// variable allocator (see `project.rs`).
+pub const NOISE_GLOBAL_BASE: u64 = 0x7D000;
+
+/// Generates one unrelated noise chunk.
+pub fn noise_chunk(rng: &mut StdRng) -> Chunk {
+    let mut c = Chunk::new();
+    let g = NOISE_GLOBAL_BASE + (rng.random_range(0..128u64) << 4);
+    let r = [Reg::Eax, Reg::Ecx, Reg::Edx][rng.random_range(0..3)];
+    match rng.random_range(0..5) {
+        0 => {
+            // Load-modify-store on an unrelated global.
+            c.mov(Operand::reg(r), Operand::mem_abs(g, 0));
+            c.add(Operand::reg(r), Operand::imm(rng.random_range(1..64)));
+            c.mov(Operand::mem_abs(g, 0), Operand::reg(r));
+        }
+        1 => {
+            // Scratch arithmetic.
+            c.mov(Operand::reg(r), Operand::imm(rng.random_range(0..1024)));
+            c.op(
+                Opcode::Shl,
+                tiara_ir::BinOp::Shl,
+                Operand::reg(r),
+                Operand::imm(rng.random_range(1..4)),
+            );
+        }
+        2 => {
+            // Flag computation and a short forward branch.
+            let skip = c.label();
+            c.mov(Operand::reg(r), Operand::mem_abs(g, 0));
+            c.test(Operand::reg(r), Operand::reg(r));
+            c.jump(Opcode::Je, skip);
+            c.inc(Operand::reg(r));
+            c.bind(skip);
+        }
+        3 => {
+            // An opaque external call (logging, etc.).
+            c.push(Operand::imm(rng.random_range(0..256)));
+            c.call_extern(tiara_ir::ExternKind::Other);
+            c.clean_args(1);
+        }
+        _ => {
+            // A store of a constant.
+            c.mov(Operand::mem_abs(g, 0), Operand::imm(rng.random_range(0..99)));
+        }
+    }
+    c
+}
+
+/// Generates `⌊density⌋ + Bernoulli(frac(density))` noise chunks.
+pub fn noise_chunks(rng: &mut StdRng, density: f64) -> Vec<Chunk> {
+    let mut n = density.floor() as usize;
+    if rng.random_bool(density.fract().clamp(0.0, 1.0)) {
+        n += 1;
+    }
+    (0..n).map(|_| noise_chunk(rng)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn noise_is_nonempty_and_varied() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let lens: Vec<usize> = (0..20).map(|_| noise_chunk(&mut rng).len()).collect();
+        assert!(lens.iter().all(|&l| l >= 1));
+        assert!(lens.iter().any(|&l| l != lens[0]), "variants appear");
+    }
+
+    #[test]
+    fn density_controls_expected_count() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let total: usize = (0..200).map(|_| noise_chunks(&mut rng, 0.5).len()).sum();
+        // E[total] = 100; allow generous slack.
+        assert!((40..=160).contains(&total), "total {total}");
+        assert_eq!(noise_chunks(&mut rng, 0.0).len(), 0);
+        assert!(noise_chunks(&mut rng, 2.0).len() >= 2);
+    }
+}

@@ -1,0 +1,407 @@
+//! Whole-project generation: the synthetic equivalent of compiling one of the
+//! paper's benchmark projects with MSVC `/O2` and extracting ground truth
+//! from its PDB.
+
+use crate::chunk::{interleave, Chunk};
+use crate::helpers;
+use crate::noise::noise_chunks;
+use crate::style::Style;
+use crate::templates::{ctor, random_op, VarCtx, VarPlace};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use tiara_ir::{
+    ContainerClass, DebugInfo, InstKind, MemAddr, Opcode, Operand, Program, ProgramBuilder, Reg,
+    VarAddr,
+};
+
+/// Base address of the labeled-variable region (disjoint from noise globals,
+/// string literals, and import slots).
+const VAR_GLOBAL_BASE: u64 = 0x100000;
+/// Spacing between labeled globals; must exceed the criterion window.
+const VAR_GLOBAL_STRIDE: u64 = 32;
+
+/// Register banks assigned to (possibly interleaved) variable streams.
+const BANK_A: [Reg; 3] = [Reg::Esi, Reg::Ebx, Reg::Edi];
+const BANK_B: [Reg; 3] = [Reg::Eax, Reg::Ecx, Reg::Edx];
+
+/// Number of variables of each label in a project (the per-project columns
+/// of Table I, plus the extension labels which the paper suite leaves at
+/// zero).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TypeCounts {
+    /// `std::list` variables.
+    pub list: usize,
+    /// `std::vector` variables.
+    pub vector: usize,
+    /// `std::map` variables.
+    pub map: usize,
+    /// Primitive variables.
+    pub primitive: usize,
+    /// `std::deque` variables (extension label).
+    #[serde(default)]
+    pub deque: usize,
+    /// `std::set` variables (extension label).
+    #[serde(default)]
+    pub set: usize,
+}
+
+impl TypeCounts {
+    /// Total number of labeled variables.
+    pub fn total(&self) -> usize {
+        self.list + self.vector + self.map + self.deque + self.set + self.primitive
+    }
+
+    /// The count for one label.
+    pub fn of(&self, class: ContainerClass) -> usize {
+        match class {
+            ContainerClass::List => self.list,
+            ContainerClass::Vector => self.vector,
+            ContainerClass::Map => self.map,
+            ContainerClass::Deque => self.deque,
+            ContainerClass::Set => self.set,
+            ContainerClass::Primitive => self.primitive,
+        }
+    }
+}
+
+/// The specification of one synthetic project.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProjectSpec {
+    /// Project name (named after the paper's benchmark it stands in for).
+    pub name: String,
+    /// Index into the style table (drives all style knobs).
+    pub index: usize,
+    /// Suite-level seed.
+    pub seed: u64,
+    /// Labeled variable counts.
+    pub counts: TypeCounts,
+}
+
+/// A generated binary: the program plus its synthetic PDB.
+#[derive(Debug, Clone)]
+pub struct Binary {
+    /// Project name.
+    pub name: String,
+    /// The binary program.
+    pub program: Program,
+    /// Ground-truth labels (the synthetic PDB).
+    pub debug: DebugInfo,
+}
+
+impl Binary {
+    /// Iterates over `(address, label)` pairs.
+    pub fn labeled_vars(&self) -> impl Iterator<Item = (VarAddr, ContainerClass)> + '_ {
+        self.debug.iter().map(|r| (r.addr, r.class))
+    }
+}
+
+/// The eight benchmark projects of Table I, with variable counts scaled down
+/// ~60× (keeping the per-type ratios and the "std::list is rare" property;
+/// see DESIGN.md) so that the full evaluation runs on a CPU-only host.
+pub fn benchmark_suite(seed: u64) -> Vec<ProjectSpec> {
+    let table: [(&str, TypeCounts); 8] = [
+        ("clang", TypeCounts { list: 18, vector: 120, map: 140, primitive: 800, ..Default::default() }),
+        ("cmake", TypeCounts { list: 6, vector: 110, map: 100, primitive: 500, ..Default::default() }),
+        ("bitcoind", TypeCounts { list: 6, vector: 90, map: 95, primitive: 420, ..Default::default() }),
+        ("spdlog", TypeCounts { list: 3, vector: 40, map: 25, primitive: 160, ..Default::default() }),
+        ("soci", TypeCounts { list: 0, vector: 45, map: 42, primitive: 150, ..Default::default() }),
+        ("re2", TypeCounts { list: 2, vector: 30, map: 35, primitive: 90, ..Default::default() }),
+        ("arduinojson", TypeCounts { list: 0, vector: 20, map: 30, primitive: 100, ..Default::default() }),
+        ("list_ext", TypeCounts { list: 24, vector: 4, map: 0, primitive: 60, ..Default::default() }),
+    ];
+    table
+        .into_iter()
+        .enumerate()
+        .map(|(index, (name, counts))| ProjectSpec { name: name.to_owned(), index, seed, counts })
+        .collect()
+}
+
+/// Three extension projects containing all six labels (`std::deque` and
+/// `std::set` included) — the paper's suite contains none, so its tables
+/// are unaffected; `tiara-eval extended` evaluates the six-class task.
+pub fn extended_suite(seed: u64) -> Vec<ProjectSpec> {
+    let mk = |name: &str, index: usize, counts: TypeCounts| ProjectSpec {
+        name: name.to_owned(),
+        index,
+        seed,
+        counts,
+    };
+    vec![
+        mk("ext_app", 8, TypeCounts {
+            list: 10, vector: 40, map: 35, deque: 30, set: 30, primitive: 200,
+        }),
+        mk("ext_svc", 9, TypeCounts {
+            list: 8, vector: 30, map: 30, deque: 25, set: 25, primitive: 150,
+        }),
+        mk("ext_kit", 10, TypeCounts {
+            list: 6, vector: 20, map: 25, deque: 20, set: 20, primitive: 100,
+        }),
+    ]
+}
+
+/// One labeled variable awaiting code generation.
+#[derive(Debug, Clone, Copy)]
+struct PendingVar {
+    class: ContainerClass,
+    ptr_level: u8,
+    wants_stack: bool,
+}
+
+/// Generates a full binary for a project spec.
+pub fn generate(spec: &ProjectSpec) -> Binary {
+    let style = Style::for_project(spec.index, spec.seed);
+    let mut rng = StdRng::seed_from_u64(style.seed);
+    let mut debug = DebugInfo::new();
+
+    // Decide every variable up front, shuffled so functions mix types.
+    let mut pending: Vec<PendingVar> = Vec::with_capacity(spec.counts.total());
+    for class in ContainerClass::ALL {
+        for _ in 0..spec.counts.of(class) {
+            let ptr_level =
+                u8::from(class != ContainerClass::Primitive && rng.random_bool(style.ptr_var_fraction));
+            pending.push(PendingVar {
+                class,
+                ptr_level,
+                wants_stack: rng.random_bool(style.stack_var_fraction),
+            });
+        }
+    }
+    pending.shuffle(&mut rng);
+
+    let mut b = ProgramBuilder::new();
+    let mut next_global = VAR_GLOBAL_BASE;
+    let mut func_names: Vec<String> = Vec::new();
+    let mut fn_counter = 0usize;
+
+    let mut cursor = 0usize;
+    while cursor < pending.len() {
+        let k = rng
+            .random_range(1..=style.vars_per_func)
+            .min(pending.len() - cursor);
+        let group = &pending[cursor..cursor + k];
+        cursor += k;
+
+        let name = format!("fn_{fn_counter:04}");
+        fn_counter += 1;
+        let func = b.begin_func(&name);
+        func_names.push(name);
+
+        // Prologue: push ebp; mov ebp, esp; sub esp, frame.
+        b.inst(Opcode::Push, InstKind::Push { src: Operand::reg(Reg::Ebp) });
+        b.inst(
+            Opcode::Mov,
+            InstKind::Mov { dst: Operand::reg(Reg::Ebp), src: Operand::reg(Reg::Esp) },
+        );
+        let frame = 0x20 * (k as i64 + 2);
+        b.inst(
+            Opcode::Sub,
+            InstKind::Op {
+                op: tiara_ir::BinOp::Sub,
+                dst: Operand::reg(Reg::Esp),
+                src: Operand::imm(frame),
+            },
+        );
+
+        // Assign places and build each variable's chunk stream.
+        let mut streams: Vec<Vec<Chunk>> = Vec::with_capacity(k);
+        let mut local_slot = 0i64;
+        for (vi, pv) in group.iter().enumerate() {
+            let place = if pv.wants_stack {
+                local_slot += 1;
+                let off = if style.negative_locals {
+                    -0x20 * local_slot - 0x10
+                } else {
+                    8 + 0x20 * (local_slot - 1)
+                };
+                debug.record(VarAddr::Stack { func, offset: off }, pv.class, pv.ptr_level);
+                VarPlace::Stack(off)
+            } else {
+                let base = next_global;
+                next_global += VAR_GLOBAL_STRIDE;
+                debug.record(VarAddr::Global(MemAddr(base)), pv.class, pv.ptr_level);
+                VarPlace::Global(base)
+            };
+            let ctx = VarCtx {
+                place,
+                ptr_level: pv.ptr_level,
+                bank: if vi % 2 == 0 { BANK_A } else { BANK_B },
+                fold_global_offsets: style.fold_global_offsets,
+                spill: -4 - 4 * vi as i64,
+            };
+            let mut stream = ctor(pv.class, &ctx, &mut rng, &style);
+            let nops = rng.random_range(style.ops_per_var.0..=style.ops_per_var.1);
+            for _ in 0..nops {
+                stream.extend(random_op(pv.class, &ctx, &mut rng, &style));
+                stream.extend(noise_chunks(&mut rng, style.noise_density));
+            }
+            streams.push(stream);
+        }
+
+        // Interleave adjacent variable streams pairwise (the Figure 1 mix).
+        let mut merged: Vec<Chunk> = Vec::new();
+        let mut it = streams.into_iter().peekable();
+        while let Some(first) = it.next() {
+            if it.peek().is_some() && rng.random_bool(style.interleave_prob) {
+                let second = it.next().expect("peeked");
+                merged.extend(interleave(&mut rng, vec![first, second]));
+            } else {
+                merged.extend(first);
+            }
+        }
+        for chunk in &merged {
+            chunk.emit(&mut b);
+        }
+
+        // Epilogue.
+        if style.use_leave_epilogue {
+            b.inst(
+                Opcode::Leave,
+                InstKind::Mov { dst: Operand::reg(Reg::Esp), src: Operand::reg(Reg::Ebp) },
+            );
+            b.inst(Opcode::Pop, InstKind::Pop { dst: Operand::reg(Reg::Ebp) });
+        } else {
+            b.inst(
+                Opcode::Mov,
+                InstKind::Mov { dst: Operand::reg(Reg::Esp), src: Operand::reg(Reg::Ebp) },
+            );
+            b.inst(Opcode::Pop, InstKind::Pop { dst: Operand::reg(Reg::Ebp) });
+        }
+        b.ret();
+        b.end_func();
+    }
+
+    // main: call every generated function.
+    b.begin_func("main");
+    b.inst(Opcode::Push, InstKind::Push { src: Operand::reg(Reg::Ebp) });
+    b.inst(
+        Opcode::Mov,
+        InstKind::Mov { dst: Operand::reg(Reg::Ebp), src: Operand::reg(Reg::Esp) },
+    );
+    for name in &func_names {
+        b.call_named(name);
+    }
+    b.inst(Opcode::Pop, InstKind::Pop { dst: Operand::reg(Reg::Ebp) });
+    b.ret();
+    b.end_func();
+    b.set_entry("main");
+
+    helpers::emit_all(&mut b, &style);
+
+    let program = b.finish().expect("generated program is well-formed");
+    Binary { name: spec.name.clone(), program, debug }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec() -> ProjectSpec {
+        ProjectSpec {
+            name: "test".into(),
+            index: 0,
+            seed: 11,
+            counts: TypeCounts { list: 3, vector: 4, map: 3, primitive: 10, ..Default::default() },
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(&small_spec());
+        let b = generate(&small_spec());
+        assert_eq!(a.program.num_insts(), b.program.num_insts());
+        assert_eq!(a.debug, b.debug);
+    }
+
+    #[test]
+    fn debug_info_matches_counts() {
+        let bin = generate(&small_spec());
+        assert_eq!(bin.debug.count_of(ContainerClass::List), 3);
+        assert_eq!(bin.debug.count_of(ContainerClass::Vector), 4);
+        assert_eq!(bin.debug.count_of(ContainerClass::Map), 3);
+        assert_eq!(bin.debug.count_of(ContainerClass::Primitive), 10);
+        assert_eq!(bin.debug.len(), 20);
+    }
+
+    #[test]
+    fn entry_is_main_and_helpers_exist() {
+        let bin = generate(&small_spec());
+        let p = &bin.program;
+        assert_eq!(p.func(p.entry_func()).name, "main");
+        assert!(p.func_by_name(crate::templates::list::BUYNODE).is_some());
+        assert!(p.func_by_name(crate::templates::vector::EMPLACE_REALLOC).is_some());
+        assert!(p.func_by_name(crate::templates::map::TREE_BUYNODE).is_some());
+    }
+
+    #[test]
+    fn labeled_globals_do_not_collide() {
+        let bin = generate(&small_spec());
+        let mut addrs: Vec<u64> = bin
+            .debug
+            .iter()
+            .filter_map(|r| match r.addr {
+                VarAddr::Global(m) => Some(m.value()),
+                _ => None,
+            })
+            .collect();
+        addrs.sort_unstable();
+        assert!(addrs.windows(2).all(|w| w[1] - w[0] >= VAR_GLOBAL_STRIDE));
+    }
+
+    #[test]
+    fn stack_vars_do_not_collide_within_function() {
+        let bin = generate(&small_spec());
+        let mut per_func: std::collections::HashMap<u32, Vec<i64>> = Default::default();
+        for r in bin.debug.iter() {
+            if let VarAddr::Stack { func, offset } = r.addr {
+                per_func.entry(func.0).or_default().push(offset);
+            }
+        }
+        for offsets in per_func.values_mut() {
+            offsets.sort_unstable();
+            assert!(offsets.windows(2).all(|w| w[1] - w[0] >= 16));
+        }
+    }
+
+    #[test]
+    fn extended_suite_contains_all_six_labels() {
+        let specs = extended_suite(9);
+        assert_eq!(specs.len(), 3);
+        for spec in &specs {
+            assert!(spec.counts.deque > 0 && spec.counts.set > 0);
+        }
+        let bin = generate(&ProjectSpec {
+            counts: TypeCounts {
+                list: 1, vector: 2, map: 2, deque: 3, set: 3, primitive: 6,
+            },
+            ..specs[0].clone()
+        });
+        assert_eq!(bin.debug.count_of(ContainerClass::Deque), 3);
+        assert_eq!(bin.debug.count_of(ContainerClass::Set), 3);
+        assert!(bin.program.func_by_name(crate::templates::set::SET_BUYNODE).is_some());
+        assert!(bin.program.func_by_name(crate::templates::deque::GROWMAP).is_some());
+    }
+
+    #[test]
+    fn benchmark_suite_has_no_extension_labels() {
+        for spec in benchmark_suite(1) {
+            assert_eq!(spec.counts.deque, 0, "{}", spec.name);
+            assert_eq!(spec.counts.set, 0, "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn benchmark_suite_matches_table1_shape() {
+        let suite = benchmark_suite(42);
+        assert_eq!(suite.len(), 8);
+        assert_eq!(suite[0].name, "clang");
+        assert_eq!(suite[7].name, "list_ext");
+        // list_ext is list-heavy; soci and arduinojson have no lists.
+        assert!(suite[7].counts.list > suite[7].counts.vector);
+        assert_eq!(suite[4].counts.list, 0);
+        assert_eq!(suite[6].counts.list, 0);
+        // clang is by far the largest.
+        assert!(suite[0].counts.total() > suite[1].counts.total());
+    }
+}

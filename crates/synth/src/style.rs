@@ -1,0 +1,119 @@
+//! Per-project "coding style": the knobs that make two generated binaries
+//! differ the way two real projects compiled by the same toolchain differ.
+//!
+//! RQ2 of the paper (cross-project prediction) depends on such distribution
+//! shift existing: "different coding styles and conventions in different
+//! projects will lead to different program behaviors in their binaries."
+
+use serde::{Deserialize, Serialize};
+
+/// Style parameters for one generated project.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Style {
+    /// Base RNG seed; every generation decision derives from it.
+    pub seed: u64,
+    /// Probability that two adjacent variables' operation streams are
+    /// interleaved at the instruction-chunk level (the paper's Figure 1).
+    pub interleave_prob: f64,
+    /// Expected number of unrelated noise chunks injected per operation.
+    pub noise_density: f64,
+    /// Emit global field accesses with the offset folded into the absolute
+    /// address (`[74408h]`) instead of symbolic (`[74404h+4]`).
+    pub fold_global_offsets: bool,
+    /// Use `leave` (`mov esp, ebp; pop ebp`) epilogues instead of explicit
+    /// `mov`/`pop` pairs.
+    pub use_leave_epilogue: bool,
+    /// Place locals below the frame pointer (`[ebp-…]`) rather than above.
+    pub negative_locals: bool,
+    /// Range of operations performed per variable (inclusive).
+    pub ops_per_var: (usize, usize),
+    /// Fraction of container variables that are pointers to the container
+    /// (`T*` rather than `T`).
+    pub ptr_var_fraction: f64,
+    /// Fraction of variables living in stack frames rather than globals.
+    pub stack_var_fraction: f64,
+    /// Count-down loops (`dec; jne`) instead of count-up (`inc; cmp; jb`).
+    pub loop_down: bool,
+    /// Maximum number of variables placed in one generated function.
+    pub vars_per_func: usize,
+    /// Inline the STL node allocators at call sites (aggressive LTO-style
+    /// builds) instead of calling the shared out-of-line helpers.
+    pub inline_allocators: bool,
+    /// Seed biasing which container operations this project favors (one
+    /// code base is `push_back`-heavy, another lookup-heavy, …).
+    pub op_mix_seed: u64,
+}
+
+impl Default for Style {
+    fn default() -> Style {
+        Style {
+            seed: 0xC60_2022,
+            interleave_prob: 0.55,
+            noise_density: 0.6,
+            fold_global_offsets: true,
+            use_leave_epilogue: false,
+            negative_locals: true,
+            ops_per_var: (1, 4),
+            ptr_var_fraction: 0.2,
+            stack_var_fraction: 0.5,
+            loop_down: false,
+            vars_per_func: 5,
+            inline_allocators: false,
+            op_mix_seed: 1,
+        }
+    }
+}
+
+impl Style {
+    /// Derives a distinct style from a project index, varying every knob so
+    /// that projects differ the way real code bases do.
+    pub fn for_project(index: usize, seed: u64) -> Style {
+        let i = index as u64;
+        Style {
+            seed: seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i + 1)),
+            interleave_prob: 0.35 + 0.08 * ((i % 5) as f64),
+            noise_density: 0.5 + 0.2 * ((i % 4) as f64),
+            fold_global_offsets: i.is_multiple_of(2),
+            use_leave_epilogue: i.is_multiple_of(3),
+            negative_locals: i % 2 == 1,
+            ops_per_var: if i.is_multiple_of(2) { (2, 6) } else { (3, 7) },
+            ptr_var_fraction: 0.1 + 0.05 * ((i % 4) as f64),
+            stack_var_fraction: 0.35 + 0.1 * ((i % 4) as f64),
+            loop_down: i % 2 == 1,
+            vars_per_func: 5 + (i % 4) as usize,
+            inline_allocators: i % 3 == 1,
+            op_mix_seed: 0xB5_1CE ^ (i.wrapping_mul(0x5851_F42D_4C95_7F2D)),
+        }
+    }
+
+    /// A deterministic per-project weight in `1..=max` for operation `k` of
+    /// a container's operation menu — the project's "coding habits".
+    pub fn op_weight(&self, class_tag: u64, k: u64, max: u64) -> u64 {
+        let h = self
+            .op_mix_seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(class_tag.wrapping_mul(0xD1B5_4A32_D192_ED03))
+            .wrapping_add(k.wrapping_mul(0x2545_F491_4F6C_DD1D));
+        let h = (h ^ (h >> 33)).wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        1 + (h >> 40) % max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn project_styles_differ() {
+        let a = Style::for_project(0, 42);
+        let b = Style::for_project(1, 42);
+        assert_ne!(a.seed, b.seed);
+        assert_ne!(a.fold_global_offsets, b.fold_global_offsets);
+        assert_ne!(a.negative_locals, b.negative_locals);
+    }
+
+    #[test]
+    fn same_inputs_same_style() {
+        assert_eq!(Style::for_project(3, 7), Style::for_project(3, 7));
+    }
+}

@@ -1,0 +1,196 @@
+//! `std::deque<T>` operation templates (extension label).
+//!
+//! MSVC x86 layout: `{ _Map: T** @ +0, _Mapsize @ +4, _Myoff @ +8,
+//! _Mysize @ +12 }` — a growable array of pointers to fixed-size element
+//! blocks. The behavioral signature separating it from `std::vector`:
+//! element access goes through a *double* indirection (map → block →
+//! element), growth allocates new *blocks* without copying elements, and
+//! only the pointer map itself is ever reallocated.
+
+use super::{small_imm, VarCtx};
+use crate::chunk::Chunk;
+use crate::style::Style;
+use rand::rngs::StdRng;
+use rand::Rng;
+use tiara_ir::{Opcode, Operand, Reg};
+
+/// The shared out-of-line map-growth helper (mallocs a bigger pointer map,
+/// copies the block pointers, frees the old map).
+pub const GROWMAP: &str = "std::deque::_Growmap";
+
+/// `std::deque<T> d;` — zero the four header fields.
+pub fn ctor(ctx: &VarCtx, rng: &mut StdRng) -> Vec<Chunk> {
+    let (r0, _) = ctx.scratch();
+    let mut c = Chunk::new();
+    let f = ctx.fields(&mut c);
+    if rng.random_bool(0.6) {
+        c.zero(r0);
+        for off in [0, 4, 8, 12] {
+            c.mov(f.at(off), Operand::reg(r0));
+        }
+    } else {
+        for off in [0, 4, 8, 12] {
+            c.mov(f.at(off), Operand::imm(0));
+        }
+    }
+    vec![c]
+}
+
+/// `d.push_back(x)` — locate the tail block via the map, allocating a fresh
+/// block when the tail is full; store; bump `_Mysize`.
+pub fn push_back(ctx: &VarCtx, rng: &mut StdRng) -> Vec<Chunk> {
+    let (r0, r1) = ctx.scratch();
+    let val = small_imm(rng);
+    let mut c = Chunk::new();
+    let f = ctx.fields(&mut c);
+    let have_block = c.label();
+    // r0 = _Myoff + _Mysize (the element index of the new slot).
+    c.mov(Operand::reg(r0), f.at(8));
+    c.op(Opcode::Add, tiara_ir::BinOp::Add, Operand::reg(r0), f.at(12));
+    // r1 = block index = r0 >> 2 (4 elements per block).
+    c.mov(Operand::reg(r1), Operand::reg(r0));
+    c.op(Opcode::Shr, tiara_ir::BinOp::Shr, Operand::reg(r1), Operand::imm(2));
+    // eax = _Map[r1] (first indirection).
+    c.mov(Operand::reg(Reg::Eax), f.at(0));
+    c.op(Opcode::Shl, tiara_ir::BinOp::Shl, Operand::reg(r1), Operand::imm(2));
+    c.op(Opcode::Add, tiara_ir::BinOp::Add, Operand::reg(Reg::Eax), Operand::reg(r1));
+    c.mov(Operand::reg(Reg::Edx), Operand::mem_reg(Reg::Eax, 0));
+    c.test(Operand::reg(Reg::Edx), Operand::reg(Reg::Edx));
+    c.jump(Opcode::Jne, have_block);
+    // Allocate a fresh 16-byte block and hang it in the map.
+    c.push(Operand::imm(16));
+    c.call_extern(tiara_ir::ExternKind::Malloc);
+    c.clean_args(1);
+    c.mov(Operand::reg(Reg::Edx), Operand::reg(Reg::Eax));
+    c.bind(have_block);
+    // Store the element (second indirection) and bump _Mysize.
+    c.mov(Operand::mem_reg(Reg::Edx, 0), val);
+    let mut c2 = Chunk::new();
+    let f2 = ctx.fields(&mut c2);
+    c2.mov(Operand::reg(r0), f2.at(12));
+    c2.inc(Operand::reg(r0));
+    c2.mov(f2.at(12), Operand::reg(r0));
+    vec![c, c2]
+}
+
+/// `d.push_front(x)` — decrement `_Myoff`, store through the head block.
+pub fn push_front(ctx: &VarCtx, rng: &mut StdRng) -> Vec<Chunk> {
+    let (r0, r1) = ctx.scratch();
+    let mut c = Chunk::new();
+    let f = ctx.fields(&mut c);
+    c.mov(Operand::reg(r0), f.at(8)); // _Myoff
+    c.dec(Operand::reg(r0));
+    c.mov(f.at(8), Operand::reg(r0));
+    c.mov(Operand::reg(r1), f.at(0)); // _Map
+    c.mov(Operand::reg(Reg::Eax), Operand::mem_reg(r1, 0)); // head block
+    c.mov(Operand::mem_reg(Reg::Eax, 0), small_imm(rng));
+    let mut c2 = Chunk::new();
+    let f2 = ctx.fields(&mut c2);
+    c2.mov(Operand::reg(r0), f2.at(12));
+    c2.inc(Operand::reg(r0));
+    c2.mov(f2.at(12), Operand::reg(r0));
+    vec![c, c2]
+}
+
+/// `d.pop_front()` — advance `_Myoff`, shrink `_Mysize`.
+pub fn pop_front(ctx: &VarCtx, _rng: &mut StdRng) -> Vec<Chunk> {
+    let (r0, r1) = ctx.scratch();
+    let mut c = Chunk::new();
+    let f = ctx.fields(&mut c);
+    c.mov(Operand::reg(r0), f.at(8));
+    c.inc(Operand::reg(r0));
+    c.mov(f.at(8), Operand::reg(r0));
+    c.mov(Operand::reg(r1), f.at(12));
+    c.dec(Operand::reg(r1));
+    c.mov(f.at(12), Operand::reg(r1));
+    vec![c]
+}
+
+/// `x = d[i]` — the double indirection: map, then block, then element.
+pub fn index_read(ctx: &VarCtx, rng: &mut StdRng) -> Vec<Chunk> {
+    let (r0, r1) = ctx.scratch();
+    let idx = rng.random_range(0..16i64);
+    let mut c = Chunk::new();
+    let f = ctx.fields(&mut c);
+    c.mov(Operand::reg(r0), f.at(8)); // _Myoff
+    c.add(Operand::reg(r0), Operand::imm(idx));
+    c.mov(Operand::reg(r1), f.at(0)); // _Map
+    c.mov(Operand::reg(Reg::Eax), Operand::mem_reg(r1, (idx / 4) * 4)); // block
+    c.mov(Operand::reg(Reg::Edx), Operand::mem_reg(Reg::Eax, (idx % 4) * 4)); // element
+    c.add(Operand::reg(Reg::Edx), Operand::imm(1));
+    vec![c]
+}
+
+/// `if (d.size() …)` — check `_Mysize`.
+pub fn size_check(ctx: &VarCtx, rng: &mut StdRng) -> Vec<Chunk> {
+    let (r0, _) = ctx.scratch();
+    let mut c = Chunk::new();
+    let f = ctx.fields(&mut c);
+    let skip = c.label();
+    c.mov(Operand::reg(r0), f.at(12));
+    c.cmp(Operand::reg(r0), small_imm(rng));
+    c.jump(Opcode::Jae, skip);
+    c.mov(Operand::reg(Reg::Eax), Operand::reg(r0));
+    c.bind(skip);
+    vec![c]
+}
+
+/// Grow the block map via the shared helper (malloc + copy + free, but of
+/// *pointers*, not elements).
+pub fn grow_map(ctx: &VarCtx, _rng: &mut StdRng) -> Vec<Chunk> {
+    let mut c = Chunk::new();
+    let f = ctx.fields(&mut c);
+    let enough = c.label();
+    let (r0, r1) = ctx.scratch();
+    c.mov(Operand::reg(r0), f.at(4)); // _Mapsize
+    c.mov(Operand::reg(r1), f.at(12)); // _Mysize
+    c.op(Opcode::Shr, tiara_ir::BinOp::Shr, Operand::reg(r1), Operand::imm(2));
+    c.cmp(Operand::reg(r1), Operand::reg(r0));
+    c.jump(Opcode::Jb, enough);
+    c.push(ctx.addr());
+    c.call(GROWMAP);
+    c.clean_args(1);
+    c.bind(enough);
+    vec![c]
+}
+
+/// `for (auto &x : d)` — walk the index range through the map.
+pub fn iterate(ctx: &VarCtx, style: &Style) -> Vec<Chunk> {
+    let (r0, r1) = ctx.scratch();
+    let mut c = Chunk::new();
+    let f = ctx.fields(&mut c);
+    c.mov(Operand::reg(r0), f.at(8)); // cursor = _Myoff
+    c.mov(Operand::reg(r1), f.at(8));
+    c.op(Opcode::Add, tiara_ir::BinOp::Add, Operand::reg(r1), f.at(12)); // end
+    let top = c.label();
+    let done = c.label();
+    c.bind(top);
+    c.cmp(Operand::reg(r0), Operand::reg(r1));
+    c.jump(Opcode::Jae, done);
+    c.mov(Operand::reg(Reg::Eax), f.at(0)); // _Map
+    c.mov(Operand::reg(Reg::Edx), Operand::mem_reg(Reg::Eax, 0)); // a block
+    c.mov(Operand::reg(Reg::Eax), Operand::mem_reg(Reg::Edx, 0)); // an element
+    if style.loop_down {
+        c.test(Operand::reg(Reg::Eax), Operand::reg(Reg::Eax));
+    } else {
+        c.add(Operand::reg(Reg::Eax), Operand::imm(1));
+    }
+    c.inc(Operand::reg(r0));
+    c.jump(Opcode::Jmp, top);
+    c.bind(done);
+    vec![c]
+}
+
+/// Picks a random deque operation, weighted towards the push paths.
+pub fn random_op(ctx: &VarCtx, rng: &mut StdRng, style: &Style) -> Vec<Chunk> {
+    let w = super::op_weights(style, 5, &[4, 2, 1, 2, 1, 1, 1]);
+    match super::weighted_pick(rng, &w) {
+        0 => push_back(ctx, rng),
+        1 => push_front(ctx, rng),
+        2 => pop_front(ctx, rng),
+        3 => index_read(ctx, rng),
+        4 => size_check(ctx, rng),
+        5 => grow_map(ctx, rng),
+        _ => iterate(ctx, style),
+    }
+}

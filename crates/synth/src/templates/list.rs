@@ -1,0 +1,235 @@
+//! `std::list<T>` operation templates.
+//!
+//! MSVC x86 layout: `{ _Myhead: _Nodeptr @ +0, _Mysize: size_t @ +4 }`;
+//! nodes are `{ _Next @ +0, _Prev @ +4, _Myval @ +8 }`, all heap-allocated
+//! through `_Buynode` (which is where the `malloc` lives — a list never
+//! frees on insertion, the behavioral signature the paper contrasts with
+//! `std::vector`).
+
+use super::{small_imm, VarCtx};
+use crate::chunk::Chunk;
+use crate::style::Style;
+use rand::rngs::StdRng;
+use rand::Rng;
+use tiara_ir::{Opcode, Operand};
+
+/// The shared out-of-line node allocator (see `helpers.rs`).
+pub const BUYNODE: &str = "std::_List_buynode";
+/// The import slot of `_Xlength_error`, called indirectly on overflow.
+pub const XLENGTH_SLOT: u64 = 0x73034;
+
+/// `std::list<T> l;` — buy the sentinel node, zero the size.
+pub fn ctor(ctx: &VarCtx, rng: &mut StdRng, style: &Style) -> Vec<Chunk> {
+    let (r0, _) = ctx.scratch();
+    let mut c = Chunk::new();
+    let f = ctx.fields(&mut c);
+    if style.inline_allocators {
+        // Inlined _Buynode0: malloc the sentinel, self-link it.
+        c.push(Operand::imm(12));
+        c.call_extern(tiara_ir::ExternKind::Malloc);
+        c.clean_args(1);
+        let eax = Operand::reg(tiara_ir::Reg::Eax);
+        c.mov(Operand::mem_reg(tiara_ir::Reg::Eax, 0), eax);
+        c.mov(Operand::mem_reg(tiara_ir::Reg::Eax, 4), eax);
+    } else {
+        // _Myhead = _Buynode0(0, 0);
+        c.push(Operand::imm(0));
+        c.push(Operand::imm(0));
+        c.call(BUYNODE);
+        c.clean_args(2);
+    }
+    c.mov(f.at(0), Operand::reg(tiara_ir::Reg::Eax));
+    // _Mysize = 0;
+    if rng.random_bool(0.5) {
+        c.zero(r0);
+        c.mov(f.at(4), Operand::reg(r0));
+    } else {
+        c.mov(f.at(4), Operand::imm(0));
+    }
+    vec![c]
+}
+
+/// `l.push_back(v)` — the paper's running example: buy a node linked after
+/// `_Myhead->_Prev`, increment `_Mysize` with an `_Xlength_error` overflow
+/// check, then relink the neighbors.
+pub fn push_back(ctx: &VarCtx, rng: &mut StdRng, style: &Style) -> Vec<Chunk> {
+    let (r0, r1) = ctx.scratch();
+    let val = small_imm(rng);
+
+    // Chunk 1: node allocation — a _Buynode call, or its inlined body under
+    // aggressive-inlining styles.
+    let mut c1 = Chunk::new();
+    let f = ctx.fields(&mut c1);
+    c1.mov(Operand::reg(r0), f.at(0)); // esi <- _Myhead        (ref, 0)
+    if style.inline_allocators {
+        let edx = Operand::reg(tiara_ir::Reg::Edx);
+        c1.push(Operand::imm(12));
+        c1.call_extern(tiara_ir::ExternKind::Malloc);
+        c1.clean_args(1);
+        c1.mov(edx, Operand::mem_reg(r0, 4)); // _Myhead->_Prev (other, *)
+        c1.mov(Operand::mem_reg(tiara_ir::Reg::Eax, 0), Operand::reg(r0));
+        c1.mov(Operand::mem_reg(tiara_ir::Reg::Eax, 4), edx);
+        c1.mov(Operand::mem_reg(tiara_ir::Reg::Eax, 8), val);
+    } else {
+        c1.push(val); // the value
+        c1.push(Operand::mem_reg(r0, 4)); // _Myhead->_Prev     (other, *)
+        c1.push(Operand::reg(r0)); // _Myhead                   (ref, 0)
+        c1.call(BUYNODE);
+        c1.clean_args(3);
+    }
+    c1.mov(ctx.spill_slot(), Operand::reg(tiara_ir::Reg::Eax)); // spill node*
+
+    // Chunk 2: _Incsize(1) with overflow check.
+    let mut c2 = Chunk::new();
+    let f2 = ctx.fields(&mut c2);
+    c2.mov(Operand::reg(r1), f2.at(4)); // ecx <- _Mysize        (ref, 4)
+    let ok = c2.label();
+    c2.cmp(Operand::reg(r1), Operand::imm(0x0FFF_FFFF));
+    c2.jump(Opcode::Jb, ok);
+    c2.push(Operand::addr_of(0x7A000u64 + (rng.random_range(0..64) << 4), 0)); // offset string
+    c2.call_indirect(Operand::mem_abs(XLENGTH_SLOT, 0));
+    c2.bind(ok);
+    c2.inc(Operand::reg(r1));
+    c2.mov(f2.at(4), Operand::reg(r1)); // _Mysize stored back
+
+    // Chunk 3: relink — _Myhead->_Prev = node; node->_Next = _Myhead.
+    let mut c3 = Chunk::new();
+    let f3 = ctx.fields(&mut c3);
+    c3.mov(Operand::reg(tiara_ir::Reg::Edx), ctx.spill_slot()); // edx <- new node
+    c3.mov(Operand::reg(r0), f3.at(0)); // reload _Myhead        (ref, 0)
+    c3.mov(Operand::mem_reg(r0, 4), Operand::reg(tiara_ir::Reg::Edx)); // via dep ptr
+    c3.mov(
+        Operand::mem_reg(tiara_ir::Reg::Edx, 0),
+        Operand::reg(r0),
+    ); // node->_Next: through a non-dep reg (the paper's I18/I19)
+
+    vec![c1, c2, c3]
+}
+
+/// `l.push_front(v)` — same shape with the mirror offsets.
+pub fn push_front(ctx: &VarCtx, rng: &mut StdRng) -> Vec<Chunk> {
+    let (r0, r1) = ctx.scratch();
+    let val = small_imm(rng);
+    let mut c1 = Chunk::new();
+    let f = ctx.fields(&mut c1);
+    c1.mov(Operand::reg(r0), f.at(0));
+    c1.push(val);
+    c1.push(Operand::reg(r0));
+    c1.push(Operand::mem_reg(r0, 0)); // _Myhead->_Next
+    c1.call(BUYNODE);
+    c1.clean_args(3);
+    c1.mov(ctx.spill_slot(), Operand::reg(tiara_ir::Reg::Eax));
+
+    let mut c2 = Chunk::new();
+    let f2 = ctx.fields(&mut c2);
+    c2.mov(Operand::reg(r1), f2.at(4));
+    c2.add(Operand::reg(r1), Operand::imm(1));
+    c2.mov(f2.at(4), Operand::reg(r1));
+
+    let mut c3 = Chunk::new();
+    let f3 = ctx.fields(&mut c3);
+    c3.mov(Operand::reg(tiara_ir::Reg::Eax), ctx.spill_slot());
+    c3.mov(Operand::reg(r0), f3.at(0));
+    c3.mov(Operand::mem_reg(r0, 0), Operand::reg(tiara_ir::Reg::Eax));
+    vec![c1, c2, c3]
+}
+
+/// `l.pop_back()` — unlink the tail node and free it; `_Mysize -= 1`.
+pub fn pop_back(ctx: &VarCtx, _rng: &mut StdRng) -> Vec<Chunk> {
+    let (r0, r1) = ctx.scratch();
+    let mut c1 = Chunk::new();
+    let f = ctx.fields(&mut c1);
+    c1.mov(Operand::reg(r0), f.at(0)); // _Myhead       (ref, 0)
+    c1.mov(Operand::reg(r1), Operand::mem_reg(r0, 4)); // tail  (other)
+    c1.mov(Operand::reg(tiara_ir::Reg::Eax), Operand::mem_reg(r1, 4)); // tail->_Prev
+    c1.mov(Operand::mem_reg(r0, 4), Operand::reg(tiara_ir::Reg::Eax)); // relink via dep ptr
+    c1.push(Operand::reg(r1));
+    c1.call_extern(tiara_ir::ExternKind::Free);
+    c1.clean_args(1);
+
+    let mut c2 = Chunk::new();
+    let f2 = ctx.fields(&mut c2);
+    c2.mov(Operand::reg(r1), f2.at(4));
+    c2.dec(Operand::reg(r1));
+    c2.mov(f2.at(4), Operand::reg(r1));
+    vec![c1, c2]
+}
+
+/// `if (l.size() > k) …` — a size check.
+pub fn size_check(ctx: &VarCtx, rng: &mut StdRng) -> Vec<Chunk> {
+    let (r0, _) = ctx.scratch();
+    let mut c = Chunk::new();
+    let f = ctx.fields(&mut c);
+    c.mov(Operand::reg(r0), f.at(4)); // _Mysize        (ref, 4)
+    let skip = c.label();
+    c.cmp(Operand::reg(r0), small_imm(rng));
+    c.jump(Opcode::Jae, skip);
+    c.mov(Operand::reg(tiara_ir::Reg::Eax), Operand::reg(r0));
+    c.bind(skip);
+    vec![c]
+}
+
+/// `for (auto &x : l) …` — sentinel-terminated traversal.
+pub fn iterate(ctx: &VarCtx, style: &Style) -> Vec<Chunk> {
+    let (r0, r1) = ctx.scratch();
+    let mut c = Chunk::new();
+    let f = ctx.fields(&mut c);
+    c.mov(Operand::reg(r0), f.at(0)); // _Myhead        (ref, 0)
+    c.mov(Operand::reg(r1), Operand::mem_reg(r0, 0)); // first real node
+    let top = c.label();
+    let done = c.label();
+    c.bind(top);
+    c.cmp(Operand::reg(r1), Operand::reg(r0));
+    c.jump(Opcode::Je, done);
+    // touch the payload
+    c.mov(Operand::reg(tiara_ir::Reg::Eax), Operand::mem_reg(r1, 8));
+    if style.loop_down {
+        c.test(Operand::reg(tiara_ir::Reg::Eax), Operand::reg(tiara_ir::Reg::Eax));
+    } else {
+        c.add(Operand::reg(tiara_ir::Reg::Eax), Operand::imm(1));
+    }
+    c.mov(Operand::reg(r1), Operand::mem_reg(r1, 0)); // next
+    c.jump(Opcode::Jmp, top);
+    c.bind(done);
+    vec![c]
+}
+
+/// `l.clear()` — walk the nodes calling `free`, reset head/size.
+pub fn clear(ctx: &VarCtx, _rng: &mut StdRng) -> Vec<Chunk> {
+    let (r0, r1) = ctx.scratch();
+    let mut c = Chunk::new();
+    let f = ctx.fields(&mut c);
+    c.mov(Operand::reg(r0), f.at(0));
+    c.mov(Operand::reg(r1), Operand::mem_reg(r0, 0));
+    let top = c.label();
+    let done = c.label();
+    c.bind(top);
+    c.cmp(Operand::reg(r1), Operand::reg(r0));
+    c.jump(Opcode::Je, done);
+    c.push(Operand::mem_reg(r1, 0)); // save next
+    c.push(Operand::reg(r1));
+    c.call_extern(tiara_ir::ExternKind::Free);
+    c.clean_args(1);
+    c.pop(Operand::reg(r1));
+    c.jump(Opcode::Jmp, top);
+    c.bind(done);
+
+    let mut c2 = Chunk::new();
+    let f2 = ctx.fields(&mut c2);
+    c2.mov(f2.at(4), Operand::imm(0));
+    vec![c, c2]
+}
+
+/// Picks a random list operation, weighted towards `push_back` as in real
+/// code, biased further by the project's habits.
+pub fn random_op(ctx: &VarCtx, rng: &mut StdRng, style: &Style) -> Vec<Chunk> {
+    let w = super::op_weights(style, 1, &[5, 1, 1, 2, 1, 1]);
+    match super::weighted_pick(rng, &w) {
+        0 => push_back(ctx, rng, style),
+        1 => push_front(ctx, rng),
+        2 => pop_back(ctx, rng),
+        3 => size_check(ctx, rng),
+        4 => iterate(ctx, style),
+        _ => clear(ctx, rng),
+    }
+}

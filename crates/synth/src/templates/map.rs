@@ -1,0 +1,195 @@
+//! `std::map<K, V>` operation templates.
+//!
+//! MSVC x86 layout: `{ _Myhead: node* @ +0, _Mysize @ +4 }` with red-black
+//! tree nodes `{ _Left @ +0, _Parent @ +4, _Right @ +8, _Color/_Isnil @ +12,
+//! _Key @ +16, _Val @ +20 }`. The behavioral signature: insertion *walks*
+//! the tree comparing keys before buying a node and rebalancing — far more
+//! branching per element than either sequential container.
+
+use super::{small_imm, VarCtx};
+use crate::chunk::Chunk;
+use crate::style::Style;
+use rand::rngs::StdRng;
+use rand::Rng;
+use tiara_ir::{Opcode, Operand, Reg};
+
+/// The shared out-of-line tree-node allocator.
+pub const TREE_BUYNODE: &str = "std::_Tree_buynode";
+/// The shared out-of-line rebalancing routine (rotations, recoloring).
+pub const TREE_REBALANCE: &str = "std::_Tree_rebalance";
+
+/// `std::map<K,V> m;` — buy the sentinel head, zero the size.
+pub fn ctor(ctx: &VarCtx, rng: &mut StdRng, style: &Style) -> Vec<Chunk> {
+    let (r0, _) = ctx.scratch();
+    let mut c = Chunk::new();
+    let f = ctx.fields(&mut c);
+    if style.inline_allocators {
+        // Inlined head allocation: malloc + mark _Isnil.
+        c.push(Operand::imm(24));
+        c.call_extern(tiara_ir::ExternKind::Malloc);
+        c.clean_args(1);
+        c.mov(Operand::mem_reg(Reg::Eax, 12), Operand::imm(1));
+        c.mov(Operand::mem_reg(Reg::Eax, 4), Operand::reg(Reg::Eax));
+    } else {
+        c.push(Operand::imm(1)); // _Isnil = true for the head
+        c.push(Operand::imm(0));
+        c.call(TREE_BUYNODE);
+        c.clean_args(2);
+    }
+    c.mov(f.at(0), Operand::reg(Reg::Eax));
+    if rng.random_bool(0.5) {
+        c.zero(r0);
+        c.mov(f.at(4), Operand::reg(r0));
+    } else {
+        c.mov(f.at(4), Operand::imm(0));
+    }
+    vec![c]
+}
+
+/// Emits the key-comparison tree walk shared by `insert`/`find`/`erase`.
+/// Leaves the current node in `r1`.
+fn tree_walk(c: &mut Chunk, ctx: &VarCtx, key: Operand) -> (Reg, Reg) {
+    let (r0, r1) = ctx.scratch();
+    let f = ctx.fields(c);
+    c.mov(Operand::reg(r0), f.at(0)); // _Myhead            (ref, 0)
+    c.mov(Operand::reg(r1), Operand::mem_reg(r0, 4)); // root = head->_Parent
+    let top = c.label();
+    let left = c.label();
+    let done = c.label();
+    c.bind(top);
+    c.cmp(Operand::mem_reg(r1, 12), Operand::imm(1)); // _Isnil?
+    c.jump(Opcode::Je, done);
+    c.cmp(Operand::mem_reg(r1, 16), key); // compare keys
+    c.jump(Opcode::Jl, left);
+    c.mov(Operand::reg(r1), Operand::mem_reg(r1, 0)); // go left
+    c.jump(Opcode::Jmp, top);
+    c.bind(left);
+    c.mov(Operand::reg(r1), Operand::mem_reg(r1, 8)); // go right
+    c.jump(Opcode::Jmp, top);
+    c.bind(done);
+    (r0, r1)
+}
+
+/// `m.insert({k, v})` — walk, buy a node, rebalance, bump `_Mysize`.
+pub fn insert(ctx: &VarCtx, rng: &mut StdRng, style: &Style) -> Vec<Chunk> {
+    let key = small_imm(rng);
+
+    let mut c1 = Chunk::new();
+    let (_r0, r1) = tree_walk(&mut c1, ctx, key);
+
+    let mut c2 = Chunk::new();
+    if style.inline_allocators {
+        c2.push(Operand::imm(24));
+        c2.call_extern(tiara_ir::ExternKind::Malloc);
+        c2.clean_args(1);
+        c2.mov(Operand::mem_reg(Reg::Eax, 4), Operand::reg(r1)); // parent
+        c2.mov(Operand::mem_reg(Reg::Eax, 16), key);
+        c2.mov(Operand::mem_reg(Reg::Eax, 20), small_imm(rng));
+        c2.mov(Operand::mem_reg(Reg::Eax, 12), Operand::imm(0)); // red
+    } else {
+        c2.push(small_imm(rng)); // value
+        c2.push(key);
+        c2.push(Operand::reg(r1)); // attach point
+        c2.call(TREE_BUYNODE);
+        c2.clean_args(3);
+    }
+    c2.mov(ctx.spill_slot(), Operand::reg(Reg::Eax)); // spill the new node
+
+    let mut c3 = Chunk::new();
+    let f3 = ctx.fields(&mut c3);
+    c3.push(ctx.spill_slot()); // the new node
+    c3.push(f3.at(0)); // _Myhead                        (ref, 0)
+    c3.call(TREE_REBALANCE);
+    c3.clean_args(2);
+
+    let mut c4 = Chunk::new();
+    let f4 = ctx.fields(&mut c4);
+    let (r0b, _) = ctx.scratch();
+    c4.mov(Operand::reg(r0b), f4.at(4)); // _Mysize        (ref, 4)
+    c4.inc(Operand::reg(r0b));
+    c4.mov(f4.at(4), Operand::reg(r0b));
+    vec![c1, c2, c3, c4]
+}
+
+/// `it = m.find(k)` — the walk plus a hit test; no allocation.
+pub fn find(ctx: &VarCtx, rng: &mut StdRng) -> Vec<Chunk> {
+    let key = small_imm(rng);
+    let mut c = Chunk::new();
+    let (_r0, r1) = tree_walk(&mut c, ctx, key);
+    let miss = c.label();
+    c.cmp(Operand::mem_reg(r1, 16), key);
+    c.jump(Opcode::Jne, miss);
+    c.mov(Operand::reg(Reg::Eax), Operand::mem_reg(r1, 20)); // load the value
+    c.bind(miss);
+    vec![c]
+}
+
+/// `m.erase(k)` — walk, unlink, free, decrement `_Mysize`.
+pub fn erase(ctx: &VarCtx, rng: &mut StdRng) -> Vec<Chunk> {
+    let key = small_imm(rng);
+    let mut c1 = Chunk::new();
+    let (_r0, r1) = tree_walk(&mut c1, ctx, key);
+    c1.push(Operand::reg(r1));
+    c1.call_extern(tiara_ir::ExternKind::Free);
+    c1.clean_args(1);
+
+    let mut c2 = Chunk::new();
+    let f2 = ctx.fields(&mut c2);
+    let (r0b, _) = ctx.scratch();
+    c2.mov(Operand::reg(r0b), f2.at(4));
+    c2.dec(Operand::reg(r0b));
+    c2.mov(f2.at(4), Operand::reg(r0b));
+    vec![c1, c2]
+}
+
+/// `if (m.size() …)` — a size check.
+pub fn size_check(ctx: &VarCtx, rng: &mut StdRng) -> Vec<Chunk> {
+    let (r0, _) = ctx.scratch();
+    let mut c = Chunk::new();
+    let f = ctx.fields(&mut c);
+    c.mov(Operand::reg(r0), f.at(4));
+    let skip = c.label();
+    c.test(Operand::reg(r0), Operand::reg(r0));
+    c.jump(Opcode::Je, skip);
+    c.mov(Operand::reg(Reg::Eax), Operand::reg(r0));
+    c.bind(skip);
+    let _ = rng;
+    vec![c]
+}
+
+/// `for (auto &kv : m)` — leftmost descent then an in-order step.
+pub fn iterate(ctx: &VarCtx, style: &Style) -> Vec<Chunk> {
+    let (r0, r1) = ctx.scratch();
+    let mut c = Chunk::new();
+    let f = ctx.fields(&mut c);
+    c.mov(Operand::reg(r0), f.at(0)); // _Myhead
+    c.mov(Operand::reg(r1), Operand::mem_reg(r0, 4)); // root
+    let top = c.label();
+    let done = c.label();
+    c.bind(top);
+    c.cmp(Operand::mem_reg(r1, 12), Operand::imm(1));
+    c.jump(Opcode::Je, done);
+    c.mov(Operand::reg(Reg::Eax), Operand::mem_reg(r1, 20));
+    if style.loop_down {
+        c.test(Operand::reg(Reg::Eax), Operand::reg(Reg::Eax));
+    } else {
+        c.add(Operand::reg(Reg::Eax), Operand::imm(1));
+    }
+    c.mov(Operand::reg(r1), Operand::mem_reg(r1, 0)); // descend left
+    c.jump(Opcode::Jmp, top);
+    c.bind(done);
+    vec![c]
+}
+
+/// Picks a random map operation, weighted towards `insert`/`find`, biased
+/// further by the project's habits.
+pub fn random_op(ctx: &VarCtx, rng: &mut StdRng, style: &Style) -> Vec<Chunk> {
+    let w = super::op_weights(style, 3, &[4, 3, 1, 1, 1]);
+    match super::weighted_pick(rng, &w) {
+        0 => insert(ctx, rng, style),
+        1 => find(ctx, rng),
+        2 => erase(ctx, rng),
+        3 => size_check(ctx, rng),
+        _ => iterate(ctx, style),
+    }
+}

@@ -1,0 +1,288 @@
+//! Container operation templates: the x86 instruction sequences MSVC's STL
+//! compiles container member functions into.
+//!
+//! Each template emits the *inlined* form of one source-level operation as a
+//! list of [`Chunk`]s, the unit at which the generator interleaves adjacent
+//! statements. The shapes are modelled on the paper's own Figure 1/2 listing
+//! and the public MSVC STL sources:
+//!
+//! * `std::list` — header `{_Myhead: node*, _Mysize: size_t}`; `push_back`
+//!   calls `_Buynode` (malloc + link), bumps `_Mysize` with an overflow check
+//!   that reaches `_Xlength_error` through an import, then relinks.
+//! * `std::vector` — header `{_Myfirst, _Mylast, _Myend}`; `push_back` has a
+//!   fast path storing through `_Mylast` and a slow path calling a
+//!   reallocation helper that both `malloc`s and `free`s.
+//! * `std::map` — header `{_Myhead: node*, _Mysize}`; `insert` walks the
+//!   red-black tree, buys a node, rebalances, and bumps `_Mysize`.
+//! * primitives — direct loads/stores/arithmetic on the variable.
+
+pub mod deque;
+pub mod list;
+pub mod map;
+pub mod primitive;
+pub mod set;
+pub mod vector;
+
+use crate::chunk::Chunk;
+use crate::style::Style;
+use rand::rngs::StdRng;
+use rand::Rng;
+use tiara_ir::{ContainerClass, Operand, Reg};
+
+/// Where a generated variable lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarPlace {
+    /// A global at an absolute address.
+    Global(u64),
+    /// A frame slot at an `ebp`-relative offset.
+    Stack(i64),
+}
+
+/// Everything a template needs to emit code for one variable.
+#[derive(Debug, Clone)]
+pub struct VarCtx {
+    /// Where the variable lives.
+    pub place: VarPlace,
+    /// 0 for a `T` variable, 1 for a `T*` variable.
+    pub ptr_level: u8,
+    /// The scratch registers assigned to this variable's stream. Streams that
+    /// get interleaved are assigned disjoint banks.
+    pub bank: [Reg; 3],
+    /// Emit folded absolute addresses for global field accesses.
+    pub fold_global_offsets: bool,
+    /// `ebp`-relative spill slot for values that must survive across chunk
+    /// boundaries (e.g. a freshly allocated node pointer while interleaved
+    /// code runs) — compilers spill exactly these.
+    pub spill: i64,
+}
+
+/// A resolved way of addressing the variable's fields inside one chunk.
+#[derive(Debug, Clone, Copy)]
+pub struct FieldAccess {
+    base: Option<Reg>,
+    place: VarPlace,
+    fold: bool,
+}
+
+impl FieldAccess {
+    /// The operand for the field at byte offset `off`.
+    pub fn at(&self, off: i64) -> Operand {
+        match self.base {
+            Some(r) => Operand::mem_reg(r, off),
+            None => match self.place {
+                VarPlace::Global(base) => {
+                    if self.fold {
+                        Operand::mem_abs(base.wrapping_add(off as u64), 0)
+                    } else {
+                        Operand::mem_abs(base, off)
+                    }
+                }
+                VarPlace::Stack(s) => Operand::mem_reg(Reg::Ebp, s + off),
+            },
+        }
+    }
+}
+
+impl VarCtx {
+    /// The operand naming the variable's *address* (for `push &v` /
+    /// `lea r, v`).
+    pub fn addr(&self) -> Operand {
+        match self.place {
+            VarPlace::Global(base) => Operand::addr_of(base, 0),
+            VarPlace::Stack(s) => Operand::Loc(tiara_ir::Loc::with_offset(Reg::Ebp, s)),
+        }
+    }
+
+    /// Prepares field access in `chunk`: a `T*` variable first loads the
+    /// pointer into the third bank register; a `T` variable addresses its
+    /// fields directly.
+    pub fn fields(&self, chunk: &mut Chunk) -> FieldAccess {
+        if self.ptr_level >= 1 {
+            let base = self.bank[2];
+            chunk.mov(
+                Operand::reg(base),
+                FieldAccess { base: None, place: self.place, fold: self.fold_global_offsets }.at(0),
+            );
+            FieldAccess { base: Some(base), place: self.place, fold: self.fold_global_offsets }
+        } else {
+            FieldAccess { base: None, place: self.place, fold: self.fold_global_offsets }
+        }
+    }
+
+    /// The two main scratch registers of the bank.
+    pub fn scratch(&self) -> (Reg, Reg) {
+        (self.bank[0], self.bank[1])
+    }
+
+    /// The operand of this variable's spill slot.
+    pub fn spill_slot(&self) -> Operand {
+        Operand::mem_reg(Reg::Ebp, self.spill)
+    }
+}
+
+/// Emits the constructor of a variable of the given class.
+pub fn ctor(class: ContainerClass, ctx: &VarCtx, rng: &mut StdRng, style: &Style) -> Vec<Chunk> {
+    match class {
+        ContainerClass::List => list::ctor(ctx, rng, style),
+        ContainerClass::Vector => vector::ctor(ctx, rng),
+        ContainerClass::Map => map::ctor(ctx, rng, style),
+        ContainerClass::Deque => deque::ctor(ctx, rng),
+        ContainerClass::Set => set::ctor(ctx, rng, style),
+        ContainerClass::Primitive => primitive::ctor(ctx, rng, style),
+    }
+}
+
+/// Emits one randomly chosen operation on a variable of the given class.
+pub fn random_op(
+    class: ContainerClass,
+    ctx: &VarCtx,
+    rng: &mut StdRng,
+    style: &Style,
+) -> Vec<Chunk> {
+    match class {
+        ContainerClass::List => list::random_op(ctx, rng, style),
+        ContainerClass::Vector => vector::random_op(ctx, rng, style),
+        ContainerClass::Map => map::random_op(ctx, rng, style),
+        ContainerClass::Deque => deque::random_op(ctx, rng, style),
+        ContainerClass::Set => set::random_op(ctx, rng, style),
+        ContainerClass::Primitive => primitive::random_op(ctx, rng, style),
+    }
+}
+
+/// A small random immediate for stored values / keys.
+pub(crate) fn small_imm(rng: &mut StdRng) -> Operand {
+    Operand::imm(rng.random_range(1..256))
+}
+
+/// Picks an index with the given weights (all weights must be positive).
+pub(crate) fn weighted_pick(rng: &mut StdRng, weights: &[u64]) -> usize {
+    let total: u64 = weights.iter().sum();
+    let mut x = rng.random_range(0..total);
+    for (i, &w) in weights.iter().enumerate() {
+        if x < w {
+            return i;
+        }
+        x -= w;
+    }
+    weights.len() - 1
+}
+
+/// Combines a base operation frequency with the project's habit weight
+/// (see [`Style::op_weight`]).
+pub(crate) fn op_weights(style: &Style, class_tag: u64, base: &[u64]) -> Vec<u64> {
+    base.iter()
+        .enumerate()
+        .map(|(k, &b)| b * style.op_weight(class_tag, k as u64, 4))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiara_ir::MemAddr;
+
+    fn gctx(fold: bool) -> VarCtx {
+        VarCtx {
+            place: VarPlace::Global(0x74404),
+            ptr_level: 0,
+            bank: [Reg::Esi, Reg::Ebx, Reg::Edi],
+            fold_global_offsets: fold,
+            spill: -4,
+        }
+    }
+
+    #[test]
+    fn folded_global_fields() {
+        let mut c = Chunk::new();
+        let f = gctx(true).fields(&mut c);
+        assert!(c.is_empty(), "level-0 variables need no base load");
+        assert_eq!(f.at(4).deref_mem(), Some((MemAddr(0x74408), 0)));
+    }
+
+    #[test]
+    fn symbolic_global_fields() {
+        let mut c = Chunk::new();
+        let f = gctx(false).fields(&mut c);
+        assert_eq!(f.at(4).deref_mem(), Some((MemAddr(0x74404), 4)));
+    }
+
+    #[test]
+    fn stack_fields_are_frame_relative() {
+        let ctx = VarCtx {
+            place: VarPlace::Stack(-0x18),
+            ptr_level: 0,
+            bank: [Reg::Esi, Reg::Ebx, Reg::Edi],
+            fold_global_offsets: true,
+            spill: -4,
+        };
+        let mut c = Chunk::new();
+        let f = ctx.fields(&mut c);
+        assert_eq!(f.at(4).deref_reg(), Some((Reg::Ebp, -0x14)));
+    }
+
+    #[test]
+    fn inline_allocator_style_avoids_helper_calls() {
+        use crate::chunk::Micro;
+        use crate::style::Style;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let ctx = gctx(true);
+
+        let inline_style = Style { inline_allocators: true, ..Style::default() };
+        let chunks = super::list::push_back(&ctx, &mut rng, &inline_style);
+        let has_named_call = chunks.iter().any(|c| {
+            // Inspect through emission: replay into a builder and look for
+            // unresolved named calls — simpler: check the chunk debug repr.
+            format!("{c:?}").contains("CallNamed")
+        });
+        assert!(!has_named_call, "inlined push_back must not call _Buynode");
+        let mallocs = chunks
+            .iter()
+            .map(|c| format!("{c:?}").matches("Malloc").count())
+            .sum::<usize>();
+        assert!(mallocs >= 1, "the inlined body still allocates");
+
+        let outline_style = Style { inline_allocators: false, ..Style::default() };
+        let chunks = super::list::push_back(&ctx, &mut rng, &outline_style);
+        assert!(
+            chunks.iter().any(|c| format!("{c:?}").contains("CallNamed")),
+            "out-of-line push_back calls _Buynode"
+        );
+        let _ = Micro::Bind(crate::chunk::Chunk::new().label());
+    }
+
+    #[test]
+    fn new_vector_ops_emit_nonempty_chunks() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let ctx = gctx(false);
+        let style = crate::style::Style::default();
+        for chunks in [
+            super::vector::insert_mid(&ctx, &mut rng, &style),
+            super::vector::assign_from(&ctx, &mut rng),
+        ] {
+            assert!(!chunks.is_empty());
+            assert!(chunks.iter().all(|c| !c.is_empty()));
+        }
+    }
+
+    #[test]
+    fn op_weights_are_positive_and_project_dependent() {
+        let a = crate::style::Style::for_project(0, 7);
+        let b = crate::style::Style::for_project(1, 7);
+        let base = [5u64, 1, 2, 1];
+        let wa = super::op_weights(&a, 1, &base);
+        let wb = super::op_weights(&b, 1, &base);
+        assert!(wa.iter().all(|&w| w >= 1));
+        assert_ne!(wa, wb, "different projects have different habits");
+    }
+
+    #[test]
+    fn pointer_variable_loads_base_first() {
+        let ctx = VarCtx { ptr_level: 1, ..gctx(true) };
+        let mut c = Chunk::new();
+        let f = ctx.fields(&mut c);
+        assert_eq!(c.len(), 1, "one base load emitted");
+        assert_eq!(f.at(8).deref_reg(), Some((Reg::Edi, 8)));
+    }
+}

@@ -1,0 +1,116 @@
+//! Primitive-variable templates: plain loads, stores, arithmetic, compares,
+//! and argument passing. The paper collapses all primitive types into one
+//! label, so the templates cover ints, counters, flags, and plain pointers.
+
+use super::{small_imm, VarCtx};
+use crate::chunk::Chunk;
+use crate::style::Style;
+use rand::rngs::StdRng;
+use rand::Rng;
+use tiara_ir::{Opcode, Operand, Reg};
+
+/// `int x = k;`
+pub fn ctor(ctx: &VarCtx, rng: &mut StdRng, _style: &Style) -> Vec<Chunk> {
+    let (r0, _) = ctx.scratch();
+    let mut c = Chunk::new();
+    let f = ctx.fields(&mut c);
+    if rng.random_bool(0.5) {
+        c.mov(f.at(0), small_imm(rng));
+    } else {
+        c.mov(Operand::reg(r0), small_imm(rng));
+        c.mov(f.at(0), Operand::reg(r0));
+    }
+    vec![c]
+}
+
+/// `x += k;` (or `-=`, `*=` …) — load, operate, store back.
+pub fn arith(ctx: &VarCtx, rng: &mut StdRng) -> Vec<Chunk> {
+    let (r0, _) = ctx.scratch();
+    let mut c = Chunk::new();
+    let f = ctx.fields(&mut c);
+    c.mov(Operand::reg(r0), f.at(0));
+    match rng.random_range(0..4) {
+        0 => c.add(Operand::reg(r0), small_imm(rng)),
+        1 => c.sub(Operand::reg(r0), small_imm(rng)),
+        2 => c.inc(Operand::reg(r0)),
+        _ => c.op(Opcode::Shl, tiara_ir::BinOp::Shl, Operand::reg(r0), Operand::imm(1)),
+    }
+    c.mov(f.at(0), Operand::reg(r0));
+    vec![c]
+}
+
+/// `if (x < k) …`
+pub fn compare(ctx: &VarCtx, rng: &mut StdRng) -> Vec<Chunk> {
+    let (r0, _) = ctx.scratch();
+    let mut c = Chunk::new();
+    let f = ctx.fields(&mut c);
+    let skip = c.label();
+    if rng.random_bool(0.5) {
+        c.mov(Operand::reg(r0), f.at(0));
+        c.cmp(Operand::reg(r0), small_imm(rng));
+    } else {
+        c.cmp(f.at(0), small_imm(rng));
+    }
+    c.jump(Opcode::Jge, skip);
+    c.mov(Operand::reg(Reg::Eax), small_imm(rng));
+    c.bind(skip);
+    vec![c]
+}
+
+/// `g(x);` — push the value, call something opaque.
+pub fn pass_to_func(ctx: &VarCtx, _rng: &mut StdRng) -> Vec<Chunk> {
+    let mut c = Chunk::new();
+    let f = ctx.fields(&mut c);
+    c.push(f.at(0));
+    c.call_extern(tiara_ir::ExternKind::Other);
+    c.clean_args(1);
+    vec![c]
+}
+
+/// `y = x;` — copy to an unrelated global.
+pub fn copy_out(ctx: &VarCtx, rng: &mut StdRng) -> Vec<Chunk> {
+    let (r0, _) = ctx.scratch();
+    let sink = 0x7C000u64 + (rng.random_range(0..256u64) << 5);
+    let mut c = Chunk::new();
+    let f = ctx.fields(&mut c);
+    c.mov(Operand::reg(r0), f.at(0));
+    c.mov(Operand::mem_abs(sink, 0), Operand::reg(r0));
+    vec![c]
+}
+
+/// `for (…; x < n; …)` — a counting loop over the variable.
+pub fn count_loop(ctx: &VarCtx, rng: &mut StdRng, style: &Style) -> Vec<Chunk> {
+    let (r0, _) = ctx.scratch();
+    let n = rng.random_range(2..10i64);
+    let mut c = Chunk::new();
+    let f = ctx.fields(&mut c);
+    c.mov(Operand::reg(r0), f.at(0));
+    let top = c.label();
+    let done = c.label();
+    c.bind(top);
+    if style.loop_down {
+        c.dec(Operand::reg(r0));
+        c.test(Operand::reg(r0), Operand::reg(r0));
+        c.jump(Opcode::Je, done);
+    } else {
+        c.inc(Operand::reg(r0));
+        c.cmp(Operand::reg(r0), Operand::imm(n));
+        c.jump(Opcode::Jae, done);
+    }
+    c.jump(Opcode::Jmp, top);
+    c.bind(done);
+    c.mov(f.at(0), Operand::reg(r0));
+    vec![c]
+}
+
+/// Picks a random primitive operation, biased by the project's habits.
+pub fn random_op(ctx: &VarCtx, rng: &mut StdRng, style: &Style) -> Vec<Chunk> {
+    let w = super::op_weights(style, 4, &[3, 3, 1, 2, 1]);
+    match super::weighted_pick(rng, &w) {
+        0 => arith(ctx, rng),
+        1 => compare(ctx, rng),
+        2 => pass_to_func(ctx, rng),
+        3 => copy_out(ctx, rng),
+        _ => count_loop(ctx, rng, style),
+    }
+}

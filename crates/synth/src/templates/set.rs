@@ -1,0 +1,188 @@
+//! `std::set<T>` operation templates (extension label).
+//!
+//! MSVC implements `std::set` on the same `_Tree` machinery as `std::map`:
+//! header `{ _Myhead @ +0, _Mysize @ +4 }`, red-black nodes
+//! `{ _Left @ +0, _Parent @ +4, _Right @ +8, _Color/_Isnil @ +12,
+//! _Key @ +16 }` — but the node carries *no mapped value* (20-byte nodes vs
+//! the map's 24). The separation from `std::map` is therefore subtle by
+//! design: same walks, same rebalancing, smaller allocations and no value
+//! loads at `+20`.
+
+use super::{small_imm, VarCtx};
+use crate::chunk::Chunk;
+use crate::style::Style;
+use rand::rngs::StdRng;
+use rand::Rng;
+use tiara_ir::{Opcode, Operand, Reg};
+
+/// The shared out-of-line node allocator for value-less tree nodes.
+pub const SET_BUYNODE: &str = "std::_Tree_buynode_set";
+
+/// `std::set<T> s;` — buy the sentinel head, zero the size.
+pub fn ctor(ctx: &VarCtx, rng: &mut StdRng, style: &Style) -> Vec<Chunk> {
+    let (r0, _) = ctx.scratch();
+    let mut c = Chunk::new();
+    let f = ctx.fields(&mut c);
+    if style.inline_allocators {
+        c.push(Operand::imm(20));
+        c.call_extern(tiara_ir::ExternKind::Malloc);
+        c.clean_args(1);
+        c.mov(Operand::mem_reg(Reg::Eax, 12), Operand::imm(1)); // _Isnil
+    } else {
+        c.push(Operand::imm(0));
+        c.call(SET_BUYNODE);
+        c.clean_args(1);
+    }
+    c.mov(f.at(0), Operand::reg(Reg::Eax));
+    if rng.random_bool(0.5) {
+        c.zero(r0);
+        c.mov(f.at(4), Operand::reg(r0));
+    } else {
+        c.mov(f.at(4), Operand::imm(0));
+    }
+    vec![c]
+}
+
+/// The key-comparison walk; leaves the current node in the second scratch
+/// register. Identical shape to the map walk — that is the point.
+fn tree_walk(c: &mut Chunk, ctx: &VarCtx, key: Operand) -> (Reg, Reg) {
+    let (r0, r1) = ctx.scratch();
+    let f = ctx.fields(c);
+    c.mov(Operand::reg(r0), f.at(0)); // _Myhead
+    c.mov(Operand::reg(r1), Operand::mem_reg(r0, 4)); // root
+    let top = c.label();
+    let left = c.label();
+    let done = c.label();
+    c.bind(top);
+    c.cmp(Operand::mem_reg(r1, 12), Operand::imm(1)); // _Isnil?
+    c.jump(Opcode::Je, done);
+    c.cmp(Operand::mem_reg(r1, 16), key);
+    c.jump(Opcode::Jl, left);
+    c.mov(Operand::reg(r1), Operand::mem_reg(r1, 0));
+    c.jump(Opcode::Jmp, top);
+    c.bind(left);
+    c.mov(Operand::reg(r1), Operand::mem_reg(r1, 8));
+    c.jump(Opcode::Jmp, top);
+    c.bind(done);
+    (r0, r1)
+}
+
+/// `s.insert(k)` — walk, buy a 20-byte key-only node, rebalance, bump size.
+pub fn insert(ctx: &VarCtx, rng: &mut StdRng, style: &Style) -> Vec<Chunk> {
+    let key = small_imm(rng);
+    let mut c1 = Chunk::new();
+    let (_r0, r1) = tree_walk(&mut c1, ctx, key);
+
+    let mut c2 = Chunk::new();
+    if style.inline_allocators {
+        c2.push(Operand::imm(20));
+        c2.call_extern(tiara_ir::ExternKind::Malloc);
+        c2.clean_args(1);
+        c2.mov(Operand::mem_reg(Reg::Eax, 4), Operand::reg(r1)); // parent
+        c2.mov(Operand::mem_reg(Reg::Eax, 16), key);
+        c2.mov(Operand::mem_reg(Reg::Eax, 12), Operand::imm(0)); // red
+    } else {
+        c2.push(key);
+        c2.call(SET_BUYNODE);
+        c2.clean_args(1);
+        c2.mov(Operand::mem_reg(Reg::Eax, 4), Operand::reg(r1));
+    }
+    c2.mov(ctx.spill_slot(), Operand::reg(Reg::Eax));
+
+    // Rebalance through the shared tree helper, then bump _Mysize.
+    let mut c3 = Chunk::new();
+    let f3 = ctx.fields(&mut c3);
+    c3.push(ctx.spill_slot());
+    c3.push(f3.at(0));
+    c3.call(crate::templates::map::TREE_REBALANCE);
+    c3.clean_args(2);
+
+    let mut c4 = Chunk::new();
+    let f4 = ctx.fields(&mut c4);
+    let (r0b, _) = ctx.scratch();
+    c4.mov(Operand::reg(r0b), f4.at(4));
+    c4.inc(Operand::reg(r0b));
+    c4.mov(f4.at(4), Operand::reg(r0b));
+    vec![c1, c2, c3, c4]
+}
+
+/// `s.contains(k)` — the walk plus a hit test; note there is no value load.
+pub fn contains(ctx: &VarCtx, rng: &mut StdRng) -> Vec<Chunk> {
+    let key = small_imm(rng);
+    let mut c = Chunk::new();
+    let (_r0, r1) = tree_walk(&mut c, ctx, key);
+    let miss = c.label();
+    c.cmp(Operand::mem_reg(r1, 16), key);
+    c.jump(Opcode::Jne, miss);
+    c.mov(Operand::reg(Reg::Eax), Operand::imm(1));
+    c.bind(miss);
+    vec![c]
+}
+
+/// `s.erase(k)` — walk, free the node, decrement `_Mysize`.
+pub fn erase(ctx: &VarCtx, rng: &mut StdRng) -> Vec<Chunk> {
+    let key = small_imm(rng);
+    let mut c1 = Chunk::new();
+    let (_r0, r1) = tree_walk(&mut c1, ctx, key);
+    c1.push(Operand::reg(r1));
+    c1.call_extern(tiara_ir::ExternKind::Free);
+    c1.clean_args(1);
+
+    let mut c2 = Chunk::new();
+    let f2 = ctx.fields(&mut c2);
+    let (r0b, _) = ctx.scratch();
+    c2.mov(Operand::reg(r0b), f2.at(4));
+    c2.dec(Operand::reg(r0b));
+    c2.mov(f2.at(4), Operand::reg(r0b));
+    vec![c1, c2]
+}
+
+/// `if (s.size() …)` — a size check.
+pub fn size_check(ctx: &VarCtx, _rng: &mut StdRng) -> Vec<Chunk> {
+    let (r0, _) = ctx.scratch();
+    let mut c = Chunk::new();
+    let f = ctx.fields(&mut c);
+    let skip = c.label();
+    c.mov(Operand::reg(r0), f.at(4));
+    c.test(Operand::reg(r0), Operand::reg(r0));
+    c.jump(Opcode::Je, skip);
+    c.mov(Operand::reg(Reg::Eax), Operand::reg(r0));
+    c.bind(skip);
+    vec![c]
+}
+
+/// `for (auto &k : s)` — leftmost descent touching keys (no `+20` loads).
+pub fn iterate(ctx: &VarCtx, style: &Style) -> Vec<Chunk> {
+    let (r0, r1) = ctx.scratch();
+    let mut c = Chunk::new();
+    let f = ctx.fields(&mut c);
+    c.mov(Operand::reg(r0), f.at(0));
+    c.mov(Operand::reg(r1), Operand::mem_reg(r0, 4));
+    let top = c.label();
+    let done = c.label();
+    c.bind(top);
+    c.cmp(Operand::mem_reg(r1, 12), Operand::imm(1));
+    c.jump(Opcode::Je, done);
+    c.mov(Operand::reg(Reg::Eax), Operand::mem_reg(r1, 16)); // key
+    if style.loop_down {
+        c.test(Operand::reg(Reg::Eax), Operand::reg(Reg::Eax));
+    } else {
+        c.add(Operand::reg(Reg::Eax), Operand::imm(1));
+    }
+    c.mov(Operand::reg(r1), Operand::mem_reg(r1, 0));
+    c.jump(Opcode::Jmp, top);
+    c.bind(done);
+    vec![c]
+}
+
+/// Picks a random set operation, weighted towards `insert`/`contains`.
+pub fn random_op(ctx: &VarCtx, rng: &mut StdRng, style: &Style) -> Vec<Chunk> {
+    let w = super::op_weights(style, 6, &[4, 3, 1, 1, 1]);
+    match super::weighted_pick(rng, &w) {
+        0 => insert(ctx, rng, style),
+        1 => contains(ctx, rng),
+        2 => erase(ctx, rng),
+        3 => size_check(ctx, rng),
+        _ => iterate(ctx, style),
+    }
+}

@@ -1,0 +1,68 @@
+//! Cross-project type recovery (the paper's RQ2 scenario): train TIARA on
+//! three projects, then predict container types in a *different* project
+//! never seen during training — the realistic reverse-engineering setting
+//! where no ground truth exists for the target binary.
+//!
+//! ```sh
+//! cargo run --release --example cross_project
+//! ```
+
+use tiara::{ClassifierConfig, Evaluation, Slicer, Tiara, TiaraConfig};
+use tiara_eval::{build_suite, parallel_dataset};
+
+fn main() -> Result<(), tiara::Error> {
+    // A scaled-down version of the eight-project benchmark suite.
+    let suite = build_suite(7, 0.3);
+    let train_names = ["clang", "cmake", "bitcoind"];
+    let target_name = "re2";
+
+    println!("training on {train_names:?}, predicting types in `{target_name}` …");
+
+    // Slice and train.
+    let slicer = Slicer::default();
+    let mut train = tiara::Dataset::new();
+    for bin in suite.iter().filter(|b| train_names.contains(&b.name.as_str())) {
+        train.merge(parallel_dataset(bin, &slicer, 4));
+    }
+    let mut tiara = Tiara::new(TiaraConfig {
+        classifier: ClassifierConfig { epochs: 60, ..Default::default() },
+        ..Default::default()
+    });
+    tiara.train_on(&train)?;
+
+    // Predict every labeled variable of the unseen project and score against
+    // its (held-back) ground truth.
+    let target = suite.iter().find(|b| b.name == target_name).expect("project exists");
+    let mut eval = Evaluation::new();
+    for (addr, truth) in target.labeled_vars() {
+        let predicted = tiara.predict(&target.program, addr);
+        eval.record(truth, predicted);
+    }
+
+    println!("\nresults on `{target_name}` ({} variables):", eval.total());
+    for class in tiara_ir::ContainerClass::ALL {
+        if eval.support(class) == 0 {
+            continue;
+        }
+        println!(
+            "  {:<12} precision {}  recall {}  f1 {}  ({} vars)",
+            class.to_string(),
+            fmt(eval.precision(class)),
+            fmt(eval.recall(class)),
+            fmt(eval.f1(class)),
+            eval.support(class),
+        );
+    }
+    println!(
+        "  macro avg    precision {:.2}  recall {:.2}  f1 {:.2}  accuracy {:.2}",
+        eval.macro_precision(),
+        eval.macro_recall(),
+        eval.macro_f1(),
+        eval.accuracy()
+    );
+    Ok(())
+}
+
+fn fmt(v: Option<f64>) -> String {
+    v.map_or("N/A ".into(), |x| format!("{x:.2}"))
+}

@@ -1,0 +1,26 @@
+//! # tiara-repro
+//!
+//! Umbrella crate of the TIARA reproduction (Wang, Xu, Li, Yuan, Xue —
+//! *Recovering Container Class Types in C++ Binaries*, CGO 2022): re-exports
+//! the workspace crates and hosts the repository-level integration tests and
+//! examples.
+//!
+//! * [`ir`] — the binary IR (instructions, CFGs, programs, ground truth);
+//! * [`synth`] — the synthetic MSVC-like binary generator substrate;
+//! * [`slice`](mod@slice) — TSLICE (the paper's primary contribution) and SSLICE;
+//! * [`gnn`] — the from-scratch GCN/autodiff stack;
+//! * [`core`] — feature encoding, datasets, classifier, metrics, pipeline;
+//! * [`eval`] — the harness regenerating every table and figure.
+//!
+//! See the repository README for a walkthrough and DESIGN.md for the
+//! substitution argument (what the paper used vs. what this repo builds).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use tiara as core;
+pub use tiara_eval as eval;
+pub use tiara_gnn as gnn;
+pub use tiara_ir as ir;
+pub use tiara_slice as slice;
+pub use tiara_synth as synth;

@@ -1,0 +1,159 @@
+//! Repository-level integration tests: the full pipeline across crates,
+//! mirroring (at mini scale) the paper's RQ1–RQ3 claims.
+
+use tiara::{Classifier, ClassifierConfig, Dataset, Slicer};
+use tiara_eval::{intra_experiments, run_experiment, SlicedSuite};
+use tiara_ir::ContainerClass;
+use tiara_synth::{generate, ProjectSpec, TypeCounts};
+
+fn mini_suite() -> Vec<tiara_synth::Binary> {
+    tiara_eval::build_suite(11, 0.12)
+}
+
+fn quick_cfg(epochs: usize) -> ClassifierConfig {
+    ClassifierConfig { epochs, ..Default::default() }
+}
+
+#[test]
+fn rq1_intra_project_prediction_works() {
+    let bins = mini_suite();
+    let suite = SlicedSuite::build(&bins, &Slicer::default(), 4);
+    let spec = &intra_experiments()[0]; // clang
+    let res = run_experiment(&suite, spec, &quick_cfg(40), 5);
+    assert_eq!(res.id, "I1a");
+    assert!(
+        res.eval.macro_f1() > 0.5,
+        "macro F1 {:.2} too low for intra-project",
+        res.eval.macro_f1()
+    );
+    assert!(res.eval.accuracy() > 0.7, "accuracy {:.2}", res.eval.accuracy());
+}
+
+#[test]
+fn rq3_tslice_beats_sslice() {
+    let bins = mini_suite();
+    let t = SlicedSuite::build(&bins, &Slicer::default(), 4);
+    let s = SlicedSuite::build(&bins, &Slicer::Sslice, 4);
+    let spec = &intra_experiments()[1]; // cmake + list_ext
+    let rt = run_experiment(&t, spec, &quick_cfg(40), 5);
+    let rs = run_experiment(&s, spec, &quick_cfg(40), 5);
+    assert_eq!(rt.id, "I2a");
+    assert_eq!(rs.id, "I2b");
+    assert!(
+        rt.eval.macro_f1() > rs.eval.macro_f1(),
+        "TIARA ({:.2}) must beat TIARA_SSLICE ({:.2})",
+        rt.eval.macro_f1(),
+        rs.eval.macro_f1()
+    );
+}
+
+#[test]
+fn rq2_cross_project_generalization() {
+    // Train on two projects, test on a third, all distinct styles.
+    let specs: Vec<ProjectSpec> = [(0usize, "a"), (1, "b"), (2, "c")]
+        .into_iter()
+        .map(|(index, name)| ProjectSpec {
+            name: name.into(),
+            index,
+            seed: 31,
+            counts: TypeCounts { list: 8, vector: 14, map: 12, primitive: 40, ..Default::default() },
+        })
+        .collect();
+    let bins: Vec<_> = specs.iter().map(generate).collect();
+    let slicer = Slicer::default();
+
+    let mut train = Dataset::new();
+    for bin in &bins[..2] {
+        train.merge(Dataset::from_binary(&bin.program, &bin.debug, &bin.name, &slicer));
+    }
+    let test = Dataset::from_binary(&bins[2].program, &bins[2].debug, "c", &slicer);
+
+    let mut clf = Classifier::new(&quick_cfg(50));
+    clf.train(&train).unwrap();
+    let eval = clf.evaluate(&test);
+    assert!(
+        eval.accuracy() > 0.6,
+        "cross-project accuracy {:.2} too low",
+        eval.accuracy()
+    );
+    // Containers specifically must be recoverable across projects.
+    let vec_f1 = eval.f1(ContainerClass::Vector).unwrap_or(0.0);
+    assert!(vec_f1 > 0.4, "vector F1 {vec_f1:.2}");
+}
+
+#[test]
+fn trained_model_transfers_through_serialization() {
+    let bin = generate(&ProjectSpec {
+        name: "ser".into(),
+        index: 4,
+        seed: 13,
+        counts: TypeCounts { list: 4, vector: 6, map: 5, primitive: 15, ..Default::default() },
+    });
+    let slicer = Slicer::default();
+    let ds = Dataset::from_binary(&bin.program, &bin.debug, "ser", &slicer);
+    let mut clf = Classifier::new(&quick_cfg(20));
+    clf.train(&ds).unwrap();
+
+    let dir = std::env::temp_dir().join("tiara_model_roundtrip.json");
+    clf.save(&dir).unwrap();
+    let restored = Classifier::load(&dir).unwrap();
+    let _ = std::fs::remove_file(&dir);
+
+    let original = clf.evaluate(&ds);
+    let reloaded = restored.evaluate(&ds);
+    assert_eq!(original, reloaded, "reloaded model scores identically");
+}
+
+#[test]
+fn motivating_example_variables_are_recovered() {
+    // The paper's headline demo: after training, the list `l` at 074404h and
+    // the vector `v` at [ebp+8] in the Figure 1 binary are recovered.
+    use tiara::{Tiara, TiaraConfig};
+    let bins = tiara_eval::build_suite(23, 0.25);
+    let mut train = Dataset::new();
+    let slicer = Slicer::default();
+    for bin in &bins {
+        train.merge(Dataset::from_binary(&bin.program, &bin.debug, &bin.name, &slicer));
+    }
+    let mut tiara = Tiara::new(TiaraConfig {
+        classifier: quick_cfg(60),
+        ..Default::default()
+    });
+    tiara.train_on(&train).unwrap();
+
+    let ex = tiara_synth::motivating_example();
+    assert_eq!(
+        tiara.predict(&ex.binary.program, ex.l),
+        ContainerClass::List,
+        "l at {} must be recovered as std::list",
+        ex.l
+    );
+    assert_eq!(
+        tiara.predict(&ex.binary.program, ex.v),
+        ContainerClass::Vector,
+        "v at {} must be recovered as std::vector",
+        ex.v
+    );
+}
+
+#[test]
+fn primitive_slices_are_smallest_on_average() {
+    // The Table III ordering: primitives get far smaller slices than any
+    // container class.
+    let bins = mini_suite();
+    let suite = SlicedSuite::build(&bins, &Slicer::default(), 4);
+    let mut merged = Dataset::new();
+    for d in &suite.datasets {
+        let mut c = Dataset::new();
+        c.samples.extend(d.samples.iter().cloned());
+        merged.merge(c);
+    }
+    let prim = merged.mean_slice_size(ContainerClass::Primitive).unwrap().0;
+    for class in [ContainerClass::List, ContainerClass::Vector, ContainerClass::Map] {
+        let m = merged.mean_slice_size(class).unwrap().0;
+        assert!(
+            m > prim * 1.5,
+            "{class} mean {m:.1} not clearly above primitive {prim:.1}"
+        );
+    }
+}

@@ -1,0 +1,173 @@
+//! Property-based tests over the whole stack: random programs and random
+//! generator configurations must never break the slicer/classifier
+//! invariants.
+
+use proptest::prelude::*;
+use tiara_ir::{
+    BinOp, ContainerClass, InstKind, MemAddr, Opcode, Operand, ProgramBuilder, Reg, VarAddr,
+};
+use tiara_slice::{sslice, tslice, tslice_with, TsliceConfig};
+use tiara_synth::{generate, ProjectSpec, TypeCounts};
+
+/// Strategy: an arbitrary non-pointer register.
+fn any_reg() -> impl Strategy<Value = Reg> {
+    prop::sample::select(Reg::GENERAL.to_vec())
+}
+
+/// Strategy: an arbitrary operand over a small address universe.
+fn any_operand() -> impl Strategy<Value = Operand> {
+    prop_oneof![
+        (-64i64..64).prop_map(Operand::imm),
+        any_reg().prop_map(Operand::reg),
+        (any_reg(), -32i64..32).prop_map(|(r, c)| Operand::mem_reg(r, c)),
+        (0x74400u64..0x74500, 0i64..8).prop_map(|(m, c)| Operand::mem_abs(m, c)),
+        (0x74400u64..0x74500).prop_map(|m| Operand::addr_of(m, 0)),
+        (-32i64..32).prop_map(|c| Operand::mem_reg(Reg::Ebp, c)),
+    ]
+}
+
+/// Strategy: an arbitrary straight-line-ish instruction.
+fn any_inst() -> impl Strategy<Value = (Opcode, InstKind)> {
+    prop_oneof![
+        (any_operand(), any_operand())
+            .prop_map(|(dst, src)| (Opcode::Mov, InstKind::Mov { dst, src })),
+        (any_operand(), any_operand()).prop_map(|(dst, src)| {
+            (Opcode::Add, InstKind::Op { op: BinOp::Add, dst, src })
+        }),
+        (any_operand(), any_operand()).prop_map(|(dst, src)| {
+            (Opcode::Sub, InstKind::Op { op: BinOp::Sub, dst, src })
+        }),
+        (any_operand(), any_operand())
+            .prop_map(|(a, b)| (Opcode::Cmp, InstKind::Use { oprs: vec![a, b] })),
+        any_operand().prop_map(|src| (Opcode::Push, InstKind::Push { src })),
+        any_reg().prop_map(|r| (Opcode::Pop, InstKind::Pop { dst: Operand::reg(r) })),
+    ]
+}
+
+fn build_program(insts: Vec<(Opcode, InstKind)>) -> tiara_ir::Program {
+    let mut b = ProgramBuilder::new();
+    b.begin_func("main");
+    for (op, kind) in insts {
+        b.inst(op, kind);
+    }
+    b.ret();
+    b.end_func();
+    b.finish().expect("straight-line program builds")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// TSLICE terminates on arbitrary instruction sequences and its output
+    /// stays within the program and within faith bounds.
+    #[test]
+    fn tslice_is_total_and_well_formed(insts in prop::collection::vec(any_inst(), 1..120)) {
+        let prog = build_program(insts);
+        let v0 = VarAddr::Global(MemAddr(0x74404));
+        let slice = tslice(&prog, v0);
+        // Nodes are valid, sorted, unique instructions.
+        let ids: Vec<u32> = slice.nodes.iter().map(|n| n.inst.0).collect();
+        prop_assert!(ids.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(ids.iter().all(|&i| (i as usize) < prog.num_insts()));
+        // Faith is a probability-like quantity.
+        prop_assert!(slice.nodes.iter().all(|n| (0.0..=1.0).contains(&n.faith)));
+        // Edges reference slice nodes.
+        let n = slice.nodes.len() as u32;
+        prop_assert!(slice.edges.iter().all(|&(a, b)| a < n && b < n));
+    }
+
+    /// Slicing is deterministic.
+    #[test]
+    fn tslice_is_deterministic(insts in prop::collection::vec(any_inst(), 1..80)) {
+        let prog = build_program(insts);
+        let v0 = VarAddr::Global(MemAddr(0x74404));
+        let a = tslice(&prog, v0);
+        let b = tslice(&prog, v0);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Stronger decay never grows the explored region.
+    #[test]
+    fn faster_decay_explores_no_more(insts in prop::collection::vec(any_inst(), 1..80)) {
+        let prog = build_program(insts);
+        let v0 = VarAddr::Global(MemAddr(0x74404));
+        let slow = tslice_with(&prog, v0, &TsliceConfig::default());
+        let fast_cfg = TsliceConfig {
+            decay_default: 0.01,
+            decay_stack: 0.05,
+            decay_indirect: 0.1,
+            ..TsliceConfig::default()
+        };
+        let fast = tslice_with(&prog, v0, &fast_cfg);
+        prop_assert!(fast.slice.explored <= slow.slice.explored);
+    }
+
+    /// SSLICE always contains the first access and never panics.
+    #[test]
+    fn sslice_contains_first_access(insts in prop::collection::vec(any_inst(), 1..120)) {
+        let prog = build_program(insts);
+        let v0 = VarAddr::Global(MemAddr(0x74404));
+        let s = sslice(&prog, v0);
+        if let Some(first) = tiara_slice::first_access(&prog, v0) {
+            prop_assert!(s.contains(first));
+        } else {
+            prop_assert!(s.is_empty());
+        }
+    }
+
+    /// Generated projects are internally consistent for arbitrary counts and
+    /// style indices.
+    #[test]
+    fn generator_is_consistent(
+        index in 0usize..8,
+        seed in 0u64..1000,
+        list in 0usize..4,
+        vector in 0usize..4,
+        map in 0usize..4,
+        primitive in 1usize..8,
+    ) {
+        let spec = ProjectSpec {
+            name: "prop".into(),
+            index,
+            seed,
+            counts: TypeCounts { list, vector, map, primitive, ..Default::default() },
+        };
+        let bin = generate(&spec);
+        prop_assert_eq!(bin.debug.len(), list + vector + map + primitive);
+        // Every labeled variable is sliceable without panicking, and the
+        // returned criterion matches.
+        for (addr, class) in bin.labeled_vars() {
+            let slice = tslice(&bin.program, addr);
+            prop_assert_eq!(slice.criterion, addr);
+            if class != ContainerClass::Primitive {
+                prop_assert!(!slice.is_empty(), "{} produced an empty slice", addr);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Dataset splitting partitions the samples for any fraction.
+    #[test]
+    fn dataset_split_partitions(frac in 0.1f64..0.9, seed in 0u64..100) {
+        let bin = generate(&ProjectSpec {
+            name: "ds".into(),
+            index: 1,
+            seed: 3,
+            counts: TypeCounts { list: 2, vector: 2, map: 2, primitive: 6, ..Default::default() },
+        });
+        let ds = tiara::Dataset::from_binary(
+            &bin.program, &bin.debug, "ds", &tiara::Slicer::default(),
+        );
+        let (tr, te) = ds.split(frac, seed);
+        prop_assert_eq!(tr.len() + te.len(), ds.len());
+        let mut addrs: Vec<String> = tr.samples.iter().chain(&te.samples)
+            .map(|s| s.addr.to_string()).collect();
+        addrs.sort();
+        let mut orig: Vec<String> = ds.samples.iter().map(|s| s.addr.to_string()).collect();
+        orig.sort();
+        prop_assert_eq!(addrs, orig);
+    }
+}
