@@ -6,6 +6,7 @@
 //! tiara synth   --out prog.tira --pdb labels.json [--seed N] [--style K]
 //!               [--counts LIST,VEC,MAP,PRIM]
 //! tiara slice   --binary prog.tira --addr <ADDR> [--sslice] [--trace] [--dot]
+//! tiara lint    --binary prog.tira [--addr <ADDR>] [--json]
 //! tiara train   --binary prog.tira --pdb labels.json --model model.json
 //!               [--epochs N] [--sslice]
 //! tiara predict --binary prog.tira --model model.json --addr <ADDR>
@@ -25,12 +26,13 @@ use tiara_ir::{
 use tiara_slice::{tslice_with, TsliceConfig};
 
 fn usage() -> &'static str {
-    "usage: tiara <asm|disasm|synth|slice|train|predict> [flags]\n\
+    "usage: tiara <asm|disasm|synth|slice|lint|train|predict> [flags]\n\
      \n\
      tiara asm     --in listing.asm --out prog.tira\n\
      tiara disasm  --binary prog.tira\n\
      tiara synth   --out prog.tira --pdb labels.json [--seed N] [--style K] [--counts L,V,M,P]\n\
      tiara slice   --binary prog.tira --addr ADDR [--sslice] [--trace] [--dot]\n\
+     tiara lint    --binary prog.tira [--addr ADDR] [--json]\n\
      tiara train   --binary prog.tira --pdb labels.json --model model.json [--epochs N] [--sslice]\n\
      tiara predict --binary prog.tira --model model.json --addr ADDR\n\
      \n\
@@ -55,7 +57,7 @@ fn run() -> Result<(), String> {
     while let Some(a) = args.next() {
         if let Some(name) = a.strip_prefix("--") {
             match name {
-                "sslice" | "trace" | "dot" => switches.push(name.to_owned()),
+                "sslice" | "trace" | "dot" | "json" => switches.push(name.to_owned()),
                 _ => {
                     let v = args.next().ok_or(format!("missing value for --{name}"))?;
                     flags.insert(name.to_owned(), v);
@@ -140,6 +142,24 @@ fn run() -> Result<(), String> {
                         );
                     }
                 }
+            }
+        }
+        "lint" => {
+            let prog = load_binary(get("binary")?)?;
+            let report = match flags.get("addr") {
+                Some(a) => {
+                    let addr = parse_addr(a, &prog)?;
+                    tiara_verify::verify_with_slices(&prog, &[addr])
+                }
+                None => tiara_verify::verify(&prog),
+            };
+            if has("json") {
+                println!("{}", report.render_json());
+            } else {
+                print!("{}", report.render_human(&prog));
+            }
+            if report.has_errors() {
+                return Err(format!("lint found {} error(s)", report.num_errors()));
             }
         }
         "train" => {

@@ -77,6 +77,10 @@ fn build_suites(opts: &Options) -> (SlicedSuite, SlicedSuite) {
         opts.scale, opts.seed
     );
     let bins = build_suite(opts.seed, opts.scale);
+    eprintln!("[tiara-eval] verifying the suite …");
+    if let Err(e) = tiara_eval::verify_suite(&bins) {
+        panic!("{e}");
+    }
     eprintln!("[tiara-eval] slicing with TSLICE ({} threads) …", opts.threads);
     let t = SlicedSuite::build(&bins, &Slicer::default(), opts.threads);
     eprintln!(
@@ -159,6 +163,10 @@ fn main() -> ExitCode {
                 opts.scale
             );
             let bins = tiara_eval::build_extended_suite(opts.seed, opts.scale);
+            eprintln!("[tiara-eval] verifying the suite …");
+            if let Err(e) = tiara_eval::verify_suite(&bins) {
+                panic!("{e}");
+            }
             let suite = SlicedSuite::build(&bins, &Slicer::default(), opts.threads);
             let cfg = classifier_config(&opts);
             let results: Vec<_> = tiara_eval::extended_experiments()

@@ -28,4 +28,6 @@ pub use experiments::{
     cross_experiments, extended_experiments, intra_experiments, run_experiment,
     ExperimentResult, ExperimentSpec, TestSelection,
 };
-pub use suite::{build_extended_suite, build_suite, parallel_dataset, scale_spec, SlicedSuite};
+pub use suite::{
+    build_extended_suite, build_suite, parallel_dataset, scale_spec, verify_suite, SlicedSuite,
+};

@@ -45,6 +45,36 @@ pub fn build_extended_suite(seed: u64, scale: f64) -> Vec<Binary> {
         .collect()
 }
 
+/// How many labeled variables per binary the gate runs the slice-soundness
+/// oracle on (slicing twice per criterion is not free; a fixed prefix is
+/// enough to catch slicer regressions before a full run).
+const ORACLE_SAMPLE: usize = 8;
+
+/// Verifier gate: rejects a suite whose binaries fail the static verifier
+/// or whose slices violate the soundness oracle.
+///
+/// Run this before slicing/training — a malformed binary or an unsound
+/// slicer silently poisons every downstream table.
+///
+/// # Errors
+///
+/// Returns the rendered report of the first binary with verifier errors.
+pub fn verify_suite(binaries: &[Binary]) -> Result<(), String> {
+    for bin in binaries {
+        let criteria: Vec<tiara_ir::VarAddr> =
+            bin.debug.iter().take(ORACLE_SAMPLE).map(|r| r.addr).collect();
+        let report = tiara_verify::verify_with_slices(&bin.program, &criteria);
+        if report.has_errors() {
+            return Err(format!(
+                "verifier gate failed for `{}`:\n{}",
+                bin.name,
+                report.render_human(&bin.program)
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// Builds the labeled dataset of one binary, slicing variables in parallel
 /// across `threads` worker threads (the paper slices >100k addresses; even
 /// scaled down, parallel slicing keeps the harness responsive).
@@ -193,5 +223,13 @@ mod tests {
         assert_eq!(bins.len(), 8);
         assert_eq!(bins[0].name, "clang");
         assert!(bins.iter().all(|b| b.program.num_insts() > 0));
+    }
+
+    #[test]
+    fn verifier_gate_accepts_generated_suites() {
+        let bins = build_suite(7, 0.02);
+        verify_suite(&bins).expect("generated suite must pass the gate");
+        let ext = build_extended_suite(7, 0.05);
+        verify_suite(&ext).expect("extended suite must pass the gate");
     }
 }

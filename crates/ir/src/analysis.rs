@@ -25,7 +25,24 @@ pub enum FrameMode {
 /// describes.
 pub fn detect_frame_mode(prog: &Program, func: FuncId) -> FrameMode {
     let f = prog.func(func);
-    let insts: Vec<_> = f.inst_ids().take(4).map(|id| prog.inst(id)).collect();
+    // Scan the whole first basic block: instruction scheduling and
+    // interleaving noise can push `mov ebp, esp` past any fixed-size
+    // window, but a compiler never moves prologue setup across a
+    // control-flow boundary.
+    let mut insts = Vec::new();
+    for id in f.inst_ids() {
+        if id != f.entry() && prog.is_call_jump_target(id) {
+            break;
+        }
+        let inst = prog.inst(id);
+        insts.push(inst);
+        let ends_block = matches!(inst.kind, InstKind::Ret | InstKind::Call { .. })
+            || inst.opcode == Opcode::Jmp
+            || inst.opcode.is_conditional_jump();
+        if ends_block {
+            break;
+        }
+    }
 
     // `push ebp` followed (possibly after a scheduling gap) by `mov ebp, esp`.
     let mut saw_push_ebp = false;
@@ -142,6 +159,30 @@ mod tests {
         leaf_func(&mut b, "b");
         let p = b.finish().unwrap();
         assert!(frame_pointers_preserved(&p));
+    }
+
+    #[test]
+    fn frame_setup_is_found_past_a_fixed_window() {
+        // Interleaving noise between `push ebp` and `mov ebp, esp` used to
+        // defeat a 4-instruction scan; the first-basic-block scan does not
+        // care how far the scheduler pushed the frame setup.
+        let mut b = ProgramBuilder::new();
+        b.begin_func("noisy");
+        b.inst(Opcode::Push, InstKind::Push { src: Operand::reg(Reg::Ebp) });
+        for i in 0..5 {
+            b.inst(
+                Opcode::Mov,
+                InstKind::Mov { dst: Operand::reg(Reg::Eax), src: Operand::imm(i) },
+            );
+        }
+        b.inst(
+            Opcode::Mov,
+            InstKind::Mov { dst: Operand::reg(Reg::Ebp), src: Operand::reg(Reg::Esp) },
+        );
+        b.ret();
+        b.end_func();
+        let p = b.finish().unwrap();
+        assert_eq!(detect_frame_mode(&p, FuncId(0)), FrameMode::FramePointer);
     }
 
     #[test]

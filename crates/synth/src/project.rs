@@ -290,6 +290,21 @@ pub fn generate(spec: &ProjectSpec) -> Binary {
     helpers::emit_all(&mut b, &style);
 
     let program = b.finish().expect("generated program is well-formed");
+
+    // Debug builds self-validate every generated binary: the verifier's
+    // static passes must find no errors (warnings are allowed — projects
+    // with zero variables of a class leave that class's helper uncalled).
+    #[cfg(debug_assertions)]
+    {
+        let report = tiara_verify::verify(&program);
+        assert!(
+            !report.has_errors(),
+            "tiara-verify rejected generated project `{}`:\n{}",
+            spec.name,
+            report.render_human(&program)
+        );
+    }
+
     Binary { name: spec.name.clone(), program, debug }
 }
 

@@ -1,0 +1,311 @@
+//! CFG well-formedness: the structural pass every other pass depends on.
+//!
+//! Checks that the function table tiles the instruction list, that every
+//! flow/CFG edge targets a live instruction, that call and return edges pair
+//! up (a direct call's CFG edge goes to the callee entry, a `ret` edge goes
+//! back to a recorded call site of the function), that non-fall-through
+//! targets carry the jump-target mark, and that every function entry is
+//! reachable from the program entry.
+
+use crate::{Diagnostic, PassId};
+use std::collections::{HashMap, HashSet, VecDeque};
+use tiara_ir::{CallTarget, InstId, InstKind, Opcode, Program};
+
+pub(crate) fn run(prog: &Program) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let n = prog.num_insts();
+    let funcs = prog.funcs();
+
+    if funcs.is_empty() || n == 0 {
+        diags.push(Diagnostic::error(PassId::Cfg, "program has no functions or instructions"));
+        return diags;
+    }
+
+    // Function table: sorted, contiguous, non-empty ranges covering [0, n).
+    let mut expected = InstId(0);
+    let mut table_ok = true;
+    for (i, f) in funcs.iter().enumerate() {
+        if f.id.index() != i {
+            diags.push(Diagnostic::error(
+                PassId::Cfg,
+                format!("function table id mismatch: slot {} holds id {}", i, f.id.index()),
+            ));
+            table_ok = false;
+        }
+        if f.start != expected {
+            diags.push(
+                Diagnostic::error(
+                    PassId::Cfg,
+                    format!(
+                        "function table gap or overlap: `{}` starts at {} but {} was expected",
+                        f.name,
+                        f.start.index(),
+                        expected.index()
+                    ),
+                )
+                .in_func(f.id),
+            );
+            table_ok = false;
+        }
+        if f.end <= f.start {
+            diags.push(
+                Diagnostic::error(PassId::Cfg, format!("function `{}` is empty", f.name))
+                    .in_func(f.id),
+            );
+            table_ok = false;
+        }
+        expected = f.end;
+    }
+    if expected.index() != n {
+        diags.push(Diagnostic::error(
+            PassId::Cfg,
+            format!(
+                "function table covers {} of {} instructions",
+                expected.index(),
+                n
+            ),
+        ));
+        table_ok = false;
+    }
+    if !table_ok {
+        // Everything below walks functions' instruction ranges; bail out.
+        return diags;
+    }
+
+    // Every edge must target a live instruction. If any edge is out of
+    // bounds, bail before dereferencing successor ids below.
+    let mut bounds_ok = true;
+    for i in 0..n {
+        let id = InstId(i as u32);
+        for &s in prog.flow_succs(id).iter().chain(prog.cfg_succs(id)) {
+            if s.index() >= n {
+                diags.push(
+                    Diagnostic::error(
+                        PassId::Cfg,
+                        format!("edge targets dead instruction {} (program has {})", s.index(), n),
+                    )
+                    .in_func(prog.func_of(id))
+                    .at(id),
+                );
+                bounds_ok = false;
+            }
+        }
+    }
+    if !bounds_ok {
+        return diags;
+    }
+
+    // Valid return sites per callee: a `ret` in function F may only flow to
+    // the recorded return site of a direct call to F.
+    let mut ret_sites: HashMap<u32, HashSet<InstId>> = HashMap::new();
+    for i in 0..n {
+        let id = InstId(i as u32);
+        if let InstKind::Call { target: CallTarget::Direct(callee) } = &prog.inst(id).kind {
+            if let Some(site) = prog.return_site(id) {
+                ret_sites.entry(callee.0).or_default().insert(site);
+            }
+        }
+    }
+
+    for f in funcs {
+        for id in f.inst_ids() {
+            if prog.func_of(id) != f.id {
+                diags.push(
+                    Diagnostic::error(
+                        PassId::Cfg,
+                        format!("instruction maps to function {} in func_of", prog.func_of(id).index()),
+                    )
+                    .in_func(f.id)
+                    .at(id),
+                );
+                continue;
+            }
+            let inst = prog.inst(id);
+            match &inst.kind {
+                InstKind::Call { target: CallTarget::Direct(callee) } => {
+                    if callee.index() >= funcs.len() {
+                        diags.push(
+                            Diagnostic::error(
+                                PassId::Cfg,
+                                format!("direct call to unknown function {}", callee.index()),
+                            )
+                            .in_func(f.id)
+                            .at(id),
+                        );
+                        continue;
+                    }
+                    let entry = prog.func(*callee).entry();
+                    if !prog.cfg_succs(id).contains(&entry) {
+                        diags.push(
+                            Diagnostic::error(
+                                PassId::Cfg,
+                                format!(
+                                    "direct call lacks a CFG edge to `{}`'s entry",
+                                    prog.func(*callee).name
+                                ),
+                            )
+                            .in_func(f.id)
+                            .at(id),
+                        );
+                    }
+                }
+                InstKind::Ret => {
+                    let valid = ret_sites.get(&f.id.0);
+                    for &s in prog.cfg_succs(id) {
+                        if valid.map_or(true, |set| !set.contains(&s)) {
+                            diags.push(
+                                Diagnostic::error(
+                                    PassId::Cfg,
+                                    format!(
+                                        "return edge to {} does not match any call site of `{}`",
+                                        s.index(),
+                                        f.name
+                                    ),
+                                )
+                                .in_func(f.id)
+                                .at(id),
+                            );
+                        }
+                    }
+                }
+                _ => {
+                    // Intra-function flow only, and every non-fall-through
+                    // target must carry the jump-target mark (no dangling
+                    // labels).
+                    let next = InstId(id.0 + 1);
+                    for &s in prog.flow_succs(id) {
+                        if !f.contains(s) {
+                            diags.push(
+                                Diagnostic::error(
+                                    PassId::Cfg,
+                                    format!("control flow crosses out of `{}`", f.name),
+                                )
+                                .in_func(f.id)
+                                .at(id),
+                            );
+                        } else if s != next && !prog.is_call_jump_target(s) {
+                            diags.push(
+                                Diagnostic::error(
+                                    PassId::Cfg,
+                                    format!("jump target {} is not marked as one", s.index()),
+                                )
+                                .in_func(f.id)
+                                .at(id),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+
+        // A function whose last instruction can fall through runs off its
+        // own end. Calls are exempt: a trailing call to a noreturn routine
+        // is legal in real code.
+        let last = InstId(f.end.0 - 1);
+        let inst = prog.inst(last);
+        let terminates = matches!(inst.kind, InstKind::Ret | InstKind::Call { .. })
+            || inst.opcode == Opcode::Jmp;
+        if !terminates {
+            diags.push(
+                Diagnostic::warning(
+                    PassId::Cfg,
+                    format!("function `{}` may fall off its end", f.name),
+                )
+                .in_func(f.id)
+                .at(last),
+            );
+        }
+    }
+
+    // Reachability of function entries from the program entry, over the
+    // single CFG (call edges enter callees, ret edges return to call sites).
+    let mut seen = vec![false; n];
+    let mut queue = VecDeque::new();
+    let start = prog.entry();
+    if start.index() < n {
+        seen[start.index()] = true;
+        queue.push_back(start);
+    }
+    while let Some(id) = queue.pop_front() {
+        for &s in prog.cfg_succs(id) {
+            if !seen[s.index()] {
+                seen[s.index()] = true;
+                queue.push_back(s);
+            }
+        }
+    }
+    for f in funcs {
+        if !seen[f.entry().index()] {
+            diags.push(
+                Diagnostic::warning(
+                    PassId::Cfg,
+                    format!("function `{}` is unreachable from the entry point", f.name),
+                )
+                .in_func(f.id),
+            );
+        }
+    }
+
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiara_ir::{Opcode, Operand, ProgramBuilder, Reg};
+
+    fn ret_only(b: &mut ProgramBuilder, name: &str) {
+        b.begin_func(name);
+        b.inst(Opcode::Mov, InstKind::Mov {
+            dst: Operand::reg(Reg::Eax),
+            src: Operand::imm(0),
+        });
+        b.ret();
+        b.end_func();
+    }
+
+    #[test]
+    fn well_formed_program_is_clean() {
+        let mut b = ProgramBuilder::new();
+        b.begin_func("main");
+        b.call_named("callee");
+        b.ret();
+        b.end_func();
+        ret_only(&mut b, "callee");
+        b.set_entry("main");
+        let p = b.finish().unwrap();
+        assert!(run(&p).is_empty());
+    }
+
+    #[test]
+    fn unreachable_function_is_a_warning() {
+        let mut b = ProgramBuilder::new();
+        ret_only(&mut b, "main");
+        ret_only(&mut b, "orphan");
+        b.set_entry("main");
+        let p = b.finish().unwrap();
+        let diags = run(&p);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].severity, crate::Severity::Warning);
+        assert!(diags[0].message.contains("orphan"));
+    }
+
+    #[test]
+    fn jumps_and_loops_are_well_formed() {
+        let mut b = ProgramBuilder::new();
+        b.begin_func("loopy");
+        let top = b.new_label();
+        let done = b.new_label();
+        b.bind_label(top);
+        b.inst(Opcode::Cmp, InstKind::Use {
+            oprs: vec![Operand::imm(1), Operand::imm(2)],
+        });
+        b.jump(Opcode::Je, done);
+        b.jump(Opcode::Jmp, top);
+        b.bind_label(done);
+        b.ret();
+        b.end_func();
+        let p = b.finish().unwrap();
+        assert!(run(&p).is_empty());
+    }
+}

@@ -1,0 +1,235 @@
+//! Def-before-use register analysis over the intra-procedural CFG.
+//!
+//! A forward *must* dataflow: a register counts as defined at an instruction
+//! only if it is defined along **every** path reaching it from the function
+//! entry. Reads of must-undefined registers — the signature of interleaving
+//! or noise bugs in the generator — are errors.
+//!
+//! Modeling choices:
+//!
+//! * `ebp` and `esp` are defined at function entry (the ABI guarantees
+//!   both); all other registers start undefined.
+//! * calls define `eax`, `ecx`, `edx` (the x86 caller-saved set — callees
+//!   may clobber them, and `eax` carries return values).
+//! * `xor r, r` / `sub r, r` zero idioms define `r` without reading it.
+
+use crate::{Diagnostic, PassId};
+use std::collections::{HashMap, HashSet};
+use tiara_ir::{BinOp, CallTarget, InstKind, Operand, Program, Reg};
+
+type Mask = u8;
+
+fn bit(r: Reg) -> Mask {
+    1 << r.index()
+}
+
+fn operand_reads(o: Operand, out: &mut Vec<Reg>) {
+    match o {
+        Operand::Imm(_) => {}
+        Operand::Loc(loc) | Operand::Deref(loc) => {
+            if let Some(r) = loc.base_reg() {
+                out.push(r);
+            }
+        }
+    }
+}
+
+/// The registers `inst` reads and the mask of registers it defines.
+fn effects(kind: &InstKind) -> (Vec<Reg>, Mask) {
+    let mut reads = Vec::new();
+    let mut writes: Mask = 0;
+    match kind {
+        InstKind::Mov { dst, src } => {
+            operand_reads(*src, &mut reads);
+            match dst.as_reg() {
+                Some(r) => writes |= bit(r),
+                None => operand_reads(*dst, &mut reads),
+            }
+        }
+        InstKind::Op { op, dst, src } => {
+            let zeroing = matches!(op, BinOp::Xor | BinOp::Sub)
+                && dst.as_reg().is_some()
+                && dst.as_reg() == src.as_reg();
+            if !zeroing {
+                operand_reads(*src, &mut reads);
+                operand_reads(*dst, &mut reads); // read-modify-write
+            }
+            if let Some(r) = dst.as_reg() {
+                writes |= bit(r);
+            }
+        }
+        InstKind::Use { oprs } => {
+            for o in oprs {
+                operand_reads(*o, &mut reads);
+            }
+        }
+        InstKind::Push { src } => operand_reads(*src, &mut reads),
+        InstKind::Pop { dst } => match dst.as_reg() {
+            Some(r) => writes |= bit(r),
+            None => operand_reads(*dst, &mut reads),
+        },
+        InstKind::Call { target } => {
+            if let CallTarget::Indirect(o) = target {
+                operand_reads(*o, &mut reads);
+            }
+            writes |= bit(Reg::Eax) | bit(Reg::Ecx) | bit(Reg::Edx);
+        }
+        InstKind::Ret => {}
+    }
+    (reads, writes)
+}
+
+pub(crate) fn run(prog: &Program) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let entry_mask = bit(Reg::Ebp) | bit(Reg::Esp);
+
+    for f in prog.funcs() {
+        // Fixpoint: in_mask[i] = intersection over all reaching paths of the
+        // registers defined before i.
+        let mut in_mask: HashMap<u32, Mask> = HashMap::new();
+        let mut work = vec![(f.entry(), entry_mask)];
+        while let Some((id, incoming)) = work.pop() {
+            let cur = match in_mask.get(&id.0) {
+                Some(&old) => {
+                    let joined = old & incoming;
+                    if joined == old {
+                        continue;
+                    }
+                    in_mask.insert(id.0, joined);
+                    joined
+                }
+                None => {
+                    in_mask.insert(id.0, incoming);
+                    incoming
+                }
+            };
+            let (_, writes) = effects(&prog.inst(id).kind);
+            let out = cur | writes;
+            for &s in prog.flow_succs(id) {
+                if f.contains(s) {
+                    work.push((s, out));
+                }
+            }
+        }
+
+        // Report each (instruction, register) violation once.
+        let mut reported: HashSet<(u32, u8)> = HashSet::new();
+        for id in f.inst_ids() {
+            let Some(&mask) = in_mask.get(&id.0) else { continue };
+            let (reads, _) = effects(&prog.inst(id).kind);
+            for r in reads {
+                if mask & bit(r) == 0 && reported.insert((id.0, r.index() as u8)) {
+                    diags.push(
+                        Diagnostic::error(
+                            PassId::DefBeforeUse,
+                            format!("register {r} may be read before it is defined"),
+                        )
+                        .in_func(f.id)
+                        .at(id),
+                    );
+                }
+            }
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiara_ir::{Opcode, ProgramBuilder};
+
+    #[test]
+    fn read_of_undefined_register_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        b.begin_func("f");
+        b.inst(Opcode::Mov, InstKind::Mov {
+            dst: Operand::reg(Reg::Ebx),
+            src: Operand::reg(Reg::Eax), // eax never defined
+        });
+        b.ret();
+        b.end_func();
+        let p = b.finish().unwrap();
+        let diags = run(&p);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("eax"));
+    }
+
+    #[test]
+    fn defs_cover_later_reads() {
+        let mut b = ProgramBuilder::new();
+        b.begin_func("f");
+        b.inst(Opcode::Mov, InstKind::Mov {
+            dst: Operand::reg(Reg::Eax),
+            src: Operand::imm(3),
+        });
+        b.inst(Opcode::Mov, InstKind::Mov {
+            dst: Operand::reg(Reg::Ebx),
+            src: Operand::mem_reg(Reg::Eax, 4),
+        });
+        b.ret();
+        b.end_func();
+        let p = b.finish().unwrap();
+        assert!(run(&p).is_empty());
+    }
+
+    #[test]
+    fn zero_idiom_defines_without_reading() {
+        let mut b = ProgramBuilder::new();
+        b.begin_func("f");
+        b.inst(Opcode::Xor, InstKind::Op {
+            op: BinOp::Xor,
+            dst: Operand::reg(Reg::Ecx),
+            src: Operand::reg(Reg::Ecx),
+        });
+        b.inst(Opcode::Mov, InstKind::Mov {
+            dst: Operand::reg(Reg::Edx),
+            src: Operand::reg(Reg::Ecx),
+        });
+        b.ret();
+        b.end_func();
+        let p = b.finish().unwrap();
+        assert!(run(&p).is_empty());
+    }
+
+    #[test]
+    fn one_armed_def_does_not_survive_the_join() {
+        // esi is defined on the fall path only; reading it after the merge
+        // is a must-undefined read.
+        let mut b = ProgramBuilder::new();
+        b.begin_func("f");
+        let merge = b.new_label();
+        b.inst(Opcode::Cmp, InstKind::Use {
+            oprs: vec![Operand::imm(1), Operand::imm(2)],
+        });
+        b.jump(Opcode::Je, merge);
+        b.inst(Opcode::Mov, InstKind::Mov {
+            dst: Operand::reg(Reg::Esi),
+            src: Operand::imm(7),
+        });
+        b.bind_label(merge);
+        b.inst(Opcode::Push, InstKind::Push { src: Operand::reg(Reg::Esi) });
+        b.inst(Opcode::Pop, InstKind::Pop { dst: Operand::reg(Reg::Esi) });
+        b.ret();
+        b.end_func();
+        let p = b.finish().unwrap();
+        let diags = run(&p);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("esi"));
+    }
+
+    #[test]
+    fn calls_define_the_caller_saved_set() {
+        let mut b = ProgramBuilder::new();
+        b.begin_func("f");
+        b.call_extern(tiara_ir::ExternKind::Malloc);
+        b.inst(Opcode::Mov, InstKind::Mov {
+            dst: Operand::reg(Reg::Ebx),
+            src: Operand::reg(Reg::Eax),
+        });
+        b.ret();
+        b.end_func();
+        let p = b.finish().unwrap();
+        assert!(run(&p).is_empty());
+    }
+}

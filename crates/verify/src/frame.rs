@@ -1,0 +1,125 @@
+//! Frame-mode consistency.
+//!
+//! [`tiara_ir::detect_frame_mode`] classifies every function as
+//! frame-pointer, frame-pointer-omitted (`/Oy`), or unknown. In an omitted
+//! function `ebp` holds no frame, so an `ebp`-relative memory access (a
+//! dereference through `ebp`, or taking the address `ebp + offset`) is
+//! either a generator bug or a misclassification — both poison TSLICE's
+//! frame tracking, which strongly trusts `fp`.
+
+use crate::{Diagnostic, PassId};
+use tiara_ir::{detect_frame_mode, FrameMode, Operand, Program, Reg};
+
+pub(crate) fn run(prog: &Program) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for f in prog.funcs() {
+        if detect_frame_mode(prog, f.id) != FrameMode::Omitted {
+            continue;
+        }
+        'insts: for id in f.inst_ids() {
+            for o in prog.inst(id).kind.operands() {
+                let frame_relative = match o {
+                    Operand::Deref(loc) => loc.base_reg() == Some(Reg::Ebp),
+                    Operand::Loc(loc) => loc.base_reg() == Some(Reg::Ebp) && loc.offset != 0,
+                    Operand::Imm(_) => false,
+                };
+                if frame_relative {
+                    diags.push(
+                        Diagnostic::error(
+                            PassId::FrameMode,
+                            format!(
+                                "ebp-relative access inside frame-pointer-omitted function `{}`",
+                                f.name
+                            ),
+                        )
+                        .in_func(f.id)
+                        .at(id),
+                    );
+                    // One finding per function is enough to flag it.
+                    break 'insts;
+                }
+            }
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiara_ir::{BinOp, InstKind, Opcode, ProgramBuilder};
+
+    #[test]
+    fn fpo_function_with_ebp_access_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        b.begin_func("fpo");
+        b.inst(Opcode::Sub, InstKind::Op {
+            op: BinOp::Sub,
+            dst: Operand::reg(Reg::Esp),
+            src: Operand::imm(0x10),
+        });
+        b.inst(Opcode::Mov, InstKind::Mov {
+            dst: Operand::reg(Reg::Eax),
+            src: Operand::mem_reg(Reg::Ebp, 8), // bug: no ebp frame exists
+        });
+        b.inst(Opcode::Add, InstKind::Op {
+            op: BinOp::Add,
+            dst: Operand::reg(Reg::Esp),
+            src: Operand::imm(0x10),
+        });
+        b.ret();
+        b.end_func();
+        let p = b.finish().unwrap();
+        let diags = run(&p);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("fpo"));
+    }
+
+    #[test]
+    fn fpo_function_with_esp_accesses_is_clean() {
+        let mut b = ProgramBuilder::new();
+        b.begin_func("fpo");
+        b.inst(Opcode::Sub, InstKind::Op {
+            op: BinOp::Sub,
+            dst: Operand::reg(Reg::Esp),
+            src: Operand::imm(0x10),
+        });
+        b.inst(Opcode::Mov, InstKind::Mov {
+            dst: Operand::reg(Reg::Eax),
+            src: Operand::mem_reg(Reg::Esp, 4),
+        });
+        b.inst(Opcode::Add, InstKind::Op {
+            op: BinOp::Add,
+            dst: Operand::reg(Reg::Esp),
+            src: Operand::imm(0x10),
+        });
+        b.ret();
+        b.end_func();
+        let p = b.finish().unwrap();
+        assert!(run(&p).is_empty());
+    }
+
+    #[test]
+    fn framed_function_may_use_ebp_freely() {
+        let mut b = ProgramBuilder::new();
+        b.begin_func("framed");
+        b.inst(Opcode::Push, InstKind::Push { src: Operand::reg(Reg::Ebp) });
+        b.inst(Opcode::Mov, InstKind::Mov {
+            dst: Operand::reg(Reg::Ebp),
+            src: Operand::reg(Reg::Esp),
+        });
+        b.inst(Opcode::Mov, InstKind::Mov {
+            dst: Operand::reg(Reg::Eax),
+            src: Operand::mem_reg(Reg::Ebp, 8),
+        });
+        b.inst(Opcode::Mov, InstKind::Mov {
+            dst: Operand::reg(Reg::Esp),
+            src: Operand::reg(Reg::Ebp),
+        });
+        b.inst(Opcode::Pop, InstKind::Pop { dst: Operand::reg(Reg::Ebp) });
+        b.ret();
+        b.end_func();
+        let p = b.finish().unwrap();
+        assert!(run(&p).is_empty());
+    }
+}

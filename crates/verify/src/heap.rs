@@ -1,0 +1,316 @@
+//! Heap-discipline type-state check.
+//!
+//! Tracks allocation "tokens" — the `eax` results of calls that allocate
+//! (`malloc`/`realloc` externs and generated allocator helpers such as
+//! `_List_buynode`) — through register moves along straight-line code, and
+//! reports:
+//!
+//! * **double free** (error): a token passed to `free` twice,
+//! * **use after free** (error): a dereference through a freed token,
+//! * **leak** (warning): the sole register holding a token that never
+//!   escaped to memory and was never dereferenced is overwritten.
+//!
+//! The analysis is deliberately straight-line: all state is dropped at every
+//! join point (jump/call target) and after unconditional jumps, so it never
+//! has to reason about merges — which keeps it free of false positives on
+//! the generator's output, where allocation and escape happen inside one
+//! basic block. The cdecl argument of a `free` call is recovered as the
+//! nearest preceding `push` of a plain register.
+
+use crate::{Diagnostic, PassId};
+use tiara_ir::{FuncId, InstKind, Opcode, Program, Reg};
+
+#[derive(Debug, Clone, Copy)]
+struct Token {
+    freed: bool,
+    escaped: bool,
+    used: bool,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    tokens: Vec<Token>,
+    /// Register → token index.
+    regs: [Option<usize>; 8],
+    /// Pending cdecl argument pushes (token index if a token was pushed).
+    pushes: Vec<Option<usize>>,
+}
+
+impl State {
+    fn reset(&mut self) {
+        self.tokens.clear();
+        self.regs = [None; 8];
+        self.pushes.clear();
+    }
+
+    /// Leak check before the binding of `r` is destroyed.
+    fn overwrite(&mut self, r: Reg, diags: &mut Vec<Diagnostic>, func: FuncId, at: tiara_ir::InstId) {
+        if let Some(t) = self.regs[r.index()] {
+            let tok = self.tokens[t];
+            let sole = self.regs.iter().filter(|b| **b == Some(t)).count() == 1
+                && !self.pushes.contains(&Some(t));
+            if sole && !tok.freed && !tok.escaped && !tok.used {
+                diags.push(
+                    Diagnostic::warning(
+                        PassId::HeapDiscipline,
+                        format!("allocation leaked: sole pointer in {r} overwritten unused"),
+                    )
+                    .in_func(func)
+                    .at(at),
+                );
+            }
+        }
+        self.regs[r.index()] = None;
+    }
+}
+
+pub(crate) fn run(prog: &Program) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for f in prog.funcs() {
+        let mut st = State::default();
+        for id in f.inst_ids() {
+            // Joins invalidate everything: state from one straight-line
+            // window must not leak into a merge of several paths.
+            if prog.is_call_jump_target(id) {
+                st.reset();
+            }
+            let inst = prog.inst(id);
+
+            // Dereferences through tracked registers: use-after-free check,
+            // and mark the token as used.
+            for o in inst.kind.operands() {
+                if let Some((r, _)) = o.deref_reg() {
+                    if let Some(t) = st.regs[r.index()] {
+                        if st.tokens[t].freed {
+                            diags.push(
+                                Diagnostic::error(
+                                    PassId::HeapDiscipline,
+                                    format!("use after free: dereference through {r}"),
+                                )
+                                .in_func(f.id)
+                                .at(id),
+                            );
+                        } else {
+                            st.tokens[t].used = true;
+                        }
+                    }
+                }
+            }
+
+            match &inst.kind {
+                InstKind::Push { src } => {
+                    let t = src.as_reg().and_then(|r| st.regs[r.index()]);
+                    if let Some(t) = t {
+                        // Passed as an argument: treat as escaped.
+                        st.tokens[t].escaped = true;
+                    }
+                    st.pushes.push(t);
+                }
+                InstKind::Pop { dst } => {
+                    st.pushes.pop();
+                    if let Some(r) = dst.as_reg() {
+                        st.regs[r.index()] = None;
+                    }
+                }
+                InstKind::Mov { dst, src } => {
+                    match (dst.as_reg(), src.as_reg()) {
+                        (Some(rd), Some(rs)) => {
+                            let t = st.regs[rs.index()];
+                            if st.regs[rd.index()] != t {
+                                st.overwrite(rd, &mut diags, f.id, id);
+                            }
+                            st.regs[rd.index()] = t;
+                        }
+                        (Some(rd), None) => {
+                            st.overwrite(rd, &mut diags, f.id, id);
+                        }
+                        (None, Some(rs)) => {
+                            // Store of a token into memory: it escaped.
+                            if let Some(t) = st.regs[rs.index()] {
+                                st.tokens[t].escaped = true;
+                            }
+                        }
+                        (None, None) => {}
+                    }
+                }
+                InstKind::Op { op, dst, src } => {
+                    if let Some(rd) = dst.as_reg() {
+                        let zeroing = matches!(op, tiara_ir::BinOp::Xor | tiara_ir::BinOp::Sub)
+                            && dst.as_reg() == src.as_reg();
+                        if zeroing {
+                            st.overwrite(rd, &mut diags, f.id, id);
+                        } else if let Some(t) = st.regs[rd.index()] {
+                            // Pointer arithmetic keeps the binding.
+                            st.tokens[t].used = true;
+                        }
+                    }
+                }
+                InstKind::Call { .. } => {
+                    if prog.call_frees(id) {
+                        if let Some(&Some(t)) = st.pushes.last() {
+                            if st.tokens[t].freed {
+                                diags.push(
+                                    Diagnostic::error(
+                                        PassId::HeapDiscipline,
+                                        "double free of the same allocation".to_string(),
+                                    )
+                                    .in_func(f.id)
+                                    .at(id),
+                                );
+                            } else {
+                                st.tokens[t].freed = true;
+                            }
+                        }
+                    }
+                    // Caller-saved registers are clobbered by any call.
+                    for r in [Reg::Eax, Reg::Ecx, Reg::Edx] {
+                        st.regs[r.index()] = None;
+                    }
+                    if prog.call_allocates(id) {
+                        st.tokens.push(Token { freed: false, escaped: false, used: false });
+                        st.regs[Reg::Eax.index()] = Some(st.tokens.len() - 1);
+                    }
+                    // The pending pushes were consumed (or are about to be
+                    // cleaned by the caller); bindings past a call are stale.
+                    st.pushes.clear();
+                }
+                InstKind::Ret | InstKind::Use { .. } => {}
+            }
+
+            // Leaving straight-line code: an unconditional jump's textual
+            // successor is a different path.
+            if inst.opcode == Opcode::Jmp || matches!(inst.kind, InstKind::Ret) {
+                st.reset();
+            }
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Severity;
+    use tiara_ir::{BinOp, ExternKind, Operand, ProgramBuilder};
+
+    /// `push <size>; call malloc; add esp, 4` — result token in eax.
+    fn malloc(b: &mut ProgramBuilder, size: i64) {
+        b.inst(Opcode::Push, InstKind::Push { src: Operand::imm(size) });
+        b.call_extern(ExternKind::Malloc);
+        b.inst(Opcode::Add, InstKind::Op {
+            op: BinOp::Add,
+            dst: Operand::reg(Reg::Esp),
+            src: Operand::imm(4),
+        });
+    }
+
+    /// `push r; call free; add esp, 4`.
+    fn free_reg(b: &mut ProgramBuilder, r: Reg) {
+        b.inst(Opcode::Push, InstKind::Push { src: Operand::reg(r) });
+        b.call_extern(ExternKind::Free);
+        b.inst(Opcode::Add, InstKind::Op {
+            op: BinOp::Add,
+            dst: Operand::reg(Reg::Esp),
+            src: Operand::imm(4),
+        });
+    }
+
+    #[test]
+    fn double_free_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        b.begin_func("f");
+        malloc(&mut b, 12);
+        b.inst(Opcode::Mov, InstKind::Mov {
+            dst: Operand::reg(Reg::Ebx),
+            src: Operand::reg(Reg::Eax),
+        });
+        free_reg(&mut b, Reg::Ebx);
+        free_reg(&mut b, Reg::Ebx);
+        b.ret();
+        b.end_func();
+        let p = b.finish().unwrap();
+        let diags = run(&p);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].severity, Severity::Error);
+        assert!(diags[0].message.contains("double free"));
+    }
+
+    #[test]
+    fn use_after_free_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        b.begin_func("f");
+        malloc(&mut b, 12);
+        b.inst(Opcode::Mov, InstKind::Mov {
+            dst: Operand::reg(Reg::Ebx),
+            src: Operand::reg(Reg::Eax),
+        });
+        free_reg(&mut b, Reg::Ebx);
+        b.inst(Opcode::Mov, InstKind::Mov {
+            dst: Operand::reg(Reg::Ecx),
+            src: Operand::mem_reg(Reg::Ebx, 0),
+        });
+        b.ret();
+        b.end_func();
+        let p = b.finish().unwrap();
+        let diags = run(&p);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("use after free"));
+    }
+
+    #[test]
+    fn discarded_allocation_is_a_leak_warning() {
+        let mut b = ProgramBuilder::new();
+        b.begin_func("f");
+        malloc(&mut b, 8);
+        b.inst(Opcode::Mov, InstKind::Mov {
+            dst: Operand::reg(Reg::Eax),
+            src: Operand::imm(0),
+        });
+        b.ret();
+        b.end_func();
+        let p = b.finish().unwrap();
+        let diags = run(&p);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].severity, Severity::Warning);
+        assert!(diags[0].message.contains("leaked"));
+    }
+
+    #[test]
+    fn escaped_allocation_is_clean() {
+        let mut b = ProgramBuilder::new();
+        b.begin_func("f");
+        malloc(&mut b, 8);
+        b.inst(Opcode::Mov, InstKind::Mov {
+            dst: Operand::mem_abs(0x100000u64, 0),
+            src: Operand::reg(Reg::Eax),
+        });
+        b.inst(Opcode::Mov, InstKind::Mov {
+            dst: Operand::reg(Reg::Eax),
+            src: Operand::imm(0),
+        });
+        b.ret();
+        b.end_func();
+        let p = b.finish().unwrap();
+        assert!(run(&p).is_empty());
+    }
+
+    #[test]
+    fn malloc_store_free_roundtrip_is_clean() {
+        let mut b = ProgramBuilder::new();
+        b.begin_func("f");
+        malloc(&mut b, 16);
+        b.inst(Opcode::Mov, InstKind::Mov {
+            dst: Operand::mem_reg(Reg::Eax, 0),
+            src: Operand::imm(1),
+        });
+        b.inst(Opcode::Mov, InstKind::Mov {
+            dst: Operand::reg(Reg::Esi),
+            src: Operand::reg(Reg::Eax),
+        });
+        free_reg(&mut b, Reg::Esi);
+        b.ret();
+        b.end_func();
+        let p = b.finish().unwrap();
+        assert!(run(&p).is_empty());
+    }
+}

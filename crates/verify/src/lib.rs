@@ -1,0 +1,343 @@
+//! # tiara-verify
+//!
+//! A multi-pass static-analysis verifier for [`tiara_ir`] programs, plus
+//! slice-soundness oracles for the TSLICE/SSLICE slicers.
+//!
+//! TSLICE's correctness silently depends on invariants nobody else checks:
+//! the synthetic generator must emit well-formed CFGs, stack traffic must
+//! balance for the stack map `S` to be meaningful, and every TSLICE output
+//! must be a connected sub-CFG contained in its SSLICE counterpart. This
+//! crate makes those invariants machine-checkable so generator and slicer
+//! regressions are caught before they poison training data.
+//!
+//! ## Passes
+//!
+//! | pass | checks |
+//! |------|--------|
+//! | `cfg` | edges target live instructions, call/return edges pair up, function table tiles the program, jump targets are marked, every function entry is reachable |
+//! | `stack-balance` | push/pop depth balances on every path through a function |
+//! | `def-before-use` | no register is read before it is defined on every path |
+//! | `heap-discipline` | malloc results are not freed twice, used after free, or trivially leaked |
+//! | `frame-mode` | no `ebp`-relative accesses inside frame-pointer-omitted functions |
+//! | `slice-oracle` | TSLICE outputs are connected sub-CFGs, trace faith is monotone, TSLICE ⊆ SSLICE |
+//!
+//! ## Example
+//!
+//! ```
+//! use tiara_ir::{InstKind, Opcode, Operand, ProgramBuilder, Reg};
+//!
+//! let mut b = ProgramBuilder::new();
+//! b.begin_func("f");
+//! b.inst(Opcode::Push, InstKind::Push { src: Operand::reg(Reg::Ebp) });
+//! b.ret(); // returns with one word still pushed
+//! b.end_func();
+//! let prog = b.finish().unwrap();
+//!
+//! let report = tiara_verify::verify(&prog);
+//! assert!(report.has_errors());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod cfg;
+mod defuse;
+mod frame;
+mod heap;
+mod oracle;
+mod stack;
+
+pub use oracle::{check_slice, check_trace_monotone, check_tslice_in_sslice, verify_slices};
+
+use tiara_ir::{FuncId, InstId, Program, VarAddr};
+
+/// Identifies the verifier pass that produced a diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PassId {
+    /// CFG well-formedness.
+    Cfg,
+    /// Per-function stack-balance analysis.
+    StackBalance,
+    /// Def-before-use register analysis.
+    DefBeforeUse,
+    /// Heap-discipline type-state check.
+    HeapDiscipline,
+    /// Frame-mode consistency.
+    FrameMode,
+    /// Slice-soundness oracle.
+    SliceOracle,
+}
+
+impl PassId {
+    /// Stable, kebab-case pass name used in human and JSON output.
+    pub fn name(self) -> &'static str {
+        match self {
+            PassId::Cfg => "cfg",
+            PassId::StackBalance => "stack-balance",
+            PassId::DefBeforeUse => "def-before-use",
+            PassId::HeapDiscipline => "heap-discipline",
+            PassId::FrameMode => "frame-mode",
+            PassId::SliceOracle => "slice-oracle",
+        }
+    }
+}
+
+/// How severe a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Suspicious but not necessarily wrong (e.g. an unreachable function).
+    Warning,
+    /// A violated invariant: the program or slice is malformed.
+    Error,
+}
+
+impl Severity {
+    /// `"warning"` or `"error"`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// One finding of a verifier pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// The pass that found it.
+    pub pass: PassId,
+    /// Error or warning.
+    pub severity: Severity,
+    /// The function it is located in, if any.
+    pub func: Option<FuncId>,
+    /// The instruction it is located at, if any.
+    pub inst: Option<InstId>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Creates an error diagnostic with no location.
+    pub fn error(pass: PassId, message: impl Into<String>) -> Diagnostic {
+        Diagnostic { pass, severity: Severity::Error, func: None, inst: None, message: message.into() }
+    }
+
+    /// Creates a warning diagnostic with no location.
+    pub fn warning(pass: PassId, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            pass,
+            severity: Severity::Warning,
+            func: None,
+            inst: None,
+            message: message.into(),
+        }
+    }
+
+    /// Attaches a function location.
+    pub fn in_func(mut self, func: FuncId) -> Diagnostic {
+        self.func = Some(func);
+        self
+    }
+
+    /// Attaches an instruction location.
+    pub fn at(mut self, inst: InstId) -> Diagnostic {
+        self.inst = Some(inst);
+        self
+    }
+}
+
+/// The result of running the verifier: every diagnostic found, in pass order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Report {
+    /// All diagnostics, grouped by pass in the order the passes ran.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// Number of error-severity diagnostics.
+    pub fn num_errors(&self) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity == Severity::Error).count()
+    }
+
+    /// Number of warning-severity diagnostics.
+    pub fn num_warnings(&self) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity == Severity::Warning).count()
+    }
+
+    /// `true` if any error was found.
+    pub fn has_errors(&self) -> bool {
+        self.num_errors() > 0
+    }
+
+    /// `true` if nothing at all was found.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Renders the report as human-readable text, one diagnostic per line,
+    /// resolving function names and instruction addresses against `prog`.
+    pub fn render_human(&self, prog: &Program) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(d.severity.name());
+            out.push('[');
+            out.push_str(d.pass.name());
+            out.push(']');
+            if let Some(f) = d.func {
+                if f.index() < prog.funcs().len() {
+                    out.push_str(&format!(" {}", prog.func(f).name));
+                } else {
+                    out.push_str(&format!(" <func {}>", f.index()));
+                }
+            }
+            if let Some(i) = d.inst {
+                if i.index() < prog.num_insts() {
+                    out.push_str(&format!(" @ {:#010x}", prog.inst(i).addr));
+                } else {
+                    out.push_str(&format!(" @ inst {}", i.index()));
+                }
+            }
+            out.push_str(": ");
+            out.push_str(&d.message);
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{} error(s), {} warning(s)\n",
+            self.num_errors(),
+            self.num_warnings()
+        ));
+        out
+    }
+
+    /// Renders the report as a JSON object (no external dependencies — the
+    /// output is plain, escaped JSON suitable for machine consumption).
+    pub fn render_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\"errors\":{},\"warnings\":{},\"diagnostics\":[",
+            self.num_errors(),
+            self.num_warnings()
+        ));
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"pass\":\"{}\",\"severity\":\"{}\",",
+                d.pass.name(),
+                d.severity.name()
+            ));
+            match d.func {
+                Some(f) => out.push_str(&format!("\"func\":{},", f.index())),
+                None => out.push_str("\"func\":null,"),
+            }
+            match d.inst {
+                Some(i) => out.push_str(&format!("\"inst\":{},", i.index())),
+                None => out.push_str("\"inst\":null,"),
+            }
+            out.push_str(&format!("\"message\":\"{}\"}}", escape_json(&d.message)));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Runs the five static passes over a program.
+///
+/// If the CFG pass finds structural errors the remaining passes are skipped:
+/// they assume a sane instruction/function layout and would either panic or
+/// produce noise on a malformed program.
+pub fn verify(prog: &Program) -> Report {
+    let mut diagnostics = cfg::run(prog);
+    let structural = diagnostics.iter().any(|d| d.severity == Severity::Error);
+    if !structural {
+        diagnostics.extend(stack::run(prog));
+        diagnostics.extend(defuse::run(prog));
+        diagnostics.extend(heap::run(prog));
+        diagnostics.extend(frame::run(prog));
+    }
+    Report { diagnostics }
+}
+
+/// Runs the five static passes, then the slice-soundness oracle for each
+/// criterion in `criteria` (skipped when the static passes already found
+/// errors — slicing a malformed program proves nothing).
+pub fn verify_with_slices(prog: &Program, criteria: &[VarAddr]) -> Report {
+    let mut report = verify(prog);
+    if !report.has_errors() {
+        report.diagnostics.extend(oracle::verify_slices(prog, criteria));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiara_ir::{InstKind, Opcode, Operand, ProgramBuilder, Reg};
+
+    fn balanced_func(b: &mut ProgramBuilder, name: &str) {
+        b.begin_func(name);
+        b.inst(Opcode::Push, InstKind::Push { src: Operand::reg(Reg::Ebp) });
+        b.inst(
+            Opcode::Mov,
+            InstKind::Mov { dst: Operand::reg(Reg::Ebp), src: Operand::reg(Reg::Esp) },
+        );
+        b.inst(
+            Opcode::Mov,
+            InstKind::Mov { dst: Operand::reg(Reg::Esp), src: Operand::reg(Reg::Ebp) },
+        );
+        b.inst(Opcode::Pop, InstKind::Pop { dst: Operand::reg(Reg::Ebp) });
+        b.ret();
+        b.end_func();
+    }
+
+    #[test]
+    fn clean_program_produces_clean_report() {
+        let mut b = ProgramBuilder::new();
+        balanced_func(&mut b, "main");
+        let p = b.finish().unwrap();
+        let report = verify(&p);
+        assert!(report.is_clean(), "{}", report.render_human(&p));
+    }
+
+    #[test]
+    fn report_renders_both_formats() {
+        let mut b = ProgramBuilder::new();
+        b.begin_func("bad");
+        b.inst(Opcode::Push, InstKind::Push { src: Operand::reg(Reg::Eax) });
+        b.ret();
+        b.end_func();
+        let p = b.finish().unwrap();
+        let report = verify(&p);
+        assert!(report.has_errors());
+        let human = report.render_human(&p);
+        assert!(human.contains("error[stack-balance]"));
+        assert!(human.contains("bad"));
+        let json = report.render_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"pass\":\"stack-balance\""));
+        assert!(json.contains("\"severity\":\"error\""));
+    }
+
+    #[test]
+    fn json_escaping_handles_quotes_and_controls() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
+    }
+}

@@ -1,0 +1,246 @@
+//! Per-function stack-balance analysis.
+//!
+//! TSLICE's stack map `S` keys abstract stack slots off the depth of `esp`
+//! relative to the function entry, so unbalanced push/pop traffic silently
+//! corrupts slices. This pass runs a forward worklist over the
+//! intra-procedural flow relation tracking the byte depth pushed since the
+//! function entry, and reports:
+//!
+//! * a `ret` reached at non-zero depth (unbalanced push/pop),
+//! * a `pop` below the entry depth (stack underflow),
+//! * two paths meeting at one instruction with different depths.
+//!
+//! The analysis cuts at indirect calls (the generator uses them for noreturn
+//! error paths such as `_Xlength_error`, so the fall-through may be dead)
+//! and at any write to `esp` it cannot model.
+
+use crate::{Diagnostic, PassId};
+use std::collections::HashMap;
+use tiara_ir::{BinOp, CallTarget, InstKind, Operand, Program, Reg};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct St {
+    /// Bytes pushed since function entry.
+    depth: i64,
+    /// Depth captured by `mov ebp, esp`, restored by `mov esp, ebp`.
+    captured: Option<i64>,
+}
+
+pub(crate) fn run(prog: &Program) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for f in prog.funcs() {
+        let mut states: HashMap<u32, St> = HashMap::new();
+        let mut work = vec![(f.entry(), St { depth: 0, captured: None })];
+        let mut merge_reported = false;
+
+        while let Some((id, st)) = work.pop() {
+            match states.get(&id.0) {
+                Some(prev) => {
+                    if *prev != st && !merge_reported {
+                        diags.push(
+                            Diagnostic::error(
+                                PassId::StackBalance,
+                                format!(
+                                    "paths meet with different stack depths ({} vs {})",
+                                    prev.depth, st.depth
+                                ),
+                            )
+                            .in_func(f.id)
+                            .at(id),
+                        );
+                        merge_reported = true;
+                    }
+                    continue;
+                }
+                None => {
+                    states.insert(id.0, st);
+                }
+            }
+
+            let inst = prog.inst(id);
+            let mut st = st;
+            match &inst.kind {
+                InstKind::Push { .. } => st.depth += 4,
+                InstKind::Pop { .. } => {
+                    st.depth -= 4;
+                    if st.depth < 0 {
+                        diags.push(
+                            Diagnostic::error(
+                                PassId::StackBalance,
+                                "pop below the function entry depth".to_string(),
+                            )
+                            .in_func(f.id)
+                            .at(id),
+                        );
+                        continue;
+                    }
+                }
+                InstKind::Op { op, dst, src } if dst.as_reg() == Some(Reg::Esp) => {
+                    match (op, src) {
+                        (BinOp::Sub, Operand::Imm(k)) => st.depth += *k,
+                        (BinOp::Add, Operand::Imm(k)) => st.depth -= *k,
+                        // Any other arithmetic on esp is beyond the model.
+                        _ => continue,
+                    }
+                }
+                InstKind::Mov { dst, src }
+                    if dst.as_reg() == Some(Reg::Ebp) && src.as_reg() == Some(Reg::Esp) =>
+                {
+                    st.captured = Some(st.depth);
+                }
+                InstKind::Mov { dst, src }
+                    if dst.as_reg() == Some(Reg::Esp) && src.as_reg() == Some(Reg::Ebp) =>
+                {
+                    match st.captured {
+                        Some(d) => st.depth = d,
+                        // Restoring esp from an uncaptured ebp: cut.
+                        None => continue,
+                    }
+                }
+                InstKind::Mov { dst, .. } if dst.as_reg() == Some(Reg::Esp) => {
+                    // Unknown esp write: cut.
+                    continue;
+                }
+                InstKind::Call { target: CallTarget::Indirect(_) } => {
+                    // May be a noreturn error path; the fall-through can be
+                    // dead, so do not constrain it.
+                    continue;
+                }
+                InstKind::Call { .. } => {
+                    // cdecl: the callee pops only the return address; args
+                    // are cleaned by the caller after the call.
+                }
+                InstKind::Ret => {
+                    if st.depth != 0 {
+                        diags.push(
+                            Diagnostic::error(
+                                PassId::StackBalance,
+                                format!("returns with unbalanced stack (depth {})", st.depth),
+                            )
+                            .in_func(f.id)
+                            .at(id),
+                        );
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+
+            for &s in prog.flow_succs(id) {
+                if f.contains(s) {
+                    work.push((s, st));
+                }
+            }
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Severity;
+    use tiara_ir::{Opcode, ProgramBuilder};
+
+    fn push(b: &mut ProgramBuilder, r: Reg) {
+        b.inst(Opcode::Push, InstKind::Push { src: Operand::reg(r) });
+    }
+
+    fn pop(b: &mut ProgramBuilder, r: Reg) {
+        b.inst(Opcode::Pop, InstKind::Pop { dst: Operand::reg(r) });
+    }
+
+    #[test]
+    fn prologue_epilogue_balances() {
+        let mut b = ProgramBuilder::new();
+        b.begin_func("f");
+        push(&mut b, Reg::Ebp);
+        b.inst(Opcode::Mov, InstKind::Mov {
+            dst: Operand::reg(Reg::Ebp),
+            src: Operand::reg(Reg::Esp),
+        });
+        b.inst(Opcode::Sub, InstKind::Op {
+            op: BinOp::Sub,
+            dst: Operand::reg(Reg::Esp),
+            src: Operand::imm(0x20),
+        });
+        push(&mut b, Reg::Esi);
+        pop(&mut b, Reg::Esi);
+        // `leave`-style epilogue: esp restored from ebp, then pop.
+        b.inst(Opcode::Leave, InstKind::Mov {
+            dst: Operand::reg(Reg::Esp),
+            src: Operand::reg(Reg::Ebp),
+        });
+        pop(&mut b, Reg::Ebp);
+        b.ret();
+        b.end_func();
+        let p = b.finish().unwrap();
+        assert!(run(&p).is_empty());
+    }
+
+    #[test]
+    fn unbalanced_push_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        b.begin_func("f");
+        push(&mut b, Reg::Ebp);
+        b.ret();
+        b.end_func();
+        let p = b.finish().unwrap();
+        let diags = run(&p);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].severity, Severity::Error);
+        assert!(diags[0].message.contains("unbalanced"));
+    }
+
+    #[test]
+    fn underflow_pop_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        b.begin_func("f");
+        pop(&mut b, Reg::Eax);
+        b.ret();
+        b.end_func();
+        let p = b.finish().unwrap();
+        let diags = run(&p);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("below the function entry"));
+    }
+
+    #[test]
+    fn depth_mismatch_at_join_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        b.begin_func("f");
+        let merge = b.new_label();
+        b.inst(Opcode::Cmp, InstKind::Use {
+            oprs: vec![Operand::imm(1), Operand::imm(2)],
+        });
+        b.jump(Opcode::Je, merge);
+        push(&mut b, Reg::Eax); // fall path arrives 4 bytes deeper
+        b.bind_label(merge);
+        b.ret();
+        b.end_func();
+        let p = b.finish().unwrap();
+        let diags = run(&p);
+        assert!(diags.iter().any(|d| d.message.contains("different stack depths")));
+    }
+
+    #[test]
+    fn noreturn_indirect_call_path_is_cut() {
+        // The generator's `_Xlength_error` idiom: a pushed argument is never
+        // cleaned because the indirect call does not return. The balanced
+        // path and the dead fall-through meet without a diagnostic.
+        let mut b = ProgramBuilder::new();
+        b.begin_func("f");
+        let ok = b.new_label();
+        b.inst(Opcode::Cmp, InstKind::Use {
+            oprs: vec![Operand::imm(1), Operand::imm(2)],
+        });
+        b.jump(Opcode::Jb, ok);
+        push(&mut b, Reg::Eax);
+        b.call_indirect(Operand::mem_abs(0x73034u64, 0));
+        b.bind_label(ok);
+        b.ret();
+        b.end_func();
+        let p = b.finish().unwrap();
+        assert!(run(&p).is_empty());
+    }
+}

@@ -1,0 +1,96 @@
+//! Corruption tests: `Program` keeps its CFG invariants private, so these
+//! tests go through its serde representation — serialize a well-formed
+//! program, damage one structural fact in the JSON, deserialize, and check
+//! that the CFG pass rejects the result (and that the later passes are
+//! skipped rather than panicking on the broken structure).
+
+use serde_json::Value;
+use tiara_ir::{InstKind, Opcode, Operand, Program, ProgramBuilder, Reg};
+use tiara_verify::{verify, PassId};
+
+/// A small two-function program that verifies clean.
+fn clean_program() -> Program {
+    let mut b = ProgramBuilder::new();
+    let callee = b.begin_func("callee");
+    b.inst(Opcode::Mov, InstKind::Mov { dst: Operand::reg(Reg::Eax), src: Operand::imm(7) });
+    b.ret();
+    b.end_func();
+    b.begin_func("main");
+    b.call_direct(callee);
+    b.inst(Opcode::Mov, InstKind::Mov { dst: Operand::reg(Reg::Ecx), src: Operand::reg(Reg::Eax) });
+    b.ret();
+    b.end_func();
+    b.set_entry("main");
+    b.finish().expect("program builds")
+}
+
+/// Applies `mutate` to the serde representation of a clean program and
+/// returns the re-deserialized, damaged program.
+fn corrupt(mutate: impl FnOnce(&mut Value)) -> Program {
+    let prog = clean_program();
+    assert!(verify(&prog).is_clean(), "baseline program must be clean");
+    let mut v = serde_json::to_value(&prog).expect("program serializes");
+    mutate(&mut v);
+    serde_json::from_value(v).expect("mutated program deserializes")
+}
+
+fn cfg_errors(prog: &Program) -> usize {
+    let report = verify(prog);
+    assert!(report.has_errors(), "corruption must be detected:\n{}", report.render_human(prog));
+    assert!(
+        report.diagnostics.iter().all(|d| d.pass == PassId::Cfg),
+        "later passes must be skipped on structural damage:\n{}",
+        report.render_human(prog)
+    );
+    report.num_errors()
+}
+
+#[test]
+fn dangling_cfg_edge_is_rejected() {
+    let prog = corrupt(|v| {
+        let succs = v["cfg_succs"][0].as_array_mut().expect("edge list");
+        succs.push(Value::from(9999));
+    });
+    assert!(cfg_errors(&prog) >= 1);
+}
+
+#[test]
+fn dangling_flow_edge_is_rejected() {
+    let prog = corrupt(|v| {
+        let succs = v["flow_succs"][0].as_array_mut().expect("edge list");
+        succs.push(Value::from(12345));
+    });
+    assert!(cfg_errors(&prog) >= 1);
+}
+
+#[test]
+fn overlapping_function_table_is_rejected() {
+    // Stretch callee's range into main: the table no longer tiles the
+    // instruction list.
+    let prog = corrupt(|v| {
+        v["funcs"][0]["end"] = Value::from(3);
+    });
+    assert!(cfg_errors(&prog) >= 1);
+}
+
+#[test]
+fn inconsistent_inst_func_map_is_rejected() {
+    // Claim main's ret belongs to callee while the table says otherwise.
+    let prog = corrupt(|v| {
+        let map = v["inst_func"].as_array_mut().expect("inst_func map");
+        let last = map.len() - 1;
+        map[last] = Value::from(0);
+    });
+    assert!(cfg_errors(&prog) >= 1);
+}
+
+#[test]
+fn cross_function_flow_edge_is_rejected() {
+    // A flow edge from callee's mov straight into main's body: flow is an
+    // intra-procedural relation, so this must be flagged.
+    let prog = corrupt(|v| {
+        let succs = v["flow_succs"][0].as_array_mut().expect("edge list");
+        succs.push(Value::from(3));
+    });
+    assert!(cfg_errors(&prog) >= 1);
+}

@@ -1,0 +1,239 @@
+//! Integration tests against the synthetic generator: every project the
+//! generator can produce must pass the static passes with zero errors, the
+//! slice oracle must accept real slicer output, and controlled mutations of
+//! clean programs must trigger the expected diagnostics.
+
+use proptest::prelude::*;
+use std::fmt::Write as _;
+use tiara_ir::{
+    detect_frame_mode, parse_program, FrameMode, InstKind, Opcode, Operand, ProgramBuilder, Reg,
+};
+use tiara_synth::{benchmark_suite, extended_suite, generate, ProjectSpec, TypeCounts};
+use tiara_verify::{verify, verify_with_slices, PassId, Severity};
+
+/// Shrinks a benchmark spec's variable counts so the full project matrix
+/// stays fast in a test run (the styles and templates are what matter, not
+/// the variable volume).
+fn shrink(spec: &ProjectSpec) -> ProjectSpec {
+    let s = |n: usize| if n == 0 { 0 } else { (n / 25).max(1) };
+    ProjectSpec {
+        counts: TypeCounts {
+            list: s(spec.counts.list),
+            vector: s(spec.counts.vector),
+            map: s(spec.counts.map),
+            primitive: s(spec.counts.primitive),
+            deque: s(spec.counts.deque),
+            set: s(spec.counts.set),
+        },
+        ..spec.clone()
+    }
+}
+
+#[test]
+fn every_benchmark_project_lints_clean() {
+    let specs: Vec<ProjectSpec> = benchmark_suite(42)
+        .iter()
+        .chain(extended_suite(42).iter())
+        .map(shrink)
+        .collect();
+    for spec in &specs {
+        let bin = generate(spec);
+        let report = verify(&bin.program);
+        assert!(
+            !report.has_errors(),
+            "`{}` must lint clean:\n{}",
+            bin.name,
+            report.render_human(&bin.program)
+        );
+    }
+}
+
+#[test]
+fn slice_oracle_accepts_real_slicer_output() {
+    let bin = generate(&shrink(&benchmark_suite(7)[0]));
+    let criteria: Vec<_> = bin.debug.iter().take(6).map(|r| r.addr).collect();
+    assert!(!criteria.is_empty(), "project must have labeled variables");
+    let report = verify_with_slices(&bin.program, &criteria);
+    assert!(!report.has_errors(), "{}", report.render_human(&bin.program));
+}
+
+#[test]
+fn generated_frame_prologues_are_detected() {
+    // Regression for the basic-block-wide `detect_frame_mode`: generated
+    // prologues must classify as FramePointer in every style, even with
+    // interleaved noise between the push and the capture.
+    let bin = generate(&shrink(&benchmark_suite(3)[2]));
+    let prog = &bin.program;
+    let mut checked = 0;
+    for f in prog.funcs() {
+        let first = prog.inst(f.entry());
+        let pushes_ebp =
+            matches!(first.kind, InstKind::Push { src } if src.as_reg() == Some(Reg::Ebp));
+        if pushes_ebp {
+            assert_eq!(
+                detect_frame_mode(prog, f.id),
+                FrameMode::FramePointer,
+                "function `{}` sets up a frame but was not detected",
+                f.name
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked > 0, "suite project must contain framed functions");
+}
+
+/// A frameless straight-line `main` with `noise` moves and an optional
+/// planted defect inserted before the move at position `at`.
+fn straightline_program(
+    noise: usize,
+    plant: Option<(Opcode, InstKind)>,
+    at: usize,
+) -> tiara_ir::Program {
+    let mut b = ProgramBuilder::new();
+    b.begin_func("main");
+    for i in 0..noise {
+        if i == at {
+            if let Some((op, kind)) = plant.clone() {
+                b.inst(op, kind);
+            }
+        }
+        b.inst(
+            Opcode::Mov,
+            InstKind::Mov { dst: Operand::reg(Reg::Eax), src: Operand::imm(i as i64) },
+        );
+    }
+    b.ret();
+    b.end_func();
+    b.finish().expect("program builds")
+}
+
+/// Renders one randomly chosen well-formed statement into a listing body.
+/// Every template is self-contained: it defines every register it reads,
+/// balances its own pushes, and keeps any loop at a constant stack depth.
+fn render_stmt(i: usize, choice: u8, k: u8, g: u8, out: &mut String) {
+    let g = 0x74400u64 + 4 * u64::from(g % 8);
+    match choice % 6 {
+        0 => {
+            let _ = writeln!(out, "    mov eax, {k}");
+        }
+        1 => {
+            let _ = writeln!(out, "    mov ecx, dword ptr [{g:X}h]");
+            let _ = writeln!(out, "    inc ecx");
+            let _ = writeln!(out, "    mov dword ptr [{g:X}h], ecx");
+        }
+        2 => {
+            let _ = writeln!(out, "    xor edx, edx");
+            let _ = writeln!(out, "    mov dword ptr [{g:X}h], edx");
+        }
+        3 => {
+            let _ = writeln!(out, "    mov eax, [ebp+8]");
+            let _ = writeln!(out, "    add eax, {k}");
+            let _ = writeln!(out, "    mov [ebp+8], eax");
+        }
+        4 => {
+            let _ = writeln!(out, "    mov ecx, {k}");
+            let _ = writeln!(out, "    push ecx");
+            let _ = writeln!(out, "    pop edx");
+        }
+        _ => {
+            let _ = writeln!(out, "    mov ecx, {}", (k % 3) + 1);
+            let _ = writeln!(out, ".l{i}:");
+            let _ = writeln!(out, "    dec ecx");
+            let _ = writeln!(out, "    cmp ecx, 0");
+            let _ = writeln!(out, "    jne .l{i}");
+        }
+    }
+}
+
+/// A random but well-formed listing: framed `main` calling a framed helper.
+fn render_listing(stmts: &[(u8, u8, u8)]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "func helper {{");
+    let _ = writeln!(s, "    push ebp");
+    let _ = writeln!(s, "    mov ebp, esp");
+    let _ = writeln!(s, "    mov eax, 1");
+    let _ = writeln!(s, "    pop ebp");
+    let _ = writeln!(s, "    ret");
+    let _ = writeln!(s, "}}");
+    let _ = writeln!(s, "func main {{");
+    let _ = writeln!(s, "    push ebp");
+    let _ = writeln!(s, "    mov ebp, esp");
+    let _ = writeln!(s, "    sub esp, 32");
+    for (i, &(choice, k, g)) in stmts.iter().enumerate() {
+        render_stmt(i, choice, k, g, &mut s);
+    }
+    let _ = writeln!(s, "    call helper");
+    let _ = writeln!(s, "    mov esp, ebp");
+    let _ = writeln!(s, "    pop ebp");
+    let _ = writeln!(s, "    ret");
+    let _ = writeln!(s, "}}");
+    let _ = writeln!(s, "entry main");
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Round trip: any well-formed listing parses with `parse_program` and
+    /// then verifies with no diagnostics at all.
+    #[test]
+    fn parsed_listings_verify_clean(
+        stmts in prop::collection::vec((0u8..6, 0u8..120, 0u8..8), 1..12),
+    ) {
+        let text = render_listing(&stmts);
+        let prog = parse_program(&text).expect("well-formed listing parses");
+        let report = verify(&prog);
+        prop_assert!(
+            report.is_clean(),
+            "listing must verify clean:\n{text}\n{}",
+            report.render_human(&prog)
+        );
+    }
+
+    /// Planting an unmatched `push` into an otherwise balanced frameless
+    /// function always trips the stack-balance pass.
+    #[test]
+    fn planted_push_trips_stack_balance(noise in 1usize..24, at in 0usize..24) {
+        let at = at % noise;
+        let plant = (Opcode::Push, InstKind::Push { src: Operand::reg(Reg::Eax) });
+        let prog = straightline_program(noise, Some(plant), at);
+        let report = verify(&prog);
+        prop_assert!(
+            report
+                .diagnostics
+                .iter()
+                .any(|d| d.pass == PassId::StackBalance && d.severity == Severity::Error),
+            "expected a stack-balance error:\n{}",
+            report.render_human(&prog)
+        );
+    }
+
+    /// Planting a read of a never-written register always trips the
+    /// def-before-use pass.
+    #[test]
+    fn planted_undefined_read_trips_defuse(noise in 1usize..24, at in 0usize..24) {
+        let at = at % noise;
+        let plant = (
+            Opcode::Mov,
+            InstKind::Mov { dst: Operand::reg(Reg::Eax), src: Operand::reg(Reg::Esi) },
+        );
+        let prog = straightline_program(noise, Some(plant), at);
+        let report = verify(&prog);
+        prop_assert!(
+            report
+                .diagnostics
+                .iter()
+                .any(|d| d.pass == PassId::DefBeforeUse && d.severity == Severity::Error),
+            "expected a def-before-use error:\n{}",
+            report.render_human(&prog)
+        );
+    }
+
+    /// The unplanted control: pure noise bodies lint clean.
+    #[test]
+    fn noise_bodies_lint_clean(noise in 1usize..24) {
+        let prog = straightline_program(noise, None, 0);
+        let report = verify(&prog);
+        prop_assert!(report.is_clean(), "{}", report.render_human(&prog));
+    }
+}

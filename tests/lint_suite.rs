@@ -1,0 +1,42 @@
+//! The verifier's acceptance bar, end to end: every project of the
+//! benchmark suite lints with zero errors, both through the static passes
+//! alone and through the slice-oracle gate the eval harness runs.
+
+use tiara_verify::verify;
+
+#[test]
+fn all_eight_projects_lint_clean() {
+    let bins = tiara_eval::build_suite(42, 0.1);
+    assert_eq!(bins.len(), 8, "Table I has eight projects");
+    for bin in &bins {
+        let report = verify(&bin.program);
+        assert_eq!(
+            report.num_errors(),
+            0,
+            "`{}` must lint with zero errors:\n{}",
+            bin.name,
+            report.render_human(&bin.program)
+        );
+    }
+}
+
+#[test]
+fn suite_passes_the_slice_oracle_gate() {
+    let bins = tiara_eval::build_suite(9, 0.05);
+    tiara_eval::verify_suite(&bins).expect("suite passes the verifier gate");
+}
+
+#[test]
+fn full_scale_project_lints_clean() {
+    // One unscaled project, as `tiara lint` would see it after `tiara synth`.
+    let spec = &tiara_synth::benchmark_suite(42)[0];
+    let bin = tiara_synth::generate(spec);
+    let report = verify(&bin.program);
+    assert_eq!(
+        report.num_errors(),
+        0,
+        "full-scale `{}` must lint clean:\n{}",
+        bin.name,
+        report.render_human(&bin.program)
+    );
+}
