@@ -6,6 +6,7 @@
 //! tiara synth   --out prog.tira --pdb labels.json [--seed N] [--style K]
 //!               [--counts LIST,VEC,MAP,PRIM]
 //! tiara slice   --binary prog.tira --addr <ADDR> [--sslice] [--trace] [--dot]
+//! tiara analyze --binary prog.tira [--func <NAME>] [--json]
 //! tiara lint    --binary prog.tira [--addr <ADDR>] [--json]
 //! tiara train   --binary prog.tira --pdb labels.json --model model.json
 //!               [--epochs N] [--sslice]
@@ -26,12 +27,13 @@ use tiara_ir::{
 use tiara_slice::{tslice_with, TsliceConfig};
 
 fn usage() -> &'static str {
-    "usage: tiara <asm|disasm|synth|slice|lint|train|predict> [flags]\n\
+    "usage: tiara <asm|disasm|synth|slice|analyze|lint|train|predict> [flags]\n\
      \n\
      tiara asm     --in listing.asm --out prog.tira\n\
      tiara disasm  --binary prog.tira\n\
      tiara synth   --out prog.tira --pdb labels.json [--seed N] [--style K] [--counts L,V,M,P]\n\
      tiara slice   --binary prog.tira --addr ADDR [--sslice] [--trace] [--dot]\n\
+     tiara analyze --binary prog.tira [--func NAME] [--json]\n\
      tiara lint    --binary prog.tira [--addr ADDR] [--json]\n\
      tiara train   --binary prog.tira --pdb labels.json --model model.json [--epochs N] [--sslice]\n\
      tiara predict --binary prog.tira --model model.json --addr ADDR\n\
@@ -142,6 +144,24 @@ fn run() -> Result<(), String> {
                         );
                     }
                 }
+            }
+        }
+        "analyze" => {
+            let prog = load_binary(get("binary")?)?;
+            let facts = match flags.get("func") {
+                Some(name) => {
+                    let f = prog
+                        .func_by_name(name)
+                        .ok_or(format!("no function named `{name}`"))?
+                        .id;
+                    vec![tiara_dataflow::analyze_function(&prog, f)]
+                }
+                None => tiara_dataflow::analyze_program(&prog),
+            };
+            if has("json") {
+                println!("{}", tiara_dataflow::render_json(&facts));
+            } else {
+                print!("{}", tiara_dataflow::render_text(&facts));
             }
         }
         "lint" => {

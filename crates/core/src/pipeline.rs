@@ -16,15 +16,29 @@ use tiara_ir::{ContainerClass, DebugInfo, Program, VarAddr};
 ///
 /// # Examples
 ///
-/// ```no_run
-/// use tiara::{Tiara, TiaraConfig};
-/// use tiara_ir::{MemAddr, VarAddr};
-/// # let (program, debug) = unimplemented!();
+/// ```
+/// use tiara::{ClassifierConfig, Tiara, TiaraConfig};
+/// use tiara_synth::{generate, ProjectSpec, TypeCounts};
 ///
-/// let mut tiara = Tiara::new(TiaraConfig::default());
-/// tiara.train(&[("proj", &program, &debug)])?;
-/// let class = tiara.predict(&program, VarAddr::Global(MemAddr(0x74404)));
-/// println!("the variable is a {class}");
+/// // A small synthetic project stands in for a real labeled binary.
+/// let spec = ProjectSpec {
+///     name: "demo".into(),
+///     index: 0,
+///     seed: 7,
+///     counts: TypeCounts { list: 1, vector: 2, map: 2, primitive: 4, ..Default::default() },
+/// };
+/// let bin = generate(&spec);
+///
+/// let config = TiaraConfig {
+///     classifier: ClassifierConfig { epochs: 2, ..Default::default() },
+///     ..Default::default()
+/// };
+/// let mut tiara = Tiara::new(config);
+/// tiara.train(&[("demo", &bin.program, &bin.debug)])?;
+///
+/// let (addr, _label) = bin.labeled_vars().next().expect("project has labeled variables");
+/// let class = tiara.predict(&bin.program, addr);
+/// println!("the variable at {addr} looks like a {class}");
 /// # Ok::<(), tiara::Error>(())
 /// ```
 #[derive(Debug, Clone)]

@@ -1,0 +1,134 @@
+//! Register liveness: a backward union analysis over [`RegSet`].
+//!
+//! A register is live at a point if some path from that point reads it
+//! before writing it. The boundary (the set live at `ret`) defaults to
+//! empty: the generator's functions pass values through memory and their
+//! callers never read a return register, so nothing survives the return.
+//! Callers that want the caller-reads-`eax` convention can say so with
+//! [`Liveness::with_ret_live`].
+
+use crate::regs::{reg_effects, RegSet};
+use crate::solver::{Direction, Lattice, Transfer};
+use tiara_ir::{InstId, Program};
+
+impl Lattice for RegSet {
+    fn join(&mut self, other: &Self) -> bool {
+        let old = self.0;
+        self.0 |= other.0;
+        self.0 != old
+    }
+
+    fn le(&self, other: &Self) -> bool {
+        self.0 & !other.0 == 0
+    }
+}
+
+/// The liveness analysis (backward; facts are live [`RegSet`]s).
+#[derive(Debug, Clone, Default)]
+pub struct Liveness {
+    ret_live: RegSet,
+}
+
+impl Liveness {
+    /// Liveness with nothing live at `ret`.
+    pub fn new() -> Liveness {
+        Liveness::default()
+    }
+
+    /// Liveness with `regs` live at `ret` (e.g. `{eax}` for functions whose
+    /// callers read the return value).
+    pub fn with_ret_live(regs: RegSet) -> Liveness {
+        Liveness { ret_live: regs }
+    }
+}
+
+impl Transfer for Liveness {
+    type Fact = RegSet;
+
+    fn direction(&self) -> Direction {
+        Direction::Backward
+    }
+
+    fn bottom(&self) -> RegSet {
+        RegSet::EMPTY
+    }
+
+    fn boundary(&self) -> RegSet {
+        self.ret_live
+    }
+
+    fn apply(&self, prog: &Program, id: InstId, fact: &mut RegSet) {
+        let e = reg_effects(&prog.inst(id).kind);
+        *fact = fact.minus(e.writes).union(e.reads);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::solve;
+    use tiara_ir::{FuncId, InstKind, Opcode, Operand, ProgramBuilder, Reg};
+
+    #[test]
+    fn straight_line_liveness_golden() {
+        // mov eax, 1        eax live after (read below)
+        // mov ebx, [eax+4]  eax dead after, ebx dead (never read)
+        // ret
+        let mut b = ProgramBuilder::new();
+        b.begin_func("f");
+        b.inst(Opcode::Mov, InstKind::Mov { dst: Operand::reg(Reg::Eax), src: Operand::imm(1) });
+        b.inst(Opcode::Mov, InstKind::Mov {
+            dst: Operand::reg(Reg::Ebx),
+            src: Operand::mem_reg(Reg::Eax, 4),
+        });
+        b.ret();
+        b.end_func();
+        let p = b.finish().unwrap();
+        let sol = solve(&p, FuncId(0), &Liveness::new());
+        assert!(sol.after(InstId(0)).contains(Reg::Eax));
+        assert!(!sol.after(InstId(1)).contains(Reg::Eax));
+        assert!(!sol.after(InstId(1)).contains(Reg::Ebx));
+        // Before the first instruction nothing is live.
+        assert_eq!(*sol.before(InstId(0)), RegSet::EMPTY);
+    }
+
+    #[test]
+    fn loop_keeps_the_counter_live() {
+        // mov ecx, 5; top: dec ecx; test ecx,ecx; jne top; ret
+        let mut b = ProgramBuilder::new();
+        b.begin_func("f");
+        b.inst(Opcode::Mov, InstKind::Mov { dst: Operand::reg(Reg::Ecx), src: Operand::imm(5) });
+        let top = b.new_label();
+        b.bind_label(top);
+        b.inst(Opcode::Dec, InstKind::Op {
+            op: tiara_ir::BinOp::Sub,
+            dst: Operand::reg(Reg::Ecx),
+            src: Operand::imm(1),
+        });
+        b.inst(Opcode::Test, InstKind::Use {
+            oprs: vec![Operand::reg(Reg::Ecx), Operand::reg(Reg::Ecx)],
+        });
+        b.jump(Opcode::Jne, top);
+        b.ret();
+        b.end_func();
+        let p = b.finish().unwrap();
+        let sol = solve(&p, FuncId(0), &Liveness::new());
+        // ecx is live around the back edge.
+        assert!(sol.after(InstId(0)).contains(Reg::Ecx));
+        assert!(sol.after(InstId(3)).contains(Reg::Ecx));
+    }
+
+    #[test]
+    fn ret_live_boundary_prop_propagates() {
+        let mut b = ProgramBuilder::new();
+        b.begin_func("f");
+        b.inst(Opcode::Mov, InstKind::Mov { dst: Operand::reg(Reg::Eax), src: Operand::imm(7) });
+        b.ret();
+        b.end_func();
+        let p = b.finish().unwrap();
+        let dead = solve(&p, FuncId(0), &Liveness::new());
+        assert!(!dead.after(InstId(0)).contains(Reg::Eax));
+        let live = solve(&p, FuncId(0), &Liveness::with_ret_live(RegSet::of(Reg::Eax)));
+        assert!(live.after(InstId(0)).contains(Reg::Eax));
+    }
+}

@@ -1,0 +1,184 @@
+//! Reaching definitions and def-use chains (forward union analysis).
+//!
+//! For every program point and register, which definitions may have produced
+//! the register's current value? A definition is either an instruction that
+//! writes the register or the pseudo-definition [`DefSite::Entry`] standing
+//! for "whatever the register held when the function was entered" (the ABI
+//! frame/stack pointers, caller state propagated across calls, …).
+//!
+//! [`def_use_chains`] inverts the relation into def→use edges, which is the
+//! oracle the slicer's kill rules are cross-checked against.
+
+use crate::regs::reg_effects;
+use crate::solver::{Direction, Lattice, Transfer};
+use std::collections::BTreeSet;
+use tiara_ir::{FuncId, InstId, Program, Reg};
+
+/// One definition site of a register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DefSite {
+    /// The value the register held at function entry.
+    Entry,
+    /// The instruction that wrote the register.
+    At(InstId),
+}
+
+/// Per-register sets of reaching definition sites.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ReachFact {
+    sets: [BTreeSet<DefSite>; 8],
+}
+
+impl ReachFact {
+    /// The definitions of `r` reaching this point.
+    pub fn defs(&self, r: Reg) -> &BTreeSet<DefSite> {
+        &self.sets[r.index()]
+    }
+}
+
+impl Lattice for ReachFact {
+    fn join(&mut self, other: &Self) -> bool {
+        let mut changed = false;
+        for (mine, theirs) in self.sets.iter_mut().zip(other.sets.iter()) {
+            for d in theirs {
+                changed |= mine.insert(*d);
+            }
+        }
+        changed
+    }
+}
+
+/// The reaching-definitions analysis (forward; facts are [`ReachFact`]s).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReachingDefs;
+
+impl Transfer for ReachingDefs {
+    type Fact = ReachFact;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn bottom(&self) -> ReachFact {
+        ReachFact::default()
+    }
+
+    fn boundary(&self) -> ReachFact {
+        let mut f = ReachFact::default();
+        for s in f.sets.iter_mut() {
+            s.insert(DefSite::Entry);
+        }
+        f
+    }
+
+    fn apply(&self, prog: &Program, id: InstId, fact: &mut ReachFact) {
+        let e = reg_effects(&prog.inst(id).kind);
+        for r in e.writes.iter() {
+            let s = &mut fact.sets[r.index()];
+            s.clear();
+            s.insert(DefSite::At(id));
+        }
+    }
+}
+
+/// Def→use chains of one function: for each defining instruction, the
+/// instructions that may read the value it produced.
+#[derive(Debug, Clone, Default)]
+pub struct DefUseChains {
+    /// `(def site, register, use site)` triples, sorted.
+    pub edges: Vec<(DefSite, Reg, InstId)>,
+}
+
+impl DefUseChains {
+    /// The use sites of the value `def` wrote into `r`.
+    pub fn uses_of(&self, def: DefSite, r: Reg) -> impl Iterator<Item = InstId> + '_ {
+        self.edges
+            .iter()
+            .filter(move |(d, reg, _)| *d == def && *reg == r)
+            .map(|(_, _, u)| *u)
+    }
+
+    /// Number of def→use edges.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// `true` if the function has no def→use edges.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+}
+
+/// Builds the def-use chains of `func` from a reaching-definitions solve.
+pub fn def_use_chains(prog: &Program, func: FuncId) -> DefUseChains {
+    let sol = crate::solver::solve(prog, func, &ReachingDefs);
+    let f = prog.func(func);
+    let mut edges = Vec::new();
+    for id in f.inst_ids() {
+        if !sol.reached(id) {
+            continue;
+        }
+        let e = reg_effects(&prog.inst(id).kind);
+        for r in e.reads.iter() {
+            for d in sol.before(id).defs(r) {
+                edges.push((*d, r, id));
+            }
+        }
+    }
+    edges.sort();
+    edges.dedup();
+    DefUseChains { edges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::solve;
+    use tiara_ir::{FuncId, InstKind, Opcode, Operand, ProgramBuilder, Reg};
+
+    #[test]
+    fn branch_merges_definitions() {
+        // cmp; je L; mov esi, 1; L: push esi — both the one-armed def and
+        // the entry value reach the push.
+        let mut b = ProgramBuilder::new();
+        b.begin_func("f");
+        let l = b.new_label();
+        b.inst(Opcode::Cmp, InstKind::Use { oprs: vec![Operand::imm(1), Operand::imm(2)] });
+        b.jump(Opcode::Je, l);
+        b.inst(Opcode::Mov, InstKind::Mov { dst: Operand::reg(Reg::Esi), src: Operand::imm(1) });
+        b.bind_label(l);
+        b.inst(Opcode::Push, InstKind::Push { src: Operand::reg(Reg::Esi) });
+        b.inst(Opcode::Pop, InstKind::Pop { dst: Operand::reg(Reg::Esi) });
+        b.ret();
+        b.end_func();
+        let p = b.finish().unwrap();
+        let sol = solve(&p, FuncId(0), &ReachingDefs);
+        let defs = sol.before(InstId(3)).defs(Reg::Esi);
+        assert!(defs.contains(&DefSite::Entry));
+        assert!(defs.contains(&DefSite::At(InstId(2))));
+        assert_eq!(defs.len(), 2);
+        // After the pop only the pop's def remains.
+        let after = sol.after(InstId(4)).defs(Reg::Esi);
+        assert_eq!(after.iter().collect::<Vec<_>>(), vec![&DefSite::At(InstId(4))]);
+    }
+
+    #[test]
+    fn def_use_chain_golden() {
+        // mov eax, 1; mov ebx, [eax+4]; ret
+        let mut b = ProgramBuilder::new();
+        b.begin_func("f");
+        b.inst(Opcode::Mov, InstKind::Mov { dst: Operand::reg(Reg::Eax), src: Operand::imm(1) });
+        b.inst(Opcode::Mov, InstKind::Mov {
+            dst: Operand::reg(Reg::Ebx),
+            src: Operand::mem_reg(Reg::Eax, 4),
+        });
+        b.ret();
+        b.end_func();
+        let p = b.finish().unwrap();
+        let chains = def_use_chains(&p, FuncId(0));
+        let uses: Vec<InstId> = chains.uses_of(DefSite::At(InstId(0)), Reg::Eax).collect();
+        assert_eq!(uses, vec![InstId(1)]);
+        // The entry values of ebp/esp are never read here.
+        assert!(chains.uses_of(DefSite::Entry, Reg::Eax).next().is_none());
+    }
+}

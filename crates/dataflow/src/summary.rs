@@ -1,0 +1,334 @@
+//! Per-function fact summaries — the payload behind `tiara analyze`.
+//!
+//! [`analyze_function`] runs all four analyses over one function and distils
+//! their solutions into a [`FunctionFacts`] record; [`render_text`] and
+//! [`render_json`] turn a batch of records into the CLI's two output
+//! formats. The JSON is hand-assembled (the crate deliberately depends on
+//! nothing but `tiara-ir`), with the field layout documented on
+//! [`render_json`].
+
+use crate::constprop::{const_conditions, CVal, Constprop};
+use crate::liveness::Liveness;
+use crate::pointsto::points_to;
+use crate::reaching::{def_use_chains, ReachingDefs};
+use crate::regs::{reg_effects, RegSet};
+use crate::solver::solve;
+use tiara_ir::{FuncId, InstId, InstKind, Program, Reg};
+
+/// The distilled dataflow facts of one function.
+#[derive(Debug, Clone)]
+pub struct FunctionFacts {
+    /// The function analyzed.
+    pub func: FuncId,
+    /// Its diagnostic name.
+    pub name: String,
+    /// Instruction count.
+    pub num_insts: usize,
+    /// Basic-block count of the intra-procedural CFG.
+    pub num_blocks: usize,
+    /// Registers live on entry (non-empty means the function consumes
+    /// caller state through registers).
+    pub entry_live: RegSet,
+    /// The widest simultaneously-live register set at any point.
+    pub max_live: usize,
+    /// Instructions whose every written register is dead immediately after
+    /// (calls excluded — their clobber writes are ABI, not data flow).
+    pub dead_writes: Vec<InstId>,
+    /// Number of def→use edges from the reaching-definitions solve.
+    pub def_use_edges: usize,
+    /// Use sites reached by more than one definition of the register read
+    /// (control-flow merge evidence).
+    pub multi_def_uses: usize,
+    /// Conditional branches constant propagation decided, with the decided
+    /// outcome.
+    pub const_branches: Vec<(InstId, bool)>,
+    /// Instructions unreachable under decided branches.
+    pub unreached: Vec<InstId>,
+    /// `(instruction, register)` points where the register provably holds a
+    /// constant.
+    pub const_points: usize,
+    /// The abstract objects (globals, frame slots, heap sites) whose
+    /// addresses the function manipulates, rendered.
+    pub objects: Vec<String>,
+    /// Register pairs observed to share a points-to target.
+    pub alias_pairs: Vec<(Reg, Reg)>,
+}
+
+/// Runs liveness, reaching definitions, constant propagation, and points-to
+/// over `func` and summarizes the solutions.
+pub fn analyze_function(prog: &Program, func: FuncId) -> FunctionFacts {
+    let f = prog.func(func);
+
+    let live = solve(prog, func, &Liveness::new());
+    let mut max_live = 0;
+    let mut dead_writes = Vec::new();
+    for id in f.inst_ids() {
+        if !live.reached(id) {
+            continue;
+        }
+        max_live = max_live.max(live.before(id).len());
+        let kind = &prog.inst(id).kind;
+        if matches!(kind, InstKind::Call { .. }) {
+            continue;
+        }
+        let w = reg_effects(kind).writes;
+        if !w.is_empty() && w.minus(*live.after(id)) == w {
+            dead_writes.push(id);
+        }
+    }
+
+    let chains = def_use_chains(prog, func);
+    let reach = solve(prog, func, &ReachingDefs);
+    let mut multi_def_uses = 0;
+    for id in f.inst_ids() {
+        if !reach.reached(id) {
+            continue;
+        }
+        let reads = reg_effects(&prog.inst(id).kind).reads;
+        if reads.iter().any(|r| reach.before(id).defs(r).len() > 1) {
+            multi_def_uses += 1;
+        }
+    }
+
+    let (branches, unreached) = const_conditions(prog, func);
+    let consts = solve(prog, func, &Constprop);
+    let mut const_points = 0;
+    for id in f.inst_ids() {
+        if !consts.reached(id) {
+            continue;
+        }
+        const_points += Reg::ALL
+            .iter()
+            .filter(|r| matches!(consts.before(id).reg(**r), CVal::Const(_)))
+            .count();
+    }
+
+    let pts = points_to(prog, func);
+    let mut objects: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    for r in Reg::ALL {
+        objects.extend(pts.reg(r).iter().map(|l| l.to_string()));
+    }
+    for (obj, s) in pts.pointer_cells() {
+        objects.insert(obj.to_string());
+        objects.extend(s.iter().map(|l| l.to_string()));
+    }
+    let mut alias_pairs = Vec::new();
+    for (i, &a) in Reg::ALL.iter().enumerate() {
+        for &b in &Reg::ALL[i + 1..] {
+            if pts.may_alias(a, b) {
+                alias_pairs.push((a, b));
+            }
+        }
+    }
+
+    FunctionFacts {
+        func,
+        name: f.name.clone(),
+        num_insts: f.inst_ids().count(),
+        num_blocks: live.cfg().num_blocks(),
+        entry_live: *live.before(f.start),
+        max_live,
+        dead_writes,
+        def_use_edges: chains.len(),
+        multi_def_uses,
+        const_branches: branches.into_iter().map(|b| (b.inst, b.taken)).collect(),
+        unreached,
+        const_points,
+        objects: objects.into_iter().collect(),
+        alias_pairs,
+    }
+}
+
+/// Analyzes every function of the program, in id order.
+pub fn analyze_program(prog: &Program) -> Vec<FunctionFacts> {
+    (0..prog.funcs().len() as u32).map(|i| analyze_function(prog, FuncId(i))).collect()
+}
+
+/// Renders a batch of summaries as indented human-readable text.
+pub fn render_text(facts: &[FunctionFacts]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    for f in facts {
+        let _ = writeln!(out, "fn {} ({} insts, {} blocks)", f.name, f.num_insts, f.num_blocks);
+        let _ = writeln!(
+            out,
+            "  liveness:  entry-live {}, max {} live, {} dead write(s)",
+            f.entry_live,
+            f.max_live,
+            f.dead_writes.len()
+        );
+        let _ = writeln!(
+            out,
+            "  reaching:  {} def-use edge(s), {} merged use(s)",
+            f.def_use_edges, f.multi_def_uses
+        );
+        let _ = write!(
+            out,
+            "  constprop: {} const point(s), {} decided branch(es)",
+            f.const_points,
+            f.const_branches.len()
+        );
+        if !f.unreached.is_empty() {
+            let _ = write!(out, ", {} unreachable inst(s)", f.unreached.len());
+        }
+        out.push('\n');
+        let _ = write!(out, "  points-to: {} object(s)", f.objects.len());
+        if !f.objects.is_empty() {
+            let _ = write!(out, " [{}]", f.objects.join(", "));
+        }
+        if !f.alias_pairs.is_empty() {
+            let pairs: Vec<String> =
+                f.alias_pairs.iter().map(|(a, b)| format!("{a}~{b}")).collect();
+            let _ = write!(out, ", aliases {}", pairs.join(" "));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn json_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn json_ids(ids: &[InstId], out: &mut String) {
+    out.push('[');
+    for (k, id) in ids.iter().enumerate() {
+        if k > 0 {
+            out.push(',');
+        }
+        out.push_str(&id.0.to_string());
+    }
+    out.push(']');
+}
+
+/// Renders a batch of summaries as a JSON array.
+///
+/// Each element has the shape
+/// `{"function", "insts", "blocks", "liveness": {"entry_live", "max_live",
+/// "dead_writes"}, "reaching": {"def_use_edges", "multi_def_uses"},
+/// "constprop": {"const_points", "const_branches": [{"inst", "taken"}],
+/// "unreached"}, "pointsto": {"objects", "alias_pairs": [[a, b]]}}`.
+pub fn render_json(facts: &[FunctionFacts]) -> String {
+    let mut out = String::from("[");
+    for (k, f) in facts.iter().enumerate() {
+        if k > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"function\":");
+        json_str(&f.name, &mut out);
+        out.push_str(&format!(",\"insts\":{},\"blocks\":{}", f.num_insts, f.num_blocks));
+        out.push_str(",\"liveness\":{\"entry_live\":[");
+        for (i, r) in f.entry_live.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json_str(&r.to_string(), &mut out);
+        }
+        out.push_str(&format!("],\"max_live\":{},\"dead_writes\":", f.max_live));
+        json_ids(&f.dead_writes, &mut out);
+        out.push_str(&format!(
+            "}},\"reaching\":{{\"def_use_edges\":{},\"multi_def_uses\":{}}}",
+            f.def_use_edges, f.multi_def_uses
+        ));
+        out.push_str(&format!(",\"constprop\":{{\"const_points\":{}", f.const_points));
+        out.push_str(",\"const_branches\":[");
+        for (i, (inst, taken)) in f.const_branches.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{{\"inst\":{},\"taken\":{}}}", inst.0, taken));
+        }
+        out.push_str("],\"unreached\":");
+        json_ids(&f.unreached, &mut out);
+        out.push_str("},\"pointsto\":{\"objects\":[");
+        for (i, o) in f.objects.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json_str(o, &mut out);
+        }
+        out.push_str("],\"alias_pairs\":[");
+        for (i, (a, b)) in f.alias_pairs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('[');
+            json_str(&a.to_string(), &mut out);
+            out.push(',');
+            json_str(&b.to_string(), &mut out);
+            out.push(']');
+        }
+        out.push_str("]}}");
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiara_ir::{Opcode, Operand, ProgramBuilder};
+
+    fn tiny_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        b.begin_func("main");
+        b.inst(Opcode::Mov, InstKind::Mov {
+            dst: Operand::reg(Reg::Eax),
+            src: Operand::imm(1),
+        });
+        b.inst(Opcode::Mov, InstKind::Mov {
+            dst: Operand::mem_abs(0x40u64, 0),
+            src: Operand::reg(Reg::Eax),
+        });
+        b.ret();
+        b.end_func();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn summary_covers_all_four_fact_kinds() {
+        let p = tiny_program();
+        let facts = analyze_program(&p);
+        assert_eq!(facts.len(), 1);
+        let f = &facts[0];
+        assert_eq!(f.name, "main");
+        assert_eq!(f.num_insts, 3);
+        assert!(f.def_use_edges >= 1); // eax: mov → store
+        assert!(f.const_points >= 1); // eax const before the store
+        assert!(f.dead_writes.is_empty()); // the write is read by the store
+    }
+
+    #[test]
+    fn json_is_well_formed_and_mentions_every_fact_kind() {
+        let p = tiny_program();
+        let json = render_json(&analyze_program(&p));
+        for key in ["\"function\":", "\"liveness\":", "\"reaching\":", "\"constprop\":", "\"pointsto\":"] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        // Balanced braces (no nested strings contain braces here).
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn text_rendering_names_the_function() {
+        let p = tiny_program();
+        let text = render_text(&analyze_program(&p));
+        assert!(text.contains("fn main"));
+        assert!(text.contains("liveness:"));
+        assert!(text.contains("points-to:"));
+    }
+}

@@ -1,0 +1,252 @@
+//! Property tests for the fixpoint solver: determinism (equal programs →
+//! identical solutions) and the fixpoint inequations themselves (the
+//! computed facts are consistent under one more transfer/join step).
+
+use proptest::prelude::*;
+use tiara_dataflow::{
+    solve, ConstFact, Constprop, Lattice, Liveness, ReachFact, ReachingDefs, RegSet, Solution,
+    Transfer,
+};
+use tiara_ir::{
+    BinOp, FuncId, InstId, InstKind, Opcode, Operand, Program, ProgramBuilder, Reg,
+};
+
+/// One step of the tiny structured language the generator emits. All
+/// branches jump forward to the function's exit label, which keeps every
+/// generated program well-formed without label bookkeeping in the strategy.
+#[derive(Debug, Clone)]
+enum Step {
+    MovImm(Reg, i64),
+    MovReg(Reg, Reg),
+    Arith(BinOp, Reg, i64),
+    Load(Reg, Reg, i64),
+    Store(Reg, Reg, i64),
+    Zero(Reg),
+    CmpAndBranchToExit(Reg, i64, bool),
+    PushPop(Reg, Reg),
+}
+
+fn any_reg() -> impl Strategy<Value = Reg> {
+    prop::sample::select(Reg::GENERAL.to_vec())
+}
+
+fn any_step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (any_reg(), -64i64..64).prop_map(|(r, c)| Step::MovImm(r, c)),
+        (any_reg(), any_reg()).prop_map(|(a, b)| Step::MovReg(a, b)),
+        (
+            prop::sample::select(vec![BinOp::Add, BinOp::Sub, BinOp::Xor, BinOp::And]),
+            any_reg(),
+            -8i64..8
+        )
+            .prop_map(|(op, r, c)| Step::Arith(op, r, c)),
+        (any_reg(), any_reg(), 0i64..32).prop_map(|(d, b, off)| Step::Load(d, b, off)),
+        (any_reg(), any_reg(), 0i64..32).prop_map(|(s, b, off)| Step::Store(s, b, off)),
+        any_reg().prop_map(Step::Zero),
+        (any_reg(), -4i64..4, any::<bool>())
+            .prop_map(|(r, c, eq)| Step::CmpAndBranchToExit(r, c, eq)),
+        (any_reg(), any_reg()).prop_map(|(a, b)| Step::PushPop(a, b)),
+    ]
+}
+
+fn build(steps: &[Step]) -> Program {
+    let mut b = ProgramBuilder::new();
+    b.begin_func("gen");
+    let exit = b.new_label();
+    for s in steps {
+        match s {
+            Step::MovImm(r, c) => {
+                b.inst(Opcode::Mov, InstKind::Mov {
+                    dst: Operand::reg(*r),
+                    src: Operand::imm(*c),
+                });
+            }
+            Step::MovReg(a, r) => {
+                b.inst(Opcode::Mov, InstKind::Mov {
+                    dst: Operand::reg(*a),
+                    src: Operand::reg(*r),
+                });
+            }
+            Step::Arith(op, r, c) => {
+                let opc = match op {
+                    BinOp::Add => Opcode::Add,
+                    BinOp::Sub => Opcode::Sub,
+                    BinOp::Xor => Opcode::Xor,
+                    _ => Opcode::And,
+                };
+                b.inst(opc, InstKind::Op {
+                    op: *op,
+                    dst: Operand::reg(*r),
+                    src: Operand::imm(*c),
+                });
+            }
+            Step::Load(d, base, off) => {
+                b.inst(Opcode::Mov, InstKind::Mov {
+                    dst: Operand::reg(*d),
+                    src: Operand::mem_reg(*base, *off),
+                });
+            }
+            Step::Store(s, base, off) => {
+                b.inst(Opcode::Mov, InstKind::Mov {
+                    dst: Operand::mem_reg(*base, *off),
+                    src: Operand::reg(*s),
+                });
+            }
+            Step::Zero(r) => {
+                b.inst(Opcode::Xor, InstKind::Op {
+                    op: BinOp::Xor,
+                    dst: Operand::reg(*r),
+                    src: Operand::reg(*r),
+                });
+            }
+            Step::CmpAndBranchToExit(r, c, eq) => {
+                b.inst(Opcode::Cmp, InstKind::Use {
+                    oprs: vec![Operand::reg(*r), Operand::imm(*c)],
+                });
+                b.jump(if *eq { Opcode::Je } else { Opcode::Jne }, exit);
+            }
+            Step::PushPop(a, r) => {
+                b.inst(Opcode::Push, InstKind::Push { src: Operand::reg(*a) });
+                b.inst(Opcode::Pop, InstKind::Pop { dst: Operand::reg(*r) });
+            }
+        }
+    }
+    b.bind_label(exit);
+    b.ret();
+    b.end_func();
+    b.finish().expect("generated program is well-formed")
+}
+
+/// The per-instruction facts of a solution over one function, flattened for
+/// equality comparison.
+fn flatten<F: Lattice + Clone>(prog: &Program, sol: &Solution<F>) -> Vec<(F, F, bool)> {
+    prog.func(FuncId(0))
+        .inst_ids()
+        .map(|id| (sol.before(id).clone(), sol.after(id).clone(), sol.reached(id)))
+        .collect()
+}
+
+/// Checks the fixpoint inequations of a solve with no edge filter:
+/// applying the block transfer to each reached instruction's input fact
+/// reproduces its output fact, and facts flow over every direction-edge
+/// (`after(pred) ⊑ before(succ)` forward, `before(succ) ⊑ after(pred)`
+/// backward — both phrased on program-order before/after).
+fn check_fixpoint<T: Transfer>(prog: &Program, analysis: &T, sol: &Solution<T::Fact>) {
+    let f = prog.func(FuncId(0));
+    for id in f.inst_ids() {
+        if !sol.reached(id) {
+            continue;
+        }
+        match analysis.direction() {
+            tiara_dataflow::Direction::Forward => {
+                let mut fact = sol.before(id).clone();
+                analysis.apply(prog, id, &mut fact);
+                assert!(
+                    fact == *sol.after(id),
+                    "forward transfer not at fixpoint at I{}",
+                    id.0
+                );
+                for &s in prog.flow_succs(id) {
+                    if sol.reached(s) {
+                        assert!(
+                            sol.after(id).le(sol.before(s)),
+                            "edge I{} -> I{} violates after ⊑ before",
+                            id.0,
+                            s.0
+                        );
+                    }
+                }
+            }
+            tiara_dataflow::Direction::Backward => {
+                let mut fact = sol.after(id).clone();
+                analysis.apply(prog, id, &mut fact);
+                assert!(
+                    fact == *sol.before(id),
+                    "backward transfer not at fixpoint at I{}",
+                    id.0
+                );
+                for &s in prog.flow_succs(id) {
+                    if sol.reached(s) {
+                        assert!(
+                            sol.before(s).le(sol.after(id)),
+                            "edge I{} -> I{} violates live-in ⊑ live-out",
+                            id.0,
+                            s.0
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn solves_are_deterministic(steps in prop::collection::vec(any_step(), 0..24)) {
+        let p = build(&steps);
+        let f = FuncId(0);
+        let l1 = flatten::<RegSet>(&p, &solve(&p, f, &Liveness::new()));
+        let l2 = flatten::<RegSet>(&p, &solve(&p, f, &Liveness::new()));
+        prop_assert_eq!(l1, l2);
+        let r1 = flatten::<ReachFact>(&p, &solve(&p, f, &ReachingDefs));
+        let r2 = flatten::<ReachFact>(&p, &solve(&p, f, &ReachingDefs));
+        prop_assert_eq!(r1, r2);
+        let c1 = flatten::<ConstFact>(&p, &solve(&p, f, &Constprop));
+        let c2 = flatten::<ConstFact>(&p, &solve(&p, f, &Constprop));
+        prop_assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn solutions_satisfy_the_fixpoint_inequations(
+        steps in prop::collection::vec(any_step(), 0..24)
+    ) {
+        let p = build(&steps);
+        let f = FuncId(0);
+        check_fixpoint(&p, &Liveness::new(), &solve(&p, f, &Liveness::new()));
+        check_fixpoint(&p, &ReachingDefs, &solve(&p, f, &ReachingDefs));
+    }
+
+    #[test]
+    fn joins_are_monotone_and_idempotent(
+        steps in prop::collection::vec(any_step(), 1..24)
+    ) {
+        let p = build(&steps);
+        let f = FuncId(0);
+        let sol = solve(&p, f, &ReachingDefs);
+        for id in p.func(f).inst_ids() {
+            // a ⊑ a ⊔ b and joining twice changes nothing the second time.
+            let a = sol.before(id).clone();
+            let b = sol.after(id).clone();
+            let mut j = a.clone();
+            j.join(&b);
+            prop_assert!(a.le(&j) && b.le(&j));
+            let mut j2 = j.clone();
+            prop_assert!(!j2.join(&b));
+            prop_assert!(!j2.join(&a));
+        }
+    }
+}
+
+#[test]
+fn constprop_reached_set_is_a_subset_of_structural_reachability() {
+    // A hand-written program where constprop prunes a branch: the pruned
+    // instruction must be unreached while everything else stays reached.
+    let mut b = ProgramBuilder::new();
+    b.begin_func("f");
+    let l = b.new_label();
+    b.inst(Opcode::Mov, InstKind::Mov { dst: Operand::reg(Reg::Eax), src: Operand::imm(0) });
+    b.inst(Opcode::Cmp, InstKind::Use { oprs: vec![Operand::reg(Reg::Eax), Operand::imm(0)] });
+    b.jump(Opcode::Je, l);
+    b.inst(Opcode::Mov, InstKind::Mov { dst: Operand::reg(Reg::Ebx), src: Operand::imm(9) });
+    b.bind_label(l);
+    b.ret();
+    b.end_func();
+    let p = b.finish().unwrap();
+    let sol = solve(&p, FuncId(0), &Constprop);
+    assert!(!sol.reached(InstId(3)));
+    for id in [0u32, 1, 2, 4] {
+        assert!(sol.reached(InstId(id)), "I{id} should stay reached");
+    }
+}

@@ -62,6 +62,26 @@ pub fn detect_frame_mode(prog: &Program, func: FuncId) -> FrameMode {
         }
     }
 
+    // Epilogue corroboration: `mov esp, ebp; pop ebp; ret` (or `leave;
+    // pop ebp; ret` — this IR gives `leave` the same `mov esp, ebp` kind)
+    // proves an `ebp` frame was torn down even when scheduling noise or an
+    // early branch kept the `mov ebp, esp` out of the first basic block.
+    let ids: Vec<_> = f.inst_ids().collect();
+    for w in ids.windows(3) {
+        let tear_down = matches!(
+            &prog.inst(w[0]).kind,
+            InstKind::Mov { dst, src }
+                if dst.as_reg() == Some(Reg::Esp) && src.as_reg() == Some(Reg::Ebp)
+        );
+        let pop_ebp = matches!(
+            &prog.inst(w[1]).kind,
+            InstKind::Pop { dst } if dst.as_reg() == Some(Reg::Ebp)
+        );
+        if tear_down && pop_ebp && matches!(prog.inst(w[2]).kind, InstKind::Ret) {
+            return FrameMode::FramePointer;
+        }
+    }
+
     // A bare `sub esp, imm` near the entry without an ebp frame.
     for inst in &insts {
         if inst.opcode == Opcode::Sub {
@@ -179,6 +199,68 @@ mod tests {
             Opcode::Mov,
             InstKind::Mov { dst: Operand::reg(Reg::Ebp), src: Operand::reg(Reg::Esp) },
         );
+        b.ret();
+        b.end_func();
+        let p = b.finish().unwrap();
+        assert_eq!(detect_frame_mode(&p, FuncId(0)), FrameMode::FramePointer);
+    }
+
+    #[test]
+    fn sub_esp_scheduled_before_the_frame_setup_is_not_fpo() {
+        // Scheduling noise can hoist the frame allocation above the frame
+        // setup: `push ebp; sub esp, N; mov ebp, esp`. The bare-`sub esp`
+        // FPO heuristic must not win over the completed prologue.
+        let mut b = ProgramBuilder::new();
+        b.begin_func("hoisted");
+        b.inst(Opcode::Push, InstKind::Push { src: Operand::reg(Reg::Ebp) });
+        b.inst(
+            Opcode::Sub,
+            InstKind::Op { op: BinOp::Sub, dst: Operand::reg(Reg::Esp), src: Operand::imm(0x20) },
+        );
+        b.inst(
+            Opcode::Mov,
+            InstKind::Mov { dst: Operand::reg(Reg::Ebp), src: Operand::reg(Reg::Esp) },
+        );
+        b.inst(
+            Opcode::Mov,
+            InstKind::Mov { dst: Operand::reg(Reg::Esp), src: Operand::reg(Reg::Ebp) },
+        );
+        b.inst(Opcode::Pop, InstKind::Pop { dst: Operand::reg(Reg::Ebp) });
+        b.ret();
+        b.end_func();
+        let p = b.finish().unwrap();
+        assert_eq!(detect_frame_mode(&p, FuncId(0)), FrameMode::FramePointer);
+    }
+
+    #[test]
+    fn epilogue_corroborates_when_the_first_block_is_inconclusive() {
+        // An early branch ends the first basic block before `mov ebp, esp`,
+        // leaving only `push ebp; sub esp` in prologue view — which the FPO
+        // heuristic would misread. The `mov esp, ebp; pop ebp; ret` epilogue
+        // settles it.
+        let mut b = ProgramBuilder::new();
+        b.begin_func("branchy");
+        let l = b.new_label();
+        b.inst(Opcode::Push, InstKind::Push { src: Operand::reg(Reg::Ebp) });
+        b.inst(
+            Opcode::Sub,
+            InstKind::Op { op: BinOp::Sub, dst: Operand::reg(Reg::Esp), src: Operand::imm(0x20) },
+        );
+        b.inst(
+            Opcode::Test,
+            InstKind::Use { oprs: vec![Operand::reg(Reg::Eax), Operand::reg(Reg::Eax)] },
+        );
+        b.jump(Opcode::Je, l);
+        b.bind_label(l);
+        b.inst(
+            Opcode::Mov,
+            InstKind::Mov { dst: Operand::reg(Reg::Ebp), src: Operand::reg(Reg::Esp) },
+        );
+        b.inst(
+            Opcode::Mov,
+            InstKind::Mov { dst: Operand::reg(Reg::Esp), src: Operand::reg(Reg::Ebp) },
+        );
+        b.inst(Opcode::Pop, InstKind::Pop { dst: Operand::reg(Reg::Ebp) });
         b.ret();
         b.end_func();
         let p = b.finish().unwrap();

@@ -1,0 +1,159 @@
+//! Differential def-use oracle for TSLICE's kill rules.
+//!
+//! The `[Mov-rv-kill]` / `[Mov-riv-kill]` / `[Mov-rc-kill]` rules perform
+//! *strong updates*: they assign a register's abstract value set to ∅,
+//! asserting that whatever the register held before is gone. That assertion
+//! is only sound when the instruction really is a killing definition of that
+//! register in the dataflow sense — it writes the register, so the old
+//! definitions stop reaching.
+//!
+//! This module re-derives that fact from an independent engine: the
+//! reaching-definitions analysis in `tiara-dataflow` (separate code, same
+//! machine model). For every kill event in a TSLICE trace it checks
+//!
+//! 1. the instruction has a plain register destination `r`, and
+//! 2. reaching definitions agree that after the instruction the *only*
+//!    definition of `r` still reaching is the instruction itself
+//!    (`RD_out(i)[r] = {At(i)}`).
+//!
+//! A violation means the slicer dropped tracking at an instruction that does
+//! not actually overwrite the register — the exact bug class the kill rules
+//! can regress into when new instruction forms are added to `rules.rs`.
+
+use crate::trace::RuleName;
+use crate::tslice_with;
+use crate::TsliceConfig;
+use std::collections::HashMap;
+use tiara_dataflow::reaching::{DefSite, ReachingDefs};
+use tiara_dataflow::solver::{solve, Solution};
+use tiara_ir::{FuncId, InstId, InstKind, Program, Reg, VarAddr};
+
+/// The rules that perform a strong update (assign a register to ∅).
+const KILL_RULES: [RuleName; 3] =
+    [RuleName::MovRvKill, RuleName::MovRivKill, RuleName::MovRcKill];
+
+/// One disagreement between a kill event and the reaching-defs oracle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KillViolation {
+    /// The instruction the kill rule fired on.
+    pub inst: InstId,
+    /// The register the kill claimed to overwrite, if one was identifiable.
+    pub reg: Option<Reg>,
+    /// What disagreed.
+    pub message: String,
+}
+
+/// The outcome of cross-checking one criterion's trace.
+#[derive(Debug, Clone, Default)]
+pub struct KillCheck {
+    /// All disagreements found.
+    pub violations: Vec<KillViolation>,
+    /// Number of kill events that were checked.
+    pub events_checked: usize,
+}
+
+impl KillCheck {
+    /// `true` when every kill event agreed with the oracle.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// The register destination of a `mov`/`op` instruction, if it has one.
+fn register_destination(kind: &InstKind) -> Option<Reg> {
+    match kind {
+        InstKind::Mov { dst, .. } | InstKind::Op { dst, .. } => dst.as_reg(),
+        _ => None,
+    }
+}
+
+/// Runs TSLICE with tracing for the criterion `v0` and cross-checks every
+/// kill event against reaching definitions.
+pub fn check_kill_rules(prog: &Program, v0: VarAddr) -> KillCheck {
+    let out = tslice_with(prog, v0, &TsliceConfig::with_trace());
+    let mut check = KillCheck::default();
+    // One reaching-defs solve per function the trace touches.
+    let mut solutions: HashMap<FuncId, Solution<_>> = HashMap::new();
+
+    for ev in &out.trace {
+        if !ev.rules.iter().any(|r| KILL_RULES.contains(r)) {
+            continue;
+        }
+        check.events_checked += 1;
+        let id = ev.inst;
+        let kind = &prog.inst(id).kind;
+        let Some(r) = register_destination(kind) else {
+            check.violations.push(KillViolation {
+                inst: id,
+                reg: None,
+                message: "kill rule fired on an instruction with no register destination"
+                    .to_owned(),
+            });
+            continue;
+        };
+        let func = prog.func_of(id);
+        let sol =
+            solutions.entry(func).or_insert_with(|| solve(prog, func, &ReachingDefs));
+        if !sol.reached(id) {
+            // The slicer walked into code reaching-defs considers dead —
+            // nothing to compare against.
+            continue;
+        }
+        let defs = sol.after(id).defs(r);
+        let fresh_only =
+            defs.len() == 1 && defs.contains(&DefSite::At(id));
+        if !fresh_only {
+            check.violations.push(KillViolation {
+                inst: id,
+                reg: Some(r),
+                message: format!(
+                    "kill of {r} is not a killing definition: {} definition(s) of {r} \
+                     survive the instruction",
+                    defs.len()
+                ),
+            });
+        }
+    }
+    check
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiara_ir::{MemAddr, Opcode, Operand, ProgramBuilder, Reg};
+
+    #[test]
+    fn kill_events_agree_with_reaching_defs_on_a_kill_heavy_slice() {
+        // mov esi, [v0]; mov esi, [unrelated] — the second load kills esi
+        // ([Mov-riv-kill]); the oracle must agree it is a killing def.
+        let v0 = 0x74404u64;
+        let mut b = ProgramBuilder::new();
+        b.begin_func("main");
+        b.inst(Opcode::Mov, InstKind::Mov {
+            dst: Operand::reg(Reg::Esi),
+            src: Operand::mem_abs(v0, 0),
+        });
+        b.inst(Opcode::Mov, InstKind::Mov {
+            dst: Operand::reg(Reg::Esi),
+            src: Operand::mem_abs(0x9000u64, 0),
+        });
+        b.ret();
+        b.end_func();
+        let p = b.finish().unwrap();
+        let check = check_kill_rules(&p, VarAddr::Global(MemAddr(v0)));
+        assert!(check.events_checked >= 1, "expected at least one kill event");
+        assert!(check.is_clean(), "{:?}", check.violations);
+    }
+
+    #[test]
+    fn criterion_with_no_slice_checks_vacuously() {
+        let mut b = ProgramBuilder::new();
+        b.begin_func("main");
+        b.ret();
+        b.end_func();
+        let p = b.finish().unwrap();
+        let check = check_kill_rules(&p, VarAddr::Global(MemAddr(0x74404)));
+        assert_eq!(check.events_checked, 0);
+        assert!(check.is_clean());
+    }
+}

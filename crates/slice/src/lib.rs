@@ -45,6 +45,7 @@
 
 mod config;
 mod criterion;
+mod defuse_oracle;
 mod rules;
 mod slice;
 mod sslice;
@@ -55,6 +56,7 @@ mod value;
 
 pub use config::{DecayFunction, TsliceConfig};
 pub use criterion::Criterion;
+pub use defuse_oracle::{check_kill_rules, KillCheck, KillViolation};
 pub use slice::{build_slice_graph, Slice, SliceNode};
 pub use sslice::{first_access, sslice};
 pub use trace::{RuleName, TraceEvent};

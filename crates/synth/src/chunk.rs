@@ -36,6 +36,7 @@ pub enum Micro {
 pub struct Chunk {
     micros: Vec<Micro>,
     labels: usize,
+    scratch: Vec<Reg>,
 }
 
 impl Chunk {
@@ -153,8 +154,25 @@ impl Chunk {
         self.add(Operand::reg(Reg::Esp), Operand::imm(4 * n));
     }
 
-    /// Plays the chunk back into a program builder.
-    pub fn emit(&self, b: &mut ProgramBuilder) {
+    /// Records that `r` is a scratch register: the chunk clobbers it and its
+    /// value must be dead by the time the chunk ends. Noise chunks tag their
+    /// scratch registers so the generator's debug self-check can prove, via
+    /// liveness, that injected noise never feeds downstream computation.
+    pub fn mark_scratch(&mut self, r: Reg) {
+        if !self.scratch.contains(&r) {
+            self.scratch.push(r);
+        }
+    }
+
+    /// The registers recorded by [`Chunk::mark_scratch`].
+    pub fn scratch_regs(&self) -> &[Reg] {
+        &self.scratch
+    }
+
+    /// Plays the chunk back into a program builder and returns the emitted
+    /// instruction range as raw indices (`[start, end)`).
+    pub fn emit(&self, b: &mut ProgramBuilder) -> std::ops::Range<u32> {
+        let start = b.next_inst_id().0;
         let labels: Vec<tiara_ir::Label> = (0..self.labels).map(|_| b.new_label()).collect();
         for m in &self.micros {
             match m {
@@ -176,6 +194,7 @@ impl Chunk {
                 }
             }
         }
+        start..b.next_inst_id().0
     }
 }
 
@@ -220,11 +239,12 @@ mod tests {
 
         let mut b = ProgramBuilder::new();
         b.begin_func("f");
-        c.emit(&mut b);
+        let span = c.emit(&mut b);
         b.ret();
         b.end_func();
         let p = b.finish().expect("labels resolve");
         assert_eq!(p.num_insts(), 5);
+        assert_eq!(span, 0..4, "binds emit no instruction");
         // The jump's taken edge lands on the ret (label bound at chunk end).
         let jump_succs = p.cfg_succs(tiara_ir::InstId(2));
         assert_eq!(jump_succs.len(), 2);

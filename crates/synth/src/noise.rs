@@ -23,6 +23,7 @@ pub fn noise_chunk(rng: &mut StdRng) -> Chunk {
             c.mov(Operand::reg(r), Operand::mem_abs(g, 0));
             c.add(Operand::reg(r), Operand::imm(rng.random_range(1..64)));
             c.mov(Operand::mem_abs(g, 0), Operand::reg(r));
+            c.mark_scratch(r);
         }
         1 => {
             // Scratch arithmetic.
@@ -33,6 +34,7 @@ pub fn noise_chunk(rng: &mut StdRng) -> Chunk {
                 Operand::reg(r),
                 Operand::imm(rng.random_range(1..4)),
             );
+            c.mark_scratch(r);
         }
         2 => {
             // Flag computation and a short forward branch.
@@ -42,6 +44,7 @@ pub fn noise_chunk(rng: &mut StdRng) -> Chunk {
             c.jump(Opcode::Je, skip);
             c.inc(Operand::reg(r));
             c.bind(skip);
+            c.mark_scratch(r);
         }
         3 => {
             // An opaque external call (logging, etc.).

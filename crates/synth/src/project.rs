@@ -174,6 +174,9 @@ pub fn generate(spec: &ProjectSpec) -> Binary {
     let mut next_global = VAR_GLOBAL_BASE;
     let mut func_names: Vec<String> = Vec::new();
     let mut fn_counter = 0usize;
+    // Instruction spans of chunks with tagged scratch registers (noise);
+    // fed to the debug-build liveness self-check below.
+    let mut noise_spans: Vec<(tiara_ir::FuncId, std::ops::Range<u32>, Vec<Reg>)> = Vec::new();
 
     let mut cursor = 0usize;
     while cursor < pending.len() {
@@ -230,7 +233,22 @@ pub fn generate(spec: &ProjectSpec) -> Binary {
                 fold_global_offsets: style.fold_global_offsets,
                 spill: -4 - 4 * vi as i64,
             };
-            let mut stream = ctor(pv.class, &ctx, &mut rng, &style);
+            let mut stream: Vec<Chunk> = Vec::new();
+            if pv.ptr_level >= 1 {
+                // `T* p = &obj;` — bind the pointer before any chunk
+                // dereferences it. The pointee is an anonymous static block;
+                // the variable (and the slice criterion) stays the pointer.
+                let pointee = next_global;
+                next_global += VAR_GLOBAL_STRIDE;
+                let slot = match place {
+                    VarPlace::Stack(off) => Operand::mem_reg(Reg::Ebp, off),
+                    VarPlace::Global(base) => Operand::mem_abs(base, 0),
+                };
+                let mut c = Chunk::new();
+                c.mov(slot, Operand::addr_of(pointee, 0));
+                stream.push(c);
+            }
+            stream.extend(ctor(pv.class, &ctx, &mut rng, &style));
             let nops = rng.random_range(style.ops_per_var.0..=style.ops_per_var.1);
             for _ in 0..nops {
                 stream.extend(random_op(pv.class, &ctx, &mut rng, &style));
@@ -251,7 +269,10 @@ pub fn generate(spec: &ProjectSpec) -> Binary {
             }
         }
         for chunk in &merged {
-            chunk.emit(&mut b);
+            let span = chunk.emit(&mut b);
+            if !chunk.scratch_regs().is_empty() && !span.is_empty() {
+                noise_spans.push((func, span, chunk.scratch_regs().to_vec()));
+            }
         }
 
         // Epilogue.
@@ -303,6 +324,31 @@ pub fn generate(spec: &ProjectSpec) -> Binary {
             spec.name,
             report.render_human(&program)
         );
+
+        // Injected noise must be provably inert: every scratch register a
+        // noise chunk clobbers has to be dead at the chunk's last
+        // instruction, otherwise the "noise" feeds real computation and
+        // would teach the slicer/GCN to follow it.
+        let liveness = tiara_dataflow::Liveness::new();
+        let mut cache: Option<(tiara_ir::FuncId, tiara_dataflow::Solution<tiara_dataflow::RegSet>)> =
+            None;
+        for (func, span, regs) in &noise_spans {
+            if cache.as_ref().map(|(f, _)| f) != Some(func) {
+                cache = Some((*func, tiara_dataflow::solve(&program, *func, &liveness)));
+            }
+            let sol = &cache.as_ref().expect("cache was just filled").1;
+            let last = tiara_ir::InstId(span.end - 1);
+            if !sol.reached(last) {
+                continue;
+            }
+            for &r in regs {
+                assert!(
+                    !sol.after(last).contains(r),
+                    "noise scratch {r} is live out of its chunk at {last} in `{}`",
+                    spec.name
+                );
+            }
+        }
     }
 
     Binary { name: spec.name.clone(), program, debug }

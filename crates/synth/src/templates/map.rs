@@ -76,12 +76,17 @@ pub fn insert(ctx: &VarCtx, rng: &mut StdRng, style: &Style) -> Vec<Chunk> {
 
     let mut c1 = Chunk::new();
     let (_r0, r1) = tree_walk(&mut c1, ctx, key);
+    // The attach point must travel to c2 through memory: the interleaver is
+    // free to schedule another stream's chunks between c1 and c2, and those
+    // clobber scratch registers.
+    c1.mov(ctx.spill_slot(), Operand::reg(r1));
 
     let mut c2 = Chunk::new();
     if style.inline_allocators {
         c2.push(Operand::imm(24));
         c2.call_extern(tiara_ir::ExternKind::Malloc);
         c2.clean_args(1);
+        c2.mov(Operand::reg(r1), ctx.spill_slot()); // reload the attach point
         c2.mov(Operand::mem_reg(Reg::Eax, 4), Operand::reg(r1)); // parent
         c2.mov(Operand::mem_reg(Reg::Eax, 16), key);
         c2.mov(Operand::mem_reg(Reg::Eax, 20), small_imm(rng));
@@ -89,7 +94,7 @@ pub fn insert(ctx: &VarCtx, rng: &mut StdRng, style: &Style) -> Vec<Chunk> {
     } else {
         c2.push(small_imm(rng)); // value
         c2.push(key);
-        c2.push(Operand::reg(r1)); // attach point
+        c2.push(ctx.spill_slot()); // attach point
         c2.call(TREE_BUYNODE);
         c2.clean_args(3);
     }

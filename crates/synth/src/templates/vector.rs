@@ -151,13 +151,20 @@ pub fn reserve(ctx: &VarCtx, rng: &mut StdRng) -> Vec<Chunk> {
     vec![c]
 }
 
-/// `v.clear()` — `_Mylast = _Myfirst`.
+/// `v.clear()` — `_Mylast = _Myfirst`, guarded by the already-empty check
+/// (reading `_Mylast` first also keeps the preceding op's header store live,
+/// as a real optimizer's DSE would otherwise delete it).
 pub fn clear(ctx: &VarCtx, _rng: &mut StdRng) -> Vec<Chunk> {
-    let (r0, _) = ctx.scratch();
+    let (r0, r1) = ctx.scratch();
     let mut c = Chunk::new();
     let f = ctx.fields(&mut c);
-    c.mov(Operand::reg(r0), f.at(0));
-    c.mov(f.at(4), Operand::reg(r0));
+    let skip = c.label();
+    c.mov(Operand::reg(r0), f.at(4)); // _Mylast       (ref, 4)
+    c.mov(Operand::reg(r1), f.at(0)); // _Myfirst      (ref, 0)
+    c.cmp(Operand::reg(r0), Operand::reg(r1));
+    c.jump(Opcode::Je, skip);
+    c.mov(f.at(4), Operand::reg(r1));
+    c.bind(skip);
     vec![c]
 }
 

@@ -1,0 +1,95 @@
+//! Constant-condition pass: conditional branches that always go one way.
+//!
+//! Runs the conditional constant propagation from `tiara-dataflow` over each
+//! function and warns on every conditional jump whose outcome is decided by
+//! constant flags on all reachable paths. In generator output every
+//! conditional is supposed to depend on memory the analysis cannot see
+//! (globals, frame slots), so a decided branch means a template degenerated
+//! into straight-line code wearing a branch costume — noise that slicers and
+//! the GCN would learn to exploit.
+
+use crate::{Diagnostic, PassId};
+use tiara_dataflow::constprop::const_conditions;
+use tiara_ir::Program;
+
+/// Runs the constant-condition pass over every function.
+pub fn run(prog: &Program) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for f in prog.funcs() {
+        let (branches, _unreached) = const_conditions(prog, f.id);
+        for br in branches {
+            let dir = if br.taken { "always taken" } else { "never taken" };
+            diags.push(
+                Diagnostic::warning(
+                    PassId::ConstCondition,
+                    format!(
+                        "{} is {dir}: its flags are compile-time constant",
+                        prog.inst(br.inst).opcode
+                    ),
+                )
+                .in_func(f.id)
+                .at(br.inst),
+            );
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiara_ir::{InstKind, Opcode, Operand, ProgramBuilder, Reg};
+
+    #[test]
+    fn decided_branch_is_flagged() {
+        // mov eax, 0; test eax, eax; je L  — always taken.
+        let mut b = ProgramBuilder::new();
+        b.begin_func("f");
+        let l = b.new_label();
+        b.inst(Opcode::Mov, InstKind::Mov {
+            dst: Operand::reg(Reg::Eax),
+            src: Operand::imm(0),
+        });
+        b.inst(Opcode::Test, InstKind::Use {
+            oprs: vec![Operand::reg(Reg::Eax), Operand::reg(Reg::Eax)],
+        });
+        let j = b.jump(Opcode::Je, l);
+        b.inst(Opcode::Mov, InstKind::Mov {
+            dst: Operand::reg(Reg::Ecx),
+            src: Operand::imm(1),
+        });
+        b.bind_label(l);
+        b.ret();
+        b.end_func();
+        let p = b.finish().unwrap();
+        let diags = run(&p);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].inst, Some(j));
+        assert!(diags[0].message.contains("always taken"));
+    }
+
+    #[test]
+    fn memory_dependent_branch_is_clean() {
+        // The branch depends on a global load — undecidable, no warning.
+        let mut b = ProgramBuilder::new();
+        b.begin_func("f");
+        let l = b.new_label();
+        b.inst(Opcode::Mov, InstKind::Mov {
+            dst: Operand::reg(Reg::Eax),
+            src: Operand::mem_abs(0x7D000, 0),
+        });
+        b.inst(Opcode::Test, InstKind::Use {
+            oprs: vec![Operand::reg(Reg::Eax), Operand::reg(Reg::Eax)],
+        });
+        b.jump(Opcode::Je, l);
+        b.inst(Opcode::Mov, InstKind::Mov {
+            dst: Operand::reg(Reg::Ecx),
+            src: Operand::imm(1),
+        });
+        b.bind_label(l);
+        b.ret();
+        b.end_func();
+        let p = b.finish().unwrap();
+        assert!(run(&p).is_empty());
+    }
+}

@@ -1,0 +1,283 @@
+//! Dead-store pass: frame-slot stores that are provably clobbered.
+//!
+//! A store to `[ebp+c]` is reported when **every** path from the store
+//! reaches another store to the same slot before any instruction that could
+//! read it — where "read it" includes any `call` (the callee is outside the
+//! model) and the function exit (a trailing store dies with the frame, which
+//! is normal codegen). That is a must-overwrite property, deliberately
+//! stricter than "never read again": a store that is always clobbered within
+//! its own call-free window can never matter and indicates a lost update in
+//! the emitter.
+//!
+//! Implemented as a backward may-analysis over the function's frame slots:
+//! the fact at a point is the set of slots that, on *some* path onward, are
+//! read before being overwritten or survive to the exit un-overwritten.
+//! A store to `c` with `c` absent from that set is definitely clobbered.
+//!
+//! Functions whose frame address escapes — any `lea`-style operand
+//! `ebp + c` with `c ≠ 0`, which is the only way this IR materializes a
+//! slot's address — are skipped wholesale: once the address escapes, loads
+//! through general registers and callees may read any slot.
+
+use crate::{Diagnostic, PassId};
+use std::collections::BTreeSet;
+use tiara_dataflow::solver::{solve, Direction, Lattice, Transfer};
+use tiara_ir::{FuncId, InstId, InstKind, Operand, Program, Reg};
+
+/// A set of `ebp` offsets.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+struct SlotSet(BTreeSet<i64>);
+
+impl Lattice for SlotSet {
+    fn join(&mut self, other: &Self) -> bool {
+        let before = self.0.len();
+        self.0.extend(other.0.iter().copied());
+        self.0.len() != before
+    }
+}
+
+/// The frame slot a memory operand addresses, if it is an `ebp` slot.
+fn slot_of(o: Operand) -> Option<i64> {
+    match o {
+        Operand::Deref(loc) if loc.base_reg() == Some(Reg::Ebp) => Some(loc.offset),
+        _ => None,
+    }
+}
+
+/// `true` if the operand materializes a frame-slot *address* (`lea`-style
+/// `ebp + c`, `c ≠ 0`) — the only way a slot address can escape.
+fn escapes_frame(o: Operand) -> bool {
+    matches!(o, Operand::Loc(loc) if loc.base_reg() == Some(Reg::Ebp) && loc.offset != 0)
+}
+
+fn operands(kind: &InstKind) -> Vec<Operand> {
+    match kind {
+        InstKind::Mov { dst, src } | InstKind::Op { dst, src, .. } => vec![*dst, *src],
+        InstKind::Use { oprs } => oprs.clone(),
+        InstKind::Push { src } => vec![*src],
+        InstKind::Pop { dst } => vec![*dst],
+        InstKind::Call { .. } | InstKind::Ret => Vec::new(),
+    }
+}
+
+/// The backward "may be read before overwritten (or escape to the exit)"
+/// analysis.
+struct SlotObservers {
+    universe: SlotSet,
+}
+
+impl Transfer for SlotObservers {
+    type Fact = SlotSet;
+
+    fn direction(&self) -> Direction {
+        Direction::Backward
+    }
+
+    fn bottom(&self) -> SlotSet {
+        SlotSet::default()
+    }
+
+    fn boundary(&self) -> SlotSet {
+        // At the exit every slot counts as observed: a trailing store is
+        // not a dead store.
+        self.universe.clone()
+    }
+
+    fn apply(&self, prog: &Program, id: InstId, fact: &mut SlotSet) {
+        match &prog.inst(id).kind {
+            InstKind::Mov { dst, src } => {
+                if let Some(c) = slot_of(*dst) {
+                    fact.0.remove(&c); // pure overwrite
+                }
+                if let Some(c) = slot_of(*src) {
+                    fact.0.insert(c);
+                }
+            }
+            InstKind::Op { dst, src, .. } => {
+                // A read-modify-write observes the slot before rewriting it.
+                if let Some(c) = slot_of(*dst) {
+                    fact.0.insert(c);
+                }
+                if let Some(c) = slot_of(*src) {
+                    fact.0.insert(c);
+                }
+            }
+            InstKind::Use { oprs } => {
+                for o in oprs {
+                    if let Some(c) = slot_of(*o) {
+                        fact.0.insert(c);
+                    }
+                }
+            }
+            InstKind::Push { src } => {
+                if let Some(c) = slot_of(*src) {
+                    fact.0.insert(c);
+                }
+            }
+            InstKind::Pop { dst } => {
+                if let Some(c) = slot_of(*dst) {
+                    fact.0.remove(&c);
+                }
+            }
+            // A call is an observation horizon: the IR does not model what
+            // the callee reads, and real codegen keeps frame stores live
+            // across calls. Treat every slot as observed at the call.
+            InstKind::Call { .. } => {
+                fact.0.extend(self.universe.0.iter().copied());
+            }
+            InstKind::Ret => {}
+        }
+    }
+}
+
+fn run_func(prog: &Program, func: FuncId, diags: &mut Vec<Diagnostic>) {
+    let f = prog.func(func);
+    let mut universe = SlotSet::default();
+    for id in f.inst_ids() {
+        for o in operands(&prog.inst(id).kind) {
+            if escapes_frame(o) {
+                return; // address escapes: every slot may be read anywhere
+            }
+            if let Some(c) = slot_of(o) {
+                universe.0.insert(c);
+            }
+        }
+    }
+    if universe.0.is_empty() {
+        return;
+    }
+
+    let sol = solve(prog, func, &SlotObservers { universe });
+    for id in f.inst_ids() {
+        if !sol.reached(id) {
+            continue;
+        }
+        let store = match &prog.inst(id).kind {
+            InstKind::Mov { dst, .. } => slot_of(*dst),
+            InstKind::Pop { dst } => slot_of(*dst),
+            _ => None,
+        };
+        if let Some(c) = store {
+            // `after` in program order is the fact downstream of the store.
+            if !sol.after(id).0.contains(&c) {
+                diags.push(
+                    Diagnostic::warning(
+                        PassId::DeadStore,
+                        format!(
+                            "store to [ebp{c:+#x}] is overwritten on every path \
+                             before being read"
+                        ),
+                    )
+                    .in_func(func)
+                    .at(id),
+                );
+            }
+        }
+    }
+}
+
+/// Runs the dead-store pass over every function.
+pub fn run(prog: &Program) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for f in prog.funcs() {
+        run_func(prog, f.id, &mut diags);
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiara_ir::{Opcode, Operand, ProgramBuilder};
+
+    fn slot(c: i64) -> Operand {
+        Operand::mem_reg(Reg::Ebp, c)
+    }
+
+    #[test]
+    fn clobbered_store_is_flagged() {
+        // mov [ebp-8], 1; mov [ebp-8], 2; mov eax, [ebp-8]
+        let mut b = ProgramBuilder::new();
+        b.begin_func("f");
+        b.inst(Opcode::Mov, InstKind::Mov { dst: slot(-8), src: Operand::imm(1) });
+        b.inst(Opcode::Mov, InstKind::Mov { dst: slot(-8), src: Operand::imm(2) });
+        b.inst(Opcode::Mov, InstKind::Mov { dst: Operand::reg(Reg::Eax), src: slot(-8) });
+        b.ret();
+        b.end_func();
+        let p = b.finish().unwrap();
+        let diags = run(&p);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].inst, Some(InstId(0)));
+    }
+
+    #[test]
+    fn trailing_store_and_read_before_overwrite_are_clean() {
+        // mov [ebp-8], 1; mov eax, [ebp-8]; mov [ebp-8], 2; ret — the first
+        // store is read, the second dies with the frame: both fine.
+        let mut b = ProgramBuilder::new();
+        b.begin_func("f");
+        b.inst(Opcode::Mov, InstKind::Mov { dst: slot(-8), src: Operand::imm(1) });
+        b.inst(Opcode::Mov, InstKind::Mov { dst: Operand::reg(Reg::Eax), src: slot(-8) });
+        b.inst(Opcode::Mov, InstKind::Mov { dst: slot(-8), src: Operand::imm(2) });
+        b.ret();
+        b.end_func();
+        let p = b.finish().unwrap();
+        assert!(run(&p).is_empty());
+    }
+
+    #[test]
+    fn one_reading_path_saves_the_store() {
+        // The slot is read on the fall-through arm only; a may-read on some
+        // path means the store is not definitely clobbered.
+        let mut b = ProgramBuilder::new();
+        b.begin_func("f");
+        let l = b.new_label();
+        b.inst(Opcode::Mov, InstKind::Mov { dst: slot(-4), src: Operand::imm(1) });
+        b.inst(Opcode::Cmp, InstKind::Use { oprs: vec![slot(-12), Operand::imm(0)] });
+        b.jump(Opcode::Je, l);
+        b.inst(Opcode::Mov, InstKind::Mov { dst: Operand::reg(Reg::Ecx), src: slot(-4) });
+        b.bind_label(l);
+        b.inst(Opcode::Mov, InstKind::Mov { dst: slot(-4), src: Operand::imm(2) });
+        b.ret();
+        b.end_func();
+        let p = b.finish().unwrap();
+        assert!(run(&p).is_empty(), "{:?}", run(&p));
+    }
+
+    #[test]
+    fn an_intervening_call_saves_the_store() {
+        // mov [ebp-8], 1; call g; mov [ebp-8], 2; ret — the callee is an
+        // observation horizon, so the first store is not reported.
+        let mut b = ProgramBuilder::new();
+        b.begin_func("g");
+        b.ret();
+        b.end_func();
+        b.begin_func("f");
+        b.inst(Opcode::Mov, InstKind::Mov { dst: slot(-8), src: Operand::imm(1) });
+        b.call_named("g");
+        b.inst(Opcode::Mov, InstKind::Mov { dst: slot(-8), src: Operand::imm(2) });
+        b.ret();
+        b.end_func();
+        b.set_entry("f");
+        let p = b.finish().unwrap();
+        assert!(run(&p).is_empty(), "{:?}", run(&p));
+    }
+
+    #[test]
+    fn frame_escape_disables_the_function() {
+        // lea esi, [ebp-8] escapes the frame; the clobbered store pattern
+        // must not be flagged anymore.
+        let mut b = ProgramBuilder::new();
+        b.begin_func("f");
+        b.inst(Opcode::Lea, InstKind::Mov {
+            dst: Operand::reg(Reg::Esi),
+            src: Operand::Loc(tiara_ir::Loc::with_offset(Reg::Ebp, -8)),
+        });
+        b.inst(Opcode::Mov, InstKind::Mov { dst: slot(-8), src: Operand::imm(1) });
+        b.inst(Opcode::Mov, InstKind::Mov { dst: slot(-8), src: Operand::imm(2) });
+        b.ret();
+        b.end_func();
+        let p = b.finish().unwrap();
+        assert!(run(&p).is_empty());
+    }
+}

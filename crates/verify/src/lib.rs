@@ -19,7 +19,16 @@
 //! | `def-before-use` | no register is read before it is defined on every path |
 //! | `heap-discipline` | malloc results are not freed twice, used after free, or trivially leaked |
 //! | `frame-mode` | no `ebp`-relative accesses inside frame-pointer-omitted functions |
-//! | `slice-oracle` | TSLICE outputs are connected sub-CFGs, trace faith is monotone, TSLICE ⊆ SSLICE |
+//! | `dead-store` | no frame-slot store is overwritten on every path before being read |
+//! | `unreachable-code` | no instruction is dead under conditional constant propagation |
+//! | `uninit-stack-read` | no local slot is read before any path initializes it |
+//! | `const-condition` | no conditional branch is decided by compile-time-constant flags |
+//! | `slice-oracle` | TSLICE outputs are connected sub-CFGs, trace faith is monotone, TSLICE ⊆ SSLICE, kill rules agree with reaching definitions |
+//!
+//! The last four static passes are built on the fixpoint dataflow engine in
+//! [`tiara_dataflow`] (liveness, reaching definitions, conditional constant
+//! propagation) rather than the ad-hoc walks of the earlier passes — see
+//! `DESIGN.md`, "Dataflow substrate".
 //!
 //! ## Example
 //!
@@ -41,11 +50,15 @@
 #![forbid(unsafe_code)]
 
 mod cfg;
+mod constcond;
+mod deadstore;
 mod defuse;
 mod frame;
 mod heap;
 mod oracle;
 mod stack;
+mod uninit;
+mod unreachable;
 
 pub use oracle::{check_slice, check_trace_monotone, check_tslice_in_sslice, verify_slices};
 
@@ -64,6 +77,14 @@ pub enum PassId {
     HeapDiscipline,
     /// Frame-mode consistency.
     FrameMode,
+    /// Dead frame-slot stores (dataflow-based).
+    DeadStore,
+    /// Code unreachable under constant propagation (dataflow-based).
+    UnreachableCode,
+    /// Local stack slots read before initialization (dataflow-based).
+    UninitStackRead,
+    /// Conditional branches with compile-time-constant outcome (dataflow-based).
+    ConstCondition,
     /// Slice-soundness oracle.
     SliceOracle,
 }
@@ -77,6 +98,10 @@ impl PassId {
             PassId::DefBeforeUse => "def-before-use",
             PassId::HeapDiscipline => "heap-discipline",
             PassId::FrameMode => "frame-mode",
+            PassId::DeadStore => "dead-store",
+            PassId::UnreachableCode => "unreachable-code",
+            PassId::UninitStackRead => "uninit-stack-read",
+            PassId::ConstCondition => "const-condition",
             PassId::SliceOracle => "slice-oracle",
         }
     }
@@ -258,7 +283,7 @@ fn escape_json(s: &str) -> String {
     out
 }
 
-/// Runs the five static passes over a program.
+/// Runs the static passes over a program.
 ///
 /// If the CFG pass finds structural errors the remaining passes are skipped:
 /// they assume a sane instruction/function layout and would either panic or
@@ -271,11 +296,15 @@ pub fn verify(prog: &Program) -> Report {
         diagnostics.extend(defuse::run(prog));
         diagnostics.extend(heap::run(prog));
         diagnostics.extend(frame::run(prog));
+        diagnostics.extend(deadstore::run(prog));
+        diagnostics.extend(unreachable::run(prog));
+        diagnostics.extend(uninit::run(prog));
+        diagnostics.extend(constcond::run(prog));
     }
     Report { diagnostics }
 }
 
-/// Runs the five static passes, then the slice-soundness oracle for each
+/// Runs the static passes, then the slice-soundness oracle for each
 /// criterion in `criteria` (skipped when the static passes already found
 /// errors — slicing a malformed program proves nothing).
 pub fn verify_with_slices(prog: &Program, criteria: &[VarAddr]) -> Report {

@@ -12,11 +12,16 @@
 //! 3. **Containment** — differential check: TSLICE explores the first-access
 //!    function and its direct callees, so its node set must be contained in
 //!    SSLICE's for the same criterion.
+//! 4. **Kill soundness** — differential check against the reaching-defs
+//!    engine in `tiara-dataflow`: every strong update (`[Mov-*-kill]`) in
+//!    the trace must be a genuine killing definition of its register.
 
 use crate::{Diagnostic, PassId};
 use std::collections::HashSet;
 use tiara_ir::{Program, VarAddr};
-use tiara_slice::{first_access, sslice, tslice_with, Slice, TraceEvent, TsliceConfig};
+use tiara_slice::{
+    check_kill_rules, first_access, sslice, tslice_with, Slice, TraceEvent, TsliceConfig,
+};
 
 /// Faith comparisons tolerate accumulated floating-point error up to this.
 const FAITH_EPS: f64 = 1e-9;
@@ -167,7 +172,8 @@ pub fn check_tslice_in_sslice(tslice: &Slice, sslice: &Slice) -> Vec<Diagnostic>
 }
 
 /// Runs the full oracle for each criterion: slices with TSLICE (tracing on)
-/// and SSLICE, then checks structure, monotonicity, and containment.
+/// and SSLICE, then checks structure, monotonicity, containment, and kill
+/// soundness.
 pub fn verify_slices(prog: &Program, criteria: &[VarAddr]) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
     let cfg = TsliceConfig::with_trace();
@@ -177,6 +183,15 @@ pub fn verify_slices(prog: &Program, criteria: &[VarAddr]) -> Vec<Diagnostic> {
         diags.extend(check_slice(prog, &out.slice));
         diags.extend(check_trace_monotone(&out.trace));
         diags.extend(check_tslice_in_sslice(&out.slice, &base));
+        for v in check_kill_rules(prog, v0).violations {
+            let mut d = Diagnostic::error(
+                PassId::SliceOracle,
+                format!("kill-rule/reaching-defs disagreement: {}", v.message),
+            )
+            .at(v.inst);
+            d.func = Some(prog.func_of(v.inst));
+            diags.push(d);
+        }
     }
     diags
 }

@@ -1,0 +1,218 @@
+//! Uninitialized-stack-read pass.
+//!
+//! A load from a *negative* `ebp` offset reads a local variable slot; if no
+//! path from the function entry stores to that slot first, the read sees
+//! garbage. This pass runs a forward "may be initialized" union analysis
+//! over the frame slots (a slot is in the fact if **some** path has stored
+//! to it) and reports, as an **error**, every reachable read of a negative
+//! slot that is absent from the fact — i.e. provably uninitialized on every
+//! path. The may-join makes the check deliberately conservative: a slot
+//! initialized on one arm of a diamond and read after the join is not
+//! flagged, because dataflow cannot see path correlations.
+//!
+//! Positive offsets are exempt — they address incoming arguments (or the
+//! saved frame linkage), which the caller initializes. Functions whose frame
+//! address escapes (`lea r, [ebp+c]`) are skipped, exactly as in the
+//! dead-store pass: an escaped slot can be written through any register or
+//! callee.
+
+use crate::{Diagnostic, PassId};
+use std::collections::BTreeSet;
+use tiara_dataflow::solver::{solve, Direction, Lattice, Transfer};
+use tiara_ir::{FuncId, InstId, InstKind, Operand, Program, Reg};
+
+/// A set of `ebp` offsets (the may-initialized slots).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+struct InitSet(BTreeSet<i64>);
+
+impl Lattice for InitSet {
+    fn join(&mut self, other: &Self) -> bool {
+        let before = self.0.len();
+        self.0.extend(other.0.iter().copied());
+        self.0.len() != before
+    }
+}
+
+fn slot_of(o: Operand) -> Option<i64> {
+    match o {
+        Operand::Deref(loc) if loc.base_reg() == Some(Reg::Ebp) => Some(loc.offset),
+        _ => None,
+    }
+}
+
+fn escapes_frame(o: Operand) -> bool {
+    matches!(o, Operand::Loc(loc) if loc.base_reg() == Some(Reg::Ebp) && loc.offset != 0)
+}
+
+/// Slots this instruction reads, in evaluation order before its write.
+fn slot_reads(kind: &InstKind) -> Vec<i64> {
+    match kind {
+        InstKind::Mov { src, .. } => slot_of(*src).into_iter().collect(),
+        // A read-modify-write reads its destination slot too.
+        InstKind::Op { dst, src, .. } => {
+            slot_of(*dst).into_iter().chain(slot_of(*src)).collect()
+        }
+        InstKind::Use { oprs } => oprs.iter().filter_map(|o| slot_of(*o)).collect(),
+        InstKind::Push { src } => slot_of(*src).into_iter().collect(),
+        InstKind::Pop { .. } | InstKind::Call { .. } | InstKind::Ret => Vec::new(),
+    }
+}
+
+/// The slot this instruction stores to, if any.
+fn slot_write(kind: &InstKind) -> Option<i64> {
+    match kind {
+        InstKind::Mov { dst, .. } | InstKind::Op { dst, .. } => slot_of(*dst),
+        InstKind::Pop { dst } => slot_of(*dst),
+        _ => None,
+    }
+}
+
+struct MayInit;
+
+impl Transfer for MayInit {
+    type Fact = InitSet;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn bottom(&self) -> InitSet {
+        InitSet::default()
+    }
+
+    fn boundary(&self) -> InitSet {
+        InitSet::default() // nothing is initialized at the function entry
+    }
+
+    fn apply(&self, prog: &Program, id: InstId, fact: &mut InitSet) {
+        if let Some(c) = slot_write(&prog.inst(id).kind) {
+            fact.0.insert(c);
+        }
+    }
+}
+
+fn run_func(prog: &Program, func: FuncId, diags: &mut Vec<Diagnostic>) {
+    let f = prog.func(func);
+    let mut touches_frame = false;
+    for id in f.inst_ids() {
+        let kind = &prog.inst(id).kind;
+        let oprs: Vec<Operand> = match kind {
+            InstKind::Mov { dst, src } | InstKind::Op { dst, src, .. } => vec![*dst, *src],
+            InstKind::Use { oprs } => oprs.clone(),
+            InstKind::Push { src } => vec![*src],
+            InstKind::Pop { dst } => vec![*dst],
+            InstKind::Call { .. } | InstKind::Ret => Vec::new(),
+        };
+        for o in oprs {
+            if escapes_frame(o) {
+                return;
+            }
+            if slot_of(o).is_some() {
+                touches_frame = true;
+            }
+        }
+    }
+    if !touches_frame {
+        return;
+    }
+
+    let sol = solve(prog, func, &MayInit);
+    for id in f.inst_ids() {
+        if !sol.reached(id) {
+            continue;
+        }
+        let init = sol.before(id);
+        for c in slot_reads(&prog.inst(id).kind) {
+            if c < 0 && !init.0.contains(&c) {
+                diags.push(
+                    Diagnostic::error(
+                        PassId::UninitStackRead,
+                        format!("read of [ebp{c:+#x}] before any path initializes it"),
+                    )
+                    .in_func(func)
+                    .at(id),
+                );
+            }
+        }
+    }
+}
+
+/// Runs the uninitialized-stack-read pass over every function.
+pub fn run(prog: &Program) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for f in prog.funcs() {
+        run_func(prog, f.id, &mut diags);
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiara_ir::{Opcode, ProgramBuilder};
+
+    fn slot(c: i64) -> Operand {
+        Operand::mem_reg(Reg::Ebp, c)
+    }
+
+    #[test]
+    fn read_before_any_store_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        b.begin_func("f");
+        b.inst(Opcode::Mov, InstKind::Mov { dst: Operand::reg(Reg::Eax), src: slot(-8) });
+        b.ret();
+        b.end_func();
+        let p = b.finish().unwrap();
+        let diags = run(&p);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].inst, Some(InstId(0)));
+    }
+
+    #[test]
+    fn store_then_read_is_clean_and_arg_reads_are_exempt() {
+        // [ebp-8] is stored then read; [ebp+8] is an argument read.
+        let mut b = ProgramBuilder::new();
+        b.begin_func("f");
+        b.inst(Opcode::Mov, InstKind::Mov { dst: slot(-8), src: Operand::imm(1) });
+        b.inst(Opcode::Mov, InstKind::Mov { dst: Operand::reg(Reg::Eax), src: slot(-8) });
+        b.inst(Opcode::Mov, InstKind::Mov { dst: Operand::reg(Reg::Ecx), src: slot(8) });
+        b.ret();
+        b.end_func();
+        let p = b.finish().unwrap();
+        assert!(run(&p).is_empty(), "{:?}", run(&p));
+    }
+
+    #[test]
+    fn one_initializing_arm_suppresses_the_report() {
+        // The slot is stored on one arm of a diamond; the read after the
+        // join is not *provably* uninitialized, so the may-analysis stays
+        // quiet.
+        let mut b = ProgramBuilder::new();
+        b.begin_func("f");
+        let l = b.new_label();
+        b.inst(Opcode::Cmp, InstKind::Use { oprs: vec![slot(8), Operand::imm(0)] });
+        b.jump(Opcode::Je, l);
+        b.inst(Opcode::Mov, InstKind::Mov { dst: slot(-4), src: Operand::imm(1) });
+        b.bind_label(l);
+        b.inst(Opcode::Mov, InstKind::Mov { dst: Operand::reg(Reg::Eax), src: slot(-4) });
+        b.ret();
+        b.end_func();
+        let p = b.finish().unwrap();
+        assert!(run(&p).is_empty(), "{:?}", run(&p));
+    }
+
+    #[test]
+    fn frame_escape_disables_the_function() {
+        let mut b = ProgramBuilder::new();
+        b.begin_func("f");
+        b.inst(Opcode::Lea, InstKind::Mov {
+            dst: Operand::reg(Reg::Esi),
+            src: Operand::Loc(tiara_ir::Loc::with_offset(Reg::Ebp, -8)),
+        });
+        b.inst(Opcode::Mov, InstKind::Mov { dst: Operand::reg(Reg::Eax), src: slot(-8) });
+        b.ret();
+        b.end_func();
+        let p = b.finish().unwrap();
+        assert!(run(&p).is_empty());
+    }
+}

@@ -1,0 +1,107 @@
+//! Unreachable-code pass: instructions no executable path can reach.
+//!
+//! Uses the executable-block tracking of the conditional constant
+//! propagation in `tiara-dataflow`: a block is reachable only if some chain
+//! of decided/undecided branch edges leads to it from the function entry.
+//! This subsumes plain graph reachability (which the structural CFG pass
+//! already implies) — code behind an always-taken branch is structurally
+//! connected yet can never execute.
+//!
+//! Unreached instructions are reported as one warning per contiguous range
+//! so a skipped region does not flood the report.
+
+use crate::{Diagnostic, PassId};
+use tiara_dataflow::constprop::const_conditions;
+use tiara_ir::Program;
+
+/// Runs the unreachable-code pass over every function.
+pub fn run(prog: &Program) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for f in prog.funcs() {
+        let (_branches, mut unreached) = const_conditions(prog, f.id);
+        unreached.sort();
+        let mut i = 0;
+        while i < unreached.len() {
+            let start = unreached[i];
+            let mut end = start;
+            while i + 1 < unreached.len() && unreached[i + 1].0 == end.0 + 1 {
+                i += 1;
+                end = unreached[i];
+            }
+            let span = (end.0 - start.0 + 1) as usize;
+            let msg = if span == 1 {
+                "instruction is unreachable under constant propagation".to_owned()
+            } else {
+                format!("{span} instructions are unreachable under constant propagation")
+            };
+            diags.push(
+                Diagnostic::warning(PassId::UnreachableCode, msg).in_func(f.id).at(start),
+            );
+            i += 1;
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiara_ir::{InstId, InstKind, Opcode, Operand, ProgramBuilder, Reg};
+
+    #[test]
+    fn code_behind_an_always_taken_branch_is_flagged_once() {
+        // mov eax, 0; test; je L; mov ecx, 1; mov edx, 2; L: ret — the two
+        // fall-through movs form one unreachable range → one warning.
+        let mut b = ProgramBuilder::new();
+        b.begin_func("f");
+        let l = b.new_label();
+        b.inst(Opcode::Mov, InstKind::Mov {
+            dst: Operand::reg(Reg::Eax),
+            src: Operand::imm(0),
+        });
+        b.inst(Opcode::Test, InstKind::Use {
+            oprs: vec![Operand::reg(Reg::Eax), Operand::reg(Reg::Eax)],
+        });
+        b.jump(Opcode::Je, l);
+        b.inst(Opcode::Mov, InstKind::Mov {
+            dst: Operand::reg(Reg::Ecx),
+            src: Operand::imm(1),
+        });
+        b.inst(Opcode::Mov, InstKind::Mov {
+            dst: Operand::reg(Reg::Edx),
+            src: Operand::imm(2),
+        });
+        b.bind_label(l);
+        b.ret();
+        b.end_func();
+        let p = b.finish().unwrap();
+        let diags = run(&p);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].inst, Some(InstId(3)));
+        assert!(diags[0].message.contains("2 instructions"));
+    }
+
+    #[test]
+    fn fully_live_function_is_clean() {
+        let mut b = ProgramBuilder::new();
+        b.begin_func("f");
+        let l = b.new_label();
+        b.inst(Opcode::Mov, InstKind::Mov {
+            dst: Operand::reg(Reg::Eax),
+            src: Operand::mem_abs(0x7D000, 0),
+        });
+        b.inst(Opcode::Test, InstKind::Use {
+            oprs: vec![Operand::reg(Reg::Eax), Operand::reg(Reg::Eax)],
+        });
+        b.jump(Opcode::Je, l);
+        b.inst(Opcode::Mov, InstKind::Mov {
+            dst: Operand::reg(Reg::Ecx),
+            src: Operand::imm(1),
+        });
+        b.bind_label(l);
+        b.ret();
+        b.end_func();
+        let p = b.finish().unwrap();
+        assert!(run(&p).is_empty());
+    }
+}

@@ -1,0 +1,84 @@
+//! The dataflow engine's acceptance bar over the benchmark suite: every
+//! function of every project yields all four fact kinds, the dataflow-backed
+//! lint passes run clean on generator output, and TSLICE's kill rules agree
+//! with reaching definitions on every sampled criterion.
+
+use tiara_dataflow::{analyze_program, render_json};
+use tiara_slice::check_kill_rules;
+use tiara_verify::{verify, PassId};
+
+const DATAFLOW_PASSES: [PassId; 4] = [
+    PassId::DeadStore,
+    PassId::UnreachableCode,
+    PassId::UninitStackRead,
+    PassId::ConstCondition,
+];
+
+#[test]
+fn analyze_covers_every_function_of_the_suite() {
+    let bins = tiara_eval::build_suite(42, 0.1);
+    assert_eq!(bins.len(), 8, "Table I has eight projects");
+    for bin in &bins {
+        let facts = analyze_program(&bin.program);
+        assert_eq!(
+            facts.len(),
+            bin.program.funcs().len(),
+            "`{}`: one fact record per function",
+            bin.name
+        );
+        let json = render_json(&facts);
+        for key in ["\"liveness\"", "\"reaching\"", "\"constprop\"", "\"pointsto\""] {
+            assert_eq!(
+                json.matches(key).count(),
+                facts.len(),
+                "`{}`: {key} present for every function",
+                bin.name
+            );
+        }
+        // Generated code is never trivial: the suite must exercise each
+        // analysis somewhere, not just emit empty sections.
+        assert!(facts.iter().any(|f| f.def_use_edges > 0), "`{}`: reaching", bin.name);
+        assert!(facts.iter().any(|f| f.max_live > 0), "`{}`: liveness", bin.name);
+        assert!(facts.iter().any(|f| f.const_points > 0), "`{}`: constprop", bin.name);
+        assert!(facts.iter().any(|f| !f.objects.is_empty()), "`{}`: points-to", bin.name);
+    }
+}
+
+#[test]
+fn dataflow_passes_run_clean_on_the_suite() {
+    let bins = tiara_eval::build_suite(42, 0.1);
+    for bin in &bins {
+        let report = verify(&bin.program);
+        let offenders: Vec<_> = report
+            .diagnostics
+            .iter()
+            .filter(|d| DATAFLOW_PASSES.contains(&d.pass))
+            .collect();
+        assert!(
+            offenders.is_empty(),
+            "`{}`: dataflow passes must be clean on generator output:\n{:?}",
+            bin.name,
+            offenders
+        );
+    }
+}
+
+#[test]
+fn kill_rules_agree_with_reaching_defs_across_the_suite() {
+    let bins = tiara_eval::build_suite(42, 0.1);
+    let mut events = 0usize;
+    for bin in &bins {
+        // Sample up to 16 labeled variables per binary as slicing criteria.
+        for (addr, _class) in bin.labeled_vars().take(16) {
+            let check = check_kill_rules(&bin.program, addr);
+            events += check.events_checked;
+            assert!(
+                check.is_clean(),
+                "`{}` criterion {addr}: {:?}",
+                bin.name,
+                check.violations
+            );
+        }
+    }
+    assert!(events > 0, "the suite must exercise the kill rules at least once");
+}
