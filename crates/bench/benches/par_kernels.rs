@@ -1,0 +1,87 @@
+//! Sequential vs parallel kernels and pipeline on the shared executor:
+//! the microbenchmark behind BENCH_PR3.json's throughput numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tiara::{slice_cache, Dataset, Slicer};
+use tiara_gnn::{Csr, Matrix};
+use tiara_par::Executor;
+use tiara_synth::{generate, ProjectSpec, TypeCounts};
+
+fn filled(rows: usize, cols: usize, phase: f32) -> Matrix {
+    Matrix::from_vec(
+        rows,
+        cols,
+        (0..rows * cols).map(|i| (i as f32 * 0.193 + phase).sin()).collect(),
+    )
+}
+
+fn ring_adjacency(n: usize) -> Csr {
+    let n32 = n as u32;
+    let mut edges = Vec::new();
+    for v in 0..n32 {
+        edges.push((v, (v + 1) % n32));
+        if v % 5 == 0 {
+            edges.push((v, (v + 17) % n32));
+        }
+    }
+    Csr::mean_pool_adjacency(n, &edges)
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let a = filled(1024, 42, 0.0);
+    let b = filled(42, 64, 1.0);
+    let mut g = c.benchmark_group("matmul_1024x42x64");
+    for threads in [1usize, 4] {
+        let exec = Executor::new(threads);
+        g.bench_with_input(BenchmarkId::from_parameter(threads), &exec, |bench, exec| {
+            bench.iter(|| a.matmul_with(&b, exec));
+        });
+    }
+    g.finish();
+}
+
+fn bench_spmm(c: &mut Criterion) {
+    let adj = ring_adjacency(4096);
+    let x = filled(4096, 64, 0.5);
+    let mut g = c.benchmark_group("spmm_4096x64");
+    for threads in [1usize, 4] {
+        let exec = Executor::new(threads);
+        g.bench_with_input(BenchmarkId::from_parameter(threads), &exec, |bench, exec| {
+            bench.iter(|| adj.spmm_with(&x, exec));
+        });
+        g.bench_with_input(
+            BenchmarkId::new("t_spmm", threads),
+            &exec,
+            |bench, exec| {
+                bench.iter(|| adj.t_spmm_with(&x, exec));
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_slicing(c: &mut Criterion) {
+    let bin = generate(&ProjectSpec {
+        name: "bench".into(),
+        index: 0,
+        seed: 9,
+        counts: TypeCounts { list: 8, vector: 16, map: 16, primitive: 60, ..Default::default() },
+    });
+    let slicer = Slicer::default();
+    slice_cache::set_enabled(false);
+    let mut g = c.benchmark_group("slice_encode_100vars");
+    g.sample_size(10);
+    for threads in [1usize, 4] {
+        let exec = Executor::new(threads);
+        g.bench_with_input(BenchmarkId::from_parameter(threads), &exec, |bench, exec| {
+            bench.iter(|| {
+                Dataset::from_binary_with(&bin.program, &bin.debug, "bench", &slicer, exec)
+            });
+        });
+    }
+    g.finish();
+    slice_cache::set_enabled(true);
+}
+
+criterion_group!(benches, bench_matmul, bench_spmm, bench_slicing);
+criterion_main!(benches);

@@ -15,6 +15,10 @@
 //! <ADDR> is `0x74404` / `74404h` for a global, or `func:<name>:<offset>`
 //! for a frame slot (e.g. `func:fn_0000:-0x18`).
 //! ```
+//!
+//! Every command accepts `--threads N` to bound the worker-thread count of
+//! the shared executor (default: `TIARA_THREADS` or the machine's available
+//! parallelism). Results are bitwise identical at any thread count.
 
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -38,7 +42,8 @@ fn usage() -> &'static str {
      tiara train   --binary prog.tira --pdb labels.json --model model.json [--epochs N] [--sslice]\n\
      tiara predict --binary prog.tira --model model.json --addr ADDR\n\
      \n\
-     ADDR: 0x74404 | 74404h (global) | func:<name>:<offset> (frame slot)"
+     ADDR: 0x74404 | 74404h (global) | func:<name>:<offset> (frame slot)\n\
+     every command also accepts --threads N (default: TIARA_THREADS or all cores)"
 }
 
 fn main() -> ExitCode {
@@ -73,6 +78,14 @@ fn run() -> Result<(), String> {
         flags.get(k).ok_or(format!("missing required flag --{k}\n{}", usage()))
     };
     let has = |k: &str| switches.iter().any(|s| s == k);
+
+    if let Some(t) = flags.get("threads") {
+        let n: usize = t.parse().map_err(|e| format!("--threads: {e}"))?;
+        if n == 0 {
+            return Err("--threads must be at least 1".into());
+        }
+        tiara_par::set_global_threads(n);
+    }
 
     match command.as_str() {
         "asm" => {

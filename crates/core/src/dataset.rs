@@ -7,11 +7,13 @@
 //! with [`Dataset::split`] and [`Dataset::merge`].
 
 use crate::graph::slice_to_graph;
+use crate::slice_cache;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use tiara_gnn::GraphSample;
-use tiara_ir::{ContainerClass, DebugInfo, Program, VarAddr};
+use tiara_ir::{ContainerClass, DebugInfo, Program, VarAddr, VarRecord};
+use tiara_par::Executor;
 use tiara_slice::{sslice, tslice_with, Slice, TsliceConfig};
 
 /// Which slicing algorithm feeds the classifier: TSLICE (TIARA proper) or
@@ -78,26 +80,49 @@ impl Dataset {
         Dataset::default()
     }
 
-    /// Slices every labeled variable of a binary and builds the dataset.
+    /// Slices every labeled variable of a binary and builds the dataset,
+    /// parallelizing per-address slicing, slice→graph conversion, and
+    /// feature encoding on the global executor.
     pub fn from_binary(
         prog: &Program,
         debug: &DebugInfo,
         project: &str,
         slicer: &Slicer,
     ) -> Dataset {
-        let mut samples = Vec::with_capacity(debug.len());
-        for rec in debug.iter() {
-            let slice = slicer.run(prog, rec.addr);
+        Dataset::from_binary_with(prog, debug, project, slicer, &tiara_par::global())
+    }
+
+    /// [`Dataset::from_binary`] on an explicit executor.
+    ///
+    /// Each variable address is an independent work item (output order is
+    /// the debug-info order regardless of the thread count). Slices are
+    /// looked up in the process-wide [`slice_cache`] first, so repeated
+    /// eval/ablation passes over the same binary and slicer configuration
+    /// skip the slicing stage entirely.
+    pub fn from_binary_with(
+        prog: &Program,
+        debug: &DebugInfo,
+        project: &str,
+        slicer: &Slicer,
+        exec: &Executor,
+    ) -> Dataset {
+        let records: Vec<VarRecord> = debug.iter().copied().collect();
+        let prog_fp = slice_cache::program_fingerprint(prog);
+        let slicer_fp = slice_cache::slicer_fingerprint(slicer);
+        let samples = exec.par_map(&records, |_, rec| {
+            let slice = slice_cache::get_or_slice(prog_fp, slicer_fp, rec.addr, || {
+                slicer.run(prog, rec.addr)
+            });
             let graph = slice_to_graph(prog, &slice, rec.class.index() as u32);
-            samples.push(Sample {
+            Sample {
                 addr: rec.addr,
                 label: rec.class,
                 project: project.to_owned(),
                 graph,
                 slice_nodes: slice.num_nodes(),
                 slice_edges: slice.num_edges(),
-            });
-        }
+            }
+        });
         Dataset { samples }
     }
 
@@ -244,6 +269,38 @@ mod tests {
         assert_eq!(ds.count_of(ContainerClass::Primitive), 8);
         assert!(ds.samples.iter().all(|s| s.project == "t"));
         assert!(ds.samples.iter().all(|s| s.graph.num_nodes() >= 1));
+    }
+
+    #[test]
+    fn parallel_from_binary_matches_sequential() {
+        use tiara_par::Executor;
+        let bin = small_binary();
+        let slicer = Slicer::default();
+        let seq = Dataset::from_binary_with(
+            &bin.program,
+            &bin.debug,
+            "t",
+            &slicer,
+            &Executor::sequential(),
+        );
+        for threads in [2, 4, 7] {
+            let par = Dataset::from_binary_with(
+                &bin.program,
+                &bin.debug,
+                "t",
+                &slicer,
+                &Executor::new(threads),
+            );
+            assert_eq!(seq.len(), par.len());
+            for (a, b) in seq.samples.iter().zip(&par.samples) {
+                assert_eq!(a.addr, b.addr, "sample order must follow debug-info order");
+                assert_eq!(a.label, b.label);
+                assert_eq!(a.graph.features, b.graph.features);
+                assert_eq!(a.graph.edges, b.graph.edges);
+                assert_eq!(a.slice_nodes, b.slice_nodes);
+                assert_eq!(a.slice_edges, b.slice_edges);
+            }
+        }
     }
 
     #[test]

@@ -52,6 +52,7 @@ pub mod features;
 mod graph;
 mod metrics;
 mod pipeline;
+pub mod slice_cache;
 
 pub use classifier::{Classifier, ClassifierConfig, ModelKind};
 pub use dataset::{Dataset, Sample, Slicer};

@@ -3,6 +3,14 @@
 //! [`Tiara`] bundles a slicer and a classifier: train it on binaries with
 //! ground truth, then query container types for raw variable addresses in
 //! new binaries.
+//!
+//! Every stage runs on the shared [`tiara_par`] executor: per-address
+//! slicing, slice→graph conversion, and feature encoding are parallel per
+//! variable (see [`Dataset::from_binary_with`]), and the GCN's dense/sparse
+//! kernels are parallel over output-row blocks. Thread count comes from
+//! [`tiara_par::set_global_threads`] (the CLIs' `--threads` flag), the
+//! `TIARA_THREADS` environment variable, or `available_parallelism`, in that
+//! precedence order — results are bitwise identical at any setting.
 
 use crate::classifier::{Classifier, ClassifierConfig};
 use crate::dataset::{Dataset, Slicer};

@@ -1,0 +1,265 @@
+//! The `tiara-eval bench` mode: measured slicing/encoding/training
+//! throughput at 1 vs N threads, emitted as text or as `BENCH_PR3.json`.
+//!
+//! Every later perf PR regenerates this file and compares: the report
+//! carries slices/sec, graphs/sec (slice→graph + feature encoding with a
+//! warm slice cache), mean epoch wall-time, and end-to-end wall-time per
+//! thread count, plus the derived speedups and a bitwise model-equality
+//! check across thread counts (the determinism contract of `tiara-par`).
+//!
+//! JSON is rendered by hand (no serde round-trip) so the output is a plain
+//! artifact of the harness itself.
+
+use std::fmt::Write as _;
+use std::hash::{DefaultHasher, Hash, Hasher};
+use tiara::{slice_cache, Classifier, ClassifierConfig, Dataset, Slicer};
+use tiara_par::Executor;
+use tiara_synth::Binary;
+
+/// Bench parameters (mirrors the CLI flags).
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// Suite scale factor (as `--scale`).
+    pub scale: f64,
+    /// Training epochs per measured run.
+    pub epochs: usize,
+    /// Suite + classifier seed.
+    pub seed: u64,
+    /// The "N" in "1 vs N threads".
+    pub threads: usize,
+}
+
+/// Measurements for one thread count.
+#[derive(Debug, Clone)]
+pub struct ThreadBench {
+    /// Worker threads used.
+    pub threads: usize,
+    /// Cold slicing+encoding wall time over the whole suite, seconds.
+    pub slice_secs: f64,
+    /// Labeled variables sliced.
+    pub slices: usize,
+    /// Cold pipeline throughput.
+    pub slices_per_sec: f64,
+    /// Warm-cache pass wall time (slice→graph conversion + 42-dim feature
+    /// encoding only), seconds.
+    pub graph_secs: f64,
+    /// Warm-cache conversion throughput.
+    pub graphs_per_sec: f64,
+    /// Training wall time, seconds.
+    pub train_secs: f64,
+    /// Mean epoch wall time, seconds.
+    pub epoch_secs: f64,
+    /// Slice + train wall time, seconds.
+    pub end_to_end_secs: f64,
+    /// Hash of the trained model's prediction bits over a probe set.
+    pub model_digest: u64,
+}
+
+/// The full bench report.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// The configuration measured.
+    pub config: BenchConfig,
+    /// One row per thread count (first row is always 1 thread).
+    pub runs: Vec<ThreadBench>,
+    /// `slices_per_sec(N) / slices_per_sec(1)`.
+    pub slicing_speedup: f64,
+    /// `epoch_secs(1) / epoch_secs(N)`.
+    pub epoch_speedup: f64,
+    /// `end_to_end_secs(1) / end_to_end_secs(N)`.
+    pub end_to_end_speedup: f64,
+    /// Whether every run produced a bitwise-identical trained model.
+    pub models_identical: bool,
+    /// Cores available to this process: speedups saturate here, so a report
+    /// generated on a 1-core host legitimately shows ~1x.
+    pub host_cpus: usize,
+}
+
+/// How many samples the model digest probes. Any diverging weight shows up
+/// in the probability bits almost surely.
+const DIGEST_PROBE: usize = 64;
+
+fn model_digest(clf: &Classifier, ds: &Dataset) -> u64 {
+    let mut h = DefaultHasher::new();
+    for s in ds.samples.iter().take(DIGEST_PROBE) {
+        for p in clf.predict_proba(&s.graph) {
+            p.to_bits().hash(&mut h);
+        }
+    }
+    h.finish()
+}
+
+fn bench_at(bins: &[Binary], cfg: &BenchConfig, threads: usize) -> ThreadBench {
+    let exec = Executor::new(threads);
+    let slicer = Slicer::default();
+    // The kernels inside training dispatch on the global executor.
+    tiara_par::set_global_threads(threads);
+
+    // Cold pass: true slicing+encoding throughput, nothing cached.
+    slice_cache::clear();
+    slice_cache::set_enabled(false);
+    let t0 = std::time::Instant::now();
+    let mut datasets: Vec<Dataset> = bins
+        .iter()
+        .map(|b| Dataset::from_binary_with(&b.program, &b.debug, &b.name, &slicer, &exec))
+        .collect();
+    let slice_secs = t0.elapsed().as_secs_f64();
+    let slices: usize = datasets.iter().map(|d| d.len()).sum();
+
+    // Warm pass: fill the cache once (unmeasured), then time a pass whose
+    // slicing is pure cache hits — what remains is graph conversion and
+    // feature encoding.
+    slice_cache::set_enabled(true);
+    for b in bins {
+        let _ = Dataset::from_binary_with(&b.program, &b.debug, &b.name, &slicer, &exec);
+    }
+    let t1 = std::time::Instant::now();
+    for b in bins {
+        let _ = Dataset::from_binary_with(&b.program, &b.debug, &b.name, &slicer, &exec);
+    }
+    let graph_secs = t1.elapsed().as_secs_f64();
+    slice_cache::clear();
+
+    let mut merged = Dataset::new();
+    for d in datasets.drain(..) {
+        merged.merge(d);
+    }
+    let mut clf =
+        Classifier::new(&ClassifierConfig { epochs: cfg.epochs, seed: cfg.seed, ..Default::default() });
+    let t2 = std::time::Instant::now();
+    clf.train(&merged).expect("bench suite is nonempty");
+    let train_secs = t2.elapsed().as_secs_f64();
+
+    ThreadBench {
+        threads,
+        slice_secs,
+        slices,
+        slices_per_sec: slices as f64 / slice_secs.max(1e-9),
+        graph_secs,
+        graphs_per_sec: slices as f64 / graph_secs.max(1e-9),
+        train_secs,
+        epoch_secs: train_secs / cfg.epochs.max(1) as f64,
+        end_to_end_secs: slice_secs + train_secs,
+        model_digest: model_digest(&clf, &merged),
+    }
+}
+
+/// Runs the bench: the Table I suite at `scale`, sliced and trained at
+/// 1 thread and at `config.threads` threads.
+pub fn run_bench(config: &BenchConfig) -> BenchReport {
+    let bins = crate::build_suite(config.seed, config.scale);
+    let n = config.threads.max(2);
+    let prev_threads = tiara_par::global().threads();
+    let mut runs = vec![bench_at(&bins, config, 1)];
+    runs.push(bench_at(&bins, config, n));
+    // Restore the executor configuration for whatever runs next.
+    tiara_par::set_global_threads(prev_threads);
+
+    let (one, nthr) = (&runs[0], &runs[runs.len() - 1]);
+    BenchReport {
+        config: config.clone(),
+        slicing_speedup: nthr.slices_per_sec / one.slices_per_sec.max(1e-9),
+        epoch_speedup: one.epoch_secs / nthr.epoch_secs.max(1e-9),
+        end_to_end_speedup: one.end_to_end_secs / nthr.end_to_end_secs.max(1e-9),
+        models_identical: runs.iter().all(|r| r.model_digest == runs[0].model_digest),
+        host_cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        runs,
+    }
+}
+
+/// Renders the report as JSON (hand-rolled; schema is stable for artifact
+/// diffing across PRs).
+pub fn render_json(r: &BenchReport) -> String {
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "{{\n  \"bench\": \"PR3\",\n  \"scale\": {},\n  \"epochs\": {},\n  \"seed\": {},\n  \"host_cpus\": {},\n  \"runs\": [",
+        r.config.scale, r.config.epochs, r.config.seed, r.host_cpus
+    );
+    for (i, run) in r.runs.iter().enumerate() {
+        let _ = write!(
+            s,
+            "{}\n    {{\"threads\": {}, \"slices\": {}, \"slice_secs\": {:.6}, \
+             \"slices_per_sec\": {:.2}, \"graph_secs\": {:.6}, \"graphs_per_sec\": {:.2}, \
+             \"train_secs\": {:.6}, \"epoch_secs\": {:.6}, \"end_to_end_secs\": {:.6}, \
+             \"model_digest\": \"{:016x}\"}}",
+            if i == 0 { "" } else { "," },
+            run.threads,
+            run.slices,
+            run.slice_secs,
+            run.slices_per_sec,
+            run.graph_secs,
+            run.graphs_per_sec,
+            run.train_secs,
+            run.epoch_secs,
+            run.end_to_end_secs,
+            run.model_digest
+        );
+    }
+    let _ = write!(
+        s,
+        "\n  ],\n  \"slicing_speedup\": {:.3},\n  \"epoch_speedup\": {:.3},\n  \
+         \"end_to_end_speedup\": {:.3},\n  \"models_identical\": {}\n}}\n",
+        r.slicing_speedup, r.epoch_speedup, r.end_to_end_speedup, r.models_identical
+    );
+    s
+}
+
+/// Renders the report as a human-readable table.
+pub fn render_text(r: &BenchReport) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "BENCH — parallel pipeline at 1 vs {} threads (scale {}, {} epochs)",
+        r.runs.last().map_or(0, |x| x.threads),
+        r.config.scale,
+        r.config.epochs
+    );
+    let _ = writeln!(
+        s,
+        "{:>8} {:>10} {:>12} {:>12} {:>11} {:>13}",
+        "threads", "slices", "slices/s", "graphs/s", "epoch (s)", "end-to-end (s)"
+    );
+    for run in &r.runs {
+        let _ = writeln!(
+            s,
+            "{:>8} {:>10} {:>12.1} {:>12.1} {:>11.4} {:>13.2}",
+            run.threads,
+            run.slices,
+            run.slices_per_sec,
+            run.graphs_per_sec,
+            run.epoch_secs,
+            run.end_to_end_secs
+        );
+    }
+    let _ = writeln!(
+        s,
+        "speedups: slicing {:.2}x, epoch {:.2}x, end-to-end {:.2}x; models identical: {} ({} host cpus)",
+        r.slicing_speedup, r.epoch_speedup, r.end_to_end_speedup, r.models_identical, r.host_cpus
+    );
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_small_and_reports_identical_models() {
+        let report = run_bench(&BenchConfig { scale: 0.02, epochs: 2, seed: 3, threads: 2 });
+        assert_eq!(report.runs.len(), 2);
+        assert_eq!(report.runs[0].threads, 1);
+        assert_eq!(report.runs[1].threads, 2);
+        assert!(report.runs.iter().all(|r| r.slices > 0));
+        assert!(
+            report.models_identical,
+            "training must be bitwise deterministic across thread counts"
+        );
+        let json = render_json(&report);
+        assert!(json.contains("\"bench\": \"PR3\""));
+        assert!(json.contains("\"models_identical\": true"));
+        assert!(json.trim_start().starts_with('{') && json.trim_end().ends_with('}'));
+        let text = render_text(&report);
+        assert!(text.contains("speedups"));
+    }
+}

@@ -13,6 +13,8 @@
 //!   fig2          the motivating example's slicing trace (Figure 2)
 //!   ablation      TSLICE design-choice + classifier-architecture ablations
 //!   extended      six-class extension (std::deque and std::set added)
+//!   bench         pipeline throughput at 1 vs N threads
+//!                 (`--json [--out FILE]` writes BENCH_PR3.json)
 //!   all           everything above
 //! ```
 
@@ -34,11 +36,13 @@ struct Options {
     epochs: usize,
     seed: u64,
     threads: usize,
+    json: bool,
+    out: Option<String>,
 }
 
 fn usage() -> String {
-    "usage: tiara-eval <table1|table2-intra|table2-cross|table3|table4|fig2|ablation|extended|all> \
-     [--scale F] [--epochs N] [--seed N] [--threads N]"
+    "usage: tiara-eval <table1|table2-intra|table2-cross|table3|table4|fig2|ablation|extended|bench|all> \
+     [--scale F] [--epochs N] [--seed N] [--threads N] [--json] [--out FILE]"
         .to_owned()
 }
 
@@ -51,6 +55,8 @@ fn parse_args() -> Result<Options, String> {
         epochs: 60,
         seed: 42,
         threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+        json: false,
+        out: None,
     };
     while let Some(flag) = args.next() {
         let mut value = || args.next().ok_or(format!("missing value for {flag}"));
@@ -61,8 +67,13 @@ fn parse_args() -> Result<Options, String> {
             "--threads" => {
                 opts.threads = value()?.parse().map_err(|e| format!("--threads: {e}"))?;
             }
+            "--json" => opts.json = true,
+            "--out" => opts.out = Some(value()?),
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
         }
+    }
+    if opts.threads == 0 {
+        return Err("--threads must be at least 1".into());
     }
     Ok(opts)
 }
@@ -133,9 +144,39 @@ fn main() -> ExitCode {
         }
     };
 
+    // Kernels inside training dispatch on the shared executor; honor
+    // `--threads` everywhere, not just in the slicing fan-out.
+    tiara_par::set_global_threads(opts.threads);
+
     match opts.command.as_str() {
         "fig2" => {
             println!("{}", tiara_eval::fig2::render_figure2());
+        }
+        "bench" => {
+            let cfg = tiara_eval::bench::BenchConfig {
+                scale: opts.scale,
+                epochs: opts.epochs,
+                seed: opts.seed,
+                threads: opts.threads,
+            };
+            eprintln!(
+                "[tiara-eval] benching at 1 vs {} threads (scale {}, {} epochs) …",
+                cfg.threads.max(2),
+                cfg.scale,
+                cfg.epochs
+            );
+            let report = tiara_eval::bench::run_bench(&cfg);
+            print!("{}", tiara_eval::bench::render_text(&report));
+            if opts.json {
+                let path = opts.out.clone().unwrap_or_else(|| "BENCH_PR3.json".to_owned());
+                std::fs::write(&path, tiara_eval::bench::render_json(&report))
+                    .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+                eprintln!("[tiara-eval] wrote {path}");
+            }
+            if !report.models_identical {
+                eprintln!("[tiara-eval] ERROR: models diverged across thread counts");
+                return ExitCode::FAILURE;
+            }
         }
         "ablation" => {
             let bins = build_suite(opts.seed, opts.scale);

@@ -18,6 +18,7 @@
 #![forbid(unsafe_code)]
 
 pub mod ablation;
+pub mod bench;
 pub mod experiments;
 pub mod fig2;
 pub mod report;

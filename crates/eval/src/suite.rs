@@ -1,9 +1,8 @@
 //! Suite construction: generating the eight benchmark binaries of Table I
 //! and slicing every labeled variable with both slicers.
 
-use parking_lot::Mutex;
-use tiara::{Dataset, Sample, Slicer};
-use tiara_ir::VarRecord;
+use tiara::{Dataset, Slicer};
+use tiara_par::Executor;
 use tiara_synth::{benchmark_suite, generate, Binary, ProjectSpec};
 
 /// Scales a project spec's variable counts (for quick runs and tests).
@@ -78,39 +77,12 @@ pub fn verify_suite(binaries: &[Binary]) -> Result<(), String> {
 /// Builds the labeled dataset of one binary, slicing variables in parallel
 /// across `threads` worker threads (the paper slices >100k addresses; even
 /// scaled down, parallel slicing keeps the harness responsive).
+///
+/// A thin wrapper over [`Dataset::from_binary_with`] on the shared
+/// [`tiara_par`] executor — the harness no longer carries its own
+/// thread-pool code.
 pub fn parallel_dataset(bin: &Binary, slicer: &Slicer, threads: usize) -> Dataset {
-    let records: Vec<VarRecord> = bin.debug.iter().copied().collect();
-    if records.is_empty() {
-        return Dataset::new();
-    }
-    let threads = threads.clamp(1, records.len());
-    let results: Mutex<Vec<(usize, Vec<Sample>)>> = Mutex::new(Vec::new());
-    let chunk = records.len().div_ceil(threads);
-
-    crossbeam::scope(|scope| {
-        for (k, part) in records.chunks(chunk).enumerate() {
-            let results = &results;
-            let slicer = slicer.clone();
-            let bin = &bin;
-            scope.spawn(move |_| {
-                let mut debug = tiara_ir::DebugInfo::new();
-                for r in part {
-                    debug.record(r.addr, r.class, r.ptr_levels);
-                }
-                let ds = Dataset::from_binary(&bin.program, &debug, &bin.name, &slicer);
-                results.lock().push((k, ds.samples));
-            });
-        }
-    })
-    .expect("slicing worker panicked");
-
-    let mut parts = results.into_inner();
-    parts.sort_by_key(|(k, _)| *k);
-    let mut ds = Dataset::new();
-    for (_, samples) in parts {
-        ds.samples.extend(samples);
-    }
-    ds
+    Dataset::from_binary_with(&bin.program, &bin.debug, &bin.name, slicer, &Executor::new(threads))
 }
 
 /// Per-(project, slicer) datasets for the whole suite, with wall-clock

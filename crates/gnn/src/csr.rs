@@ -6,6 +6,7 @@
 
 use crate::matrix::Matrix;
 use serde::{Deserialize, Serialize};
+use tiara_par::Executor;
 
 /// A sparse matrix in CSR form.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -124,44 +125,137 @@ impl Csr {
         self.indices.len()
     }
 
-    /// Sparse × dense product `self @ dense`.
+    /// The explicit transpose.
+    ///
+    /// Built by counting sort, which is *stable*: row `c` of the transpose
+    /// lists the source rows `r` in ascending order (and preserves the
+    /// within-row entry order for repeated coordinates). [`Csr::t_spmm`]
+    /// relies on this to keep its parallel gather bitwise identical to the
+    /// sequential scatter.
+    pub fn transpose(&self) -> Csr {
+        let nnz = self.nnz();
+        let mut indptr = vec![0u32; self.cols + 1];
+        for &c in &self.indices {
+            indptr[c as usize + 1] += 1;
+        }
+        for i in 1..=self.cols {
+            indptr[i] += indptr[i - 1];
+        }
+        let mut cursor: Vec<u32> = indptr[..self.cols].to_vec();
+        let mut indices = vec![0u32; nnz];
+        let mut values = vec![0.0f32; nnz];
+        for r in 0..self.rows {
+            for k in self.indptr[r] as usize..self.indptr[r + 1] as usize {
+                let c = self.indices[k] as usize;
+                let pos = cursor[c] as usize;
+                cursor[c] += 1;
+                indices[pos] = r as u32;
+                values[pos] = self.values[k];
+            }
+        }
+        Csr { rows: self.cols, cols: self.rows, indptr, indices, values }
+    }
+
+    /// Row boundaries splitting the stored entries into roughly `parts` runs
+    /// of equal nonzero count, for load-balanced row partitioning.
+    fn nnz_balanced_row_cuts(&self, parts: usize) -> Vec<usize> {
+        let nnz = self.nnz();
+        if parts <= 1 || nnz == 0 || self.rows <= 1 {
+            return Vec::new();
+        }
+        let target = nnz.div_ceil(parts);
+        let mut cuts = Vec::new();
+        let mut next = target;
+        for r in 1..self.rows {
+            if self.indptr[r] as usize >= next {
+                cuts.push(r);
+                next = self.indptr[r] as usize + target;
+            }
+        }
+        cuts
+    }
+
+    /// Sparse × dense product `self @ dense`, parallelized over nnz-balanced
+    /// row runs on the global executor (sequential below the
+    /// [`tiara_par::MIN_PARALLEL_WORK`] threshold).
+    ///
+    /// Each output row is reduced by exactly one thread in stored-entry
+    /// order, so the result is bitwise identical at any thread count.
     ///
     /// # Panics
     ///
     /// Panics on shape mismatch.
     pub fn spmm(&self, dense: &Matrix) -> Matrix {
+        let work = self.nnz() * dense.cols();
+        self.spmm_with(dense, &tiara_par::global().for_work(work))
+    }
+
+    /// [`Csr::spmm`] on an explicit executor, bypassing the size threshold.
+    pub fn spmm_with(&self, dense: &Matrix, exec: &Executor) -> Matrix {
         assert_eq!(self.cols, dense.rows(), "spmm shape mismatch");
         let mut out = Matrix::zeros(self.rows, dense.cols());
-        for r in 0..self.rows {
-            let lo = self.indptr[r] as usize;
-            let hi = self.indptr[r + 1] as usize;
-            for k in lo..hi {
+        let n = dense.cols();
+        if n == 0 {
+            return out;
+        }
+        // Over-partition 4× the thread count so stealing can smooth out any
+        // residual nnz imbalance between runs.
+        let cuts: Vec<usize> =
+            self.nnz_balanced_row_cuts(exec.threads() * 4).into_iter().map(|r| r * n).collect();
+        exec.par_partitions(out.as_mut_slice(), &cuts, |off, block| {
+            self.spmm_rows(dense, off / n, block);
+        });
+        out
+    }
+
+    /// The per-row-run spmm kernel: rows `row_off..` of the output, one run.
+    fn spmm_rows(&self, dense: &Matrix, row_off: usize, block: &mut [f32]) {
+        let n = dense.cols();
+        let rows = block.len() / n;
+        for bi in 0..rows {
+            let r = row_off + bi;
+            let dst = &mut block[bi * n..(bi + 1) * n];
+            for k in self.indptr[r] as usize..self.indptr[r + 1] as usize {
                 let c = self.indices[k] as usize;
                 let w = self.values[k];
-                let src = dense.row(c);
-                let dst = out.row_mut(r);
-                for (d, s) in dst.iter_mut().zip(src) {
+                for (d, s) in dst.iter_mut().zip(dense.row(c)) {
                     *d += w * s;
                 }
             }
         }
-        out
     }
 
     /// Transposed sparse × dense product `self^T @ dense` (used by the
-    /// backward pass) without materializing the transpose.
+    /// backward pass), parallel via the global executor.
+    ///
+    /// The sequential path scatters without materializing the transpose; the
+    /// parallel path gathers through [`Csr::transpose`], whose stable
+    /// counting sort reproduces the scatter's accumulation order exactly —
+    /// the two paths are bitwise identical.
     pub fn t_spmm(&self, dense: &Matrix) -> Matrix {
+        let work = self.nnz() * dense.cols();
+        self.t_spmm_with(dense, &tiara_par::global().for_work(work))
+    }
+
+    /// [`Csr::t_spmm`] on an explicit executor, bypassing the size threshold.
+    pub fn t_spmm_with(&self, dense: &Matrix, exec: &Executor) -> Matrix {
         assert_eq!(self.rows, dense.rows(), "t_spmm shape mismatch");
+        if exec.threads() <= 1 || dense.cols() == 0 {
+            return self.t_spmm_scatter(dense);
+        }
+        self.transpose().spmm_with(dense, exec)
+    }
+
+    /// The sequential scatter kernel for `self^T @ dense`.
+    fn t_spmm_scatter(&self, dense: &Matrix) -> Matrix {
         let mut out = Matrix::zeros(self.cols, dense.cols());
         for r in 0..self.rows {
-            let lo = self.indptr[r] as usize;
-            let hi = self.indptr[r + 1] as usize;
-            let src = dense.row(r).to_vec();
-            for k in lo..hi {
+            let src = dense.row(r);
+            for k in self.indptr[r] as usize..self.indptr[r + 1] as usize {
                 let c = self.indices[k] as usize;
                 let w = self.values[k];
                 let dst = out.row_mut(c);
-                for (d, s) in dst.iter_mut().zip(&src) {
+                for (d, s) in dst.iter_mut().zip(src) {
                     *d += w * s;
                 }
             }
@@ -268,6 +362,58 @@ mod tests {
         // Row 1 is empty.
         assert!((0..3).all(|j| d.get(1, j) == 0.0));
         assert_eq!(c.nnz(), 3);
+    }
+
+    #[test]
+    fn transpose_matches_dense_transpose() {
+        let c = Csr::from_triplets(
+            3,
+            4,
+            vec![(0, 3, 1.0), (0, 0, 2.0), (1, 1, -1.5), (2, 0, 0.5), (2, 3, 7.0)],
+        );
+        let t = c.transpose();
+        assert_eq!(t.rows(), 4);
+        assert_eq!(t.cols(), 3);
+        let d = c.to_dense();
+        let td = t.to_dense();
+        for r in 0..3 {
+            for col in 0..4 {
+                assert_eq!(d.get(r, col), td.get(col, r));
+            }
+        }
+        // Round trip.
+        assert_eq!(t.transpose(), c);
+    }
+
+    #[test]
+    fn parallel_spmm_is_bitwise_equal_to_sequential() {
+        use tiara_par::Executor;
+        // A ring with chords: enough structure for uneven row nnz.
+        let n = 97u32;
+        let mut edges = Vec::new();
+        for v in 0..n {
+            edges.push((v, (v + 1) % n));
+            if v % 3 == 0 {
+                edges.push((v, (v + 7) % n));
+                edges.push(((v + 13) % n, v));
+            }
+        }
+        let a = Csr::mean_pool_adjacency(n as usize, &edges);
+        let x = Matrix::from_vec(
+            n as usize,
+            5,
+            (0..n as usize * 5).map(|i| (i as f32 * 0.37).sin()).collect(),
+        );
+        let g = Matrix::from_vec(
+            n as usize,
+            5,
+            (0..n as usize * 5).map(|i| (i as f32 * 0.11).cos()).collect(),
+        );
+        let seq = Executor::sequential();
+        for par in [Executor::new(2), Executor::new(4), Executor::new(9)] {
+            assert_eq!(a.spmm_with(&x, &seq), a.spmm_with(&x, &par));
+            assert_eq!(a.t_spmm_with(&g, &seq), a.t_spmm_with(&g, &par));
+        }
     }
 
     #[test]

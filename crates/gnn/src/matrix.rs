@@ -3,6 +3,18 @@
 use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use tiara_par::Executor;
+
+/// `k`-tile width of the blocked dense kernels: the inner dimension is walked
+/// in tiles of this many rows of the right-hand operand so they stay hot in
+/// L1/L2 across a block of output rows. Tiles are visited in ascending order,
+/// so per-element accumulation order — and therefore every output bit — is
+/// identical to the untiled loop.
+const TILE_K: usize = 64;
+
+/// Output rows per parallel work block. Workers steal whole row blocks, so
+/// each output row is written by exactly one thread.
+const BLOCK_ROWS: usize = 64;
 
 /// A dense row-major matrix of `f32`.
 ///
@@ -116,65 +128,75 @@ impl Matrix {
         &mut self.data
     }
 
-    /// Matrix product `self @ other` (ikj loop order).
+    /// Matrix product `self @ other`, cache-blocked and parallelized over
+    /// output-row blocks on the global executor (regions below
+    /// [`tiara_par::MIN_PARALLEL_WORK`] multiply-accumulates run
+    /// sequentially).
+    ///
+    /// Each output row is reduced by exactly one thread with the inner
+    /// dimension walked in ascending order, so the result is bitwise
+    /// identical at any thread count.
     ///
     /// # Panics
     ///
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        let work = self.rows * self.cols * other.cols;
+        self.matmul_with(other, &tiara_par::global().for_work(work))
+    }
+
+    /// [`Matrix::matmul`] on an explicit executor, bypassing the size
+    /// threshold.
+    pub fn matmul_with(&self, other: &Matrix, exec: &Executor) -> Matrix {
         assert_eq!(self.cols, other.rows, "matmul shape mismatch");
         let mut out = Matrix::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            for (k, &aik) in a_row.iter().enumerate() {
-                if aik == 0.0 {
-                    continue;
-                }
-                let b_row = other.row(k);
-                let o_row = out.row_mut(i);
-                for (j, &bkj) in b_row.iter().enumerate() {
-                    o_row[j] += aik * bkj;
-                }
-            }
-        }
+        let n = other.cols.max(1);
+        exec.par_blocks_mut(&mut out.data, BLOCK_ROWS * n, |off, block| {
+            matmul_block(self, other, off / n, block);
+        });
         out
     }
 
     /// Matrix product `self^T @ other` without materializing the transpose.
+    ///
+    /// Parallelized over blocks of *output* rows (columns of `self`): every
+    /// worker scans all rows of `self` but only gathers into its own output
+    /// block, preserving the sequential accumulation order bit for bit.
     pub fn t_matmul(&self, other: &Matrix) -> Matrix {
+        let work = self.rows * self.cols * other.cols;
+        self.t_matmul_with(other, &tiara_par::global().for_work(work))
+    }
+
+    /// [`Matrix::t_matmul`] on an explicit executor, bypassing the size
+    /// threshold.
+    pub fn t_matmul_with(&self, other: &Matrix, exec: &Executor) -> Matrix {
         assert_eq!(self.rows, other.rows, "t_matmul shape mismatch");
         let mut out = Matrix::zeros(self.cols, other.cols);
-        for r in 0..self.rows {
-            let a_row = self.row(r);
-            let b_row = other.row(r);
-            for (i, &ari) in a_row.iter().enumerate() {
-                if ari == 0.0 {
-                    continue;
-                }
-                let o_row = out.row_mut(i);
-                for (j, &brj) in b_row.iter().enumerate() {
-                    o_row[j] += ari * brj;
-                }
-            }
-        }
+        let n = other.cols.max(1);
+        exec.par_blocks_mut(&mut out.data, BLOCK_ROWS * n, |off, block| {
+            t_matmul_block(self, other, off / n, block);
+        });
         out
     }
 
     /// Matrix product `self @ other^T` without materializing the transpose.
+    ///
+    /// Each output element is an independent dot product, so row-block
+    /// parallelism is trivially bitwise deterministic.
     pub fn matmul_t(&self, other: &Matrix) -> Matrix {
+        let work = self.rows * other.rows * self.cols;
+        self.matmul_t_with(other, &tiara_par::global().for_work(work))
+    }
+
+    /// [`Matrix::matmul_t`] on an explicit executor, bypassing the size
+    /// threshold.
+    pub fn matmul_t_with(&self, other: &Matrix, exec: &Executor) -> Matrix {
         assert_eq!(self.cols, other.cols, "matmul_t shape mismatch");
         let mut out = Matrix::zeros(self.rows, other.rows);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            for j in 0..other.rows {
-                let b_row = other.row(j);
-                let mut acc = 0.0f32;
-                for k in 0..self.cols {
-                    acc += a_row[k] * b_row[k];
-                }
-                out.set(i, j, acc);
-            }
-        }
+        let n = other.rows.max(1);
+        exec.par_blocks_mut(&mut out.data, BLOCK_ROWS * n, |off, block| {
+            matmul_t_block(self, other, off / n, block);
+        });
         out
     }
 
@@ -212,13 +234,99 @@ impl Matrix {
     }
 
     /// Index of the maximum element in a row.
+    ///
+    /// NaN entries are skipped entirely, so the result is deterministic
+    /// regardless of where NaNs appear. Ties keep the *first* (lowest) index
+    /// of the maximum. An empty or all-NaN row yields 0.
     pub fn argmax_row(&self, r: usize) -> usize {
         let row = self.row(r);
-        row.iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
-            .map(|(i, _)| i)
-            .unwrap_or(0)
+        let mut best: Option<(usize, f32)> = None;
+        for (i, &x) in row.iter().enumerate() {
+            if x.is_nan() {
+                continue;
+            }
+            match best {
+                Some((_, bv)) if x <= bv => {}
+                _ => best = Some((i, x)),
+            }
+        }
+        best.map_or(0, |(i, _)| i)
+    }
+}
+
+/// Blocked `A @ B` over output rows `row_off..row_off + block.len() / B.cols`.
+///
+/// The `k` dimension is tiled so `TILE_K` rows of `B` stay cache-hot across
+/// the whole row block; tiles ascend, so each `out[i][j]` accumulates its
+/// terms in exactly the order of the plain ikj loop.
+fn matmul_block(a: &Matrix, b: &Matrix, row_off: usize, block: &mut [f32]) {
+    let n = b.cols;
+    if n == 0 || block.is_empty() {
+        return;
+    }
+    let rows = block.len() / n;
+    for kt in (0..a.cols).step_by(TILE_K) {
+        let kend = (kt + TILE_K).min(a.cols);
+        for bi in 0..rows {
+            let a_row = a.row(row_off + bi);
+            let o_row = &mut block[bi * n..(bi + 1) * n];
+            for k in kt..kend {
+                let aik = a_row[k];
+                if aik == 0.0 {
+                    continue;
+                }
+                for (o, &bkj) in o_row.iter_mut().zip(b.row(k)) {
+                    *o += aik * bkj;
+                }
+            }
+        }
+    }
+}
+
+/// Blocked `A^T @ B` over output rows `col_off..col_off + block.len() / B.cols`
+/// (output rows are columns of `A`). Gathers instead of scattering: the `r`
+/// scan order matches the sequential kernel, so accumulation order per output
+/// element is unchanged.
+fn t_matmul_block(a: &Matrix, b: &Matrix, col_off: usize, block: &mut [f32]) {
+    let n = b.cols;
+    if n == 0 || block.is_empty() {
+        return;
+    }
+    let out_rows = block.len() / n;
+    for r in 0..a.rows {
+        let a_row = a.row(r);
+        let b_row = b.row(r);
+        for bi in 0..out_rows {
+            let ari = a_row[col_off + bi];
+            if ari == 0.0 {
+                continue;
+            }
+            let o_row = &mut block[bi * n..(bi + 1) * n];
+            for (o, &brj) in o_row.iter_mut().zip(b_row) {
+                *o += ari * brj;
+            }
+        }
+    }
+}
+
+/// Blocked `A @ B^T` over output rows `row_off..row_off + block.len() / B.rows`.
+/// Pure dot products; no cross-thread accumulation at all.
+fn matmul_t_block(a: &Matrix, b: &Matrix, row_off: usize, block: &mut [f32]) {
+    let n = b.rows;
+    if n == 0 || block.is_empty() {
+        return;
+    }
+    let rows = block.len() / n;
+    for bi in 0..rows {
+        let a_row = a.row(row_off + bi);
+        for j in 0..n {
+            let b_row = b.row(j);
+            let mut acc = 0.0f32;
+            for k in 0..a.cols {
+                acc += a_row[k] * b_row[k];
+            }
+            block[bi * n + j] = acc;
+        }
     }
 }
 
@@ -284,5 +392,46 @@ mod tests {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
         let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn parallel_kernels_are_bitwise_equal_to_sequential() {
+        use tiara_par::Executor;
+        let mut rng = StdRng::seed_from_u64(42);
+        // Odd sizes straddling the 64-row block and 64-wide k-tile edges.
+        let a = Matrix::xavier(131, 70, &mut rng);
+        let b = Matrix::xavier(70, 9, &mut rng);
+        let c = Matrix::xavier(131, 9, &mut rng);
+        let seq = Executor::sequential();
+        for par in [Executor::new(2), Executor::new(4), Executor::new(7)] {
+            assert_eq!(a.matmul_with(&b, &seq), a.matmul_with(&b, &par));
+            assert_eq!(a.t_matmul_with(&c, &seq), a.t_matmul_with(&c, &par));
+            assert_eq!(c.matmul_t_with(&c, &seq), c.matmul_t_with(&c, &par));
+        }
+    }
+
+    #[test]
+    fn degenerate_shapes_multiply() {
+        let exec = tiara_par::Executor::new(4);
+        let a = Matrix::zeros(3, 0);
+        let b = Matrix::zeros(0, 5);
+        assert_eq!(a.matmul_with(&b, &exec), Matrix::zeros(3, 5));
+        let c = Matrix::zeros(3, 4);
+        let d = Matrix::zeros(4, 0);
+        assert_eq!(c.matmul_with(&d, &exec), Matrix::zeros(3, 0));
+    }
+
+    #[test]
+    fn argmax_skips_nan_and_keeps_first_max() {
+        let a = Matrix::from_rows(&[
+            &[f32::NAN, 2.0, 1.0],
+            &[1.0, f32::NAN, 3.0],
+            &[f32::NAN, f32::NAN, f32::NAN],
+            &[2.0, 2.0, 1.0],
+        ]);
+        assert_eq!(a.argmax_row(0), 1);
+        assert_eq!(a.argmax_row(1), 2);
+        assert_eq!(a.argmax_row(2), 0, "all-NaN row falls back to 0");
+        assert_eq!(a.argmax_row(3), 0, "ties keep the first index");
     }
 }

@@ -1,0 +1,283 @@
+//! The executor: scoped worker threads pulling blocks of work from a shared
+//! queue.
+//!
+//! Every parallel primitive here preserves *determinism*: work is split into
+//! blocks whose results depend only on the block, never on which worker ran
+//! it or in what order blocks were claimed. Callers that need bitwise
+//! reproducibility (the GCN kernels, seeded training) get it for free — the
+//! same inputs produce the same bits at any thread count.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
+
+/// Minimum amount of work (in rough "multiply-accumulate" units) below which
+/// parallel dispatch is not worth the thread-coordination overhead.
+///
+/// Spawning and joining a scoped worker costs tens of microseconds; at
+/// ~1 GFLOP/s scalar throughput this threshold keeps parallelism restricted
+/// to regions of at least a few hundred microseconds.
+pub const MIN_PARALLEL_WORK: usize = 1 << 19;
+
+/// A handle describing how many worker threads parallel regions may use.
+///
+/// The executor itself is just a thread count: parallel regions are executed
+/// with `std::thread::scope`, with workers *stealing* blocks of work from a
+/// shared queue until it drains. This gives dynamic load balancing (a worker
+/// that finishes its block early takes the next unclaimed one) without any
+/// unsafe code or persistent pool state.
+///
+/// # Examples
+///
+/// ```
+/// use tiara_par::Executor;
+///
+/// let exec = Executor::new(4);
+/// let squares = exec.par_map(&[1u64, 2, 3, 4, 5], |_, &x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16, 25]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Executor {
+    threads: usize,
+}
+
+impl Default for Executor {
+    fn default() -> Executor {
+        global()
+    }
+}
+
+impl Executor {
+    /// An executor with exactly `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Executor {
+        Executor { threads: threads.max(1) }
+    }
+
+    /// The single-threaded executor: every primitive degenerates to a plain
+    /// sequential loop on the calling thread.
+    pub fn sequential() -> Executor {
+        Executor { threads: 1 }
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Downgrades to the sequential executor when the region's total work is
+    /// below [`MIN_PARALLEL_WORK`] (thread coordination would dominate).
+    pub fn for_work(&self, work: usize) -> Executor {
+        if work < MIN_PARALLEL_WORK {
+            Executor::sequential()
+        } else {
+            *self
+        }
+    }
+
+    /// Maps `f` over `items`, returning results in item order.
+    ///
+    /// Workers claim one index at a time from a shared cursor, so uneven
+    /// per-item cost (e.g. slicing different variable addresses) balances
+    /// automatically. The output order is always the input order.
+    pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let threads = self.threads.min(items.len());
+        if threads <= 1 {
+            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        }
+        let cursor = AtomicUsize::new(0);
+        let mut indexed: Vec<(usize, R)> = Vec::with_capacity(items.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(item) = items.get(i) else { break };
+                            local.push((i, f(i, item)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for h in handles {
+                indexed.extend(h.join().expect("parallel worker panicked"));
+            }
+        });
+        indexed.sort_unstable_by_key(|&(i, _)| i);
+        indexed.into_iter().map(|(_, r)| r).collect()
+    }
+
+    /// Splits `data` at the element offsets in `cuts` (ascending, each
+    /// `< data.len()`) and runs `f(start_offset, part)` for every part, in
+    /// parallel. Each part is owned by exactly one worker — disjoint `&mut`
+    /// access with no synchronization on the data itself.
+    ///
+    /// An empty `cuts` runs `f(0, data)` on the calling thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cuts` is not strictly ascending or a cut is out of range.
+    pub fn par_partitions<T, F>(&self, data: &mut [T], cuts: &[usize], f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        // Materialize the disjoint mutable parts up front.
+        let mut parts: Vec<(usize, &mut [T])> = Vec::with_capacity(cuts.len() + 1);
+        let mut rest = data;
+        let mut consumed = 0usize;
+        for &cut in cuts {
+            assert!(cut > consumed && cut < consumed + rest.len(), "cuts must be ascending and in range");
+            let (head, tail) = rest.split_at_mut(cut - consumed);
+            parts.push((consumed, head));
+            consumed = cut;
+            rest = tail;
+        }
+        parts.push((consumed, rest));
+
+        let threads = self.threads.min(parts.len());
+        if threads <= 1 {
+            for (off, part) in parts {
+                f(off, part);
+            }
+            return;
+        }
+        // Workers steal the next unclaimed part until the queue drains.
+        parts.reverse();
+        let queue = Mutex::new(parts);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let next = queue.lock().unwrap_or_else(PoisonError::into_inner).pop();
+                    match next {
+                        Some((off, part)) => f(off, part),
+                        None => break,
+                    }
+                });
+            }
+        });
+    }
+
+    /// [`Executor::par_partitions`] with uniform blocks of `block_len`
+    /// elements (the last block may be shorter).
+    pub fn par_blocks_mut<T, F>(&self, data: &mut [T], block_len: usize, f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        let block_len = block_len.max(1);
+        let cuts: Vec<usize> = (block_len..data.len()).step_by(block_len).collect();
+        self.par_partitions(data, &cuts, f);
+    }
+}
+
+/// The explicitly configured global thread count; 0 means "not configured,
+/// fall back to the environment default".
+static CONFIGURED_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+fn env_default_threads() -> usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        std::env::var("TIARA_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            })
+    })
+}
+
+/// Sets the process-wide worker count used by [`global`] (the `--threads`
+/// flag of the CLIs). Overrides `TIARA_THREADS`.
+pub fn set_global_threads(threads: usize) {
+    CONFIGURED_THREADS.store(threads.max(1), Ordering::SeqCst);
+}
+
+/// The shared executor: `--threads` if set via [`set_global_threads`], else
+/// `TIARA_THREADS`, else `std::thread::available_parallelism()`.
+pub fn global() -> Executor {
+    let n = CONFIGURED_THREADS.load(Ordering::SeqCst);
+    Executor::new(if n == 0 { env_default_threads() } else { n })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order_at_any_thread_count() {
+        let items: Vec<usize> = (0..257).collect();
+        for t in [1, 2, 3, 8, 64] {
+            let out = Executor::new(t).par_map(&items, |i, &x| {
+                assert_eq!(i, x);
+                x * 2
+            });
+            assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_single() {
+        let exec = Executor::new(8);
+        assert_eq!(exec.par_map(&[] as &[u8], |_, &x| x), Vec::<u8>::new());
+        assert_eq!(exec.par_map(&[7u8], |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn par_blocks_cover_every_element_exactly_once() {
+        let mut data = vec![0u32; 1003];
+        Executor::new(4).par_blocks_mut(&mut data, 64, |off, part| {
+            for (k, v) in part.iter_mut().enumerate() {
+                *v = (off + k) as u32 + 1;
+            }
+        });
+        assert!(data.iter().enumerate().all(|(i, &v)| v == i as u32 + 1));
+    }
+
+    #[test]
+    fn par_partitions_respects_cuts() {
+        let mut data = vec![0u8; 10];
+        Executor::new(3).par_partitions(&mut data, &[3, 4], |off, part| {
+            for v in part.iter_mut() {
+                *v = off as u8;
+            }
+        });
+        assert_eq!(data, vec![0, 0, 0, 3, 4, 4, 4, 4, 4, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn out_of_range_cut_panics() {
+        let mut data = vec![0u8; 4];
+        Executor::new(2).par_partitions(&mut data, &[5], |_, _| {});
+    }
+
+    #[test]
+    fn for_work_downgrades_small_regions() {
+        let exec = Executor::new(8);
+        assert_eq!(exec.for_work(10).threads(), 1);
+        assert_eq!(exec.for_work(MIN_PARALLEL_WORK).threads(), 8);
+    }
+
+    #[test]
+    fn threads_clamp_to_one() {
+        assert_eq!(Executor::new(0).threads(), 1);
+        assert_eq!(Executor::sequential().threads(), 1);
+    }
+
+    #[test]
+    fn global_reflects_explicit_configuration() {
+        // Note: mutates process state; other tests only read the thread
+        // count, and every primitive is deterministic at any count.
+        set_global_threads(3);
+        assert_eq!(global().threads(), 3);
+        set_global_threads(1);
+        assert_eq!(global().threads(), 1);
+    }
+}

@@ -1,0 +1,40 @@
+//! # tiara-par
+//!
+//! The shared parallel executor of the TIARA workspace: one place that
+//! decides how many worker threads the process uses (`--threads`,
+//! `TIARA_THREADS`, or `available_parallelism`) and a small set of
+//! data-parallel primitives that every hot path — TSLICE slicing, feature
+//! encoding, and the GCN kernels — runs on.
+//!
+//! Built entirely on `std::thread::scope`: no external dependencies, no
+//! unsafe code, no persistent pool to manage. Workers steal blocks of work
+//! from a shared queue, so uneven block costs balance dynamically, and every
+//! primitive is *deterministic*: results are a pure function of the input,
+//! independent of the thread count (see [`Executor`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use tiara_par::Executor;
+//!
+//! // Order-preserving parallel map (the slicing pipeline's shape).
+//! let lengths = Executor::new(4).par_map(&["ab", "c", "def"], |_, s| s.len());
+//! assert_eq!(lengths, vec![2, 1, 3]);
+//!
+//! // Disjoint mutable blocks (the kernels' shape): each output row block is
+//! // written by exactly one worker.
+//! let mut out = vec![0.0f32; 6];
+//! Executor::new(2).par_blocks_mut(&mut out, 3, |offset, block| {
+//!     for (k, v) in block.iter_mut().enumerate() {
+//!         *v = (offset + k) as f32;
+//!     }
+//! });
+//! assert_eq!(out, vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod executor;
+
+pub use executor::{global, set_global_threads, Executor, MIN_PARALLEL_WORK};

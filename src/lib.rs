@@ -9,6 +9,7 @@
 //! * [`synth`] — the synthetic MSVC-like binary generator substrate;
 //! * [`slice`](mod@slice) — TSLICE (the paper's primary contribution) and SSLICE;
 //! * [`gnn`] — the from-scratch GCN/autodiff stack;
+//! * [`par`] — the shared work-stealing executor behind every hot path;
 //! * [`core`] — feature encoding, datasets, classifier, metrics, pipeline;
 //! * [`eval`] — the harness regenerating every table and figure.
 //!
@@ -22,5 +23,6 @@ pub use tiara as core;
 pub use tiara_eval as eval;
 pub use tiara_gnn as gnn;
 pub use tiara_ir as ir;
+pub use tiara_par as par;
 pub use tiara_slice as slice;
 pub use tiara_synth as synth;

@@ -1,0 +1,89 @@
+//! Repository-level determinism tests for the parallel pipeline: training
+//! the classifier end to end must produce bitwise-identical models across
+//! repeated runs and across thread counts.
+//!
+//! This is the contract that makes `--threads` safe to flip anywhere: every
+//! table of the paper reproduction is a pure function of (suite seed,
+//! classifier seed), never of the machine's core count.
+
+use tiara::{Classifier, ClassifierConfig, Dataset, Slicer};
+use tiara_par::{set_global_threads, Executor};
+use tiara_synth::{generate, ProjectSpec, TypeCounts};
+
+fn training_binary() -> tiara_synth::Binary {
+    generate(&ProjectSpec {
+        name: "par".into(),
+        index: 1,
+        seed: 99,
+        counts: TypeCounts { list: 4, vector: 6, map: 5, primitive: 15, ..Default::default() },
+    })
+}
+
+fn train_at(threads: usize, ds: &Dataset) -> Classifier {
+    set_global_threads(threads);
+    let mut clf = Classifier::new(&ClassifierConfig { epochs: 15, seed: 7, ..Default::default() });
+    clf.train(ds).expect("nonempty dataset");
+    clf
+}
+
+/// The model's observable bits: every class probability over every sample.
+fn proba_bits(clf: &Classifier, ds: &Dataset) -> Vec<u32> {
+    ds.samples
+        .iter()
+        .flat_map(|s| clf.predict_proba(&s.graph).into_iter().map(f32::to_bits))
+        .collect()
+}
+
+#[test]
+fn seeded_training_is_bitwise_reproducible_at_4_threads() {
+    let bin = training_binary();
+    let ds = Dataset::from_binary_with(
+        &bin.program,
+        &bin.debug,
+        "par",
+        &Slicer::default(),
+        &Executor::new(4),
+    );
+    let a = train_at(4, &ds);
+    let b = train_at(4, &ds);
+    assert_eq!(proba_bits(&a, &ds), proba_bits(&b, &ds), "two seeded 4-thread runs diverged");
+    assert_eq!(
+        a.to_json().expect("serializable"),
+        b.to_json().expect("serializable"),
+        "saved models must be byte-identical"
+    );
+}
+
+#[test]
+fn thread_count_does_not_change_the_model() {
+    let bin = training_binary();
+    // Dataset built sequentially and at 4 threads must agree...
+    let seq = Dataset::from_binary_with(
+        &bin.program,
+        &bin.debug,
+        "par",
+        &Slicer::default(),
+        &Executor::sequential(),
+    );
+    let par = Dataset::from_binary_with(
+        &bin.program,
+        &bin.debug,
+        "par",
+        &Slicer::default(),
+        &Executor::new(4),
+    );
+    assert_eq!(seq.len(), par.len());
+    for (a, b) in seq.samples.iter().zip(&par.samples) {
+        assert_eq!(a.addr, b.addr);
+        assert_eq!(a.graph.features, b.graph.features);
+    }
+    // ... and so must the models trained at 1 vs 4 threads on them.
+    let m1 = train_at(1, &seq);
+    let m4 = train_at(4, &par);
+    assert_eq!(
+        proba_bits(&m1, &seq),
+        proba_bits(&m4, &seq),
+        "1-thread and 4-thread training diverged"
+    );
+    assert_eq!(m1.to_json().expect("serializable"), m4.to_json().expect("serializable"));
+}
