@@ -1,5 +1,5 @@
 //! Sequential vs parallel kernels and pipeline on the shared executor:
-//! the microbenchmark behind BENCH_PR3.json's throughput numbers.
+//! the microbenchmark behind the BENCH_PR*.json throughput numbers.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tiara::{slice_cache, Dataset, Slicer};

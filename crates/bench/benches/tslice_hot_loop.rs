@@ -1,0 +1,57 @@
+//! Hot-loop microbench for the TSLICE traversal itself: the fast arena path
+//! (inline small-set values, version-memoed merges, deduped worklist) against
+//! the retained snapshot-per-edge reference path, on the same criteria.
+//! The macro-level counterpart is `tiara-eval bench` → BENCH_PR4.json.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tiara_ir::VarAddr;
+use tiara_slice::{tslice_with, TsliceConfig};
+use tiara_synth::{generate, Binary, ProjectSpec, TypeCounts};
+
+fn suite() -> (Binary, Vec<VarAddr>) {
+    let bin = generate(&ProjectSpec {
+        name: "hot".into(),
+        index: 0,
+        seed: 42,
+        counts: TypeCounts { list: 3, vector: 8, map: 8, deque: 2, set: 2, primitive: 30 },
+    });
+    let addrs: Vec<VarAddr> = bin.labeled_vars().map(|(a, _)| a).collect();
+    (bin, addrs)
+}
+
+fn bench_hot_loop(c: &mut Criterion) {
+    let (bin, addrs) = suite();
+    let fast = TsliceConfig::default();
+    let reference = TsliceConfig { reference_mode: true, ..TsliceConfig::default() };
+
+    let mut group = c.benchmark_group("tslice_hot_loop");
+    for (name, cfg) in [("fast", &fast), ("reference", &reference)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), cfg, |b, cfg| {
+            b.iter(|| {
+                for &addr in &addrs {
+                    black_box(tslice_with(&bin.program, addr, cfg));
+                }
+            });
+        });
+    }
+    group.finish();
+
+    // One deep slice (a map variable reaches the most rules) isolates the
+    // per-step cost from the per-slice setup cost amortized above.
+    let deep = addrs
+        .iter()
+        .copied()
+        .max_by_key(|&a| tslice_with(&bin.program, a, &fast).slice.steps)
+        .expect("suite has labeled variables");
+    let mut single = c.benchmark_group("tslice_hot_loop/deepest_slice");
+    for (name, cfg) in [("fast", &fast), ("reference", &reference)] {
+        single.bench_with_input(BenchmarkId::from_parameter(name), cfg, |b, cfg| {
+            b.iter(|| black_box(tslice_with(&bin.program, deep, cfg)));
+        });
+    }
+    single.finish();
+}
+
+criterion_group!(benches, bench_hot_loop);
+criterion_main!(benches);

@@ -5,7 +5,8 @@
 //! tiara disasm  --binary prog.tira
 //! tiara synth   --out prog.tira --pdb labels.json [--seed N] [--style K]
 //!               [--counts LIST,VEC,MAP,PRIM]
-//! tiara slice   --binary prog.tira --addr <ADDR> [--sslice] [--trace] [--dot]
+//! tiara slice   --binary prog.tira --addr <ADDR> [--sslice] [--trace] [--dot] [--stats]
+//!               [--reference]
 //! tiara analyze --binary prog.tira [--func <NAME>] [--json]
 //! tiara lint    --binary prog.tira [--addr <ADDR>] [--json]
 //! tiara train   --binary prog.tira --pdb labels.json --model model.json
@@ -36,7 +37,7 @@ fn usage() -> &'static str {
      tiara asm     --in listing.asm --out prog.tira\n\
      tiara disasm  --binary prog.tira\n\
      tiara synth   --out prog.tira --pdb labels.json [--seed N] [--style K] [--counts L,V,M,P]\n\
-     tiara slice   --binary prog.tira --addr ADDR [--sslice] [--trace] [--dot]\n\
+     tiara slice   --binary prog.tira --addr ADDR [--sslice] [--trace] [--dot] [--stats] [--reference]\n\
      tiara analyze --binary prog.tira [--func NAME] [--json]\n\
      tiara lint    --binary prog.tira [--addr ADDR] [--json]\n\
      tiara train   --binary prog.tira --pdb labels.json --model model.json [--epochs N] [--sslice]\n\
@@ -64,7 +65,9 @@ fn run() -> Result<(), String> {
     while let Some(a) = args.next() {
         if let Some(name) = a.strip_prefix("--") {
             match name {
-                "sslice" | "trace" | "dot" | "json" => switches.push(name.to_owned()),
+                "sslice" | "trace" | "dot" | "json" | "stats" | "reference" => {
+                    switches.push(name.to_owned())
+                }
                 _ => {
                     let v = args.next().ok_or(format!("missing value for --{name}"))?;
                     flags.insert(name.to_owned(), v);
@@ -134,16 +137,20 @@ fn run() -> Result<(), String> {
                     print_slice(&prog, &s);
                 }
             } else {
-                let cfg = if has("trace") {
+                let mut cfg = if has("trace") {
                     TsliceConfig::with_trace()
                 } else {
                     TsliceConfig::default()
                 };
+                cfg.reference_mode = has("reference");
                 let out = tslice_with(&prog, addr, &cfg);
                 if has("dot") {
                     println!("{}", out.slice.to_dot(&prog));
                 } else {
                     print_slice(&prog, &out.slice);
+                }
+                if has("stats") {
+                    eprintln!("{}", out.stats);
                 }
                 if has("trace") {
                     eprintln!("\ntrace ({} events):", out.trace.len());

@@ -187,6 +187,17 @@ mod tests {
     }
 
     #[test]
+    fn reference_mode_changes_the_slicer_fingerprint() {
+        use tiara_slice::TsliceConfig;
+        let fast = slicer_fingerprint(&Slicer::default());
+        let refr = slicer_fingerprint(&Slicer::Tslice(TsliceConfig {
+            reference_mode: true,
+            ..TsliceConfig::default()
+        }));
+        assert_ne!(fast, refr, "fast and reference runs must not share cache entries");
+    }
+
+    #[test]
     fn disabled_cache_always_computes_and_stores_nothing() {
         let _guard = test_lock();
         // A key no real program can produce (fingerprints are hashes of

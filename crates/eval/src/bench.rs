@@ -1,11 +1,15 @@
 //! The `tiara-eval bench` mode: measured slicing/encoding/training
-//! throughput at 1 vs N threads, emitted as text or as `BENCH_PR3.json`.
+//! throughput at 1 vs N threads, emitted as text or as `BENCH_PR4.json`.
 //!
 //! Every later perf PR regenerates this file and compares: the report
 //! carries slices/sec, graphs/sec (slice→graph + feature encoding with a
 //! warm slice cache), mean epoch wall-time, and end-to-end wall-time per
 //! thread count, plus the derived speedups and a bitwise model-equality
 //! check across thread counts (the determinism contract of `tiara-par`).
+//! Each run also carries the slicer's own hot-loop counters
+//! ([`SliceStats`]) aggregated over the cold pass, so throughput changes
+//! can be attributed: how many steps ran, how many merges the version memo
+//! skipped, how many snapshot bytes the arena avoided copying.
 //!
 //! JSON is rendered by hand (no serde round-trip) so the output is a plain
 //! artifact of the harness itself.
@@ -14,6 +18,7 @@ use std::fmt::Write as _;
 use std::hash::{DefaultHasher, Hash, Hasher};
 use tiara::{slice_cache, Classifier, ClassifierConfig, Dataset, Slicer};
 use tiara_par::Executor;
+use tiara_slice::SliceStats;
 use tiara_synth::Binary;
 
 /// Bench parameters (mirrors the CLI flags).
@@ -53,6 +58,8 @@ pub struct ThreadBench {
     pub end_to_end_secs: f64,
     /// Hash of the trained model's prediction bits over a probe set.
     pub model_digest: u64,
+    /// Slicer hot-loop counters aggregated over the cold pass.
+    pub slice_stats: SliceStats,
 }
 
 /// The full bench report.
@@ -95,15 +102,19 @@ fn bench_at(bins: &[Binary], cfg: &BenchConfig, threads: usize) -> ThreadBench {
     // The kernels inside training dispatch on the global executor.
     tiara_par::set_global_threads(threads);
 
-    // Cold pass: true slicing+encoding throughput, nothing cached.
+    // Cold pass: true slicing+encoding throughput, nothing cached. The
+    // global slicer counters are reset around it so `slice_stats` reflects
+    // exactly this pass.
     slice_cache::clear();
     slice_cache::set_enabled(false);
+    tiara_slice::reset_global_stats();
     let t0 = std::time::Instant::now();
     let mut datasets: Vec<Dataset> = bins
         .iter()
         .map(|b| Dataset::from_binary_with(&b.program, &b.debug, &b.name, &slicer, &exec))
         .collect();
     let slice_secs = t0.elapsed().as_secs_f64();
+    let slice_stats = tiara_slice::global_stats();
     let slices: usize = datasets.iter().map(|d| d.len()).sum();
 
     // Warm pass: fill the cache once (unmeasured), then time a pass whose
@@ -141,6 +152,7 @@ fn bench_at(bins: &[Binary], cfg: &BenchConfig, threads: usize) -> ThreadBench {
         epoch_secs: train_secs / cfg.epochs.max(1) as f64,
         end_to_end_secs: slice_secs + train_secs,
         model_digest: model_digest(&clf, &merged),
+        slice_stats,
     }
 }
 
@@ -173,16 +185,19 @@ pub fn render_json(r: &BenchReport) -> String {
     let mut s = String::new();
     let _ = write!(
         s,
-        "{{\n  \"bench\": \"PR3\",\n  \"scale\": {},\n  \"epochs\": {},\n  \"seed\": {},\n  \"host_cpus\": {},\n  \"runs\": [",
+        "{{\n  \"bench\": \"PR4\",\n  \"scale\": {},\n  \"epochs\": {},\n  \"seed\": {},\n  \"host_cpus\": {},\n  \"runs\": [",
         r.config.scale, r.config.epochs, r.config.seed, r.host_cpus
     );
     for (i, run) in r.runs.iter().enumerate() {
+        let st = &run.slice_stats;
         let _ = write!(
             s,
             "{}\n    {{\"threads\": {}, \"slices\": {}, \"slice_secs\": {:.6}, \
              \"slices_per_sec\": {:.2}, \"graph_secs\": {:.6}, \"graphs_per_sec\": {:.2}, \
              \"train_secs\": {:.6}, \"epoch_secs\": {:.6}, \"end_to_end_secs\": {:.6}, \
-             \"model_digest\": \"{:016x}\"}}",
+             \"model_digest\": \"{:016x}\",\n     \"slice_stats\": {{\"steps\": {}, \
+             \"faith_cut_pops\": {}, \"merges_skipped\": {}, \"snapshot_bytes_avoided\": {}, \
+             \"set_spills\": {}, \"worklist_hits\": {}}}}}",
             if i == 0 { "" } else { "," },
             run.threads,
             run.slices,
@@ -193,7 +208,13 @@ pub fn render_json(r: &BenchReport) -> String {
             run.train_secs,
             run.epoch_secs,
             run.end_to_end_secs,
-            run.model_digest
+            run.model_digest,
+            st.steps,
+            st.faith_cut_pops,
+            st.merges_skipped,
+            st.snapshot_bytes_avoided,
+            st.set_spills,
+            st.worklist_hits
         );
     }
     let _ = write!(
@@ -237,6 +258,9 @@ pub fn render_text(r: &BenchReport) -> String {
         "speedups: slicing {:.2}x, epoch {:.2}x, end-to-end {:.2}x; models identical: {} ({} host cpus)",
         r.slicing_speedup, r.epoch_speedup, r.end_to_end_speedup, r.models_identical, r.host_cpus
     );
+    if let Some(run) = r.runs.first() {
+        let _ = writeln!(s, "slicer counters (cold pass, 1 thread): {}", run.slice_stats);
+    }
     s
 }
 
@@ -256,10 +280,17 @@ mod tests {
             "training must be bitwise deterministic across thread counts"
         );
         let json = render_json(&report);
-        assert!(json.contains("\"bench\": \"PR3\""));
+        assert!(json.contains("\"bench\": \"PR4\""));
         assert!(json.contains("\"models_identical\": true"));
+        assert!(json.contains("\"slice_stats\""));
         assert!(json.trim_start().starts_with('{') && json.trim_end().ends_with('}'));
         let text = render_text(&report);
         assert!(text.contains("speedups"));
+        assert!(text.contains("slicer counters"));
+        // The fast path did real work on a real suite: steps were taken and
+        // per-edge snapshots were avoided.
+        let st = &report.runs[0].slice_stats;
+        assert!(st.steps > 0);
+        assert!(st.snapshot_bytes_avoided > 0);
     }
 }

@@ -71,6 +71,12 @@ pub struct TsliceConfig {
     /// Byte window around the criterion address treated as part of the
     /// variable (container headers are at most 16 bytes under MSVC x86).
     pub criterion_window: i64,
+    /// Run the snapshot-per-edge reference traversal instead of the
+    /// arena-based fast path. The two produce identical slices; the reference
+    /// path exists as the oracle for the equivalence tests and as an
+    /// escape hatch while the fast path bakes.
+    #[serde(default)]
+    pub reference_mode: bool,
 }
 
 impl Default for TsliceConfig {
@@ -85,6 +91,7 @@ impl Default for TsliceConfig {
             trace: false,
             max_steps: 4_000_000,
             criterion_window: 16,
+            reference_mode: false,
         }
     }
 }

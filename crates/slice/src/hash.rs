@@ -1,0 +1,101 @@
+//! A minimal multiply-rotate hasher (the FxHash construction) for the
+//! traversal's hot maps: `InstId`-keyed slot/faith tables and the
+//! `(pre, i)`-keyed edge memo. These maps see several lookups per worklist
+//! pop on integer keys the slicer itself generates, so SipHash's
+//! flooding-resistance buys nothing here and costs a measurable slice of
+//! the hot loop. Deterministic by construction (no per-process seed), which
+//! the bitwise-reproducibility contract requires anyway.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The `HashMap` used throughout the traversal.
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// The `HashSet` used throughout the traversal.
+pub type FxHashSet<K> = HashSet<K, BuildHasherDefault<FxHasher>>;
+
+/// One multiply and one rotate per word of input.
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+/// `2^64 / phi`, the usual odd multiplicative-hash constant.
+const SEED: u64 = 0x9e37_79b9_7f4a_7c15;
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, v: i64) {
+        self.add(v as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hashes_are_deterministic_and_spread() {
+        let one = |k: u32| {
+            let mut h = FxHasher::default();
+            h.write_u32(k);
+            h.finish()
+        };
+        assert_eq!(one(42), one(42), "no per-process seed");
+        let distinct: FxHashSet<u64> = (0..1000u32).map(one).collect();
+        assert_eq!(distinct.len(), 1000, "consecutive keys must not collide");
+    }
+
+    #[test]
+    fn maps_work_with_tuple_keys() {
+        let mut m: FxHashMap<(u32, u32), u32> = FxHashMap::default();
+        for a in 0..30u32 {
+            for b in 0..30u32 {
+                m.insert((a, b), a * 100 + b);
+            }
+        }
+        assert_eq!(m.len(), 900);
+        assert_eq!(m.get(&(7, 3)), Some(&703));
+    }
+}

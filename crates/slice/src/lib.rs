@@ -46,10 +46,12 @@
 mod config;
 mod criterion;
 mod defuse_oracle;
+mod hash;
 mod rules;
 mod slice;
 mod sslice;
 mod state;
+mod stats;
 mod trace;
 mod tslice;
 mod value;
@@ -59,6 +61,8 @@ pub use criterion::Criterion;
 pub use defuse_oracle::{check_kill_rules, KillCheck, KillViolation};
 pub use slice::{build_slice_graph, Slice, SliceNode};
 pub use sslice::{first_access, sslice};
+pub use state::{AnalysisState, InstState};
+pub use stats::{add_to_global, global_stats, reset_global_stats, thread_spills, SliceStats};
 pub use trace::{RuleName, TraceEvent};
 pub use tslice::{tslice, tslice_with, TsliceOutput};
 pub use value::{AbsValue, ValueSet};

@@ -34,6 +34,7 @@ use crate::state::InstState;
 use crate::trace::RuleName;
 use crate::value::{AbsValue, ValueSet};
 use crate::TsliceConfig;
+use std::borrow::Cow;
 use tiara_ir::{Addr, BinOp, FuncId, Inst, InstKind, Loc, Operand, Reg};
 
 /// The outcome of one transfer-function application.
@@ -48,47 +49,49 @@ pub struct Transfer {
 ///
 /// Returns the delta set, whether evaluating the operand *itself* touches the
 /// criterion (a direct `v0` access), and the indirection level of that touch.
-fn eval_src(
+/// Register and stack-slot reads — the hot `[Mov-rr]` / `[Mov-rs]` cases —
+/// borrow straight from the pre-state instead of cloning.
+fn eval_src<'a>(
     src: Operand,
-    pre: &InstState,
+    pre: &'a InstState,
     crit: &Criterion,
     func: FuncId,
     fired: &mut Vec<RuleName>,
-) -> (ValueSet, bool, u8) {
+) -> (Cow<'a, ValueSet>, bool, u8) {
     match src {
         Operand::Imm(c) => {
             fired.push(RuleName::MovRc);
-            (ValueSet::singleton(AbsValue::Const(c)), false, 0)
+            (Cow::Owned(ValueSet::singleton(AbsValue::Const(c))), false, 0)
         }
         Operand::Loc(Loc { base: Addr::Reg(r), offset: 0 }) => {
             fired.push(RuleName::MovRr);
-            (pre.reg(r).clone(), false, 0)
+            (Cow::Borrowed(pre.reg(r)), false, 0)
         }
         Operand::Loc(Loc { base: Addr::Reg(r), offset }) => {
             // lea-style address of a frame slot.
             if r.is_pointer_reg() {
                 if let Some(rel) = crit.match_stack(func, offset) {
                     fired.push(RuleName::MovRv);
-                    return (ValueSet::singleton(AbsValue::Ptr(rel)), true, 0);
+                    return (Cow::Owned(ValueSet::singleton(AbsValue::Ptr(rel))), true, 0);
                 }
             }
-            (ValueSet::new(), false, 0)
+            (Cow::Owned(ValueSet::new()), false, 0)
         }
         Operand::Loc(Loc { base: Addr::Mem(m), offset }) => {
             // `offset m`: the address of a global.
             if let Some(rel) = crit.match_mem(m, offset) {
                 fired.push(RuleName::MovRv);
-                (ValueSet::singleton(AbsValue::Ptr(rel)), true, 0)
+                (Cow::Owned(ValueSet::singleton(AbsValue::Ptr(rel))), true, 0)
             } else {
-                (ValueSet::new(), false, 0)
+                (Cow::Owned(ValueSet::new()), false, 0)
             }
         }
         Operand::Deref(Loc { base: Addr::Mem(m), offset }) => {
             if let Some(rel) = crit.match_mem(m, offset) {
                 fired.push(RuleName::MovRiv);
-                (ValueSet::singleton(AbsValue::Ref(rel)), true, 1)
+                (Cow::Owned(ValueSet::singleton(AbsValue::Ref(rel))), true, 1)
             } else {
-                (ValueSet::new(), false, 0)
+                (Cow::Owned(ValueSet::new()), false, 0)
             }
         }
         Operand::Deref(Loc { base: Addr::Reg(r), offset }) => {
@@ -96,13 +99,13 @@ fn eval_src(
                 // Frame slot read: the criterion's own slot, else `S`.
                 if let Some(rel) = crit.match_stack(func, offset) {
                     fired.push(RuleName::MovRiv);
-                    return (ValueSet::singleton(AbsValue::Ref(rel)), true, 1);
+                    return (Cow::Owned(ValueSet::singleton(AbsValue::Ref(rel))), true, 1);
                 }
                 if let Some(n) = pre.reg(r).singleton_const() {
                     fired.push(RuleName::MovRs);
-                    return (pre.stack_slot(n + offset), false, 0);
+                    return (Cow::Borrowed(pre.stack_slot_or_empty(n + offset)), false, 0);
                 }
-                (ValueSet::new(), false, 0)
+                (Cow::Owned(ValueSet::new()), false, 0)
             } else {
                 // [Mov-ri]: loads through a tracked register.
                 let mut delta = ValueSet::new();
@@ -122,7 +125,7 @@ fn eval_src(
                 if !delta.is_empty() {
                     fired.push(RuleName::MovRi);
                 }
-                (delta, false, 0)
+                (Cow::Owned(delta), false, 0)
             }
         }
     }
@@ -414,7 +417,7 @@ fn transfer_op(
                         t.changed |= cur.mark_dep(1);
                     } else if let Some(n) = pre.reg(r2).singleton_const() {
                         // [Op-rs].
-                        let slot = pre.stack_slot(n + offset);
+                        let slot = pre.stack_slot_or_empty(n + offset);
                         if slot.iter().any(|v| v.is_dep()) {
                             fired.push(RuleName::OpRs);
                             t.changed |= cur.reg_union(r1, &ValueSet::singleton(AbsValue::Other));
@@ -464,7 +467,7 @@ fn transfer_op(
                     Operand::Imm(_) => {
                         // Read-modify-write of a slot by a constant: a
                         // dependent slot stays dependent but loses precision.
-                        let slot = pre.stack_slot(n + offset);
+                        let slot = pre.stack_slot_or_empty(n + offset);
                         if slot.has_dep() {
                             t.changed |= cur.mark_dep(slot.max_dep_level().unwrap_or(0));
                             ValueSet::singleton(AbsValue::Other)
@@ -525,7 +528,7 @@ fn transfer_use(
                         dep = true;
                         level = level.max(1);
                     } else if let Some(n) = pre.reg(r).singleton_const() {
-                        let slot = cur.stack_slot(n + offset);
+                        let slot = cur.stack_slot_or_empty(n + offset);
                         if slot.has_dep() {
                             dep = true;
                             level = level.max(slot.max_dep_level().unwrap_or(0));
@@ -566,19 +569,19 @@ fn transfer_push(
 ) {
     let (delta, direct, lvl) = eval_src(src, pre, crit, func, fired);
     fired.push(RuleName::StkPush);
-    if let Some(s) = pre.reg(Reg::Esp).singleton_const() {
-        // A push definitely overwrites its slot: strong update, so stale
-        // argument values from earlier calls at the same depth cannot leak
-        // into later callees.
-        t.changed |= cur.stack_assign(s - 4, delta.clone());
-        t.changed |= cur.reg_assign(Reg::Esp, ValueSet::singleton(AbsValue::Const(s - 4)));
-    } else {
-        t.changed |= cur.reg_assign(Reg::Esp, ValueSet::new());
-    }
     if direct {
         t.changed |= cur.mark_dep(lvl);
     } else if delta.has_dep() {
         t.changed |= cur.mark_dep(delta.max_dep_level().unwrap_or(0));
+    }
+    if let Some(s) = pre.reg(Reg::Esp).singleton_const() {
+        // A push definitely overwrites its slot: strong update, so stale
+        // argument values from earlier calls at the same depth cannot leak
+        // into later callees.
+        t.changed |= cur.stack_assign(s - 4, delta.into_owned());
+        t.changed |= cur.reg_assign(Reg::Esp, ValueSet::singleton(AbsValue::Const(s - 4)));
+    } else {
+        t.changed |= cur.reg_assign(Reg::Esp, ValueSet::new());
     }
 }
 
@@ -592,10 +595,10 @@ fn transfer_pop(
     fired.push(RuleName::StkPop);
     if let Some(s) = pre.reg(Reg::Esp).singleton_const() {
         // Read the top of stack (see the module docs) and shrink the stack.
-        let delta = pre.stack_slot(s);
+        let delta = pre.stack_slot_or_empty(s);
         if let Some(r) = dst.as_reg() {
             if !r.is_pointer_reg() {
-                t.changed |= cur.reg_union(r, &delta);
+                t.changed |= cur.reg_union(r, delta);
             } else if r.is_frame() {
                 // `pop ebp` restores the saved frame pointer: if the saved
                 // value is a tracked constant, frame addressing resumes.
@@ -633,7 +636,7 @@ fn transfer_call(
     if let Some(s) = pre.reg(Reg::Esp).singleton_const() {
         let mut lvl = None;
         for k in 0..3 {
-            let slot = pre.stack_slot(s + 4 * k);
+            let slot = pre.stack_slot_or_empty(s + 4 * k);
             if let Some(l) = slot.max_dep_level() {
                 lvl = Some(lvl.map_or(l, |p: u8| p.max(l)));
             }

@@ -5,13 +5,21 @@
 //! * `D : I → {true, false}` — dependence of each instruction on `v0`;
 //! * `F : I → [0, 1]` — the faith in that dependence.
 //!
-//! Only instructions actually reached by the traversal get a state record;
-//! the explored region is small thanks to the faith bound, so states are kept
-//! in a hash map rather than a dense table.
+//! Only instructions actually reached by the traversal get a state record.
+//! Records live in a stable arena (`Vec<InstState>`) behind an `InstId` →
+//! slot index map: the traversal needs `&V(pre)` and `&mut V(i)` at the same
+//! time, and the arena supports that as a plain split borrow — the per-edge
+//! deep snapshot the `HashMap`-only layout forced is gone. Every record
+//! carries a version counter, bumped exactly when `(V, S, D)` changes, so
+//! the traversal can prove a revisit is a no-op without comparing states.
 
+use crate::hash::FxHashMap;
 use crate::value::ValueSet;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use tiara_ir::{InstId, Reg};
+
+/// The empty set, as a borrowable sentinel for missing stack slots.
+static EMPTY_SET: ValueSet = ValueSet::EMPTY;
 
 /// Per-instruction analysis state: the `V(i)`, `S(i)`, `D(i)` and `F(i)`
 /// entries for one instruction.
@@ -45,9 +53,16 @@ impl InstState {
         self.regs[r.index()].assign(vs)
     }
 
-    /// Reads a stack slot; missing slots are the empty set.
-    pub fn stack_slot(&self, z: i64) -> ValueSet {
-        self.stack.get(&z).cloned().unwrap_or_default()
+    /// Reads a stack slot, if it has ever been written.
+    #[inline]
+    pub fn stack_slot(&self, z: i64) -> Option<&ValueSet> {
+        self.stack.get(&z)
+    }
+
+    /// Reads a stack slot; missing slots are the (borrowed) empty set.
+    #[inline]
+    pub fn stack_slot_or_empty(&self, z: i64) -> &ValueSet {
+        self.stack.get(&z).unwrap_or(&EMPTY_SET)
     }
 
     /// Weakly updates a stack slot. Returns `true` on change.
@@ -97,14 +112,35 @@ impl InstState {
         self.dep = true;
         true
     }
+
+    /// What a deep clone of this record would copy, in bytes: the struct
+    /// itself, the stack map's entries, and every spilled value vector.
+    /// Prices the per-edge snapshot the traversal no longer takes.
+    pub fn approx_snapshot_bytes(&self) -> usize {
+        let mut bytes = std::mem::size_of::<InstState>();
+        for r in &self.regs {
+            bytes += r.heap_bytes();
+        }
+        for vs in self.stack.values() {
+            bytes += std::mem::size_of::<(i64, ValueSet)>() + vs.heap_bytes();
+        }
+        bytes
+    }
 }
 
 /// The complete analysis state: one [`InstState`] per reached instruction
 /// plus the faith map.
 #[derive(Debug, Default)]
 pub struct AnalysisState {
-    states: HashMap<u32, InstState>,
-    faith: HashMap<u32, f64>,
+    /// `InstId` → arena slot.
+    slots: FxHashMap<u32, usize>,
+    /// Stable state records; never shrinks during a run, so shared and
+    /// mutable borrows of *different* slots can coexist (`pair_mut`).
+    arena: Vec<InstState>,
+    /// Version counter per arena slot, bumped exactly when the record's
+    /// `(V, S, D)` changes.
+    versions: Vec<u32>,
+    faith: FxHashMap<u32, f64>,
 }
 
 impl AnalysisState {
@@ -113,21 +149,69 @@ impl AnalysisState {
         AnalysisState::default()
     }
 
+    /// The arena slot of `id`, allocating a fresh record (version 0) on
+    /// first use.
+    fn slot(&mut self, id: InstId) -> usize {
+        let arena = &mut self.arena;
+        let versions = &mut self.versions;
+        *self.slots.entry(id.0).or_insert_with(|| {
+            arena.push(InstState::default());
+            versions.push(0);
+            arena.len() - 1
+        })
+    }
+
     /// The state of an instruction, if it was reached.
     pub fn get(&self, id: InstId) -> Option<&InstState> {
-        self.states.get(&id.0)
+        self.slots.get(&id.0).map(|&s| &self.arena[s])
     }
 
     /// The state of an instruction, creating an empty record on first use.
+    /// Callers that mutate through this must [`AnalysisState::bump`] the
+    /// record themselves if the mutation changed `(V, S, D)`.
     pub fn get_mut(&mut self, id: InstId) -> &mut InstState {
-        self.states.entry(id.0).or_default()
+        let s = self.slot(id);
+        &mut self.arena[s]
     }
 
-    /// A clone of the state of an instruction (empty if unreached). Cloning
-    /// keeps the borrow checker happy while `i` is being mutated from `pre`;
-    /// states are small (faith bounds growth).
+    /// Split borrow for one `(pre, i)` edge: `&state(pre)` together with
+    /// `&mut state(i)`. Both records are created if missing. Panics if
+    /// `pre == i` — self-loop edges need a scratch copy instead.
+    pub fn pair_mut(&mut self, pre: InstId, i: InstId) -> (&InstState, &mut InstState) {
+        assert_ne!(pre.0, i.0, "self-loop edges must go through a scratch pre-state");
+        let ps = self.slot(pre);
+        let is = self.slot(i);
+        if ps < is {
+            let (a, b) = self.arena.split_at_mut(is);
+            (&a[ps], &mut b[0])
+        } else {
+            let (a, b) = self.arena.split_at_mut(ps);
+            (&b[0], &mut a[is])
+        }
+    }
+
+    /// The version of an instruction's record: 0 until first reached, then
+    /// incremented on every `(V, S, D)` change (see [`AnalysisState::bump`]).
+    pub fn version(&self, id: InstId) -> u32 {
+        self.slots.get(&id.0).map_or(0, |&s| self.versions[s])
+    }
+
+    /// Records that `id`'s `(V, S, D)` changed.
+    pub fn bump(&mut self, id: InstId) {
+        let s = self.slot(id);
+        self.versions[s] += 1;
+    }
+
+    /// A clone of the state of an instruction (empty if unreached). Retained
+    /// for the reference-mode traversal, which snapshots the pre-state per
+    /// edge instead of borrowing it from the arena.
     pub fn snapshot(&self, id: InstId) -> InstState {
-        self.states.get(&id.0).cloned().unwrap_or_default()
+        self.get(id).cloned().unwrap_or_default()
+    }
+
+    /// What [`AnalysisState::snapshot`] of `id` would deep-copy, in bytes.
+    pub fn snapshot_bytes(&self, id: InstId) -> usize {
+        self.get(id).map_or(std::mem::size_of::<InstState>(), InstState::approx_snapshot_bytes)
     }
 
     /// The faith `F(i)`, initially 1 for every instruction.
@@ -158,9 +242,8 @@ impl AnalysisState {
 
     /// Iterates over all reached instructions and their states.
     pub fn iter(&self) -> impl Iterator<Item = (InstId, &InstState)> {
-        self.states.iter().map(|(&k, v)| (InstId(k), v))
+        self.slots.iter().map(|(&k, &s)| (InstId(k), &self.arena[s]))
     }
-
 }
 
 #[cfg(test)]
@@ -178,9 +261,20 @@ mod tests {
         let mut cur = InstState::default();
         assert!(cur.merge_from(&pre));
         assert!(cur.reg(Reg::Esi).contains(AbsValue::Ref(0)));
-        assert!(cur.stack_slot(3).contains(AbsValue::Ptr(0)));
+        assert!(cur.stack_slot_or_empty(3).contains(AbsValue::Ptr(0)));
         assert!(!cur.dep, "dependence must not flow through merges");
         assert!(!cur.merge_from(&pre), "idempotent");
+    }
+
+    #[test]
+    fn stack_slot_reads_are_borrowed() {
+        let mut s = InstState::default();
+        assert!(s.stack_slot(8).is_none());
+        assert!(s.stack_slot_or_empty(8).is_empty());
+        s.stack_assign(8, ValueSet::singleton(AbsValue::Ref(4)));
+        assert!(s.stack_slot(8).is_some_and(|v| v.contains(AbsValue::Ref(4))));
+        // The sentinel is the same empty set for every missing slot.
+        assert!(std::ptr::eq(s.stack_slot_or_empty(-4), s.stack_slot_or_empty(400)));
     }
 
     #[test]
@@ -217,5 +311,56 @@ mod tests {
         assert!(!snap.dep);
         assert!(snap.reg(Reg::Eax).is_empty());
         assert!(st.get(InstId(9)).is_none());
+    }
+
+    #[test]
+    fn versions_start_at_zero_and_bump_explicitly() {
+        let mut st = AnalysisState::new();
+        let (a, b) = (InstId(3), InstId(7));
+        assert_eq!(st.version(a), 0, "unreached records report version 0");
+        st.get_mut(a);
+        assert_eq!(st.version(a), 0, "allocation does not bump");
+        st.bump(a);
+        assert_eq!(st.version(a), 1);
+        assert_eq!(st.version(b), 0);
+    }
+
+    #[test]
+    fn pair_mut_splits_either_ordering() {
+        let mut st = AnalysisState::new();
+        let (a, b) = (InstId(1), InstId(2));
+        st.get_mut(a).reg_union(Reg::Eax, &ValueSet::singleton(AbsValue::Ptr(0)));
+        // a allocated first: slot(a) < slot(b).
+        {
+            let (pre, cur) = st.pair_mut(a, b);
+            assert!(pre.reg(Reg::Eax).contains(AbsValue::Ptr(0)));
+            cur.reg_union(Reg::Ebx, &ValueSet::singleton(AbsValue::Ref(4)));
+        }
+        // Reverse orientation: slot(pre) > slot(cur).
+        {
+            let (pre, cur) = st.pair_mut(b, a);
+            assert!(pre.reg(Reg::Ebx).contains(AbsValue::Ref(4)));
+            cur.reg_union(Reg::Ecx, &ValueSet::singleton(AbsValue::Other));
+        }
+        assert!(st.get(a).unwrap().reg(Reg::Ecx).contains(AbsValue::Other));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn pair_mut_rejects_self_loops() {
+        let mut st = AnalysisState::new();
+        let _ = st.pair_mut(InstId(5), InstId(5));
+    }
+
+    #[test]
+    fn snapshot_bytes_grow_with_state() {
+        let mut st = AnalysisState::new();
+        let a = InstId(0);
+        let empty = st.snapshot_bytes(a);
+        let s = st.get_mut(a);
+        for z in 0..10 {
+            s.stack_assign(z, ValueSet::singleton(AbsValue::Const(z)));
+        }
+        assert!(st.snapshot_bytes(a) > empty);
     }
 }

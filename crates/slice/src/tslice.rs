@@ -15,14 +15,33 @@
 //! further in could ever be found, contradicting the example, the measured
 //! 0.2 s/slice, and the `D(I0) = true` initialization on line 3, which only
 //! makes sense when `I0` itself accesses `v0`.)
+//!
+//! ## Two traversals, one semantics
+//!
+//! The hot loop comes in two interchangeable forms, selected by
+//! [`TsliceConfig::reference_mode`]:
+//!
+//! * the **fast path** (default) borrows the pre-state straight out of the
+//!   state arena (`AnalysisState::pair_mut`) instead of deep-cloning it per
+//!   edge, and memoizes `(pre, i)` edges by state version so a revisit whose
+//!   endpoints are provably unchanged skips the join + transfer outright
+//!   (faith still decays — the pop is observable through `F`);
+//! * the **reference path** is the literal Algorithm 1 shape: snapshot the
+//!   pre-state, join, transfer.
+//!
+//! Both paths share the same join/transfer/faith helpers and must produce
+//! bitwise-identical slices and traces; `tests/equivalence.rs` holds them to
+//! that. [`SliceStats`] counts what the fast path saved.
 
 use crate::criterion::Criterion;
 use crate::rules::transfer;
 use crate::slice::{build_slice_graph, Slice, SliceNode};
 use crate::state::{AnalysisState, InstState};
+use crate::stats::SliceStats;
 use crate::trace::{RuleName, TraceEvent};
 use crate::value::{AbsValue, ValueSet};
 use crate::TsliceConfig;
+use crate::hash::{FxHashMap, FxHashSet};
 use std::collections::HashSet;
 use std::rc::Rc;
 use tiara_ir::{CallTarget, InstId, InstKind, Program, Reg, VarAddr};
@@ -44,11 +63,13 @@ fn ctx_push(ctx: &Ctx, ret: InstId) -> Ctx {
     Some(Rc::new(CtxNode { ret, parent: ctx.clone() }))
 }
 
-/// One pending `CompDependences(pre, i)` invocation.
+/// One pending `CompDependences(pre, i)` invocation. `pre_ver` is the version
+/// of `pre`'s state record at push time; it keys the pending-edge set.
 struct Work {
     pre: InstId,
     i: InstId,
     ctx: Ctx,
+    pre_ver: u32,
 }
 
 /// The result of running TSLICE: the slice plus the optional rule trace.
@@ -58,6 +79,9 @@ pub struct TsliceOutput {
     pub slice: Slice,
     /// Rule-firing trace (only populated when [`TsliceConfig::trace`] is on).
     pub trace: Vec<TraceEvent>,
+    /// Hot-loop counters for this run (also folded into the process-wide
+    /// aggregate, see [`crate::global_stats`]).
+    pub stats: SliceStats,
 }
 
 /// Runs TSLICE for the variable at `v0` and returns the slice.
@@ -74,6 +98,8 @@ pub fn tslice_with(prog: &Program, v0: VarAddr, cfg: &TsliceConfig) -> TsliceOut
     let mut st = AnalysisState::new();
     let mut trace: Vec<TraceEvent> = Vec::new();
     let mut fired: Vec<RuleName> = Vec::new();
+    let mut stats = SliceStats::default();
+    let spills_at_start = crate::stats::thread_spills();
 
     // Initial state "before I0": sp and fp hold the abstract stack base so
     // prologue sequences (`push ebp; mov ebp, esp`) are trackable. The paper
@@ -86,37 +112,122 @@ pub fn tslice_with(prog: &Program, v0: VarAddr, cfg: &TsliceConfig) -> TsliceOut
     // I0: the first instruction operating on v0 (see the module docs).
     let Some(entry) = crate::sslice::first_access(prog, v0) else {
         let slice = build_slice_graph(prog, v0, Vec::new(), &HashSet::new(), 0);
-        return TsliceOutput { slice, trace };
+        return TsliceOutput { slice, trace, stats };
     };
     let mut stack: Vec<Work> = Vec::new();
     let mut steps = 0usize;
 
     // Process the entry against the boot state, then seed its successors.
-    process(
-        prog, &crit, cfg, &mut st, &boot, entry, None, &mut fired,
-        if cfg.trace { Some(&mut trace) } else { None },
-    );
-    // Line 3: D(I0) = true — the first access is dependent by definition.
-    st.get_mut(entry).mark_dep(0);
-    push_successors(prog, entry, &None, &mut stack);
-
-    while let Some(Work { pre, i, ctx }) = stack.pop() {
-        if steps >= cfg.max_steps {
-            break;
-        }
-        steps += 1;
-        // Line 8: once faith is exhausted, the path is cut.
-        if st.faith(pre) <= 0.0 {
-            continue;
-        }
-        let pre_state = st.snapshot(pre);
-        let changed = process(
-            prog, &crit, cfg, &mut st, &pre_state, i, Some(pre), &mut fired,
-            if cfg.trace { Some(&mut trace) } else { None },
-        );
-        // Line 11: descend only if (V, S, D) changed.
+    // The bootstrap edge has no `pre` instruction and is not a counted step.
+    {
+        let cur = st.get_mut(entry);
+        let changed = merge_and_transfer(prog, &crit, cfg, &boot, cur, entry, &mut fired);
         if changed {
-            push_successors(prog, i, &ctx, &mut stack);
+            st.bump(entry);
+        }
+    }
+    let faith0 = apply_faith(&mut st, cfg, prog, entry, None);
+    record_trace(cfg, &mut trace, &st, entry, &fired, faith0);
+    // Line 3: D(I0) = true — the first access is dependent by definition.
+    if st.get_mut(entry).mark_dep(0) {
+        st.bump(entry);
+    }
+    push_successors(prog, entry, &None, &mut stack, &st, None, &mut stats);
+
+    if cfg.reference_mode {
+        // Reference traversal: deep-snapshot the pre-state per edge.
+        while let Some(Work { pre, i, ctx, .. }) = stack.pop() {
+            // Line 8: once faith is exhausted, the path is cut. A cut pop
+            // does no transfer work and does not consume step budget.
+            if st.faith(pre) <= 0.0 {
+                stats.faith_cut_pops += 1;
+                continue;
+            }
+            if steps >= cfg.max_steps {
+                break;
+            }
+            steps += 1;
+            let pre_state = st.snapshot(pre);
+            let cur = st.get_mut(i);
+            let changed = merge_and_transfer(prog, &crit, cfg, &pre_state, cur, i, &mut fired);
+            if changed {
+                st.bump(i);
+            }
+            let faith = apply_faith(&mut st, cfg, prog, i, Some(pre));
+            record_trace(cfg, &mut trace, &st, i, &fired, faith);
+            // Line 11: descend only if (V, S, D) changed.
+            if changed {
+                push_successors(prog, i, &ctx, &mut stack, &st, None, &mut stats);
+            }
+        }
+    } else {
+        // Fast traversal: borrow the pre-state from the arena, memoize edges
+        // by state version, and dedupe pushes of edges already pending at
+        // the same pre-state version.
+        let mut scratch = InstState::default();
+        let mut memo: FxHashMap<(u32, u32), (u32, u32)> = FxHashMap::default();
+        let mut pending: FxHashSet<(u32, u32, u32)> = FxHashSet::default();
+        // Snapshot sizes are cached per (record, version): states stabilize
+        // quickly, so most pops reuse the cached size instead of walking the
+        // stack map.
+        let mut size_cache: FxHashMap<u32, (u32, u64)> = FxHashMap::default();
+
+        while let Some(Work { pre, i, ctx, pre_ver }) = stack.pop() {
+            pending.remove(&(pre.0, i.0, pre_ver));
+            if st.faith(pre) <= 0.0 {
+                stats.faith_cut_pops += 1;
+                continue;
+            }
+            if steps >= cfg.max_steps {
+                break;
+            }
+            steps += 1;
+            // Every counted pop is one snapshot the reference path would
+            // have deep-cloned.
+            let pre_cur_ver = st.version(pre);
+            stats.snapshot_bytes_avoided += match size_cache.get(&pre.0) {
+                Some(&(v, b)) if v == pre_cur_ver => b,
+                _ => {
+                    let b = st.snapshot_bytes(pre) as u64;
+                    size_cache.insert(pre.0, (pre_cur_ver, b));
+                    b
+                }
+            };
+            // If neither endpoint's state changed since this exact edge was
+            // last processed, the join + transfer are provably no-ops: skip
+            // them. Faith still decays — the pop is observable through `F` —
+            // so the memo only elides state work, never a visit. Disabled
+            // under tracing, where every pop must log its rule firings.
+            let key = (pre.0, i.0);
+            let vers = (pre_cur_ver, st.version(i));
+            if !cfg.trace && memo.get(&key) == Some(&vers) {
+                stats.merges_skipped += 1;
+                apply_faith(&mut st, cfg, prog, i, Some(pre));
+                continue;
+            }
+            let changed = if pre == i {
+                // Self-loop: the split borrow is impossible, so copy the
+                // record into a reused scratch buffer (the one remaining
+                // snapshot-shaped clone, and only on `jmp self`).
+                match st.get(pre) {
+                    Some(s) => scratch.clone_from(s),
+                    None => scratch = InstState::default(),
+                }
+                let cur = st.get_mut(i);
+                merge_and_transfer(prog, &crit, cfg, &scratch, cur, i, &mut fired)
+            } else {
+                let (pre_state, cur) = st.pair_mut(pre, i);
+                merge_and_transfer(prog, &crit, cfg, pre_state, cur, i, &mut fired)
+            };
+            if changed {
+                st.bump(i);
+            }
+            memo.insert(key, (st.version(pre), st.version(i)));
+            let faith = apply_faith(&mut st, cfg, prog, i, Some(pre));
+            record_trace(cfg, &mut trace, &st, i, &fired, faith);
+            if changed {
+                push_successors(prog, i, &ctx, &mut stack, &st, Some(&mut pending), &mut stats);
+            }
         }
     }
 
@@ -127,33 +238,45 @@ pub fn tslice_with(prog: &Program, v0: VarAddr, cfg: &TsliceConfig) -> TsliceOut
         .map(|(id, s)| SliceNode { inst: id, faith: st.faith(id), indirection: s.indirection })
         .collect();
     let slice = build_slice_graph(prog, v0, nodes, &explored, steps);
-    TsliceOutput { slice, trace }
+    stats.steps = steps as u64;
+    stats.set_spills = crate::stats::thread_spills() - spills_at_start;
+    crate::stats::add_to_global(&stats);
+    TsliceOutput { slice, trace, stats }
 }
 
-/// Applies the join + transfer for one `(pre, i)` edge and decays faith.
-/// Returns whether `(V(i), S(i), D(i))` changed.
-#[allow(clippy::too_many_arguments)]
-fn process(
+/// The join + transfer for one `(pre, i)` edge (Algorithm 1, lines 9 and 11).
+/// Returns whether `(V(i), S(i), D(i))` changed. Pure with respect to the
+/// analysis state: both traversals funnel through here, which is what keeps
+/// them semantically identical.
+fn merge_and_transfer(
     prog: &Program,
     crit: &Criterion,
     cfg: &TsliceConfig,
-    st: &mut AnalysisState,
     pre_state: &InstState,
+    cur: &mut InstState,
     i: InstId,
-    pre: Option<InstId>,
     fired: &mut Vec<RuleName>,
-    trace: Option<&mut Vec<TraceEvent>>,
 ) -> bool {
     let inst = prog.inst(i);
     let func = prog.func_of(i);
     let ret_addr = prog.return_site(i).map(|r| prog.inst(r).addr as i64);
 
     fired.clear();
-    let cur = st.get_mut(i);
     let mut changed = cur.merge_from(pre_state);
-    let out = transfer(inst, pre_state, cur, crit, func, ret_addr, cfg, fired);
-    changed |= out.changed;
+    changed |= transfer(inst, pre_state, cur, crit, func, ret_addr, cfg, fired).changed;
+    changed
+}
 
+/// Faith decay (Algorithm 1, line 10) plus the indirect-call path cut.
+/// Returns the updated faith of `i`.
+fn apply_faith(
+    st: &mut AnalysisState,
+    cfg: &TsliceConfig,
+    prog: &Program,
+    i: InstId,
+    pre: Option<InstId>,
+) -> f64 {
+    let inst = prog.inst(i);
     // Line 10: F(i) <- max(min(F(pre), F(i)) - Decay(i), 0).
     let faith = match pre {
         Some(p) => st.decay_faith_with(p, i, decay(cfg, &inst.kind), cfg.decay_function),
@@ -166,16 +289,26 @@ fn process(
     {
         st.zero_faith(i);
     }
+    faith
+}
 
-    if let Some(tr) = trace {
-        tr.push(TraceEvent {
+/// Appends one [`TraceEvent`] when tracing is enabled.
+fn record_trace(
+    cfg: &TsliceConfig,
+    trace: &mut Vec<TraceEvent>,
+    st: &AnalysisState,
+    i: InstId,
+    fired: &[RuleName],
+    faith: f64,
+) {
+    if cfg.trace {
+        trace.push(TraceEvent {
             inst: i,
-            rules: fired.clone(),
+            rules: fired.to_vec(),
             faith,
             dep: st.get(i).map(|s| s.dep).unwrap_or(false),
         });
     }
-    changed
 }
 
 /// The decay function of Algorithm 1, line 5.
@@ -192,7 +325,29 @@ fn decay(cfg: &TsliceConfig, kind: &InstKind) -> f64 {
 /// Pushes the control-flow successors of `i` with the right context:
 /// direct calls descend into the callee, `ret` resumes at the recorded
 /// return site, everything else follows the intra-procedural flow.
-fn push_successors(prog: &Program, i: InstId, ctx: &Ctx, stack: &mut Vec<Work>) {
+///
+/// When `pending` is given (the fast path), an edge already queued at the
+/// same pre-state version is not pushed again: its pop could only repeat
+/// work the queued twin will already do.
+fn push_successors(
+    prog: &Program,
+    i: InstId,
+    ctx: &Ctx,
+    stack: &mut Vec<Work>,
+    st: &AnalysisState,
+    mut pending: Option<&mut FxHashSet<(u32, u32, u32)>>,
+    stats: &mut SliceStats,
+) {
+    let pre_ver = st.version(i);
+    let mut push = |stack: &mut Vec<Work>, work: Work| {
+        if let Some(pending) = pending.as_deref_mut() {
+            if !pending.insert((work.pre.0, work.i.0, work.pre_ver)) {
+                stats.worklist_hits += 1;
+                return;
+            }
+        }
+        stack.push(work);
+    };
     match &prog.inst(i).kind {
         InstKind::Call { target: CallTarget::Direct(f) } => {
             let callee_entry = prog.func(*f).entry();
@@ -200,17 +355,17 @@ fn push_successors(prog: &Program, i: InstId, ctx: &Ctx, stack: &mut Vec<Work>) 
                 Some(site) => ctx_push(ctx, site),
                 None => ctx.clone(),
             };
-            stack.push(Work { pre: i, i: callee_entry, ctx: new_ctx });
+            push(stack, Work { pre: i, i: callee_entry, ctx: new_ctx, pre_ver });
         }
         InstKind::Ret => {
             if let Some(node) = ctx {
-                stack.push(Work { pre: i, i: node.ret, ctx: node.parent.clone() });
+                push(stack, Work { pre: i, i: node.ret, ctx: node.parent.clone(), pre_ver });
             }
             // Returning with an empty context leaves the analyzed region.
         }
         _ => {
             for &s in prog.flow_succs(i) {
-                stack.push(Work { pre: i, i: s, ctx: ctx.clone() });
+                push(stack, Work { pre: i, i: s, ctx: ctx.clone(), pre_ver });
             }
         }
     }
@@ -311,6 +466,7 @@ mod tests {
         };
         let out = tslice_with(&prog, VarAddr::Global(MemAddr(v0)), &cfg);
         assert!(out.slice.explored <= 3, "explored {}", out.slice.explored);
+        assert!(out.stats.faith_cut_pops > 0, "cut pops are counted");
     }
 
     #[test]
@@ -343,5 +499,79 @@ mod tests {
         assert!(slice.contains(InstId(0)), "lea of v0 slot");
         assert!(slice.contains(InstId(1)), "load of v0 slot");
         assert!(!slice.contains(InstId(2)), "other local");
+    }
+
+    /// A three-instruction straight line under total decay: the entry is
+    /// processed outside the loop, exactly one in-loop pop has positive
+    /// faith, and the final faith-cut pop must consume no step budget.
+    fn chain_program(v0: u64) -> (Program, VarAddr) {
+        let mut b = ProgramBuilder::new();
+        b.begin_func("main");
+        b.inst(
+            Opcode::Mov,
+            InstKind::Mov { dst: Operand::reg(Reg::Esi), src: Operand::mem_abs(v0, 0) },
+        );
+        b.inst(
+            Opcode::Mov,
+            InstKind::Mov { dst: Operand::reg(Reg::Eax), src: Operand::reg(Reg::Esi) },
+        );
+        b.inst(
+            Opcode::Mov,
+            InstKind::Mov { dst: Operand::reg(Reg::Ebx), src: Operand::reg(Reg::Eax) },
+        );
+        b.ret();
+        b.end_func();
+        (b.finish().unwrap(), VarAddr::Global(MemAddr(v0)))
+    }
+
+    #[test]
+    fn faith_cut_pops_do_not_consume_step_budget() {
+        let (prog, v0) = chain_program(0x74404);
+        let cfg = TsliceConfig {
+            decay_default: 1.0,
+            decay_stack: 1.0,
+            decay_indirect: 1.0,
+            ..TsliceConfig::default()
+        };
+        let full = tslice_with(&prog, v0, &cfg);
+        assert_eq!(full.slice.steps, 1, "one productive pop, cut pops uncounted");
+        assert!(full.stats.faith_cut_pops >= 1);
+        // A budget of exactly the productive steps reproduces the full run:
+        // under the old accounting the cut pop burned the budget first.
+        let tight = tslice_with(&prog, v0, &TsliceConfig { max_steps: 1, ..cfg });
+        assert_eq!(tight.slice, full.slice);
+    }
+
+    #[test]
+    fn reference_mode_matches_fast_path_on_the_little_program() {
+        let v0 = 0x74404u64;
+        let prog = little_program(v0);
+        for cfg in [TsliceConfig::default(), TsliceConfig::with_trace()] {
+            let fast = tslice_with(&prog, VarAddr::Global(MemAddr(v0)), &cfg);
+            let refr = tslice_with(
+                &prog,
+                VarAddr::Global(MemAddr(v0)),
+                &TsliceConfig { reference_mode: true, ..cfg },
+            );
+            assert_eq!(fast.slice, refr.slice);
+            assert_eq!(fast.trace, refr.trace);
+        }
+    }
+
+    #[test]
+    fn stats_count_productive_work() {
+        let v0 = 0x74404u64;
+        let prog = little_program(v0);
+        let out = tslice_with(&prog, VarAddr::Global(MemAddr(v0)), &TsliceConfig::default());
+        assert_eq!(out.stats.steps, out.slice.steps as u64);
+        assert!(out.stats.snapshot_bytes_avoided > 0, "every pop avoids a snapshot");
+        // Reference mode avoids nothing by construction.
+        let refr = tslice_with(
+            &prog,
+            VarAddr::Global(MemAddr(v0)),
+            &TsliceConfig { reference_mode: true, ..TsliceConfig::default() },
+        );
+        assert_eq!(refr.stats.snapshot_bytes_avoided, 0);
+        assert_eq!(refr.stats.merges_skipped, 0);
     }
 }

@@ -11,8 +11,9 @@
 //!   arithmetic on a heap value loaded from `v0`), which is not tracked
 //!   further precisely.
 
-use serde::{Deserialize, Serialize};
-use std::collections::BTreeSet;
+use serde::de::SeqAccess;
+use serde::ser::SerializeSeq;
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
 
 /// One abstract value from the domain `A`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -61,26 +62,53 @@ impl std::fmt::Display for AbsValue {
     }
 }
 
+/// Number of values stored inline before spilling to the heap. Almost every
+/// set the slicer manipulates is a singleton (the boot `sp`/`fp` constants,
+/// `[Mov-rc]`, `[Mov-rv]`, `[Mov-riv]` deltas) or a small union of a few
+/// flow-joined values; four slots cover the overwhelming majority without
+/// making `InstState` (8 registers) unreasonably wide.
+const INLINE: usize = 4;
+
+/// Storage of a [`ValueSet`]: values kept sorted (the [`Ord`] order of
+/// [`AbsValue`]) in either an inline array or a spilled heap vector. A set
+/// never un-spills: eviction can shrink a spilled set below `INLINE`, but the
+/// vector is kept to avoid churn on the next growth.
+#[derive(Debug, Clone)]
+enum Repr {
+    Inline { len: u8, buf: [AbsValue; INLINE] },
+    Spilled(Vec<AbsValue>),
+}
+
 /// A set of abstract values (`2^A`), the codomain of the register map `V`
 /// and stack map `S`.
+///
+/// Values are kept as a *sorted* sequence — inline up to `INLINE` elements,
+/// spilled to the heap past that — so iteration order is identical to the
+/// previous `BTreeSet` representation (load-bearing: the slicer's output and
+/// trace are bitwise-deterministic functions of iteration order).
 ///
 /// Sets are capped at [`ValueSet::CAP`] elements to bound memory; when the
 /// cap is hit, constants are evicted first (they never witness a dependence)
 /// and dependence-carrying values are collapsed into `(other, ∗)`.
 /// Termination of the analysis does not rely on the cap — the faith/decay
 /// mechanism of Algorithm 1 bounds revisits — the cap only bounds space.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ValueSet {
-    values: BTreeSet<AbsValue>,
+    repr: Repr,
 }
 
 impl ValueSet {
     /// Maximum number of values kept per set.
     pub const CAP: usize = 48;
 
+    /// The empty set as a constant (usable as a `&'static` sentinel for
+    /// missing stack slots).
+    pub const EMPTY: ValueSet =
+        ValueSet { repr: Repr::Inline { len: 0, buf: [AbsValue::Other; INLINE] } };
+
     /// The empty set.
     pub fn new() -> ValueSet {
-        ValueSet::default()
+        ValueSet::EMPTY
     }
 
     /// A singleton set.
@@ -90,31 +118,94 @@ impl ValueSet {
         s
     }
 
+    /// The values as a sorted slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[AbsValue] {
+        match &self.repr {
+            Repr::Inline { len, buf } => &buf[..*len as usize],
+            Repr::Spilled(v) => v,
+        }
+    }
+
+    /// Inserts `v` at its sorted position without any cap handling.
+    /// Returns `true` if the set changed.
+    fn raw_insert(&mut self, v: AbsValue) -> bool {
+        let idx = match self.as_slice().binary_search(&v) {
+            Ok(_) => return false,
+            Err(i) => i,
+        };
+        match &mut self.repr {
+            Repr::Inline { len, buf } if (*len as usize) < INLINE => {
+                let l = *len as usize;
+                buf.copy_within(idx..l, idx + 1);
+                buf[idx] = v;
+                *len += 1;
+            }
+            Repr::Inline { len, buf } => {
+                // Inline storage is full: spill to the heap. `CAP + 1`
+                // matches the worst case the eviction rules allow (a full set
+                // of dependences plus the collapsed `(other, ∗)`).
+                crate::stats::note_spill();
+                let mut vec = Vec::with_capacity(Self::CAP + 1);
+                vec.extend_from_slice(&buf[..*len as usize]);
+                vec.insert(idx, v);
+                self.repr = Repr::Spilled(vec);
+            }
+            Repr::Spilled(vec) => vec.insert(idx, v),
+        }
+        true
+    }
+
+    /// Removes `v` if present. Returns `true` if the set changed.
+    fn raw_remove(&mut self, v: AbsValue) -> bool {
+        let idx = match self.as_slice().binary_search(&v) {
+            Ok(i) => i,
+            Err(_) => return false,
+        };
+        match &mut self.repr {
+            Repr::Inline { len, buf } => {
+                let l = *len as usize;
+                buf.copy_within(idx + 1..l, idx);
+                *len -= 1;
+            }
+            Repr::Spilled(vec) => {
+                vec.remove(idx);
+            }
+        }
+        true
+    }
+
     /// Inserts a value (weak update). Returns `true` if the set changed.
     pub fn insert(&mut self, v: AbsValue) -> bool {
-        if self.values.contains(&v) {
+        if self.contains(v) {
             return false;
         }
-        if self.values.len() >= Self::CAP {
+        if self.len() >= Self::CAP {
             // Evict a constant; if none, collapse the incoming dependence
             // into (other, ∗) which is already present or representable.
-            let victim = self.values.iter().find(|x| matches!(x, AbsValue::Const(_))).copied();
+            // The first constant in sorted order is evicted — identical to
+            // the old `BTreeSet` iteration-order victim choice.
+            let victim = self
+                .as_slice()
+                .iter()
+                .find(|x| matches!(x, AbsValue::Const(_)))
+                .copied();
             match victim {
                 Some(c) => {
-                    self.values.remove(&c);
+                    self.raw_remove(c);
                 }
                 None => {
-                    return if v.is_dep() { self.values.insert(AbsValue::Other) } else { false };
+                    return if v.is_dep() { self.raw_insert(AbsValue::Other) } else { false };
                 }
             }
         }
-        self.values.insert(v)
+        self.raw_insert(v)
     }
 
     /// Unions `other` into `self` (weak update). Returns `true` on change.
     pub fn union_with(&mut self, other: &ValueSet) -> bool {
         let mut changed = false;
-        for &v in &other.values {
+        for &v in other.as_slice() {
             changed |= self.insert(v);
         }
         changed
@@ -122,65 +213,139 @@ impl ValueSet {
 
     /// Replaces the contents (strong update). Returns `true` on change.
     pub fn assign(&mut self, other: ValueSet) -> bool {
-        if self.values == other.values {
+        if *self == other {
             return false;
         }
-        self.values = other.values;
+        *self = other;
         true
     }
 
     /// Clears the set (the `kill` rules). Returns `true` on change.
     pub fn clear(&mut self) -> bool {
-        if self.values.is_empty() {
+        if self.is_empty() {
             return false;
         }
-        self.values.clear();
+        match &mut self.repr {
+            Repr::Inline { len, .. } => *len = 0,
+            // Keep the spilled allocation: kill/refill cycles on the same
+            // register are common and this avoids re-spilling.
+            Repr::Spilled(vec) => vec.clear(),
+        }
         true
     }
 
     /// The paper's `HasDep(X)` (eq. 2): true iff some value is not a const.
     pub fn has_dep(&self) -> bool {
-        self.values.iter().any(|v| v.is_dep())
+        self.as_slice().iter().any(|v| v.is_dep())
     }
 
     /// If the set is exactly one constant, returns it. This implements the
     /// `{(const, n)} = V(pre)(r)` singleton premises of Figure 4.
     pub fn singleton_const(&self) -> Option<i64> {
-        if self.values.len() == 1 {
-            if let Some(AbsValue::Const(n)) = self.values.first() {
-                return Some(*n);
-            }
+        match self.as_slice() {
+            [AbsValue::Const(n)] => Some(*n),
+            _ => None,
         }
-        None
     }
 
-    /// Iterates over the values.
+    /// Iterates over the values in sorted order.
     pub fn iter(&self) -> impl Iterator<Item = AbsValue> + '_ {
-        self.values.iter().copied()
+        self.as_slice().iter().copied()
     }
 
     /// Number of values.
     pub fn len(&self) -> usize {
-        self.values.len()
+        self.as_slice().len()
     }
 
     /// Returns `true` if the set is empty.
     pub fn is_empty(&self) -> bool {
-        self.values.is_empty()
+        self.as_slice().is_empty()
     }
 
     /// Returns `true` if the set contains `v`.
     pub fn contains(&self, v: AbsValue) -> bool {
-        self.values.contains(&v)
+        self.as_slice().binary_search(&v).is_ok()
+    }
+
+    /// Returns `true` if the values live on the heap (past the inline cap).
+    pub fn is_spilled(&self) -> bool {
+        matches!(self.repr, Repr::Spilled(_))
+    }
+
+    /// Bytes this set holds outside its own `size_of` footprint (the spilled
+    /// vector's capacity). Used by the perf counters to price what a deep
+    /// snapshot of an [`crate::state::InstState`] would have copied.
+    pub(crate) fn heap_bytes(&self) -> usize {
+        match &self.repr {
+            Repr::Inline { .. } => 0,
+            Repr::Spilled(vec) => vec.capacity() * std::mem::size_of::<AbsValue>(),
+        }
     }
 
     /// The highest indirection level among dependence-carrying values, if any.
     pub fn max_dep_level(&self) -> Option<u8> {
-        self.values
+        self.as_slice()
             .iter()
             .filter(|v| v.is_dep())
             .map(|v| v.indirection_level())
             .max()
+    }
+}
+
+impl Default for ValueSet {
+    fn default() -> ValueSet {
+        ValueSet::EMPTY
+    }
+}
+
+impl PartialEq for ValueSet {
+    fn eq(&self, other: &ValueSet) -> bool {
+        // Representation-independent: an evicted-below-INLINE spilled set
+        // equals its inline twin.
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for ValueSet {}
+
+impl Serialize for ValueSet {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut seq = serializer.serialize_seq(Some(self.len()))?;
+        for v in self.as_slice() {
+            seq.serialize_element(v)?;
+        }
+        seq.end()
+    }
+}
+
+impl<'de> Deserialize<'de> for ValueSet {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<ValueSet, D::Error> {
+        struct V;
+        impl<'de> serde::de::Visitor<'de> for V {
+            type Value = ValueSet;
+            fn expecting(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.write_str("a sequence of abstract values")
+            }
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<ValueSet, A::Error> {
+                let mut vals: Vec<AbsValue> = Vec::new();
+                while let Some(v) = seq.next_element()? {
+                    vals.push(v);
+                }
+                vals.sort_unstable();
+                vals.dedup();
+                let mut s = ValueSet::new();
+                if vals.len() <= INLINE {
+                    for v in vals {
+                        s.raw_insert(v);
+                    }
+                } else {
+                    s.repr = Repr::Spilled(vals);
+                }
+                Ok(s)
+            }
+        }
+        deserializer.deserialize_seq(V)
     }
 }
 
@@ -205,7 +370,7 @@ impl Extend<AbsValue> for ValueSet {
 impl std::fmt::Display for ValueSet {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "{{")?;
-        for (k, v) in self.values.iter().enumerate() {
+        for (k, v) in self.as_slice().iter().enumerate() {
             if k > 0 {
                 write!(f, ", ")?;
             }
@@ -272,6 +437,9 @@ mod tests {
         assert!(s.insert(AbsValue::Ref(1)));
         assert!(s.contains(AbsValue::Ref(1)));
         assert_eq!(s.len(), ValueSet::CAP);
+        // The victim is the smallest constant in sorted order.
+        assert!(!s.contains(AbsValue::Const(0)));
+        assert!(s.contains(AbsValue::Const(1)));
     }
 
     #[test]
@@ -286,6 +454,113 @@ mod tests {
         assert!(!s.contains(AbsValue::Ref(999)));
         // A new constant is simply dropped.
         assert!(!s.insert(AbsValue::Const(1)));
+        // The collapse slot means the set can briefly hold CAP + 1 values —
+        // the same envelope the BTreeSet representation allowed.
+        assert_eq!(s.len(), ValueSet::CAP + 1);
+        // Collapsing again is idempotent.
+        assert!(!s.insert(AbsValue::Ref(1000)));
+        assert_eq!(s.len(), ValueSet::CAP + 1);
+    }
+
+    #[test]
+    fn inline_to_spill_transition_preserves_content_and_order() {
+        let mut s = ValueSet::new();
+        let before = crate::stats::thread_spills();
+        // Fill exactly to the inline capacity: no spill yet.
+        for c in 0..4i64 {
+            assert!(s.insert(AbsValue::Const(c)));
+        }
+        assert!(!s.is_spilled());
+        assert_eq!(crate::stats::thread_spills(), before);
+        // One more value spills to the heap.
+        assert!(s.insert(AbsValue::Ptr(7)));
+        assert!(s.is_spilled());
+        assert_eq!(crate::stats::thread_spills(), before + 1);
+        assert_eq!(s.len(), 5);
+        // Sorted order: Ptr < Ref < Const < Other by the Ord derive.
+        let got: Vec<AbsValue> = s.iter().collect();
+        let mut want = vec![
+            AbsValue::Ptr(7),
+            AbsValue::Const(0),
+            AbsValue::Const(1),
+            AbsValue::Const(2),
+            AbsValue::Const(3),
+        ];
+        want.sort();
+        assert_eq!(got, want);
+        // A spilled set that shrinks below INLINE stays spilled but compares
+        // equal to its inline twin.
+        let mut t = s.clone();
+        for c in 0..3i64 {
+            t.raw_remove(AbsValue::Const(c));
+        }
+        assert!(t.is_spilled());
+        let inline: ValueSet = [AbsValue::Ptr(7), AbsValue::Const(3)].into_iter().collect();
+        assert!(!inline.is_spilled());
+        assert_eq!(t, inline);
+    }
+
+    #[test]
+    fn spill_boundary_matches_btreeset_eviction_semantics() {
+        // Drive a set through the full CAP boundary with a mix of consts and
+        // deps and cross-check against a plain BTreeSet model implementing
+        // the original insert routine verbatim.
+        use std::collections::BTreeSet;
+        fn model_insert(m: &mut BTreeSet<AbsValue>, v: AbsValue) -> bool {
+            if m.contains(&v) {
+                return false;
+            }
+            if m.len() >= ValueSet::CAP {
+                let victim = m.iter().find(|x| matches!(x, AbsValue::Const(_))).copied();
+                match victim {
+                    Some(c) => {
+                        m.remove(&c);
+                    }
+                    None => {
+                        return if v.is_dep() { m.insert(AbsValue::Other) } else { false };
+                    }
+                }
+            }
+            m.insert(v)
+        }
+        let mut s = ValueSet::new();
+        let mut m: BTreeSet<AbsValue> = BTreeSet::new();
+        let probe: Vec<AbsValue> = (0..40i64)
+            .map(AbsValue::Const)
+            .chain((0..30).map(|c| AbsValue::Ref(c * 3)))
+            .chain((0..30).map(|c| AbsValue::Ptr(c * 5 - 7)))
+            .chain([AbsValue::Other])
+            .chain((40..80).map(AbsValue::Const))
+            .collect();
+        for v in probe {
+            assert_eq!(s.insert(v), model_insert(&mut m, v), "diverged inserting {v}");
+            assert_eq!(s.iter().collect::<Vec<_>>(), m.iter().copied().collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn clear_keeps_equality_semantics() {
+        let mut s: ValueSet = (0..10i64).map(AbsValue::Const).collect();
+        assert!(s.is_spilled());
+        assert!(s.clear());
+        assert!(!s.clear());
+        assert!(s.is_empty());
+        assert_eq!(s, ValueSet::new());
+        // Refilling after clear reuses the allocation.
+        assert!(s.insert(AbsValue::Ptr(0)));
+        assert!(s.is_spilled());
+        assert_eq!(s, ValueSet::singleton(AbsValue::Ptr(0)));
+    }
+
+    #[test]
+    fn serde_round_trip_both_representations() {
+        let small: ValueSet = [AbsValue::Ref(0), AbsValue::Ptr(4)].into_iter().collect();
+        let big: ValueSet = (0..9i64).map(AbsValue::Const).collect();
+        for s in [small, big] {
+            let json = serde_json::to_string(&s).unwrap();
+            let back: ValueSet = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, s);
+        }
     }
 
     #[test]
