@@ -1,7 +1,7 @@
 //! Hot-loop microbench for the TSLICE traversal itself: the fast arena path
 //! (inline small-set values, version-memoed merges, deduped worklist) against
 //! the retained snapshot-per-edge reference path, on the same criteria.
-//! The macro-level counterpart is `tiara-eval bench` → BENCH_PR4.json.
+//! The macro-level counterpart is `tiara-eval bench` → BENCH_PR5.json.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;

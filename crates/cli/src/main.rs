@@ -1,0 +1,460 @@
+//! The `tiara` command-line tool: the full pipeline over on-disk artifacts,
+//! plus the serving daemon.
+//!
+//! ```text
+//! tiara asm     --in listing.asm --out prog.tira
+//! tiara disasm  --binary prog.tira
+//! tiara synth   --out prog.tira --pdb labels.json [--seed N] [--style K]
+//!               [--counts LIST,VEC,MAP,PRIM]
+//! tiara slice   --binary prog.tira --addr <ADDR> [--sslice] [--trace] [--dot] [--stats]
+//!               [--reference]
+//! tiara analyze --binary prog.tira [--func <NAME>] [--json]
+//! tiara lint    --binary prog.tira [--addr <ADDR>] [--json]
+//! tiara train   --binary prog.tira --pdb labels.json --save model.json
+//!               [--epochs N] [--sslice]
+//! tiara predict --binary prog.tira --model model.json --addr <ADDR>
+//! tiara serve   --model model.json [--listen HOST:PORT] [--workers N]
+//!               [--queue N] [--max-batch N] [--deadline-ms N]
+//! ```
+//!
+//! `<ADDR>` is `0x74404` / `74404h` for a global, or `func:<name>:<offset>`
+//! for a frame slot (e.g. `func:fn_0000:-0x18`).
+//!
+//! Every command accepts `--threads N` to bound the worker-thread count of
+//! the shared executor (default: `TIARA_THREADS` or the machine's available
+//! parallelism). Results are bitwise identical at any thread count.
+//!
+//! ## Exit codes
+//!
+//! Failures map to distinct codes so scripts can branch without scraping
+//! stderr: `2` usage, and [`tiara::Error::exit_code`] for pipeline errors
+//! (`3` I/O, `4` serialization, `5` untrained model, `6` unknown variable,
+//! `7` empty dataset, `8` slice, `9` persistence, `10` serve). `1` is
+//! reserved for unclassified errors.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+use tiara::{Classifier, ClassifierConfig, Dataset, Error, Slicer, Tiara, TiaraConfig};
+use tiara_ir::{
+    assemble, disassemble, format_inst, format_program, parse_program, parse_var_addr, DebugInfo,
+    Program, VarAddr,
+};
+use tiara_serve::{ServeConfig, Server};
+use tiara_slice::{tslice_with, TsliceConfig};
+
+fn usage() -> &'static str {
+    "usage: tiara <asm|disasm|synth|slice|analyze|lint|train|predict|serve> [flags]\n\
+     \n\
+     tiara asm     --in listing.asm --out prog.tira\n\
+     tiara disasm  --binary prog.tira\n\
+     tiara synth   --out prog.tira --pdb labels.json [--seed N] [--style K] [--counts L,V,M,P]\n\
+     tiara slice   --binary prog.tira --addr ADDR [--sslice] [--trace] [--dot] [--stats] [--reference]\n\
+     tiara analyze --binary prog.tira [--func NAME] [--json]\n\
+     tiara lint    --binary prog.tira [--addr ADDR] [--json]\n\
+     tiara train   --binary prog.tira --pdb labels.json --save model.json [--epochs N] [--sslice]\n\
+     tiara predict --binary prog.tira --model model.json --addr ADDR\n\
+     tiara serve   --model model.json [--listen HOST:PORT] [--workers N] [--queue N]\n\
+                   [--max-batch N] [--deadline-ms N]\n\
+     \n\
+     ADDR: 0x74404 | 74404h (global) | func:<name>:<offset> (frame slot)\n\
+     every command also accepts --threads N (default: TIARA_THREADS or all cores)\n\
+     `serve` answers newline-delimited JSON on stdin/stdout, or on TCP with --listen"
+}
+
+/// CLI failures, each with a stable exit code (see the module docs).
+#[derive(Debug)]
+enum CliError {
+    /// Bad flags or arguments → exit 2.
+    Usage(String),
+    /// A pipeline error → [`Error::exit_code`].
+    Pipeline(Error),
+    /// Anything else (parse errors from on-disk artifacts, lint findings) →
+    /// exit 1.
+    Other(String),
+}
+
+impl From<Error> for CliError {
+    fn from(e: Error) -> CliError {
+        CliError::Pipeline(e)
+    }
+}
+
+impl From<String> for CliError {
+    fn from(s: String) -> CliError {
+        CliError::Other(s)
+    }
+}
+
+impl CliError {
+    fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Pipeline(e) => e.exit_code(),
+            CliError::Other(_) => 1,
+        }
+    }
+
+    fn message(&self) -> String {
+        match self {
+            CliError::Usage(m) | CliError::Other(m) => m.clone(),
+            CliError::Pipeline(e) => e.to_string(),
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("tiara: {}", e.message());
+            ExitCode::from(e.exit_code())
+        }
+    }
+}
+
+fn run() -> Result<(), CliError> {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().ok_or_else(|| CliError::Usage(usage().to_owned()))?;
+    let mut flags: HashMap<String, String> = HashMap::new();
+    let mut switches: Vec<String> = Vec::new();
+    while let Some(a) = args.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            match name {
+                "sslice" | "trace" | "dot" | "json" | "stats" | "reference" => {
+                    switches.push(name.to_owned())
+                }
+                _ => {
+                    let v = args
+                        .next()
+                        .ok_or_else(|| CliError::Usage(format!("missing value for --{name}")))?;
+                    flags.insert(name.to_owned(), v);
+                }
+            }
+        } else {
+            return Err(CliError::Usage(format!("unexpected argument `{a}`\n{}", usage())));
+        }
+    }
+    let get = |k: &str| -> Result<&String, CliError> {
+        flags
+            .get(k)
+            .ok_or_else(|| CliError::Usage(format!("missing required flag --{k}\n{}", usage())))
+    };
+    let has = |k: &str| switches.iter().any(|s| s == k);
+
+    if let Some(t) = flags.get("threads") {
+        let n: usize = t.parse().map_err(|e| CliError::Usage(format!("--threads: {e}")))?;
+        if n == 0 {
+            return Err(CliError::Usage("--threads must be at least 1".into()));
+        }
+        tiara_par::set_global_threads(n);
+    }
+
+    match command.as_str() {
+        "asm" => {
+            let text = read(get("in")?)?;
+            let prog = parse_program(&text).map_err(|e| e.to_string())?;
+            write(get("out")?, &assemble(&prog))?;
+            eprintln!(
+                "assembled {} instructions in {} functions",
+                prog.num_insts(),
+                prog.funcs().len()
+            );
+        }
+        "disasm" => {
+            let prog = load_binary(get("binary")?)?;
+            print!("{}", format_program(&prog));
+        }
+        "synth" => {
+            let counts = match flags.get("counts") {
+                Some(c) => parse_counts(c)?,
+                None => tiara_synth::TypeCounts {
+                    list: 4,
+                    vector: 8,
+                    map: 8,
+                    primitive: 30,
+                    ..Default::default()
+                },
+            };
+            let spec = tiara_synth::ProjectSpec {
+                name: "synth".into(),
+                index: flags.get("style").map(|s| s.parse().unwrap_or(0)).unwrap_or(0),
+                seed: flags.get("seed").map(|s| s.parse().unwrap_or(42)).unwrap_or(42),
+                counts,
+            };
+            let bin = tiara_synth::generate(&spec);
+            write(get("out")?, &assemble(&bin.program))?;
+            let pdb = serde_json::to_string(&bin.debug).map_err(|e| e.to_string())?;
+            std::fs::write(get("pdb")?, pdb).map_err(|e| e.to_string())?;
+            eprintln!(
+                "generated {} instructions, {} labeled variables",
+                bin.program.num_insts(),
+                bin.debug.len()
+            );
+        }
+        "slice" => {
+            let prog = load_binary(get("binary")?)?;
+            let addr = parse_addr(get("addr")?, &prog)?;
+            if has("sslice") {
+                let s = tiara_slice::sslice(&prog, addr);
+                if has("dot") {
+                    println!("{}", s.to_dot(&prog));
+                } else {
+                    print_slice(&prog, &s);
+                }
+            } else {
+                let mut cfg = if has("trace") {
+                    TsliceConfig::with_trace()
+                } else {
+                    TsliceConfig::default()
+                };
+                cfg.reference_mode = has("reference");
+                let out = tslice_with(&prog, addr, &cfg);
+                if has("dot") {
+                    println!("{}", out.slice.to_dot(&prog));
+                } else {
+                    print_slice(&prog, &out.slice);
+                }
+                if has("stats") {
+                    eprintln!("{}", out.stats);
+                }
+                if has("trace") {
+                    eprintln!("\ntrace ({} events):", out.trace.len());
+                    for e in out.trace.iter().take(100) {
+                        eprintln!(
+                            "  {} {} faith {:.3} dep {}",
+                            e.inst,
+                            e.rules.iter().map(|r| r.to_string()).collect::<Vec<_>>().join(";"),
+                            e.faith,
+                            e.dep
+                        );
+                    }
+                }
+            }
+        }
+        "analyze" => {
+            let prog = load_binary(get("binary")?)?;
+            let facts = match flags.get("func") {
+                Some(name) => {
+                    let f = prog
+                        .func_by_name(name)
+                        .ok_or(format!("no function named `{name}`"))?
+                        .id;
+                    vec![tiara_dataflow::analyze_function(&prog, f)]
+                }
+                None => tiara_dataflow::analyze_program(&prog),
+            };
+            if has("json") {
+                println!("{}", tiara_dataflow::render_json(&facts));
+            } else {
+                print!("{}", tiara_dataflow::render_text(&facts));
+            }
+        }
+        "lint" => {
+            let prog = load_binary(get("binary")?)?;
+            let report = match flags.get("addr") {
+                Some(a) => {
+                    let addr = parse_addr(a, &prog)?;
+                    tiara_verify::verify_with_slices(&prog, &[addr])
+                }
+                None => tiara_verify::verify(&prog),
+            };
+            if has("json") {
+                println!("{}", report.render_json());
+            } else {
+                print!("{}", report.render_human(&prog));
+            }
+            if report.has_errors() {
+                return Err(format!("lint found {} error(s)", report.num_errors()).into());
+            }
+        }
+        "train" => {
+            let prog = load_binary(get("binary")?)?;
+            let pdb: DebugInfo =
+                serde_json::from_str(&read(get("pdb")?)?).map_err(|e| e.to_string())?;
+            let slicer = if has("sslice") { Slicer::Sslice } else { Slicer::default() };
+            let epochs = flags.get("epochs").map(|s| s.parse().unwrap_or(60)).unwrap_or(60);
+            // `--save` writes the whole system (slicer config + weights);
+            // `--model` remains as an alias from the pre-bundle CLI.
+            let out_path = flags
+                .get("save")
+                .or_else(|| flags.get("model"))
+                .ok_or_else(|| {
+                    CliError::Usage(format!("missing required flag --save\n{}", usage()))
+                })?;
+            let ds = Dataset::from_binary(&prog, &pdb, "cli", &slicer);
+            let mut clf = Classifier::new(&ClassifierConfig { epochs, ..Default::default() });
+            let stats = clf.train_with_progress(&ds, |s| {
+                if s.epoch % 10 == 0 {
+                    eprintln!("epoch {:>4}: loss {:.4} acc {:.2}", s.epoch, s.loss, s.accuracy);
+                }
+            })?;
+            let tiara =
+                Tiara::new(TiaraConfig::new().with_slicer(slicer)).with_classifier(clf);
+            tiara.save(&PathBuf::from(out_path))?;
+            let last = stats.last().expect("at least one epoch");
+            eprintln!(
+                "trained on {} slices: final loss {:.4}, accuracy {:.2}; system saved to {}",
+                ds.len(),
+                last.loss,
+                last.accuracy,
+                out_path
+            );
+        }
+        "predict" => {
+            let prog = load_binary(get("binary")?)?;
+            let tiara = load_model(get("model")?)?;
+            let addr = parse_addr(get("addr")?, &prog)?;
+            let p = tiara.try_predict(&prog, addr)?;
+            println!("{addr}: {}", p.class);
+            for c in tiara_ir::ContainerClass::ALL {
+                println!("  {:<12} {:.3}", c.to_string(), p.probs[c.index()]);
+            }
+        }
+        "serve" => {
+            let tiara = load_model(get("model")?)?;
+            let mut config = ServeConfig::default();
+            if let Some(w) = flags.get("workers") {
+                config.workers = w.parse().map_err(|e| CliError::Usage(format!("--workers: {e}")))?;
+            }
+            if let Some(q) = flags.get("queue") {
+                config.queue_capacity =
+                    q.parse().map_err(|e| CliError::Usage(format!("--queue: {e}")))?;
+            }
+            if let Some(m) = flags.get("max-batch") {
+                config.max_batch =
+                    m.parse().map_err(|e| CliError::Usage(format!("--max-batch: {e}")))?;
+            }
+            if let Some(d) = flags.get("deadline-ms") {
+                config.default_deadline_ms =
+                    Some(d.parse().map_err(|e| CliError::Usage(format!("--deadline-ms: {e}")))?);
+            }
+            let server = Arc::new(Server::new(tiara, config)?);
+            match flags.get("listen") {
+                Some(addr) => {
+                    let listener = std::net::TcpListener::bind(addr)
+                        .map_err(|e| Error::Serve(format!("cannot listen on {addr}: {e}")))?;
+                    let local = listener.local_addr().map_err(Error::from)?;
+                    eprintln!("tiara-serve listening on {local} (send {{\"op\":\"shutdown\"}} to stop)");
+                    server
+                        .run_tcp(listener)
+                        .map_err(|e| Error::Serve(format!("serve loop failed: {e}")))?;
+                }
+                None => {
+                    eprintln!("tiara-serve on stdin/stdout (EOF or {{\"op\":\"shutdown\"}} to stop)");
+                    let stdin = std::io::stdin();
+                    let stdout = std::io::stdout();
+                    server
+                        .run_stdio(stdin.lock(), stdout.lock())
+                        .map_err(|e| Error::Serve(format!("serve loop failed: {e}")))?;
+                }
+            }
+            eprintln!("tiara-serve drained and stopped");
+        }
+        other => return Err(CliError::Usage(format!("unknown command `{other}`\n{}", usage()))),
+    }
+    Ok(())
+}
+
+/// Wraps a filesystem error with its path so `Error::Io` (exit 3) keeps the
+/// context the bare `std::io::Error` loses.
+fn io_err(path: &str, e: std::io::Error) -> CliError {
+    CliError::Pipeline(Error::Io(std::io::Error::new(e.kind(), format!("{path}: {e}"))))
+}
+
+fn read(path: &str) -> Result<String, CliError> {
+    std::fs::read_to_string(path).map_err(|e| io_err(path, e))
+}
+
+fn write(path: &str, bytes: &[u8]) -> Result<(), CliError> {
+    std::fs::write(path, bytes).map_err(|e| io_err(path, e))
+}
+
+fn load_binary(path: &str) -> Result<Program, CliError> {
+    let bytes = std::fs::read(path).map_err(|e| io_err(path, e))?;
+    disassemble(&bytes).map_err(|e| CliError::Other(format!("{path}: {e}")))
+}
+
+/// Loads a saved system: the PR5 bundle (slicer + weights) or, as a
+/// fallback, a pre-bundle classifier-only `model.json` (paired with the
+/// default slicer).
+fn load_model(path: &str) -> Result<Tiara, CliError> {
+    let text = read(path)?;
+    match Tiara::from_json(&text) {
+        Ok(t) => Ok(t),
+        Err(bundle_err) => match Classifier::from_json(&text) {
+            Ok(clf) => Ok(Tiara::new(TiaraConfig::new()).with_classifier(clf)),
+            Err(_) => Err(CliError::Pipeline(bundle_err)),
+        },
+    }
+}
+
+fn parse_counts(s: &str) -> Result<tiara_synth::TypeCounts, CliError> {
+    let parts: Vec<usize> = s
+        .split(',')
+        .map(|p| p.trim().parse::<usize>().map_err(|e| CliError::Usage(format!("--counts: {e}"))))
+        .collect::<Result<_, _>>()?;
+    if parts.len() != 4 {
+        return Err(CliError::Usage("--counts expects LIST,VECTOR,MAP,PRIMITIVE".into()));
+    }
+    Ok(tiara_synth::TypeCounts {
+        list: parts[0],
+        vector: parts[1],
+        map: parts[2],
+        primitive: parts[3],
+        ..Default::default()
+    })
+}
+
+fn parse_addr(s: &str, prog: &Program) -> Result<VarAddr, CliError> {
+    // An unparseable/unknown criterion is the CLI face of
+    // `Error::UnknownVariable` — exit 6, not the generic 1.
+    parse_var_addr(prog, s)
+        .map_err(|m| CliError::Pipeline(Error::UnknownVariable(format!("`{s}` ({m})"))))
+}
+
+fn print_slice(prog: &Program, slice: &tiara_slice::Slice) {
+    println!(
+        "slice of {}: {} nodes, {} edges",
+        slice.criterion,
+        slice.num_nodes(),
+        slice.num_edges()
+    );
+    for n in &slice.nodes {
+        println!("  [{:.3}] {}", n.faith, format_inst(prog, n.inst));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_parsing() {
+        let c = parse_counts("1, 2,3 ,4").unwrap();
+        assert_eq!((c.list, c.vector, c.map, c.primitive), (1, 2, 3, 4));
+        assert!(parse_counts("1,2,3").is_err());
+        assert!(parse_counts("a,b,c,d").is_err());
+    }
+
+    #[test]
+    fn usage_mentions_every_command() {
+        for cmd in
+            ["asm", "disasm", "synth", "slice", "analyze", "lint", "train", "predict", "serve"]
+        {
+            assert!(usage().contains(cmd), "usage is missing `{cmd}`");
+        }
+    }
+
+    #[test]
+    fn exit_codes_follow_the_contract() {
+        assert_eq!(CliError::Usage("u".into()).exit_code(), 2);
+        assert_eq!(CliError::Other("o".into()).exit_code(), 1);
+        assert_eq!(CliError::Pipeline(Error::Untrained).exit_code(), 5);
+        assert_eq!(
+            CliError::Pipeline(Error::Serve("s".into())).exit_code(),
+            Error::Serve("s".into()).exit_code()
+        );
+    }
+}

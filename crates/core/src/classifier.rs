@@ -92,10 +92,20 @@ enum Model {
     Mlp(Mlp),
 }
 
+/// Legacy `model.json` files predate the `trained` field and were only ever
+/// written by `Classifier::save` *after* a successful `train` call, so a
+/// missing field means a trained model.
+#[allow(dead_code)] // referenced from the serde derive attribute only
+fn trained_default() -> bool {
+    true
+}
+
 /// A trainable/trained container-type classifier.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Classifier {
     model: Model,
+    #[serde(default = "trained_default")]
+    trained: bool,
 }
 
 impl Classifier {
@@ -105,7 +115,14 @@ impl Classifier {
             ModelKind::Gcn => Model::Gcn(Gcn::new(config.to_gcn())),
             ModelKind::Mlp => Model::Mlp(Mlp::new(config.to_mlp())),
         };
-        Classifier { model }
+        Classifier { model, trained: false }
+    }
+
+    /// Whether [`Classifier::train`] (or a variant) has completed on this
+    /// classifier. Prediction through the fallible [`crate::Tiara`] API
+    /// returns [`Error::Untrained`] while this is `false`.
+    pub fn is_trained(&self) -> bool {
+        self.trained
     }
 
     /// Trains on a dataset, returning per-epoch statistics.
@@ -130,7 +147,7 @@ impl Classifier {
         if train.is_empty() {
             return Err(Error::EmptyDataset);
         }
-        Ok(match &mut self.model {
+        let stats = match &mut self.model {
             Model::Gcn(g) => g.train_with_progress(&train.graphs(), progress),
             Model::Mlp(m) => {
                 let stats = m.train(&train.graphs());
@@ -140,7 +157,9 @@ impl Classifier {
                 }
                 stats
             }
-        })
+        };
+        self.trained = true;
+        Ok(stats)
     }
 
     /// Trains with a held-out validation dataset, keeping the epoch with the
@@ -157,7 +176,7 @@ impl Classifier {
         if train.is_empty() || validation.is_empty() {
             return Err(Error::EmptyDataset);
         }
-        Ok(match &mut self.model {
+        let out = match &mut self.model {
             Model::Gcn(g) => g.train_with_validation(&train.graphs(), &validation.graphs()),
             Model::Mlp(m) => {
                 // The MLP baseline trains straight through; validation
@@ -171,7 +190,9 @@ impl Classifier {
                     .count();
                 (stats, correct as f32 / validation.len() as f32)
             }
-        })
+        };
+        self.trained = true;
+        Ok(out)
     }
 
     /// Predicts the class of one slice graph.
@@ -308,6 +329,17 @@ mod tests {
         for s in ds.samples.iter().take(5) {
             assert_eq!(clf.predict(&s.graph), back.predict(&s.graph));
         }
+    }
+
+    #[test]
+    fn trained_flag_flips_on_successful_training_only() {
+        let ds = dataset();
+        let mut clf = Classifier::new(&quick_config(1));
+        assert!(!clf.is_trained());
+        assert!(clf.train(&Dataset::new()).is_err());
+        assert!(!clf.is_trained(), "failed training must not mark the model trained");
+        clf.train(&ds).unwrap();
+        assert!(clf.is_trained());
     }
 
     #[test]

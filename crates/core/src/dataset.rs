@@ -18,7 +18,10 @@ use tiara_slice::{sslice, tslice_with, Slice, TsliceConfig};
 
 /// Which slicing algorithm feeds the classifier: TSLICE (TIARA proper) or
 /// SSLICE (the `TIARA_SSLICE` baseline of RQ3).
-#[derive(Debug, Clone)]
+///
+/// Serializable so a [`crate::Tiara`] bundle persists the slicer it was
+/// trained with (slicer knobs change the feature distribution a model saw).
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub enum Slicer {
     /// The type-relevant slicer with its configuration.
     Tslice(TsliceConfig),

@@ -1,7 +1,15 @@
 //! Error types of the TIARA pipeline.
+//!
+//! [`Error`] is `#[non_exhaustive]`: the serving stack grows new failure
+//! modes (queue overflow, deadline misses, protocol violations) without
+//! breaking downstream matches. Every variant maps to a stable process exit
+//! code via [`Error::exit_code`], which the `tiara` CLI uses so scripts can
+//! distinguish "model file missing" from "model not trained" without parsing
+//! stderr.
 
 /// Errors produced by the TIARA pipeline.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum Error {
     /// Training was attempted on an empty dataset.
     EmptyDataset,
@@ -11,6 +19,49 @@ pub enum Error {
     Io(std::io::Error),
     /// A prediction was requested for an address with no recorded variable.
     UnknownVariable(String),
+    /// A prediction was requested before the classifier was trained (or a
+    /// loaded model bundle carried untrained weights).
+    Untrained,
+    /// The slicing stage failed for an address (e.g. a frame slot naming a
+    /// function the program does not contain).
+    Slice(String),
+    /// A saved model/config bundle was structurally invalid.
+    Persistence(String),
+    /// A serving-layer failure (protocol violation, queue overflow,
+    /// deadline exceeded, daemon shutting down).
+    Serve(String),
+}
+
+impl Error {
+    /// The process exit code the CLI maps this error to. Codes are part of
+    /// the CLI contract and never reused across variants:
+    ///
+    /// | code | meaning |
+    /// |------|-----------------------------|
+    /// | 2    | usage / bad invocation      |
+    /// | 3    | i/o failure                 |
+    /// | 4    | (de)serialization failure   |
+    /// | 5    | classifier untrained        |
+    /// | 6    | unknown variable / address  |
+    /// | 7    | empty training set          |
+    /// | 8    | slicing failure             |
+    /// | 9    | invalid model bundle        |
+    /// | 10   | serving failure             |
+    ///
+    /// (Exit code 1 is reserved for unclassified errors, 2 for usage errors
+    /// raised before any pipeline stage runs.)
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            Error::Io(_) => 3,
+            Error::Serde(_) => 4,
+            Error::Untrained => 5,
+            Error::UnknownVariable(_) => 6,
+            Error::EmptyDataset => 7,
+            Error::Slice(_) => 8,
+            Error::Persistence(_) => 9,
+            Error::Serve(_) => 10,
+        }
+    }
 }
 
 impl std::fmt::Display for Error {
@@ -20,6 +71,10 @@ impl std::fmt::Display for Error {
             Error::Serde(e) => write!(f, "serialization failed: {e}"),
             Error::Io(e) => write!(f, "i/o failed: {e}"),
             Error::UnknownVariable(a) => write!(f, "no variable recorded at {a}"),
+            Error::Untrained => write!(f, "classifier has not been trained"),
+            Error::Slice(m) => write!(f, "slicing failed: {m}"),
+            Error::Persistence(m) => write!(f, "invalid model bundle: {m}"),
+            Error::Serve(m) => write!(f, "serving failed: {m}"),
         }
     }
 }
@@ -29,7 +84,7 @@ impl std::error::Error for Error {
         match self {
             Error::Serde(e) => Some(e),
             Error::Io(e) => Some(e),
-            Error::EmptyDataset | Error::UnknownVariable(_) => None,
+            _ => None,
         }
     }
 }
@@ -53,6 +108,7 @@ mod tests {
     #[test]
     fn display_messages_are_lowercase_and_concise() {
         assert_eq!(Error::EmptyDataset.to_string(), "training dataset is empty");
+        assert_eq!(Error::Untrained.to_string(), "classifier has not been trained");
         let io: Error = std::io::Error::other("boom").into();
         assert!(io.to_string().contains("boom"));
     }
@@ -63,5 +119,26 @@ mod tests {
         let io: Error = std::io::Error::other("x").into();
         assert!(io.source().is_some());
         assert!(Error::EmptyDataset.source().is_none());
+        assert!(Error::Untrained.source().is_none());
+    }
+
+    #[test]
+    fn exit_codes_are_distinct_and_stable() {
+        let all = [
+            Error::Io(std::io::Error::other("x")),
+            Error::Serde(<serde_json::Error as serde::de::Error>::custom("x")),
+            Error::Untrained,
+            Error::UnknownVariable("a".into()),
+            Error::EmptyDataset,
+            Error::Slice("s".into()),
+            Error::Persistence("p".into()),
+            Error::Serve("q".into()),
+        ];
+        let codes: Vec<u8> = all.iter().map(Error::exit_code).collect();
+        assert_eq!(codes, vec![3, 4, 5, 6, 7, 8, 9, 10]);
+        let mut dedup = codes.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), codes.len(), "exit codes must be distinct");
     }
 }

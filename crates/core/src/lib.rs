@@ -30,16 +30,20 @@
 //!     counts: TypeCounts { list: 2, vector: 3, map: 2, primitive: 6, ..Default::default() },
 //! });
 //!
-//! let mut tiara = Tiara::new(TiaraConfig {
-//!     classifier: ClassifierConfig { epochs: 5, ..Default::default() },
-//!     ..Default::default()
-//! });
+//! let mut tiara = Tiara::new(
+//!     TiaraConfig::new()
+//!         .with_classifier(ClassifierConfig { epochs: 5, ..Default::default() }),
+//! );
 //! tiara.train(&[("demo", &bin.program, &bin.debug)])?;
 //! let (addr, _truth) = bin.labeled_vars().next().unwrap();
-//! let predicted = tiara.predict(&bin.program, addr);
-//! println!("{addr} is predicted to be {predicted}");
+//! let prediction = tiara.try_predict(&bin.program, addr)?;
+//! println!("{addr} is predicted to be {}", prediction.class);
 //! # Ok::<(), tiara::Error>(())
 //! ```
+//!
+//! For many addresses against one program, [`Tiara::predict_batch`] answers
+//! the whole batch in parallel; `tiara serve` (the `tiara-serve` crate)
+//! wraps it in a long-lived daemon.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -59,4 +63,4 @@ pub use dataset::{Dataset, Sample, Slicer};
 pub use error::Error;
 pub use graph::slice_to_graph;
 pub use metrics::Evaluation;
-pub use pipeline::{Tiara, TiaraConfig};
+pub use pipeline::{Prediction, Tiara, TiaraConfig};

@@ -4,6 +4,16 @@
 //! ground truth, then query container types for raw variable addresses in
 //! new binaries.
 //!
+//! The public prediction surface is **batch-first and fallible**:
+//! [`Tiara::predict_batch`] slices, encodes, and classifies a whole batch of
+//! addresses in parallel on the shared [`tiara_par`] executor (bitwise
+//! deterministic at any thread count), and [`Tiara::try_predict`] is the
+//! single-address special case. Both return [`Prediction`] values carrying
+//! the class, the per-class probabilities, and the slice's size and hot-loop
+//! counters — the payload the serving layer (`tiara-serve`) forwards on the
+//! wire. The pre-PR5 panicking entry points remain as thin deprecated
+//! wrappers for one release.
+//!
 //! Every stage runs on the shared [`tiara_par`] executor: per-address
 //! slicing, slice→graph conversion, and feature encoding are parallel per
 //! variable (see [`Dataset::from_binary_with`]), and the GCN's dense/sparse
@@ -16,11 +26,18 @@ use crate::classifier::{Classifier, ClassifierConfig};
 use crate::dataset::{Dataset, Slicer};
 use crate::error::Error;
 use crate::graph::slice_to_graph;
+use crate::slice_cache;
 use tiara_gnn::EpochStats;
 use tiara_ir::{ContainerClass, DebugInfo, Program, VarAddr};
+use tiara_par::Executor;
+use tiara_slice::SliceStats;
 
 /// The full TIARA system: a configured slicer plus a (trainable) GCN
 /// classifier.
+///
+/// The struct is `#[non_exhaustive]`: construct it with
+/// [`TiaraConfig::new`] (or `default()`) and the builder-style `with_*`
+/// methods, so later PRs can add knobs without breaking callers.
 ///
 /// # Examples
 ///
@@ -37,20 +54,18 @@ use tiara_ir::{ContainerClass, DebugInfo, Program, VarAddr};
 /// };
 /// let bin = generate(&spec);
 ///
-/// let config = TiaraConfig {
-///     classifier: ClassifierConfig { epochs: 2, ..Default::default() },
-///     ..Default::default()
-/// };
+/// let config = TiaraConfig::new()
+///     .with_classifier(ClassifierConfig { epochs: 2, ..Default::default() });
 /// let mut tiara = Tiara::new(config);
 /// tiara.train(&[("demo", &bin.program, &bin.debug)])?;
 ///
 /// let (addr, _label) = bin.labeled_vars().next().expect("project has labeled variables");
-/// let class = tiara.predict(&bin.program, addr);
-/// println!("the variable at {addr} looks like a {class}");
+/// let prediction = tiara.try_predict(&bin.program, addr)?;
+/// println!("the variable at {addr} looks like a {}", prediction.class);
 /// # Ok::<(), tiara::Error>(())
 /// ```
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+#[non_exhaustive]
 pub struct TiaraConfig {
     /// The slicing stage.
     pub slicer: Slicer,
@@ -58,6 +73,58 @@ pub struct TiaraConfig {
     pub classifier: ClassifierConfig,
 }
 
+impl TiaraConfig {
+    /// The default configuration (TSLICE with the paper's decay constants,
+    /// the 2×64 mean-pooling GCN).
+    pub fn new() -> TiaraConfig {
+        TiaraConfig::default()
+    }
+
+    /// Replaces the slicer stage.
+    pub fn with_slicer(mut self, slicer: Slicer) -> TiaraConfig {
+        self.slicer = slicer;
+        self
+    }
+
+    /// Replaces the classifier stage.
+    pub fn with_classifier(mut self, classifier: ClassifierConfig) -> TiaraConfig {
+        self.classifier = classifier;
+        self
+    }
+}
+
+/// One answered query: everything the pipeline knows about a variable after
+/// slicing, encoding, and classifying it.
+///
+/// This is the unit the serving layer streams back to clients, so it carries
+/// attribution (slice size, hot-loop counters) alongside the answer.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct Prediction {
+    /// The address that was queried (the slicing criterion).
+    pub addr: VarAddr,
+    /// The predicted container class.
+    pub class: ContainerClass,
+    /// Per-class probabilities, indexed by [`ContainerClass::index`].
+    pub probs: Vec<f32>,
+    /// Nodes in the type-relevant slice.
+    pub slice_nodes: usize,
+    /// Edges in the type-relevant slice.
+    pub slice_edges: usize,
+    /// The slicer's hot-loop counters for this slice (all zero when the
+    /// slice came out of the process-wide cache — no slicing ran).
+    pub stats: SliceStats,
+}
+
+/// The saved form of a whole [`Tiara`] system: configuration and trained
+/// weights in one artifact, so `tiara predict`/`tiara serve` reconstruct the
+/// *exact* pipeline that was trained — slicer knobs included — instead of
+/// assuming defaults.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct SavedTiara {
+    slicer: Slicer,
+    classifier: Classifier,
+}
 
 /// The TIARA system.
 #[derive(Debug)]
@@ -80,6 +147,11 @@ impl Tiara {
     /// The underlying classifier.
     pub fn classifier(&self) -> &Classifier {
         &self.classifier
+    }
+
+    /// Whether the system is ready to answer queries.
+    pub fn is_trained(&self) -> bool {
+        self.classifier.is_trained()
     }
 
     /// Builds the training dataset from labeled binaries (slicing every
@@ -110,24 +182,182 @@ impl Tiara {
     }
 
     /// Predicts the container class of the variable at `addr`: runs the
-    /// slicer, encodes the slice, and queries the classifier.
+    /// slicer (consulting the process-wide slice cache), encodes the slice,
+    /// and queries the classifier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Untrained`] if the classifier has not been trained,
+    /// or [`Error::Slice`] if `addr` names a frame slot of a function the
+    /// program does not contain.
+    pub fn try_predict(&self, prog: &Program, addr: VarAddr) -> Result<Prediction, Error> {
+        let batch = self.predict_batch(prog, std::slice::from_ref(&addr))?;
+        Ok(batch.into_iter().next().expect("one address in, one prediction out"))
+    }
+
+    /// Answers a whole batch of queries against one program, parallel per
+    /// address on the global executor.
+    ///
+    /// Results come back in `addrs` order and are bitwise identical at any
+    /// thread count. Slices are looked up in the process-wide
+    /// [`slice_cache`] first, so a daemon answering repeated queries against
+    /// the same binary skips the slicing stage entirely after warm-up.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Untrained`] if the classifier has not been trained,
+    /// or [`Error::Slice`] naming the first invalid address (a frame slot of
+    /// a nonexistent function). The whole batch is validated before any
+    /// slicing runs: an `Err` means no work was done.
+    pub fn predict_batch(
+        &self,
+        prog: &Program,
+        addrs: &[VarAddr],
+    ) -> Result<Vec<Prediction>, Error> {
+        self.predict_batch_with(prog, addrs, &tiara_par::global())
+    }
+
+    /// [`Tiara::predict_batch`] on an explicit executor.
+    ///
+    /// # Errors
+    ///
+    /// As [`Tiara::predict_batch`].
+    pub fn predict_batch_with(
+        &self,
+        prog: &Program,
+        addrs: &[VarAddr],
+        exec: &Executor,
+    ) -> Result<Vec<Prediction>, Error> {
+        let fp = slice_cache::program_fingerprint(prog);
+        self.predict_batch_fingerprinted(prog, fp, addrs, exec)
+    }
+
+    /// [`Tiara::predict_batch_with`] with a precomputed program fingerprint
+    /// (see [`slice_cache::program_fingerprint`]).
+    ///
+    /// The fingerprint is what keys the slice cache; a long-lived server
+    /// that keeps programs resident computes it once per upload instead of
+    /// once per request.
+    ///
+    /// # Errors
+    ///
+    /// As [`Tiara::predict_batch`].
+    pub fn predict_batch_fingerprinted(
+        &self,
+        prog: &Program,
+        program_fp: u64,
+        addrs: &[VarAddr],
+        exec: &Executor,
+    ) -> Result<Vec<Prediction>, Error> {
+        if !self.classifier.is_trained() {
+            return Err(Error::Untrained);
+        }
+        let num_funcs = prog.funcs().len() as u32;
+        for addr in addrs {
+            if let VarAddr::Stack { func, .. } = addr {
+                if func.0 >= num_funcs {
+                    return Err(Error::Slice(format!(
+                        "no function {func} in a program of {num_funcs} functions \
+                         (address {addr})"
+                    )));
+                }
+            }
+        }
+        let slicer_fp = slice_cache::slicer_fingerprint(&self.slicer);
+        Ok(exec.par_map(addrs, |_, &addr| {
+            let spills_before = tiara_slice::thread_spills();
+            let mut stats = SliceStats::default();
+            let slice = slice_cache::get_or_slice(program_fp, slicer_fp, addr, || {
+                match &self.slicer {
+                    Slicer::Tslice(cfg) => {
+                        let out = tiara_slice::tslice_with(prog, addr, cfg);
+                        stats = out.stats;
+                        out.slice
+                    }
+                    Slicer::Sslice => tiara_slice::sslice(prog, addr),
+                }
+            });
+            stats.set_spills = tiara_slice::thread_spills() - spills_before;
+            let graph = slice_to_graph(prog, &slice, 0);
+            Prediction {
+                addr,
+                class: self.classifier.predict(&graph),
+                probs: self.classifier.predict_proba(&graph),
+                slice_nodes: slice.num_nodes(),
+                slice_edges: slice.num_edges(),
+                stats,
+            }
+        }))
+    }
+
+    /// Predicts the container class of the variable at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the classifier has not been trained — use
+    /// [`Tiara::try_predict`] instead.
+    #[deprecated(since = "0.1.0", note = "use `try_predict`, which reports untrained models as `Error::Untrained` instead of panicking")]
     pub fn predict(&self, prog: &Program, addr: VarAddr) -> ContainerClass {
-        let slice = self.slicer.run(prog, addr);
-        let graph = slice_to_graph(prog, &slice, 0);
-        self.classifier.predict(&graph)
+        self.try_predict(prog, addr).expect("prediction failed").class
     }
 
     /// Predicts with per-class probabilities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the classifier has not been trained — use
+    /// [`Tiara::try_predict`] instead.
+    #[deprecated(since = "0.1.0", note = "use `try_predict`, whose `Prediction::probs` carries the distribution")]
     pub fn predict_proba(&self, prog: &Program, addr: VarAddr) -> Vec<f32> {
-        let slice = self.slicer.run(prog, addr);
-        let graph = slice_to_graph(prog, &slice, 0);
-        self.classifier.predict_proba(&graph)
+        self.try_predict(prog, addr).expect("prediction failed").probs
     }
 
     /// Replaces the classifier with a previously trained one.
     pub fn with_classifier(mut self, classifier: Classifier) -> Tiara {
         self.classifier = classifier;
         self
+    }
+
+    /// Serializes the whole system — slicer configuration *and* classifier
+    /// weights — to one JSON artifact.
+    ///
+    /// # Errors
+    ///
+    /// Returns a serializer error.
+    pub fn to_json(&self) -> Result<String, Error> {
+        serde_json::to_string(&SavedTiara {
+            slicer: self.slicer.clone(),
+            classifier: self.classifier.clone(),
+        })
+        .map_err(Error::from)
+    }
+
+    /// Reconstructs a system saved by [`Tiara::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a deserializer error.
+    pub fn from_json(s: &str) -> Result<Tiara, Error> {
+        let saved: SavedTiara = serde_json::from_str(s)?;
+        Ok(Tiara { slicer: saved.slicer, classifier: saved.classifier })
+    }
+
+    /// Saves the whole system (config + model) to a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns serialization or I/O errors.
+    pub fn save(&self, path: &std::path::Path) -> Result<(), Error> {
+        std::fs::write(path, self.to_json()?).map_err(Error::from)
+    }
+
+    /// Loads a system saved by [`Tiara::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns deserialization or I/O errors.
+    pub fn load(path: &std::path::Path) -> Result<Tiara, Error> {
+        Tiara::from_json(&std::fs::read_to_string(path)?)
     }
 }
 
@@ -137,38 +367,155 @@ mod tests {
     use crate::classifier::ClassifierConfig;
     use tiara_synth::{generate, ProjectSpec, TypeCounts};
 
-    #[test]
-    fn end_to_end_train_and_predict() {
-        let bin = generate(&ProjectSpec {
+    fn e2e_binary() -> tiara_synth::Binary {
+        generate(&ProjectSpec {
             name: "e2e".into(),
             index: 1,
             seed: 77,
             counts: TypeCounts { list: 5, vector: 6, map: 5, primitive: 14, ..Default::default() },
-        });
-        let cfg = TiaraConfig {
-            classifier: ClassifierConfig { epochs: 30, batch_size: 8, ..Default::default() },
-            ..Default::default()
-        };
+        })
+    }
+
+    #[test]
+    fn end_to_end_train_and_predict() {
+        let bin = e2e_binary();
+        let cfg = TiaraConfig::new()
+            .with_classifier(ClassifierConfig { epochs: 30, batch_size: 8, ..Default::default() });
         let mut tiara = Tiara::new(cfg);
         tiara.train(&[("e2e", &bin.program, &bin.debug)]).unwrap();
 
         // Predict on the training variables: most should come back right.
         let mut correct = 0usize;
         for (addr, class) in bin.labeled_vars() {
-            if tiara.predict(&bin.program, addr) == class {
+            if tiara.try_predict(&bin.program, addr).unwrap().class == class {
                 correct += 1;
             }
         }
         let acc = correct as f64 / bin.debug.len() as f64;
         assert!(acc > 0.6, "training-set accuracy {acc}");
 
-        let p = tiara.predict_proba(&bin.program, bin.debug.vars[0].addr);
-        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        let p = tiara.try_predict(&bin.program, bin.debug.vars[0].addr).unwrap();
+        assert!((p.probs.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        assert!(p.slice_nodes >= 1);
+        assert_eq!(p.addr, bin.debug.vars[0].addr);
+    }
+
+    #[test]
+    fn untrained_prediction_is_an_error_not_a_panic() {
+        let bin = e2e_binary();
+        let tiara = Tiara::new(TiaraConfig::new());
+        assert!(matches!(
+            tiara.try_predict(&bin.program, bin.debug.vars[0].addr),
+            Err(Error::Untrained)
+        ));
+        assert!(matches!(
+            tiara.predict_batch(&bin.program, &[bin.debug.vars[0].addr]),
+            Err(Error::Untrained)
+        ));
     }
 
     #[test]
     fn untrained_training_set_must_be_nonempty() {
         let mut tiara = Tiara::new(TiaraConfig::default());
         assert!(matches!(tiara.train(&[]), Err(Error::EmptyDataset)));
+    }
+
+    #[test]
+    fn batch_matches_per_address_and_is_thread_invariant() {
+        let bin = e2e_binary();
+        let cfg = TiaraConfig::new()
+            .with_classifier(ClassifierConfig { epochs: 5, batch_size: 8, ..Default::default() });
+        let mut tiara = Tiara::new(cfg);
+        tiara.train(&[("e2e", &bin.program, &bin.debug)]).unwrap();
+
+        let addrs: Vec<_> = bin.labeled_vars().map(|(a, _)| a).collect();
+        let seq = tiara
+            .predict_batch_with(&bin.program, &addrs, &Executor::sequential())
+            .unwrap();
+        assert_eq!(seq.len(), addrs.len());
+        for threads in [2, 4, 7] {
+            let par = tiara
+                .predict_batch_with(&bin.program, &addrs, &Executor::new(threads))
+                .unwrap();
+            for (a, b) in seq.iter().zip(&par) {
+                assert_eq!(a.addr, b.addr, "batch output must follow input order");
+                assert_eq!(a.class, b.class);
+                let ab: Vec<u32> = a.probs.iter().map(|p| p.to_bits()).collect();
+                let bb: Vec<u32> = b.probs.iter().map(|p| p.to_bits()).collect();
+                assert_eq!(ab, bb, "probabilities must be bitwise identical");
+                assert_eq!(a.slice_nodes, b.slice_nodes);
+            }
+        }
+        // Per-address queries agree with the batch, field by field.
+        for (i, &addr) in addrs.iter().enumerate() {
+            let single = tiara.try_predict(&bin.program, addr).unwrap();
+            assert_eq!(single.class, seq[i].class);
+            assert_eq!(
+                single.probs.iter().map(|p| p.to_bits()).collect::<Vec<_>>(),
+                seq[i].probs.iter().map(|p| p.to_bits()).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn batch_rejects_frame_slots_of_unknown_functions() {
+        let bin = e2e_binary();
+        let cfg = TiaraConfig::new()
+            .with_classifier(ClassifierConfig { epochs: 1, batch_size: 8, ..Default::default() });
+        let mut tiara = Tiara::new(cfg);
+        tiara.train(&[("e2e", &bin.program, &bin.debug)]).unwrap();
+        let bogus = VarAddr::Stack { func: tiara_ir::FuncId(u32::MAX), offset: -8 };
+        assert!(matches!(
+            tiara.predict_batch(&bin.program, &[bin.debug.vars[0].addr, bogus]),
+            Err(Error::Slice(_))
+        ));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_still_answer() {
+        let bin = e2e_binary();
+        let cfg = TiaraConfig::new()
+            .with_classifier(ClassifierConfig { epochs: 2, batch_size: 8, ..Default::default() });
+        let mut tiara = Tiara::new(cfg);
+        tiara.train(&[("e2e", &bin.program, &bin.debug)]).unwrap();
+        let addr = bin.debug.vars[0].addr;
+        let class = tiara.predict(&bin.program, addr);
+        let probs = tiara.predict_proba(&bin.program, addr);
+        let fallible = tiara.try_predict(&bin.program, addr).unwrap();
+        assert_eq!(class, fallible.class);
+        assert_eq!(probs, fallible.probs);
+    }
+
+    #[test]
+    fn saved_and_loaded_system_predicts_bitwise_identically() {
+        let bin = e2e_binary();
+        let cfg = TiaraConfig::new()
+            .with_classifier(ClassifierConfig { epochs: 3, batch_size: 8, ..Default::default() });
+        let mut tiara = Tiara::new(cfg);
+        tiara.train(&[("e2e", &bin.program, &bin.debug)]).unwrap();
+
+        let json = tiara.to_json().unwrap();
+        let back = Tiara::from_json(&json).unwrap();
+        assert!(back.is_trained());
+        for (addr, _) in bin.labeled_vars() {
+            let a = tiara.try_predict(&bin.program, addr).unwrap();
+            let b = back.try_predict(&bin.program, addr).unwrap();
+            assert_eq!(a.class, b.class);
+            assert_eq!(
+                a.probs.iter().map(|p| p.to_bits()).collect::<Vec<_>>(),
+                b.probs.iter().map(|p| p.to_bits()).collect::<Vec<_>>(),
+                "saved/loaded predictions must be bitwise identical at {addr}"
+            );
+        }
+    }
+
+    #[test]
+    fn config_builder_composes() {
+        let cfg = TiaraConfig::new()
+            .with_slicer(Slicer::Sslice)
+            .with_classifier(ClassifierConfig { epochs: 9, ..Default::default() });
+        assert!(matches!(cfg.slicer, Slicer::Sslice));
+        assert_eq!(cfg.classifier.epochs, 9);
     }
 }

@@ -1,5 +1,5 @@
 //! The `tiara-eval bench` mode: measured slicing/encoding/training
-//! throughput at 1 vs N threads, emitted as text or as `BENCH_PR4.json`.
+//! throughput at 1 vs N threads, emitted as text or as `BENCH_PR5.json`.
 //!
 //! Every later perf PR regenerates this file and compares: the report
 //! carries slices/sec, graphs/sec (slice→graph + feature encoding with a
@@ -11,13 +11,21 @@
 //! can be attributed: how many steps ran, how many merges the version memo
 //! skipped, how many snapshot bytes the arena avoided copying.
 //!
+//! Since PR 5 the report also measures the **serving path**: an in-process
+//! `tiara-serve` [`Server`] answers predict batches through the full wire
+//! codec (`handle_line`), cold (empty slice cache) and warm (pure cache
+//! hits), with a byte-identical-response check — the daemon's determinism
+//! contract.
+//!
 //! JSON is rendered by hand (no serde round-trip) so the output is a plain
 //! artifact of the harness itself.
 
 use std::fmt::Write as _;
 use std::hash::{DefaultHasher, Hash, Hasher};
-use tiara::{slice_cache, Classifier, ClassifierConfig, Dataset, Slicer};
+use tiara::{slice_cache, Classifier, ClassifierConfig, Dataset, Slicer, Tiara, TiaraConfig};
+use tiara_ir::VarAddr;
 use tiara_par::Executor;
+use tiara_serve::{ServeConfig, Server};
 use tiara_slice::SliceStats;
 use tiara_synth::Binary;
 
@@ -62,6 +70,27 @@ pub struct ThreadBench {
     pub slice_stats: SliceStats,
 }
 
+/// Measurements of the serving path: predict batches answered by an
+/// in-process `tiara-serve` server through the full wire codec.
+#[derive(Debug, Clone)]
+pub struct ServeBench {
+    /// Addresses served per pass.
+    pub addrs: usize,
+    /// Addresses per predict request.
+    pub batch: usize,
+    /// Cold pass (empty slice cache) wall time, seconds.
+    pub cold_secs: f64,
+    /// Cold served throughput, addresses/second.
+    pub cold_addrs_per_sec: f64,
+    /// Warm pass (all slices cached) wall time, seconds.
+    pub warm_secs: f64,
+    /// Warm served throughput, addresses/second.
+    pub warm_addrs_per_sec: f64,
+    /// Whether the warm pass produced byte-identical responses to the cold
+    /// pass — the daemon's determinism contract.
+    pub responses_identical: bool,
+}
+
 /// The full bench report.
 #[derive(Debug, Clone)]
 pub struct BenchReport {
@@ -69,6 +98,8 @@ pub struct BenchReport {
     pub config: BenchConfig,
     /// One row per thread count (first row is always 1 thread).
     pub runs: Vec<ThreadBench>,
+    /// The serving-path measurements.
+    pub serve: ServeBench,
     /// `slices_per_sec(N) / slices_per_sec(1)`.
     pub slicing_speedup: f64,
     /// `epoch_secs(1) / epoch_secs(N)`.
@@ -156,14 +187,83 @@ fn bench_at(bins: &[Binary], cfg: &BenchConfig, threads: usize) -> ThreadBench {
     }
 }
 
+/// The wire notation of an address (see `tiara_ir::parse_var_addr`).
+fn addr_notation(bin: &Binary, addr: VarAddr) -> String {
+    match addr {
+        VarAddr::Global(m) => format!("0x{:x}", m.0),
+        VarAddr::Stack { func, offset } => {
+            let name = &bin.program.funcs()[func.0 as usize].name;
+            if offset < 0 {
+                format!("func:{name}:-0x{:x}", -offset)
+            } else {
+                format!("func:{name}:0x{offset:x}")
+            }
+        }
+    }
+}
+
+fn bench_serve(bins: &[Binary], cfg: &BenchConfig) -> ServeBench {
+    let bin = &bins[0];
+    let mut tiara = Tiara::new(TiaraConfig::new().with_classifier(ClassifierConfig {
+        epochs: cfg.epochs,
+        seed: cfg.seed,
+        ..Default::default()
+    }));
+    tiara
+        .train(&[(bin.name.as_str(), &bin.program, &bin.debug)])
+        .expect("bench suite is nonempty");
+    let server = Server::new(tiara, ServeConfig::default()).expect("trained model serves");
+
+    let hex = tiara_serve::protocol::hex_encode(&tiara_ir::assemble(&bin.program));
+    let up =
+        server.handle_line(&format!("{{\"op\":\"upload\",\"handle\":\"b\",\"program_hex\":\"{hex}\"}}"));
+    assert!(up.contains("\"ok\":true"), "bench upload failed: {up}");
+
+    const BATCH: usize = 16;
+    let addrs: Vec<String> =
+        bin.debug.vars.iter().map(|v| addr_notation(bin, v.addr)).collect();
+    let requests: Vec<String> = addrs
+        .chunks(BATCH)
+        .map(|chunk| {
+            format!(
+                "{{\"op\":\"predict\",\"program\":\"b\",\"addrs\":[{}]}}",
+                chunk.iter().map(|a| format!("\"{a}\"")).collect::<Vec<_>>().join(",")
+            )
+        })
+        .collect();
+
+    // Cold: every slice computed. Warm: every slice a cache hit; responses
+    // must come back byte-identical regardless.
+    slice_cache::clear();
+    let t0 = std::time::Instant::now();
+    let cold: Vec<String> = requests.iter().map(|r| server.handle_line(r)).collect();
+    let cold_secs = t0.elapsed().as_secs_f64();
+    let t1 = std::time::Instant::now();
+    let warm: Vec<String> = requests.iter().map(|r| server.handle_line(r)).collect();
+    let warm_secs = t1.elapsed().as_secs_f64();
+    server.drain();
+    slice_cache::clear();
+
+    ServeBench {
+        addrs: addrs.len(),
+        batch: BATCH,
+        cold_secs,
+        cold_addrs_per_sec: addrs.len() as f64 / cold_secs.max(1e-9),
+        warm_secs,
+        warm_addrs_per_sec: addrs.len() as f64 / warm_secs.max(1e-9),
+        responses_identical: cold == warm,
+    }
+}
+
 /// Runs the bench: the Table I suite at `scale`, sliced and trained at
-/// 1 thread and at `config.threads` threads.
+/// 1 thread and at `config.threads` threads, then the serving path.
 pub fn run_bench(config: &BenchConfig) -> BenchReport {
     let bins = crate::build_suite(config.seed, config.scale);
     let n = config.threads.max(2);
     let prev_threads = tiara_par::global().threads();
     let mut runs = vec![bench_at(&bins, config, 1)];
     runs.push(bench_at(&bins, config, n));
+    let serve = bench_serve(&bins, config);
     // Restore the executor configuration for whatever runs next.
     tiara_par::set_global_threads(prev_threads);
 
@@ -176,6 +276,7 @@ pub fn run_bench(config: &BenchConfig) -> BenchReport {
         models_identical: runs.iter().all(|r| r.model_digest == runs[0].model_digest),
         host_cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
         runs,
+        serve,
     }
 }
 
@@ -185,7 +286,7 @@ pub fn render_json(r: &BenchReport) -> String {
     let mut s = String::new();
     let _ = write!(
         s,
-        "{{\n  \"bench\": \"PR4\",\n  \"scale\": {},\n  \"epochs\": {},\n  \"seed\": {},\n  \"host_cpus\": {},\n  \"runs\": [",
+        "{{\n  \"bench\": \"PR5\",\n  \"scale\": {},\n  \"epochs\": {},\n  \"seed\": {},\n  \"host_cpus\": {},\n  \"runs\": [",
         r.config.scale, r.config.epochs, r.config.seed, r.host_cpus
     );
     for (i, run) in r.runs.iter().enumerate() {
@@ -217,9 +318,23 @@ pub fn render_json(r: &BenchReport) -> String {
             st.worklist_hits
         );
     }
+    let sv = &r.serve;
     let _ = write!(
         s,
-        "\n  ],\n  \"slicing_speedup\": {:.3},\n  \"epoch_speedup\": {:.3},\n  \
+        "\n  ],\n  \"serve\": {{\"addrs\": {}, \"batch\": {}, \"cold_secs\": {:.6}, \
+         \"cold_addrs_per_sec\": {:.2}, \"warm_secs\": {:.6}, \"warm_addrs_per_sec\": {:.2}, \
+         \"responses_identical\": {}}},\n",
+        sv.addrs,
+        sv.batch,
+        sv.cold_secs,
+        sv.cold_addrs_per_sec,
+        sv.warm_secs,
+        sv.warm_addrs_per_sec,
+        sv.responses_identical
+    );
+    let _ = write!(
+        s,
+        "  \"slicing_speedup\": {:.3},\n  \"epoch_speedup\": {:.3},\n  \
          \"end_to_end_speedup\": {:.3},\n  \"models_identical\": {}\n}}\n",
         r.slicing_speedup, r.epoch_speedup, r.end_to_end_speedup, r.models_identical
     );
@@ -261,6 +376,15 @@ pub fn render_text(r: &BenchReport) -> String {
     if let Some(run) = r.runs.first() {
         let _ = writeln!(s, "slicer counters (cold pass, 1 thread): {}", run.slice_stats);
     }
+    let _ = writeln!(
+        s,
+        "served: {} addrs in batches of {} — cold {:.1} addrs/s, warm {:.1} addrs/s; responses identical: {}",
+        r.serve.addrs,
+        r.serve.batch,
+        r.serve.cold_addrs_per_sec,
+        r.serve.warm_addrs_per_sec,
+        r.serve.responses_identical
+    );
     s
 }
 
@@ -279,14 +403,22 @@ mod tests {
             report.models_identical,
             "training must be bitwise deterministic across thread counts"
         );
+        assert!(report.serve.addrs > 0, "serving path answered no addresses");
+        assert!(
+            report.serve.responses_identical,
+            "served responses must be byte-identical cold vs warm"
+        );
         let json = render_json(&report);
-        assert!(json.contains("\"bench\": \"PR4\""));
+        assert!(json.contains("\"bench\": \"PR5\""));
         assert!(json.contains("\"models_identical\": true"));
         assert!(json.contains("\"slice_stats\""));
+        assert!(json.contains("\"serve\""));
+        assert!(json.contains("\"responses_identical\": true"));
         assert!(json.trim_start().starts_with('{') && json.trim_end().ends_with('}'));
         let text = render_text(&report);
         assert!(text.contains("speedups"));
         assert!(text.contains("slicer counters"));
+        assert!(text.contains("served:"));
         // The fast path did real work on a real suite: steps were taken and
         // per-edge snapshots were avoided.
         let st = &report.runs[0].slice_stats;

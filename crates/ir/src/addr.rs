@@ -1,0 +1,100 @@
+//! Textual variable-address notation, shared by every user-facing surface
+//! (the `tiara` CLI flags and the `tiara serve` wire protocol).
+//!
+//! Two forms:
+//!
+//! * a global: `0x74404`, `74404h`, or plain decimal;
+//! * a frame slot: `func:<name>:<offset>` where the offset is hex/decimal
+//!   with an optional leading `-` (e.g. `func:fn_0000:-0x18`).
+
+use crate::label::VarAddr;
+use crate::operand::MemAddr;
+use crate::program::Program;
+
+/// Parses `0x…`, `…h`, or decimal into a raw integer.
+///
+/// # Errors
+///
+/// Returns a description of the malformed digit string.
+pub fn parse_hex(s: &str) -> Result<u64, String> {
+    let s = s.trim();
+    if let Some(h) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(h, 16).map_err(|e| e.to_string())
+    } else if let Some(h) = s.strip_suffix('h').or_else(|| s.strip_suffix('H')) {
+        u64::from_str_radix(h, 16).map_err(|e| e.to_string())
+    } else {
+        s.parse::<u64>().map_err(|e| e.to_string())
+    }
+}
+
+/// Parses the CLI/wire notation for a variable address against a program
+/// (frame slots name functions, which must exist).
+///
+/// # Errors
+///
+/// Returns a human-readable description: malformed notation, or a frame slot
+/// naming a function the program does not contain.
+pub fn parse_var_addr(prog: &Program, s: &str) -> Result<VarAddr, String> {
+    if let Some(rest) = s.strip_prefix("func:") {
+        let (name, off) = rest
+            .rsplit_once(':')
+            .ok_or("frame address must be func:<name>:<offset>")?;
+        let func = prog
+            .func_by_name(name)
+            .ok_or(format!("no function named `{name}`"))?
+            .id;
+        let offset = if let Some(neg) = off.strip_prefix('-') {
+            -(parse_hex(neg)? as i64)
+        } else {
+            parse_hex(off)? as i64
+        };
+        Ok(VarAddr::Stack { func, offset })
+    } else {
+        Ok(VarAddr::Global(MemAddr(parse_hex(s)?)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::InstKind;
+    use crate::opcode::Opcode;
+    use crate::operand::Operand;
+    use crate::program::ProgramBuilder;
+    use crate::reg::Reg;
+
+    fn tiny_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        b.begin_func("fn_0000");
+        b.inst(
+            Opcode::Mov,
+            InstKind::Mov { dst: Operand::reg(Reg::Eax), src: Operand::imm(1) },
+        );
+        b.ret();
+        b.end_func();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn hex_notations() {
+        assert_eq!(parse_hex("0x74404").unwrap(), 0x74404);
+        assert_eq!(parse_hex("74404h").unwrap(), 0x74404);
+        assert_eq!(parse_hex("1234").unwrap(), 1234);
+        assert!(parse_hex("xyz").is_err());
+    }
+
+    #[test]
+    fn address_forms() {
+        let p = tiny_program();
+        assert_eq!(
+            parse_var_addr(&p, "0x74404").unwrap(),
+            VarAddr::Global(MemAddr(0x74404))
+        );
+        match parse_var_addr(&p, "func:fn_0000:-0x18").unwrap() {
+            VarAddr::Stack { offset, .. } => assert_eq!(offset, -0x18),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse_var_addr(&p, "func:nope:8").is_err());
+        assert!(parse_var_addr(&p, "func:fn_0000").is_err());
+    }
+}

@@ -58,6 +58,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod addr;
 mod analysis;
 mod callgraph;
 mod display;
@@ -71,6 +72,7 @@ mod parse;
 mod program;
 mod reg;
 
+pub use addr::{parse_hex, parse_var_addr};
 pub use analysis::{detect_frame_mode, detect_frame_modes, frame_pointers_preserved, FrameMode};
 pub use callgraph::CallGraph;
 pub use display::{format_inst, format_program};

@@ -1,0 +1,53 @@
+//! # tiara-serve
+//!
+//! A long-running inference daemon for the TIARA reproduction: load a
+//! trained model once, then answer container-type queries over a
+//! newline-delimited JSON protocol — on TCP for real clients, on
+//! stdin/stdout for tests and shell pipelines.
+//!
+//! ## Protocol
+//!
+//! One JSON object per line in, one per line out (see [`protocol`]):
+//!
+//! ```text
+//! → {"op":"upload","handle":"app","program_hex":"544952..."}
+//! ← {"ok":true,"op":"upload","handle":"app","funcs":12,"insts":340,"fingerprint":"9f..."}
+//! → {"op":"predict","program":"app","addrs":["0x74404","func:fn_0003:-0x18"],"id":1}
+//! ← {"ok":true,"op":"predict","complete":true,"answered":2,"requested":2,
+//!    "results":[{"addr":"0x74404","class":"std::vector",...},...],"id":1}
+//! ```
+//!
+//! ## Production shape
+//!
+//! * **Backpressure** — predict batches land in a bounded queue
+//!   ([`queue::BoundedQueue`]); at capacity the server answers `queue_full`
+//!   with a `retry_after_ms` hint instead of buffering unboundedly.
+//! * **Deadlines** — each request may carry `deadline_ms`; work is chunked
+//!   so an expired deadline returns the answered prefix with
+//!   `"complete":false` rather than nothing.
+//! * **Graceful shutdown** — a `shutdown` request (or stdio EOF) drains
+//!   queued and in-flight work, refuses new work with `shutting_down`, and
+//!   stops the workers.
+//! * **Observability** — a `stats` request reports request counters, queue
+//!   depth, latency quantiles, slice-cache hits, and the slicer's hot-loop
+//!   counter rollups.
+//! * **Determinism** — the same predict request always renders the same
+//!   bytes: classification is bitwise thread-invariant
+//!   ([`tiara::Tiara::predict_batch`]), responses are rendered by an
+//!   order-preserving JSON codec ([`json`]), and cache-dependent counters
+//!   stay out of predict responses.
+//!
+//! The codec is hand-rolled and dependency-free on purpose: the daemon and
+//! its tests must run in offline environments where no JSON crate is
+//! available at runtime.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod json;
+pub mod metrics;
+pub mod protocol;
+pub mod queue;
+mod server;
+
+pub use server::{ServeConfig, Server};

@@ -1,0 +1,143 @@
+//! Daemon-side counters and a latency histogram for the `stats` endpoint.
+//!
+//! Everything here is lock-free (`AtomicU64` with relaxed ordering): the
+//! counters sit on the request hot path and must never serialize concurrent
+//! connections. Quantiles come from a fixed log2-bucketed histogram —
+//! microsecond-exact percentiles are not worth a mutex around a sorted
+//! vector, and bucket resolution (~2× per step) is plenty to tell a healthy
+//! daemon from a drowning one.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of log2 latency buckets. Bucket `i` holds latencies in
+/// `[2^i, 2^(i+1))` µs; 40 buckets cover up to ~2^40 µs ≈ 12 days.
+const BUCKETS: usize = 40;
+
+/// Atomic counter set for one server instance.
+pub struct Metrics {
+    /// Every protocol line handled (including malformed ones).
+    pub requests_total: AtomicU64,
+    /// `predict` requests accepted into the queue.
+    pub predict_requests: AtomicU64,
+    /// Addresses across all accepted predict batches.
+    pub addrs_total: AtomicU64,
+    /// Programs stored via `upload`.
+    pub uploads: AtomicU64,
+    /// Predict requests rejected with `queue_full`.
+    pub rejected_queue_full: AtomicU64,
+    /// Predict requests rejected with `oversized_batch`.
+    pub rejected_oversized: AtomicU64,
+    /// Predict requests rejected because the server was draining.
+    pub rejected_shutting_down: AtomicU64,
+    /// Lines that failed to parse or validate.
+    pub malformed: AtomicU64,
+    /// Predict responses cut short by their deadline.
+    pub deadline_partial: AtomicU64,
+    latency_buckets: [AtomicU64; BUCKETS],
+    latency_count: AtomicU64,
+}
+
+impl Default for Metrics {
+    fn default() -> Metrics {
+        Metrics::new()
+    }
+}
+
+impl Metrics {
+    /// Creates a zeroed counter set.
+    pub fn new() -> Metrics {
+        Metrics {
+            requests_total: AtomicU64::new(0),
+            predict_requests: AtomicU64::new(0),
+            addrs_total: AtomicU64::new(0),
+            uploads: AtomicU64::new(0),
+            rejected_queue_full: AtomicU64::new(0),
+            rejected_oversized: AtomicU64::new(0),
+            rejected_shutting_down: AtomicU64::new(0),
+            malformed: AtomicU64::new(0),
+            deadline_partial: AtomicU64::new(0),
+            latency_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            latency_count: AtomicU64::new(0),
+        }
+    }
+
+    /// Increments a counter by one.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n` to a counter.
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one predict request's end-to-end latency.
+    pub fn observe_latency_us(&self, us: u64) {
+        let bucket = (63 - us.max(1).leading_zeros()) as usize;
+        self.latency_buckets[bucket.min(BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
+        self.latency_count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of recorded latencies.
+    pub fn latency_count(&self) -> u64 {
+        self.latency_count.load(Ordering::Relaxed)
+    }
+
+    /// The upper bound (µs) of the bucket containing quantile `q` (0..=1),
+    /// or 0 with no observations. An upper bound so the report errs
+    /// pessimistic.
+    pub fn latency_quantile_us(&self, q: f64) -> u64 {
+        let total = self.latency_count();
+        if total == 0 {
+            return 0;
+        }
+        // ceil(q * total), clamped into 1..=total.
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, b) in self.latency_buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return 1u64 << (i + 1);
+            }
+        }
+        1u64 << BUCKETS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_from_log_buckets() {
+        let m = Metrics::new();
+        assert_eq!(m.latency_quantile_us(0.5), 0, "no data yet");
+        // 99 fast requests (~10µs bucket [8,16)) and one slow (~10ms).
+        for _ in 0..99 {
+            m.observe_latency_us(10);
+        }
+        m.observe_latency_us(10_000);
+        assert_eq!(m.latency_count(), 100);
+        assert_eq!(m.latency_quantile_us(0.5), 16, "p50 in the fast bucket");
+        assert_eq!(m.latency_quantile_us(0.98), 16);
+        assert_eq!(m.latency_quantile_us(0.99), 16, "rank 99 is still fast");
+        assert!(m.latency_quantile_us(1.0) >= 8192, "max hits the slow bucket");
+    }
+
+    #[test]
+    fn zero_latency_lands_in_the_first_bucket() {
+        let m = Metrics::new();
+        m.observe_latency_us(0);
+        m.observe_latency_us(1);
+        assert_eq!(m.latency_quantile_us(1.0), 2);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let m = Metrics::new();
+        Metrics::bump(&m.requests_total);
+        Metrics::add(&m.addrs_total, 7);
+        assert_eq!(m.requests_total.load(Ordering::Relaxed), 1);
+        assert_eq!(m.addrs_total.load(Ordering::Relaxed), 7);
+    }
+}

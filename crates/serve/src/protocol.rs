@@ -1,0 +1,344 @@
+//! The newline-delimited JSON wire protocol: request shapes, structured
+//! error replies, and the hex transport encoding for program images.
+//!
+//! Every request is one JSON object on one line with an `"op"` field; every
+//! response is one JSON object on one line with `"ok"` plus either the
+//! op-specific payload or an `"error"` object. An optional client `"id"`
+//! (string or integer) is echoed back verbatim so clients can pipeline
+//! requests over one connection.
+//!
+//! Operations:
+//!
+//! | op         | request fields                                               |
+//! |------------|--------------------------------------------------------------|
+//! | `ping`     | —                                                            |
+//! | `upload`   | `handle`, and `program_hex` or `program_path`                |
+//! | `predict`  | `program` (handle) or `program_hex`/`program_path`, `addrs`, optional `deadline_ms` |
+//! | `stats`    | —                                                            |
+//! | `shutdown` | —                                                            |
+//!
+//! Addresses use the notation of [`tiara_ir::parse_var_addr`]:
+//! `0x74404` / `74404h` / decimal for globals, `func:<name>:<offset>` for
+//! frame slots.
+
+use crate::json::{parse, Value};
+
+/// Machine-readable error kinds carried in `error.kind` of failure replies.
+/// Stable protocol surface: clients switch on these strings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The line was not valid JSON, or a required field was missing/mistyped.
+    Malformed,
+    /// `op` named no known operation.
+    UnknownOp,
+    /// The request queue is at capacity; retry after `retry_after_ms`.
+    QueueFull,
+    /// The batch exceeds the server's `max_batch`.
+    OversizedBatch,
+    /// The server is draining and accepts no new predict work.
+    ShuttingDown,
+    /// An address string failed to parse or named an unknown function.
+    BadAddress,
+    /// A `program` handle was never uploaded.
+    UnknownProgram,
+    /// A program image failed to decode (bad hex or corrupt `TIRA` bytes).
+    BadProgram,
+    /// The model or filesystem failed mid-request.
+    Internal,
+}
+
+impl ErrorKind {
+    /// The wire string for this kind.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorKind::Malformed => "malformed",
+            ErrorKind::UnknownOp => "unknown_op",
+            ErrorKind::QueueFull => "queue_full",
+            ErrorKind::OversizedBatch => "oversized_batch",
+            ErrorKind::ShuttingDown => "shutting_down",
+            ErrorKind::BadAddress => "bad_address",
+            ErrorKind::UnknownProgram => "unknown_program",
+            ErrorKind::BadProgram => "bad_program",
+            ErrorKind::Internal => "internal",
+        }
+    }
+}
+
+/// How a predict/upload request identifies its program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProgramRef {
+    /// A handle previously registered with `upload`.
+    Handle(String),
+    /// A hex-encoded `TIRA` image inline in the request.
+    InlineHex(String),
+    /// A path on the server's filesystem (assembled image or textual asm).
+    Path(String),
+}
+
+/// One parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness check.
+    Ping,
+    /// Registers a program under a handle for later predict calls.
+    Upload {
+        /// The name predict requests will use.
+        handle: String,
+        /// Where the program comes from (inline hex or a server-side path).
+        source: ProgramRef,
+    },
+    /// Classifies a batch of variable addresses.
+    Predict {
+        /// The program to query.
+        program: ProgramRef,
+        /// Address strings, resolved against the program.
+        addrs: Vec<String>,
+        /// Per-request deadline override (milliseconds).
+        deadline_ms: Option<u64>,
+    },
+    /// Server counters.
+    Stats,
+    /// Graceful shutdown: drain in-flight work, refuse new work.
+    Shutdown,
+}
+
+/// A request plus the client correlation id to echo.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    /// The operation.
+    pub request: Request,
+    /// The client's `id` field, echoed verbatim in the response.
+    pub id: Option<Value>,
+}
+
+fn field_str(v: &Value, key: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .map(str::to_owned)
+        .ok_or_else(|| format!("missing or non-string field `{key}`"))
+}
+
+fn program_ref(v: &Value, allow_handle: bool) -> Result<ProgramRef, String> {
+    if allow_handle {
+        if let Some(h) = v.get("program").and_then(Value::as_str) {
+            return Ok(ProgramRef::Handle(h.to_owned()));
+        }
+    }
+    if let Some(hex) = v.get("program_hex").and_then(Value::as_str) {
+        return Ok(ProgramRef::InlineHex(hex.to_owned()));
+    }
+    if let Some(path) = v.get("program_path").and_then(Value::as_str) {
+        return Ok(ProgramRef::Path(path.to_owned()));
+    }
+    Err(if allow_handle {
+        "request needs `program` (a handle), `program_hex`, or `program_path`".to_owned()
+    } else {
+        "upload needs `program_hex` or `program_path`".to_owned()
+    })
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// `(kind, message)` — [`ErrorKind::Malformed`] for JSON/shape problems,
+/// [`ErrorKind::UnknownOp`] for an unrecognized `op`. The id (when the line
+/// parsed far enough to have one) comes back in the `Ok`/`Err` envelope so
+/// error replies still correlate.
+pub fn parse_request(line: &str) -> Result<Envelope, (ErrorKind, String, Option<Value>)> {
+    let v = parse(line)
+        .map_err(|(pos, msg)| (ErrorKind::Malformed, format!("bad JSON at byte {pos}: {msg}"), None))?;
+    let id = v.get("id").cloned();
+    let malformed = |msg: String| (ErrorKind::Malformed, msg, id.clone());
+    let Value::Object(_) = v else {
+        return Err(malformed("request must be a JSON object".into()));
+    };
+    let op = v
+        .get("op")
+        .and_then(Value::as_str)
+        .ok_or_else(|| malformed("missing or non-string field `op`".into()))?;
+    let request = match op {
+        "ping" => Request::Ping,
+        "stats" => Request::Stats,
+        "shutdown" => Request::Shutdown,
+        "upload" => Request::Upload {
+            handle: field_str(&v, "handle").map_err(&malformed)?,
+            source: program_ref(&v, false).map_err(&malformed)?,
+        },
+        "predict" => {
+            let addrs_val = v
+                .get("addrs")
+                .and_then(Value::as_array)
+                .ok_or_else(|| malformed("missing or non-array field `addrs`".into()))?;
+            let mut addrs = Vec::with_capacity(addrs_val.len());
+            for a in addrs_val {
+                addrs.push(
+                    a.as_str()
+                        .map(str::to_owned)
+                        .ok_or_else(|| malformed("`addrs` entries must be strings".into()))?,
+                );
+            }
+            let deadline_ms = match v.get("deadline_ms") {
+                None | Some(Value::Null) => None,
+                Some(d) => Some(
+                    d.as_i64()
+                        .filter(|&ms| ms >= 0)
+                        .ok_or_else(|| malformed("`deadline_ms` must be a non-negative integer".into()))?
+                        as u64,
+                ),
+            };
+            Request::Predict { program: program_ref(&v, true).map_err(&malformed)?, addrs, deadline_ms }
+        }
+        other => return Err((ErrorKind::UnknownOp, format!("unknown op `{other}`"), id)),
+    };
+    Ok(Envelope { request, id })
+}
+
+/// Builds a failure reply line (without the trailing newline).
+pub fn error_reply(
+    kind: ErrorKind,
+    message: &str,
+    id: Option<&Value>,
+    extra: impl IntoIterator<Item = (&'static str, Value)>,
+) -> String {
+    let mut pairs = vec![
+        ("ok".to_owned(), Value::Bool(false)),
+        (
+            "error".to_owned(),
+            Value::obj([
+                ("kind", Value::Str(kind.as_str().to_owned())),
+                ("message", Value::Str(message.to_owned())),
+            ]),
+        ),
+    ];
+    for (k, val) in extra {
+        pairs.push((k.to_owned(), val));
+    }
+    if let Some(id) = id {
+        pairs.push(("id".to_owned(), id.clone()));
+    }
+    Value::Object(pairs).render()
+}
+
+/// Starts a success reply: `{"ok":true,"op":<op>, ...}`. Callers extend the
+/// pair list and render.
+pub fn ok_reply_base(op: &str) -> Vec<(String, Value)> {
+    vec![
+        ("ok".to_owned(), Value::Bool(true)),
+        ("op".to_owned(), Value::Str(op.to_owned())),
+    ]
+}
+
+/// Lowercase hex encoding of a program image.
+pub fn hex_encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push(char::from_digit((b >> 4) as u32, 16).expect("nibble"));
+        out.push(char::from_digit((b & 0xf) as u32, 16).expect("nibble"));
+    }
+    out
+}
+
+/// Decodes the hex transport encoding.
+///
+/// # Errors
+///
+/// Describes odd length or a non-hex character.
+pub fn hex_decode(s: &str) -> Result<Vec<u8>, String> {
+    let s = s.trim();
+    if !s.len().is_multiple_of(2) {
+        return Err("hex image has odd length".into());
+    }
+    let mut out = Vec::with_capacity(s.len() / 2);
+    let bytes = s.as_bytes();
+    for pair in bytes.chunks_exact(2) {
+        let hi = (pair[0] as char).to_digit(16).ok_or("non-hex character in image")?;
+        let lo = (pair[1] as char).to_digit(16).ok_or("non-hex character in image")?;
+        out.push(((hi << 4) | lo) as u8);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_op() {
+        assert_eq!(parse_request("{\"op\":\"ping\"}").unwrap().request, Request::Ping);
+        assert_eq!(parse_request("{\"op\":\"stats\"}").unwrap().request, Request::Stats);
+        assert_eq!(parse_request("{\"op\":\"shutdown\"}").unwrap().request, Request::Shutdown);
+        let up = parse_request("{\"op\":\"upload\",\"handle\":\"p\",\"program_hex\":\"aa\"}")
+            .unwrap()
+            .request;
+        assert_eq!(
+            up,
+            Request::Upload { handle: "p".into(), source: ProgramRef::InlineHex("aa".into()) }
+        );
+        let pr = parse_request(
+            "{\"op\":\"predict\",\"program\":\"p\",\"addrs\":[\"0x10\"],\"deadline_ms\":250,\"id\":7}",
+        )
+        .unwrap();
+        assert_eq!(pr.id, Some(Value::Int(7)));
+        assert_eq!(
+            pr.request,
+            Request::Predict {
+                program: ProgramRef::Handle("p".into()),
+                addrs: vec!["0x10".into()],
+                deadline_ms: Some(250),
+            }
+        );
+    }
+
+    #[test]
+    fn malformed_lines_keep_the_id_when_parseable() {
+        let (kind, _, id) = parse_request("{\"op\":\"predict\",\"id\":\"q1\"}").unwrap_err();
+        assert_eq!(kind, ErrorKind::Malformed);
+        assert_eq!(id, Some(Value::Str("q1".into())));
+        let (kind, _, id) = parse_request("not json at all").unwrap_err();
+        assert_eq!(kind, ErrorKind::Malformed);
+        assert_eq!(id, None);
+        let (kind, _, _) = parse_request("{\"op\":\"fly\"}").unwrap_err();
+        assert_eq!(kind, ErrorKind::UnknownOp);
+    }
+
+    #[test]
+    fn predict_rejects_bad_shapes() {
+        for bad in [
+            "{\"op\":\"predict\",\"addrs\":[\"0x10\"]}",           // no program
+            "{\"op\":\"predict\",\"program\":\"p\"}",                // no addrs
+            "{\"op\":\"predict\",\"program\":\"p\",\"addrs\":[1]}", // non-string addr
+            "{\"op\":\"predict\",\"program\":\"p\",\"addrs\":[],\"deadline_ms\":-1}",
+            "[1,2]", // not an object
+        ] {
+            let (kind, _, _) = parse_request(bad).unwrap_err();
+            assert_eq!(kind, ErrorKind::Malformed, "{bad}");
+        }
+    }
+
+    #[test]
+    fn error_replies_are_structured() {
+        let line = error_reply(
+            ErrorKind::QueueFull,
+            "queue at capacity",
+            Some(&Value::Int(3)),
+            [("retry_after_ms", Value::Int(50))],
+        );
+        assert_eq!(
+            line,
+            "{\"ok\":false,\"error\":{\"kind\":\"queue_full\",\"message\":\"queue at capacity\"},\
+             \"retry_after_ms\":50,\"id\":3}"
+        );
+    }
+
+    #[test]
+    fn hex_round_trips_and_rejects_garbage() {
+        let bytes = [0x00u8, 0x7f, 0xff, 0x12];
+        let s = hex_encode(&bytes);
+        assert_eq!(s, "007fff12");
+        assert_eq!(hex_decode(&s).unwrap(), bytes);
+        assert!(hex_decode("abc").is_err(), "odd length");
+        assert!(hex_decode("zz").is_err(), "non-hex");
+        assert_eq!(hex_decode("").unwrap(), Vec::<u8>::new());
+    }
+}

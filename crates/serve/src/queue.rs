@@ -1,0 +1,203 @@
+//! A bounded MPMC work queue with explicit rejection.
+//!
+//! The daemon's backpressure contract is *reject, don't buffer*: when the
+//! queue is at capacity, [`BoundedQueue::try_push`] fails immediately and the
+//! protocol layer answers `queue_full` with a `retry_after_ms` hint, instead
+//! of letting latency grow without bound. Workers block on
+//! [`BoundedQueue::pop`]; closing the queue wakes them all up with `None`
+//! once it drains.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, PoisonError};
+
+/// Why [`BoundedQueue::try_push`] refused a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity; the caller should retry later.
+    Full,
+    /// The queue was closed (the server is shutting down).
+    Closed,
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+    /// High-water mark of `items.len()`, for the `stats` endpoint.
+    max_depth: usize,
+}
+
+/// A fixed-capacity FIFO shared between request handlers (producers) and
+/// worker threads (consumers).
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` pending jobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero (a zero-capacity queue would reject
+    /// everything).
+    pub fn new(capacity: usize) -> BoundedQueue<T> {
+        assert!(capacity > 0, "queue capacity must be positive");
+        BoundedQueue {
+            inner: Mutex::new(Inner { items: VecDeque::new(), closed: false, max_depth: 0 }),
+            ready: Condvar::new(),
+            capacity,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner<T>> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Enqueues a job, or rejects it when the queue is full or closed.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] at capacity, [`PushError::Closed`] after
+    /// [`BoundedQueue::close`].
+    pub fn try_push(&self, item: T) -> Result<(), PushError> {
+        let mut g = self.lock();
+        if g.closed {
+            return Err(PushError::Closed);
+        }
+        if g.items.len() >= self.capacity {
+            return Err(PushError::Full);
+        }
+        g.items.push_back(item);
+        g.max_depth = g.max_depth.max(g.items.len());
+        drop(g);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until a job is available, returning `None` once the queue is
+    /// closed *and* drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut g = self.lock();
+        loop {
+            if let Some(item) = g.items.pop_front() {
+                return Some(item);
+            }
+            if g.closed {
+                return None;
+            }
+            g = self.ready.wait(g).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Closes the queue: future pushes fail, and blocked poppers return
+    /// `None` once the remaining jobs drain.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Jobs currently waiting (not counting in-flight work).
+    pub fn depth(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// The deepest the queue has ever been.
+    pub fn max_depth(&self) -> usize {
+        self.lock().max_depth
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order_and_capacity_rejection() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(PushError::Full));
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.max_depth(), 2);
+        assert_eq!(q.pop(), Some(1));
+        q.try_push(3).unwrap();
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.depth(), 0);
+        assert_eq!(q.capacity(), 2);
+    }
+
+    #[test]
+    fn close_rejects_pushes_but_drains_remaining_jobs() {
+        let q = BoundedQueue::new(4);
+        q.try_push("a").unwrap();
+        q.close();
+        assert_eq!(q.try_push("b"), Err(PushError::Closed));
+        assert_eq!(q.pop(), Some("a"));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None, "closed + empty stays None");
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumers() {
+        let q = Arc::new(BoundedQueue::<u32>::new(1));
+        let waiter = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop())
+        };
+        // Give the waiter a moment to block, then close.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(waiter.join().unwrap(), None);
+    }
+
+    #[test]
+    fn many_producers_many_consumers_deliver_everything_once() {
+        let q = Arc::new(BoundedQueue::new(8));
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(v) = q.pop() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for i in 0..50 {
+                        let v = p * 1000 + i;
+                        loop {
+                            match q.try_push(v) {
+                                Ok(()) => break,
+                                Err(PushError::Full) => std::thread::yield_now(),
+                                Err(PushError::Closed) => panic!("closed early"),
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        let mut all: Vec<u32> = consumers.into_iter().flat_map(|c| c.join().unwrap()).collect();
+        all.sort_unstable();
+        let want: Vec<u32> = (0..4).flat_map(|p| (0..50).map(move |i| p * 1000 + i)).collect();
+        assert_eq!(all, want, "every job delivered exactly once");
+        assert!(q.max_depth() <= 8, "bounded queue never exceeds capacity");
+    }
+}

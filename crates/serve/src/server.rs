@@ -1,0 +1,845 @@
+//! The daemon itself: program store, worker pool, request dispatch, and the
+//! stdio/TCP front ends.
+//!
+//! One [`Server`] owns a trained [`Tiara`] and a pool of worker threads
+//! behind a bounded job queue. Every front end funnels through
+//! [`Server::handle_line`] — one request line in, one response line out —
+//! so protocol behavior is identical (and testable) without sockets.
+//!
+//! Shutdown discipline: a `shutdown` request (or stdio EOF) moves the server
+//! `Running → Draining` (new predict work is refused with `shutting_down`,
+//! queued and in-flight work completes), then `Draining → Stopped` once the
+//! queue and in-flight counters hit zero. TCP stops accepting as soon as the
+//! server leaves `Running`.
+
+use crate::json::Value;
+use crate::metrics::Metrics;
+use crate::protocol::{
+    error_reply, hex_decode, ok_reply_base, parse_request, Envelope, ErrorKind, ProgramRef, Request,
+};
+use crate::queue::{BoundedQueue, PushError};
+use std::collections::HashMap;
+use std::io::{BufRead, Write};
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{mpsc, Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+use tiara::{slice_cache, Error, Tiara};
+use tiara_ir::{parse_var_addr, Program, VarAddr, MAGIC};
+use tiara_slice::SliceStats;
+
+/// Server lifecycle states (stored in an `AtomicU8`).
+const RUNNING: u8 = 0;
+const DRAINING: u8 = 1;
+const STOPPED: u8 = 2;
+
+/// Tuning knobs for one server instance.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Maximum predict jobs waiting in the queue; further requests are
+    /// rejected with `queue_full`.
+    pub queue_capacity: usize,
+    /// Worker threads draining the queue. Each worker answers one batch at a
+    /// time; within a batch, slicing runs on the shared `tiara_par`
+    /// executor.
+    pub workers: usize,
+    /// Maximum addresses per predict request.
+    pub max_batch: usize,
+    /// Deadline applied to requests that do not carry their own
+    /// `deadline_ms`. `None` means no default deadline.
+    pub default_deadline_ms: Option<u64>,
+    /// The retry hint attached to `queue_full` rejections.
+    pub retry_after_ms: u64,
+    /// Addresses classified between deadline checks. Smaller chunks honor
+    /// deadlines more precisely at slightly more scheduling overhead.
+    pub chunk: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            queue_capacity: 32,
+            workers: 2,
+            max_batch: 4096,
+            default_deadline_ms: None,
+            retry_after_ms: 50,
+            chunk: 8,
+        }
+    }
+}
+
+/// A resident program: decoded once, fingerprinted once, shared by every
+/// request that names its handle.
+struct StoredProgram {
+    prog: Program,
+    fingerprint: u64,
+}
+
+impl StoredProgram {
+    fn new(prog: Program) -> StoredProgram {
+        let fingerprint = slice_cache::program_fingerprint(&prog);
+        StoredProgram { prog, fingerprint }
+    }
+}
+
+/// One queued predict batch. The handler thread blocks on `reply` while a
+/// worker classifies.
+struct Job {
+    prog: Arc<StoredProgram>,
+    /// `(input notation, parsed address)` pairs — responses echo the
+    /// client's own notation.
+    addrs: Vec<(String, VarAddr)>,
+    deadline: Option<Instant>,
+    id: Option<Value>,
+    reply: mpsc::Sender<String>,
+}
+
+struct Inner {
+    tiara: Tiara,
+    config: ServeConfig,
+    programs: Mutex<HashMap<String, Arc<StoredProgram>>>,
+    queue: BoundedQueue<Job>,
+    metrics: Metrics,
+    state: AtomicU8,
+    in_flight: AtomicU64,
+    /// Field-wise rollup of every slice computed by this server (cache hits
+    /// contribute zeros — no slicing ran).
+    slice_rollup: Mutex<SliceStats>,
+}
+
+/// A running inference daemon.
+pub struct Server {
+    inner: Arc<Inner>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Server {
+    /// Builds a server around a trained system and spawns its worker pool.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Untrained`] if the model cannot answer queries, or
+    /// [`Error::Serve`] for a zero-worker configuration.
+    pub fn new(tiara: Tiara, config: ServeConfig) -> Result<Server, Error> {
+        if !tiara.is_trained() {
+            return Err(Error::Untrained);
+        }
+        if config.workers == 0 {
+            return Err(Error::Serve("server needs at least one worker".into()));
+        }
+        let inner = Arc::new(Inner {
+            queue: BoundedQueue::new(config.queue_capacity.max(1)),
+            tiara,
+            config,
+            programs: Mutex::new(HashMap::new()),
+            metrics: Metrics::new(),
+            state: AtomicU8::new(RUNNING),
+            in_flight: AtomicU64::new(0),
+            slice_rollup: Mutex::new(SliceStats::default()),
+        });
+        let workers = (0..inner.config.workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("tiara-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Ok(Server { inner, workers: Mutex::new(workers) })
+    }
+
+    /// Answers one protocol line. The returned string is a complete response
+    /// line (no trailing newline). Never panics on client input.
+    pub fn handle_line(&self, line: &str) -> String {
+        let inner = &self.inner;
+        Metrics::bump(&inner.metrics.requests_total);
+        let started = Instant::now();
+        let Envelope { request, id } = match parse_request(line) {
+            Ok(env) => env,
+            Err((kind, msg, id)) => {
+                Metrics::bump(&inner.metrics.malformed);
+                return error_reply(kind, &msg, id.as_ref(), []);
+            }
+        };
+        match request {
+            Request::Ping => render_ok("ping", [], id.as_ref()),
+            Request::Stats => self.stats_reply(id.as_ref()),
+            Request::Shutdown => {
+                self.drain();
+                render_ok("shutdown", [], id.as_ref())
+            }
+            Request::Upload { handle, source } => self.handle_upload(&handle, &source, id.as_ref()),
+            Request::Predict { program, addrs, deadline_ms } => {
+                self.handle_predict(&program, &addrs, deadline_ms, id.as_ref(), started)
+            }
+        }
+    }
+
+    fn handle_upload(&self, handle: &str, source: &ProgramRef, id: Option<&Value>) -> String {
+        let inner = &self.inner;
+        if inner.state.load(Ordering::SeqCst) != RUNNING {
+            Metrics::bump(&inner.metrics.rejected_shutting_down);
+            return error_reply(ErrorKind::ShuttingDown, "server is draining", id, []);
+        }
+        let stored = match load_program(source) {
+            Ok(p) => Arc::new(p),
+            Err((kind, msg)) => {
+                Metrics::bump(&inner.metrics.malformed);
+                return error_reply(kind, &msg, id, []);
+            }
+        };
+        let funcs = stored.prog.funcs().len();
+        let insts = stored.prog.num_insts();
+        let fingerprint = format!("{:016x}", stored.fingerprint);
+        inner
+            .programs
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(handle.to_owned(), stored);
+        Metrics::bump(&inner.metrics.uploads);
+        render_ok(
+            "upload",
+            [
+                ("handle", Value::Str(handle.to_owned())),
+                ("funcs", Value::Int(funcs as i64)),
+                ("insts", Value::Int(insts as i64)),
+                ("fingerprint", Value::Str(fingerprint)),
+            ],
+            id,
+        )
+    }
+
+    fn handle_predict(
+        &self,
+        program: &ProgramRef,
+        addrs: &[String],
+        deadline_ms: Option<u64>,
+        id: Option<&Value>,
+        started: Instant,
+    ) -> String {
+        let inner = &self.inner;
+        if inner.state.load(Ordering::SeqCst) != RUNNING {
+            Metrics::bump(&inner.metrics.rejected_shutting_down);
+            return error_reply(ErrorKind::ShuttingDown, "server is draining", id, []);
+        }
+        if addrs.len() > inner.config.max_batch {
+            Metrics::bump(&inner.metrics.rejected_oversized);
+            return error_reply(
+                ErrorKind::OversizedBatch,
+                &format!("batch of {} exceeds max_batch {}", addrs.len(), inner.config.max_batch),
+                id,
+                [("max_batch", Value::Int(inner.config.max_batch as i64))],
+            );
+        }
+        let stored = match program {
+            ProgramRef::Handle(h) => {
+                let got = inner
+                    .programs
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .get(h)
+                    .cloned();
+                match got {
+                    Some(p) => p,
+                    None => {
+                        return error_reply(
+                            ErrorKind::UnknownProgram,
+                            &format!("no uploaded program `{h}`"),
+                            id,
+                            [],
+                        )
+                    }
+                }
+            }
+            other => match load_program(other) {
+                Ok(p) => Arc::new(p),
+                Err((kind, msg)) => {
+                    Metrics::bump(&inner.metrics.malformed);
+                    return error_reply(kind, &msg, id, []);
+                }
+            },
+        };
+        let mut parsed = Vec::with_capacity(addrs.len());
+        for a in addrs {
+            match parse_var_addr(&stored.prog, a) {
+                Ok(addr) => parsed.push((a.clone(), addr)),
+                Err(msg) => {
+                    Metrics::bump(&inner.metrics.malformed);
+                    return error_reply(
+                        ErrorKind::BadAddress,
+                        &format!("bad address `{a}`: {msg}"),
+                        id,
+                        [("addr", Value::Str(a.clone()))],
+                    );
+                }
+            }
+        }
+        let deadline = deadline_ms
+            .or(inner.config.default_deadline_ms)
+            .map(|ms| started + Duration::from_millis(ms));
+        let (tx, rx) = mpsc::channel();
+        let n_addrs = parsed.len() as u64;
+        let job = Job { prog: stored, addrs: parsed, deadline, id: id.cloned(), reply: tx };
+        match inner.queue.try_push(job) {
+            Ok(()) => {}
+            Err(PushError::Full) => {
+                Metrics::bump(&inner.metrics.rejected_queue_full);
+                return error_reply(
+                    ErrorKind::QueueFull,
+                    "request queue at capacity",
+                    id,
+                    [("retry_after_ms", Value::Int(inner.config.retry_after_ms as i64))],
+                );
+            }
+            Err(PushError::Closed) => {
+                Metrics::bump(&inner.metrics.rejected_shutting_down);
+                return error_reply(ErrorKind::ShuttingDown, "server is draining", id, []);
+            }
+        }
+        Metrics::bump(&inner.metrics.predict_requests);
+        Metrics::add(&inner.metrics.addrs_total, n_addrs);
+        let response = rx.recv().unwrap_or_else(|_| {
+            error_reply(ErrorKind::Internal, "worker dropped the request", id, [])
+        });
+        inner
+            .metrics
+            .observe_latency_us(started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+        response
+    }
+
+    fn stats_reply(&self, id: Option<&Value>) -> String {
+        let inner = &self.inner;
+        let m = &inner.metrics;
+        let cache = slice_cache::stats();
+        let rollup = *inner.slice_rollup.lock().unwrap_or_else(PoisonError::into_inner);
+        let load = |c: &AtomicU64| Value::Int(c.load(Ordering::Relaxed) as i64);
+        render_ok(
+            "stats",
+            [
+                ("requests_total", load(&m.requests_total)),
+                ("predict_requests", load(&m.predict_requests)),
+                ("addrs_total", load(&m.addrs_total)),
+                ("uploads", load(&m.uploads)),
+                ("programs", {
+                    let n = inner.programs.lock().unwrap_or_else(PoisonError::into_inner).len();
+                    Value::Int(n as i64)
+                }),
+                (
+                    "rejected",
+                    Value::obj([
+                        ("queue_full", load(&m.rejected_queue_full)),
+                        ("oversized_batch", load(&m.rejected_oversized)),
+                        ("shutting_down", load(&m.rejected_shutting_down)),
+                        ("malformed", load(&m.malformed)),
+                    ]),
+                ),
+                ("deadline_partial", load(&m.deadline_partial)),
+                (
+                    "queue",
+                    Value::obj([
+                        ("depth", Value::Int(inner.queue.depth() as i64)),
+                        ("max_depth", Value::Int(inner.queue.max_depth() as i64)),
+                        ("capacity", Value::Int(inner.queue.capacity() as i64)),
+                        ("in_flight", Value::Int(inner.in_flight.load(Ordering::SeqCst) as i64)),
+                    ]),
+                ),
+                (
+                    "latency_us",
+                    Value::obj([
+                        ("count", Value::Int(m.latency_count() as i64)),
+                        ("p50", Value::Int(m.latency_quantile_us(0.5) as i64)),
+                        ("p99", Value::Int(m.latency_quantile_us(0.99) as i64)),
+                    ]),
+                ),
+                (
+                    "slice_cache",
+                    Value::obj([
+                        ("hits", Value::Int(cache.hits as i64)),
+                        ("misses", Value::Int(cache.misses as i64)),
+                        ("entries", Value::Int(cache.entries as i64)),
+                    ]),
+                ),
+                (
+                    "slice_stats",
+                    Value::obj([
+                        ("steps", Value::Int(rollup.steps as i64)),
+                        ("faith_cut_pops", Value::Int(rollup.faith_cut_pops as i64)),
+                        ("merges_skipped", Value::Int(rollup.merges_skipped as i64)),
+                        ("snapshot_bytes_avoided", Value::Int(rollup.snapshot_bytes_avoided as i64)),
+                        ("set_spills", Value::Int(rollup.set_spills as i64)),
+                        ("worklist_hits", Value::Int(rollup.worklist_hits as i64)),
+                    ]),
+                ),
+            ],
+            id,
+        )
+    }
+
+    /// `Running → Draining → Stopped`: refuse new predict work, let queued
+    /// and in-flight batches finish, stop the workers. Idempotent;
+    /// concurrent callers all block until the drain completes.
+    pub fn drain(&self) {
+        let inner = &self.inner;
+        let _ = inner.state.compare_exchange(RUNNING, DRAINING, Ordering::SeqCst, Ordering::SeqCst);
+        while inner.queue.depth() > 0 || inner.in_flight.load(Ordering::SeqCst) > 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        inner.queue.close();
+        inner.state.store(STOPPED, Ordering::SeqCst);
+        let handles: Vec<_> =
+            self.workers.lock().unwrap_or_else(PoisonError::into_inner).drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
+    /// Whether the server still accepts new predict work.
+    pub fn is_running(&self) -> bool {
+        self.inner.state.load(Ordering::SeqCst) == RUNNING
+    }
+
+    /// Whether the server has fully stopped (drained and workers joined).
+    pub fn is_stopped(&self) -> bool {
+        self.inner.state.load(Ordering::SeqCst) == STOPPED
+    }
+
+    /// Serves newline-delimited requests from `reader`, writing one response
+    /// line per request to `writer`. EOF triggers a graceful drain; an
+    /// explicit `shutdown` request drains and then returns after its reply.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the transport.
+    pub fn run_stdio(
+        &self,
+        reader: impl BufRead,
+        mut writer: impl Write,
+    ) -> std::io::Result<()> {
+        for line in reader.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let response = self.handle_line(&line);
+            writer.write_all(response.as_bytes())?;
+            writer.write_all(b"\n")?;
+            writer.flush()?;
+            if self.is_stopped() {
+                return Ok(());
+            }
+        }
+        self.drain();
+        Ok(())
+    }
+
+    /// Accepts TCP connections until a `shutdown` request arrives, running
+    /// the line protocol on each connection in its own thread. Returns once
+    /// the server has drained and every connection thread exited.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept errors other than the nonblocking poll's
+    /// `WouldBlock`.
+    pub fn run_tcp(self: &Arc<Self>, listener: TcpListener) -> std::io::Result<()> {
+        listener.set_nonblocking(true)?;
+        let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        loop {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    let server = Arc::clone(self);
+                    conns.push(std::thread::spawn(move || {
+                        let _ = serve_connection(&server, stream);
+                    }));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if !self.is_running() {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) => return Err(e),
+            }
+            if !self.is_running() {
+                break;
+            }
+        }
+        self.drain();
+        for c in conns {
+            let _ = c.join();
+        }
+        Ok(())
+    }
+}
+
+/// One TCP connection: blocking reads with a poll timeout so the thread
+/// notices a server-wide shutdown even under an idle client.
+fn serve_connection(server: &Server, stream: std::net::TcpStream) -> std::io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
+    let mut reader = std::io::BufReader::new(stream.try_clone()?);
+    let mut writer = std::io::BufWriter::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return Ok(()), // client hung up
+            Ok(_) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let response = server.handle_line(line.trim_end());
+                writer.write_all(response.as_bytes())?;
+                writer.write_all(b"\n")?;
+                writer.flush()?;
+                if server.is_stopped() {
+                    return Ok(());
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if server.is_stopped() {
+                    return Ok(());
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    while let Some(job) = inner.queue.pop() {
+        inner.in_flight.fetch_add(1, Ordering::SeqCst);
+        let response = answer(inner, &job);
+        // A handler that gave up (it never does today) just drops the
+        // receiver; losing the send is fine.
+        let _ = job.reply.send(response);
+        inner.in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Classifies one batch, honoring its deadline between fixed-size chunks.
+fn answer(inner: &Inner, job: &Job) -> String {
+    let chunk = inner.config.chunk.max(1);
+    let exec = tiara_par::global();
+    let mut results = Vec::with_capacity(job.addrs.len());
+    let mut expired = false;
+    for slab in job.addrs.chunks(chunk) {
+        if let Some(deadline) = job.deadline {
+            if Instant::now() >= deadline {
+                expired = true;
+                break;
+            }
+        }
+        let addrs: Vec<VarAddr> = slab.iter().map(|(_, a)| *a).collect();
+        let preds = match inner.tiara.predict_batch_fingerprinted(
+            &job.prog.prog,
+            job.prog.fingerprint,
+            &addrs,
+            &exec,
+        ) {
+            Ok(p) => p,
+            Err(e) => {
+                return error_reply(
+                    ErrorKind::Internal,
+                    &format!("prediction failed: {e}"),
+                    job.id.as_ref(),
+                    [],
+                )
+            }
+        };
+        let mut rollup = inner.slice_rollup.lock().unwrap_or_else(PoisonError::into_inner);
+        for p in &preds {
+            rollup.absorb(&p.stats);
+        }
+        drop(rollup);
+        for ((text, _), p) in slab.iter().zip(preds) {
+            // SliceStats are deliberately NOT serialized per result: a cache
+            // hit zeroes them, which would make the same request render
+            // differently on repeat. Everything below is cache-invariant.
+            results.push(Value::obj([
+                ("addr", Value::Str(text.clone())),
+                ("class", Value::Str(p.class.to_string())),
+                ("class_index", Value::Int(p.class.index() as i64)),
+                (
+                    "probs",
+                    Value::Array(p.probs.iter().map(|&f| Value::Float(f64::from(f))).collect()),
+                ),
+                ("slice_nodes", Value::Int(p.slice_nodes as i64)),
+                ("slice_edges", Value::Int(p.slice_edges as i64)),
+            ]));
+        }
+    }
+    if expired {
+        Metrics::bump(&inner.metrics.deadline_partial);
+    }
+    let answered = results.len();
+    let mut pairs = ok_reply_base("predict");
+    pairs.push(("complete".to_owned(), Value::Bool(!expired)));
+    pairs.push(("answered".to_owned(), Value::Int(answered as i64)));
+    pairs.push(("requested".to_owned(), Value::Int(job.addrs.len() as i64)));
+    if expired {
+        pairs.push(("deadline_exceeded".to_owned(), Value::Bool(true)));
+    }
+    pairs.push(("results".to_owned(), Value::Array(results)));
+    if let Some(id) = &job.id {
+        pairs.push(("id".to_owned(), id.clone()));
+    }
+    Value::Object(pairs).render()
+}
+
+fn render_ok(
+    op: &str,
+    fields: impl IntoIterator<Item = (&'static str, Value)>,
+    id: Option<&Value>,
+) -> String {
+    let mut pairs = ok_reply_base(op);
+    for (k, v) in fields {
+        pairs.push((k.to_owned(), v));
+    }
+    if let Some(id) = id {
+        pairs.push(("id".to_owned(), id.clone()));
+    }
+    Value::Object(pairs).render()
+}
+
+/// Decodes a program from a request's inline hex or a server-side path
+/// (assembled `TIRA` image, or textual assembly as a fallback).
+fn load_program(source: &ProgramRef) -> Result<StoredProgram, (ErrorKind, String)> {
+    match source {
+        ProgramRef::Handle(h) => Err((
+            ErrorKind::Malformed,
+            format!("`{h}` is a handle; upload needs `program_hex` or `program_path`"),
+        )),
+        ProgramRef::InlineHex(hex) => {
+            let bytes = hex_decode(hex).map_err(|e| (ErrorKind::BadProgram, e))?;
+            let prog = tiara_ir::disassemble(&bytes)
+                .map_err(|e| (ErrorKind::BadProgram, format!("bad TIRA image: {e}")))?;
+            Ok(StoredProgram::new(prog))
+        }
+        ProgramRef::Path(path) => {
+            let bytes = std::fs::read(path)
+                .map_err(|e| (ErrorKind::BadProgram, format!("cannot read `{path}`: {e}")))?;
+            let prog = if bytes.starts_with(MAGIC) {
+                tiara_ir::disassemble(&bytes)
+                    .map_err(|e| (ErrorKind::BadProgram, format!("bad TIRA image: {e}")))?
+            } else {
+                let text = String::from_utf8(bytes)
+                    .map_err(|_| (ErrorKind::BadProgram, "file is neither TIRA nor UTF-8 asm".to_owned()))?;
+                tiara_ir::parse_program(&text)
+                    .map_err(|e| (ErrorKind::BadProgram, format!("bad asm: {e}")))?
+            };
+            Ok(StoredProgram::new(prog))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+    use tiara::{ClassifierConfig, TiaraConfig};
+    use tiara_synth::{generate, ProjectSpec, TypeCounts};
+
+    fn trained() -> (Tiara, tiara_synth::Binary) {
+        let bin = generate(&ProjectSpec {
+            name: "srv".into(),
+            index: 3,
+            seed: 41,
+            counts: TypeCounts { list: 3, vector: 4, map: 3, primitive: 8, ..Default::default() },
+        });
+        let mut tiara = Tiara::new(TiaraConfig::new().with_classifier(ClassifierConfig {
+            epochs: 3,
+            batch_size: 8,
+            ..Default::default()
+        }));
+        tiara.train(&[("srv", &bin.program, &bin.debug)]).unwrap();
+        (tiara, bin)
+    }
+
+    fn upload_line(bin: &tiara_synth::Binary, handle: &str) -> String {
+        let hex = crate::protocol::hex_encode(&tiara_ir::assemble(&bin.program));
+        format!("{{\"op\":\"upload\",\"handle\":\"{handle}\",\"program_hex\":\"{hex}\"}}")
+    }
+
+    fn addr_strings(bin: &tiara_synth::Binary, n: usize) -> Vec<String> {
+        bin.debug
+            .vars
+            .iter()
+            .take(n)
+            .map(|v| match v.addr {
+                VarAddr::Global(m) => format!("0x{:x}", m.0),
+                VarAddr::Stack { func, offset } => {
+                    let name = &bin.program.funcs()[func.0 as usize].name;
+                    if offset < 0 {
+                        format!("func:{name}:-0x{:x}", -offset)
+                    } else {
+                        format!("func:{name}:0x{offset:x}")
+                    }
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn untrained_models_cannot_serve() {
+        let t = Tiara::new(TiaraConfig::new());
+        assert!(matches!(Server::new(t, ServeConfig::default()), Err(Error::Untrained)));
+    }
+
+    #[test]
+    fn upload_predict_and_handle_reuse() {
+        let (tiara, bin) = trained();
+        let server = Server::new(tiara, ServeConfig::default()).unwrap();
+
+        let up = server.handle_line(&upload_line(&bin, "p"));
+        let up = parse(&up).unwrap();
+        assert_eq!(up.get("ok").and_then(Value::as_bool), Some(true));
+        assert!(up.get("insts").and_then(Value::as_i64).unwrap() > 0);
+
+        let addrs = addr_strings(&bin, 4);
+        let req = format!(
+            "{{\"op\":\"predict\",\"program\":\"p\",\"addrs\":[{}],\"id\":1}}",
+            addrs.iter().map(|a| format!("\"{a}\"")).collect::<Vec<_>>().join(",")
+        );
+        let resp = server.handle_line(&req);
+        let v = parse(&resp).unwrap();
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
+        assert_eq!(v.get("complete").and_then(Value::as_bool), Some(true));
+        assert_eq!(v.get("answered").and_then(Value::as_i64), Some(4));
+        let results = v.get("results").and_then(Value::as_array).unwrap();
+        assert_eq!(results.len(), 4);
+        for (r, a) in results.iter().zip(&addrs) {
+            assert_eq!(r.get("addr").and_then(Value::as_str), Some(a.as_str()));
+            assert!(r.get("class").and_then(Value::as_str).unwrap().starts_with("std::")
+                || r.get("class").and_then(Value::as_str).is_some());
+            let probs = r.get("probs").and_then(Value::as_array).unwrap();
+            let sum: f64 = probs.iter().map(|p| p.as_f64().unwrap()).sum();
+            assert!((sum - 1.0).abs() < 1e-4, "probs sum to 1, got {sum}");
+        }
+
+        // Same request twice: byte-identical (cache hits must not leak into
+        // the response).
+        let again = server.handle_line(&req);
+        assert_eq!(resp, again, "repeat responses must be byte-identical");
+
+        server.drain();
+    }
+
+    #[test]
+    fn unknown_handles_bad_addresses_and_oversized_batches_are_structured_errors() {
+        let (tiara, bin) = trained();
+        let server =
+            Server::new(tiara, ServeConfig { max_batch: 2, ..ServeConfig::default() }).unwrap();
+        server.handle_line(&upload_line(&bin, "p"));
+
+        let resp = server.handle_line("{\"op\":\"predict\",\"program\":\"ghost\",\"addrs\":[]}");
+        let v = parse(&resp).unwrap();
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false));
+        assert_eq!(
+            v.get("error").unwrap().get("kind").and_then(Value::as_str),
+            Some("unknown_program")
+        );
+
+        let resp = server
+            .handle_line("{\"op\":\"predict\",\"program\":\"p\",\"addrs\":[\"func:nope:8\"]}");
+        let v = parse(&resp).unwrap();
+        assert_eq!(v.get("error").unwrap().get("kind").and_then(Value::as_str), Some("bad_address"));
+
+        let resp = server.handle_line(
+            "{\"op\":\"predict\",\"program\":\"p\",\"addrs\":[\"0x1\",\"0x2\",\"0x3\"]}",
+        );
+        let v = parse(&resp).unwrap();
+        assert_eq!(
+            v.get("error").unwrap().get("kind").and_then(Value::as_str),
+            Some("oversized_batch")
+        );
+        assert_eq!(v.get("max_batch").and_then(Value::as_i64), Some(2));
+        server.drain();
+    }
+
+    #[test]
+    fn expired_deadline_yields_a_deterministic_partial_response() {
+        let (tiara, bin) = trained();
+        let server = Server::new(tiara, ServeConfig::default()).unwrap();
+        server.handle_line(&upload_line(&bin, "p"));
+        let addrs = addr_strings(&bin, 3);
+        let req = format!(
+            "{{\"op\":\"predict\",\"program\":\"p\",\"addrs\":[{}],\"deadline_ms\":0}}",
+            addrs.iter().map(|a| format!("\"{a}\"")).collect::<Vec<_>>().join(",")
+        );
+        let resp = server.handle_line(&req);
+        let v = parse(&resp).unwrap();
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
+        assert_eq!(v.get("complete").and_then(Value::as_bool), Some(false));
+        assert_eq!(v.get("deadline_exceeded").and_then(Value::as_bool), Some(true));
+        assert_eq!(v.get("answered").and_then(Value::as_i64), Some(0));
+        assert_eq!(v.get("requested").and_then(Value::as_i64), Some(3));
+        assert_eq!(resp, server.handle_line(&req), "expired responses are deterministic too");
+        server.drain();
+    }
+
+    #[test]
+    fn shutdown_drains_and_refuses_new_work() {
+        let (tiara, bin) = trained();
+        let server = Server::new(tiara, ServeConfig::default()).unwrap();
+        server.handle_line(&upload_line(&bin, "p"));
+        let resp = server.handle_line("{\"op\":\"shutdown\",\"id\":\"bye\"}");
+        let v = parse(&resp).unwrap();
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
+        assert!(server.is_stopped());
+        let resp = server.handle_line("{\"op\":\"predict\",\"program\":\"p\",\"addrs\":[\"0x1\"]}");
+        let v = parse(&resp).unwrap();
+        assert_eq!(
+            v.get("error").unwrap().get("kind").and_then(Value::as_str),
+            Some("shutting_down")
+        );
+        // Shutdown is idempotent.
+        let resp = server.handle_line("{\"op\":\"shutdown\"}");
+        assert_eq!(parse(&resp).unwrap().get("ok").and_then(Value::as_bool), Some(true));
+    }
+
+    #[test]
+    fn stats_reports_counters_and_queue_shape() {
+        let (tiara, bin) = trained();
+        let server = Server::new(tiara, ServeConfig::default()).unwrap();
+        server.handle_line(&upload_line(&bin, "p"));
+        let addrs = addr_strings(&bin, 2);
+        let req = format!(
+            "{{\"op\":\"predict\",\"program\":\"p\",\"addrs\":[{}]}}",
+            addrs.iter().map(|a| format!("\"{a}\"")).collect::<Vec<_>>().join(",")
+        );
+        server.handle_line(&req);
+        server.handle_line("definitely not json");
+        let v = parse(&server.handle_line("{\"op\":\"stats\"}")).unwrap();
+        assert_eq!(v.get("predict_requests").and_then(Value::as_i64), Some(1));
+        assert_eq!(v.get("addrs_total").and_then(Value::as_i64), Some(2));
+        assert_eq!(v.get("uploads").and_then(Value::as_i64), Some(1));
+        assert_eq!(v.get("programs").and_then(Value::as_i64), Some(1));
+        let rejected = v.get("rejected").unwrap();
+        assert_eq!(rejected.get("malformed").and_then(Value::as_i64), Some(1));
+        let queue = v.get("queue").unwrap();
+        assert_eq!(queue.get("capacity").and_then(Value::as_i64), Some(32));
+        assert_eq!(queue.get("depth").and_then(Value::as_i64), Some(0));
+        let lat = v.get("latency_us").unwrap();
+        assert_eq!(lat.get("count").and_then(Value::as_i64), Some(1));
+        assert!(v.get("slice_stats").unwrap().get("steps").and_then(Value::as_i64).is_some());
+        server.drain();
+    }
+
+    #[test]
+    fn stdio_loop_answers_and_drains_on_eof() {
+        let (tiara, bin) = trained();
+        let server = Server::new(tiara, ServeConfig::default()).unwrap();
+        let input = format!("{}\n{}\n", upload_line(&bin, "p"), "{\"op\":\"ping\",\"id\":9}");
+        let mut out = Vec::new();
+        server.run_stdio(std::io::BufReader::new(input.as_bytes()), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[1], "{\"ok\":true,\"op\":\"ping\",\"id\":9}");
+        assert!(server.is_stopped(), "EOF drains the server");
+    }
+}

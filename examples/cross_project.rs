@@ -24,19 +24,20 @@ fn main() -> Result<(), tiara::Error> {
     for bin in suite.iter().filter(|b| train_names.contains(&b.name.as_str())) {
         train.merge(parallel_dataset(bin, &slicer, 4));
     }
-    let mut tiara = Tiara::new(TiaraConfig {
-        classifier: ClassifierConfig { epochs: 60, ..Default::default() },
-        ..Default::default()
-    });
+    let mut tiara = Tiara::new(
+        TiaraConfig::new()
+            .with_classifier(ClassifierConfig { epochs: 60, ..Default::default() }),
+    );
     tiara.train_on(&train)?;
 
-    // Predict every labeled variable of the unseen project and score against
-    // its (held-back) ground truth.
+    // Predict every labeled variable of the unseen project in one parallel
+    // batch and score against its (held-back) ground truth.
     let target = suite.iter().find(|b| b.name == target_name).expect("project exists");
+    let (addrs, truths): (Vec<_>, Vec<_>) = target.labeled_vars().unzip();
+    let predictions = tiara.predict_batch(&target.program, &addrs)?;
     let mut eval = Evaluation::new();
-    for (addr, truth) in target.labeled_vars() {
-        let predicted = tiara.predict(&target.program, addr);
-        eval.record(truth, predicted);
+    for (p, truth) in predictions.iter().zip(truths) {
+        eval.record(truth, p.class);
     }
 
     println!("\nresults on `{target_name}` ({} variables):", eval.total());

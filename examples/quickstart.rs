@@ -27,10 +27,10 @@ fn main() -> Result<(), tiara::Error> {
 
     // 2. Train TIARA: TSLICE every labeled variable, encode the slices as
     //    42-dimensional feature graphs, fit the 2×64 GCN.
-    let mut tiara = Tiara::new(TiaraConfig {
-        classifier: ClassifierConfig { epochs: 60, ..Default::default() },
-        ..Default::default()
-    });
+    let mut tiara = Tiara::new(
+        TiaraConfig::new()
+            .with_classifier(ClassifierConfig { epochs: 60, ..Default::default() }),
+    );
     let stats = tiara.train(&[("quickstart", &bin.program, &bin.debug)])?;
     let last = stats.last().expect("at least one epoch");
     println!(
@@ -40,14 +40,15 @@ fn main() -> Result<(), tiara::Error> {
         last.accuracy
     );
 
-    // 3. Query types for raw variable addresses.
-    let mut correct = 0usize;
-    for (addr, truth) in bin.labeled_vars() {
-        let predicted = tiara.predict(&bin.program, addr);
-        if predicted == truth {
-            correct += 1;
-        }
-    }
+    // 3. Query types for raw variable addresses — one batch, answered in
+    //    parallel and in input order.
+    let (addrs, truths): (Vec<_>, Vec<_>) = bin.labeled_vars().unzip();
+    let predictions = tiara.predict_batch(&bin.program, &addrs)?;
+    let correct = predictions
+        .iter()
+        .zip(&truths)
+        .filter(|(p, &truth)| p.class == truth)
+        .count();
     println!(
         "recovered {}/{} variable types correctly on the training binary",
         correct,
@@ -59,10 +60,10 @@ fn main() -> Result<(), tiara::Error> {
         .labeled_vars()
         .find(|(_, c)| *c == ContainerClass::Map)
         .expect("a map variable exists");
-    let probs = tiara.predict_proba(&bin.program, addr);
+    let prediction = tiara.try_predict(&bin.program, addr)?;
     println!("\nvariable at {addr} (ground truth: {truth}):");
     for class in ContainerClass::ALL {
-        println!("  {:<12} {:.3}", class.to_string(), probs[class.index()]);
+        println!("  {:<12} {:.3}", class.to_string(), prediction.probs[class.index()]);
     }
     Ok(())
 }

@@ -38,10 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for bin in &known {
         train.merge(Dataset::from_binary(&bin.program, &bin.debug, &bin.name, &slicer));
     }
-    let mut tiara = Tiara::new(TiaraConfig {
-        classifier: ClassifierConfig { epochs: 60, ..Default::default() },
-        ..Default::default()
-    });
+    let mut tiara = Tiara::new(
+        TiaraConfig::new()
+            .with_classifier(ClassifierConfig { epochs: 60, ..Default::default() }),
+    );
     tiara.train_on(&train)?;
     println!("trained on {} slices from {} known projects", train.len(), known.len());
 
@@ -66,16 +66,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let candidates = discover_variables(&program, &DiscoveryConfig::default());
     println!("discovered {} candidate variable addresses", candidates.len());
 
-    // 4. Predict a type for every candidate.
+    // 4. Predict a type for every candidate — one batch over the whole
+    //    discovery set.
+    let predictions = tiara.predict_batch(&program, &candidates)?;
     let mut per_class = [0usize; ContainerClass::COUNT];
     let mut scored = 0usize;
     let mut correct = 0usize;
-    for &addr in &candidates {
-        let predicted = tiara.predict(&program, addr);
-        per_class[predicted.index()] += 1;
-        if let Some(truth) = target.debug.class_of(addr) {
+    for p in &predictions {
+        per_class[p.class.index()] += 1;
+        if let Some(truth) = target.debug.class_of(p.addr) {
             scored += 1;
-            if truth == predicted {
+            if truth == p.class {
                 correct += 1;
             }
         }

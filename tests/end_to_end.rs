@@ -115,21 +115,18 @@ fn motivating_example_variables_are_recovered() {
     for bin in &bins {
         train.merge(Dataset::from_binary(&bin.program, &bin.debug, &bin.name, &slicer));
     }
-    let mut tiara = Tiara::new(TiaraConfig {
-        classifier: quick_cfg(60),
-        ..Default::default()
-    });
+    let mut tiara = Tiara::new(TiaraConfig::new().with_classifier(quick_cfg(60)));
     tiara.train_on(&train).unwrap();
 
     let ex = tiara_synth::motivating_example();
     assert_eq!(
-        tiara.predict(&ex.binary.program, ex.l),
+        tiara.try_predict(&ex.binary.program, ex.l).unwrap().class,
         ContainerClass::List,
         "l at {} must be recovered as std::list",
         ex.l
     );
     assert_eq!(
-        tiara.predict(&ex.binary.program, ex.v),
+        tiara.try_predict(&ex.binary.program, ex.v).unwrap().class,
         ContainerClass::Vector,
         "v at {} must be recovered as std::vector",
         ex.v

@@ -1,0 +1,359 @@
+//! Protocol-level tests for `tiara-serve`: golden wire fixtures, rejection
+//! paths, deadlines, graceful shutdown, determinism, and a concurrent TCP
+//! load test — everything a client integrating against the daemon relies on.
+//!
+//! These run against the public crate surface only (what `tiara serve`
+//! itself uses), so they double as a compatibility contract for the wire
+//! protocol documented in the README.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+use tiara::{ClassifierConfig, Slicer, Tiara, TiaraConfig};
+use tiara_serve::json::{parse, Value};
+use tiara_serve::protocol::hex_encode;
+use tiara_serve::{ServeConfig, Server};
+use tiara_synth::{generate, Binary, ProjectSpec, TypeCounts};
+
+fn serve_binary() -> Binary {
+    generate(&ProjectSpec {
+        name: "served".into(),
+        index: 2,
+        seed: 77,
+        counts: TypeCounts { list: 4, vector: 6, map: 5, primitive: 12, ..Default::default() },
+    })
+}
+
+fn trained_on(bin: &Binary) -> Tiara {
+    let mut tiara = Tiara::new(TiaraConfig::new().with_classifier(ClassifierConfig {
+        epochs: 4,
+        batch_size: 8,
+        ..Default::default()
+    }));
+    tiara.train(&[(bin.name.as_str(), &bin.program, &bin.debug)]).unwrap();
+    tiara
+}
+
+fn upload_line(bin: &Binary, handle: &str) -> String {
+    let hex = hex_encode(&tiara_ir::assemble(&bin.program));
+    format!("{{\"op\":\"upload\",\"handle\":\"{handle}\",\"program_hex\":\"{hex}\"}}")
+}
+
+/// Addresses rendered in the wire notation `tiara_ir::parse_var_addr`
+/// accepts, exactly as a client would type them.
+fn wire_addrs(bin: &Binary, n: usize) -> Vec<String> {
+    bin.debug
+        .vars
+        .iter()
+        .take(n)
+        .map(|v| match v.addr {
+            tiara_ir::VarAddr::Global(m) => format!("0x{:x}", m.0),
+            tiara_ir::VarAddr::Stack { func, offset } => {
+                let name = &bin.program.funcs()[func.0 as usize].name;
+                if offset < 0 {
+                    format!("func:{name}:-0x{:x}", -offset)
+                } else {
+                    format!("func:{name}:0x{offset:x}")
+                }
+            }
+        })
+        .collect()
+}
+
+fn predict_req(handle: &str, addrs: &[String], extra: &str) -> String {
+    format!(
+        "{{\"op\":\"predict\",\"program\":\"{handle}\",\"addrs\":[{}]{extra}}}",
+        addrs.iter().map(|a| format!("\"{a}\"")).collect::<Vec<_>>().join(",")
+    )
+}
+
+fn error_kind(v: &Value) -> Option<String> {
+    Some(v.get("error")?.get("kind")?.as_str()?.to_owned())
+}
+
+#[test]
+fn golden_wire_fixtures_are_stable() {
+    let bin = serve_binary();
+    let server = Server::new(
+        trained_on(&bin),
+        ServeConfig { max_batch: 2, ..ServeConfig::default() },
+    )
+    .unwrap();
+
+    // Exact request → response byte strings: any change here is a wire
+    // protocol break and must be deliberate.
+    let fixtures: &[(&str, &str)] = &[
+        ("{\"op\":\"ping\",\"id\":7}", "{\"ok\":true,\"op\":\"ping\",\"id\":7}"),
+        ("{\"op\":\"ping\"}", "{\"ok\":true,\"op\":\"ping\"}"),
+        (
+            "{\"op\":\"frobnicate\",\"id\":3}",
+            "{\"ok\":false,\"error\":{\"kind\":\"unknown_op\",\"message\":\"unknown op `frobnicate`\"},\"id\":3}",
+        ),
+        (
+            "{\"op\":\"predict\",\"program\":\"ghost\",\"addrs\":[],\"id\":4}",
+            "{\"ok\":false,\"error\":{\"kind\":\"unknown_program\",\"message\":\"no uploaded program `ghost`\"},\"id\":4}",
+        ),
+        (
+            "{\"op\":\"predict\",\"program\":\"ghost\",\"addrs\":[\"0x1\",\"0x2\",\"0x3\"],\"id\":5}",
+            "{\"ok\":false,\"error\":{\"kind\":\"oversized_batch\",\"message\":\"batch of 3 exceeds max_batch 2\"},\"max_batch\":2,\"id\":5}",
+        ),
+    ];
+    for (req, want) in fixtures {
+        assert_eq!(&server.handle_line(req), want, "fixture drifted for request {req}");
+    }
+    server.drain();
+}
+
+#[test]
+fn malformed_and_oversized_requests_get_structured_rejections() {
+    let bin = serve_binary();
+    let server = Server::new(
+        trained_on(&bin),
+        ServeConfig { max_batch: 3, ..ServeConfig::default() },
+    )
+    .unwrap();
+    server.handle_line(&upload_line(&bin, "p"));
+
+    for bad in [
+        "{",                                     // truncated JSON
+        "definitely not json",                   // not JSON at all
+        "[1,2,3]",                               // not an object
+        "{\"no_op\":true}",                      // missing op
+        "{\"op\":\"predict\",\"addrs\":[\"0x1\"]}", // predict without a program
+        "{\"op\":\"predict\",\"program\":\"p\",\"addrs\":[1]}", // non-string addr
+        "{\"op\":\"predict\",\"program\":\"p\",\"addrs\":[\"0x1\"],\"deadline_ms\":-5}",
+    ] {
+        let v = parse(&server.handle_line(bad)).expect("error replies are valid JSON");
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false), "for {bad}");
+        assert_eq!(error_kind(&v).as_deref(), Some("malformed"), "for {bad}");
+    }
+
+    let addrs = wire_addrs(&bin, 4);
+    let v = parse(&server.handle_line(&predict_req("p", &addrs, ""))).unwrap();
+    assert_eq!(error_kind(&v).as_deref(), Some("oversized_batch"));
+    assert_eq!(v.get("max_batch").and_then(Value::as_i64), Some(3));
+
+    // The server survives all of that and still answers real work.
+    let v = parse(&server.handle_line(&predict_req("p", &addrs[..2], ""))).unwrap();
+    assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
+    server.drain();
+}
+
+#[test]
+fn expired_deadlines_return_partial_results() {
+    let bin = serve_binary();
+    let server = Server::new(trained_on(&bin), ServeConfig::default()).unwrap();
+    server.handle_line(&upload_line(&bin, "p"));
+    let addrs = wire_addrs(&bin, 5);
+
+    let req = predict_req("p", &addrs, ",\"deadline_ms\":0");
+    let resp = server.handle_line(&req);
+    let v = parse(&resp).unwrap();
+    assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
+    assert_eq!(v.get("complete").and_then(Value::as_bool), Some(false));
+    assert_eq!(v.get("deadline_exceeded").and_then(Value::as_bool), Some(true));
+    assert_eq!(v.get("answered").and_then(Value::as_i64), Some(0));
+    assert_eq!(v.get("requested").and_then(Value::as_i64), Some(5));
+
+    // A generous deadline answers everything.
+    let v = parse(&server.handle_line(&predict_req("p", &addrs, ",\"deadline_ms\":60000")))
+        .unwrap();
+    assert_eq!(v.get("complete").and_then(Value::as_bool), Some(true));
+    assert_eq!(v.get("answered").and_then(Value::as_i64), Some(5));
+    server.drain();
+}
+
+#[test]
+fn repeated_requests_are_byte_identical() {
+    let bin = serve_binary();
+    let server = Server::new(trained_on(&bin), ServeConfig::default()).unwrap();
+    server.handle_line(&upload_line(&bin, "p"));
+    let addrs = wire_addrs(&bin, 6);
+    let req = predict_req("p", &addrs, ",\"id\":\"rep\"");
+
+    // First answer computes slices; repeats hit the process-wide cache. The
+    // bytes on the wire must not reveal the difference.
+    let first = server.handle_line(&req);
+    for _ in 0..3 {
+        assert_eq!(server.handle_line(&req), first, "response bytes drifted across repeats");
+    }
+    server.drain();
+}
+
+#[test]
+fn graceful_shutdown_drains_in_flight_work() {
+    let bin = serve_binary();
+    let server =
+        Arc::new(Server::new(trained_on(&bin), ServeConfig::default()).unwrap());
+    server.handle_line(&upload_line(&bin, "p"));
+    let addrs = wire_addrs(&bin, 4);
+
+    // A burst of clients races a shutdown. Every request must get a real
+    // reply: either its predictions (accepted before the drain began) or a
+    // structured `shutting_down` rejection — never a hang, never a dropped
+    // channel (`internal`).
+    let clients: Vec<_> = (0..6)
+        .map(|i| {
+            let server = Arc::clone(&server);
+            let req = predict_req("p", &addrs, &format!(",\"id\":{i}"));
+            std::thread::spawn(move || server.handle_line(&req))
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(2));
+    let bye = server.handle_line("{\"op\":\"shutdown\"}");
+    assert_eq!(parse(&bye).unwrap().get("ok").and_then(Value::as_bool), Some(true));
+    assert!(server.is_stopped());
+
+    for c in clients {
+        let v = parse(&c.join().unwrap()).unwrap();
+        match v.get("ok").and_then(Value::as_bool) {
+            Some(true) => {
+                assert_eq!(v.get("complete").and_then(Value::as_bool), Some(true));
+            }
+            Some(false) => {
+                assert_eq!(error_kind(&v).as_deref(), Some("shutting_down"));
+            }
+            None => panic!("reply without ok field"),
+        }
+    }
+
+    // After the drain, new work is refused but the refusal is structured.
+    let v = parse(&server.handle_line(&predict_req("p", &addrs, ""))).unwrap();
+    assert_eq!(error_kind(&v).as_deref(), Some("shutting_down"));
+}
+
+#[test]
+fn eight_concurrent_tcp_clients_are_sustained() {
+    let bin = serve_binary();
+    let server =
+        Arc::new(Server::new(trained_on(&bin), ServeConfig::default()).unwrap());
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let acceptor = {
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || server.run_tcp(listener))
+    };
+
+    // One client uploads; everyone predicts against the shared handle.
+    {
+        let mut c = Client::connect(addr);
+        let v = parse(&c.roundtrip(&upload_line(&bin, "p"))).unwrap();
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
+    }
+
+    let addrs = wire_addrs(&bin, 3);
+    const CLIENTS: usize = 8;
+    const REQS: usize = 4;
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|ci| {
+            let addrs = addrs.clone();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr);
+                let mut answered = 0usize;
+                for ri in 0..REQS {
+                    let req =
+                        predict_req("p", &addrs, &format!(",\"id\":\"c{ci}r{ri}\""));
+                    // Bounded queue: `queue_full` is a legal answer under
+                    // load; honor the retry hint like a real client.
+                    loop {
+                        let v = parse(&c.roundtrip(&req)).unwrap();
+                        if v.get("ok").and_then(Value::as_bool) == Some(true) {
+                            assert_eq!(
+                                v.get("answered").and_then(Value::as_i64),
+                                Some(addrs.len() as i64)
+                            );
+                            answered += 1;
+                            break;
+                        }
+                        assert_eq!(error_kind(&v).as_deref(), Some("queue_full"));
+                        let wait =
+                            v.get("retry_after_ms").and_then(Value::as_i64).unwrap_or(10);
+                        std::thread::sleep(Duration::from_millis(wait as u64));
+                    }
+                }
+                answered
+            })
+        })
+        .collect();
+    let total: usize = workers.into_iter().map(|w| w.join().unwrap()).sum();
+    assert_eq!(total, CLIENTS * REQS, "every client request must eventually succeed");
+
+    // The queue stayed bounded the whole time, and the server kept score.
+    let mut c = Client::connect(addr);
+    let v = parse(&c.roundtrip("{\"op\":\"stats\"}")).unwrap();
+    let queue = v.get("queue").unwrap();
+    let depth_cap = queue.get("capacity").and_then(Value::as_i64).unwrap();
+    let max_depth = queue.get("max_depth").and_then(Value::as_i64).unwrap();
+    assert!(max_depth <= depth_cap, "queue depth {max_depth} exceeded capacity {depth_cap}");
+    assert!(
+        v.get("predict_requests").and_then(Value::as_i64).unwrap()
+            >= (CLIENTS * REQS) as i64
+    );
+    let lat = v.get("latency_us").unwrap();
+    assert!(lat.get("p99").and_then(Value::as_i64).unwrap() >= lat.get("p50").and_then(Value::as_i64).unwrap());
+
+    let bye = c.roundtrip("{\"op\":\"shutdown\"}");
+    assert_eq!(parse(&bye).unwrap().get("ok").and_then(Value::as_bool), Some(true));
+    acceptor.join().unwrap().unwrap();
+    assert!(server.is_stopped());
+}
+
+#[test]
+fn served_answers_match_the_library_api() {
+    // The batch path (what serving uses) and the one-address path must agree
+    // exactly over a whole suite — the daemon adds transport, not drift.
+    let bins = tiara_eval::build_suite(19, 0.08);
+    let mut tiara = Tiara::new(
+        TiaraConfig::new()
+            .with_slicer(Slicer::default())
+            .with_classifier(ClassifierConfig { epochs: 4, ..Default::default() }),
+    );
+    let triples: Vec<_> =
+        bins.iter().map(|b| (b.name.as_str(), &b.program, &b.debug)).collect();
+    tiara.train(&triples).unwrap();
+
+    for bin in &bins {
+        let addrs: Vec<_> = bin.labeled_vars().map(|(a, _)| a).collect();
+        let batch = tiara.predict_batch(&bin.program, &addrs).unwrap();
+        assert_eq!(batch.len(), addrs.len());
+        for (addr, p) in addrs.iter().zip(&batch) {
+            let one = tiara.try_predict(&bin.program, *addr).unwrap();
+            assert_eq!(p.addr, one.addr);
+            assert_eq!(p.class, one.class, "class diverged at {addr} in {}", bin.name);
+            assert_eq!(p.probs, one.probs, "probabilities diverged at {addr}");
+            assert_eq!(p.slice_nodes, one.slice_nodes);
+            assert_eq!(p.slice_edges, one.slice_edges);
+        }
+    }
+}
+
+/// A minimal line-protocol TCP client.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        // The acceptor polls; give it a moment on slow CI.
+        for _ in 0..50 {
+            if let Ok(stream) = TcpStream::connect(addr) {
+                let reader = BufReader::new(stream.try_clone().unwrap());
+                return Client { reader, writer: stream };
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        panic!("could not connect to {addr}");
+    }
+
+    fn roundtrip(&mut self, line: &str) -> String {
+        self.writer.write_all(line.as_bytes()).unwrap();
+        self.writer.write_all(b"\n").unwrap();
+        self.writer.flush().unwrap();
+        let mut resp = String::new();
+        self.reader.read_line(&mut resp).unwrap();
+        assert!(resp.ends_with('\n'), "server closed mid-response");
+        resp.trim_end().to_owned()
+    }
+}
