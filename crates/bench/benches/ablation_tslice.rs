@@ -16,10 +16,8 @@ fn bench_ablation(c: &mut Criterion) {
         seed: 42,
         counts: TypeCounts { list: 4, vector: 10, map: 10, primitive: 40, ..Default::default() },
     });
-    let (addr, _) = bin
-        .labeled_vars()
-        .find(|(_, k)| *k == ContainerClass::Map)
-        .expect("map variable exists");
+    let (addr, _) =
+        bin.labeled_vars().find(|(_, k)| *k == ContainerClass::Map).expect("map variable exists");
 
     let mut group = c.benchmark_group("ablation/tslice_one_map_variable");
     for (name, cfg) in ablation_configs() {

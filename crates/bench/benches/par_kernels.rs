@@ -49,13 +49,9 @@ fn bench_spmm(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::from_parameter(threads), &exec, |bench, exec| {
             bench.iter(|| adj.spmm_with(&x, exec));
         });
-        g.bench_with_input(
-            BenchmarkId::new("t_spmm", threads),
-            &exec,
-            |bench, exec| {
-                bench.iter(|| adj.t_spmm_with(&x, exec));
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("t_spmm", threads), &exec, |bench, exec| {
+            bench.iter(|| adj.t_spmm_with(&x, exec));
+        });
     }
     g.finish();
 }

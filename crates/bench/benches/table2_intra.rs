@@ -16,13 +16,9 @@ fn bench_intra_experiment(c: &mut Criterion) {
     group.sample_size(10);
     for slicer in [Slicer::default(), Slicer::Sslice] {
         let suite = SlicedSuite::build(&bins, &slicer, 2);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(slicer.name()),
-            &suite,
-            |b, suite| {
-                b.iter(|| black_box(run_experiment(suite, spec, &cfg, 1)));
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(slicer.name()), &suite, |b, suite| {
+            b.iter(|| black_box(run_experiment(suite, spec, &cfg, 1)));
+        });
     }
     group.finish();
 }

@@ -18,10 +18,8 @@ fn bench_per_slice(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("table3/slice_one_variable");
     for class in ContainerClass::ALL {
-        let (addr, _) = bin
-            .labeled_vars()
-            .find(|(_, k)| *k == class)
-            .expect("variable of each class exists");
+        let (addr, _) =
+            bin.labeled_vars().find(|(_, k)| *k == class).expect("variable of each class exists");
         group.bench_with_input(BenchmarkId::new("TSLICE", class), &addr, |b, &addr| {
             b.iter(|| black_box(tslice(&bin.program, addr)))
         });

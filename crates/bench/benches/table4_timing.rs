@@ -21,13 +21,9 @@ fn bench_slicing_whole_binary(c: &mut Criterion) {
     let mut group = c.benchmark_group("table4/slice_binary");
     group.sample_size(10);
     for slicer in [Slicer::default(), Slicer::Sslice] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(slicer.name()),
-            &slicer,
-            |b, slicer| {
-                b.iter(|| black_box(Dataset::from_binary(&bin.program, &bin.debug, "t", slicer)));
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(slicer.name()), &slicer, |b, slicer| {
+            b.iter(|| black_box(Dataset::from_binary(&bin.program, &bin.debug, "t", slicer)));
+        });
     }
     group.finish();
 }

@@ -14,7 +14,15 @@ fn suite() -> (Binary, Vec<VarAddr>) {
         name: "hot".into(),
         index: 0,
         seed: 42,
-        counts: TypeCounts { list: 3, vector: 8, map: 8, deque: 2, set: 2, primitive: 30 },
+        counts: TypeCounts {
+            list: 3,
+            vector: 8,
+            map: 8,
+            deque: 2,
+            set: 2,
+            primitive: 30,
+            ..Default::default()
+        },
     });
     let addrs: Vec<VarAddr> = bin.labeled_vars().map(|(a, _)| a).collect();
     (bin, addrs)

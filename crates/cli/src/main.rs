@@ -8,7 +8,7 @@
 //!               [--counts LIST,VEC,MAP,PRIM]
 //! tiara slice   --binary prog.tira --addr <ADDR> [--sslice] [--trace] [--dot] [--stats]
 //!               [--reference]
-//! tiara analyze --binary prog.tira [--func <NAME>] [--json]
+//! tiara analyze --binary prog.tira [--func <NAME>] [--interproc] [--json]
 //! tiara lint    --binary prog.tira [--addr <ADDR>] [--json]
 //! tiara train   --binary prog.tira --pdb labels.json --save model.json
 //!               [--epochs N] [--sslice]
@@ -51,7 +51,7 @@ fn usage() -> &'static str {
      tiara disasm  --binary prog.tira\n\
      tiara synth   --out prog.tira --pdb labels.json [--seed N] [--style K] [--counts L,V,M,P]\n\
      tiara slice   --binary prog.tira --addr ADDR [--sslice] [--trace] [--dot] [--stats] [--reference]\n\
-     tiara analyze --binary prog.tira [--func NAME] [--json]\n\
+     tiara analyze --binary prog.tira [--func NAME] [--interproc] [--json]\n\
      tiara lint    --binary prog.tira [--addr ADDR] [--json]\n\
      tiara train   --binary prog.tira --pdb labels.json --save model.json [--epochs N] [--sslice]\n\
      tiara predict --binary prog.tira --model model.json --addr ADDR\n\
@@ -122,7 +122,7 @@ fn run() -> Result<(), CliError> {
     while let Some(a) = args.next() {
         if let Some(name) = a.strip_prefix("--") {
             match name {
-                "sslice" | "trace" | "dot" | "json" | "stats" | "reference" => {
+                "sslice" | "trace" | "dot" | "json" | "stats" | "reference" | "interproc" => {
                     switches.push(name.to_owned())
                 }
                 _ => {
@@ -204,11 +204,8 @@ fn run() -> Result<(), CliError> {
                     print_slice(&prog, &s);
                 }
             } else {
-                let mut cfg = if has("trace") {
-                    TsliceConfig::with_trace()
-                } else {
-                    TsliceConfig::default()
-                };
+                let mut cfg =
+                    if has("trace") { TsliceConfig::with_trace() } else { TsliceConfig::default() };
                 cfg.reference_mode = has("reference");
                 let out = tslice_with(&prog, addr, &cfg);
                 if has("dot") {
@@ -235,11 +232,32 @@ fn run() -> Result<(), CliError> {
         }
         "analyze" => {
             let prog = load_binary(get("binary")?)?;
+            if has("interproc") {
+                if flags.contains_key("func") {
+                    return Err(CliError::Usage(
+                        "--func cannot be combined with --interproc (escape/mod-ref \
+                         summaries are computed bottom-up over the whole call graph)"
+                            .into(),
+                    ));
+                }
+                let sums = tiara_dataflow::summarize_program(&prog);
+                if has("json") {
+                    println!("{}", tiara_dataflow::render_interproc_json(&sums));
+                } else {
+                    print!("{}", tiara_dataflow::render_interproc_text(&sums));
+                }
+                return Ok(());
+            }
             let facts = match flags.get("func") {
                 Some(name) => {
                     let f = prog
                         .func_by_name(name)
-                        .ok_or(format!("no function named `{name}`"))?
+                        .ok_or_else(|| {
+                            CliError::Usage(format!(
+                                "no function named `{name}` (see `tiara disasm` for the \
+                                 function list)"
+                            ))
+                        })?
                         .id;
                     vec![tiara_dataflow::analyze_function(&prog, f)]
                 }
@@ -277,12 +295,9 @@ fn run() -> Result<(), CliError> {
             let epochs = flags.get("epochs").map(|s| s.parse().unwrap_or(60)).unwrap_or(60);
             // `--save` writes the whole system (slicer config + weights);
             // `--model` remains as an alias from the pre-bundle CLI.
-            let out_path = flags
-                .get("save")
-                .or_else(|| flags.get("model"))
-                .ok_or_else(|| {
-                    CliError::Usage(format!("missing required flag --save\n{}", usage()))
-                })?;
+            let out_path = flags.get("save").or_else(|| flags.get("model")).ok_or_else(|| {
+                CliError::Usage(format!("missing required flag --save\n{}", usage()))
+            })?;
             let ds = Dataset::from_binary(&prog, &pdb, "cli", &slicer);
             let mut clf = Classifier::new(&ClassifierConfig { epochs, ..Default::default() });
             let stats = clf.train_with_progress(&ds, |s| {
@@ -290,8 +305,7 @@ fn run() -> Result<(), CliError> {
                     eprintln!("epoch {:>4}: loss {:.4} acc {:.2}", s.epoch, s.loss, s.accuracy);
                 }
             })?;
-            let tiara =
-                Tiara::new(TiaraConfig::new().with_slicer(slicer)).with_classifier(clf);
+            let tiara = Tiara::new(TiaraConfig::new().with_slicer(slicer)).with_classifier(clf);
             tiara.save(&PathBuf::from(out_path))?;
             let last = stats.last().expect("at least one epoch");
             eprintln!(
@@ -316,7 +330,8 @@ fn run() -> Result<(), CliError> {
             let tiara = load_model(get("model")?)?;
             let mut config = ServeConfig::default();
             if let Some(w) = flags.get("workers") {
-                config.workers = w.parse().map_err(|e| CliError::Usage(format!("--workers: {e}")))?;
+                config.workers =
+                    w.parse().map_err(|e| CliError::Usage(format!("--workers: {e}")))?;
             }
             if let Some(q) = flags.get("queue") {
                 config.queue_capacity =
@@ -336,13 +351,17 @@ fn run() -> Result<(), CliError> {
                     let listener = std::net::TcpListener::bind(addr)
                         .map_err(|e| Error::Serve(format!("cannot listen on {addr}: {e}")))?;
                     let local = listener.local_addr().map_err(Error::from)?;
-                    eprintln!("tiara-serve listening on {local} (send {{\"op\":\"shutdown\"}} to stop)");
+                    eprintln!(
+                        "tiara-serve listening on {local} (send {{\"op\":\"shutdown\"}} to stop)"
+                    );
                     server
                         .run_tcp(listener)
                         .map_err(|e| Error::Serve(format!("serve loop failed: {e}")))?;
                 }
                 None => {
-                    eprintln!("tiara-serve on stdin/stdout (EOF or {{\"op\":\"shutdown\"}} to stop)");
+                    eprintln!(
+                        "tiara-serve on stdin/stdout (EOF or {{\"op\":\"shutdown\"}} to stop)"
+                    );
                     let stdin = std::io::stdin();
                     let stdout = std::io::stdout();
                     server

@@ -1,0 +1,80 @@
+//! End-to-end tests of the `tiara` binary itself: exit codes follow the
+//! documented contract and `analyze --interproc` emits the summary report.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn tiara(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_tiara"))
+        .args(args)
+        .output()
+        .expect("spawning the tiara binary")
+}
+
+/// Generates a small escape-bearing binary on disk and returns its path.
+fn synth_binary(dir: &std::path::Path) -> PathBuf {
+    let bin = tiara_synth::generate(&tiara_synth::ProjectSpec {
+        name: "cli".into(),
+        index: 2,
+        seed: 9,
+        counts: tiara_synth::TypeCounts {
+            vector: 2,
+            map: 1,
+            primitive: 4,
+            escape: 2,
+            ..Default::default()
+        },
+    });
+    let path = dir.join("prog.tira");
+    std::fs::write(&path, tiara_ir::assemble(&bin.program)).unwrap();
+    path
+}
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tiara-cli-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn unknown_func_is_a_usage_error_with_exit_2() {
+    let dir = tempdir("func");
+    let bin = synth_binary(&dir);
+    let out = tiara(&["analyze", "--binary", bin.to_str().unwrap(), "--func", "no_such_fn"]);
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("no function named `no_such_fn`"), "stderr: {err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn analyze_interproc_reports_escape_helpers() {
+    let dir = tempdir("interproc");
+    let bin = synth_binary(&dir);
+    let out = tiara(&["analyze", "--binary", bin.to_str().unwrap(), "--interproc"]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("fn esc_helper_000"), "missing helper summary:\n{text}");
+    assert!(text.contains("unknown-callee"), "indirect call not surfaced:\n{text}");
+
+    let json = tiara(&["analyze", "--binary", bin.to_str().unwrap(), "--interproc", "--json"]);
+    assert_eq!(json.status.code(), Some(0));
+    let body = String::from_utf8_lossy(&json.stdout);
+    assert!(body.contains("\"interproc\""), "json shape:\n{body}");
+    assert!(body.contains("\"has_unknown_callee\":true"), "json shape:\n{body}");
+
+    let both =
+        tiara(&["analyze", "--binary", bin.to_str().unwrap(), "--interproc", "--func", "main"]);
+    assert_eq!(both.status.code(), Some(2), "--func + --interproc must be a usage error");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn usage_errors_and_missing_files_keep_their_codes() {
+    let none = tiara(&[]);
+    assert_eq!(none.status.code(), Some(2));
+    let unknown = tiara(&["frobnicate"]);
+    assert_eq!(unknown.status.code(), Some(2));
+    let missing = tiara(&["disasm", "--binary", "/nonexistent/prog.tira"]);
+    assert_eq!(missing.status.code(), Some(3), "I/O failures exit 3");
+}

@@ -291,7 +291,11 @@ mod tests {
         let (train, test) = ds.split(0.8, 3);
         let mut clf = Classifier::new(&quick_config(40));
         let stats = clf.train(&train).unwrap();
-        assert!(stats.last().unwrap().accuracy > 0.7, "train acc {}", stats.last().unwrap().accuracy);
+        assert!(
+            stats.last().unwrap().accuracy > 0.7,
+            "train acc {}",
+            stats.last().unwrap().accuracy
+        );
         let eval = clf.evaluate(&test);
         assert!(eval.accuracy() > 0.5, "test acc {}", eval.accuracy());
     }

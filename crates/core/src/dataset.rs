@@ -157,10 +157,7 @@ impl Dataset {
     ///
     /// Panics if `train_fraction` is outside `(0, 1)`.
     pub fn split(&self, train_fraction: f64, seed: u64) -> (Dataset, Dataset) {
-        assert!(
-            train_fraction > 0.0 && train_fraction < 1.0,
-            "train fraction must be in (0, 1)"
-        );
+        assert!(train_fraction > 0.0 && train_fraction < 1.0, "train fraction must be in (0, 1)");
         let mut rng = StdRng::seed_from_u64(seed);
         let mut idx: Vec<usize> = (0..self.samples.len()).collect();
         idx.shuffle(&mut rng);

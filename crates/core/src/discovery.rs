@@ -120,10 +120,7 @@ impl DiscoveryScore {
 }
 
 /// Scores a discovery result against a ground-truth table.
-pub fn score_discovery(
-    discovered: &[VarAddr],
-    truth: &tiara_ir::DebugInfo,
-) -> DiscoveryScore {
+pub fn score_discovery(discovered: &[VarAddr], truth: &tiara_ir::DebugInfo) -> DiscoveryScore {
     let mut found = 0usize;
     let mut missed = 0usize;
     for rec in truth.iter() {
@@ -133,10 +130,7 @@ pub fn score_discovery(
             missed += 1;
         }
     }
-    let spurious = discovered
-        .iter()
-        .filter(|d| truth.iter().all(|rec| rec.addr != **d))
-        .count();
+    let spurious = discovered.iter().filter(|d| truth.iter().all(|rec| rec.addr != **d)).count();
     DiscoveryScore { found, missed, spurious }
 }
 

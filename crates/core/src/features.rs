@@ -86,10 +86,7 @@ mod tests {
         // I0: mov esi, [74404h]
         b.inst(
             Opcode::Mov,
-            InstKind::Mov {
-                dst: Operand::reg(Reg::Esi),
-                src: Operand::mem_abs(0x74404u64, 0),
-            },
+            InstKind::Mov { dst: Operand::reg(Reg::Esi), src: Operand::mem_abs(0x74404u64, 0) },
         );
         // I1: call wrapper (reaches malloc)
         b.call_named("wrapper");

@@ -19,7 +19,9 @@ impl Evaluation {
     }
 
     /// Builds an evaluation from `(truth, prediction)` pairs.
-    pub fn from_pairs(pairs: impl IntoIterator<Item = (ContainerClass, ContainerClass)>) -> Evaluation {
+    pub fn from_pairs(
+        pairs: impl IntoIterator<Item = (ContainerClass, ContainerClass)>,
+    ) -> Evaluation {
         let mut e = Evaluation::new();
         for (truth, pred) in pairs {
             e.record(truth, pred);

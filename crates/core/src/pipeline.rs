@@ -267,16 +267,15 @@ impl Tiara {
         Ok(exec.par_map(addrs, |_, &addr| {
             let spills_before = tiara_slice::thread_spills();
             let mut stats = SliceStats::default();
-            let slice = slice_cache::get_or_slice(program_fp, slicer_fp, addr, || {
-                match &self.slicer {
+            let slice =
+                slice_cache::get_or_slice(program_fp, slicer_fp, addr, || match &self.slicer {
                     Slicer::Tslice(cfg) => {
                         let out = tiara_slice::tslice_with(prog, addr, cfg);
                         stats = out.stats;
                         out.slice
                     }
                     Slicer::Sslice => tiara_slice::sslice(prog, addr),
-                }
-            });
+                });
             stats.set_spills = tiara_slice::thread_spills() - spills_before;
             let graph = slice_to_graph(prog, &slice, 0);
             Prediction {
@@ -296,7 +295,10 @@ impl Tiara {
     ///
     /// Panics if the classifier has not been trained — use
     /// [`Tiara::try_predict`] instead.
-    #[deprecated(since = "0.1.0", note = "use `try_predict`, which reports untrained models as `Error::Untrained` instead of panicking")]
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `try_predict`, which reports untrained models as `Error::Untrained` instead of panicking"
+    )]
     pub fn predict(&self, prog: &Program, addr: VarAddr) -> ContainerClass {
         self.try_predict(prog, addr).expect("prediction failed").class
     }
@@ -307,7 +309,10 @@ impl Tiara {
     ///
     /// Panics if the classifier has not been trained — use
     /// [`Tiara::try_predict`] instead.
-    #[deprecated(since = "0.1.0", note = "use `try_predict`, whose `Prediction::probs` carries the distribution")]
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `try_predict`, whose `Prediction::probs` carries the distribution"
+    )]
     pub fn predict_proba(&self, prog: &Program, addr: VarAddr) -> Vec<f32> {
         self.try_predict(prog, addr).expect("prediction failed").probs
     }
@@ -379,8 +384,11 @@ mod tests {
     #[test]
     fn end_to_end_train_and_predict() {
         let bin = e2e_binary();
-        let cfg = TiaraConfig::new()
-            .with_classifier(ClassifierConfig { epochs: 30, batch_size: 8, ..Default::default() });
+        let cfg = TiaraConfig::new().with_classifier(ClassifierConfig {
+            epochs: 30,
+            batch_size: 8,
+            ..Default::default()
+        });
         let mut tiara = Tiara::new(cfg);
         tiara.train(&[("e2e", &bin.program, &bin.debug)]).unwrap();
 
@@ -423,20 +431,20 @@ mod tests {
     #[test]
     fn batch_matches_per_address_and_is_thread_invariant() {
         let bin = e2e_binary();
-        let cfg = TiaraConfig::new()
-            .with_classifier(ClassifierConfig { epochs: 5, batch_size: 8, ..Default::default() });
+        let cfg = TiaraConfig::new().with_classifier(ClassifierConfig {
+            epochs: 5,
+            batch_size: 8,
+            ..Default::default()
+        });
         let mut tiara = Tiara::new(cfg);
         tiara.train(&[("e2e", &bin.program, &bin.debug)]).unwrap();
 
         let addrs: Vec<_> = bin.labeled_vars().map(|(a, _)| a).collect();
-        let seq = tiara
-            .predict_batch_with(&bin.program, &addrs, &Executor::sequential())
-            .unwrap();
+        let seq = tiara.predict_batch_with(&bin.program, &addrs, &Executor::sequential()).unwrap();
         assert_eq!(seq.len(), addrs.len());
         for threads in [2, 4, 7] {
-            let par = tiara
-                .predict_batch_with(&bin.program, &addrs, &Executor::new(threads))
-                .unwrap();
+            let par =
+                tiara.predict_batch_with(&bin.program, &addrs, &Executor::new(threads)).unwrap();
             for (a, b) in seq.iter().zip(&par) {
                 assert_eq!(a.addr, b.addr, "batch output must follow input order");
                 assert_eq!(a.class, b.class);
@@ -460,8 +468,11 @@ mod tests {
     #[test]
     fn batch_rejects_frame_slots_of_unknown_functions() {
         let bin = e2e_binary();
-        let cfg = TiaraConfig::new()
-            .with_classifier(ClassifierConfig { epochs: 1, batch_size: 8, ..Default::default() });
+        let cfg = TiaraConfig::new().with_classifier(ClassifierConfig {
+            epochs: 1,
+            batch_size: 8,
+            ..Default::default()
+        });
         let mut tiara = Tiara::new(cfg);
         tiara.train(&[("e2e", &bin.program, &bin.debug)]).unwrap();
         let bogus = VarAddr::Stack { func: tiara_ir::FuncId(u32::MAX), offset: -8 };
@@ -475,8 +486,11 @@ mod tests {
     #[allow(deprecated)]
     fn deprecated_wrappers_still_answer() {
         let bin = e2e_binary();
-        let cfg = TiaraConfig::new()
-            .with_classifier(ClassifierConfig { epochs: 2, batch_size: 8, ..Default::default() });
+        let cfg = TiaraConfig::new().with_classifier(ClassifierConfig {
+            epochs: 2,
+            batch_size: 8,
+            ..Default::default()
+        });
         let mut tiara = Tiara::new(cfg);
         tiara.train(&[("e2e", &bin.program, &bin.debug)]).unwrap();
         let addr = bin.debug.vars[0].addr;
@@ -490,8 +504,11 @@ mod tests {
     #[test]
     fn saved_and_loaded_system_predicts_bitwise_identically() {
         let bin = e2e_binary();
-        let cfg = TiaraConfig::new()
-            .with_classifier(ClassifierConfig { epochs: 3, batch_size: 8, ..Default::default() });
+        let cfg = TiaraConfig::new().with_classifier(ClassifierConfig {
+            epochs: 3,
+            batch_size: 8,
+            ..Default::default()
+        });
         let mut tiara = Tiara::new(cfg);
         tiara.train(&[("e2e", &bin.program, &bin.debug)]).unwrap();
 

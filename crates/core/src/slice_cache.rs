@@ -102,10 +102,7 @@ where
     // is harmless — slicing is pure — and the last write wins.
     let slice = Arc::new(compute());
     c.misses.fetch_add(1, Ordering::Relaxed);
-    shard
-        .lock()
-        .unwrap_or_else(PoisonError::into_inner)
-        .insert(key, Arc::clone(&slice));
+    shard.lock().unwrap_or_else(PoisonError::into_inner).insert(key, Arc::clone(&slice));
     slice
 }
 
@@ -173,7 +170,8 @@ mod tests {
 
         let addr = bin.debug.vars[0].addr;
         let before = stats();
-        let a = get_or_slice(prog_fp, tslice_fp, addr, || Slicer::default().run(&bin.program, addr));
+        let a =
+            get_or_slice(prog_fp, tslice_fp, addr, || Slicer::default().run(&bin.program, addr));
         let b = get_or_slice(prog_fp, tslice_fp, addr, || panic!("must be cached"));
         assert_eq!(a.num_nodes(), b.num_nodes());
         let after = stats();

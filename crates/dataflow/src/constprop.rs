@@ -21,8 +21,8 @@
 //! * values wrap as two's-complement `i64`s, matching [`BinOp::apply`].
 
 use crate::solver::{Direction, Lattice, Transfer};
-use tiara_ir::{BinOp, InstKind, Opcode, Operand, Program, Reg};
 use tiara_ir::InstId;
+use tiara_ir::{BinOp, InstKind, Opcode, Operand, Program, Reg};
 
 /// The constant lattice for one register: ⊥ (no value seen yet), one known
 /// constant, or ⊤ (more than one possible value).
@@ -144,7 +144,9 @@ impl Lattice for ConstFact {
 /// Evaluates a decided conditional branch: `Some(taken)` when the predicate
 /// is provable from `flags`, `None` otherwise.
 pub fn decide_branch(opcode: Opcode, flags: FlagState) -> Option<bool> {
-    let FlagState::Known { lhs, rhs, test, arith } = flags else { return None };
+    let FlagState::Known { lhs, rhs, test, arith } = flags else {
+        return None;
+    };
     let (a, b) = (lhs.as_const()?, rhs.as_const()?);
     let (a, b) = if test { (a & b, 0) } else { (a, b) };
     let zero_sign_only = arith;
@@ -215,12 +217,8 @@ impl Transfer for Constprop {
                 if let Some(r) = dst.as_reg() {
                     fact.regs[r.index()] = result;
                 }
-                fact.flags = FlagState::Known {
-                    lhs: result,
-                    rhs: CVal::Const(0),
-                    test: false,
-                    arith: true,
-                };
+                fact.flags =
+                    FlagState::Known { lhs: result, rhs: CVal::Const(0), test: false, arith: true };
             }
             InstKind::Use { oprs } => match inst.opcode {
                 Opcode::Cmp | Opcode::Test if oprs.len() == 2 => {
@@ -254,7 +252,9 @@ impl Transfer for Constprop {
         if !inst.opcode.is_conditional_jump() {
             return true;
         }
-        let Some(taken) = decide_branch(inst.opcode, fact.flags) else { return true };
+        let Some(taken) = decide_branch(inst.opcode, fact.flags) else {
+            return true;
+        };
         let fall_through = to.0 == from.0 + 1;
         // A decided branch flows only along its decided edge. (If the jump
         // target *is* the fall-through the two edges coincide.)
@@ -277,10 +277,7 @@ pub struct ConstBranch {
 
 /// Runs constant propagation over `func` and extracts the decided branches
 /// plus the set of unreached instructions.
-pub fn const_conditions(
-    prog: &Program,
-    func: tiara_ir::FuncId,
-) -> (Vec<ConstBranch>, Vec<InstId>) {
+pub fn const_conditions(prog: &Program, func: tiara_ir::FuncId) -> (Vec<ConstBranch>, Vec<InstId>) {
     let sol = crate::solver::solve(prog, func, &Constprop);
     let mut branches = Vec::new();
     let mut unreached = Vec::new();
@@ -315,7 +312,10 @@ mod tests {
         let mut b = ProgramBuilder::new();
         b.begin_func("f");
         b.inst(Opcode::Mov, InstKind::Mov { dst: rr(Reg::Eax), src: Operand::imm(6) });
-        b.inst(Opcode::Add, InstKind::Op { op: BinOp::Add, dst: rr(Reg::Eax), src: Operand::imm(7) });
+        b.inst(
+            Opcode::Add,
+            InstKind::Op { op: BinOp::Add, dst: rr(Reg::Eax), src: Operand::imm(7) },
+        );
         b.ret();
         b.end_func();
         let p = b.finish().unwrap();
@@ -375,7 +375,10 @@ mod tests {
         let top = b.new_label();
         b.inst(Opcode::Mov, InstKind::Mov { dst: rr(Reg::Ecx), src: Operand::imm(3) });
         b.bind_label(top);
-        b.inst(Opcode::Dec, InstKind::Op { op: BinOp::Sub, dst: rr(Reg::Ecx), src: Operand::imm(1) });
+        b.inst(
+            Opcode::Dec,
+            InstKind::Op { op: BinOp::Sub, dst: rr(Reg::Ecx), src: Operand::imm(1) },
+        );
         b.jump(Opcode::Jne, top);
         b.ret();
         b.end_func();
@@ -387,12 +390,8 @@ mod tests {
 
     #[test]
     fn carry_predicates_are_not_decided_from_arithmetic_flags() {
-        let flags = FlagState::Known {
-            lhs: CVal::Const(5),
-            rhs: CVal::Const(0),
-            test: false,
-            arith: true,
-        };
+        let flags =
+            FlagState::Known { lhs: CVal::Const(5), rhs: CVal::Const(0), test: false, arith: true };
         assert_eq!(decide_branch(Opcode::Jne, flags), Some(true));
         assert_eq!(decide_branch(Opcode::Ja, flags), None);
     }

@@ -1,0 +1,643 @@
+//! Inter-procedural escape and mod-ref summaries, computed bottom-up over
+//! the call graph.
+//!
+//! Every prior analysis in this crate stops at the function boundary: the
+//! slicer treats opaque callees as all-clobber horizons, and the verifier's
+//! passes reason about one frame at a time. This module builds the missing
+//! whole-program layer — one [`FuncSummary`] per function capturing
+//!
+//! * **mod-ref facts** — which registers the function (transitively) may
+//!   clobber or reads at entry, which of its first four stack arguments it
+//!   touches, whether it reads or writes memory reachable through pointer
+//!   arguments, and which globals it may load or store;
+//! * **escape facts** — which of its frame slots have their address taken
+//!   and which of those *escape* (flow into a call argument, into memory,
+//!   or into `eax` and thus possibly to the caller);
+//! * **frame discipline** — whether the function provably restores `ebp`
+//!   (`push ebp; mov ebp, esp` prologue, `pop ebp` before every `ret`).
+//!
+//! Summaries are combined over [`CallGraph::sccs`], whose components come
+//! out in reverse topological order — exactly a valid bottom-up summary
+//! order: every callee outside the current component is already final.
+//! Inside a recursive component the members are iterated to a joint
+//! fixpoint; after [`WIDEN_ROUNDS`] rounds the global-effect sets are
+//! widened to [`GlobalsEffect::Top`], which caps the chain length of the
+//! only unbounded-height part of the lattice (everything else is a fixed
+//! number of bits), so termination is unconditional.
+//!
+//! External callees get builtin summaries (cdecl: clobber `eax`/`ecx`/
+//! `edx`, allocate/free per [`tiara_ir::ExternKind`]); an indirect call
+//! makes the summary maximally conservative ([`FuncSummary::
+//! has_unknown_callee`], arg-memory read+write, globals `Top`).
+//!
+//! The computation is single-threaded over index-ordered vectors and
+//! `BTree` collections, so equal programs produce byte-equal summaries
+//! regardless of how many worker threads the surrounding harness uses
+//! (asserted by the root determinism suite).
+
+use crate::liveness::Liveness;
+use crate::pointsto::{points_to, AbsLoc};
+use crate::regs::{reg_effects, RegSet};
+use crate::solver::solve;
+use std::collections::BTreeSet;
+use tiara_ir::{CallGraph, CallTarget, FuncId, InstKind, MemAddr, Operand, Program, Reg};
+
+/// Fixpoint rounds a recursive component may take before the global-effect
+/// sets are widened to [`GlobalsEffect::Top`].
+pub const WIDEN_ROUNDS: usize = 4;
+
+/// How many leading stack arguments (`[ebp+8]`, `[ebp+12]`, …) the
+/// per-argument read/write masks track.
+pub const TRACKED_ARGS: usize = 4;
+
+/// The set of globals a function may read or write — either a concrete
+/// address set or the widened top element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GlobalsEffect {
+    /// May touch exactly these absolute addresses.
+    Set(BTreeSet<MemAddr>),
+    /// May touch any global (widened, or an unknown callee intervened).
+    Top,
+}
+
+impl GlobalsEffect {
+    /// The bottom element: touches no global.
+    pub fn bottom() -> GlobalsEffect {
+        GlobalsEffect::Set(BTreeSet::new())
+    }
+
+    /// `true` for the widened top element.
+    pub fn is_top(&self) -> bool {
+        matches!(self, GlobalsEffect::Top)
+    }
+
+    /// May the effect touch address `m`?
+    pub fn may_touch(&self, m: MemAddr) -> bool {
+        match self {
+            GlobalsEffect::Set(s) => s.contains(&m),
+            GlobalsEffect::Top => true,
+        }
+    }
+
+    /// Adds one address.
+    fn insert(&mut self, m: MemAddr) {
+        if let GlobalsEffect::Set(s) = self {
+            s.insert(m);
+        }
+    }
+
+    /// Joins `other` into `self` (set union, `Top` absorbing).
+    pub fn join(&mut self, other: &GlobalsEffect) {
+        match (&mut *self, other) {
+            (GlobalsEffect::Top, _) => {}
+            (_, GlobalsEffect::Top) => *self = GlobalsEffect::Top,
+            (GlobalsEffect::Set(a), GlobalsEffect::Set(b)) => {
+                a.extend(b.iter().copied());
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for GlobalsEffect {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GlobalsEffect::Top => write!(f, "⊤"),
+            GlobalsEffect::Set(s) => write!(f, "{} global(s)", s.len()),
+        }
+    }
+}
+
+/// The inter-procedural summary of one function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuncSummary {
+    /// The summarized function.
+    pub func: FuncId,
+    /// Its diagnostic name.
+    pub name: String,
+    /// Registers the function (or any transitive callee) may overwrite,
+    /// excluding `esp` and — when [`preserves_frame`](Self::preserves_frame)
+    /// holds — `ebp`.
+    pub clobbered: RegSet,
+    /// Registers live at the function's entry (caller state consumed
+    /// through registers rather than the stack).
+    pub reads: RegSet,
+    /// Bit `k` set: the function reads its `k`-th stack argument
+    /// (`[ebp + 8 + 4k]`) directly. Only the first [`TRACKED_ARGS`] are
+    /// tracked.
+    pub arg_reads: u8,
+    /// Bit `k` set: the function writes its `k`-th stack argument slot.
+    pub arg_writes: u8,
+    /// May read memory reachable through a pointer (any load through a
+    /// non-frame register base, here or in a callee).
+    pub reads_arg_mem: bool,
+    /// May write memory reachable through a pointer.
+    pub writes_arg_mem: bool,
+    /// Globals the function may load.
+    pub globals_read: GlobalsEffect,
+    /// Globals the function may store.
+    pub globals_written: GlobalsEffect,
+    /// `malloc` is reachable from the function.
+    pub allocates: bool,
+    /// `free` is reachable from the function.
+    pub frees: bool,
+    /// The function provably saves and restores `ebp` (standard prologue,
+    /// `pop ebp` before every `ret`).
+    pub preserves_frame: bool,
+    /// The function (or a transitive callee) makes an indirect call, so the
+    /// summary had to assume the worst about memory effects.
+    pub has_unknown_callee: bool,
+    /// Frame slots (`ebp`-relative offsets) whose address is taken
+    /// somewhere in the function.
+    pub address_taken: BTreeSet<i64>,
+    /// The subset of [`address_taken`](Self::address_taken) that escapes:
+    /// flows into a call argument, into memory, or into `eax`.
+    pub escaped: BTreeSet<i64>,
+    /// Frame slots the function reads through a direct `[ebp+c]` operand.
+    pub slot_reads: BTreeSet<i64>,
+    /// Frame slots the function writes through a direct `[ebp+c]` operand.
+    pub slot_writes: BTreeSet<i64>,
+}
+
+impl FuncSummary {
+    /// The bottom summary (no effects) for a function.
+    fn bottom(func: FuncId, name: String) -> FuncSummary {
+        FuncSummary {
+            func,
+            name,
+            clobbered: RegSet::EMPTY,
+            reads: RegSet::EMPTY,
+            arg_reads: 0,
+            arg_writes: 0,
+            reads_arg_mem: false,
+            writes_arg_mem: false,
+            globals_read: GlobalsEffect::bottom(),
+            globals_written: GlobalsEffect::bottom(),
+            allocates: false,
+            frees: false,
+            preserves_frame: false,
+            has_unknown_callee: false,
+            address_taken: BTreeSet::new(),
+            escaped: BTreeSet::new(),
+            slot_reads: BTreeSet::new(),
+            slot_writes: BTreeSet::new(),
+        }
+    }
+
+    /// `true` when the summarized function reads or writes its `k`-th
+    /// tracked stack argument.
+    pub fn uses_arg(&self, k: usize) -> bool {
+        k < TRACKED_ARGS && (self.arg_reads | self.arg_writes) & (1 << k) != 0
+    }
+}
+
+/// The summaries of every function of a program, indexed by [`FuncId`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgramSummaries {
+    summaries: Vec<FuncSummary>,
+    widened: Vec<FuncId>,
+}
+
+impl ProgramSummaries {
+    /// The summary of `f`.
+    pub fn of(&self, f: FuncId) -> &FuncSummary {
+        &self.summaries[f.index()]
+    }
+
+    /// All summaries in function-id order.
+    pub fn all(&self) -> &[FuncSummary] {
+        &self.summaries
+    }
+
+    /// Functions whose global-effect sets were widened to `Top` because
+    /// their recursive component did not stabilize in [`WIDEN_ROUNDS`].
+    pub fn widened(&self) -> &[FuncId] {
+        &self.widened
+    }
+}
+
+/// The callee-independent facts of one function plus its direct callees.
+struct Body {
+    base: FuncSummary,
+    direct_callees: Vec<FuncId>,
+}
+
+/// Bit index of the stack-argument slot at `[ebp + off]`, if tracked.
+fn arg_bit(off: i64) -> Option<u8> {
+    if off >= 8 && (off - 8) % 4 == 0 && ((off - 8) / 4) < TRACKED_ARGS as i64 {
+        Some(1 << ((off - 8) / 4))
+    } else {
+        None
+    }
+}
+
+/// Does the function follow the `push ebp; mov ebp, esp` … `pop ebp; ret`
+/// frame discipline?
+fn frame_discipline(prog: &Program, func: FuncId) -> bool {
+    let f = prog.func(func);
+    let mut ids = f.inst_ids();
+    let (Some(a), Some(b)) = (ids.next(), ids.next()) else {
+        return false;
+    };
+    let saves = matches!(
+        prog.inst(a).kind,
+        InstKind::Push { src } if src.as_reg() == Some(Reg::Ebp)
+    );
+    let sets = matches!(
+        &prog.inst(b).kind,
+        InstKind::Mov { dst, src }
+            if dst.as_reg() == Some(Reg::Ebp) && src.as_reg() == Some(Reg::Esp)
+    );
+    if !saves || !sets {
+        return false;
+    }
+    for id in f.inst_ids() {
+        if matches!(prog.inst(id).kind, InstKind::Ret) {
+            if id == a {
+                return false;
+            }
+            let prev = tiara_ir::InstId(id.0 - 1);
+            let restores = matches!(
+                prog.inst(prev).kind,
+                InstKind::Pop { dst } if dst.as_reg() == Some(Reg::Ebp)
+            );
+            if !restores {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Records the memory effects of reading through operand `o`.
+fn note_read(s: &mut FuncSummary, o: Operand) {
+    let Operand::Deref(loc) = o else { return };
+    match (loc.base_reg(), loc.base_mem()) {
+        (Some(Reg::Ebp), _) => {
+            s.slot_reads.insert(loc.offset);
+            if let Some(bit) = arg_bit(loc.offset) {
+                s.arg_reads |= bit;
+            }
+        }
+        (Some(Reg::Esp), _) => {}
+        (Some(_), _) => s.reads_arg_mem = true,
+        (None, Some(m)) => s.globals_read.insert(m),
+        (None, None) => {}
+    }
+}
+
+/// Records the memory effects of writing through operand `o`.
+fn note_write(s: &mut FuncSummary, o: Operand) {
+    let Operand::Deref(loc) = o else { return };
+    match (loc.base_reg(), loc.base_mem()) {
+        (Some(Reg::Ebp), _) => {
+            s.slot_writes.insert(loc.offset);
+            if let Some(bit) = arg_bit(loc.offset) {
+                s.arg_writes |= bit;
+            }
+        }
+        (Some(Reg::Esp), _) => {}
+        (Some(_), _) => s.writes_arg_mem = true,
+        (None, Some(m)) => s.globals_written.insert(m),
+        (None, None) => {}
+    }
+}
+
+/// Computes the callee-independent summary of one function.
+fn body_facts(prog: &Program, func: FuncId) -> Body {
+    let f = prog.func(func);
+    let mut s = FuncSummary::bottom(func, f.name.clone());
+    let mut callees: Vec<FuncId> = Vec::new();
+    s.preserves_frame = frame_discipline(prog, func);
+
+    for id in f.inst_ids() {
+        let kind = &prog.inst(id).kind;
+        s.clobbered = s.clobbered.union(reg_effects(kind).writes);
+        match kind {
+            InstKind::Mov { dst, src } => {
+                note_read(&mut s, *src);
+                if dst.as_reg().is_none() {
+                    note_write(&mut s, *dst);
+                }
+            }
+            InstKind::Op { dst, src, .. } => {
+                note_read(&mut s, *src);
+                if dst.as_reg().is_none() {
+                    // Read-modify-write through memory.
+                    note_read(&mut s, *dst);
+                    note_write(&mut s, *dst);
+                }
+            }
+            InstKind::Use { oprs } => {
+                for o in oprs {
+                    note_read(&mut s, *o);
+                }
+            }
+            InstKind::Push { src } => note_read(&mut s, *src),
+            InstKind::Pop { dst } => {
+                if dst.as_reg().is_none() {
+                    note_write(&mut s, *dst);
+                }
+            }
+            InstKind::Call { target } => match target {
+                CallTarget::Direct(g) => callees.push(*g),
+                CallTarget::External(k) => {
+                    // Builtin cdecl summary: caller-saved clobbers (already
+                    // in `reg_effects`), allocator behavior from the kind,
+                    // no argument-memory or global traffic.
+                    s.allocates |= k.allocates();
+                    s.frees |= k.frees();
+                }
+                CallTarget::Indirect(_) => {
+                    s.has_unknown_callee = true;
+                    s.reads_arg_mem = true;
+                    s.writes_arg_mem = true;
+                    s.globals_read = GlobalsEffect::Top;
+                    s.globals_written = GlobalsEffect::Top;
+                }
+            },
+            InstKind::Ret => {}
+        }
+    }
+    s.clobbered = s.clobbered.without(Reg::Esp);
+    if s.preserves_frame {
+        s.clobbered = s.clobbered.without(Reg::Ebp);
+    }
+    s.allocates |= prog.func_allocates(func);
+    s.frees |= prog.func_frees(func);
+
+    let live = solve(prog, func, &Liveness::new());
+    s.reads = *live.before(f.start);
+
+    // Escape facts from the flow-insensitive points-to fixpoint: a frame
+    // slot's address can only exist as a value after a `lea`/`offset`
+    // takes it, and it escapes once it reaches a call argument, any memory
+    // cell, or the return register.
+    let pts = points_to(prog, func);
+    let mut note = |l: &AbsLoc, escapes: bool| {
+        if let AbsLoc::Stack(off) = l {
+            s.address_taken.insert(*off);
+            if escapes {
+                s.escaped.insert(*off);
+            }
+        }
+    };
+    for r in Reg::ALL {
+        for l in pts.reg(r) {
+            note(l, r == Reg::Eax);
+        }
+    }
+    for l in pts.arg_cell() {
+        note(l, true);
+    }
+    for (_, contents) in pts.pointer_cells() {
+        for l in contents {
+            note(l, true);
+        }
+    }
+
+    callees.sort_unstable_by_key(|g| g.0);
+    callees.dedup();
+    Body { base: s, direct_callees: callees }
+}
+
+/// Joins the current summaries of `body`'s direct callees into its base.
+fn integrate(body: &Body, summaries: &[FuncSummary]) -> FuncSummary {
+    let mut s = body.base.clone();
+    for &g in &body.direct_callees {
+        let cs = &summaries[g.index()];
+        s.clobbered = s.clobbered.union(cs.clobbered);
+        s.reads_arg_mem |= cs.reads_arg_mem;
+        s.writes_arg_mem |= cs.writes_arg_mem;
+        s.globals_read.join(&cs.globals_read);
+        s.globals_written.join(&cs.globals_written);
+        s.allocates |= cs.allocates;
+        s.frees |= cs.frees;
+        s.has_unknown_callee |= cs.has_unknown_callee;
+    }
+    // A callee may smash `ebp` mid-body, but our own epilogue restores the
+    // value saved before any call ran — frame discipline survives.
+    s.clobbered = s.clobbered.without(Reg::Esp);
+    if s.preserves_frame {
+        s.clobbered = s.clobbered.without(Reg::Ebp);
+    }
+    s
+}
+
+/// Computes the summary of every function, bottom-up over the call-graph
+/// SCCs with recursive-cycle widening.
+pub fn summarize_program(prog: &Program) -> ProgramSummaries {
+    let n = prog.funcs().len();
+    let graph = CallGraph::build(prog);
+    let bodies: Vec<Body> = (0..n as u32).map(|i| body_facts(prog, FuncId(i))).collect();
+    let mut summaries: Vec<FuncSummary> = bodies.iter().map(|b| b.base.clone()).collect();
+    let mut widened: Vec<FuncId> = Vec::new();
+
+    for comp in graph.sccs() {
+        let mut rounds = 0usize;
+        loop {
+            let mut changed = false;
+            for &f in &comp {
+                let next = integrate(&bodies[f.index()], &summaries);
+                if next != summaries[f.index()] {
+                    summaries[f.index()] = next;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+            rounds += 1;
+            if rounds >= WIDEN_ROUNDS {
+                // Widen the unbounded part of the lattice: force globals
+                // to Top for every member, then rerun — the remaining
+                // domains are fixed-width bit sets, so the loop now
+                // terminates within a bounded number of rounds.
+                for &f in &comp {
+                    let s = &mut summaries[f.index()];
+                    if !s.globals_read.is_top() || !s.globals_written.is_top() {
+                        widened.push(f);
+                    }
+                    s.globals_read = GlobalsEffect::Top;
+                    s.globals_written = GlobalsEffect::Top;
+                }
+                loop {
+                    let mut still = false;
+                    for &f in &comp {
+                        let mut next = integrate(&bodies[f.index()], &summaries);
+                        next.globals_read = GlobalsEffect::Top;
+                        next.globals_written = GlobalsEffect::Top;
+                        if next != summaries[f.index()] {
+                            summaries[f.index()] = next;
+                            still = true;
+                        }
+                    }
+                    if !still {
+                        break;
+                    }
+                }
+                break;
+            }
+        }
+    }
+    widened.sort_unstable_by_key(|f| f.0);
+    widened.dedup();
+    ProgramSummaries { summaries, widened }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiara_ir::{ExternKind, Opcode, ProgramBuilder};
+
+    fn prologue(b: &mut ProgramBuilder) {
+        b.inst(Opcode::Push, InstKind::Push { src: Operand::reg(Reg::Ebp) });
+        b.inst(
+            Opcode::Mov,
+            InstKind::Mov { dst: Operand::reg(Reg::Ebp), src: Operand::reg(Reg::Esp) },
+        );
+    }
+
+    fn epilogue(b: &mut ProgramBuilder) {
+        b.inst(Opcode::Pop, InstKind::Pop { dst: Operand::reg(Reg::Ebp) });
+        b.ret();
+    }
+
+    /// main: takes &local, passes it to helper; helper writes through it.
+    fn escape_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        b.begin_func("main");
+        prologue(&mut b);
+        b.inst(
+            Opcode::Lea,
+            InstKind::Mov {
+                dst: Operand::reg(Reg::Esi),
+                src: Operand::Loc(tiara_ir::Loc::with_offset(Reg::Ebp, -8)),
+            },
+        );
+        b.inst(Opcode::Push, InstKind::Push { src: Operand::reg(Reg::Esi) });
+        b.call_named("helper");
+        b.inst(
+            Opcode::Add,
+            InstKind::Op {
+                op: tiara_ir::BinOp::Add,
+                dst: Operand::reg(Reg::Esp),
+                src: Operand::imm(4),
+            },
+        );
+        epilogue(&mut b);
+        b.end_func();
+        b.begin_func("helper");
+        prologue(&mut b);
+        b.inst(
+            Opcode::Mov,
+            InstKind::Mov { dst: Operand::reg(Reg::Ecx), src: Operand::mem_reg(Reg::Ebp, 8) },
+        );
+        b.inst(
+            Opcode::Mov,
+            InstKind::Mov { dst: Operand::mem_reg(Reg::Ecx, 0), src: Operand::imm(7) },
+        );
+        epilogue(&mut b);
+        b.end_func();
+        b.set_entry("main");
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn escaped_slot_and_argument_masks() {
+        let p = escape_program();
+        let s = summarize_program(&p);
+        let main = s.of(p.func_by_name("main").unwrap().id);
+        assert!(main.address_taken.contains(&-8));
+        assert!(main.escaped.contains(&-8), "pushed address escapes");
+        assert!(main.preserves_frame);
+
+        let helper = s.of(p.func_by_name("helper").unwrap().id);
+        assert_eq!(helper.arg_reads & 1, 1, "helper reads arg 0");
+        assert!(helper.writes_arg_mem, "helper stores through the pointer");
+        assert!(helper.uses_arg(0));
+        assert!(!helper.uses_arg(1));
+        // The caller inherits the callee's arg-memory write.
+        assert!(main.writes_arg_mem);
+    }
+
+    #[test]
+    fn clobbers_propagate_to_callers_but_frames_survive() {
+        let p = escape_program();
+        let s = summarize_program(&p);
+        let helper = s.of(p.func_by_name("helper").unwrap().id);
+        assert!(helper.clobbered.contains(Reg::Ecx));
+        assert!(!helper.clobbered.contains(Reg::Ebp), "frame preserved");
+        assert!(!helper.clobbered.contains(Reg::Esp));
+        let main = s.of(p.func_by_name("main").unwrap().id);
+        assert!(main.clobbered.contains(Reg::Ecx), "inherited from helper");
+        assert!(main.clobbered.contains(Reg::Esi), "its own lea");
+    }
+
+    #[test]
+    fn extern_and_indirect_calls_use_builtin_summaries() {
+        let mut b = ProgramBuilder::new();
+        b.begin_func("alloc_it");
+        prologue(&mut b);
+        b.call_extern(ExternKind::Malloc);
+        epilogue(&mut b);
+        b.end_func();
+        b.begin_func("mystery");
+        prologue(&mut b);
+        b.call_indirect(Operand::mem_abs(0x5000u64, 0));
+        epilogue(&mut b);
+        b.end_func();
+        let p = b.finish().unwrap();
+        let s = summarize_program(&p);
+        let a = s.of(p.func_by_name("alloc_it").unwrap().id);
+        assert!(a.allocates && !a.frees);
+        assert!(!a.has_unknown_callee, "externs have known behavior");
+        assert!(a.clobbered.contains(Reg::Eax));
+        let m = s.of(p.func_by_name("mystery").unwrap().id);
+        assert!(m.has_unknown_callee);
+        assert!(m.globals_written.is_top());
+        assert!(m.reads_arg_mem && m.writes_arg_mem);
+    }
+
+    #[test]
+    fn recursive_component_reaches_a_joint_fixpoint() {
+        // even <-> odd mutual recursion: each one's clobbers flow into the
+        // other; the globals each touches merge across the cycle.
+        let mut b = ProgramBuilder::new();
+        b.begin_func("even");
+        prologue(&mut b);
+        b.inst(
+            Opcode::Mov,
+            InstKind::Mov { dst: Operand::mem_abs(0x100u64, 0), src: Operand::reg(Reg::Eax) },
+        );
+        b.call_named("odd");
+        epilogue(&mut b);
+        b.end_func();
+        b.begin_func("odd");
+        prologue(&mut b);
+        b.inst(
+            Opcode::Mov,
+            InstKind::Mov { dst: Operand::reg(Reg::Edi), src: Operand::mem_abs(0x200u64, 0) },
+        );
+        b.call_named("even");
+        epilogue(&mut b);
+        b.end_func();
+        let p = b.finish().unwrap();
+        let s = summarize_program(&p);
+        let even = s.of(p.func_by_name("even").unwrap().id);
+        let odd = s.of(p.func_by_name("odd").unwrap().id);
+        assert!(even.clobbered.contains(Reg::Edi), "odd's clobber flows in");
+        assert!(odd.globals_written.may_touch(MemAddr(0x100)));
+        assert!(even.globals_read.may_touch(MemAddr(0x200)));
+        assert!(!even.globals_read.is_top(), "small cycles need no widening");
+        assert!(s.widened().is_empty());
+    }
+
+    #[test]
+    fn summaries_are_deterministic() {
+        let p = escape_program();
+        let a = summarize_program(&p);
+        let b = summarize_program(&p);
+        assert_eq!(a, b);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+}

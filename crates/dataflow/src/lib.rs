@@ -12,10 +12,13 @@
 //! * [`pointsto`] — flow-insensitive may-point-to and aliasing —
 //!
 //! plus a per-function summarizer ([`summary`]) that backs the
-//! `tiara analyze` subcommand. Consumers: the verifier's dead-store /
-//! unreachable-code / uninitialized-read / constant-condition passes, the
-//! slicer's kill-rule oracle, and the synthesizer's debug self-check that
-//! injected noise is provably dead.
+//! `tiara analyze` subcommand and a bottom-up inter-procedural escape /
+//! mod-ref summary analysis ([`escape`]) computed over the call graph's
+//! SCCs with recursive-cycle widening. Consumers: the verifier's
+//! dead-store / unreachable-code / uninitialized-read / constant-condition
+//! passes and its four inter-procedural lints, the slicer's kill-rule
+//! oracle and its summary-driven call transfer, and the synthesizer's
+//! debug self-check that injected noise is provably dead.
 //!
 //! The solver is deterministic by construction — all state is kept in
 //! index-ordered vectors and the worklist drains in block order — so equal
@@ -26,6 +29,7 @@
 
 pub mod cfg;
 pub mod constprop;
+pub mod escape;
 pub mod liveness;
 pub mod pointsto;
 pub mod reaching;
@@ -35,9 +39,13 @@ pub mod summary;
 
 pub use cfg::{Block, BlockCfg, BlockId};
 pub use constprop::{const_conditions, CVal, ConstBranch, ConstFact, Constprop, FlagState};
+pub use escape::{summarize_program, FuncSummary, GlobalsEffect, ProgramSummaries};
 pub use liveness::Liveness;
 pub use pointsto::{points_to, AbsLoc, PointsTo, PtsSet};
 pub use reaching::{def_use_chains, DefSite, DefUseChains, ReachFact, ReachingDefs};
 pub use regs::{reg_effects, RegEffects, RegSet};
 pub use solver::{solve, solve_on, solve_program, Direction, Lattice, Solution, Transfer};
-pub use summary::{analyze_function, analyze_program, render_json, render_text, FunctionFacts};
+pub use summary::{
+    analyze_function, analyze_program, render_interproc_json, render_interproc_text, render_json,
+    render_text, FunctionFacts,
+};

@@ -77,10 +77,10 @@ mod tests {
         let mut b = ProgramBuilder::new();
         b.begin_func("f");
         b.inst(Opcode::Mov, InstKind::Mov { dst: Operand::reg(Reg::Eax), src: Operand::imm(1) });
-        b.inst(Opcode::Mov, InstKind::Mov {
-            dst: Operand::reg(Reg::Ebx),
-            src: Operand::mem_reg(Reg::Eax, 4),
-        });
+        b.inst(
+            Opcode::Mov,
+            InstKind::Mov { dst: Operand::reg(Reg::Ebx), src: Operand::mem_reg(Reg::Eax, 4) },
+        );
         b.ret();
         b.end_func();
         let p = b.finish().unwrap();
@@ -100,14 +100,18 @@ mod tests {
         b.inst(Opcode::Mov, InstKind::Mov { dst: Operand::reg(Reg::Ecx), src: Operand::imm(5) });
         let top = b.new_label();
         b.bind_label(top);
-        b.inst(Opcode::Dec, InstKind::Op {
-            op: tiara_ir::BinOp::Sub,
-            dst: Operand::reg(Reg::Ecx),
-            src: Operand::imm(1),
-        });
-        b.inst(Opcode::Test, InstKind::Use {
-            oprs: vec![Operand::reg(Reg::Ecx), Operand::reg(Reg::Ecx)],
-        });
+        b.inst(
+            Opcode::Dec,
+            InstKind::Op {
+                op: tiara_ir::BinOp::Sub,
+                dst: Operand::reg(Reg::Ecx),
+                src: Operand::imm(1),
+            },
+        );
+        b.inst(
+            Opcode::Test,
+            InstKind::Use { oprs: vec![Operand::reg(Reg::Ecx), Operand::reg(Reg::Ecx)] },
+        );
         b.jump(Opcode::Jne, top);
         b.ret();
         b.end_func();

@@ -24,8 +24,8 @@
 //! see.
 
 use std::collections::{BTreeMap, BTreeSet};
-use tiara_ir::{FuncId, InstKind, MemAddr, Opcode, Operand, Program, Reg};
 use tiara_ir::InstId;
+use tiara_ir::{FuncId, InstKind, MemAddr, Opcode, Operand, Program, Reg};
 
 /// One abstract memory object.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -76,6 +76,13 @@ impl PointsTo {
         self.cells.iter().filter(|(_, s)| !s.is_empty())
     }
 
+    /// The objects whose addresses the function pushes as call arguments —
+    /// the escape conduit the inter-procedural summaries
+    /// ([`crate::escape`]) key on.
+    pub fn arg_cell(&self) -> &PtsSet {
+        &self.arg_cell
+    }
+
     /// Number of distinct abstract objects the function manipulates
     /// addresses of.
     pub fn num_objects(&self) -> usize {
@@ -95,7 +102,9 @@ impl PointsTo {
     /// The objects a memory operand may designate: the slot itself for
     /// `[ebp+c]` / `[m+c]`, the pointees of the base register otherwise.
     fn targets_of(&self, opr: Operand) -> PtsSet {
-        let Operand::Deref(loc) = opr else { return PtsSet::new() };
+        let Operand::Deref(loc) = opr else {
+            return PtsSet::new();
+        };
         match loc.base_reg() {
             Some(Reg::Ebp) => [AbsLoc::Stack(loc.offset)].into_iter().collect(),
             Some(r) => self.regs[r.index()].clone(),
@@ -215,14 +224,17 @@ mod tests {
         // lea esi, [ebp-8]; mov edi, esi → esi and edi alias on the slot.
         let mut b = ProgramBuilder::new();
         b.begin_func("f");
-        b.inst(Opcode::Lea, InstKind::Mov {
-            dst: Operand::reg(Reg::Esi),
-            src: Operand::Loc(tiara_ir::Loc::with_offset(Reg::Ebp, -8)),
-        });
-        b.inst(Opcode::Mov, InstKind::Mov {
-            dst: Operand::reg(Reg::Edi),
-            src: Operand::reg(Reg::Esi),
-        });
+        b.inst(
+            Opcode::Lea,
+            InstKind::Mov {
+                dst: Operand::reg(Reg::Esi),
+                src: Operand::Loc(tiara_ir::Loc::with_offset(Reg::Ebp, -8)),
+            },
+        );
+        b.inst(
+            Opcode::Mov,
+            InstKind::Mov { dst: Operand::reg(Reg::Edi), src: Operand::reg(Reg::Esi) },
+        );
         b.ret();
         b.end_func();
         let p = b.finish().unwrap();
@@ -237,17 +249,18 @@ mod tests {
         // call malloc; mov [0x4000], eax; ...; mov ecx, [0x4000]
         let mut b = ProgramBuilder::new();
         b.begin_func("f");
-        let call = b.inst(Opcode::Call, InstKind::Call {
-            target: CallTarget::External(ExternKind::Malloc),
-        });
-        b.inst(Opcode::Mov, InstKind::Mov {
-            dst: Operand::mem_abs(0x4000u64, 0),
-            src: Operand::reg(Reg::Eax),
-        });
-        b.inst(Opcode::Mov, InstKind::Mov {
-            dst: Operand::reg(Reg::Ecx),
-            src: Operand::mem_abs(0x4000u64, 0),
-        });
+        let call = b.inst(
+            Opcode::Call,
+            InstKind::Call { target: CallTarget::External(ExternKind::Malloc) },
+        );
+        b.inst(
+            Opcode::Mov,
+            InstKind::Mov { dst: Operand::mem_abs(0x4000u64, 0), src: Operand::reg(Reg::Eax) },
+        );
+        b.inst(
+            Opcode::Mov,
+            InstKind::Mov { dst: Operand::reg(Reg::Ecx), src: Operand::mem_abs(0x4000u64, 0) },
+        );
         b.ret();
         b.end_func();
         let p = b.finish().unwrap();
@@ -264,14 +277,14 @@ mod tests {
         // sees the stored pointer (any-execution-order semantics).
         let mut b = ProgramBuilder::new();
         b.begin_func("f");
-        b.inst(Opcode::Mov, InstKind::Mov {
-            dst: Operand::reg(Reg::Ebx),
-            src: Operand::mem_abs(0x77u64, 0),
-        });
-        b.inst(Opcode::Mov, InstKind::Mov {
-            dst: Operand::mem_abs(0x77u64, 0),
-            src: Operand::addr_of(0x99u64, 0),
-        });
+        b.inst(
+            Opcode::Mov,
+            InstKind::Mov { dst: Operand::reg(Reg::Ebx), src: Operand::mem_abs(0x77u64, 0) },
+        );
+        b.inst(
+            Opcode::Mov,
+            InstKind::Mov { dst: Operand::mem_abs(0x77u64, 0), src: Operand::addr_of(0x99u64, 0) },
+        );
         b.ret();
         b.end_func();
         let p = b.finish().unwrap();

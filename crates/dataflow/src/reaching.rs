@@ -92,10 +92,7 @@ pub struct DefUseChains {
 impl DefUseChains {
     /// The use sites of the value `def` wrote into `r`.
     pub fn uses_of(&self, def: DefSite, r: Reg) -> impl Iterator<Item = InstId> + '_ {
-        self.edges
-            .iter()
-            .filter(move |(d, reg, _)| *d == def && *reg == r)
-            .map(|(_, _, u)| *u)
+        self.edges.iter().filter(move |(d, reg, _)| *d == def && *reg == r).map(|(_, _, u)| *u)
     }
 
     /// Number of def→use edges.
@@ -168,10 +165,10 @@ mod tests {
         let mut b = ProgramBuilder::new();
         b.begin_func("f");
         b.inst(Opcode::Mov, InstKind::Mov { dst: Operand::reg(Reg::Eax), src: Operand::imm(1) });
-        b.inst(Opcode::Mov, InstKind::Mov {
-            dst: Operand::reg(Reg::Ebx),
-            src: Operand::mem_reg(Reg::Eax, 4),
-        });
+        b.inst(
+            Opcode::Mov,
+            InstKind::Mov { dst: Operand::reg(Reg::Ebx), src: Operand::mem_reg(Reg::Eax, 4) },
+        );
         b.ret();
         b.end_func();
         let p = b.finish().unwrap();

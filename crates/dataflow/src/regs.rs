@@ -186,7 +186,9 @@ mod tests {
 
     #[test]
     fn calls_clobber_the_caller_saved_set() {
-        let e = reg_effects(&InstKind::Call { target: CallTarget::External(tiara_ir::ExternKind::Malloc) });
+        let e = reg_effects(&InstKind::Call {
+            target: CallTarget::External(tiara_ir::ExternKind::Malloc),
+        });
         assert_eq!(e.writes, RegSet::from_regs(&[Reg::Eax, Reg::Ecx, Reg::Edx]));
         assert!(e.reads.is_empty());
     }

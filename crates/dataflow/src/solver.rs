@@ -139,10 +139,9 @@ pub fn solve_on<T: Transfer>(prog: &Program, cfg: BlockCfg, analysis: &T) -> Sol
     // the direction of flow) for backward.
     let boundary: Vec<BlockId> = match dir {
         Direction::Forward => cfg.entries().to_vec(),
-        Direction::Backward => (0..n as u32)
-            .map(BlockId)
-            .filter(|b| cfg.block(*b).succs.is_empty())
-            .collect(),
+        Direction::Backward => {
+            (0..n as u32).map(BlockId).filter(|b| cfg.block(*b).succs.is_empty()).collect()
+        }
     };
 
     let mut work: std::collections::VecDeque<BlockId> = boundary.iter().copied().collect();

@@ -275,6 +275,163 @@ pub fn render_json(facts: &[FunctionFacts]) -> String {
     out
 }
 
+fn mask_bits(mask: u8) -> Vec<usize> {
+    (0..crate::escape::TRACKED_ARGS).filter(|k| mask & (1 << k) != 0).collect()
+}
+
+fn fmt_slots(slots: &std::collections::BTreeSet<i64>) -> String {
+    let parts: Vec<String> = slots
+        .iter()
+        .map(|o| if *o < 0 { format!("ebp-{:#x}", -o) } else { format!("ebp+{o:#x}") })
+        .collect();
+    parts.join(", ")
+}
+
+/// Renders the inter-procedural summaries as human-readable text — the
+/// payload behind `tiara analyze --interproc`.
+pub fn render_interproc_text(sums: &crate::escape::ProgramSummaries) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    for s in sums.all() {
+        let _ = writeln!(out, "fn {}", s.name);
+        let _ = write!(out, "  mod-ref:  clobbers {}, reads {}", s.clobbered, s.reads);
+        if s.reads_arg_mem || s.writes_arg_mem {
+            let _ = write!(
+                out,
+                ", arg-mem {}{}",
+                if s.reads_arg_mem { "r" } else { "" },
+                if s.writes_arg_mem { "w" } else { "" }
+            );
+        }
+        let _ = writeln!(out, ", globals r:{} w:{}", s.globals_read, s.globals_written);
+        let _ = write!(
+            out,
+            "  args:     reads {:?}, writes {:?}",
+            mask_bits(s.arg_reads),
+            mask_bits(s.arg_writes)
+        );
+        let mut traits: Vec<&str> = Vec::new();
+        if s.preserves_frame {
+            traits.push("preserves-frame");
+        }
+        if s.allocates {
+            traits.push("allocates");
+        }
+        if s.frees {
+            traits.push("frees");
+        }
+        if s.has_unknown_callee {
+            traits.push("unknown-callee");
+        }
+        if !traits.is_empty() {
+            let _ = write!(out, ", {}", traits.join(" "));
+        }
+        out.push('\n');
+        if !s.address_taken.is_empty() {
+            let _ = writeln!(
+                out,
+                "  escape:   address-taken [{}], escaped [{}]",
+                fmt_slots(&s.address_taken),
+                fmt_slots(&s.escaped)
+            );
+        }
+    }
+    out
+}
+
+fn json_globals(g: &crate::escape::GlobalsEffect, out: &mut String) {
+    match g {
+        crate::escape::GlobalsEffect::Top => out.push_str("\"top\""),
+        crate::escape::GlobalsEffect::Set(s) => {
+            out.push('[');
+            for (k, m) in s.iter().enumerate() {
+                if k > 0 {
+                    out.push(',');
+                }
+                out.push_str(&m.0.to_string());
+            }
+            out.push(']');
+        }
+    }
+}
+
+fn json_offsets(slots: &std::collections::BTreeSet<i64>, out: &mut String) {
+    out.push('[');
+    for (k, o) in slots.iter().enumerate() {
+        if k > 0 {
+            out.push(',');
+        }
+        out.push_str(&o.to_string());
+    }
+    out.push(']');
+}
+
+/// Renders the inter-procedural summaries as a JSON array.
+///
+/// Each element has the shape `{"function", "interproc": {"clobbered",
+/// "reads", "arg_reads", "arg_writes", "reads_arg_mem", "writes_arg_mem",
+/// "globals_read", "globals_written", "allocates", "frees",
+/// "preserves_frame", "has_unknown_callee", "address_taken", "escaped"}}`,
+/// with register sets as name arrays, argument masks as index arrays, and
+/// global effects as either an address array or the string `"top"`.
+pub fn render_interproc_json(sums: &crate::escape::ProgramSummaries) -> String {
+    let mut out = String::from("[");
+    for (k, s) in sums.all().iter().enumerate() {
+        if k > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"function\":");
+        json_str(&s.name, &mut out);
+        out.push_str(",\"interproc\":{\"clobbered\":[");
+        for (i, r) in s.clobbered.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json_str(&r.to_string(), &mut out);
+        }
+        out.push_str("],\"reads\":[");
+        for (i, r) in s.reads.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json_str(&r.to_string(), &mut out);
+        }
+        out.push_str("],\"arg_reads\":[");
+        for (i, a) in mask_bits(s.arg_reads).iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&a.to_string());
+        }
+        out.push_str("],\"arg_writes\":[");
+        for (i, a) in mask_bits(s.arg_writes).iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&a.to_string());
+        }
+        out.push_str(&format!(
+            "],\"reads_arg_mem\":{},\"writes_arg_mem\":{}",
+            s.reads_arg_mem, s.writes_arg_mem
+        ));
+        out.push_str(",\"globals_read\":");
+        json_globals(&s.globals_read, &mut out);
+        out.push_str(",\"globals_written\":");
+        json_globals(&s.globals_written, &mut out);
+        out.push_str(&format!(
+            ",\"allocates\":{},\"frees\":{},\"preserves_frame\":{},\"has_unknown_callee\":{}",
+            s.allocates, s.frees, s.preserves_frame, s.has_unknown_callee
+        ));
+        out.push_str(",\"address_taken\":");
+        json_offsets(&s.address_taken, &mut out);
+        out.push_str(",\"escaped\":");
+        json_offsets(&s.escaped, &mut out);
+        out.push_str("}}");
+    }
+    out.push(']');
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -283,14 +440,11 @@ mod tests {
     fn tiny_program() -> Program {
         let mut b = ProgramBuilder::new();
         b.begin_func("main");
-        b.inst(Opcode::Mov, InstKind::Mov {
-            dst: Operand::reg(Reg::Eax),
-            src: Operand::imm(1),
-        });
-        b.inst(Opcode::Mov, InstKind::Mov {
-            dst: Operand::mem_abs(0x40u64, 0),
-            src: Operand::reg(Reg::Eax),
-        });
+        b.inst(Opcode::Mov, InstKind::Mov { dst: Operand::reg(Reg::Eax), src: Operand::imm(1) });
+        b.inst(
+            Opcode::Mov,
+            InstKind::Mov { dst: Operand::mem_abs(0x40u64, 0), src: Operand::reg(Reg::Eax) },
+        );
         b.ret();
         b.end_func();
         b.finish().unwrap()
@@ -313,7 +467,9 @@ mod tests {
     fn json_is_well_formed_and_mentions_every_fact_kind() {
         let p = tiny_program();
         let json = render_json(&analyze_program(&p));
-        for key in ["\"function\":", "\"liveness\":", "\"reaching\":", "\"constprop\":", "\"pointsto\":"] {
+        for key in
+            ["\"function\":", "\"liveness\":", "\"reaching\":", "\"constprop\":", "\"pointsto\":"]
+        {
             assert!(json.contains(key), "missing {key} in {json}");
         }
         assert!(json.starts_with('[') && json.ends_with(']'));
@@ -330,5 +486,26 @@ mod tests {
         assert!(text.contains("fn main"));
         assert!(text.contains("liveness:"));
         assert!(text.contains("points-to:"));
+    }
+
+    #[test]
+    fn interproc_renderings_cover_the_summary_fields() {
+        let p = tiny_program();
+        let sums = crate::escape::summarize_program(&p);
+        let text = render_interproc_text(&sums);
+        assert!(text.contains("fn main"));
+        assert!(text.contains("mod-ref:"));
+        let json = render_interproc_json(&sums);
+        for key in [
+            "\"interproc\":",
+            "\"clobbered\":",
+            "\"arg_reads\":",
+            "\"globals_written\":",
+            "\"escaped\":",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 }

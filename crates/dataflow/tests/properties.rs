@@ -7,9 +7,7 @@ use tiara_dataflow::{
     solve, ConstFact, Constprop, Lattice, Liveness, ReachFact, ReachingDefs, RegSet, Solution,
     Transfer,
 };
-use tiara_ir::{
-    BinOp, FuncId, InstId, InstKind, Opcode, Operand, Program, ProgramBuilder, Reg,
-};
+use tiara_ir::{BinOp, FuncId, InstId, InstKind, Opcode, Operand, Program, ProgramBuilder, Reg};
 
 /// One step of the tiny structured language the generator emits. All
 /// branches jump forward to the function's exit label, which keeps every
@@ -56,16 +54,10 @@ fn build(steps: &[Step]) -> Program {
     for s in steps {
         match s {
             Step::MovImm(r, c) => {
-                b.inst(Opcode::Mov, InstKind::Mov {
-                    dst: Operand::reg(*r),
-                    src: Operand::imm(*c),
-                });
+                b.inst(Opcode::Mov, InstKind::Mov { dst: Operand::reg(*r), src: Operand::imm(*c) });
             }
             Step::MovReg(a, r) => {
-                b.inst(Opcode::Mov, InstKind::Mov {
-                    dst: Operand::reg(*a),
-                    src: Operand::reg(*r),
-                });
+                b.inst(Opcode::Mov, InstKind::Mov { dst: Operand::reg(*a), src: Operand::reg(*r) });
             }
             Step::Arith(op, r, c) => {
                 let opc = match op {
@@ -74,35 +66,31 @@ fn build(steps: &[Step]) -> Program {
                     BinOp::Xor => Opcode::Xor,
                     _ => Opcode::And,
                 };
-                b.inst(opc, InstKind::Op {
-                    op: *op,
-                    dst: Operand::reg(*r),
-                    src: Operand::imm(*c),
-                });
+                b.inst(opc, InstKind::Op { op: *op, dst: Operand::reg(*r), src: Operand::imm(*c) });
             }
             Step::Load(d, base, off) => {
-                b.inst(Opcode::Mov, InstKind::Mov {
-                    dst: Operand::reg(*d),
-                    src: Operand::mem_reg(*base, *off),
-                });
+                b.inst(
+                    Opcode::Mov,
+                    InstKind::Mov { dst: Operand::reg(*d), src: Operand::mem_reg(*base, *off) },
+                );
             }
             Step::Store(s, base, off) => {
-                b.inst(Opcode::Mov, InstKind::Mov {
-                    dst: Operand::mem_reg(*base, *off),
-                    src: Operand::reg(*s),
-                });
+                b.inst(
+                    Opcode::Mov,
+                    InstKind::Mov { dst: Operand::mem_reg(*base, *off), src: Operand::reg(*s) },
+                );
             }
             Step::Zero(r) => {
-                b.inst(Opcode::Xor, InstKind::Op {
-                    op: BinOp::Xor,
-                    dst: Operand::reg(*r),
-                    src: Operand::reg(*r),
-                });
+                b.inst(
+                    Opcode::Xor,
+                    InstKind::Op { op: BinOp::Xor, dst: Operand::reg(*r), src: Operand::reg(*r) },
+                );
             }
             Step::CmpAndBranchToExit(r, c, eq) => {
-                b.inst(Opcode::Cmp, InstKind::Use {
-                    oprs: vec![Operand::reg(*r), Operand::imm(*c)],
-                });
+                b.inst(
+                    Opcode::Cmp,
+                    InstKind::Use { oprs: vec![Operand::reg(*r), Operand::imm(*c)] },
+                );
                 b.jump(if *eq { Opcode::Je } else { Opcode::Jne }, exit);
             }
             Step::PushPop(a, r) => {
@@ -141,11 +129,7 @@ fn check_fixpoint<T: Transfer>(prog: &Program, analysis: &T, sol: &Solution<T::F
             tiara_dataflow::Direction::Forward => {
                 let mut fact = sol.before(id).clone();
                 analysis.apply(prog, id, &mut fact);
-                assert!(
-                    fact == *sol.after(id),
-                    "forward transfer not at fixpoint at I{}",
-                    id.0
-                );
+                assert!(fact == *sol.after(id), "forward transfer not at fixpoint at I{}", id.0);
                 for &s in prog.flow_succs(id) {
                     if sol.reached(s) {
                         assert!(
@@ -160,11 +144,7 @@ fn check_fixpoint<T: Transfer>(prog: &Program, analysis: &T, sol: &Solution<T::F
             tiara_dataflow::Direction::Backward => {
                 let mut fact = sol.after(id).clone();
                 analysis.apply(prog, id, &mut fact);
-                assert!(
-                    fact == *sol.before(id),
-                    "backward transfer not at fixpoint at I{}",
-                    id.0
-                );
+                assert!(fact == *sol.before(id), "backward transfer not at fixpoint at I{}", id.0);
                 for &s in prog.flow_succs(id) {
                     if sol.reached(s) {
                         assert!(

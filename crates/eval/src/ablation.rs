@@ -42,14 +42,8 @@ pub fn ablation_configs() -> Vec<(&'static str, TsliceConfig)> {
                 ..base.clone()
             },
         ),
-        (
-            "no indirect-call cut",
-            TsliceConfig { cut_indirect_calls: false, ..base.clone() },
-        ),
-        (
-            "lea tracks pointer arith",
-            TsliceConfig { lea_tracks_pointer_arith: true, ..base },
-        ),
+        ("no indirect-call cut", TsliceConfig { cut_indirect_calls: false, ..base.clone() }),
+        ("lea tracks pointer arith", TsliceConfig { lea_tracks_pointer_arith: true, ..base }),
     ]
 }
 
@@ -82,11 +76,8 @@ pub fn run_ablation(
             let ds = parallel_dataset(bin, &Slicer::Tslice(cfg), threads);
             let slice_secs = t0.elapsed().as_secs_f64();
 
-            let containers: Vec<&tiara::Sample> = ds
-                .samples
-                .iter()
-                .filter(|s| s.label != ContainerClass::Primitive)
-                .collect();
+            let containers: Vec<&tiara::Sample> =
+                ds.samples.iter().filter(|s| s.label != ContainerClass::Primitive).collect();
             let mean_container_nodes = if containers.is_empty() {
                 0.0
             } else {
@@ -133,7 +124,10 @@ pub fn model_ablation_configs() -> Vec<(&'static str, ClassifierConfig)> {
         ("paper (GCN 2x64, mean)", base.clone()),
         ("GCN 1 layer", ClassifierConfig { num_layers: 1, ..base.clone() }),
         ("GCN 3 layers", ClassifierConfig { num_layers: 3, ..base.clone() }),
-        ("GCN sum pooling (GIN)", ClassifierConfig { aggregation: Aggregation::Sum, ..base.clone() }),
+        (
+            "GCN sum pooling (GIN)",
+            ClassifierConfig { aggregation: Aggregation::Sum, ..base.clone() },
+        ),
         ("MLP (no graph structure)", ClassifierConfig { model: ModelKind::Mlp, ..base }),
     ]
 }
@@ -172,7 +166,11 @@ pub fn render_model_ablation(rows: &[ModelAblationResult]) -> String {
     use std::fmt::Write as _;
     let mut s = String::new();
     let _ = writeln!(s, "MODEL ABLATION — classifier architectures (one project, 4:1 split)");
-    let _ = writeln!(s, "{:<28} {:>9} {:>9} {:>13}", "Architecture", "macro F1", "accuracy", "training (s)");
+    let _ = writeln!(
+        s,
+        "{:<28} {:>9} {:>9} {:>13}",
+        "Architecture", "macro F1", "accuracy", "training (s)"
+    );
     for r in rows {
         let _ = writeln!(
             s,

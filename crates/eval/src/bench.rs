@@ -166,8 +166,11 @@ fn bench_at(bins: &[Binary], cfg: &BenchConfig, threads: usize) -> ThreadBench {
     for d in datasets.drain(..) {
         merged.merge(d);
     }
-    let mut clf =
-        Classifier::new(&ClassifierConfig { epochs: cfg.epochs, seed: cfg.seed, ..Default::default() });
+    let mut clf = Classifier::new(&ClassifierConfig {
+        epochs: cfg.epochs,
+        seed: cfg.seed,
+        ..Default::default()
+    });
     let t2 = std::time::Instant::now();
     clf.train(&merged).expect("bench suite is nonempty");
     let train_secs = t2.elapsed().as_secs_f64();
@@ -209,19 +212,16 @@ fn bench_serve(bins: &[Binary], cfg: &BenchConfig) -> ServeBench {
         seed: cfg.seed,
         ..Default::default()
     }));
-    tiara
-        .train(&[(bin.name.as_str(), &bin.program, &bin.debug)])
-        .expect("bench suite is nonempty");
+    tiara.train(&[(bin.name.as_str(), &bin.program, &bin.debug)]).expect("bench suite is nonempty");
     let server = Server::new(tiara, ServeConfig::default()).expect("trained model serves");
 
     let hex = tiara_serve::protocol::hex_encode(&tiara_ir::assemble(&bin.program));
-    let up =
-        server.handle_line(&format!("{{\"op\":\"upload\",\"handle\":\"b\",\"program_hex\":\"{hex}\"}}"));
+    let up = server
+        .handle_line(&format!("{{\"op\":\"upload\",\"handle\":\"b\",\"program_hex\":\"{hex}\"}}"));
     assert!(up.contains("\"ok\":true"), "bench upload failed: {up}");
 
     const BATCH: usize = 16;
-    let addrs: Vec<String> =
-        bin.debug.vars.iter().map(|v| addr_notation(bin, v.addr)).collect();
+    let addrs: Vec<String> = bin.debug.vars.iter().map(|v| addr_notation(bin, v.addr)).collect();
     let requests: Vec<String> = addrs
         .chunks(BATCH)
         .map(|chunk| {

@@ -12,6 +12,8 @@
 //!   table4        efficiency (Table IV; implied by running table2)
 //!   fig2          the motivating example's slicing trace (Figure 2)
 //!   ablation      TSLICE design-choice + classifier-architecture ablations
+//!   escape        escape-through-call accuracy with vs. without call
+//!                 summaries (`--json [--out FILE]` writes ESCAPE_PR6.json)
 //!   extended      six-class extension (std::deque and std::set added)
 //!   bench         pipeline throughput at 1 vs N threads
 //!                 (`--json [--out FILE]` writes BENCH_PR5.json)
@@ -41,7 +43,7 @@ struct Options {
 }
 
 fn usage() -> String {
-    "usage: tiara-eval <table1|table2-intra|table2-cross|table3|table4|fig2|ablation|extended|bench|all> \
+    "usage: tiara-eval <table1|table2-intra|table2-cross|table3|table4|fig2|ablation|escape|extended|bench|all> \
      [--scale F] [--epochs N] [--seed N] [--threads N] [--json] [--out FILE]"
         .to_owned()
 }
@@ -198,11 +200,27 @@ fn main() -> ExitCode {
             );
             println!("{}", tiara_eval::ablation::render_model_ablation(&model_rows));
         }
-        "extended" => {
+        "escape" => {
             eprintln!(
-                "[tiara-eval] building the 6-class extension suite (scale {}) …",
-                opts.scale
+                "[tiara-eval] escape-through-call experiment (scale {}, seed {}, {} epochs) …",
+                opts.scale, opts.seed, opts.epochs
             );
+            let r = tiara_eval::run_escape_experiment(
+                opts.seed,
+                opts.scale,
+                &classifier_config(&opts),
+                opts.threads,
+            );
+            print!("{}", tiara_eval::render_escape_report(&r));
+            if opts.json {
+                let path = opts.out.clone().unwrap_or_else(|| "ESCAPE_PR6.json".to_owned());
+                std::fs::write(&path, tiara_eval::render_escape_json(&r, opts.seed, opts.scale))
+                    .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+                eprintln!("[tiara-eval] wrote {path}");
+            }
+        }
+        "extended" => {
+            eprintln!("[tiara-eval] building the 6-class extension suite (scale {}) …", opts.scale);
             let bins = tiara_eval::build_extended_suite(opts.seed, opts.scale);
             eprintln!("[tiara-eval] verifying the suite …");
             if let Err(e) = tiara_eval::verify_suite(&bins) {

@@ -32,12 +32,9 @@ pub fn render_figure2() -> String {
     }
 
     let mut s = String::new();
-    let _ = writeln!(
-        s,
-        "Figure 2(a) — slicing trace for v0 = {} (std::list l)",
-        ex.l
-    );
-    let _ = writeln!(s, "{:<4} {:<44} {:<32} {:>6} {:>4}", "I", "Disassembly", "Rules", "Faith", "Dep");
+    let _ = writeln!(s, "Figure 2(a) — slicing trace for v0 = {} (std::list l)", ex.l);
+    let _ =
+        writeln!(s, "{:<4} {:<44} {:<32} {:>6} {:>4}", "I", "Disassembly", "Rules", "Faith", "Dep");
     let main = ex.binary.program.func(ex.binary.program.entry_func());
     for id in main.inst_ids() {
         if !faith.contains_key(&id.0) {

@@ -19,15 +19,20 @@
 
 pub mod ablation;
 pub mod bench;
+pub mod escape;
 pub mod experiments;
 pub mod fig2;
 pub mod report;
 pub mod suite;
 pub mod tables;
 
+pub use escape::{
+    build_escape_suite, escape_suite, render_escape_json, render_escape_report,
+    run_escape_experiment, EscapeLabelRow, EscapeResult,
+};
 pub use experiments::{
-    cross_experiments, extended_experiments, intra_experiments, run_experiment,
-    ExperimentResult, ExperimentSpec, TestSelection,
+    cross_experiments, extended_experiments, intra_experiments, run_experiment, ExperimentResult,
+    ExperimentSpec, TestSelection,
 };
 pub use suite::{
     build_extended_suite, build_suite, parallel_dataset, scale_spec, verify_suite, SlicedSuite,

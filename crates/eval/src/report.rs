@@ -53,10 +53,7 @@ pub fn render_table2_rows(results: &[ExperimentResult]) -> String {
         "#",
         "Training Data",
         "Slicer",
-        ContainerClass::ALL
-            .iter()
-            .map(|c| format!("{:<17}", format!("{c}")))
-            .collect::<String>()
+        ContainerClass::ALL.iter().map(|c| format!("{:<17}", format!("{c}"))).collect::<String>()
     );
     let _ = writeln!(
         s,

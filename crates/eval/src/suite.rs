@@ -22,6 +22,7 @@ pub fn scale_spec(spec: &ProjectSpec, scale: f64) -> ProjectSpec {
             primitive: s(spec.counts.primitive),
             deque: s(spec.counts.deque),
             set: s(spec.counts.set),
+            escape: s(spec.counts.escape),
         },
         ..spec.clone()
     }
@@ -29,10 +30,7 @@ pub fn scale_spec(spec: &ProjectSpec, scale: f64) -> ProjectSpec {
 
 /// Generates the full benchmark suite, optionally scaled.
 pub fn build_suite(seed: u64, scale: f64) -> Vec<Binary> {
-    benchmark_suite(seed)
-        .iter()
-        .map(|spec| generate(&scale_spec(spec, scale)))
-        .collect()
+    benchmark_suite(seed).iter().map(|spec| generate(&scale_spec(spec, scale))).collect()
 }
 
 /// Generates the three-project extension suite (with `std::deque` and
@@ -163,7 +161,13 @@ mod tests {
             name: "x".into(),
             index: 0,
             seed: 1,
-            counts: tiara_synth::TypeCounts { list: 0, vector: 10, map: 3, primitive: 100, ..Default::default() },
+            counts: tiara_synth::TypeCounts {
+                list: 0,
+                vector: 10,
+                map: 3,
+                primitive: 100,
+                ..Default::default()
+            },
         };
         let s = scale_spec(&spec, 0.1);
         assert_eq!(s.counts.list, 0, "zero stays zero");
@@ -178,7 +182,13 @@ mod tests {
             name: "p".into(),
             index: 3,
             seed: 4,
-            counts: tiara_synth::TypeCounts { list: 2, vector: 3, map: 2, primitive: 6, ..Default::default() },
+            counts: tiara_synth::TypeCounts {
+                list: 2,
+                vector: 3,
+                map: 2,
+                primitive: 6,
+                ..Default::default()
+            },
         });
         let slicer = Slicer::default();
         let par = parallel_dataset(&bin, &slicer, 4);

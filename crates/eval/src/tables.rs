@@ -77,10 +77,7 @@ pub fn table3(tslice_suite: &SlicedSuite, sslice_suite: &SlicedSuite) -> Vec<Tab
     ContainerClass::ALL
         .into_iter()
         .filter(|&class| {
-            tslice_suite
-                .datasets
-                .iter()
-                .any(|ds| ds.samples.iter().any(|s| s.label == class))
+            tslice_suite.datasets.iter().any(|ds| ds.samples.iter().any(|s| s.label == class))
         })
         .map(|class| Table3Row {
             class,

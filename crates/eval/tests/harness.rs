@@ -43,8 +43,7 @@ fn cross_experiment_train_and_test_are_disjoint_projects() {
 fn tables_render_from_a_real_suite() {
     let bins = micro();
     let t1 = render_table1(&table1(&bins));
-    for name in ["clang", "cmake", "bitcoind", "spdlog", "soci", "re2", "arduinojson", "list_ext"]
-    {
+    for name in ["clang", "cmake", "bitcoind", "spdlog", "soci", "re2", "arduinojson", "list_ext"] {
         assert!(t1.contains(name), "{name} missing from Table I:\n{t1}");
     }
     let t = SlicedSuite::build(&bins, &Slicer::default(), 2);

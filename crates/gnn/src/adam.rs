@@ -51,17 +51,15 @@ impl Adam {
         let bc1 = 1.0 - self.beta1.powi(t);
         let bc2 = 1.0 - self.beta2.powi(t);
         for (id, w) in params.iter_mut() {
-            let Some((_, g)) = grads.iter().find(|(gid, _)| gid == id) else { continue };
-            let m = self
-                .m
-                .entry(id.0)
-                .or_insert_with(|| Matrix::zeros(w.rows(), w.cols()));
-            let v = self
-                .v
-                .entry(id.0)
-                .or_insert_with(|| Matrix::zeros(w.rows(), w.cols()));
+            let Some((_, g)) = grads.iter().find(|(gid, _)| gid == id) else {
+                continue;
+            };
+            let m = self.m.entry(id.0).or_insert_with(|| Matrix::zeros(w.rows(), w.cols()));
+            let v = self.v.entry(id.0).or_insert_with(|| Matrix::zeros(w.rows(), w.cols()));
             let (mw, vw, ww) = (m.as_mut_slice(), v.as_mut_slice(), w.as_mut_slice());
-            for ((wi, (mi, vi)), gi) in ww.iter_mut().zip(mw.iter_mut().zip(vw.iter_mut())).zip(g.as_slice()) {
+            for ((wi, (mi, vi)), gi) in
+                ww.iter_mut().zip(mw.iter_mut().zip(vw.iter_mut())).zip(g.as_slice())
+            {
                 *mi = self.beta1 * *mi + (1.0 - self.beta1) * gi;
                 *vi = self.beta2 * *vi + (1.0 - self.beta2) * gi * gi;
                 let mhat = *mi / bc1;
@@ -110,10 +108,7 @@ mod tests {
         // Only `a` gets gradients; `b` must stay exactly 0.
         for _ in 0..10 {
             let g = Matrix::from_rows(&[&[1.0]]);
-            opt.step(
-                &mut [(ParamId(0), &mut a), (ParamId(1), &mut b)],
-                &[(ParamId(0), g)],
-            );
+            opt.step(&mut [(ParamId(0), &mut a), (ParamId(1), &mut b)], &[(ParamId(0), g)]);
         }
         assert!(a.get(0, 0) < 0.0);
         assert_eq!(b.get(0, 0), 0.0);

@@ -231,12 +231,8 @@ impl Gcn {
                 }
 
                 let grads = tape.backward(loss);
-                let mut params: Vec<(ParamId, &mut Matrix)> = self
-                    .convs
-                    .iter_mut()
-                    .enumerate()
-                    .map(|(k, w)| (ParamId(k), w))
-                    .collect();
+                let mut params: Vec<(ParamId, &mut Matrix)> =
+                    self.convs.iter_mut().enumerate().map(|(k, w)| (ParamId(k), w)).collect();
                 params.push((ParamId(n_convs), &mut self.head));
                 opt.step(&mut params, &grads);
             }
@@ -293,12 +289,8 @@ impl Gcn {
                     }
                 }
                 let grads = tape.backward(loss);
-                let mut params: Vec<(ParamId, &mut Matrix)> = self
-                    .convs
-                    .iter_mut()
-                    .enumerate()
-                    .map(|(k, w)| (ParamId(k), w))
-                    .collect();
+                let mut params: Vec<(ParamId, &mut Matrix)> =
+                    self.convs.iter_mut().enumerate().map(|(k, w)| (ParamId(k), w)).collect();
                 params.push((ParamId(n_convs), &mut self.head));
                 opt.step(&mut params, &grads);
             }
@@ -310,8 +302,7 @@ impl Gcn {
 
             // Validation checkpoint.
             let preds = self.predict_batch(validation);
-            let v_correct =
-                preds.iter().zip(validation).filter(|(p, g)| **p == g.label).count();
+            let v_correct = preds.iter().zip(validation).filter(|(p, g)| **p == g.label).count();
             let acc = v_correct as f32 / validation.len() as f32;
             if acc > best_acc {
                 best_acc = acc;
@@ -427,11 +418,7 @@ mod tests {
         // Held-out-ish check: fresh samples from the same generator.
         let test = toy_dataset(2);
         let preds = gcn.predict_batch(&test);
-        let correct = preds
-            .iter()
-            .zip(test.iter())
-            .filter(|(p, s)| **p == s.label)
-            .count();
+        let correct = preds.iter().zip(test.iter()).filter(|(p, s)| **p == s.label).count();
         assert!(correct >= 3, "correct {correct}/4");
     }
 

@@ -259,6 +259,9 @@ impl Matrix {
 /// The `k` dimension is tiled so `TILE_K` rows of `B` stay cache-hot across
 /// the whole row block; tiles ascend, so each `out[i][j]` accumulates its
 /// terms in exactly the order of the plain ikj loop.
+// `k` indexes both `a_row` and `b.row(k)`; an enumerate-skip-take chain
+// would obscure the tiling bounds.
+#[allow(clippy::needless_range_loop)]
 fn matmul_block(a: &Matrix, b: &Matrix, row_off: usize, block: &mut [f32]) {
     let n = b.cols;
     if n == 0 || block.is_empty() {

@@ -246,10 +246,7 @@ mod tests {
         let mut mlp = Mlp::new(cfg(60));
         let stats = mlp.train(&data);
         let acc = stats.last().unwrap().accuracy;
-        assert!(
-            (acc - 0.5).abs() < 0.17,
-            "an edge-blind model must hover at chance, got {acc}"
-        );
+        assert!((acc - 0.5).abs() < 0.17, "an edge-blind model must hover at chance, got {acc}");
     }
 
     #[test]

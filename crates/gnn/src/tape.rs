@@ -129,10 +129,7 @@ impl Tape {
             loss += f64::from(lse - row[y as usize]);
         }
         let mean = (loss / labels.len() as f64) as f32;
-        self.push(
-            Op::SoftmaxCrossEntropy(logits.0, labels),
-            Matrix::from_vec(1, 1, vec![mean]),
-        )
+        self.push(Op::SoftmaxCrossEntropy(logits.0, labels), Matrix::from_vec(1, 1, vec![mean]))
     }
 
     /// Softmax probabilities of a logits node (inference helper; not
@@ -175,7 +172,9 @@ impl Tape {
         }
 
         for i in (0..=loss.0).rev() {
-            let Some(g) = self.nodes[i].grad.take() else { continue };
+            let Some(g) = self.nodes[i].grad.take() else {
+                continue;
+            };
             let step = match &self.nodes[i].op {
                 Op::Input | Op::Param(_) => Step::Leaf,
                 Op::MatMul(a, b) => Step::MatMul(*a, *b),
@@ -303,10 +302,7 @@ mod tests {
                 wm.set(r, c, w0.get(r, c) - eps);
                 let num = (loss_at(&wp) - loss_at(&wm)) / (2.0 * eps);
                 let ana = g.get(r, c);
-                assert!(
-                    (num - ana).abs() < 3e-3,
-                    "dW[{r}][{c}]: numeric {num} vs analytic {ana}"
-                );
+                assert!((num - ana).abs() < 3e-3, "dW[{r}][{c}]: numeric {num} vs analytic {ana}");
             }
         }
     }

@@ -12,11 +12,8 @@ use tiara_par::Executor;
 /// Strategy: a dense matrix of the given shape with bounded entries,
 /// including exact zeros so the kernels' zero-skip paths are exercised.
 fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
-    prop::collection::vec(
-        prop_oneof![3 => -3.0f32..3.0, 1 => Just(0.0f32)],
-        rows * cols,
-    )
-    .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+    prop::collection::vec(prop_oneof![3 => -3.0f32..3.0, 1 => Just(0.0f32)], rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
 }
 
 /// Strategy: raw CSR triplets over an `rows x cols` grid, duplicates likely.
@@ -112,7 +109,7 @@ fn deterministic_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
             state ^= state >> 7;
             state ^= state << 17;
             // Map to [-2, 2] with some exact zeros.
-            if state % 7 == 0 {
+            if state.is_multiple_of(7) {
                 0.0
             } else {
                 ((state >> 40) as f32 / (1u64 << 24) as f32) * 4.0 - 2.0

@@ -36,13 +36,9 @@ pub fn parse_hex(s: &str) -> Result<u64, String> {
 /// naming a function the program does not contain.
 pub fn parse_var_addr(prog: &Program, s: &str) -> Result<VarAddr, String> {
     if let Some(rest) = s.strip_prefix("func:") {
-        let (name, off) = rest
-            .rsplit_once(':')
-            .ok_or("frame address must be func:<name>:<offset>")?;
-        let func = prog
-            .func_by_name(name)
-            .ok_or(format!("no function named `{name}`"))?
-            .id;
+        let (name, off) =
+            rest.rsplit_once(':').ok_or("frame address must be func:<name>:<offset>")?;
+        let func = prog.func_by_name(name).ok_or(format!("no function named `{name}`"))?.id;
         let offset = if let Some(neg) = off.strip_prefix('-') {
             -(parse_hex(neg)? as i64)
         } else {
@@ -66,10 +62,7 @@ mod tests {
     fn tiny_program() -> Program {
         let mut b = ProgramBuilder::new();
         b.begin_func("fn_0000");
-        b.inst(
-            Opcode::Mov,
-            InstKind::Mov { dst: Operand::reg(Reg::Eax), src: Operand::imm(1) },
-        );
+        b.inst(Opcode::Mov, InstKind::Mov { dst: Operand::reg(Reg::Eax), src: Operand::imm(1) });
         b.ret();
         b.end_func();
         b.finish().unwrap()
@@ -86,10 +79,7 @@ mod tests {
     #[test]
     fn address_forms() {
         let p = tiny_program();
-        assert_eq!(
-            parse_var_addr(&p, "0x74404").unwrap(),
-            VarAddr::Global(MemAddr(0x74404))
-        );
+        assert_eq!(parse_var_addr(&p, "0x74404").unwrap(), VarAddr::Global(MemAddr(0x74404)));
         match parse_var_addr(&p, "func:fn_0000:-0x18").unwrap() {
             VarAddr::Stack { offset, .. } => assert_eq!(offset, -0x18),
             other => panic!("unexpected {other:?}"),

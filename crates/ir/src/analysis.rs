@@ -147,10 +147,7 @@ mod tests {
 
     fn leaf_func(b: &mut ProgramBuilder, name: &str) {
         b.begin_func(name);
-        b.inst(
-            Opcode::Mov,
-            InstKind::Mov { dst: Operand::reg(Reg::Eax), src: Operand::imm(1) },
-        );
+        b.inst(Opcode::Mov, InstKind::Mov { dst: Operand::reg(Reg::Eax), src: Operand::imm(1) });
         b.ret();
         b.end_func();
     }

@@ -23,9 +23,7 @@ impl CallGraph {
         let mut callees: Vec<Vec<FuncId>> = vec![Vec::new(); n];
         for f in prog.funcs() {
             for id in f.inst_ids() {
-                if let InstKind::Call { target: CallTarget::Direct(callee) } =
-                    &prog.inst(id).kind
-                {
+                if let InstKind::Call { target: CallTarget::Direct(callee) } = &prog.inst(id).kind {
                     callees[f.id.index()].push(*callee);
                 }
             }
@@ -247,6 +245,73 @@ mod tests {
         // Callees' components come before their callers'.
         assert!(pos(FuncId(1)) < pos(FuncId(0)), "a/b before main");
         assert!(pos(FuncId(3)) < pos(FuncId(0)), "c before main");
+    }
+
+    /// ring3 -> r0 -> r1 -> r2 -> r0: one three-member recursion group.
+    #[test]
+    fn three_cycle_is_a_single_recursion_group() {
+        let mut b = ProgramBuilder::new();
+        for (name, callee) in [("r0", "r1"), ("r1", "r2"), ("r2", "r0")] {
+            b.begin_func(name);
+            b.call_named(callee);
+            b.ret();
+            b.end_func();
+        }
+        let p = b.finish().unwrap();
+        let g = CallGraph::build(&p);
+        let groups = g.recursion_groups();
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0], vec![FuncId(0), FuncId(1), FuncId(2)]);
+        assert_eq!(g.sccs().len(), 1, "the whole ring is one component");
+    }
+
+    /// A diamond (main -> {l, r} -> leaf) is acyclic: every SCC is a
+    /// singleton, no recursion groups, and the order is bottom-up.
+    #[test]
+    fn acyclic_diamond_has_no_recursion_groups() {
+        let mut b = ProgramBuilder::new();
+        b.begin_func("main");
+        b.call_named("l");
+        b.call_named("r");
+        b.ret();
+        b.end_func();
+        for side in ["l", "r"] {
+            b.begin_func(side);
+            b.call_named("leaf");
+            b.ret();
+            b.end_func();
+        }
+        b.begin_func("leaf");
+        b.ret();
+        b.end_func();
+        let p = b.finish().unwrap();
+        let g = CallGraph::build(&p);
+        let sccs = g.sccs();
+        assert_eq!(sccs.len(), 4);
+        assert!(sccs.iter().all(|c| c.len() == 1));
+        assert!(g.recursion_groups().is_empty());
+        let pos = |f: FuncId| sccs.iter().position(|c| c.contains(&f)).unwrap();
+        assert_eq!(pos(FuncId(0)), 3, "main is summarized last");
+        assert_eq!(pos(FuncId(3)), 0, "the shared leaf comes first");
+    }
+
+    /// Duplicate call sites collapse to one adjacency edge.
+    #[test]
+    fn repeated_calls_are_deduplicated() {
+        let mut b = ProgramBuilder::new();
+        b.begin_func("main");
+        b.call_named("f");
+        b.call_named("f");
+        b.call_named("f");
+        b.ret();
+        b.end_func();
+        b.begin_func("f");
+        b.ret();
+        b.end_func();
+        let p = b.finish().unwrap();
+        let g = CallGraph::build(&p);
+        assert_eq!(g.callees(FuncId(0)), &[FuncId(1)]);
+        assert_eq!(g.callers(FuncId(1)), &[FuncId(0)]);
     }
 
     #[test]

@@ -75,10 +75,7 @@ mod tests {
         b.begin_func("main");
         b.inst(
             Opcode::Mov,
-            InstKind::Mov {
-                dst: Operand::reg(Reg::Esi),
-                src: Operand::mem_abs(0x74404u64, 0),
-            },
+            InstKind::Mov { dst: Operand::reg(Reg::Esi), src: Operand::mem_abs(0x74404u64, 0) },
         );
         b.call_extern(ExternKind::Malloc);
         b.ret();

@@ -162,12 +162,8 @@ pub fn assemble(prog: &Program) -> Vec<u8> {
     }
 
     // Address → instruction index, for jump target resolution.
-    let addr_index: HashMap<u64, u32> = prog
-        .insts()
-        .iter()
-        .enumerate()
-        .map(|(k, inst)| (inst.addr, k as u32))
-        .collect();
+    let addr_index: HashMap<u64, u32> =
+        prog.insts().iter().enumerate().map(|(k, inst)| (inst.addr, k as u32)).collect();
 
     for (idx, inst) in prog.insts().iter().enumerate() {
         w.u16(inst.opcode.id());
@@ -412,8 +408,7 @@ pub fn disassemble(image: &[u8]) -> Result<Program, DecodeError> {
 
     let mut decoded: Vec<Decoded> = Vec::with_capacity(total as usize);
     for _ in 0..total {
-        let opcode = opcode_by_id(r.u16()?)
-            .ok_or(DecodeError::BadTag("opcode", 0))?;
+        let opcode = opcode_by_id(r.u16()?).ok_or(DecodeError::BadTag("opcode", 0))?;
         let d = match r.u8()? {
             0 => {
                 let dst = decode_operand(&mut r)?;

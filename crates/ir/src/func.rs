@@ -59,12 +59,7 @@ mod tests {
     use super::*;
 
     fn sample() -> Function {
-        Function {
-            id: FuncId(0),
-            name: "main".to_owned(),
-            start: InstId(3),
-            end: InstId(7),
-        }
+        Function { id: FuncId(0), name: "main".to_owned(), start: InstId(3), end: InstId(7) }
     }
 
     #[test]

@@ -250,15 +250,10 @@ mod tests {
 
     #[test]
     fn indirect_addressing_detection() {
-        let direct = InstKind::Mov {
-            dst: Operand::reg(Reg::Eax),
-            src: Operand::reg(Reg::Ebx),
-        };
+        let direct = InstKind::Mov { dst: Operand::reg(Reg::Eax), src: Operand::reg(Reg::Ebx) };
         assert!(!direct.uses_indirect_addressing());
-        let indirect = InstKind::Mov {
-            dst: Operand::reg(Reg::Eax),
-            src: Operand::mem_reg(Reg::Esi, 4),
-        };
+        let indirect =
+            InstKind::Mov { dst: Operand::reg(Reg::Eax), src: Operand::mem_reg(Reg::Esi, 4) };
         assert!(indirect.uses_indirect_addressing());
     }
 
@@ -277,9 +272,7 @@ mod tests {
             src: Operand::reg(Reg::Ecx),
         };
         assert_eq!(k.operands().len(), 2);
-        let call = InstKind::Call {
-            target: CallTarget::Indirect(Operand::mem_abs(0x73034u64, 0)),
-        };
+        let call = InstKind::Call { target: CallTarget::Indirect(Operand::mem_abs(0x73034u64, 0)) };
         assert_eq!(call.operands().len(), 1);
     }
 }

@@ -304,19 +304,10 @@ mod tests {
     fn operand_type_of_common_forms() {
         assert_eq!(Operand::reg(Reg::Eax).operand_type(), OperandType::Register);
         assert_eq!(Operand::imm(10).operand_type(), OperandType::Immediate);
-        assert_eq!(
-            Operand::mem_abs(0x74404u64, 0).operand_type(),
-            OperandType::MemoryDirect
-        );
-        assert_eq!(
-            Operand::mem_reg(Reg::Esi, 4).operand_type(),
-            OperandType::Displacement
-        );
+        assert_eq!(Operand::mem_abs(0x74404u64, 0).operand_type(), OperandType::MemoryDirect);
+        assert_eq!(Operand::mem_reg(Reg::Esi, 4).operand_type(), OperandType::Displacement);
         assert_eq!(Operand::mem_reg(Reg::Esi, 0).operand_type(), OperandType::Phrase);
-        assert_eq!(
-            Operand::addr_of(0x73034u64, 0).operand_type(),
-            OperandType::ImmediateNear
-        );
+        assert_eq!(Operand::addr_of(0x73034u64, 0).operand_type(), OperandType::ImmediateNear);
     }
 
     #[test]
@@ -330,26 +321,14 @@ mod tests {
     fn display_forms() {
         assert_eq!(Operand::reg(Reg::Esi).to_string(), "esi");
         assert_eq!(Operand::imm(0x14).to_string(), "14h");
-        assert_eq!(
-            Operand::mem_reg(Reg::Ebp, 8).to_string(),
-            "dword ptr [ebp+8h]"
-        );
-        assert_eq!(
-            Operand::mem_abs(0x74404u64, 0).to_string(),
-            "dword ptr [074404h]"
-        );
+        assert_eq!(Operand::mem_reg(Reg::Ebp, 8).to_string(), "dword ptr [ebp+8h]");
+        assert_eq!(Operand::mem_abs(0x74404u64, 0).to_string(), "dword ptr [074404h]");
     }
 
     #[test]
     fn deref_accessors() {
-        assert_eq!(
-            Operand::mem_reg(Reg::Esi, 4).deref_reg(),
-            Some((Reg::Esi, 4))
-        );
-        assert_eq!(
-            Operand::mem_abs(0x100u64, -4).deref_mem(),
-            Some((MemAddr(0x100), -4))
-        );
+        assert_eq!(Operand::mem_reg(Reg::Esi, 4).deref_reg(), Some((Reg::Esi, 4)));
+        assert_eq!(Operand::mem_abs(0x100u64, -4).deref_mem(), Some((MemAddr(0x100), -4)));
         assert_eq!(Operand::reg(Reg::Esi).deref_reg(), None);
     }
 }

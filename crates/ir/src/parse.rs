@@ -37,9 +37,7 @@
 //!   (`malloc`, `free`, `realloc`), or an indirect `dword ptr […]` operand;
 //! * the first function is the entry unless a line `entry <name>` appears.
 
-use crate::{
-    BinOp, ExternKind, InstKind, Label, Opcode, Operand, Program, ProgramBuilder, Reg,
-};
+use crate::{BinOp, ExternKind, InstKind, Label, Opcode, Operand, Program, ProgramBuilder, Reg};
 use std::collections::HashMap;
 
 /// A parse failure, with a 1-based line number.
@@ -114,9 +112,7 @@ pub fn parse_program(text: &str) -> Result<Program, ParseError> {
             return Err(err(ln, format!("instruction outside a function: `{line}`")));
         }
         if let Some(name) = line.strip_prefix('.').and_then(|l| l.strip_suffix(':')) {
-            let label = *labels
-                .entry(name.to_owned())
-                .or_insert_with(|| b.new_label());
+            let label = *labels.entry(name.to_owned()).or_insert_with(|| b.new_label());
             b.bind_label(label);
             continue;
         }
@@ -165,15 +161,13 @@ fn parse_inst(
         "call" => {
             return parse_call(b, rest, ln);
         }
-        "jmp" | "je" | "jne" | "jb" | "jae" | "jbe" | "ja" | "jl" | "jge" | "jle" | "jg"
-        | "js" | "jns" => {
+        "jmp" | "je" | "jne" | "jb" | "jae" | "jbe" | "ja" | "jl" | "jge" | "jle" | "jg" | "js"
+        | "jns" => {
             let opcode = jump_opcode(&mnemonic).expect("matched above");
             let Some(name) = rest.strip_prefix('.') else {
                 return Err(err(ln, format!("jump target must be a `.label`, got `{rest}`")));
             };
-            let label = *labels
-                .entry(name.trim().to_owned())
-                .or_insert_with(|| b.new_label());
+            let label = *labels.entry(name.trim().to_owned()).or_insert_with(|| b.new_label());
             b.jump(opcode, label);
             return Ok(());
         }
@@ -369,11 +363,8 @@ fn parse_operand(s: &str, ln: usize) -> Result<Operand, ParseError> {
 fn parse_mem(inner: &str, ln: usize) -> Result<Operand, ParseError> {
     let inner = inner.trim();
     // Find a +/- separator after the base token.
-    let split_at = inner
-        .char_indices()
-        .skip(1)
-        .find(|(_, c)| *c == '+' || *c == '-')
-        .map(|(k, _)| k);
+    let split_at =
+        inner.char_indices().skip(1).find(|(_, c)| *c == '+' || *c == '-').map(|(k, _)| k);
     let (base_str, off) = match split_at {
         Some(k) => {
             let (b, rest) = inner.split_at(k);
@@ -457,10 +448,8 @@ mod tests {
         // Slicing lives in tiara-slice; here we only check the CFG shape the
         // slicer depends on: the conditional jump has two successors.
         let main = p.func_by_name("main").unwrap();
-        let jae = main
-            .inst_ids()
-            .find(|&id| p.inst(id).opcode == Opcode::Jae)
-            .expect("has the jae");
+        let jae =
+            main.inst_ids().find(|&id| p.inst(id).opcode == Opcode::Jae).expect("has the jae");
         assert_eq!(p.cfg_succs(jae).len(), 2);
         let _ = VarAddr::Global(MemAddr(0x74404));
     }
@@ -479,22 +468,10 @@ mod tests {
     fn operand_forms() {
         assert_eq!(parse_operand("esi", 1).unwrap(), Operand::reg(Reg::Esi));
         assert_eq!(parse_operand("42", 1).unwrap(), Operand::imm(42));
-        assert_eq!(
-            parse_operand("dword ptr [esi+4]", 1).unwrap(),
-            Operand::mem_reg(Reg::Esi, 4)
-        );
-        assert_eq!(
-            parse_operand("[ebp-18h]", 1).unwrap(),
-            Operand::mem_reg(Reg::Ebp, -0x18)
-        );
-        assert_eq!(
-            parse_operand("ds:[74408h]", 1).unwrap(),
-            Operand::mem_abs(0x74408u64, 0)
-        );
-        assert_eq!(
-            parse_operand("offset 7A010h", 1).unwrap(),
-            Operand::addr_of(0x7A010u64, 0)
-        );
+        assert_eq!(parse_operand("dword ptr [esi+4]", 1).unwrap(), Operand::mem_reg(Reg::Esi, 4));
+        assert_eq!(parse_operand("[ebp-18h]", 1).unwrap(), Operand::mem_reg(Reg::Ebp, -0x18));
+        assert_eq!(parse_operand("ds:[74408h]", 1).unwrap(), Operand::mem_abs(0x74408u64, 0));
+        assert_eq!(parse_operand("offset 7A010h", 1).unwrap(), Operand::addr_of(0x7A010u64, 0));
     }
 
     #[test]

@@ -2,9 +2,7 @@
 //! `G = (I, E)` of Section III-A, plus the auxiliary facts IDA Pro provides
 //! in the paper's pipeline (call/jump targets, heap-routine reachability).
 
-use crate::{
-    CallTarget, ExternKind, FuncId, Function, Inst, InstId, InstKind, Opcode, Operand,
-};
+use crate::{CallTarget, ExternKind, FuncId, Function, Inst, InstId, InstKind, Opcode, Operand};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -48,7 +46,9 @@ pub enum BuildError {
 impl std::fmt::Display for BuildError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            BuildError::UnboundLabel { inst } => write!(f, "jump at {inst} targets an unbound label"),
+            BuildError::UnboundLabel { inst } => {
+                write!(f, "jump at {inst} targets an unbound label")
+            }
             BuildError::UnknownCallee { inst, name } => {
                 write!(f, "call at {inst} targets unknown function `{name}`")
             }
@@ -301,10 +301,7 @@ impl ProgramBuilder {
     /// Panics if a function is already open (a [`BuildError::NestedFunction`]
     /// condition; this is a programming error in the generator).
     pub fn begin_func(&mut self, name: &str) -> FuncId {
-        assert!(
-            self.open.is_none(),
-            "begin_func(`{name}`) while another function is open"
-        );
+        assert!(self.open.is_none(), "begin_func(`{name}`) while another function is open");
         let id = FuncId(self.funcs.len() as u32);
         self.open = Some(OpenFunc { start: self.insts.len() as u32 });
         // Reserve the slot so ids handed out stay stable.
@@ -380,10 +377,8 @@ impl ProgramBuilder {
     /// Emits a direct call to a function by name, resolved at
     /// [`ProgramBuilder::finish`].
     pub fn call_named(&mut self, name: &str) -> InstId {
-        let id = self.inst(
-            Opcode::Call,
-            InstKind::Call { target: CallTarget::External(ExternKind::Other) },
-        );
+        let id = self
+            .inst(Opcode::Call, InstKind::Call { target: CallTarget::External(ExternKind::Other) });
         self.named_calls.push((id.0, name.to_owned()));
         id
     }
@@ -445,17 +440,15 @@ impl ProgramBuilder {
         // Resolve jumps and patch their display operand.
         let mut jump_edges: Vec<(u32, u32, bool)> = Vec::with_capacity(self.jumps.len());
         for j in &self.jumps {
-            let target = self.labels[j.label.0].ok_or(BuildError::UnboundLabel {
-                inst: InstId(j.inst),
-            })?;
+            let target =
+                self.labels[j.label.0].ok_or(BuildError::UnboundLabel { inst: InstId(j.inst) })?;
             // A label may be bound at function end; clamp to a real instruction
             // only if one exists.
             if (target as usize) < self.insts.len() {
                 jump_edges.push((j.inst, target, j.conditional));
                 let addr = self.insts[target as usize].addr;
-                self.insts[j.inst as usize].kind = InstKind::Use {
-                    oprs: vec![Operand::imm(addr as i64)],
-                };
+                self.insts[j.inst as usize].kind =
+                    InstKind::Use { oprs: vec![Operand::imm(addr as i64)] };
             }
         }
 
@@ -565,10 +558,9 @@ impl ProgramBuilder {
         }
 
         let entry_func = match &self.entry_name {
-            Some(name) => *by_name.get(name).ok_or_else(|| BuildError::UnknownCallee {
-                inst: InstId(0),
-                name: name.clone(),
-            })?,
+            Some(name) => *by_name
+                .get(name)
+                .ok_or_else(|| BuildError::UnknownCallee { inst: InstId(0), name: name.clone() })?,
             None => FuncId(0),
         };
 

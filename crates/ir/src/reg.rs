@@ -44,16 +44,8 @@ pub enum Reg {
 
 impl Reg {
     /// All registers, in encoding order.
-    pub const ALL: [Reg; 8] = [
-        Reg::Eax,
-        Reg::Ebx,
-        Reg::Ecx,
-        Reg::Edx,
-        Reg::Esi,
-        Reg::Edi,
-        Reg::Ebp,
-        Reg::Esp,
-    ];
+    pub const ALL: [Reg; 8] =
+        [Reg::Eax, Reg::Ebx, Reg::Ecx, Reg::Edx, Reg::Esi, Reg::Edi, Reg::Ebp, Reg::Esp];
 
     /// The ordinary (non-`fp`/`sp`) registers usable for value computation.
     pub const GENERAL: [Reg; 6] = [Reg::Eax, Reg::Ebx, Reg::Ecx, Reg::Edx, Reg::Esi, Reg::Edi];

@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 use tiara_ir::{
-    BinOp, ExternKind, InstKind, Opcode, Operand, Program, ProgramBuilder, Reg,
+    BinOp, CallGraph, ExternKind, InstKind, Opcode, Operand, Program, ProgramBuilder, Reg,
 };
 
 /// Strategy: instructions for one function body (no control flow — jumps are
@@ -48,8 +48,71 @@ fn chained_program(bodies: Vec<Vec<(Opcode, InstKind)>>) -> Program {
     b.finish().expect("well-formed chained program")
 }
 
+/// Builds a program of `nf` empty functions wired with the given directed
+/// call edges (taken modulo `nf`, deduplicated by the builder).
+fn callgraph_program(nf: usize, edges: &[(usize, usize)]) -> Program {
+    let mut b = ProgramBuilder::new();
+    for k in 0..nf {
+        b.begin_func(&format!("g{k}"));
+        for &(from, to) in edges {
+            if from % nf == k {
+                b.call_named(&format!("g{}", to % nf));
+            }
+        }
+        b.ret();
+        b.end_func();
+    }
+    b.finish().expect("well-formed call-graph program")
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Tarjan's SCC output is a valid bottom-up summarization order: the
+    /// components partition the function set, and every call edge leaving
+    /// its component lands in an *earlier* component — so by the time the
+    /// inter-procedural analysis (`tiara-dataflow`) visits a component,
+    /// all outside callees are already summarized.
+    #[test]
+    fn scc_order_is_a_valid_bottom_up_order(
+        nf in 1usize..10,
+        edges in prop::collection::vec((0usize..10, 0usize..10), 0..30)
+    ) {
+        let p = callgraph_program(nf, &edges);
+        let g = CallGraph::build(&p);
+        let sccs = g.sccs();
+
+        let mut pos = vec![usize::MAX; nf];
+        for (i, comp) in sccs.iter().enumerate() {
+            prop_assert!(!comp.is_empty());
+            for f in comp {
+                prop_assert_eq!(pos[f.index()], usize::MAX, "{} in two components", f.index());
+                pos[f.index()] = i;
+            }
+        }
+        prop_assert!(pos.iter().all(|&i| i != usize::MAX), "components must partition");
+
+        for f in p.funcs() {
+            for &c in g.callees(f.id) {
+                if pos[c.index()] != pos[f.id.index()] {
+                    prop_assert!(
+                        pos[c.index()] < pos[f.id.index()],
+                        "callee {} summarized after caller {}",
+                        c.index(),
+                        f.id.index()
+                    );
+                }
+            }
+        }
+
+        // Recursion groups are exactly the cyclic components.
+        for comp in g.recursion_groups() {
+            prop_assert!(
+                comp.len() > 1 || g.callees(comp[0]).contains(&comp[0]),
+                "acyclic singleton reported as recursive"
+            );
+        }
+    }
 
     /// CFG successors and predecessors are mutually consistent and in range.
     #[test]

@@ -132,7 +132,10 @@ impl Executor {
         let mut rest = data;
         let mut consumed = 0usize;
         for &cut in cuts {
-            assert!(cut > consumed && cut < consumed + rest.len(), "cuts must be ascending and in range");
+            assert!(
+                cut > consumed && cut < consumed + rest.len(),
+                "cuts must be ascending and in range"
+            );
             let (head, tail) = rest.split_at_mut(cut - consumed);
             parts.push((consumed, head));
             consumed = cut;
@@ -187,9 +190,7 @@ fn env_default_threads() -> usize {
             .ok()
             .and_then(|v| v.trim().parse::<usize>().ok())
             .filter(|&n| n > 0)
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-            })
+            .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
     })
 }
 

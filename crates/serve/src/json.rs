@@ -342,8 +342,9 @@ impl<'a> Parser<'a> {
                     let window = &self.bytes[self.pos..end];
                     let valid = match std::str::from_utf8(window) {
                         Ok(s) => s,
-                        Err(e) => std::str::from_utf8(&window[..e.valid_up_to()])
-                            .expect("valid prefix"),
+                        Err(e) => {
+                            std::str::from_utf8(&window[..e.valid_up_to()]).expect("valid prefix")
+                        }
                     };
                     let c = valid.chars().next().expect("window holds one scalar");
                     out.push(c);
@@ -375,9 +376,7 @@ impl<'a> Parser<'a> {
                 .map(Value::Float)
                 .map_err(|_| (start, format!("bad number `{text}`")))
         } else {
-            text.parse::<i64>()
-                .map(Value::Int)
-                .map_err(|_| (start, format!("bad number `{text}`")))
+            text.parse::<i64>().map(Value::Int).map_err(|_| (start, format!("bad number `{text}`")))
         }
     }
 }

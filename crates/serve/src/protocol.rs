@@ -146,8 +146,9 @@ fn program_ref(v: &Value, allow_handle: bool) -> Result<ProgramRef, String> {
 /// parsed far enough to have one) comes back in the `Ok`/`Err` envelope so
 /// error replies still correlate.
 pub fn parse_request(line: &str) -> Result<Envelope, (ErrorKind, String, Option<Value>)> {
-    let v = parse(line)
-        .map_err(|(pos, msg)| (ErrorKind::Malformed, format!("bad JSON at byte {pos}: {msg}"), None))?;
+    let v = parse(line).map_err(|(pos, msg)| {
+        (ErrorKind::Malformed, format!("bad JSON at byte {pos}: {msg}"), None)
+    })?;
     let id = v.get("id").cloned();
     let malformed = |msg: String| (ErrorKind::Malformed, msg, id.clone());
     let Value::Object(_) = v else {
@@ -180,14 +181,15 @@ pub fn parse_request(line: &str) -> Result<Envelope, (ErrorKind, String, Option<
             }
             let deadline_ms = match v.get("deadline_ms") {
                 None | Some(Value::Null) => None,
-                Some(d) => Some(
-                    d.as_i64()
-                        .filter(|&ms| ms >= 0)
-                        .ok_or_else(|| malformed("`deadline_ms` must be a non-negative integer".into()))?
-                        as u64,
-                ),
+                Some(d) => Some(d.as_i64().filter(|&ms| ms >= 0).ok_or_else(|| {
+                    malformed("`deadline_ms` must be a non-negative integer".into())
+                })? as u64),
             };
-            Request::Predict { program: program_ref(&v, true).map_err(&malformed)?, addrs, deadline_ms }
+            Request::Predict {
+                program: program_ref(&v, true).map_err(&malformed)?,
+                addrs,
+                deadline_ms,
+            }
         }
         other => return Err((ErrorKind::UnknownOp, format!("unknown op `{other}`"), id)),
     };
@@ -223,10 +225,7 @@ pub fn error_reply(
 /// Starts a success reply: `{"ok":true,"op":<op>, ...}`. Callers extend the
 /// pair list and render.
 pub fn ok_reply_base(op: &str) -> Vec<(String, Value)> {
-    vec![
-        ("ok".to_owned(), Value::Bool(true)),
-        ("op".to_owned(), Value::Str(op.to_owned())),
-    ]
+    vec![("ok".to_owned(), Value::Bool(true)), ("op".to_owned(), Value::Str(op.to_owned()))]
 }
 
 /// Lowercase hex encoding of a program image.
@@ -305,8 +304,8 @@ mod tests {
     #[test]
     fn predict_rejects_bad_shapes() {
         for bad in [
-            "{\"op\":\"predict\",\"addrs\":[\"0x10\"]}",           // no program
-            "{\"op\":\"predict\",\"program\":\"p\"}",                // no addrs
+            "{\"op\":\"predict\",\"addrs\":[\"0x10\"]}", // no program
+            "{\"op\":\"predict\",\"program\":\"p\"}",    // no addrs
             "{\"op\":\"predict\",\"program\":\"p\",\"addrs\":[1]}", // non-string addr
             "{\"op\":\"predict\",\"program\":\"p\",\"addrs\":[],\"deadline_ms\":-1}",
             "[1,2]", // not an object

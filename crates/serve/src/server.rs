@@ -234,12 +234,8 @@ impl Server {
         }
         let stored = match program {
             ProgramRef::Handle(h) => {
-                let got = inner
-                    .programs
-                    .lock()
-                    .unwrap_or_else(PoisonError::into_inner)
-                    .get(h)
-                    .cloned();
+                let got =
+                    inner.programs.lock().unwrap_or_else(PoisonError::into_inner).get(h).cloned();
                 match got {
                     Some(p) => p,
                     None => {
@@ -366,7 +362,10 @@ impl Server {
                         ("steps", Value::Int(rollup.steps as i64)),
                         ("faith_cut_pops", Value::Int(rollup.faith_cut_pops as i64)),
                         ("merges_skipped", Value::Int(rollup.merges_skipped as i64)),
-                        ("snapshot_bytes_avoided", Value::Int(rollup.snapshot_bytes_avoided as i64)),
+                        (
+                            "snapshot_bytes_avoided",
+                            Value::Int(rollup.snapshot_bytes_avoided as i64),
+                        ),
                         ("set_spills", Value::Int(rollup.set_spills as i64)),
                         ("worklist_hits", Value::Int(rollup.worklist_hits as i64)),
                     ]),
@@ -411,11 +410,7 @@ impl Server {
     /// # Errors
     ///
     /// Propagates I/O errors from the transport.
-    pub fn run_stdio(
-        &self,
-        reader: impl BufRead,
-        mut writer: impl Write,
-    ) -> std::io::Result<()> {
+    pub fn run_stdio(&self, reader: impl BufRead, mut writer: impl Write) -> std::io::Result<()> {
         for line in reader.lines() {
             let line = line?;
             if line.trim().is_empty() {
@@ -626,8 +621,9 @@ fn load_program(source: &ProgramRef) -> Result<StoredProgram, (ErrorKind, String
                 tiara_ir::disassemble(&bytes)
                     .map_err(|e| (ErrorKind::BadProgram, format!("bad TIRA image: {e}")))?
             } else {
-                let text = String::from_utf8(bytes)
-                    .map_err(|_| (ErrorKind::BadProgram, "file is neither TIRA nor UTF-8 asm".to_owned()))?;
+                let text = String::from_utf8(bytes).map_err(|_| {
+                    (ErrorKind::BadProgram, "file is neither TIRA nor UTF-8 asm".to_owned())
+                })?;
                 tiara_ir::parse_program(&text)
                     .map_err(|e| (ErrorKind::BadProgram, format!("bad asm: {e}")))?
             };
@@ -713,8 +709,10 @@ mod tests {
         assert_eq!(results.len(), 4);
         for (r, a) in results.iter().zip(&addrs) {
             assert_eq!(r.get("addr").and_then(Value::as_str), Some(a.as_str()));
-            assert!(r.get("class").and_then(Value::as_str).unwrap().starts_with("std::")
-                || r.get("class").and_then(Value::as_str).is_some());
+            assert!(
+                r.get("class").and_then(Value::as_str).unwrap().starts_with("std::")
+                    || r.get("class").and_then(Value::as_str).is_some()
+            );
             let probs = r.get("probs").and_then(Value::as_array).unwrap();
             let sum: f64 = probs.iter().map(|p| p.as_f64().unwrap()).sum();
             assert!((sum - 1.0).abs() < 1e-4, "probs sum to 1, got {sum}");
@@ -746,7 +744,10 @@ mod tests {
         let resp = server
             .handle_line("{\"op\":\"predict\",\"program\":\"p\",\"addrs\":[\"func:nope:8\"]}");
         let v = parse(&resp).unwrap();
-        assert_eq!(v.get("error").unwrap().get("kind").and_then(Value::as_str), Some("bad_address"));
+        assert_eq!(
+            v.get("error").unwrap().get("kind").and_then(Value::as_str),
+            Some("bad_address")
+        );
 
         let resp = server.handle_line(
             "{\"op\":\"predict\",\"program\":\"p\",\"addrs\":[\"0x1\",\"0x2\",\"0x3\"]}",

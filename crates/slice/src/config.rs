@@ -77,6 +77,18 @@ pub struct TsliceConfig {
     /// escape hatch while the fast path bakes.
     #[serde(default)]
     pub reference_mode: bool,
+    /// Consult per-callee mod-ref summaries (`tiara-dataflow`'s
+    /// [`summarize_program`](tiara_dataflow::summarize_program)) at direct
+    /// calls: in addition to descending into the callee, the traversal takes
+    /// a *summary edge* straight to the return site, applying the callee's
+    /// summarized effects (pop the return address, kill exactly the clobbered
+    /// registers, invalidate argument-reachable stack cells) instead of
+    /// relying on the interior path to survive. A container pointer held in
+    /// a callee-saved register or an untouched spill slot then keeps its
+    /// value set across an opaque-looking helper — even one whose body is cut
+    /// by [`cut_indirect_calls`](Self::cut_indirect_calls). Off by default.
+    #[serde(default)]
+    pub use_call_summaries: bool,
 }
 
 impl Default for TsliceConfig {
@@ -92,6 +104,7 @@ impl Default for TsliceConfig {
             max_steps: 4_000_000,
             criterion_window: 16,
             reference_mode: false,
+            use_call_summaries: false,
         }
     }
 }
@@ -100,6 +113,12 @@ impl TsliceConfig {
     /// A configuration that records rule-firing traces.
     pub fn with_trace() -> TsliceConfig {
         TsliceConfig { trace: true, ..TsliceConfig::default() }
+    }
+
+    /// A configuration that slices across direct calls through mod-ref
+    /// summaries (see [`use_call_summaries`](Self::use_call_summaries)).
+    pub fn with_call_summaries() -> TsliceConfig {
+        TsliceConfig { use_call_summaries: true, ..TsliceConfig::default() }
     }
 }
 
@@ -114,6 +133,14 @@ mod tests {
         assert_eq!(c.decay_stack, 0.005);
         assert_eq!(c.decay_default, 0.001);
         assert!(!c.trace);
+        assert!(!c.use_call_summaries, "summary edges are opt-in");
+    }
+
+    #[test]
+    fn with_call_summaries_enables_summary_edges() {
+        let c = TsliceConfig::with_call_summaries();
+        assert!(c.use_call_summaries);
+        assert!(!c.reference_mode);
     }
 
     #[test]

@@ -29,8 +29,7 @@ use tiara_dataflow::solver::{solve, Solution};
 use tiara_ir::{FuncId, InstId, InstKind, Program, Reg, VarAddr};
 
 /// The rules that perform a strong update (assign a register to ∅).
-const KILL_RULES: [RuleName; 3] =
-    [RuleName::MovRvKill, RuleName::MovRivKill, RuleName::MovRcKill];
+const KILL_RULES: [RuleName; 3] = [RuleName::MovRvKill, RuleName::MovRivKill, RuleName::MovRcKill];
 
 /// One disagreement between a kill event and the reaching-defs oracle.
 #[derive(Debug, Clone, PartialEq)]
@@ -92,16 +91,14 @@ pub fn check_kill_rules(prog: &Program, v0: VarAddr) -> KillCheck {
             continue;
         };
         let func = prog.func_of(id);
-        let sol =
-            solutions.entry(func).or_insert_with(|| solve(prog, func, &ReachingDefs));
+        let sol = solutions.entry(func).or_insert_with(|| solve(prog, func, &ReachingDefs));
         if !sol.reached(id) {
             // The slicer walked into code reaching-defs considers dead —
             // nothing to compare against.
             continue;
         }
         let defs = sol.after(id).defs(r);
-        let fresh_only =
-            defs.len() == 1 && defs.contains(&DefSite::At(id));
+        let fresh_only = defs.len() == 1 && defs.contains(&DefSite::At(id));
         if !fresh_only {
             check.violations.push(KillViolation {
                 inst: id,
@@ -129,14 +126,14 @@ mod tests {
         let v0 = 0x74404u64;
         let mut b = ProgramBuilder::new();
         b.begin_func("main");
-        b.inst(Opcode::Mov, InstKind::Mov {
-            dst: Operand::reg(Reg::Esi),
-            src: Operand::mem_abs(v0, 0),
-        });
-        b.inst(Opcode::Mov, InstKind::Mov {
-            dst: Operand::reg(Reg::Esi),
-            src: Operand::mem_abs(0x9000u64, 0),
-        });
+        b.inst(
+            Opcode::Mov,
+            InstKind::Mov { dst: Operand::reg(Reg::Esi), src: Operand::mem_abs(v0, 0) },
+        );
+        b.inst(
+            Opcode::Mov,
+            InstKind::Mov { dst: Operand::reg(Reg::Esi), src: Operand::mem_abs(0x9000u64, 0) },
+        );
         b.ret();
         b.end_func();
         let p = b.finish().unwrap();

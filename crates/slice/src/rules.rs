@@ -163,8 +163,12 @@ pub fn transfer(
 ) -> Transfer {
     let mut t = Transfer::default();
     match &inst.kind {
-        InstKind::Mov { dst, src } => transfer_mov(*dst, *src, pre, cur, crit, func, cfg, fired, &mut t),
-        InstKind::Op { op, dst, src } => transfer_op(*op, *dst, *src, pre, cur, crit, func, fired, &mut t),
+        InstKind::Mov { dst, src } => {
+            transfer_mov(*dst, *src, pre, cur, crit, func, cfg, fired, &mut t)
+        }
+        InstKind::Op { op, dst, src } => {
+            transfer_op(*op, *dst, *src, pre, cur, crit, func, fired, &mut t)
+        }
         InstKind::Use { oprs } => transfer_use(oprs, pre, cur, crit, func, fired, &mut t),
         InstKind::Push { src } => transfer_push(*src, pre, cur, crit, func, fired, &mut t),
         InstKind::Pop { dst } => transfer_pop(*dst, pre, cur, fired, &mut t),
@@ -347,7 +351,8 @@ fn transfer_op(
             match (src, pre.reg(r).singleton_const()) {
                 (Operand::Imm(c), Some(n)) => {
                     fired.push(RuleName::OpRc1);
-                    t.changed |= cur.reg_assign(r, ValueSet::singleton(AbsValue::Const(op.apply(n, c))));
+                    t.changed |=
+                        cur.reg_assign(r, ValueSet::singleton(AbsValue::Const(op.apply(n, c))));
                 }
                 _ => {
                     t.changed |= cur.reg_assign(r, ValueSet::new());
@@ -456,7 +461,12 @@ fn transfer_op(
                     Operand::Loc(Loc { base: Addr::Reg(r), offset: 0 }) => {
                         if pre.reg(r).iter().any(|v| v.is_dep()) {
                             if pre.reg(r).has_dep() {
-                                let lvl = pre.reg(r).max_dep_level().unwrap_or(0).saturating_add(1).min(2);
+                                let lvl = pre
+                                    .reg(r)
+                                    .max_dep_level()
+                                    .unwrap_or(0)
+                                    .saturating_add(1)
+                                    .min(2);
                                 t.changed |= cur.mark_dep(lvl);
                             }
                             ValueSet::singleton(AbsValue::Other)
@@ -515,13 +525,15 @@ fn transfer_use(
     let mut level = 0u8;
     for &opr in oprs {
         match opr {
-            Operand::Loc(Loc { base: Addr::Reg(r), offset: 0 }) if !r.is_pointer_reg()
+            Operand::Loc(Loc { base: Addr::Reg(r), offset: 0 })
+                if !r.is_pointer_reg()
                 // oprk = r: check the register's values (note: V(i), i.e. the
                 // merged current state, per the figure).
-                && cur.reg(r).has_dep() => {
-                    dep = true;
-                    level = level.max(cur.reg(r).max_dep_level().unwrap_or(0));
-                }
+                && cur.reg(r).has_dep() =>
+            {
+                dep = true;
+                level = level.max(cur.reg(r).max_dep_level().unwrap_or(0));
+            }
             Operand::Deref(Loc { base: Addr::Reg(r), offset }) => {
                 if r.is_pointer_reg() {
                     if crit.match_stack(func, offset).is_some() {
@@ -537,18 +549,21 @@ fn transfer_use(
                 } else if cur.reg(r).has_dep() {
                     // oprk = [r+c]: the figure checks the register.
                     dep = true;
-                    level = level.max(cur.reg(r).max_dep_level().unwrap_or(0).saturating_add(1).min(2));
+                    level =
+                        level.max(cur.reg(r).max_dep_level().unwrap_or(0).saturating_add(1).min(2));
                 }
             }
             Operand::Deref(Loc { base: Addr::Mem(m), offset })
-                if crit.match_mem(m, offset).is_some() => {
-                    dep = true;
-                    level = level.max(1);
-                }
+                if crit.match_mem(m, offset).is_some() =>
+            {
+                dep = true;
+                level = level.max(1);
+            }
             Operand::Loc(Loc { base: Addr::Mem(m), offset })
-                if crit.match_mem(m, offset).is_some() => {
-                    dep = true;
-                }
+                if crit.match_mem(m, offset).is_some() =>
+            {
+                dep = true;
+            }
             _ => {}
         }
     }
@@ -651,8 +666,7 @@ fn transfer_call(
             // the callee's `ret` pops it.
             if let Some(s) = pre.reg(Reg::Esp).singleton_const() {
                 if let Some(ra) = ret_addr {
-                    t.changed |=
-                        cur.stack_assign(s - 4, ValueSet::singleton(AbsValue::Const(ra)));
+                    t.changed |= cur.stack_assign(s - 4, ValueSet::singleton(AbsValue::Const(ra)));
                 }
                 t.changed |= cur.reg_assign(Reg::Esp, ValueSet::singleton(AbsValue::Const(s - 4)));
             }
@@ -667,12 +681,7 @@ fn transfer_call(
     }
 }
 
-fn transfer_ret(
-    pre: &InstState,
-    cur: &mut InstState,
-    fired: &mut Vec<RuleName>,
-    t: &mut Transfer,
-) {
+fn transfer_ret(pre: &InstState, cur: &mut InstState, fired: &mut Vec<RuleName>, t: &mut Transfer) {
     fired.push(RuleName::StkPop);
     if let Some(s) = pre.reg(Reg::Esp).singleton_const() {
         t.changed |= cur.reg_assign(Reg::Esp, ValueSet::singleton(AbsValue::Const(s + 4)));

@@ -22,7 +22,10 @@ pub struct SliceNode {
 ///
 /// Edges are the contraction of the program CFG onto the slice nodes: there
 /// is an edge `u → w` iff some CFG path runs from `u` to `w` through the
-/// explored region without passing another slice node.
+/// explored region without passing another slice node. Under
+/// summary-driven slicing the traversal's call→return-site summary edges
+/// count as CFG edges for this purpose (see
+/// [`build_slice_graph_with_links`]).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Slice {
     /// The slicing criterion `v0`.
@@ -99,17 +102,35 @@ impl Slice {
 pub fn build_slice_graph(
     prog: &Program,
     criterion: VarAddr,
-    mut nodes: Vec<SliceNode>,
+    nodes: Vec<SliceNode>,
     explored: &HashSet<u32>,
     steps: usize,
 ) -> Slice {
+    build_slice_graph_with_links(prog, criterion, nodes, explored, steps, &[])
+}
+
+/// As [`build_slice_graph`], with extra `u → w` successor links treated as
+/// CFG edges during contraction.
+///
+/// TSLICE passes the summary edges it traversed (call site → return site),
+/// so a slice that stepped over an opaque callee with a mod-ref summary
+/// stays connected even though the callee's `ret` was never explored.
+pub fn build_slice_graph_with_links(
+    prog: &Program,
+    criterion: VarAddr,
+    mut nodes: Vec<SliceNode>,
+    explored: &HashSet<u32>,
+    steps: usize,
+    links: &[(u32, u32)],
+) -> Slice {
     nodes.sort_by_key(|n| n.inst);
     nodes.dedup_by_key(|n| n.inst);
-    let index: HashMap<u32, u32> = nodes
-        .iter()
-        .enumerate()
-        .map(|(k, n)| (n.inst.0, k as u32))
-        .collect();
+    let index: HashMap<u32, u32> =
+        nodes.iter().enumerate().map(|(k, n)| (n.inst.0, k as u32)).collect();
+    let mut extra: HashMap<u32, Vec<u32>> = HashMap::new();
+    for &(u, w) in links {
+        extra.entry(u).or_default().push(w);
+    }
 
     let mut edges: Vec<(u32, u32)> = Vec::new();
     let mut seen: HashSet<u32> = HashSet::new();
@@ -121,7 +142,9 @@ pub fn build_slice_graph(
         seen.insert(n.inst.0);
         // BFS from the node; stop expanding at other slice nodes.
         while let Some(u) = queue.pop_front() {
-            for &s in prog.cfg_succs(u) {
+            let extra_succs = extra.get(&u.0).map(Vec::as_slice).unwrap_or(&[]);
+            let cfg_succs = prog.cfg_succs(u).iter().copied();
+            for s in cfg_succs.chain(extra_succs.iter().map(|&raw| InstId(raw))) {
                 if !explored.contains(&s.0) || !seen.insert(s.0) {
                     continue;
                 }

@@ -21,19 +21,23 @@ fn touches(prog: &Program, id: InstId, opr: Operand, v0: VarAddr) -> bool {
             let lo = base.value() as i64;
             eff >= lo && eff < lo + WINDOW
         }
-        (Operand::Deref(Loc { base: Addr::Reg(r), offset }), VarAddr::Stack { func, offset: off })
-        | (Operand::Loc(Loc { base: Addr::Reg(r), offset }), VarAddr::Stack { func, offset: off }) => {
-            r.is_frame() && prog.func_of(id) == func && offset >= off && offset < off + WINDOW
-        }
+        (
+            Operand::Deref(Loc { base: Addr::Reg(r), offset }),
+            VarAddr::Stack { func, offset: off },
+        )
+        | (
+            Operand::Loc(Loc { base: Addr::Reg(r), offset }),
+            VarAddr::Stack { func, offset: off },
+        ) => r.is_frame() && prog.func_of(id) == func && offset >= off && offset < off + WINDOW,
         _ => false,
     }
 }
 
 /// Finds the first instruction (in program order) that accesses `v0`.
 pub fn first_access(prog: &Program, v0: VarAddr) -> Option<InstId> {
-    (0..prog.num_insts() as u32).map(InstId).find(|&id| {
-        prog.inst(id).kind.operands().iter().any(|&o| touches(prog, id, o, v0))
-    })
+    (0..prog.num_insts() as u32)
+        .map(InstId)
+        .find(|&id| prog.inst(id).kind.operands().iter().any(|&o| touches(prog, id, o, v0)))
 }
 
 /// Runs SSLICE for the variable at `v0`.
@@ -43,7 +47,13 @@ pub fn first_access(prog: &Program, v0: VarAddr) -> Option<InstId> {
 /// are the CFG edges among them (no contraction — SSLICE keeps everything).
 pub fn sslice(prog: &Program, v0: VarAddr) -> Slice {
     let Some(first) = first_access(prog, v0) else {
-        return Slice { criterion: v0, nodes: Vec::new(), edges: Vec::new(), explored: 0, steps: 0 };
+        return Slice {
+            criterion: v0,
+            nodes: Vec::new(),
+            edges: Vec::new(),
+            explored: 0,
+            steps: 0,
+        };
     };
     let root = prog.func_of(first);
 
@@ -66,11 +76,8 @@ pub fn sslice(prog: &Program, v0: VarAddr) -> Slice {
     }
     nodes.sort_by_key(|n| n.inst);
 
-    let index: std::collections::HashMap<u32, u32> = nodes
-        .iter()
-        .enumerate()
-        .map(|(k, n)| (n.inst.0, k as u32))
-        .collect();
+    let index: std::collections::HashMap<u32, u32> =
+        nodes.iter().enumerate().map(|(k, n)| (n.inst.0, k as u32)).collect();
     let mut edges: Vec<(u32, u32)> = Vec::new();
     for n in &nodes {
         let u = index[&n.inst.0];

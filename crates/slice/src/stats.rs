@@ -40,6 +40,11 @@ pub struct SliceStats {
     /// Pushes suppressed because the identical edge was already pending at
     /// the same pre-state version.
     pub worklist_hits: u64,
+    /// Call→return-site edges processed with a callee mod-ref summary
+    /// applied to the pre-state. Zero unless
+    /// [`TsliceConfig`](crate::TsliceConfig)`::use_call_summaries` is on.
+    #[serde(default)]
+    pub summary_edges: u64,
 }
 
 impl SliceStats {
@@ -51,6 +56,7 @@ impl SliceStats {
         self.snapshot_bytes_avoided += other.snapshot_bytes_avoided;
         self.set_spills += other.set_spills;
         self.worklist_hits += other.worklist_hits;
+        self.summary_edges += other.summary_edges;
     }
 }
 
@@ -59,13 +65,14 @@ impl std::fmt::Display for SliceStats {
         write!(
             f,
             "steps {}, faith-cut pops {}, merges skipped {}, snapshot bytes avoided {}, \
-             set spills {}, worklist hits {}",
+             set spills {}, worklist hits {}, summary edges {}",
             self.steps,
             self.faith_cut_pops,
             self.merges_skipped,
             self.snapshot_bytes_avoided,
             self.set_spills,
-            self.worklist_hits
+            self.worklist_hits,
+            self.summary_edges
         )
     }
 }
@@ -93,6 +100,7 @@ static G_MERGES_SKIPPED: AtomicU64 = AtomicU64::new(0);
 static G_SNAPSHOT_BYTES: AtomicU64 = AtomicU64::new(0);
 static G_SPILLS: AtomicU64 = AtomicU64::new(0);
 static G_WORKLIST_HITS: AtomicU64 = AtomicU64::new(0);
+static G_SUMMARY_EDGES: AtomicU64 = AtomicU64::new(0);
 
 /// Folds one slice's counters into the process-wide aggregate.
 pub fn add_to_global(s: &SliceStats) {
@@ -102,6 +110,7 @@ pub fn add_to_global(s: &SliceStats) {
     G_SNAPSHOT_BYTES.fetch_add(s.snapshot_bytes_avoided, Ordering::Relaxed);
     G_SPILLS.fetch_add(s.set_spills, Ordering::Relaxed);
     G_WORKLIST_HITS.fetch_add(s.worklist_hits, Ordering::Relaxed);
+    G_SUMMARY_EDGES.fetch_add(s.summary_edges, Ordering::Relaxed);
 }
 
 /// The process-wide aggregate since the last [`reset_global_stats`].
@@ -113,6 +122,7 @@ pub fn global_stats() -> SliceStats {
         snapshot_bytes_avoided: G_SNAPSHOT_BYTES.load(Ordering::Relaxed),
         set_spills: G_SPILLS.load(Ordering::Relaxed),
         worklist_hits: G_WORKLIST_HITS.load(Ordering::Relaxed),
+        summary_edges: G_SUMMARY_EDGES.load(Ordering::Relaxed),
     }
 }
 
@@ -124,6 +134,7 @@ pub fn reset_global_stats() {
     G_SNAPSHOT_BYTES.store(0, Ordering::Relaxed);
     G_SPILLS.store(0, Ordering::Relaxed);
     G_WORKLIST_HITS.store(0, Ordering::Relaxed);
+    G_SUMMARY_EDGES.store(0, Ordering::Relaxed);
 }
 
 #[cfg(test)]

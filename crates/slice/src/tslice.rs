@@ -32,8 +32,24 @@
 //! Both paths share the same join/transfer/faith helpers and must produce
 //! bitwise-identical slices and traces; `tests/equivalence.rs` holds them to
 //! that. [`SliceStats`] counts what the fast path saved.
+//!
+//! ## Summary edges
+//!
+//! With [`TsliceConfig::use_call_summaries`] on, every direct call pushes a
+//! second worklist edge — call site straight to its return site — whose
+//! pre-state is the call state with the callee's mod-ref summary
+//! ([`tiara_dataflow::summarize_program`]) applied: pop the return address,
+//! kill exactly the registers the callee may clobber (instead of all of
+//! them, or none), keep `ebp` when the callee provably restores it, and
+//! invalidate the stack cells reachable through the tracked argument slots
+//! when the callee may write argument memory. The interior descent still
+//! happens — the summary edge is a *may* path joined like any other — but a
+//! container pointer parked in a callee-saved register now survives helpers
+//! whose body the faith machinery would cut (e.g. at an interior indirect
+//! call under [`TsliceConfig::cut_indirect_calls`]).
 
 use crate::criterion::Criterion;
+use crate::hash::{FxHashMap, FxHashSet};
 use crate::rules::transfer;
 use crate::slice::{build_slice_graph, Slice, SliceNode};
 use crate::state::{AnalysisState, InstState};
@@ -41,9 +57,9 @@ use crate::stats::SliceStats;
 use crate::trace::{RuleName, TraceEvent};
 use crate::value::{AbsValue, ValueSet};
 use crate::TsliceConfig;
-use crate::hash::{FxHashMap, FxHashSet};
 use std::collections::HashSet;
 use std::rc::Rc;
+use tiara_dataflow::{escape::TRACKED_ARGS, FuncSummary, ProgramSummaries};
 use tiara_ir::{CallTarget, InstId, InstKind, Program, Reg, VarAddr};
 
 /// The abstract stack base assigned to `sp` at the program entry. The value
@@ -95,6 +111,12 @@ pub fn tslice(prog: &Program, v0: VarAddr) -> Slice {
 /// Runs TSLICE with an explicit configuration.
 pub fn tslice_with(prog: &Program, v0: VarAddr, cfg: &TsliceConfig) -> TsliceOutput {
     let crit = Criterion::new(v0, cfg.criterion_window);
+    // Bottom-up mod-ref summaries for summary edges. Computed once per run;
+    // `summarize_program` is deterministic, so the whole traversal stays a
+    // pure function of (program, criterion, config).
+    let summaries: Option<ProgramSummaries> =
+        cfg.use_call_summaries.then(|| tiara_dataflow::summarize_program(prog));
+    let summaries = summaries.as_ref();
     let mut st = AnalysisState::new();
     let mut trace: Vec<TraceEvent> = Vec::new();
     let mut fired: Vec<RuleName> = Vec::new();
@@ -132,7 +154,7 @@ pub fn tslice_with(prog: &Program, v0: VarAddr, cfg: &TsliceConfig) -> TsliceOut
     if st.get_mut(entry).mark_dep(0) {
         st.bump(entry);
     }
-    push_successors(prog, entry, &None, &mut stack, &st, None, &mut stats);
+    push_successors(prog, entry, &None, &mut stack, &st, None, summaries, &mut stats);
 
     if cfg.reference_mode {
         // Reference traversal: deep-snapshot the pre-state per edge.
@@ -147,7 +169,11 @@ pub fn tslice_with(prog: &Program, v0: VarAddr, cfg: &TsliceConfig) -> TsliceOut
                 break;
             }
             steps += 1;
-            let pre_state = st.snapshot(pre);
+            let mut pre_state = st.snapshot(pre);
+            if let Some(sum) = summary_for_edge(prog, summaries, pre, i) {
+                apply_call_summary(&mut pre_state, sum);
+                stats.summary_edges += 1;
+            }
             let cur = st.get_mut(i);
             let changed = merge_and_transfer(prog, &crit, cfg, &pre_state, cur, i, &mut fired);
             if changed {
@@ -157,7 +183,7 @@ pub fn tslice_with(prog: &Program, v0: VarAddr, cfg: &TsliceConfig) -> TsliceOut
             record_trace(cfg, &mut trace, &st, i, &fired, faith);
             // Line 11: descend only if (V, S, D) changed.
             if changed {
-                push_successors(prog, i, &ctx, &mut stack, &st, None, &mut stats);
+                push_successors(prog, i, &ctx, &mut stack, &st, None, summaries, &mut stats);
             }
         }
     } else {
@@ -205,13 +231,20 @@ pub fn tslice_with(prog: &Program, v0: VarAddr, cfg: &TsliceConfig) -> TsliceOut
                 apply_faith(&mut st, cfg, prog, i, Some(pre));
                 continue;
             }
-            let changed = if pre == i {
-                // Self-loop: the split borrow is impossible, so copy the
-                // record into a reused scratch buffer (the one remaining
-                // snapshot-shaped clone, and only on `jmp self`).
+            let summary = summary_for_edge(prog, summaries, pre, i);
+            let changed = if pre == i || summary.is_some() {
+                // Two edge shapes need a scratch copy of the pre-state: a
+                // self-loop (the split borrow is impossible) and a summary
+                // edge (the pre-state is transformed before the join, and
+                // the arena record must stay untouched). Both reuse the one
+                // scratch buffer.
                 match st.get(pre) {
                     Some(s) => scratch.clone_from(s),
                     None => scratch = InstState::default(),
+                }
+                if let Some(sum) = summary {
+                    apply_call_summary(&mut scratch, sum);
+                    stats.summary_edges += 1;
                 }
                 let cur = st.get_mut(i);
                 merge_and_transfer(prog, &crit, cfg, &scratch, cur, i, &mut fired)
@@ -226,7 +259,16 @@ pub fn tslice_with(prog: &Program, v0: VarAddr, cfg: &TsliceConfig) -> TsliceOut
             let faith = apply_faith(&mut st, cfg, prog, i, Some(pre));
             record_trace(cfg, &mut trace, &st, i, &fired, faith);
             if changed {
-                push_successors(prog, i, &ctx, &mut stack, &st, Some(&mut pending), &mut stats);
+                push_successors(
+                    prog,
+                    i,
+                    &ctx,
+                    &mut stack,
+                    &st,
+                    Some(&mut pending),
+                    summaries,
+                    &mut stats,
+                );
             }
         }
     }
@@ -237,7 +279,32 @@ pub fn tslice_with(prog: &Program, v0: VarAddr, cfg: &TsliceConfig) -> TsliceOut
         .filter(|(_, s)| s.dep)
         .map(|(id, s)| SliceNode { inst: id, faith: st.faith(id), indirection: s.indirection })
         .collect();
-    let slice = build_slice_graph(prog, v0, nodes, &explored, steps);
+    // Summary edges the traversal could take (call site → return site, both
+    // explored) are CFG links for graph contraction: without them, a slice
+    // carried past an opaque callee would be disconnected from its far side.
+    // Derived from the explored set alone, so fast and reference mode agree.
+    let mut summary_links: Vec<(u32, u32)> = Vec::new();
+    if summaries.is_some() {
+        for &raw in &explored {
+            let id = InstId(raw);
+            if let InstKind::Call { target: CallTarget::Direct(_) } = &prog.inst(id).kind {
+                if let Some(site) = prog.return_site(id) {
+                    if explored.contains(&site.0) {
+                        summary_links.push((raw, site.0));
+                    }
+                }
+            }
+        }
+        summary_links.sort_unstable();
+    }
+    let slice = crate::slice::build_slice_graph_with_links(
+        prog,
+        v0,
+        nodes,
+        &explored,
+        steps,
+        &summary_links,
+    );
     stats.steps = steps as u64;
     stats.set_spills = crate::stats::thread_spills() - spills_at_start;
     crate::stats::add_to_global(&stats);
@@ -322,6 +389,76 @@ fn decay(cfg: &TsliceConfig, kind: &InstKind) -> f64 {
     }
 }
 
+/// The callee summary of a summary edge `(pre, i)`: `pre` is a direct call
+/// whose return site is `i`. The normal traversal never queues that pair —
+/// a call's only successor edge goes to the callee entry, and the matching
+/// `ret` edge has the `ret` instruction as `pre` — so the shape identifies
+/// summary edges unambiguously, with no flag threaded through [`Work`].
+fn summary_for_edge<'a>(
+    prog: &Program,
+    summaries: Option<&'a ProgramSummaries>,
+    pre: InstId,
+    i: InstId,
+) -> Option<&'a FuncSummary> {
+    let summaries = summaries?;
+    match &prog.inst(pre).kind {
+        InstKind::Call { target: CallTarget::Direct(f) } if prog.return_site(pre) == Some(i) => {
+            Some(summaries.of(*f))
+        }
+        _ => None,
+    }
+}
+
+/// Applies a callee's mod-ref summary to the post-state of its call site,
+/// yielding the pre-state a summary edge feeds into the return site:
+///
+/// * `esp` is popped past the return address (`ret` semantics), or killed
+///   outright when the call-site `esp` is not a single constant;
+/// * exactly the summarized clobber set is killed — everything else,
+///   including callee-saved registers holding container pointers, survives;
+/// * `ebp` survives iff the callee provably restores it;
+/// * when the callee may write argument-reachable memory, every stack cell
+///   whose abstract address appears as a constant in a tracked argument slot
+///   is invalidated (one level of reachability — the paper's domain keeps
+///   concrete addresses only as `(const, c)` values). `(ptr, c)` arguments
+///   need no invalidation: anything the callee stores through the criterion
+///   pointer is itself `v0`-dependent, which the domain already expresses.
+///
+/// Globals need no treatment: the `S` map is keyed by constant register
+/// bases, which generated code only produces for stack addresses; absolute
+/// stores never enter it. The transform is a pure function of the input
+/// state and the summary, so the fast path's edge memo remains valid.
+fn apply_call_summary(state: &mut InstState, sum: &FuncSummary) {
+    match state.reg(Reg::Esp).singleton_const() {
+        Some(s) => {
+            state.reg_assign(Reg::Esp, ValueSet::singleton(AbsValue::Const(s + 4)));
+            if sum.writes_arg_mem {
+                let mut targets: Vec<i64> = Vec::new();
+                for k in 0..TRACKED_ARGS as i64 {
+                    if let Some(vs) = state.stack_slot(s + 4 + 4 * k) {
+                        targets.extend(vs.iter().filter_map(|v| match v {
+                            AbsValue::Const(c) => Some(c),
+                            _ => None,
+                        }));
+                    }
+                }
+                for t in targets {
+                    state.stack_assign(t, ValueSet::new());
+                }
+            }
+        }
+        None => {
+            state.reg_assign(Reg::Esp, ValueSet::new());
+        }
+    }
+    for r in sum.clobbered.iter() {
+        state.reg_assign(r, ValueSet::new());
+    }
+    if !sum.preserves_frame {
+        state.reg_assign(Reg::Ebp, ValueSet::new());
+    }
+}
+
 /// Pushes the control-flow successors of `i` with the right context:
 /// direct calls descend into the callee, `ret` resumes at the recorded
 /// return site, everything else follows the intra-procedural flow.
@@ -329,6 +466,7 @@ fn decay(cfg: &TsliceConfig, kind: &InstKind) -> f64 {
 /// When `pending` is given (the fast path), an edge already queued at the
 /// same pre-state version is not pushed again: its pop could only repeat
 /// work the queued twin will already do.
+#[allow(clippy::too_many_arguments)]
 fn push_successors(
     prog: &Program,
     i: InstId,
@@ -336,6 +474,7 @@ fn push_successors(
     stack: &mut Vec<Work>,
     st: &AnalysisState,
     mut pending: Option<&mut FxHashSet<(u32, u32, u32)>>,
+    summaries: Option<&ProgramSummaries>,
     stats: &mut SliceStats,
 ) {
     let pre_ver = st.version(i);
@@ -356,6 +495,14 @@ fn push_successors(
                 None => ctx.clone(),
             };
             push(stack, Work { pre: i, i: callee_entry, ctx: new_ctx, pre_ver });
+            // Summary edge: also step straight over the callee. The return
+            // site keeps the *caller's* context — the callee was consumed
+            // by the summary, not descended into.
+            if summaries.is_some() {
+                if let Some(site) = prog.return_site(i) {
+                    push(stack, Work { pre: i, i: site, ctx: ctx.clone(), pre_ver });
+                }
+            }
         }
         InstKind::Ret => {
             if let Some(node) = ctx {
@@ -364,7 +511,15 @@ fn push_successors(
             // Returning with an empty context leaves the analyzed region.
         }
         _ => {
-            for &s in prog.flow_succs(i) {
+            // A conditional jump whose target is its own fall-through lists
+            // the same successor twice, but the CFG edge is one: push it
+            // once, or the reference path would decay faith twice where the
+            // fast path's pending-set dedupe decays it once.
+            let succs = prog.flow_succs(i);
+            for (k, &s) in succs.iter().enumerate() {
+                if succs[..k].contains(&s) {
+                    continue;
+                }
                 push(stack, Work { pre: i, i: s, ctx: ctx.clone(), pre_ver });
             }
         }
@@ -443,12 +598,8 @@ mod tests {
         assert!(first.rules.contains(&RuleName::MovRiv));
         assert!(first.dep);
         // Faith decays monotonically within the trace of one instruction.
-        let faiths: Vec<f64> = out
-            .trace
-            .iter()
-            .filter(|e| e.inst == InstId(4))
-            .map(|e| e.faith)
-            .collect();
+        let faiths: Vec<f64> =
+            out.trace.iter().filter(|e| e.inst == InstId(4)).map(|e| e.faith).collect();
         assert!(faiths.windows(2).all(|w| w[1] <= w[0] + 1e-12));
     }
 
@@ -556,6 +707,165 @@ mod tests {
             assert_eq!(fast.slice, refr.slice);
             assert_eq!(fast.trace, refr.trace);
         }
+    }
+
+    /// `main` loads the criterion into `esi`, calls a helper whose body is
+    /// cut immediately (an indirect call through an import table), then
+    /// keeps using `esi` on the far side. Without summaries the interior
+    /// path is the only route to the return site and it dies at the cut.
+    fn opaque_helper_program(v0: u64) -> Program {
+        let mut b = ProgramBuilder::new();
+        b.begin_func("main");
+        // I0: mov esi, [v0]                  <- dep
+        b.inst(
+            Opcode::Mov,
+            InstKind::Mov { dst: Operand::reg(Reg::Esi), src: Operand::mem_abs(v0, 0) },
+        );
+        // I1: push esi                       <- dep (arg to helper)
+        b.inst(Opcode::Push, InstKind::Push { src: Operand::reg(Reg::Esi) });
+        // I2: call helper
+        b.call_named("helper");
+        // I3: mov edx, esi                   <- far side: dep iff esi survives
+        b.inst(
+            Opcode::Mov,
+            InstKind::Mov { dst: Operand::reg(Reg::Edx), src: Operand::reg(Reg::Esi) },
+        );
+        b.ret();
+        b.end_func();
+        b.begin_func("helper");
+        // I5: call [0x5000]                  <- faith := 0 (cut_indirect_calls)
+        b.call_indirect(Operand::mem_abs(0x5000u64, 0));
+        b.ret();
+        b.end_func();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn summary_edges_carry_the_slice_past_opaque_helpers() {
+        let v0 = 0x74404u64;
+        let prog = opaque_helper_program(v0);
+        let base = tslice_with(&prog, VarAddr::Global(MemAddr(v0)), &TsliceConfig::default());
+        assert!(base.slice.contains(InstId(0)), "load of v0");
+        assert!(!base.slice.contains(InstId(3)), "baseline dies at the interior cut");
+        assert_eq!(base.stats.summary_edges, 0);
+
+        let summ =
+            tslice_with(&prog, VarAddr::Global(MemAddr(v0)), &TsliceConfig::with_call_summaries());
+        assert!(summ.slice.contains(InstId(3)), "esi survives the summarized call");
+        assert!(summ.stats.summary_edges > 0, "the summary edge was taken");
+        assert!(
+            summ.slice.num_nodes() > base.slice.num_nodes(),
+            "summaries make this slice strictly larger"
+        );
+    }
+
+    #[test]
+    fn summary_edges_kill_exactly_the_clobbered_registers() {
+        let v0 = 0x74404u64;
+        let mut b = ProgramBuilder::new();
+        b.begin_func("main");
+        // I0: mov esi, [v0]; I1: mov ebx, esi
+        b.inst(
+            Opcode::Mov,
+            InstKind::Mov { dst: Operand::reg(Reg::Esi), src: Operand::mem_abs(v0, 0) },
+        );
+        b.inst(
+            Opcode::Mov,
+            InstKind::Mov { dst: Operand::reg(Reg::Ebx), src: Operand::reg(Reg::Esi) },
+        );
+        b.call_named("helper");
+        // I3: mov edx, esi — esi is in the helper's clobber set: not dep.
+        b.inst(
+            Opcode::Mov,
+            InstKind::Mov { dst: Operand::reg(Reg::Edx), src: Operand::reg(Reg::Esi) },
+        );
+        // I4: mov ecx, ebx — ebx survives the summary: dep.
+        b.inst(
+            Opcode::Mov,
+            InstKind::Mov { dst: Operand::reg(Reg::Ecx), src: Operand::reg(Reg::Ebx) },
+        );
+        b.ret();
+        b.end_func();
+        b.begin_func("helper");
+        // I6: mov esi, 0 — puts esi into the clobber set; I7 cuts the body.
+        b.inst(Opcode::Mov, InstKind::Mov { dst: Operand::reg(Reg::Esi), src: Operand::imm(0) });
+        b.call_indirect(Operand::mem_abs(0x5000u64, 0));
+        b.ret();
+        b.end_func();
+        let prog = b.finish().unwrap();
+        let out =
+            tslice_with(&prog, VarAddr::Global(MemAddr(v0)), &TsliceConfig::with_call_summaries());
+        assert!(!out.slice.contains(InstId(3)), "clobbered esi must not leak through");
+        assert!(out.slice.contains(InstId(4)), "untouched ebx survives the call");
+    }
+
+    #[test]
+    fn summary_mode_fast_path_matches_reference_mode() {
+        let v0 = 0x74404u64;
+        for prog in [little_program(v0), opaque_helper_program(v0)] {
+            let cfg = TsliceConfig::with_call_summaries();
+            let fast = tslice_with(&prog, VarAddr::Global(MemAddr(v0)), &cfg);
+            let refr = tslice_with(
+                &prog,
+                VarAddr::Global(MemAddr(v0)),
+                &TsliceConfig { reference_mode: true, ..cfg },
+            );
+            assert_eq!(fast.slice, refr.slice);
+            assert_eq!(fast.stats.summary_edges, refr.stats.summary_edges);
+        }
+    }
+
+    #[test]
+    fn apply_call_summary_models_ret_and_arg_memory() {
+        use tiara_dataflow::GlobalsEffect;
+        use tiara_dataflow::RegSet;
+        let mut st = InstState::default();
+        // Post-call state: esp = s (ret addr at [s]), arg 0 at [s+4] holding
+        // the abstract address of a caller cell that itself holds (ref, 0).
+        let s = STACK_BASE - 4;
+        st.reg_assign(Reg::Esp, ValueSet::singleton(AbsValue::Const(s)));
+        st.reg_assign(Reg::Ebp, ValueSet::singleton(AbsValue::Const(STACK_BASE)));
+        st.reg_assign(Reg::Ebx, ValueSet::singleton(AbsValue::Ref(0)));
+        st.stack_assign(s + 4, ValueSet::singleton(AbsValue::Const(STACK_BASE - 64)));
+        st.stack_assign(STACK_BASE - 64, ValueSet::singleton(AbsValue::Ref(0)));
+
+        let sum = FuncSummary {
+            func: tiara_ir::FuncId(1),
+            name: "helper".into(),
+            clobbered: RegSet::of(Reg::Eax).with(Reg::Ecx),
+            reads: RegSet::EMPTY,
+            arg_reads: 1,
+            arg_writes: 0,
+            reads_arg_mem: true,
+            writes_arg_mem: true,
+            globals_read: GlobalsEffect::bottom(),
+            globals_written: GlobalsEffect::bottom(),
+            allocates: false,
+            frees: false,
+            preserves_frame: true,
+            has_unknown_callee: false,
+            address_taken: Default::default(),
+            escaped: Default::default(),
+            slot_reads: Default::default(),
+            slot_writes: Default::default(),
+        };
+        apply_call_summary(&mut st, &sum);
+        assert_eq!(st.reg(Reg::Esp).singleton_const(), Some(s + 4), "ret popped");
+        assert_eq!(
+            st.reg(Reg::Ebp).singleton_const(),
+            Some(STACK_BASE),
+            "frame-preserving callee keeps ebp"
+        );
+        assert!(st.reg(Reg::Eax).is_empty() && st.reg(Reg::Ecx).is_empty(), "clobbers kill");
+        assert!(st.reg(Reg::Ebx).contains(AbsValue::Ref(0)), "non-clobbered survives");
+        assert!(
+            st.stack_slot_or_empty(STACK_BASE - 64).is_empty(),
+            "argument-reachable cell invalidated"
+        );
+        assert!(
+            st.stack_slot_or_empty(s + 4).contains(AbsValue::Const(STACK_BASE - 64)),
+            "the argument slot itself is untouched"
+        );
     }
 
     #[test]

@@ -185,11 +185,7 @@ impl ValueSet {
             // into (other, ∗) which is already present or representable.
             // The first constant in sorted order is evicted — identical to
             // the old `BTreeSet` iteration-order victim choice.
-            let victim = self
-                .as_slice()
-                .iter()
-                .find(|x| matches!(x, AbsValue::Const(_)))
-                .copied();
+            let victim = self.as_slice().iter().find(|x| matches!(x, AbsValue::Const(_))).copied();
             match victim {
                 Some(c) => {
                     self.raw_remove(c);
@@ -285,11 +281,7 @@ impl ValueSet {
 
     /// The highest indirection level among dependence-carrying values, if any.
     pub fn max_dep_level(&self) -> Option<u8> {
-        self.as_slice()
-            .iter()
-            .filter(|v| v.is_dep())
-            .map(|v| v.indirection_level())
-            .max()
+        self.as_slice().iter().filter(|v| v.is_dep()).map(|v| v.indirection_level()).max()
     }
 }
 
@@ -568,9 +560,8 @@ mod tests {
         assert_eq!(AbsValue::Ptr(0).indirection_level(), 0);
         assert_eq!(AbsValue::Ref(0).indirection_level(), 1);
         assert_eq!(AbsValue::Other.indirection_level(), 2);
-        let s: ValueSet = [AbsValue::Const(1), AbsValue::Ref(0), AbsValue::Ptr(4)]
-            .into_iter()
-            .collect();
+        let s: ValueSet =
+            [AbsValue::Const(1), AbsValue::Ref(0), AbsValue::Ptr(4)].into_iter().collect();
         assert_eq!(s.max_dep_level(), Some(1));
         assert_eq!(ValueSet::singleton(AbsValue::Const(1)).max_dep_level(), None);
     }

@@ -7,7 +7,10 @@ fn dup_succ_equivalence() {
     let v0 = 0x74404u64;
     let mut b = ProgramBuilder::new();
     b.begin_func("main");
-    b.inst(Opcode::Mov, InstKind::Mov { dst: Operand::reg(Reg::Esi), src: Operand::mem_abs(v0, 0) });
+    b.inst(
+        Opcode::Mov,
+        InstKind::Mov { dst: Operand::reg(Reg::Esi), src: Operand::mem_abs(v0, 0) },
+    );
     // Conditional jump whose target is the fall-through instruction:
     let l = b.new_label();
     b.jump(Opcode::Jae, l);

@@ -17,7 +17,15 @@ fn small_spec(name: &str, index: usize, seed: u64) -> ProjectSpec {
         name: name.to_owned(),
         index,
         seed,
-        counts: TypeCounts { list: 2, vector: 4, map: 4, deque: 1, set: 1, primitive: 10 },
+        counts: TypeCounts {
+            list: 2,
+            vector: 4,
+            map: 4,
+            deque: 1,
+            set: 1,
+            primitive: 10,
+            escape: 2,
+        },
     }
 }
 
@@ -38,11 +46,7 @@ fn assert_equivalent(
         "slice mismatch for {} at {:?} (cfg: trace={}, decay={:?})",
         bin.name, v0, cfg.trace, cfg.decay_function
     );
-    assert_eq!(
-        fast.trace, refr.trace,
-        "trace mismatch for {} at {:?}",
-        bin.name, v0
-    );
+    assert_eq!(fast.trace, refr.trace, "trace mismatch for {} at {:?}", bin.name, v0);
     assert_eq!(fast.stats.steps, refr.stats.steps, "step count must match");
     (fast, refr)
 }
@@ -84,6 +88,8 @@ fn fast_path_matches_reference_under_exponential_decay_and_tight_budget() {
         TsliceConfig { max_steps: 40, ..TsliceConfig::default() },
         TsliceConfig { cut_indirect_calls: false, ..TsliceConfig::default() },
         TsliceConfig { lea_tracks_pointer_arith: true, ..TsliceConfig::default() },
+        TsliceConfig::with_call_summaries(),
+        TsliceConfig { trace: true, ..TsliceConfig::with_call_summaries() },
     ];
     for cfg in &variants {
         for (v0, _) in bin.labeled_vars().take(10) {
@@ -119,14 +125,21 @@ mod random_programs {
 
         /// Node-for-node, faith-for-faith identical output on arbitrary
         /// synthetic projects and decay configurations.
+        #[test]
         fn equivalence_over_random_projects(
             seed in 0u64..10_000,
             index in 0usize..11,
             trace in any::<bool>(),
+            use_call_summaries in any::<bool>(),
             max_steps in 32usize..4096,
         ) {
             let bin = generate(&small_spec("equiv_prop", index, seed));
-            let cfg = TsliceConfig { trace, max_steps, ..TsliceConfig::default() };
+            let cfg = TsliceConfig {
+                trace,
+                max_steps,
+                use_call_summaries,
+                ..TsliceConfig::default()
+            };
             for (v0, _) in bin.labeled_vars().take(6) {
                 let fast = tslice_with(&bin.program, v0, &cfg);
                 let refr = tslice_with(&bin.program, v0, &reference(&cfg));

@@ -67,11 +67,7 @@ fn trace_reproduces_figure2_rules() {
     let out = tslice_with(&ex.binary.program, ex.l, &TsliceConfig::with_trace());
     let rules_at = |paper: u32| -> Vec<RuleName> {
         let id = fig2(&ex, paper);
-        out.trace
-            .iter()
-            .filter(|e| e.inst == id)
-            .flat_map(|e| e.rules.iter().copied())
-            .collect()
+        out.trace.iter().filter(|e| e.inst == id).flat_map(|e| e.rules.iter().copied()).collect()
     };
     assert!(rules_at(0).contains(&RuleName::MovRiv), "I0 is [Mov-riv]");
     assert!(rules_at(1).contains(&RuleName::MovRivKill), "I1 lea kills");
@@ -89,11 +85,7 @@ fn faith_decays_along_figure2() {
     let out = tslice_with(&ex.binary.program, ex.l, &TsliceConfig::with_trace());
     let final_faith = |paper: u32| -> f64 {
         let id = fig2(&ex, paper);
-        out.trace
-            .iter()
-            .filter(|e| e.inst == id)
-            .map(|e| e.faith)
-            .fold(f64::NAN, |_, f| f)
+        out.trace.iter().filter(|e| e.inst == id).map(|e| e.faith).fold(f64::NAN, |_, f| f)
     };
     let f0 = final_faith(0);
     let f5 = final_faith(5);

@@ -50,10 +50,8 @@ fn reg(r: Reg) -> Operand {
 fn mov_riv_loads_are_dependent_and_tracked() {
     // I0: mov esi, [v0]    -> dep, esi = (ref, 0)
     // I1: mov eax, esi     -> dep via [Mov-rr]
-    let (_, out) = run(vec![
-        mov(reg(Reg::Esi), Operand::mem_abs(V0, 0)),
-        mov(reg(Reg::Eax), reg(Reg::Esi)),
-    ]);
+    let (_, out) =
+        run(vec![mov(reg(Reg::Esi), Operand::mem_abs(V0, 0)), mov(reg(Reg::Eax), reg(Reg::Esi))]);
     assert!(dep(&out, 0) && fired(&out, 0, RuleName::MovRiv));
     assert!(dep(&out, 1) && fired(&out, 1, RuleName::MovRr));
 }
@@ -61,10 +59,8 @@ fn mov_riv_loads_are_dependent_and_tracked() {
 #[test]
 fn mov_rv_address_of_is_dependent() {
     // mov esi, offset v0 -> (ptr, 0), dep.
-    let (_, out) = run(vec![
-        mov(reg(Reg::Esi), Operand::addr_of(V0, 0)),
-        mov(reg(Reg::Eax), reg(Reg::Esi)),
-    ]);
+    let (_, out) =
+        run(vec![mov(reg(Reg::Esi), Operand::addr_of(V0, 0)), mov(reg(Reg::Eax), reg(Reg::Esi))]);
     assert!(dep(&out, 0) && fired(&out, 0, RuleName::MovRv));
     assert!(dep(&out, 1));
 }
@@ -162,11 +158,10 @@ fn op_ri_reads_through_dependent_pointers() {
     // I1: add eax, [esi+8]     -> [Op-ri]: dep, eax = (other, *)
     let (_, out) = run(vec![
         mov(reg(Reg::Esi), Operand::addr_of(V0, 0)),
-        (Opcode::Add, InstKind::Op {
-            op: BinOp::Add,
-            dst: reg(Reg::Eax),
-            src: Operand::mem_reg(Reg::Esi, 8),
-        }),
+        (
+            Opcode::Add,
+            InstKind::Op { op: BinOp::Add, dst: reg(Reg::Eax), src: Operand::mem_reg(Reg::Esi, 8) },
+        ),
     ]);
     assert!(dep(&out, 1) && fired(&out, 1, RuleName::OpRi));
 }
@@ -174,11 +169,10 @@ fn op_ri_reads_through_dependent_pointers() {
 #[test]
 fn op_riv_arithmetic_on_criterion_memory() {
     // add eax, [v0+4] — the op⊕ analogue of [Mov-riv].
-    let (_, out) = run(vec![(Opcode::Add, InstKind::Op {
-        op: BinOp::Add,
-        dst: reg(Reg::Eax),
-        src: Operand::mem_abs(V0 + 4, 0),
-    })]);
+    let (_, out) = run(vec![(
+        Opcode::Add,
+        InstKind::Op { op: BinOp::Add, dst: reg(Reg::Eax), src: Operand::mem_abs(V0 + 4, 0) },
+    )]);
     assert!(dep(&out, 0) && fired(&out, 0, RuleName::OpRiv));
 }
 
@@ -233,11 +227,14 @@ fn op_sr_arithmetic_into_tainted_frame_slot() {
     let (_, out) = run(vec![
         mov(reg(Reg::Esi), Operand::mem_abs(V0, 0)),
         mov(Operand::mem_reg(Reg::Ebp, -8), reg(Reg::Esi)),
-        (Opcode::Add, InstKind::Op {
-            op: BinOp::Add,
-            dst: Operand::mem_reg(Reg::Ebp, -8),
-            src: Operand::imm(1),
-        }),
+        (
+            Opcode::Add,
+            InstKind::Op {
+                op: BinOp::Add,
+                dst: Operand::mem_reg(Reg::Ebp, -8),
+                src: Operand::imm(1),
+            },
+        ),
     ]);
     assert!(dep(&out, 2));
 }
@@ -248,9 +245,7 @@ fn use_dep_checks_memory_operands_through_registers() {
     // I1: cmp [esi+4], 0       -> [Use-dep] via the register's values
     let (_, out) = run(vec![
         mov(reg(Reg::Esi), Operand::mem_abs(V0, 0)),
-        (Opcode::Cmp, InstKind::Use {
-            oprs: vec![Operand::mem_reg(Reg::Esi, 4), Operand::imm(0)],
-        }),
+        (Opcode::Cmp, InstKind::Use { oprs: vec![Operand::mem_reg(Reg::Esi, 4), Operand::imm(0)] }),
     ]);
     assert!(dep(&out, 1) && fired(&out, 1, RuleName::UseDep));
 }
@@ -301,12 +296,12 @@ fn lea_kills_by_default_but_tracks_with_the_ablation_flag() {
         b.inst(Opcode::Mov, InstKind::Mov { dst: reg(Reg::Esi), src: Operand::addr_of(V0, 0) });
         b.inst(
             Opcode::Lea,
-            InstKind::Mov {
-                dst: reg(Reg::Esi),
-                src: Operand::Loc(Loc::with_offset(Reg::Esi, 4)),
-            },
+            InstKind::Mov { dst: reg(Reg::Esi), src: Operand::Loc(Loc::with_offset(Reg::Esi, 4)) },
         );
-        b.inst(Opcode::Mov, InstKind::Mov { dst: reg(Reg::Eax), src: Operand::mem_reg(Reg::Esi, 0) });
+        b.inst(
+            Opcode::Mov,
+            InstKind::Mov { dst: reg(Reg::Eax), src: Operand::mem_reg(Reg::Esi, 0) },
+        );
         b.ret();
         b.end_func();
         b.finish().unwrap()
@@ -348,10 +343,7 @@ fn call_return_is_context_sensitive() {
         InstKind::Mov { dst: Operand::reg(Reg::Esi), src: Operand::mem_abs(V0, 0) },
     );
     b.call_named("id");
-    b.inst(
-        Opcode::Mov,
-        InstKind::Mov { dst: Operand::reg(Reg::Eax), src: Operand::reg(Reg::Esi) },
-    );
+    b.inst(Opcode::Mov, InstKind::Mov { dst: Operand::reg(Reg::Eax), src: Operand::reg(Reg::Esi) });
     b.ret();
     b.end_func();
     b.begin_func("other");
@@ -364,10 +356,7 @@ fn call_return_is_context_sensitive() {
     b.ret();
     b.end_func();
     b.begin_func("id");
-    b.inst(
-        Opcode::Mov,
-        InstKind::Mov { dst: Operand::reg(Reg::Edx), src: Operand::reg(Reg::Edx) },
-    );
+    b.inst(Opcode::Mov, InstKind::Mov { dst: Operand::reg(Reg::Edx), src: Operand::reg(Reg::Edx) });
     b.ret();
     b.end_func();
     b.set_entry("main");

@@ -73,10 +73,7 @@ impl Chunk {
 
     /// Emits `lea dst, src` (an address move).
     pub fn lea(&mut self, dst: Reg, src: Operand) {
-        self.micros.push(Micro::Plain(
-            Opcode::Lea,
-            InstKind::Mov { dst: Operand::reg(dst), src },
-        ));
+        self.micros.push(Micro::Plain(Opcode::Lea, InstKind::Mov { dst: Operand::reg(dst), src }));
     }
 
     /// Emits a binary arithmetic instruction with an explicit opcode.
@@ -209,12 +206,8 @@ pub fn interleave<R: Rng>(rng: &mut R, mut streams: Vec<Vec<Chunk>>) -> Vec<Chun
     let total: usize = streams.iter().map(Vec::len).sum();
     let mut out = Vec::with_capacity(total);
     while streams.iter().any(|s| !s.is_empty()) {
-        let nonempty: Vec<usize> = streams
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| !s.is_empty())
-            .map(|(k, _)| k)
-            .collect();
+        let nonempty: Vec<usize> =
+            streams.iter().enumerate().filter(|(_, s)| !s.is_empty()).map(|(k, _)| k).collect();
         let pick = nonempty[rng.random_range(0..nonempty.len())];
         out.push(streams[pick].pop().expect("picked stream is nonempty"));
     }

@@ -1,0 +1,204 @@
+//! Escape-through-call scenarios: labeled containers whose address crosses
+//! a call boundary.
+//!
+//! Each scenario emits a *caller* that constructs a container in a frame
+//! slot, passes its address to a dedicated *helper* (`lea` + `push` +
+//! `call`, cdecl cleanup), and then keeps operating on the container after
+//! the call returns. The helper mutates the container through the escaped
+//! pointer and ends in an indirect call through an import slot — the shape
+//! real logging/validation shims have — so an intra-procedural slice that
+//! cuts at indirect calls ([`TsliceConfig::cut_indirect_calls`]) dies inside
+//! the helper and never reaches the caller's far side. A slice driven by
+//! mod-ref summaries (`TsliceConfig::use_call_summaries`) steps over the
+//! call and keeps going, making these scenarios the ground truth for the
+//! "with vs. without summaries" evaluation axis.
+//!
+//! Every third helper is self-recursive (guarded by a value loaded through
+//! the escaped pointer), which exercises the summary analysis' SCC widening
+//! on code the slicer actually consumes.
+//!
+//! Scenario count is [`TypeCounts::escape`](crate::TypeCounts). When it is
+//! zero this module draws nothing from the RNG, so pre-existing specs
+//! generate bit-identical binaries.
+//!
+//! [`TsliceConfig::cut_indirect_calls`]: ../tiara_slice/struct.TsliceConfig.html
+//! [`TsliceConfig::use_call_summaries`]: ../tiara_slice/struct.TsliceConfig.html
+
+use crate::style::Style;
+use crate::templates::{ctor, random_op, VarCtx, VarPlace};
+use rand::rngs::StdRng;
+use rand::Rng;
+use tiara_ir::{
+    BinOp, ContainerClass, DebugInfo, InstKind, Opcode, Operand, ProgramBuilder, Reg, VarAddr,
+};
+
+/// Import slot of the opaque callback every escape helper tail-calls
+/// (disjoint from `_Xlength_error` at `0x73034` and the string pool at
+/// `0x7A000`).
+pub const ESCAPE_IMPORT_SLOT: u64 = 0x7304C;
+
+/// The container classes scenarios cycle through (primitives never take the
+/// escape-through-call shape in the MSVC output the generator models).
+pub const ESCAPE_CLASSES: [ContainerClass; 5] = [
+    ContainerClass::List,
+    ContainerClass::Vector,
+    ContainerClass::Map,
+    ContainerClass::Deque,
+    ContainerClass::Set,
+];
+
+/// Frame offset of the escaping container in each scenario caller.
+pub fn escape_slot_offset(style: &Style) -> i64 {
+    if style.negative_locals {
+        -0x20
+    } else {
+        8
+    }
+}
+
+/// Emits `count` escape scenarios (one caller + one helper each), records
+/// their labeled variables in `debug`, and appends the caller names to
+/// `func_names` so `main` reaches them. Draws from `rng` only when
+/// `count > 0`.
+pub(crate) fn emit_scenarios(
+    b: &mut ProgramBuilder,
+    debug: &mut DebugInfo,
+    rng: &mut StdRng,
+    style: &Style,
+    count: usize,
+    func_names: &mut Vec<String>,
+) {
+    for i in 0..count {
+        let class = ESCAPE_CLASSES[i % ESCAPE_CLASSES.len()];
+        let recursive = i % 3 == 2;
+        let caller = format!("esc_caller_{i:03}");
+        let helper = format!("esc_helper_{i:03}");
+        emit_caller(b, debug, rng, style, class, &caller, &helper);
+        emit_helper(b, style, &helper, recursive);
+        func_names.push(caller);
+    }
+}
+
+/// The caller: construct the container, escape its address into `helper`,
+/// then keep using it (the far side only a summary-driven slice reaches).
+fn emit_caller(
+    b: &mut ProgramBuilder,
+    debug: &mut DebugInfo,
+    rng: &mut StdRng,
+    style: &Style,
+    class: ContainerClass,
+    caller: &str,
+    helper: &str,
+) {
+    let func = b.begin_func(caller);
+    b.inst(Opcode::Push, InstKind::Push { src: Operand::reg(Reg::Ebp) });
+    b.inst(Opcode::Mov, InstKind::Mov { dst: Operand::reg(Reg::Ebp), src: Operand::reg(Reg::Esp) });
+    b.inst(
+        Opcode::Sub,
+        InstKind::Op { op: BinOp::Sub, dst: Operand::reg(Reg::Esp), src: Operand::imm(0x40) },
+    );
+
+    let off = escape_slot_offset(style);
+    debug.record(VarAddr::Stack { func, offset: off }, class, 0);
+    let ctx = VarCtx {
+        place: VarPlace::Stack(off),
+        ptr_level: 0,
+        bank: [Reg::Esi, Reg::Ebx, Reg::Edi],
+        fold_global_offsets: style.fold_global_offsets,
+        spill: -4,
+    };
+
+    // Near side: construct and touch the container before it escapes.
+    for c in ctor(class, &ctx, rng, style) {
+        c.emit(b);
+    }
+    for c in random_op(class, &ctx, rng, style) {
+        c.emit(b);
+    }
+
+    // The escape: `lea eax, [v]; push eax; call helper; add esp, 4`.
+    b.inst(Opcode::Lea, InstKind::Mov { dst: Operand::reg(Reg::Eax), src: ctx.addr() });
+    b.inst(Opcode::Push, InstKind::Push { src: Operand::reg(Reg::Eax) });
+    b.call_named(helper);
+    b.inst(
+        Opcode::Add,
+        InstKind::Op { op: BinOp::Add, dst: Operand::reg(Reg::Esp), src: Operand::imm(4) },
+    );
+
+    // Far side: at least one more operation on the container. An
+    // intra-procedural slice that died inside the helper never marks these.
+    let far_ops = rng.random_range(style.ops_per_var.0..=style.ops_per_var.1).max(1);
+    for _ in 0..far_ops {
+        for c in random_op(class, &ctx, rng, style) {
+            c.emit(b);
+        }
+    }
+
+    if style.use_leave_epilogue {
+        b.inst(
+            Opcode::Leave,
+            InstKind::Mov { dst: Operand::reg(Reg::Esp), src: Operand::reg(Reg::Ebp) },
+        );
+    } else {
+        b.inst(
+            Opcode::Mov,
+            InstKind::Mov { dst: Operand::reg(Reg::Esp), src: Operand::reg(Reg::Ebp) },
+        );
+    }
+    b.inst(Opcode::Pop, InstKind::Pop { dst: Operand::reg(Reg::Ebp) });
+    b.ret();
+    b.end_func();
+}
+
+/// The helper: mutate the container through the escaped pointer, optionally
+/// recurse on it, then disappear into an indirect import call.
+fn emit_helper(b: &mut ProgramBuilder, style: &Style, helper: &str, recursive: bool) {
+    b.begin_func(helper);
+    b.inst(Opcode::Push, InstKind::Push { src: Operand::reg(Reg::Ebp) });
+    b.inst(Opcode::Mov, InstKind::Mov { dst: Operand::reg(Reg::Ebp), src: Operand::reg(Reg::Esp) });
+
+    // Load the escaped pointer and bump a size-like header field through it.
+    let ptr = if style.seed.is_multiple_of(2) { Reg::Ecx } else { Reg::Edx };
+    b.inst(
+        Opcode::Mov,
+        InstKind::Mov { dst: Operand::reg(ptr), src: Operand::mem_reg(Reg::Ebp, 8) },
+    );
+    b.inst(
+        Opcode::Mov,
+        InstKind::Mov { dst: Operand::reg(Reg::Eax), src: Operand::mem_reg(ptr, 4) },
+    );
+    b.inst(
+        Opcode::Add,
+        InstKind::Op { op: BinOp::Add, dst: Operand::reg(Reg::Eax), src: Operand::imm(1) },
+    );
+    b.inst(
+        Opcode::Mov,
+        InstKind::Mov { dst: Operand::mem_reg(ptr, 4), src: Operand::reg(Reg::Eax) },
+    );
+
+    if recursive {
+        // Re-escape the same pointer into ourselves, guarded by the header
+        // value so the recursion is not statically unbounded.
+        let done = b.new_label();
+        b.inst(
+            Opcode::Cmp,
+            InstKind::Use { oprs: vec![Operand::reg(Reg::Eax), Operand::imm(0x40)] },
+        );
+        b.jump(Opcode::Jge, done);
+        b.inst(Opcode::Push, InstKind::Push { src: Operand::reg(ptr) });
+        b.call_named(helper);
+        b.inst(
+            Opcode::Add,
+            InstKind::Op { op: BinOp::Add, dst: Operand::reg(Reg::Esp), src: Operand::imm(4) },
+        );
+        b.bind_label(done);
+    }
+
+    // The opaque tail every real logging shim has; with
+    // `cut_indirect_calls` this is where an unsummarized slice dies.
+    b.call_indirect(Operand::mem_abs(ESCAPE_IMPORT_SLOT, 0));
+
+    b.inst(Opcode::Pop, InstKind::Pop { dst: Operand::reg(Reg::Ebp) });
+    b.ret();
+    b.end_func();
+}

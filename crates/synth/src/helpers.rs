@@ -8,9 +8,7 @@
 
 use crate::style::Style;
 use crate::templates::{list, map, vector};
-use tiara_ir::{
-    BinOp, ExternKind, InstKind, Opcode, Operand, ProgramBuilder, Reg,
-};
+use tiara_ir::{BinOp, ExternKind, InstKind, Opcode, Operand, ProgramBuilder, Reg};
 
 /// Per-style register roles inside helper bodies: which caller-save register
 /// ferries loaded arguments and which holds copies. Real builds differ here
@@ -31,10 +29,7 @@ fn helper_regs(style: &Style) -> HelperRegs {
 
 fn prologue(b: &mut ProgramBuilder, style: &Style) {
     b.inst(Opcode::Push, InstKind::Push { src: Operand::reg(Reg::Ebp) });
-    b.inst(
-        Opcode::Mov,
-        InstKind::Mov { dst: Operand::reg(Reg::Ebp), src: Operand::reg(Reg::Esp) },
-    );
+    b.inst(Opcode::Mov, InstKind::Mov { dst: Operand::reg(Reg::Ebp), src: Operand::reg(Reg::Esp) });
     if style.seed.is_multiple_of(3) {
         // Some builds reserve scratch space even in small helpers.
         b.inst(
@@ -120,7 +115,7 @@ pub fn emit_vector_emplace_realloc(b: &mut ProgramBuilder, style: &Style) {
     mov(b, Operand::mem_reg(Reg::Edi, 0), Operand::reg(Reg::Edx));
     add(b, Operand::reg(Reg::Edi), Operand::imm(4));
     mov(b, Operand::mem_reg(Reg::Ecx, 4), Operand::reg(Reg::Edi)); // _Mylast
-    // _Myfirst = new buffer (still spilled in eax? reload pattern instead)
+                                                                   // _Myfirst = new buffer (still spilled in eax? reload pattern instead)
     mov(b, Operand::reg(Reg::Edx), Operand::reg(Reg::Edi));
     add(b, Operand::reg(Reg::Edx), Operand::imm(60));
     mov(b, Operand::mem_reg(Reg::Ecx, 8), Operand::reg(Reg::Edx)); // _Myend
@@ -208,7 +203,7 @@ pub fn emit_deque_growmap(b: &mut ProgramBuilder, style: &Style) {
     mov(b, Operand::reg(Reg::Ecx), Operand::mem_reg(Reg::Ebp, 8)); // deque*
     mov(b, Operand::reg(Reg::Esi), Operand::mem_reg(Reg::Ecx, 0)); // old map
     mov(b, Operand::reg(Reg::Edx), Operand::mem_reg(Reg::Ecx, 4)); // _Mapsize
-    // Copy the block pointers.
+                                                                   // Copy the block pointers.
     let top = b.new_label();
     let done = b.new_label();
     b.bind_label(top);

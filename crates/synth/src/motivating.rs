@@ -40,10 +40,7 @@ pub fn motivating_example() -> MotivatingExample {
     b.begin_func("main");
     // Prologue.
     b.inst(Opcode::Push, InstKind::Push { src: Operand::reg(Reg::Ebp) });
-    b.inst(
-        Opcode::Mov,
-        InstKind::Mov { dst: Operand::reg(Reg::Ebp), src: Operand::reg(Reg::Esp) },
-    );
+    b.inst(Opcode::Mov, InstKind::Mov { dst: Operand::reg(Reg::Ebp), src: Operand::reg(Reg::Esp) });
     b.inst(
         Opcode::Sub,
         InstKind::Op { op: BinOp::Sub, dst: Operand::reg(Reg::Esp), src: Operand::imm(0x30) },
@@ -60,7 +57,10 @@ pub fn motivating_example() -> MotivatingExample {
     // I2: push eax
     b.inst(Opcode::Push, InstKind::Push { src: eax });
     // I3: mov dword ptr [argn], 0Ah
-    b.inst(Opcode::Mov, InstKind::Mov { dst: Operand::mem_reg(Reg::Ebp, -0x20), src: Operand::imm(0x0A) });
+    b.inst(
+        Opcode::Mov,
+        InstKind::Mov { dst: Operand::mem_reg(Reg::Ebp, -0x20), src: Operand::imm(0x0A) },
+    );
     // I4: push dword ptr [esi+4]
     b.inst(Opcode::Push, InstKind::Push { src: Operand::mem_reg(Reg::Esi, 4) });
     // I5: push esi
@@ -105,7 +105,10 @@ pub fn motivating_example() -> MotivatingExample {
     // I20: lea eax, [ebp+8]
     b.inst(
         Opcode::Lea,
-        InstKind::Mov { dst: eax, src: Operand::Loc(tiara_ir::Loc::with_offset(Reg::Ebp, V_OFFSET)) },
+        InstKind::Mov {
+            dst: eax,
+            src: Operand::Loc(tiara_ir::Loc::with_offset(Reg::Ebp, V_OFFSET)),
+        },
     );
     // ... the rest of v.push_back(20): capacity test + growth call.
     b.inst(Opcode::Push, InstKind::Push { src: Operand::imm(0x14) });
@@ -117,10 +120,7 @@ pub fn motivating_example() -> MotivatingExample {
     );
 
     // Epilogue.
-    b.inst(
-        Opcode::Mov,
-        InstKind::Mov { dst: Operand::reg(Reg::Esp), src: Operand::reg(Reg::Ebp) },
-    );
+    b.inst(Opcode::Mov, InstKind::Mov { dst: Operand::reg(Reg::Esp), src: Operand::reg(Reg::Ebp) });
     b.inst(Opcode::Pop, InstKind::Pop { dst: Operand::reg(Reg::Ebp) });
     b.ret();
     b.end_func();
@@ -136,12 +136,7 @@ pub fn motivating_example() -> MotivatingExample {
     debug.record(l, ContainerClass::List, 0);
     debug.record(v, ContainerClass::Vector, 0);
 
-    MotivatingExample {
-        binary: Binary { name: "motivating".into(), program, debug },
-        l,
-        v,
-        i0,
-    }
+    MotivatingExample { binary: Binary { name: "motivating".into(), program, debug }, l, v, i0 }
 }
 
 #[cfg(test)]

@@ -45,12 +45,16 @@ pub struct TypeCounts {
     /// `std::set` variables (extension label).
     #[serde(default)]
     pub set: usize,
+    /// Escape-through-call scenarios (each adds one labeled stack container
+    /// whose address crosses a call; see [`crate::escape`]).
+    #[serde(default)]
+    pub escape: usize,
 }
 
 impl TypeCounts {
-    /// Total number of labeled variables.
+    /// Total number of labeled variables (escape scenarios label one each).
     pub fn total(&self) -> usize {
-        self.list + self.vector + self.map + self.deque + self.set + self.primitive
+        self.list + self.vector + self.map + self.deque + self.set + self.primitive + self.escape
     }
 
     /// The count for one label.
@@ -102,14 +106,32 @@ impl Binary {
 /// see DESIGN.md) so that the full evaluation runs on a CPU-only host.
 pub fn benchmark_suite(seed: u64) -> Vec<ProjectSpec> {
     let table: [(&str, TypeCounts); 8] = [
-        ("clang", TypeCounts { list: 18, vector: 120, map: 140, primitive: 800, ..Default::default() }),
-        ("cmake", TypeCounts { list: 6, vector: 110, map: 100, primitive: 500, ..Default::default() }),
-        ("bitcoind", TypeCounts { list: 6, vector: 90, map: 95, primitive: 420, ..Default::default() }),
-        ("spdlog", TypeCounts { list: 3, vector: 40, map: 25, primitive: 160, ..Default::default() }),
+        (
+            "clang",
+            TypeCounts { list: 18, vector: 120, map: 140, primitive: 800, ..Default::default() },
+        ),
+        (
+            "cmake",
+            TypeCounts { list: 6, vector: 110, map: 100, primitive: 500, ..Default::default() },
+        ),
+        (
+            "bitcoind",
+            TypeCounts { list: 6, vector: 90, map: 95, primitive: 420, ..Default::default() },
+        ),
+        (
+            "spdlog",
+            TypeCounts { list: 3, vector: 40, map: 25, primitive: 160, ..Default::default() },
+        ),
         ("soci", TypeCounts { list: 0, vector: 45, map: 42, primitive: 150, ..Default::default() }),
         ("re2", TypeCounts { list: 2, vector: 30, map: 35, primitive: 90, ..Default::default() }),
-        ("arduinojson", TypeCounts { list: 0, vector: 20, map: 30, primitive: 100, ..Default::default() }),
-        ("list_ext", TypeCounts { list: 24, vector: 4, map: 0, primitive: 60, ..Default::default() }),
+        (
+            "arduinojson",
+            TypeCounts { list: 0, vector: 20, map: 30, primitive: 100, ..Default::default() },
+        ),
+        (
+            "list_ext",
+            TypeCounts { list: 24, vector: 4, map: 0, primitive: 60, ..Default::default() },
+        ),
     ];
     table
         .into_iter()
@@ -129,15 +151,45 @@ pub fn extended_suite(seed: u64) -> Vec<ProjectSpec> {
         counts,
     };
     vec![
-        mk("ext_app", 8, TypeCounts {
-            list: 10, vector: 40, map: 35, deque: 30, set: 30, primitive: 200,
-        }),
-        mk("ext_svc", 9, TypeCounts {
-            list: 8, vector: 30, map: 30, deque: 25, set: 25, primitive: 150,
-        }),
-        mk("ext_kit", 10, TypeCounts {
-            list: 6, vector: 20, map: 25, deque: 20, set: 20, primitive: 100,
-        }),
+        mk(
+            "ext_app",
+            8,
+            TypeCounts {
+                list: 10,
+                vector: 40,
+                map: 35,
+                deque: 30,
+                set: 30,
+                primitive: 200,
+                ..Default::default()
+            },
+        ),
+        mk(
+            "ext_svc",
+            9,
+            TypeCounts {
+                list: 8,
+                vector: 30,
+                map: 30,
+                deque: 25,
+                set: 25,
+                primitive: 150,
+                ..Default::default()
+            },
+        ),
+        mk(
+            "ext_kit",
+            10,
+            TypeCounts {
+                list: 6,
+                vector: 20,
+                map: 25,
+                deque: 20,
+                set: 20,
+                primitive: 100,
+                ..Default::default()
+            },
+        ),
     ]
 }
 
@@ -159,8 +211,9 @@ pub fn generate(spec: &ProjectSpec) -> Binary {
     let mut pending: Vec<PendingVar> = Vec::with_capacity(spec.counts.total());
     for class in ContainerClass::ALL {
         for _ in 0..spec.counts.of(class) {
-            let ptr_level =
-                u8::from(class != ContainerClass::Primitive && rng.random_bool(style.ptr_var_fraction));
+            let ptr_level = u8::from(
+                class != ContainerClass::Primitive && rng.random_bool(style.ptr_var_fraction),
+            );
             pending.push(PendingVar {
                 class,
                 ptr_level,
@@ -180,9 +233,7 @@ pub fn generate(spec: &ProjectSpec) -> Binary {
 
     let mut cursor = 0usize;
     while cursor < pending.len() {
-        let k = rng
-            .random_range(1..=style.vars_per_func)
-            .min(pending.len() - cursor);
+        let k = rng.random_range(1..=style.vars_per_func).min(pending.len() - cursor);
         let group = &pending[cursor..cursor + k];
         cursor += k;
 
@@ -293,13 +344,21 @@ pub fn generate(spec: &ProjectSpec) -> Binary {
         b.end_func();
     }
 
+    // Escape-through-call scenarios (no-op, and no RNG draws, when the
+    // spec's `escape` count is zero — existing specs stay bit-identical).
+    crate::escape::emit_scenarios(
+        &mut b,
+        &mut debug,
+        &mut rng,
+        &style,
+        spec.counts.escape,
+        &mut func_names,
+    );
+
     // main: call every generated function.
     b.begin_func("main");
     b.inst(Opcode::Push, InstKind::Push { src: Operand::reg(Reg::Ebp) });
-    b.inst(
-        Opcode::Mov,
-        InstKind::Mov { dst: Operand::reg(Reg::Ebp), src: Operand::reg(Reg::Esp) },
-    );
+    b.inst(Opcode::Mov, InstKind::Mov { dst: Operand::reg(Reg::Ebp), src: Operand::reg(Reg::Esp) });
     for name in &func_names {
         b.call_named(name);
     }
@@ -330,8 +389,10 @@ pub fn generate(spec: &ProjectSpec) -> Binary {
         // instruction, otherwise the "noise" feeds real computation and
         // would teach the slicer/GCN to follow it.
         let liveness = tiara_dataflow::Liveness::new();
-        let mut cache: Option<(tiara_ir::FuncId, tiara_dataflow::Solution<tiara_dataflow::RegSet>)> =
-            None;
+        let mut cache: Option<(
+            tiara_ir::FuncId,
+            tiara_dataflow::Solution<tiara_dataflow::RegSet>,
+        )> = None;
         for (func, span, regs) in &noise_spans {
             if cache.as_ref().map(|(f, _)| f) != Some(func) {
                 cache = Some((*func, tiara_dataflow::solve(&program, *func, &liveness)));
@@ -434,7 +495,13 @@ mod tests {
         }
         let bin = generate(&ProjectSpec {
             counts: TypeCounts {
-                list: 1, vector: 2, map: 2, deque: 3, set: 3, primitive: 6,
+                list: 1,
+                vector: 2,
+                map: 2,
+                deque: 3,
+                set: 3,
+                primitive: 6,
+                ..Default::default()
             },
             ..specs[0].clone()
         });
@@ -442,6 +509,60 @@ mod tests {
         assert_eq!(bin.debug.count_of(ContainerClass::Set), 3);
         assert!(bin.program.func_by_name(crate::templates::set::SET_BUYNODE).is_some());
         assert!(bin.program.func_by_name(crate::templates::deque::GROWMAP).is_some());
+    }
+
+    #[test]
+    fn escape_scenarios_emit_callers_helpers_and_labels() {
+        // `generate` self-verifies in debug builds, so constructing this
+        // binary already proves the scenarios pass every static check.
+        let bin = generate(&ProjectSpec {
+            name: "esc".into(),
+            index: 1,
+            seed: 5,
+            counts: TypeCounts { vector: 1, primitive: 2, escape: 4, ..Default::default() },
+        });
+        let p = &bin.program;
+        let main = p.entry_func();
+        for i in 0..4 {
+            let caller =
+                p.func_by_name(&format!("esc_caller_{i:03}")).expect("scenario caller exists").id;
+            assert!(p.func_by_name(&format!("esc_helper_{i:03}")).is_some());
+            // main must reach every scenario caller directly.
+            let called_from_main = (p.func(main).start.0..p.func(main).end.0).any(|raw| {
+                matches!(
+                    &p.inst(tiara_ir::InstId(raw)).kind,
+                    InstKind::Call { target: tiara_ir::CallTarget::Direct(f) } if *f == caller
+                )
+            });
+            assert!(called_from_main, "main does not call esc_caller_{i:03}");
+        }
+        // One labeled stack variable per scenario, on top of the base counts.
+        assert_eq!(bin.debug.len(), 1 + 2 + 4);
+        let stack_labels =
+            bin.debug.iter().filter(|r| matches!(r.addr, VarAddr::Stack { .. })).count();
+        assert!(stack_labels >= 4, "each scenario labels a stack slot");
+    }
+
+    #[test]
+    fn escape_zero_draws_nothing_from_the_rng() {
+        // A spec with escape: 0 must be bit-identical to the same spec
+        // before the field existed; in particular no scenario functions.
+        let bin = generate(&small_spec());
+        assert!(bin.program.func_by_name("esc_caller_000").is_none());
+        let with = generate(&ProjectSpec {
+            counts: TypeCounts { escape: 3, ..small_spec().counts },
+            ..small_spec()
+        });
+        // Prefix property: the non-escape functions are generated first and
+        // identically (same RNG stream), escape code only appends.
+        assert!(with.program.num_insts() > bin.program.num_insts());
+        for r in bin.debug.iter() {
+            assert!(
+                with.debug.iter().any(|w| w.addr == r.addr && w.class == r.class),
+                "base label {:?} missing from escape-augmented project",
+                r.addr
+            );
+        }
     }
 
     #[test]

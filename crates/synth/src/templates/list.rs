@@ -98,10 +98,7 @@ pub fn push_back(ctx: &VarCtx, rng: &mut StdRng, style: &Style) -> Vec<Chunk> {
     c3.mov(Operand::reg(tiara_ir::Reg::Edx), ctx.spill_slot()); // edx <- new node
     c3.mov(Operand::reg(r0), f3.at(0)); // reload _Myhead        (ref, 0)
     c3.mov(Operand::mem_reg(r0, 4), Operand::reg(tiara_ir::Reg::Edx)); // via dep ptr
-    c3.mov(
-        Operand::mem_reg(tiara_ir::Reg::Edx, 0),
-        Operand::reg(r0),
-    ); // node->_Next: through a non-dep reg (the paper's I18/I19)
+    c3.mov(Operand::mem_reg(tiara_ir::Reg::Edx, 0), Operand::reg(r0)); // node->_Next: through a non-dep reg (the paper's I18/I19)
 
     vec![c1, c2, c3]
 }

@@ -170,10 +170,7 @@ pub(crate) fn weighted_pick(rng: &mut StdRng, weights: &[u64]) -> usize {
 /// Combines a base operation frequency with the project's habit weight
 /// (see [`Style::op_weight`]).
 pub(crate) fn op_weights(style: &Style, class_tag: u64, base: &[u64]) -> Vec<u64> {
-    base.iter()
-        .enumerate()
-        .map(|(k, &b)| b * style.op_weight(class_tag, k as u64, 4))
-        .collect()
+    base.iter().enumerate().map(|(k, &b)| b * style.op_weight(class_tag, k as u64, 4)).collect()
 }
 
 #[cfg(test)]
@@ -236,10 +233,8 @@ mod tests {
             format!("{c:?}").contains("CallNamed")
         });
         assert!(!has_named_call, "inlined push_back must not call _Buynode");
-        let mallocs = chunks
-            .iter()
-            .map(|c| format!("{c:?}").matches("Malloc").count())
-            .sum::<usize>();
+        let mallocs =
+            chunks.iter().map(|c| format!("{c:?}").matches("Malloc").count()).sum::<usize>();
         assert!(mallocs >= 1, "the inlined body still allocates");
 
         let outline_style = Style { inline_allocators: false, ..Style::default() };

@@ -59,11 +59,7 @@ pub(crate) fn run(prog: &Program) -> Vec<Diagnostic> {
     if expected.index() != n {
         diags.push(Diagnostic::error(
             PassId::Cfg,
-            format!(
-                "function table covers {} of {} instructions",
-                expected.index(),
-                n
-            ),
+            format!("function table covers {} of {} instructions", expected.index(), n),
         ));
         table_ok = false;
     }
@@ -113,7 +109,10 @@ pub(crate) fn run(prog: &Program) -> Vec<Diagnostic> {
                 diags.push(
                     Diagnostic::error(
                         PassId::Cfg,
-                        format!("instruction maps to function {} in func_of", prog.func_of(id).index()),
+                        format!(
+                            "instruction maps to function {} in func_of",
+                            prog.func_of(id).index()
+                        ),
                     )
                     .in_func(f.id)
                     .at(id),
@@ -152,7 +151,7 @@ pub(crate) fn run(prog: &Program) -> Vec<Diagnostic> {
                 InstKind::Ret => {
                     let valid = ret_sites.get(&f.id.0);
                     for &s in prog.cfg_succs(id) {
-                        if valid.map_or(true, |set| !set.contains(&s)) {
+                        if valid.is_none_or(|set| !set.contains(&s)) {
                             diags.push(
                                 Diagnostic::error(
                                     PassId::Cfg,
@@ -256,10 +255,7 @@ mod tests {
 
     fn ret_only(b: &mut ProgramBuilder, name: &str) {
         b.begin_func(name);
-        b.inst(Opcode::Mov, InstKind::Mov {
-            dst: Operand::reg(Reg::Eax),
-            src: Operand::imm(0),
-        });
+        b.inst(Opcode::Mov, InstKind::Mov { dst: Operand::reg(Reg::Eax), src: Operand::imm(0) });
         b.ret();
         b.end_func();
     }
@@ -297,9 +293,7 @@ mod tests {
         let top = b.new_label();
         let done = b.new_label();
         b.bind_label(top);
-        b.inst(Opcode::Cmp, InstKind::Use {
-            oprs: vec![Operand::imm(1), Operand::imm(2)],
-        });
+        b.inst(Opcode::Cmp, InstKind::Use { oprs: vec![Operand::imm(1), Operand::imm(2)] });
         b.jump(Opcode::Je, done);
         b.jump(Opcode::Jmp, top);
         b.bind_label(done);

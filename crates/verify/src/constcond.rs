@@ -46,18 +46,13 @@ mod tests {
         let mut b = ProgramBuilder::new();
         b.begin_func("f");
         let l = b.new_label();
-        b.inst(Opcode::Mov, InstKind::Mov {
-            dst: Operand::reg(Reg::Eax),
-            src: Operand::imm(0),
-        });
-        b.inst(Opcode::Test, InstKind::Use {
-            oprs: vec![Operand::reg(Reg::Eax), Operand::reg(Reg::Eax)],
-        });
+        b.inst(Opcode::Mov, InstKind::Mov { dst: Operand::reg(Reg::Eax), src: Operand::imm(0) });
+        b.inst(
+            Opcode::Test,
+            InstKind::Use { oprs: vec![Operand::reg(Reg::Eax), Operand::reg(Reg::Eax)] },
+        );
         let j = b.jump(Opcode::Je, l);
-        b.inst(Opcode::Mov, InstKind::Mov {
-            dst: Operand::reg(Reg::Ecx),
-            src: Operand::imm(1),
-        });
+        b.inst(Opcode::Mov, InstKind::Mov { dst: Operand::reg(Reg::Ecx), src: Operand::imm(1) });
         b.bind_label(l);
         b.ret();
         b.end_func();
@@ -74,18 +69,16 @@ mod tests {
         let mut b = ProgramBuilder::new();
         b.begin_func("f");
         let l = b.new_label();
-        b.inst(Opcode::Mov, InstKind::Mov {
-            dst: Operand::reg(Reg::Eax),
-            src: Operand::mem_abs(0x7D000, 0),
-        });
-        b.inst(Opcode::Test, InstKind::Use {
-            oprs: vec![Operand::reg(Reg::Eax), Operand::reg(Reg::Eax)],
-        });
+        b.inst(
+            Opcode::Mov,
+            InstKind::Mov { dst: Operand::reg(Reg::Eax), src: Operand::mem_abs(0x7D000, 0) },
+        );
+        b.inst(
+            Opcode::Test,
+            InstKind::Use { oprs: vec![Operand::reg(Reg::Eax), Operand::reg(Reg::Eax)] },
+        );
         b.jump(Opcode::Je, l);
-        b.inst(Opcode::Mov, InstKind::Mov {
-            dst: Operand::reg(Reg::Ecx),
-            src: Operand::imm(1),
-        });
+        b.inst(Opcode::Mov, InstKind::Mov { dst: Operand::reg(Reg::Ecx), src: Operand::imm(1) });
         b.bind_label(l);
         b.ret();
         b.end_func();

@@ -269,10 +269,13 @@ mod tests {
         // must not be flagged anymore.
         let mut b = ProgramBuilder::new();
         b.begin_func("f");
-        b.inst(Opcode::Lea, InstKind::Mov {
-            dst: Operand::reg(Reg::Esi),
-            src: Operand::Loc(tiara_ir::Loc::with_offset(Reg::Ebp, -8)),
-        });
+        b.inst(
+            Opcode::Lea,
+            InstKind::Mov {
+                dst: Operand::reg(Reg::Esi),
+                src: Operand::Loc(tiara_ir::Loc::with_offset(Reg::Ebp, -8)),
+            },
+        );
         b.inst(Opcode::Mov, InstKind::Mov { dst: slot(-8), src: Operand::imm(1) });
         b.inst(Opcode::Mov, InstKind::Mov { dst: slot(-8), src: Operand::imm(2) });
         b.ret();

@@ -115,7 +115,9 @@ pub(crate) fn run(prog: &Program) -> Vec<Diagnostic> {
         // Report each (instruction, register) violation once.
         let mut reported: HashSet<(u32, u8)> = HashSet::new();
         for id in f.inst_ids() {
-            let Some(&mask) = in_mask.get(&id.0) else { continue };
+            let Some(&mask) = in_mask.get(&id.0) else {
+                continue;
+            };
             let (reads, _) = effects(&prog.inst(id).kind);
             for r in reads {
                 if mask & bit(r) == 0 && reported.insert((id.0, r.index() as u8)) {
@@ -143,10 +145,13 @@ mod tests {
     fn read_of_undefined_register_is_an_error() {
         let mut b = ProgramBuilder::new();
         b.begin_func("f");
-        b.inst(Opcode::Mov, InstKind::Mov {
-            dst: Operand::reg(Reg::Ebx),
-            src: Operand::reg(Reg::Eax), // eax never defined
-        });
+        b.inst(
+            Opcode::Mov,
+            InstKind::Mov {
+                dst: Operand::reg(Reg::Ebx),
+                src: Operand::reg(Reg::Eax), // eax never defined
+            },
+        );
         b.ret();
         b.end_func();
         let p = b.finish().unwrap();
@@ -159,14 +164,11 @@ mod tests {
     fn defs_cover_later_reads() {
         let mut b = ProgramBuilder::new();
         b.begin_func("f");
-        b.inst(Opcode::Mov, InstKind::Mov {
-            dst: Operand::reg(Reg::Eax),
-            src: Operand::imm(3),
-        });
-        b.inst(Opcode::Mov, InstKind::Mov {
-            dst: Operand::reg(Reg::Ebx),
-            src: Operand::mem_reg(Reg::Eax, 4),
-        });
+        b.inst(Opcode::Mov, InstKind::Mov { dst: Operand::reg(Reg::Eax), src: Operand::imm(3) });
+        b.inst(
+            Opcode::Mov,
+            InstKind::Mov { dst: Operand::reg(Reg::Ebx), src: Operand::mem_reg(Reg::Eax, 4) },
+        );
         b.ret();
         b.end_func();
         let p = b.finish().unwrap();
@@ -177,15 +179,18 @@ mod tests {
     fn zero_idiom_defines_without_reading() {
         let mut b = ProgramBuilder::new();
         b.begin_func("f");
-        b.inst(Opcode::Xor, InstKind::Op {
-            op: BinOp::Xor,
-            dst: Operand::reg(Reg::Ecx),
-            src: Operand::reg(Reg::Ecx),
-        });
-        b.inst(Opcode::Mov, InstKind::Mov {
-            dst: Operand::reg(Reg::Edx),
-            src: Operand::reg(Reg::Ecx),
-        });
+        b.inst(
+            Opcode::Xor,
+            InstKind::Op {
+                op: BinOp::Xor,
+                dst: Operand::reg(Reg::Ecx),
+                src: Operand::reg(Reg::Ecx),
+            },
+        );
+        b.inst(
+            Opcode::Mov,
+            InstKind::Mov { dst: Operand::reg(Reg::Edx), src: Operand::reg(Reg::Ecx) },
+        );
         b.ret();
         b.end_func();
         let p = b.finish().unwrap();
@@ -199,14 +204,9 @@ mod tests {
         let mut b = ProgramBuilder::new();
         b.begin_func("f");
         let merge = b.new_label();
-        b.inst(Opcode::Cmp, InstKind::Use {
-            oprs: vec![Operand::imm(1), Operand::imm(2)],
-        });
+        b.inst(Opcode::Cmp, InstKind::Use { oprs: vec![Operand::imm(1), Operand::imm(2)] });
         b.jump(Opcode::Je, merge);
-        b.inst(Opcode::Mov, InstKind::Mov {
-            dst: Operand::reg(Reg::Esi),
-            src: Operand::imm(7),
-        });
+        b.inst(Opcode::Mov, InstKind::Mov { dst: Operand::reg(Reg::Esi), src: Operand::imm(7) });
         b.bind_label(merge);
         b.inst(Opcode::Push, InstKind::Push { src: Operand::reg(Reg::Esi) });
         b.inst(Opcode::Pop, InstKind::Pop { dst: Operand::reg(Reg::Esi) });
@@ -223,10 +223,10 @@ mod tests {
         let mut b = ProgramBuilder::new();
         b.begin_func("f");
         b.call_extern(tiara_ir::ExternKind::Malloc);
-        b.inst(Opcode::Mov, InstKind::Mov {
-            dst: Operand::reg(Reg::Ebx),
-            src: Operand::reg(Reg::Eax),
-        });
+        b.inst(
+            Opcode::Mov,
+            InstKind::Mov { dst: Operand::reg(Reg::Ebx), src: Operand::reg(Reg::Eax) },
+        );
         b.ret();
         b.end_func();
         let p = b.finish().unwrap();

@@ -53,20 +53,21 @@ mod tests {
     fn fpo_function_with_ebp_access_is_an_error() {
         let mut b = ProgramBuilder::new();
         b.begin_func("fpo");
-        b.inst(Opcode::Sub, InstKind::Op {
-            op: BinOp::Sub,
-            dst: Operand::reg(Reg::Esp),
-            src: Operand::imm(0x10),
-        });
-        b.inst(Opcode::Mov, InstKind::Mov {
-            dst: Operand::reg(Reg::Eax),
-            src: Operand::mem_reg(Reg::Ebp, 8), // bug: no ebp frame exists
-        });
-        b.inst(Opcode::Add, InstKind::Op {
-            op: BinOp::Add,
-            dst: Operand::reg(Reg::Esp),
-            src: Operand::imm(0x10),
-        });
+        b.inst(
+            Opcode::Sub,
+            InstKind::Op { op: BinOp::Sub, dst: Operand::reg(Reg::Esp), src: Operand::imm(0x10) },
+        );
+        b.inst(
+            Opcode::Mov,
+            InstKind::Mov {
+                dst: Operand::reg(Reg::Eax),
+                src: Operand::mem_reg(Reg::Ebp, 8), // bug: no ebp frame exists
+            },
+        );
+        b.inst(
+            Opcode::Add,
+            InstKind::Op { op: BinOp::Add, dst: Operand::reg(Reg::Esp), src: Operand::imm(0x10) },
+        );
         b.ret();
         b.end_func();
         let p = b.finish().unwrap();
@@ -79,20 +80,18 @@ mod tests {
     fn fpo_function_with_esp_accesses_is_clean() {
         let mut b = ProgramBuilder::new();
         b.begin_func("fpo");
-        b.inst(Opcode::Sub, InstKind::Op {
-            op: BinOp::Sub,
-            dst: Operand::reg(Reg::Esp),
-            src: Operand::imm(0x10),
-        });
-        b.inst(Opcode::Mov, InstKind::Mov {
-            dst: Operand::reg(Reg::Eax),
-            src: Operand::mem_reg(Reg::Esp, 4),
-        });
-        b.inst(Opcode::Add, InstKind::Op {
-            op: BinOp::Add,
-            dst: Operand::reg(Reg::Esp),
-            src: Operand::imm(0x10),
-        });
+        b.inst(
+            Opcode::Sub,
+            InstKind::Op { op: BinOp::Sub, dst: Operand::reg(Reg::Esp), src: Operand::imm(0x10) },
+        );
+        b.inst(
+            Opcode::Mov,
+            InstKind::Mov { dst: Operand::reg(Reg::Eax), src: Operand::mem_reg(Reg::Esp, 4) },
+        );
+        b.inst(
+            Opcode::Add,
+            InstKind::Op { op: BinOp::Add, dst: Operand::reg(Reg::Esp), src: Operand::imm(0x10) },
+        );
         b.ret();
         b.end_func();
         let p = b.finish().unwrap();
@@ -104,18 +103,18 @@ mod tests {
         let mut b = ProgramBuilder::new();
         b.begin_func("framed");
         b.inst(Opcode::Push, InstKind::Push { src: Operand::reg(Reg::Ebp) });
-        b.inst(Opcode::Mov, InstKind::Mov {
-            dst: Operand::reg(Reg::Ebp),
-            src: Operand::reg(Reg::Esp),
-        });
-        b.inst(Opcode::Mov, InstKind::Mov {
-            dst: Operand::reg(Reg::Eax),
-            src: Operand::mem_reg(Reg::Ebp, 8),
-        });
-        b.inst(Opcode::Mov, InstKind::Mov {
-            dst: Operand::reg(Reg::Esp),
-            src: Operand::reg(Reg::Ebp),
-        });
+        b.inst(
+            Opcode::Mov,
+            InstKind::Mov { dst: Operand::reg(Reg::Ebp), src: Operand::reg(Reg::Esp) },
+        );
+        b.inst(
+            Opcode::Mov,
+            InstKind::Mov { dst: Operand::reg(Reg::Eax), src: Operand::mem_reg(Reg::Ebp, 8) },
+        );
+        b.inst(
+            Opcode::Mov,
+            InstKind::Mov { dst: Operand::reg(Reg::Esp), src: Operand::reg(Reg::Ebp) },
+        );
         b.inst(Opcode::Pop, InstKind::Pop { dst: Operand::reg(Reg::Ebp) });
         b.ret();
         b.end_func();

@@ -44,7 +44,13 @@ impl State {
     }
 
     /// Leak check before the binding of `r` is destroyed.
-    fn overwrite(&mut self, r: Reg, diags: &mut Vec<Diagnostic>, func: FuncId, at: tiara_ir::InstId) {
+    fn overwrite(
+        &mut self,
+        r: Reg,
+        diags: &mut Vec<Diagnostic>,
+        func: FuncId,
+        at: tiara_ir::InstId,
+    ) {
         if let Some(t) = self.regs[r.index()] {
             let tok = self.tokens[t];
             let sole = self.regs.iter().filter(|b| **b == Some(t)).count() == 1
@@ -197,22 +203,20 @@ mod tests {
     fn malloc(b: &mut ProgramBuilder, size: i64) {
         b.inst(Opcode::Push, InstKind::Push { src: Operand::imm(size) });
         b.call_extern(ExternKind::Malloc);
-        b.inst(Opcode::Add, InstKind::Op {
-            op: BinOp::Add,
-            dst: Operand::reg(Reg::Esp),
-            src: Operand::imm(4),
-        });
+        b.inst(
+            Opcode::Add,
+            InstKind::Op { op: BinOp::Add, dst: Operand::reg(Reg::Esp), src: Operand::imm(4) },
+        );
     }
 
     /// `push r; call free; add esp, 4`.
     fn free_reg(b: &mut ProgramBuilder, r: Reg) {
         b.inst(Opcode::Push, InstKind::Push { src: Operand::reg(r) });
         b.call_extern(ExternKind::Free);
-        b.inst(Opcode::Add, InstKind::Op {
-            op: BinOp::Add,
-            dst: Operand::reg(Reg::Esp),
-            src: Operand::imm(4),
-        });
+        b.inst(
+            Opcode::Add,
+            InstKind::Op { op: BinOp::Add, dst: Operand::reg(Reg::Esp), src: Operand::imm(4) },
+        );
     }
 
     #[test]
@@ -220,10 +224,10 @@ mod tests {
         let mut b = ProgramBuilder::new();
         b.begin_func("f");
         malloc(&mut b, 12);
-        b.inst(Opcode::Mov, InstKind::Mov {
-            dst: Operand::reg(Reg::Ebx),
-            src: Operand::reg(Reg::Eax),
-        });
+        b.inst(
+            Opcode::Mov,
+            InstKind::Mov { dst: Operand::reg(Reg::Ebx), src: Operand::reg(Reg::Eax) },
+        );
         free_reg(&mut b, Reg::Ebx);
         free_reg(&mut b, Reg::Ebx);
         b.ret();
@@ -240,15 +244,15 @@ mod tests {
         let mut b = ProgramBuilder::new();
         b.begin_func("f");
         malloc(&mut b, 12);
-        b.inst(Opcode::Mov, InstKind::Mov {
-            dst: Operand::reg(Reg::Ebx),
-            src: Operand::reg(Reg::Eax),
-        });
+        b.inst(
+            Opcode::Mov,
+            InstKind::Mov { dst: Operand::reg(Reg::Ebx), src: Operand::reg(Reg::Eax) },
+        );
         free_reg(&mut b, Reg::Ebx);
-        b.inst(Opcode::Mov, InstKind::Mov {
-            dst: Operand::reg(Reg::Ecx),
-            src: Operand::mem_reg(Reg::Ebx, 0),
-        });
+        b.inst(
+            Opcode::Mov,
+            InstKind::Mov { dst: Operand::reg(Reg::Ecx), src: Operand::mem_reg(Reg::Ebx, 0) },
+        );
         b.ret();
         b.end_func();
         let p = b.finish().unwrap();
@@ -262,10 +266,7 @@ mod tests {
         let mut b = ProgramBuilder::new();
         b.begin_func("f");
         malloc(&mut b, 8);
-        b.inst(Opcode::Mov, InstKind::Mov {
-            dst: Operand::reg(Reg::Eax),
-            src: Operand::imm(0),
-        });
+        b.inst(Opcode::Mov, InstKind::Mov { dst: Operand::reg(Reg::Eax), src: Operand::imm(0) });
         b.ret();
         b.end_func();
         let p = b.finish().unwrap();
@@ -280,14 +281,11 @@ mod tests {
         let mut b = ProgramBuilder::new();
         b.begin_func("f");
         malloc(&mut b, 8);
-        b.inst(Opcode::Mov, InstKind::Mov {
-            dst: Operand::mem_abs(0x100000u64, 0),
-            src: Operand::reg(Reg::Eax),
-        });
-        b.inst(Opcode::Mov, InstKind::Mov {
-            dst: Operand::reg(Reg::Eax),
-            src: Operand::imm(0),
-        });
+        b.inst(
+            Opcode::Mov,
+            InstKind::Mov { dst: Operand::mem_abs(0x100000u64, 0), src: Operand::reg(Reg::Eax) },
+        );
+        b.inst(Opcode::Mov, InstKind::Mov { dst: Operand::reg(Reg::Eax), src: Operand::imm(0) });
         b.ret();
         b.end_func();
         let p = b.finish().unwrap();
@@ -299,14 +297,14 @@ mod tests {
         let mut b = ProgramBuilder::new();
         b.begin_func("f");
         malloc(&mut b, 16);
-        b.inst(Opcode::Mov, InstKind::Mov {
-            dst: Operand::mem_reg(Reg::Eax, 0),
-            src: Operand::imm(1),
-        });
-        b.inst(Opcode::Mov, InstKind::Mov {
-            dst: Operand::reg(Reg::Esi),
-            src: Operand::reg(Reg::Eax),
-        });
+        b.inst(
+            Opcode::Mov,
+            InstKind::Mov { dst: Operand::mem_reg(Reg::Eax, 0), src: Operand::imm(1) },
+        );
+        b.inst(
+            Opcode::Mov,
+            InstKind::Mov { dst: Operand::reg(Reg::Esi), src: Operand::reg(Reg::Eax) },
+        );
         free_reg(&mut b, Reg::Esi);
         b.ret();
         b.end_func();

@@ -1,0 +1,469 @@
+//! Inter-procedural lint passes over the escape & mod-ref summaries.
+//!
+//! All three lints and the oracle consume one [`summarize_program`] run:
+//!
+//! * **escaped-slot-never-read** (warning) — a frame slot's address escapes
+//!   the function, but no instruction of the function ever reads the slot
+//!   directly: its value is observable only through the escaped pointer,
+//!   which usually indicates a lost read or a pointless address-of.
+//! * **callee-clobbers-live-caller-reg** (warning) — a register that is
+//!   live in the caller across a direct call sits in the callee's
+//!   transitive clobber set. `eax` is exempt (it carries the return value
+//!   by convention), as is `esp` (never summarized as clobbered).
+//! * **dead-argument** (warning) — a call site pushes an argument that the
+//!   callee (per its summary) never reads or writes. Only emitted for
+//!   frame-disciplined callees with no unknown-callee taint, where the
+//!   `[ebp + 8 + 4k]` access idiom is the sole way to reach an argument.
+//! * **mod-ref-violation** (error) — the oracle: re-derives per-instruction
+//!   effects and call-edge monotonicity independently and checks the stored
+//!   summaries absorb them. Any finding is a bug in the summary computation
+//!   itself, never in the analyzed program, so the severity is `Error`.
+
+use crate::{Diagnostic, PassId};
+use tiara_dataflow::escape::TRACKED_ARGS;
+use tiara_dataflow::{
+    reg_effects, solve, summarize_program, FuncSummary, Liveness, ProgramSummaries,
+};
+use tiara_ir::{CallTarget, FuncId, InstKind, Operand, Program, Reg};
+
+/// Runs the four inter-procedural passes.
+pub(crate) fn run(prog: &Program) -> Vec<Diagnostic> {
+    let summaries = summarize_program(prog);
+    let mut out = Vec::new();
+    escaped_slot_never_read(prog, &summaries, &mut out);
+    callee_clobbers_live_reg(prog, &summaries, &mut out);
+    dead_argument(prog, &summaries, &mut out);
+    modref_oracle(prog, &summaries, &mut out);
+    out
+}
+
+/// Renders an `ebp`-relative slot for messages.
+fn slot_name(off: i64) -> String {
+    if off >= 0 {
+        format!("[ebp+{off:#x}]")
+    } else {
+        format!("[ebp-{:#x}]", -off)
+    }
+}
+
+fn escaped_slot_never_read(prog: &Program, sums: &ProgramSummaries, out: &mut Vec<Diagnostic>) {
+    for f in prog.funcs() {
+        let s = sums.of(f.id);
+        for &z in &s.escaped {
+            if !s.slot_reads.contains(&z) {
+                out.push(
+                    Diagnostic::warning(
+                        PassId::EscapedSlotNeverRead,
+                        format!(
+                            "address of frame slot {} escapes `{}`, but the function never \
+                             reads the slot; its value is visible only through the escaped \
+                             pointer",
+                            slot_name(z),
+                            f.name
+                        ),
+                    )
+                    .in_func(f.id),
+                );
+            }
+        }
+    }
+}
+
+fn callee_clobbers_live_reg(prog: &Program, sums: &ProgramSummaries, out: &mut Vec<Diagnostic>) {
+    for f in prog.funcs() {
+        // One liveness solve per function that makes direct calls.
+        let mut live = None;
+        for id in f.inst_ids() {
+            let InstKind::Call { target: CallTarget::Direct(g) } = &prog.inst(id).kind else {
+                continue;
+            };
+            let Some(ret) = prog.return_site(id) else {
+                continue;
+            };
+            let cs = sums.of(*g);
+            let live = live.get_or_insert_with(|| solve(prog, f.id, &Liveness::new()));
+            for r in cs.clobbered.iter() {
+                if r == Reg::Eax || r == Reg::Esp {
+                    continue;
+                }
+                if live.before(ret).contains(r) {
+                    out.push(
+                        Diagnostic::warning(
+                            PassId::CalleeClobbersLiveReg,
+                            format!(
+                                "`{}` holds {r} live across a call to `{}`, which may \
+                                 clobber it",
+                                f.name, cs.name
+                            ),
+                        )
+                        .in_func(f.id)
+                        .at(id),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The number of contiguous `push` instructions immediately before `call`,
+/// i.e. the cdecl argument setup this IR's generators emit.
+fn args_pushed(prog: &Program, func: FuncId, call: tiara_ir::InstId) -> usize {
+    let start = prog.func(func).start;
+    let mut n = 0usize;
+    let mut j = call.0;
+    while j > start.0 {
+        j -= 1;
+        if matches!(prog.inst(tiara_ir::InstId(j)).kind, InstKind::Push { .. }) {
+            n += 1;
+        } else {
+            break;
+        }
+    }
+    n
+}
+
+fn dead_argument(prog: &Program, sums: &ProgramSummaries, out: &mut Vec<Diagnostic>) {
+    for f in prog.funcs() {
+        for id in f.inst_ids() {
+            let InstKind::Call { target: CallTarget::Direct(g) } = &prog.inst(id).kind else {
+                continue;
+            };
+            let cs = sums.of(*g);
+            // Only frame-disciplined callees reach their arguments through
+            // the `[ebp + 8 + 4k]` idiom the summary tracks; unknown callees
+            // may consume anything.
+            if !cs.preserves_frame || cs.has_unknown_callee {
+                continue;
+            }
+            let pushed = args_pushed(prog, f.id, id);
+            for k in 0..pushed.min(TRACKED_ARGS) {
+                if !cs.uses_arg(k) {
+                    out.push(
+                        Diagnostic::warning(
+                            PassId::DeadArgument,
+                            format!(
+                                "argument {k} pushed by `{}` is never read or written by \
+                                 `{}`",
+                                f.name, cs.name
+                            ),
+                        )
+                        .in_func(f.id)
+                        .at(id),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Is `inner` absorbed by `outer` (set containment via join-idempotence)?
+fn globals_contained(
+    outer: &tiara_dataflow::GlobalsEffect,
+    inner: &tiara_dataflow::GlobalsEffect,
+) -> bool {
+    let mut joined = outer.clone();
+    joined.join(inner);
+    joined == *outer
+}
+
+/// The mod-ref oracle: independently re-derives what each summary must at
+/// least contain and reports any gap as an error. Two obligation families:
+///
+/// 1. **per-instruction coverage** — every register write in `f`'s body is
+///    in `clobbered` (modulo `esp`, and `ebp` when the frame is preserved),
+///    every direct `[ebp+c]` store is in `slot_writes`, every absolute store
+///    is within `globals_written`;
+/// 2. **call-edge monotonicity** — a caller's summary absorbs each direct
+///    callee's clobbers, arg-memory flags, global effects, allocator
+///    reachability, and unknown-callee taint.
+fn modref_oracle(prog: &Program, sums: &ProgramSummaries, out: &mut Vec<Diagnostic>) {
+    let mut report = |func: FuncId, id: Option<tiara_ir::InstId>, msg: String| {
+        let mut d = Diagnostic::error(PassId::ModRefViolation, msg).in_func(func);
+        if let Some(id) = id {
+            d = d.at(id);
+        }
+        out.push(d);
+    };
+    for f in prog.funcs() {
+        let s = sums.of(f.id);
+        for id in f.inst_ids() {
+            let kind = &prog.inst(id).kind;
+            // Obligation 1a: register writes are summarized.
+            let mut allowed = s.clobbered.with(Reg::Esp);
+            if s.preserves_frame {
+                allowed = allowed.with(Reg::Ebp);
+            }
+            for r in reg_effects(kind).writes.iter() {
+                if !allowed.contains(r) {
+                    report(
+                        f.id,
+                        Some(id),
+                        format!("`{}` writes {r} but its summary does not clobber it", f.name),
+                    );
+                }
+            }
+            // Obligation 1b: direct memory stores are summarized.
+            let store = match kind {
+                InstKind::Mov { dst, src: _ } => Some(*dst),
+                InstKind::Op { dst, .. } => Some(*dst),
+                InstKind::Pop { dst } => Some(*dst),
+                _ => None,
+            };
+            if let Some(Operand::Deref(loc)) = store {
+                match (loc.base_reg(), loc.base_mem()) {
+                    (Some(Reg::Ebp), _) if !s.slot_writes.contains(&loc.offset) => {
+                        report(
+                            f.id,
+                            Some(id),
+                            format!(
+                                "`{}` stores to {} but the slot is not in `slot_writes`",
+                                f.name,
+                                slot_name(loc.offset)
+                            ),
+                        );
+                    }
+                    (None, Some(m)) if !s.globals_written.may_touch(m) => {
+                        report(
+                            f.id,
+                            Some(id),
+                            format!(
+                                "`{}` stores to global {:#x} outside `globals_written`",
+                                f.name,
+                                m.value()
+                            ),
+                        );
+                    }
+                    _ => {}
+                }
+            }
+            // Obligation 2: callee effects are absorbed.
+            if let InstKind::Call { target: CallTarget::Direct(g) } = kind {
+                check_edge_monotone(f.id, &f.name, s, sums.of(*g), id, &mut report);
+            }
+        }
+    }
+}
+
+/// Checks one direct call edge's summary containment.
+fn check_edge_monotone(
+    func: FuncId,
+    caller: &str,
+    s: &FuncSummary,
+    cs: &FuncSummary,
+    id: tiara_ir::InstId,
+    report: &mut impl FnMut(FuncId, Option<tiara_ir::InstId>, String),
+) {
+    let mut inherited = cs.clobbered.without(Reg::Esp);
+    if s.preserves_frame {
+        inherited = inherited.without(Reg::Ebp);
+    }
+    if s.clobbered.union(inherited) != s.clobbered {
+        report(
+            func,
+            Some(id),
+            format!("`{caller}` does not absorb the clobber set of callee `{}`", cs.name),
+        );
+    }
+    let flags_ok = (s.reads_arg_mem || !cs.reads_arg_mem)
+        && (s.writes_arg_mem || !cs.writes_arg_mem)
+        && (s.allocates || !cs.allocates)
+        && (s.frees || !cs.frees)
+        && (s.has_unknown_callee || !cs.has_unknown_callee);
+    if !flags_ok {
+        report(
+            func,
+            Some(id),
+            format!("`{caller}` does not absorb the effect flags of callee `{}`", cs.name),
+        );
+    }
+    if !globals_contained(&s.globals_read, &cs.globals_read)
+        || !globals_contained(&s.globals_written, &cs.globals_written)
+    {
+        report(
+            func,
+            Some(id),
+            format!("`{caller}` does not absorb the global effects of callee `{}`", cs.name),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Severity;
+    use tiara_ir::{Opcode, ProgramBuilder};
+
+    fn prologue(b: &mut ProgramBuilder) {
+        b.inst(Opcode::Push, InstKind::Push { src: Operand::reg(Reg::Ebp) });
+        b.inst(
+            Opcode::Mov,
+            InstKind::Mov { dst: Operand::reg(Reg::Ebp), src: Operand::reg(Reg::Esp) },
+        );
+    }
+
+    fn epilogue(b: &mut ProgramBuilder) {
+        b.inst(Opcode::Pop, InstKind::Pop { dst: Operand::reg(Reg::Ebp) });
+        b.ret();
+    }
+
+    /// main takes `&local`, passes it to a helper that ignores it, and
+    /// never reads the local itself: trips escaped-slot-never-read and
+    /// dead-argument, but never the oracle.
+    fn escape_no_read_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        b.begin_func("main");
+        prologue(&mut b);
+        b.inst(
+            Opcode::Lea,
+            InstKind::Mov {
+                dst: Operand::reg(Reg::Esi),
+                src: Operand::Loc(tiara_ir::Loc::with_offset(Reg::Ebp, -8)),
+            },
+        );
+        b.inst(Opcode::Push, InstKind::Push { src: Operand::reg(Reg::Esi) });
+        b.call_named("ignorer");
+        b.inst(
+            Opcode::Add,
+            InstKind::Op {
+                op: tiara_ir::BinOp::Add,
+                dst: Operand::reg(Reg::Esp),
+                src: Operand::imm(4),
+            },
+        );
+        epilogue(&mut b);
+        b.end_func();
+        b.begin_func("ignorer");
+        prologue(&mut b);
+        b.inst(Opcode::Mov, InstKind::Mov { dst: Operand::reg(Reg::Eax), src: Operand::imm(0) });
+        epilogue(&mut b);
+        b.end_func();
+        b.set_entry("main");
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn escaped_but_unread_slot_and_dead_argument_warn() {
+        let p = escape_no_read_program();
+        let diags = run(&p);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.pass == PassId::EscapedSlotNeverRead && d.severity == Severity::Warning),
+            "{diags:?}"
+        );
+        assert!(
+            diags.iter().any(|d| d.pass == PassId::DeadArgument),
+            "ignorer never touches its argument: {diags:?}"
+        );
+        assert!(
+            !diags.iter().any(|d| d.pass == PassId::ModRefViolation),
+            "the oracle must never fire on summaries it is checking: {diags:?}"
+        );
+    }
+
+    #[test]
+    fn consumed_escape_is_not_flagged() {
+        // Same shape, but main reads the local back after the call and the
+        // helper dereferences its argument: both warnings disappear.
+        let mut b = ProgramBuilder::new();
+        b.begin_func("main");
+        prologue(&mut b);
+        b.inst(
+            Opcode::Lea,
+            InstKind::Mov {
+                dst: Operand::reg(Reg::Esi),
+                src: Operand::Loc(tiara_ir::Loc::with_offset(Reg::Ebp, -8)),
+            },
+        );
+        b.inst(Opcode::Push, InstKind::Push { src: Operand::reg(Reg::Esi) });
+        b.call_named("consumer");
+        b.inst(
+            Opcode::Add,
+            InstKind::Op {
+                op: tiara_ir::BinOp::Add,
+                dst: Operand::reg(Reg::Esp),
+                src: Operand::imm(4),
+            },
+        );
+        b.inst(
+            Opcode::Mov,
+            InstKind::Mov { dst: Operand::reg(Reg::Eax), src: Operand::mem_reg(Reg::Ebp, -8) },
+        );
+        epilogue(&mut b);
+        b.end_func();
+        b.begin_func("consumer");
+        prologue(&mut b);
+        b.inst(
+            Opcode::Mov,
+            InstKind::Mov { dst: Operand::reg(Reg::Ecx), src: Operand::mem_reg(Reg::Ebp, 8) },
+        );
+        b.inst(
+            Opcode::Mov,
+            InstKind::Mov { dst: Operand::mem_reg(Reg::Ecx, 0), src: Operand::imm(1) },
+        );
+        epilogue(&mut b);
+        b.end_func();
+        b.set_entry("main");
+        let p = b.finish().unwrap();
+        let diags = run(&p);
+        assert!(!diags.iter().any(|d| d.pass == PassId::EscapedSlotNeverRead), "{diags:?}");
+        assert!(!diags.iter().any(|d| d.pass == PassId::DeadArgument), "{diags:?}");
+    }
+
+    #[test]
+    fn live_register_clobbered_by_callee_warns() {
+        let mut b = ProgramBuilder::new();
+        b.begin_func("main");
+        prologue(&mut b);
+        // esi gets a value, survives a call to a helper that writes esi,
+        // and is read afterwards.
+        b.inst(Opcode::Mov, InstKind::Mov { dst: Operand::reg(Reg::Esi), src: Operand::imm(3) });
+        b.call_named("smasher");
+        b.inst(
+            Opcode::Mov,
+            InstKind::Mov { dst: Operand::reg(Reg::Eax), src: Operand::reg(Reg::Esi) },
+        );
+        epilogue(&mut b);
+        b.end_func();
+        b.begin_func("smasher");
+        prologue(&mut b);
+        b.inst(Opcode::Mov, InstKind::Mov { dst: Operand::reg(Reg::Esi), src: Operand::imm(0) });
+        epilogue(&mut b);
+        b.end_func();
+        b.set_entry("main");
+        let p = b.finish().unwrap();
+        let diags = run(&p);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.pass == PassId::CalleeClobbersLiveReg && d.message.contains("esi")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn eax_as_return_value_is_exempt() {
+        let mut b = ProgramBuilder::new();
+        b.begin_func("main");
+        prologue(&mut b);
+        b.call_named("producer");
+        b.inst(
+            Opcode::Mov,
+            InstKind::Mov { dst: Operand::reg(Reg::Ebx), src: Operand::reg(Reg::Eax) },
+        );
+        epilogue(&mut b);
+        b.end_func();
+        b.begin_func("producer");
+        prologue(&mut b);
+        b.inst(Opcode::Mov, InstKind::Mov { dst: Operand::reg(Reg::Eax), src: Operand::imm(9) });
+        epilogue(&mut b);
+        b.end_func();
+        b.set_entry("main");
+        let p = b.finish().unwrap();
+        let diags = run(&p);
+        assert!(
+            !diags.iter().any(|d| d.pass == PassId::CalleeClobbersLiveReg),
+            "reading the return value is the point of calling: {diags:?}"
+        );
+    }
+}

@@ -23,12 +23,19 @@
 //! | `unreachable-code` | no instruction is dead under conditional constant propagation |
 //! | `uninit-stack-read` | no local slot is read before any path initializes it |
 //! | `const-condition` | no conditional branch is decided by compile-time-constant flags |
+//! | `escaped-slot-never-read` | no frame slot escapes its function without the function ever reading it |
+//! | `callee-clobbers-live-caller-reg` | no register live across a direct call sits in the callee's transitive clobber set |
+//! | `dead-argument` | no call site pushes an argument its callee provably ignores |
+//! | `mod-ref-violation` | the escape/mod-ref summaries absorb independently re-derived per-instruction effects and call-edge flows |
 //! | `slice-oracle` | TSLICE outputs are connected sub-CFGs, trace faith is monotone, TSLICE ⊆ SSLICE, kill rules agree with reaching definitions |
 //!
-//! The last four static passes are built on the fixpoint dataflow engine in
-//! [`tiara_dataflow`] (liveness, reaching definitions, conditional constant
-//! propagation) rather than the ad-hoc walks of the earlier passes — see
-//! `DESIGN.md`, "Dataflow substrate".
+//! The `dead-store` through `const-condition` passes are built on the
+//! fixpoint dataflow engine in [`tiara_dataflow`] (liveness, reaching
+//! definitions, conditional constant propagation) rather than the ad-hoc
+//! walks of the earlier passes; the four passes after them consume the
+//! bottom-up inter-procedural summaries of [`tiara_dataflow`]'s `escape`
+//! module — see `DESIGN.md`, "Dataflow substrate" and "Inter-procedural
+//! analysis".
 //!
 //! ## Example
 //!
@@ -55,12 +62,15 @@ mod deadstore;
 mod defuse;
 mod frame;
 mod heap;
+mod interproc;
 mod oracle;
 mod stack;
 mod uninit;
 mod unreachable;
 
-pub use oracle::{check_slice, check_trace_monotone, check_tslice_in_sslice, verify_slices};
+pub use oracle::{
+    check_slice, check_trace_monotone, check_tslice_in_sslice, verify_slices, verify_slices_with,
+};
 
 use tiara_ir::{FuncId, InstId, Program, VarAddr};
 
@@ -85,6 +95,17 @@ pub enum PassId {
     UninitStackRead,
     /// Conditional branches with compile-time-constant outcome (dataflow-based).
     ConstCondition,
+    /// Escaped frame slots the owning function never reads (summary-based).
+    EscapedSlotNeverRead,
+    /// Caller registers live across a call the callee may clobber
+    /// (summary-based).
+    CalleeClobbersLiveReg,
+    /// Pushed call arguments the callee provably ignores (summary-based).
+    DeadArgument,
+    /// Mod-ref summary self-check: per-instruction effects and call-edge
+    /// monotonicity re-derived independently must be absorbed by the stored
+    /// summaries.
+    ModRefViolation,
     /// Slice-soundness oracle.
     SliceOracle,
 }
@@ -102,6 +123,10 @@ impl PassId {
             PassId::UnreachableCode => "unreachable-code",
             PassId::UninitStackRead => "uninit-stack-read",
             PassId::ConstCondition => "const-condition",
+            PassId::EscapedSlotNeverRead => "escaped-slot-never-read",
+            PassId::CalleeClobbersLiveReg => "callee-clobbers-live-caller-reg",
+            PassId::DeadArgument => "dead-argument",
+            PassId::ModRefViolation => "mod-ref-violation",
             PassId::SliceOracle => "slice-oracle",
         }
     }
@@ -144,7 +169,13 @@ pub struct Diagnostic {
 impl Diagnostic {
     /// Creates an error diagnostic with no location.
     pub fn error(pass: PassId, message: impl Into<String>) -> Diagnostic {
-        Diagnostic { pass, severity: Severity::Error, func: None, inst: None, message: message.into() }
+        Diagnostic {
+            pass,
+            severity: Severity::Error,
+            func: None,
+            inst: None,
+            message: message.into(),
+        }
     }
 
     /// Creates a warning diagnostic with no location.
@@ -300,6 +331,7 @@ pub fn verify(prog: &Program) -> Report {
         diagnostics.extend(unreachable::run(prog));
         diagnostics.extend(uninit::run(prog));
         diagnostics.extend(constcond::run(prog));
+        diagnostics.extend(interproc::run(prog));
     }
     Report { diagnostics }
 }

@@ -175,8 +175,20 @@ pub fn check_tslice_in_sslice(tslice: &Slice, sslice: &Slice) -> Vec<Diagnostic>
 /// and SSLICE, then checks structure, monotonicity, containment, and kill
 /// soundness.
 pub fn verify_slices(prog: &Program, criteria: &[VarAddr]) -> Vec<Diagnostic> {
+    verify_slices_with(prog, criteria, &TsliceConfig::with_trace())
+}
+
+/// [`verify_slices`] under an explicit slicer configuration — the gate for
+/// non-default modes such as
+/// [`use_call_summaries`](TsliceConfig::use_call_summaries). Tracing is
+/// forced on (the monotonicity oracle needs the event stream).
+pub fn verify_slices_with(
+    prog: &Program,
+    criteria: &[VarAddr],
+    cfg: &TsliceConfig,
+) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
-    let cfg = TsliceConfig::with_trace();
+    let cfg = TsliceConfig { trace: true, ..cfg.clone() };
     for &v0 in criteria {
         let out = tslice_with(prog, v0, &cfg);
         let base = sslice(prog, v0);
@@ -208,18 +220,18 @@ mod tests {
     fn touching_program() -> Program {
         let mut b = ProgramBuilder::new();
         b.begin_func("main");
-        b.inst(Opcode::Mov, InstKind::Mov {
-            dst: Operand::reg(Reg::Eax),
-            src: Operand::mem_abs(V0, 0),
-        });
-        b.inst(Opcode::Mov, InstKind::Mov {
-            dst: Operand::reg(Reg::Ecx),
-            src: Operand::mem_reg(Reg::Eax, 4),
-        });
-        b.inst(Opcode::Mov, InstKind::Mov {
-            dst: Operand::mem_abs(V0, 0),
-            src: Operand::reg(Reg::Ecx),
-        });
+        b.inst(
+            Opcode::Mov,
+            InstKind::Mov { dst: Operand::reg(Reg::Eax), src: Operand::mem_abs(V0, 0) },
+        );
+        b.inst(
+            Opcode::Mov,
+            InstKind::Mov { dst: Operand::reg(Reg::Ecx), src: Operand::mem_reg(Reg::Eax, 4) },
+        );
+        b.inst(
+            Opcode::Mov,
+            InstKind::Mov { dst: Operand::mem_abs(V0, 0), src: Operand::reg(Reg::Ecx) },
+        );
         b.ret();
         b.end_func();
         b.finish().unwrap()
@@ -283,21 +295,18 @@ mod tests {
         // (an instruction past the root function and its callees).
         let mut b = ProgramBuilder::new();
         b.begin_func("main");
-        b.inst(Opcode::Mov, InstKind::Mov {
-            dst: Operand::reg(Reg::Eax),
-            src: Operand::mem_abs(V0, 0),
-        });
-        b.inst(Opcode::Mov, InstKind::Mov {
-            dst: Operand::mem_abs(V0, 0),
-            src: Operand::reg(Reg::Eax),
-        });
+        b.inst(
+            Opcode::Mov,
+            InstKind::Mov { dst: Operand::reg(Reg::Eax), src: Operand::mem_abs(V0, 0) },
+        );
+        b.inst(
+            Opcode::Mov,
+            InstKind::Mov { dst: Operand::mem_abs(V0, 0), src: Operand::reg(Reg::Eax) },
+        );
         b.ret();
         b.end_func();
         b.begin_func("stranger");
-        b.inst(Opcode::Mov, InstKind::Mov {
-            dst: Operand::reg(Reg::Edx),
-            src: Operand::imm(1),
-        });
+        b.inst(Opcode::Mov, InstKind::Mov { dst: Operand::reg(Reg::Edx), src: Operand::imm(1) });
         b.ret();
         b.end_func();
         b.set_entry("main");

@@ -155,22 +155,21 @@ mod tests {
         let mut b = ProgramBuilder::new();
         b.begin_func("f");
         push(&mut b, Reg::Ebp);
-        b.inst(Opcode::Mov, InstKind::Mov {
-            dst: Operand::reg(Reg::Ebp),
-            src: Operand::reg(Reg::Esp),
-        });
-        b.inst(Opcode::Sub, InstKind::Op {
-            op: BinOp::Sub,
-            dst: Operand::reg(Reg::Esp),
-            src: Operand::imm(0x20),
-        });
+        b.inst(
+            Opcode::Mov,
+            InstKind::Mov { dst: Operand::reg(Reg::Ebp), src: Operand::reg(Reg::Esp) },
+        );
+        b.inst(
+            Opcode::Sub,
+            InstKind::Op { op: BinOp::Sub, dst: Operand::reg(Reg::Esp), src: Operand::imm(0x20) },
+        );
         push(&mut b, Reg::Esi);
         pop(&mut b, Reg::Esi);
         // `leave`-style epilogue: esp restored from ebp, then pop.
-        b.inst(Opcode::Leave, InstKind::Mov {
-            dst: Operand::reg(Reg::Esp),
-            src: Operand::reg(Reg::Ebp),
-        });
+        b.inst(
+            Opcode::Leave,
+            InstKind::Mov { dst: Operand::reg(Reg::Esp), src: Operand::reg(Reg::Ebp) },
+        );
         pop(&mut b, Reg::Ebp);
         b.ret();
         b.end_func();
@@ -210,9 +209,7 @@ mod tests {
         let mut b = ProgramBuilder::new();
         b.begin_func("f");
         let merge = b.new_label();
-        b.inst(Opcode::Cmp, InstKind::Use {
-            oprs: vec![Operand::imm(1), Operand::imm(2)],
-        });
+        b.inst(Opcode::Cmp, InstKind::Use { oprs: vec![Operand::imm(1), Operand::imm(2)] });
         b.jump(Opcode::Je, merge);
         push(&mut b, Reg::Eax); // fall path arrives 4 bytes deeper
         b.bind_label(merge);
@@ -231,9 +228,7 @@ mod tests {
         let mut b = ProgramBuilder::new();
         b.begin_func("f");
         let ok = b.new_label();
-        b.inst(Opcode::Cmp, InstKind::Use {
-            oprs: vec![Operand::imm(1), Operand::imm(2)],
-        });
+        b.inst(Opcode::Cmp, InstKind::Use { oprs: vec![Operand::imm(1), Operand::imm(2)] });
         b.jump(Opcode::Jb, ok);
         push(&mut b, Reg::Eax);
         b.call_indirect(Operand::mem_abs(0x73034u64, 0));

@@ -49,9 +49,7 @@ fn slot_reads(kind: &InstKind) -> Vec<i64> {
     match kind {
         InstKind::Mov { src, .. } => slot_of(*src).into_iter().collect(),
         // A read-modify-write reads its destination slot too.
-        InstKind::Op { dst, src, .. } => {
-            slot_of(*dst).into_iter().chain(slot_of(*src)).collect()
-        }
+        InstKind::Op { dst, src, .. } => slot_of(*dst).into_iter().chain(slot_of(*src)).collect(),
         InstKind::Use { oprs } => oprs.iter().filter_map(|o| slot_of(*o)).collect(),
         InstKind::Push { src } => slot_of(*src).into_iter().collect(),
         InstKind::Pop { .. } | InstKind::Call { .. } | InstKind::Ret => Vec::new(),
@@ -205,10 +203,13 @@ mod tests {
     fn frame_escape_disables_the_function() {
         let mut b = ProgramBuilder::new();
         b.begin_func("f");
-        b.inst(Opcode::Lea, InstKind::Mov {
-            dst: Operand::reg(Reg::Esi),
-            src: Operand::Loc(tiara_ir::Loc::with_offset(Reg::Ebp, -8)),
-        });
+        b.inst(
+            Opcode::Lea,
+            InstKind::Mov {
+                dst: Operand::reg(Reg::Esi),
+                src: Operand::Loc(tiara_ir::Loc::with_offset(Reg::Ebp, -8)),
+            },
+        );
         b.inst(Opcode::Mov, InstKind::Mov { dst: Operand::reg(Reg::Eax), src: slot(-8) });
         b.ret();
         b.end_func();

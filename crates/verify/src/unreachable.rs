@@ -34,9 +34,7 @@ pub fn run(prog: &Program) -> Vec<Diagnostic> {
             } else {
                 format!("{span} instructions are unreachable under constant propagation")
             };
-            diags.push(
-                Diagnostic::warning(PassId::UnreachableCode, msg).in_func(f.id).at(start),
-            );
+            diags.push(Diagnostic::warning(PassId::UnreachableCode, msg).in_func(f.id).at(start));
             i += 1;
         }
     }
@@ -55,22 +53,14 @@ mod tests {
         let mut b = ProgramBuilder::new();
         b.begin_func("f");
         let l = b.new_label();
-        b.inst(Opcode::Mov, InstKind::Mov {
-            dst: Operand::reg(Reg::Eax),
-            src: Operand::imm(0),
-        });
-        b.inst(Opcode::Test, InstKind::Use {
-            oprs: vec![Operand::reg(Reg::Eax), Operand::reg(Reg::Eax)],
-        });
+        b.inst(Opcode::Mov, InstKind::Mov { dst: Operand::reg(Reg::Eax), src: Operand::imm(0) });
+        b.inst(
+            Opcode::Test,
+            InstKind::Use { oprs: vec![Operand::reg(Reg::Eax), Operand::reg(Reg::Eax)] },
+        );
         b.jump(Opcode::Je, l);
-        b.inst(Opcode::Mov, InstKind::Mov {
-            dst: Operand::reg(Reg::Ecx),
-            src: Operand::imm(1),
-        });
-        b.inst(Opcode::Mov, InstKind::Mov {
-            dst: Operand::reg(Reg::Edx),
-            src: Operand::imm(2),
-        });
+        b.inst(Opcode::Mov, InstKind::Mov { dst: Operand::reg(Reg::Ecx), src: Operand::imm(1) });
+        b.inst(Opcode::Mov, InstKind::Mov { dst: Operand::reg(Reg::Edx), src: Operand::imm(2) });
         b.bind_label(l);
         b.ret();
         b.end_func();
@@ -86,18 +76,16 @@ mod tests {
         let mut b = ProgramBuilder::new();
         b.begin_func("f");
         let l = b.new_label();
-        b.inst(Opcode::Mov, InstKind::Mov {
-            dst: Operand::reg(Reg::Eax),
-            src: Operand::mem_abs(0x7D000, 0),
-        });
-        b.inst(Opcode::Test, InstKind::Use {
-            oprs: vec![Operand::reg(Reg::Eax), Operand::reg(Reg::Eax)],
-        });
+        b.inst(
+            Opcode::Mov,
+            InstKind::Mov { dst: Operand::reg(Reg::Eax), src: Operand::mem_abs(0x7D000, 0) },
+        );
+        b.inst(
+            Opcode::Test,
+            InstKind::Use { oprs: vec![Operand::reg(Reg::Eax), Operand::reg(Reg::Eax)] },
+        );
         b.jump(Opcode::Je, l);
-        b.inst(Opcode::Mov, InstKind::Mov {
-            dst: Operand::reg(Reg::Ecx),
-            src: Operand::imm(1),
-        });
+        b.inst(Opcode::Mov, InstKind::Mov { dst: Operand::reg(Reg::Ecx), src: Operand::imm(1) });
         b.bind_label(l);
         b.ret();
         b.end_func();

@@ -25,8 +25,7 @@ fn main() -> Result<(), tiara::Error> {
         train.merge(parallel_dataset(bin, &slicer, 4));
     }
     let mut tiara = Tiara::new(
-        TiaraConfig::new()
-            .with_classifier(ClassifierConfig { epochs: 60, ..Default::default() }),
+        TiaraConfig::new().with_classifier(ClassifierConfig { epochs: 60, ..Default::default() }),
     );
     tiara.train_on(&train)?;
 

@@ -30,12 +30,7 @@ fn main() {
         slice_l.num_edges(),
         slice_l.explored
     );
-    println!(
-        "v ({}): {} nodes, {} edges",
-        ex.v,
-        slice_v.num_nodes(),
-        slice_v.num_edges()
-    );
+    println!("v ({}): {} nodes, {} edges", ex.v, slice_v.num_nodes(), slice_v.num_edges());
 
     let ss = sslice(&ex.binary.program, ex.l);
     println!(

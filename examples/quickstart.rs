@@ -28,8 +28,7 @@ fn main() -> Result<(), tiara::Error> {
     // 2. Train TIARA: TSLICE every labeled variable, encode the slices as
     //    42-dimensional feature graphs, fit the 2×64 GCN.
     let mut tiara = Tiara::new(
-        TiaraConfig::new()
-            .with_classifier(ClassifierConfig { epochs: 60, ..Default::default() }),
+        TiaraConfig::new().with_classifier(ClassifierConfig { epochs: 60, ..Default::default() }),
     );
     let stats = tiara.train(&[("quickstart", &bin.program, &bin.debug)])?;
     let last = stats.last().expect("at least one epoch");
@@ -44,11 +43,7 @@ fn main() -> Result<(), tiara::Error> {
     //    parallel and in input order.
     let (addrs, truths): (Vec<_>, Vec<_>) = bin.labeled_vars().unzip();
     let predictions = tiara.predict_batch(&bin.program, &addrs)?;
-    let correct = predictions
-        .iter()
-        .zip(&truths)
-        .filter(|(p, &truth)| p.class == truth)
-        .count();
+    let correct = predictions.iter().zip(&truths).filter(|(p, &truth)| p.class == truth).count();
     println!(
         "recovered {}/{} variable types correctly on the training binary",
         correct,
@@ -56,10 +51,8 @@ fn main() -> Result<(), tiara::Error> {
     );
 
     // 4. Inspect one prediction in detail, with class probabilities.
-    let (addr, truth) = bin
-        .labeled_vars()
-        .find(|(_, c)| *c == ContainerClass::Map)
-        .expect("a map variable exists");
+    let (addr, truth) =
+        bin.labeled_vars().find(|(_, c)| *c == ContainerClass::Map).expect("a map variable exists");
     let prediction = tiara.try_predict(&bin.program, addr)?;
     println!("\nvariable at {addr} (ground truth: {truth}):");
     for class in ContainerClass::ALL {

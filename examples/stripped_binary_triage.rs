@@ -29,7 +29,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 name: name.into(),
                 index,
                 seed: 61,
-                counts: TypeCounts { list: 6, vector: 12, map: 10, primitive: 35, ..Default::default() },
+                counts: TypeCounts {
+                    list: 6,
+                    vector: 12,
+                    map: 10,
+                    primitive: 35,
+                    ..Default::default()
+                },
             })
         })
         .collect();
@@ -39,8 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         train.merge(Dataset::from_binary(&bin.program, &bin.debug, &bin.name, &slicer));
     }
     let mut tiara = Tiara::new(
-        TiaraConfig::new()
-            .with_classifier(ClassifierConfig { epochs: 60, ..Default::default() }),
+        TiaraConfig::new().with_classifier(ClassifierConfig { epochs: 60, ..Default::default() }),
     );
     tiara.train_on(&train)?;
     println!("trained on {} slices from {} known projects", train.len(), known.len());

@@ -7,12 +7,8 @@ use tiara_dataflow::{analyze_program, render_json};
 use tiara_slice::check_kill_rules;
 use tiara_verify::{verify, PassId};
 
-const DATAFLOW_PASSES: [PassId; 4] = [
-    PassId::DeadStore,
-    PassId::UnreachableCode,
-    PassId::UninitStackRead,
-    PassId::ConstCondition,
-];
+const DATAFLOW_PASSES: [PassId; 4] =
+    [PassId::DeadStore, PassId::UnreachableCode, PassId::UninitStackRead, PassId::ConstCondition];
 
 #[test]
 fn analyze_covers_every_function_of_the_suite() {
@@ -49,11 +45,8 @@ fn dataflow_passes_run_clean_on_the_suite() {
     let bins = tiara_eval::build_suite(42, 0.1);
     for bin in &bins {
         let report = verify(&bin.program);
-        let offenders: Vec<_> = report
-            .diagnostics
-            .iter()
-            .filter(|d| DATAFLOW_PASSES.contains(&d.pass))
-            .collect();
+        let offenders: Vec<_> =
+            report.diagnostics.iter().filter(|d| DATAFLOW_PASSES.contains(&d.pass)).collect();
         assert!(
             offenders.is_empty(),
             "`{}`: dataflow passes must be clean on generator output:\n{:?}",
@@ -72,12 +65,7 @@ fn kill_rules_agree_with_reaching_defs_across_the_suite() {
         for (addr, _class) in bin.labeled_vars().take(16) {
             let check = check_kill_rules(&bin.program, addr);
             events += check.events_checked;
-            assert!(
-                check.is_clean(),
-                "`{}` criterion {addr}: {:?}",
-                bin.name,
-                check.violations
-            );
+            assert!(check.is_clean(), "`{}` criterion {addr}: {:?}", bin.name, check.violations);
         }
     }
     assert!(events > 0, "the suite must exercise the kill rules at least once");

@@ -56,7 +56,13 @@ fn rq2_cross_project_generalization() {
             name: name.into(),
             index,
             seed: 31,
-            counts: TypeCounts { list: 8, vector: 14, map: 12, primitive: 40, ..Default::default() },
+            counts: TypeCounts {
+                list: 8,
+                vector: 14,
+                map: 12,
+                primitive: 40,
+                ..Default::default()
+            },
         })
         .collect();
     let bins: Vec<_> = specs.iter().map(generate).collect();
@@ -71,11 +77,7 @@ fn rq2_cross_project_generalization() {
     let mut clf = Classifier::new(&quick_cfg(50));
     clf.train(&train).unwrap();
     let eval = clf.evaluate(&test);
-    assert!(
-        eval.accuracy() > 0.6,
-        "cross-project accuracy {:.2} too low",
-        eval.accuracy()
-    );
+    assert!(eval.accuracy() > 0.6, "cross-project accuracy {:.2} too low", eval.accuracy());
     // Containers specifically must be recoverable across projects.
     let vec_f1 = eval.f1(ContainerClass::Vector).unwrap_or(0.0);
     assert!(vec_f1 > 0.4, "vector F1 {vec_f1:.2}");
@@ -148,9 +150,6 @@ fn primitive_slices_are_smallest_on_average() {
     let prim = merged.mean_slice_size(ContainerClass::Primitive).unwrap().0;
     for class in [ContainerClass::List, ContainerClass::Vector, ContainerClass::Map] {
         let m = merged.mean_slice_size(class).unwrap().0;
-        assert!(
-            m > prim * 1.5,
-            "{class} mean {m:.1} not clearly above primitive {prim:.1}"
-        );
+        assert!(m > prim * 1.5, "{class} mean {m:.1} not clearly above primitive {prim:.1}");
     }
 }

@@ -1,0 +1,123 @@
+//! Repository-level acceptance tests for the inter-procedural summary
+//! pipeline: summaries are deterministic, summary-driven slices stay inside
+//! the SSLICE envelope, and on the generator's escape-through-call
+//! scenarios they are *strictly* larger than intra-procedural baselines —
+//! the property the "with vs. without summaries" evaluation axis measures.
+
+use std::collections::HashSet;
+use tiara_dataflow::summarize_program;
+use tiara_par::set_global_threads;
+use tiara_slice::{tslice_with, TsliceConfig};
+use tiara_synth::{generate, Binary, ProjectSpec, TypeCounts};
+
+fn escape_binary(seed: u64, index: usize) -> Binary {
+    generate(&ProjectSpec {
+        name: "interproc".into(),
+        index,
+        seed,
+        counts: TypeCounts {
+            list: 2,
+            vector: 3,
+            map: 2,
+            primitive: 8,
+            escape: 6,
+            ..Default::default()
+        },
+    })
+}
+
+#[test]
+fn summary_slices_pass_the_full_oracle_gate() {
+    // Structure, faith monotonicity, TSLICE ⊆ SSLICE, and kill soundness
+    // must all survive summary edges: the far side a summary reaches is
+    // still inside the criterion's own function, which SSLICE covers.
+    for (seed, index) in [(3u64, 1usize), (17, 4)] {
+        let bin = escape_binary(seed, index);
+        let criteria: Vec<_> = bin.labeled_vars().map(|(a, _)| a).collect();
+        let diags = tiara_verify::verify_slices_with(
+            &bin.program,
+            &criteria,
+            &TsliceConfig::with_call_summaries(),
+        );
+        assert!(
+            diags.is_empty(),
+            "oracle violations with summaries on (seed {seed}, style {index}): {diags:#?}"
+        );
+    }
+}
+
+#[test]
+fn summaries_are_bitwise_deterministic_across_runs_and_thread_counts() {
+    let bin = escape_binary(42, 2);
+    set_global_threads(1);
+    let a = summarize_program(&bin.program);
+    let b = summarize_program(&bin.program);
+    assert_eq!(a, b, "repeated runs must agree exactly");
+    set_global_threads(4);
+    let c = summarize_program(&bin.program);
+    assert_eq!(a, c, "summaries must not depend on the thread count");
+}
+
+#[test]
+fn summary_slices_grow_strictly_on_escape_scenarios() {
+    let bin = escape_binary(7, 3);
+    let p = &bin.program;
+    let base_cfg = TsliceConfig::default();
+    let sum_cfg = TsliceConfig::with_call_summaries();
+    let mut checked = 0usize;
+    for (addr, _) in bin.labeled_vars() {
+        let tiara_ir::VarAddr::Stack { func, .. } = addr else {
+            continue;
+        };
+        if !p.func(func).name.starts_with("esc_caller_") {
+            continue;
+        }
+        let base = tslice_with(p, addr, &base_cfg);
+        let with = tslice_with(p, addr, &sum_cfg);
+        assert!(
+            with.stats.summary_edges > 0,
+            "{}: no summary edge processed for {addr}",
+            p.func(func).name
+        );
+        let with_nodes: HashSet<u32> = with.slice.nodes.iter().map(|n| n.inst.0).collect();
+        for n in &base.slice.nodes {
+            assert!(
+                with_nodes.contains(&n.inst.0),
+                "{}: summary slice dropped baseline node {}",
+                p.func(func).name,
+                n.inst.index()
+            );
+        }
+        assert!(
+            with.slice.nodes.len() > base.slice.nodes.len(),
+            "{}: summaries did not grow the slice past the opaque helper \
+             ({} vs {} nodes)",
+            p.func(func).name,
+            with.slice.nodes.len(),
+            base.slice.nodes.len()
+        );
+        checked += 1;
+    }
+    assert!(checked >= 6, "expected all six escape criteria, saw {checked}");
+}
+
+#[test]
+fn every_escape_helper_is_summarized_as_arg_writing() {
+    // The scenario contract the slicer relies on: each helper receives the
+    // container pointer, writes through it, and hides an unknown callee.
+    let bin = escape_binary(11, 5);
+    let summaries = summarize_program(&bin.program);
+    let mut helpers = 0usize;
+    for f in bin.program.funcs() {
+        if !f.name.starts_with("esc_helper_") {
+            continue;
+        }
+        let s = summaries.of(f.id);
+        assert!(s.uses_arg(0), "{}: arg 0 not read", f.name);
+        assert!(s.writes_arg_mem, "{}: no write through the escaped pointer", f.name);
+        assert!(s.has_unknown_callee, "{}: the opaque import call is missing", f.name);
+        assert!(s.preserves_frame, "{}: frame discipline lost", f.name);
+        helpers += 1;
+    }
+    assert!(helpers >= 6, "expected six helpers, saw {helpers}");
+}

@@ -31,12 +31,10 @@ fn any_inst() -> impl Strategy<Value = (Opcode, InstKind)> {
     prop_oneof![
         (any_operand(), any_operand())
             .prop_map(|(dst, src)| (Opcode::Mov, InstKind::Mov { dst, src })),
-        (any_operand(), any_operand()).prop_map(|(dst, src)| {
-            (Opcode::Add, InstKind::Op { op: BinOp::Add, dst, src })
-        }),
-        (any_operand(), any_operand()).prop_map(|(dst, src)| {
-            (Opcode::Sub, InstKind::Op { op: BinOp::Sub, dst, src })
-        }),
+        (any_operand(), any_operand())
+            .prop_map(|(dst, src)| { (Opcode::Add, InstKind::Op { op: BinOp::Add, dst, src },) }),
+        (any_operand(), any_operand())
+            .prop_map(|(dst, src)| { (Opcode::Sub, InstKind::Op { op: BinOp::Sub, dst, src },) }),
         (any_operand(), any_operand())
             .prop_map(|(a, b)| (Opcode::Cmp, InstKind::Use { oprs: vec![a, b] })),
         any_operand().prop_map(|src| (Opcode::Push, InstKind::Push { src })),

@@ -75,11 +75,9 @@ fn error_kind(v: &Value) -> Option<String> {
 #[test]
 fn golden_wire_fixtures_are_stable() {
     let bin = serve_binary();
-    let server = Server::new(
-        trained_on(&bin),
-        ServeConfig { max_batch: 2, ..ServeConfig::default() },
-    )
-    .unwrap();
+    let server =
+        Server::new(trained_on(&bin), ServeConfig { max_batch: 2, ..ServeConfig::default() })
+            .unwrap();
 
     // Exact request → response byte strings: any change here is a wire
     // protocol break and must be deliberate.
@@ -108,19 +106,17 @@ fn golden_wire_fixtures_are_stable() {
 #[test]
 fn malformed_and_oversized_requests_get_structured_rejections() {
     let bin = serve_binary();
-    let server = Server::new(
-        trained_on(&bin),
-        ServeConfig { max_batch: 3, ..ServeConfig::default() },
-    )
-    .unwrap();
+    let server =
+        Server::new(trained_on(&bin), ServeConfig { max_batch: 3, ..ServeConfig::default() })
+            .unwrap();
     server.handle_line(&upload_line(&bin, "p"));
 
     for bad in [
-        "{",                                     // truncated JSON
-        "definitely not json",                   // not JSON at all
-        "[1,2,3]",                               // not an object
-        "{\"no_op\":true}",                      // missing op
-        "{\"op\":\"predict\",\"addrs\":[\"0x1\"]}", // predict without a program
+        "{",                                                    // truncated JSON
+        "definitely not json",                                  // not JSON at all
+        "[1,2,3]",                                              // not an object
+        "{\"no_op\":true}",                                     // missing op
+        "{\"op\":\"predict\",\"addrs\":[\"0x1\"]}",             // predict without a program
         "{\"op\":\"predict\",\"program\":\"p\",\"addrs\":[1]}", // non-string addr
         "{\"op\":\"predict\",\"program\":\"p\",\"addrs\":[\"0x1\"],\"deadline_ms\":-5}",
     ] {
@@ -157,8 +153,8 @@ fn expired_deadlines_return_partial_results() {
     assert_eq!(v.get("requested").and_then(Value::as_i64), Some(5));
 
     // A generous deadline answers everything.
-    let v = parse(&server.handle_line(&predict_req("p", &addrs, ",\"deadline_ms\":60000")))
-        .unwrap();
+    let v =
+        parse(&server.handle_line(&predict_req("p", &addrs, ",\"deadline_ms\":60000"))).unwrap();
     assert_eq!(v.get("complete").and_then(Value::as_bool), Some(true));
     assert_eq!(v.get("answered").and_then(Value::as_i64), Some(5));
     server.drain();
@@ -184,8 +180,7 @@ fn repeated_requests_are_byte_identical() {
 #[test]
 fn graceful_shutdown_drains_in_flight_work() {
     let bin = serve_binary();
-    let server =
-        Arc::new(Server::new(trained_on(&bin), ServeConfig::default()).unwrap());
+    let server = Arc::new(Server::new(trained_on(&bin), ServeConfig::default()).unwrap());
     server.handle_line(&upload_line(&bin, "p"));
     let addrs = wire_addrs(&bin, 4);
 
@@ -226,8 +221,7 @@ fn graceful_shutdown_drains_in_flight_work() {
 #[test]
 fn eight_concurrent_tcp_clients_are_sustained() {
     let bin = serve_binary();
-    let server =
-        Arc::new(Server::new(trained_on(&bin), ServeConfig::default()).unwrap());
+    let server = Arc::new(Server::new(trained_on(&bin), ServeConfig::default()).unwrap());
     let listener = TcpListener::bind("127.0.0.1:0").unwrap();
     let addr = listener.local_addr().unwrap();
     let acceptor = {
@@ -252,8 +246,7 @@ fn eight_concurrent_tcp_clients_are_sustained() {
                 let mut c = Client::connect(addr);
                 let mut answered = 0usize;
                 for ri in 0..REQS {
-                    let req =
-                        predict_req("p", &addrs, &format!(",\"id\":\"c{ci}r{ri}\""));
+                    let req = predict_req("p", &addrs, &format!(",\"id\":\"c{ci}r{ri}\""));
                     // Bounded queue: `queue_full` is a legal answer under
                     // load; honor the retry hint like a real client.
                     loop {
@@ -267,8 +260,7 @@ fn eight_concurrent_tcp_clients_are_sustained() {
                             break;
                         }
                         assert_eq!(error_kind(&v).as_deref(), Some("queue_full"));
-                        let wait =
-                            v.get("retry_after_ms").and_then(Value::as_i64).unwrap_or(10);
+                        let wait = v.get("retry_after_ms").and_then(Value::as_i64).unwrap_or(10);
                         std::thread::sleep(Duration::from_millis(wait as u64));
                     }
                 }
@@ -286,12 +278,12 @@ fn eight_concurrent_tcp_clients_are_sustained() {
     let depth_cap = queue.get("capacity").and_then(Value::as_i64).unwrap();
     let max_depth = queue.get("max_depth").and_then(Value::as_i64).unwrap();
     assert!(max_depth <= depth_cap, "queue depth {max_depth} exceeded capacity {depth_cap}");
-    assert!(
-        v.get("predict_requests").and_then(Value::as_i64).unwrap()
-            >= (CLIENTS * REQS) as i64
-    );
+    assert!(v.get("predict_requests").and_then(Value::as_i64).unwrap() >= (CLIENTS * REQS) as i64);
     let lat = v.get("latency_us").unwrap();
-    assert!(lat.get("p99").and_then(Value::as_i64).unwrap() >= lat.get("p50").and_then(Value::as_i64).unwrap());
+    assert!(
+        lat.get("p99").and_then(Value::as_i64).unwrap()
+            >= lat.get("p50").and_then(Value::as_i64).unwrap()
+    );
 
     let bye = c.roundtrip("{\"op\":\"shutdown\"}");
     assert_eq!(parse(&bye).unwrap().get("ok").and_then(Value::as_bool), Some(true));
@@ -309,8 +301,7 @@ fn served_answers_match_the_library_api() {
             .with_slicer(Slicer::default())
             .with_classifier(ClassifierConfig { epochs: 4, ..Default::default() }),
     );
-    let triples: Vec<_> =
-        bins.iter().map(|b| (b.name.as_str(), &b.program, &b.debug)).collect();
+    let triples: Vec<_> = bins.iter().map(|b| (b.name.as_str(), &b.program, &b.debug)).collect();
     tiara.train(&triples).unwrap();
 
     for bin in &bins {
