@@ -7,8 +7,8 @@
 //! tiara synth   --out prog.tira --pdb labels.json [--seed N] [--style K]
 //!               [--counts LIST,VEC,MAP,PRIM]
 //! tiara slice   --binary prog.tira --addr <ADDR> [--sslice] [--trace] [--dot] [--stats]
-//!               [--reference]
-//! tiara analyze --binary prog.tira [--func <NAME>] [--interproc] [--json]
+//!               [--reference] [--vsa]
+//! tiara analyze --binary prog.tira [--func <NAME>] [--interproc] [--vsa] [--json]
 //! tiara lint    --binary prog.tira [--addr <ADDR>] [--json]
 //! tiara train   --binary prog.tira --pdb labels.json --save model.json
 //!               [--epochs N] [--sslice]
@@ -50,8 +50,9 @@ fn usage() -> &'static str {
      tiara asm     --in listing.asm --out prog.tira\n\
      tiara disasm  --binary prog.tira\n\
      tiara synth   --out prog.tira --pdb labels.json [--seed N] [--style K] [--counts L,V,M,P]\n\
-     tiara slice   --binary prog.tira --addr ADDR [--sslice] [--trace] [--dot] [--stats] [--reference]\n\
-     tiara analyze --binary prog.tira [--func NAME] [--interproc] [--json]\n\
+     tiara slice   --binary prog.tira --addr ADDR [--sslice] [--trace] [--dot] [--stats]\n\
+                   [--reference] [--vsa]\n\
+     tiara analyze --binary prog.tira [--func NAME] [--interproc] [--vsa] [--json]\n\
      tiara lint    --binary prog.tira [--addr ADDR] [--json]\n\
      tiara train   --binary prog.tira --pdb labels.json --save model.json [--epochs N] [--sslice]\n\
      tiara predict --binary prog.tira --model model.json --addr ADDR\n\
@@ -122,9 +123,8 @@ fn run() -> Result<(), CliError> {
     while let Some(a) = args.next() {
         if let Some(name) = a.strip_prefix("--") {
             match name {
-                "sslice" | "trace" | "dot" | "json" | "stats" | "reference" | "interproc" => {
-                    switches.push(name.to_owned())
-                }
+                "sslice" | "trace" | "dot" | "json" | "stats" | "reference" | "interproc"
+                | "vsa" => switches.push(name.to_owned()),
                 _ => {
                     let v = args
                         .next()
@@ -207,6 +207,7 @@ fn run() -> Result<(), CliError> {
                 let mut cfg =
                     if has("trace") { TsliceConfig::with_trace() } else { TsliceConfig::default() };
                 cfg.reference_mode = has("reference");
+                cfg.use_vsa = has("vsa");
                 let out = tslice_with(&prog, addr, &cfg);
                 if has("dot") {
                     println!("{}", out.slice.to_dot(&prog));
@@ -232,6 +233,36 @@ fn run() -> Result<(), CliError> {
         }
         "analyze" => {
             let prog = load_binary(get("binary")?)?;
+            if has("vsa") {
+                if has("interproc") {
+                    return Err(CliError::Usage(
+                        "--vsa cannot be combined with --interproc (value-set analysis is \
+                         intra-procedural; run the two reports separately)"
+                            .into(),
+                    ));
+                }
+                let results = match flags.get("func") {
+                    Some(name) => {
+                        let f = prog
+                            .func_by_name(name)
+                            .ok_or_else(|| {
+                                CliError::Usage(format!(
+                                    "no function named `{name}` (see `tiara disasm` for the \
+                                     function list)"
+                                ))
+                            })?
+                            .id;
+                        vec![tiara_dataflow::vsa_function(&prog, f)]
+                    }
+                    None => tiara_dataflow::vsa_program(&prog),
+                };
+                if has("json") {
+                    println!("{}", tiara_dataflow::render_vsa_json(&prog, &results));
+                } else {
+                    print!("{}", tiara_dataflow::render_vsa_text(&prog, &results));
+                }
+                return Ok(());
+            }
             if has("interproc") {
                 if flags.contains_key("func") {
                     return Err(CliError::Usage(

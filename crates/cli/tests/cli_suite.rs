@@ -30,6 +30,33 @@ fn synth_binary(dir: &std::path::Path) -> PathBuf {
     path
 }
 
+/// Generates a binary with computed-address scenarios, so VSA has work to
+/// do, and returns its path plus a labeled global criterion.
+fn synth_computed_binary(dir: &std::path::Path) -> (PathBuf, String) {
+    let bin = tiara_synth::generate(&tiara_synth::ProjectSpec {
+        name: "cli-vsa".into(),
+        index: 4,
+        seed: 13,
+        counts: tiara_synth::TypeCounts {
+            vector: 2,
+            primitive: 4,
+            computed: 4,
+            ..Default::default()
+        },
+    });
+    let addr = bin
+        .debug
+        .iter()
+        .find_map(|r| match r.addr {
+            tiara_ir::VarAddr::Global(m) => Some(format!("0x{:X}", m.value())),
+            _ => None,
+        })
+        .expect("a labeled global variable");
+    let path = dir.join("prog.tira");
+    std::fs::write(&path, tiara_ir::assemble(&bin.program)).unwrap();
+    (path, addr)
+}
+
 fn tempdir(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("tiara-cli-{tag}-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
@@ -66,6 +93,49 @@ fn analyze_interproc_reports_escape_helpers() {
     let both =
         tiara(&["analyze", "--binary", bin.to_str().unwrap(), "--interproc", "--func", "main"]);
     assert_eq!(both.status.code(), Some(2), "--func + --interproc must be a usage error");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn analyze_vsa_reports_per_function_value_sets() {
+    let dir = tempdir("vsa");
+    let (bin, _) = synth_computed_binary(&dir);
+    let out = tiara(&["analyze", "--binary", bin.to_str().unwrap(), "--vsa"]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("mem ops"), "missing per-function totals:\n{text}");
+    assert!(text.contains("frame"), "missing region totals:\n{text}");
+
+    let json = tiara(&["analyze", "--binary", bin.to_str().unwrap(), "--vsa", "--json"]);
+    assert_eq!(json.status.code(), Some(0));
+    let body = String::from_utf8_lossy(&json.stdout);
+    assert!(body.contains("\"mem_ops\""), "json shape:\n{body}");
+    assert!(body.contains("\"computed\""), "json shape:\n{body}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn analyze_vsa_rejects_interproc_with_usage_exit() {
+    let dir = tempdir("vsa-usage");
+    let (bin, _) = synth_computed_binary(&dir);
+    let out = tiara(&["analyze", "--binary", bin.to_str().unwrap(), "--vsa", "--interproc"]);
+    assert_eq!(out.status.code(), Some(2), "--vsa + --interproc must be a usage error");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--vsa cannot be combined with --interproc"), "stderr: {err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn slice_vsa_runs_and_reports_kill_stats() {
+    let dir = tempdir("slice-vsa");
+    let (bin, addr) = synth_computed_binary(&dir);
+    let out =
+        tiara(&["slice", "--binary", bin.to_str().unwrap(), "--addr", &addr, "--vsa", "--stats"]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("slice of"), "missing slice header:\n{text}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("vsa kills"), "stats line must carry the kill counter: {err}");
     std::fs::remove_dir_all(&dir).ok();
 }
 

@@ -36,6 +36,7 @@ pub mod reaching;
 pub mod regs;
 pub mod solver;
 pub mod summary;
+pub mod vsa;
 
 pub use cfg::{Block, BlockCfg, BlockId};
 pub use constprop::{const_conditions, CVal, ConstBranch, ConstFact, Constprop, FlagState};
@@ -48,4 +49,9 @@ pub use solver::{solve, solve_on, solve_program, Direction, Lattice, Solution, T
 pub use summary::{
     analyze_function, analyze_program, render_interproc_json, render_interproc_text, render_json,
     render_text, FunctionFacts,
+};
+pub use vsa::{
+    enumerate_alocs, must_writes, render_vsa_json, render_vsa_text, vsa_function, vsa_program,
+    ALoc, MemOp, MustWrite, Region, StridedInterval, VsaAnalysis, VsaFact, VsaResult, VsaTotals,
+    Vsv,
 };

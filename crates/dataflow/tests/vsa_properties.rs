@@ -1,0 +1,93 @@
+//! Soundness property tests for the strided-interval algebra: for small
+//! bounded intervals (≤ 2^8 span, so concretization is exhaustively
+//! enumerable), every abstract operation's result concretizes to a superset
+//! of the pointwise concrete result set, and join/widen are upper bounds.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use tiara_dataflow::StridedInterval;
+
+/// A small strided interval whose span stays within 2^8, so `points()` is a
+/// cheap exhaustive concretization.
+fn small_interval() -> impl Strategy<Value = StridedInterval> {
+    (-128i64..=127, 0u64..=16, 0u64..=32).prop_map(|(lo, stride, steps)| {
+        StridedInterval::new(stride, lo, lo + (stride * steps) as i64)
+    })
+}
+
+fn concretize(si: StridedInterval) -> BTreeSet<i64> {
+    assert!(si.count() <= 1 << 9, "test intervals stay enumerable");
+    si.points().collect()
+}
+
+/// Every pointwise `f(x, y)` must be contained in the abstract result.
+fn check_superset(
+    a: StridedInterval,
+    b: StridedInterval,
+    abs: StridedInterval,
+    f: impl Fn(i64, i64) -> i64,
+    name: &str,
+) {
+    for x in concretize(a) {
+        for y in concretize(b) {
+            let c = f(x, y);
+            assert!(abs.contains(c), "{name}: {a} {name} {b} = {abs} misses {x} {name} {y} = {c}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn add_is_sound(a in small_interval(), b in small_interval()) {
+        check_superset(a, b, a + b, |x, y| x + y, "add");
+    }
+
+    #[test]
+    fn sub_is_sound(a in small_interval(), b in small_interval()) {
+        check_superset(a, b, a - b, |x, y| x - y, "sub");
+    }
+
+    #[test]
+    fn mul_is_sound(a in small_interval(), b in small_interval()) {
+        check_superset(a, b, a * b, |x, y| x * y, "mul");
+    }
+
+    #[test]
+    fn join_is_an_upper_bound(a in small_interval(), b in small_interval()) {
+        let j = a.join(b);
+        for x in concretize(a).union(&concretize(b)) {
+            prop_assert!(j.contains(*x), "join {a} ⊔ {b} = {j} misses {x}");
+        }
+        // Join is commutative and idempotent.
+        prop_assert_eq!(j, b.join(a));
+        prop_assert_eq!(j.join(j), j);
+        prop_assert_eq!(a.join(a), a);
+    }
+
+    #[test]
+    fn widen_covers_join_and_terminates(a in small_interval(), b in small_interval()) {
+        let w = a.widen(b);
+        for x in concretize(a).union(&concretize(b)) {
+            prop_assert!(w.contains(*x), "widen {a} ∇ {b} = {w} misses {x}");
+        }
+        // One more widening step with anything already covered is a no-op —
+        // the post-budget chain stabilizes after a single jump.
+        prop_assert_eq!(w.widen(b), w);
+        prop_assert_eq!(w.widen(a), w);
+        prop_assert_eq!(a.widen(a), a);
+    }
+
+    #[test]
+    fn normalization_is_canonical(a in small_interval()) {
+        // Re-normalizing an interval through its own parameters is identity,
+        // singletons have stride 0, and hi sits on the stride grid.
+        prop_assert_eq!(StridedInterval::new(a.stride, a.lo, a.hi), a);
+        if a.lo == a.hi {
+            prop_assert_eq!(a.stride, 0);
+        } else {
+            prop_assert_eq!((a.hi - a.lo) as u64 % a.stride, 0);
+        }
+    }
+}

@@ -202,6 +202,7 @@ fn addr_notation(bin: &Binary, addr: VarAddr) -> String {
                 format!("func:{name}:0x{offset:x}")
             }
         }
+        VarAddr::Heap { site } => format!("heap:0x{:x}", site.0),
     }
 }
 

@@ -14,6 +14,8 @@
 //!   ablation      TSLICE design-choice + classifier-architecture ablations
 //!   escape        escape-through-call accuracy with vs. without call
 //!                 summaries (`--json [--out FILE]` writes ESCAPE_PR6.json)
+//!   discovery     variable-discovery recall/precision/F1, heuristic vs. VSA
+//!                 (`--json [--out FILE]` writes DISCOVERY_PR7.json)
 //!   extended      six-class extension (std::deque and std::set added)
 //!   bench         pipeline throughput at 1 vs N threads
 //!                 (`--json [--out FILE]` writes BENCH_PR5.json)
@@ -43,7 +45,7 @@ struct Options {
 }
 
 fn usage() -> String {
-    "usage: tiara-eval <table1|table2-intra|table2-cross|table3|table4|fig2|ablation|escape|extended|bench|all> \
+    "usage: tiara-eval <table1|table2-intra|table2-cross|table3|table4|fig2|ablation|escape|discovery|extended|bench|all> \
      [--scale F] [--epochs N] [--seed N] [--threads N] [--json] [--out FILE]"
         .to_owned()
 }
@@ -217,6 +219,27 @@ fn main() -> ExitCode {
                 std::fs::write(&path, tiara_eval::render_escape_json(&r, opts.seed, opts.scale))
                     .unwrap_or_else(|e| panic!("writing {path}: {e}"));
                 eprintln!("[tiara-eval] wrote {path}");
+            }
+        }
+        "discovery" => {
+            eprintln!(
+                "[tiara-eval] variable-discovery experiment (scale {}, seed {}) …",
+                opts.scale, opts.seed
+            );
+            let r = tiara_eval::run_discovery_experiment(opts.seed, opts.scale);
+            print!("{}", tiara_eval::render_discovery_report(&r));
+            if opts.json {
+                let path = opts.out.clone().unwrap_or_else(|| "DISCOVERY_PR7.json".to_owned());
+                std::fs::write(&path, tiara_eval::render_discovery_json(&r, opts.seed, opts.scale))
+                    .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+                eprintln!("[tiara-eval] wrote {path}");
+            }
+            if r.oracle_errors > 0 {
+                eprintln!(
+                    "[tiara-eval] ERROR: {} verifier errors across the discovery suite",
+                    r.oracle_errors
+                );
+                return ExitCode::FAILURE;
             }
         }
         "extended" => {

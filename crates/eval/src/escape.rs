@@ -43,17 +43,36 @@ pub fn escape_suite(seed: u64) -> Vec<ProjectSpec> {
                 set: 6,
                 primitive: 30,
                 escape: 10,
+                computed: 0,
             },
         ),
         mk(
             "esc_svc",
             4,
-            TypeCounts { list: 5, vector: 8, map: 8, deque: 5, set: 5, primitive: 24, escape: 10 },
+            TypeCounts {
+                list: 5,
+                vector: 8,
+                map: 8,
+                deque: 5,
+                set: 5,
+                primitive: 24,
+                escape: 10,
+                computed: 0,
+            },
         ),
         mk(
             "esc_kit",
             7,
-            TypeCounts { list: 4, vector: 8, map: 8, deque: 4, set: 4, primitive: 20, escape: 10 },
+            TypeCounts {
+                list: 4,
+                vector: 8,
+                map: 8,
+                deque: 4,
+                set: 4,
+                primitive: 20,
+                escape: 10,
+                computed: 0,
+            },
         ),
     ]
 }

@@ -19,6 +19,7 @@
 
 pub mod ablation;
 pub mod bench;
+pub mod discovery;
 pub mod escape;
 pub mod experiments;
 pub mod fig2;
@@ -26,6 +27,10 @@ pub mod report;
 pub mod suite;
 pub mod tables;
 
+pub use discovery::{
+    build_discovery_suite, discovery_suite, render_discovery_json, render_discovery_report,
+    run_discovery_experiment, DiscoveryProjectRow, DiscoveryResult, ModeScore,
+};
 pub use escape::{
     build_escape_suite, escape_suite, render_escape_json, render_escape_report,
     run_escape_experiment, EscapeLabelRow, EscapeResult,

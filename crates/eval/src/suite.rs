@@ -23,6 +23,7 @@ pub fn scale_spec(spec: &ProjectSpec, scale: f64) -> ProjectSpec {
             deque: s(spec.counts.deque),
             set: s(spec.counts.set),
             escape: s(spec.counts.escape),
+            computed: s(spec.counts.computed),
         },
         ..spec.clone()
     }

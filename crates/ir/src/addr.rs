@@ -1,11 +1,13 @@
 //! Textual variable-address notation, shared by every user-facing surface
 //! (the `tiara` CLI flags and the `tiara serve` wire protocol).
 //!
-//! Two forms:
+//! Three forms:
 //!
 //! * a global: `0x74404`, `74404h`, or plain decimal;
 //! * a frame slot: `func:<name>:<offset>` where the offset is hex/decimal
-//!   with an optional leading `-` (e.g. `func:fn_0000:-0x18`).
+//!   with an optional leading `-` (e.g. `func:fn_0000:-0x18`);
+//! * a heap allocation site: `heap:<addr>` where the address names the
+//!   allocating call instruction (e.g. `heap:0x71010`).
 
 use crate::label::VarAddr;
 use crate::operand::MemAddr;
@@ -45,6 +47,8 @@ pub fn parse_var_addr(prog: &Program, s: &str) -> Result<VarAddr, String> {
             parse_hex(off)? as i64
         };
         Ok(VarAddr::Stack { func, offset })
+    } else if let Some(site) = s.strip_prefix("heap:") {
+        Ok(VarAddr::Heap { site: MemAddr(parse_hex(site)?) })
     } else {
         Ok(VarAddr::Global(MemAddr(parse_hex(s)?)))
     }
@@ -86,5 +90,10 @@ mod tests {
         }
         assert!(parse_var_addr(&p, "func:nope:8").is_err());
         assert!(parse_var_addr(&p, "func:fn_0000").is_err());
+        assert_eq!(
+            parse_var_addr(&p, "heap:0x71010").unwrap(),
+            VarAddr::Heap { site: MemAddr(0x71010) }
+        );
+        assert!(parse_var_addr(&p, "heap:zz").is_err());
     }
 }

@@ -115,6 +115,14 @@ pub enum VarAddr {
         /// Byte offset from the frame pointer.
         offset: i64,
     },
+    /// A heap object named by its allocation site (the address of the
+    /// allocating call instruction). Real PDBs have no such records — this
+    /// is the criterion class value-set analysis adds for variables that
+    /// never live at a fixed address.
+    Heap {
+        /// Address of the allocating call instruction.
+        site: MemAddr,
+    },
 }
 
 impl std::fmt::Display for VarAddr {
@@ -128,6 +136,7 @@ impl std::fmt::Display for VarAddr {
                     write!(f, "{func}:[ebp-{:X}h]", -offset)
                 }
             }
+            VarAddr::Heap { site } => write!(f, "heap:{site}"),
         }
     }
 }

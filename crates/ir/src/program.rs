@@ -331,6 +331,11 @@ impl ProgramBuilder {
         InstId(self.insts.len() as u32)
     }
 
+    /// The virtual address instruction `id` was (or will be) assigned.
+    pub fn inst_addr(&self, id: InstId) -> u64 {
+        self.addr_base + 4 * id.0 as u64
+    }
+
     /// Emits an instruction in the open function.
     ///
     /// # Panics

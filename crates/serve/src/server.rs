@@ -675,6 +675,7 @@ mod tests {
                         format!("func:{name}:0x{offset:x}")
                     }
                 }
+                VarAddr::Heap { site } => format!("heap:0x{:x}", site.0),
             })
             .collect()
     }

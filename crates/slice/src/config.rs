@@ -89,6 +89,16 @@ pub struct TsliceConfig {
     /// by [`cut_indirect_calls`](Self::cut_indirect_calls). Off by default.
     #[serde(default)]
     pub use_call_summaries: bool,
+    /// Consult VSA must-write facts (`tiara-dataflow`'s
+    /// [`must_writes`](tiara_dataflow::must_writes)) at stores through
+    /// computed (non-`esp`/`ebp`) registers: when the value-set analysis
+    /// proves such a store lands on exactly one frame slot, the `[Mov-dr]`
+    /// rule strong-updates that slot instead of ignoring the memory effect,
+    /// killing stale values that would otherwise leak into later frame-slot
+    /// reads. Where VSA has no fact (the address is ⊤ or multi-valued) the
+    /// transfer is bit-for-bit the baseline rule. Off by default.
+    #[serde(default)]
+    pub use_vsa: bool,
 }
 
 impl Default for TsliceConfig {
@@ -105,6 +115,7 @@ impl Default for TsliceConfig {
             criterion_window: 16,
             reference_mode: false,
             use_call_summaries: false,
+            use_vsa: false,
         }
     }
 }
@@ -120,6 +131,12 @@ impl TsliceConfig {
     pub fn with_call_summaries() -> TsliceConfig {
         TsliceConfig { use_call_summaries: true, ..TsliceConfig::default() }
     }
+
+    /// A configuration that kills through computed addresses using VSA
+    /// must-write facts (see [`use_vsa`](Self::use_vsa)).
+    pub fn with_vsa() -> TsliceConfig {
+        TsliceConfig { use_vsa: true, ..TsliceConfig::default() }
+    }
 }
 
 #[cfg(test)]
@@ -134,6 +151,14 @@ mod tests {
         assert_eq!(c.decay_default, 0.001);
         assert!(!c.trace);
         assert!(!c.use_call_summaries, "summary edges are opt-in");
+        assert!(!c.use_vsa, "VSA kills are opt-in");
+    }
+
+    #[test]
+    fn with_vsa_enables_must_write_kills() {
+        let c = TsliceConfig::with_vsa();
+        assert!(c.use_vsa);
+        assert!(!c.reference_mode);
     }
 
     #[test]

@@ -33,7 +33,7 @@ impl Criterion {
                 let lo = base.value() as i64;
                 (eff >= lo && eff < lo + self.window).then_some(eff - lo)
             }
-            VarAddr::Stack { .. } => None,
+            VarAddr::Stack { .. } | VarAddr::Heap { .. } => None,
         }
     }
 
@@ -44,7 +44,7 @@ impl Criterion {
             VarAddr::Stack { func: vf, offset } => {
                 (vf == func && c >= offset && c < offset + self.window).then_some(c - offset)
             }
-            VarAddr::Global(_) => None,
+            VarAddr::Global(_) | VarAddr::Heap { .. } => None,
         }
     }
 

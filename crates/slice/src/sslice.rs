@@ -33,8 +33,17 @@ fn touches(prog: &Program, id: InstId, opr: Operand, v0: VarAddr) -> bool {
     }
 }
 
-/// Finds the first instruction (in program order) that accesses `v0`.
+/// Finds the first instruction (in program order) that accesses `v0`. A
+/// heap criterion's first access is its allocation site itself — the call
+/// instruction whose address names the site.
 pub fn first_access(prog: &Program, v0: VarAddr) -> Option<InstId> {
+    if let VarAddr::Heap { site } = v0 {
+        return (0..prog.num_insts() as u32).map(InstId).find(|&id| {
+            prog.inst(id).addr == site.value()
+                && matches!(prog.inst(id).kind, InstKind::Call { .. })
+                && prog.call_allocates(id)
+        });
+    }
     (0..prog.num_insts() as u32)
         .map(InstId)
         .find(|&id| prog.inst(id).kind.operands().iter().any(|&o| touches(prog, id, o, v0)))
@@ -149,6 +158,20 @@ mod tests {
         let v0 = 0x74404u64;
         let prog = program(v0);
         assert_eq!(first_access(&prog, VarAddr::Global(MemAddr(v0))), Some(InstId(2)));
+    }
+
+    #[test]
+    fn heap_criterion_first_access_is_its_allocation_site() {
+        let prog = program(0x74404);
+        // The Malloc call inside `callee` is I5.
+        let site = prog.inst(InstId(5)).addr;
+        let v0 = VarAddr::Heap { site: MemAddr(site) };
+        assert_eq!(first_access(&prog, v0), Some(InstId(5)));
+        let s = sslice(&prog, v0);
+        assert_eq!(s.num_nodes(), 2, "only the allocating function");
+        // A heap criterion naming a non-allocating instruction matches nothing.
+        let bogus = VarAddr::Heap { site: MemAddr(prog.inst(InstId(2)).addr) };
+        assert_eq!(first_access(&prog, bogus), None);
     }
 
     #[test]

@@ -45,6 +45,11 @@ pub struct SliceStats {
     /// [`TsliceConfig`](crate::TsliceConfig)`::use_call_summaries` is on.
     #[serde(default)]
     pub summary_edges: u64,
+    /// `[Mov-dr-kill]` strong updates applied: stores through computed
+    /// registers resolved to a single frame slot by a VSA must-write fact.
+    /// Zero unless [`TsliceConfig`](crate::TsliceConfig)`::use_vsa` is on.
+    #[serde(default)]
+    pub vsa_kills: u64,
 }
 
 impl SliceStats {
@@ -57,6 +62,7 @@ impl SliceStats {
         self.set_spills += other.set_spills;
         self.worklist_hits += other.worklist_hits;
         self.summary_edges += other.summary_edges;
+        self.vsa_kills += other.vsa_kills;
     }
 }
 
@@ -65,14 +71,15 @@ impl std::fmt::Display for SliceStats {
         write!(
             f,
             "steps {}, faith-cut pops {}, merges skipped {}, snapshot bytes avoided {}, \
-             set spills {}, worklist hits {}, summary edges {}",
+             set spills {}, worklist hits {}, summary edges {}, vsa kills {}",
             self.steps,
             self.faith_cut_pops,
             self.merges_skipped,
             self.snapshot_bytes_avoided,
             self.set_spills,
             self.worklist_hits,
-            self.summary_edges
+            self.summary_edges,
+            self.vsa_kills
         )
     }
 }
@@ -101,6 +108,7 @@ static G_SNAPSHOT_BYTES: AtomicU64 = AtomicU64::new(0);
 static G_SPILLS: AtomicU64 = AtomicU64::new(0);
 static G_WORKLIST_HITS: AtomicU64 = AtomicU64::new(0);
 static G_SUMMARY_EDGES: AtomicU64 = AtomicU64::new(0);
+static G_VSA_KILLS: AtomicU64 = AtomicU64::new(0);
 
 /// Folds one slice's counters into the process-wide aggregate.
 pub fn add_to_global(s: &SliceStats) {
@@ -111,6 +119,7 @@ pub fn add_to_global(s: &SliceStats) {
     G_SPILLS.fetch_add(s.set_spills, Ordering::Relaxed);
     G_WORKLIST_HITS.fetch_add(s.worklist_hits, Ordering::Relaxed);
     G_SUMMARY_EDGES.fetch_add(s.summary_edges, Ordering::Relaxed);
+    G_VSA_KILLS.fetch_add(s.vsa_kills, Ordering::Relaxed);
 }
 
 /// The process-wide aggregate since the last [`reset_global_stats`].
@@ -123,6 +132,7 @@ pub fn global_stats() -> SliceStats {
         set_spills: G_SPILLS.load(Ordering::Relaxed),
         worklist_hits: G_WORKLIST_HITS.load(Ordering::Relaxed),
         summary_edges: G_SUMMARY_EDGES.load(Ordering::Relaxed),
+        vsa_kills: G_VSA_KILLS.load(Ordering::Relaxed),
     }
 }
 
@@ -135,6 +145,7 @@ pub fn reset_global_stats() {
     G_SPILLS.store(0, Ordering::Relaxed);
     G_WORKLIST_HITS.store(0, Ordering::Relaxed);
     G_SUMMARY_EDGES.store(0, Ordering::Relaxed);
+    G_VSA_KILLS.store(0, Ordering::Relaxed);
 }
 
 #[cfg(test)]
@@ -166,7 +177,7 @@ mod tests {
     #[test]
     fn display_lists_every_counter() {
         let s = SliceStats::default().to_string();
-        for key in ["steps", "merges skipped", "set spills", "worklist hits"] {
+        for key in ["steps", "merges skipped", "set spills", "worklist hits", "vsa kills"] {
             assert!(s.contains(key), "missing {key} in {s}");
         }
     }

@@ -57,9 +57,9 @@ use crate::stats::SliceStats;
 use crate::trace::{RuleName, TraceEvent};
 use crate::value::{AbsValue, ValueSet};
 use crate::TsliceConfig;
-use std::collections::HashSet;
+use std::collections::{BTreeMap, HashSet};
 use std::rc::Rc;
-use tiara_dataflow::{escape::TRACKED_ARGS, FuncSummary, ProgramSummaries};
+use tiara_dataflow::{escape::TRACKED_ARGS, FuncSummary, MustWrite, ProgramSummaries};
 use tiara_ir::{CallTarget, InstId, InstKind, Program, Reg, VarAddr};
 
 /// The abstract stack base assigned to `sp` at the program entry. The value
@@ -117,6 +117,13 @@ pub fn tslice_with(prog: &Program, v0: VarAddr, cfg: &TsliceConfig) -> TsliceOut
     let summaries: Option<ProgramSummaries> =
         cfg.use_call_summaries.then(|| tiara_dataflow::summarize_program(prog));
     let summaries = summaries.as_ref();
+    // VSA must-write facts for `[Mov-dr-kill]`. Like the summaries, the map
+    // is computed once per run and `must_writes` is deterministic, so each
+    // fact is a static per-instruction constant and the traversal remains a
+    // pure function of (program, criterion, config).
+    let kills: Option<BTreeMap<InstId, MustWrite>> =
+        cfg.use_vsa.then(|| tiara_dataflow::must_writes(prog));
+    let kill_for = |i: InstId| kills.as_ref().and_then(|m| m.get(&i).copied());
     let mut st = AnalysisState::new();
     let mut trace: Vec<TraceEvent> = Vec::new();
     let mut fired: Vec<RuleName> = Vec::new();
@@ -143,7 +150,17 @@ pub fn tslice_with(prog: &Program, v0: VarAddr, cfg: &TsliceConfig) -> TsliceOut
     // The bootstrap edge has no `pre` instruction and is not a counted step.
     {
         let cur = st.get_mut(entry);
-        let changed = merge_and_transfer(prog, &crit, cfg, &boot, cur, entry, &mut fired);
+        let changed = merge_and_transfer(
+            prog,
+            &crit,
+            cfg,
+            &boot,
+            cur,
+            entry,
+            kill_for(entry),
+            &mut fired,
+            &mut stats,
+        );
         if changed {
             st.bump(entry);
         }
@@ -175,7 +192,17 @@ pub fn tslice_with(prog: &Program, v0: VarAddr, cfg: &TsliceConfig) -> TsliceOut
                 stats.summary_edges += 1;
             }
             let cur = st.get_mut(i);
-            let changed = merge_and_transfer(prog, &crit, cfg, &pre_state, cur, i, &mut fired);
+            let changed = merge_and_transfer(
+                prog,
+                &crit,
+                cfg,
+                &pre_state,
+                cur,
+                i,
+                kill_for(i),
+                &mut fired,
+                &mut stats,
+            );
             if changed {
                 st.bump(i);
             }
@@ -247,10 +274,30 @@ pub fn tslice_with(prog: &Program, v0: VarAddr, cfg: &TsliceConfig) -> TsliceOut
                     stats.summary_edges += 1;
                 }
                 let cur = st.get_mut(i);
-                merge_and_transfer(prog, &crit, cfg, &scratch, cur, i, &mut fired)
+                merge_and_transfer(
+                    prog,
+                    &crit,
+                    cfg,
+                    &scratch,
+                    cur,
+                    i,
+                    kill_for(i),
+                    &mut fired,
+                    &mut stats,
+                )
             } else {
                 let (pre_state, cur) = st.pair_mut(pre, i);
-                merge_and_transfer(prog, &crit, cfg, pre_state, cur, i, &mut fired)
+                merge_and_transfer(
+                    prog,
+                    &crit,
+                    cfg,
+                    pre_state,
+                    cur,
+                    i,
+                    kill_for(i),
+                    &mut fired,
+                    &mut stats,
+                )
             };
             if changed {
                 st.bump(i);
@@ -314,7 +361,9 @@ pub fn tslice_with(prog: &Program, v0: VarAddr, cfg: &TsliceConfig) -> TsliceOut
 /// The join + transfer for one `(pre, i)` edge (Algorithm 1, lines 9 and 11).
 /// Returns whether `(V(i), S(i), D(i))` changed. Pure with respect to the
 /// analysis state: both traversals funnel through here, which is what keeps
-/// them semantically identical.
+/// them semantically identical. `vsa_kill` is `i`'s static must-write fact,
+/// if any; `stats` only counts `[Mov-dr-kill]` firings.
+#[allow(clippy::too_many_arguments)]
 fn merge_and_transfer(
     prog: &Program,
     crit: &Criterion,
@@ -322,7 +371,9 @@ fn merge_and_transfer(
     pre_state: &InstState,
     cur: &mut InstState,
     i: InstId,
+    vsa_kill: Option<MustWrite>,
     fired: &mut Vec<RuleName>,
+    stats: &mut SliceStats,
 ) -> bool {
     let inst = prog.inst(i);
     let func = prog.func_of(i);
@@ -330,7 +381,11 @@ fn merge_and_transfer(
 
     fired.clear();
     let mut changed = cur.merge_from(pre_state);
-    changed |= transfer(inst, pre_state, cur, crit, func, ret_addr, cfg, fired).changed;
+    let out = transfer(inst, pre_state, cur, crit, func, ret_addr, cfg, vsa_kill, fired);
+    if out.vsa_kill {
+        stats.vsa_kills += 1;
+    }
+    changed |= out.changed;
     changed
 }
 
@@ -866,6 +921,93 @@ mod tests {
             st.stack_slot_or_empty(s + 4).contains(AbsValue::Const(STACK_BASE - 64)),
             "the argument slot itself is untouched"
         );
+    }
+
+    /// `main` loads `v0` into `esi` and calls `helper`, which parks the
+    /// dependent value in a frame slot, overwrites that slot through a
+    /// *computed* register (`lea edi, [ebp-8]; mov [edi], 0`), then reads
+    /// the slot back. Without VSA the store through `edi` has no memory
+    /// effect in the domain, so the read-back sees the stale `(ref, 0)`.
+    fn computed_store_program(v0: u64) -> Program {
+        let text = format!(
+            "func helper {{\n\
+                 push ebp\n\
+                 mov ebp, esp\n\
+                 sub esp, 16\n\
+                 mov [ebp-8], esi\n\
+                 lea edi, [ebp-8]\n\
+                 mov dword ptr [edi], 0\n\
+                 mov ecx, [ebp-8]\n\
+                 mov esp, ebp\n\
+                 pop ebp\n\
+                 ret\n\
+             }}\n\
+             func main {{\n\
+                 mov esi, dword ptr [{v0:X}h]\n\
+                 call helper\n\
+                 mov eax, 1\n\
+                 ret\n\
+             }}\n\
+             entry main\n"
+        );
+        tiara_ir::parse_program(&text).expect("listing parses")
+    }
+
+    #[test]
+    fn vsa_kills_stale_slot_values_through_computed_stores() {
+        let v0 = 0x74404u64;
+        let prog = computed_store_program(v0);
+        let crit = VarAddr::Global(tiara_ir::MemAddr(v0));
+        let base = tslice_with(&prog, crit, &TsliceConfig::default());
+        let vsa = tslice_with(&prog, crit, &TsliceConfig::with_vsa());
+        // I6 is `mov ecx, [ebp-8]`, the read-back after the computed store.
+        assert!(base.slice.contains(InstId(6)), "baseline reads the stale dependent value");
+        assert_eq!(base.stats.vsa_kills, 0);
+        assert!(!vsa.slice.contains(InstId(6)), "the must-write kill removes the stale value");
+        assert!(vsa.stats.vsa_kills > 0, "the kill is counted");
+        assert!(vsa.slice.num_nodes() < base.slice.num_nodes());
+    }
+
+    #[test]
+    fn vsa_refined_slice_stays_within_sslice() {
+        // TSLICE ⊆ SSLICE must survive the refinement: a kill only removes
+        // spurious dependences, it never adds instructions SSLICE lacks.
+        let v0 = 0x74404u64;
+        let prog = computed_store_program(v0);
+        let crit = VarAddr::Global(tiara_ir::MemAddr(v0));
+        let vsa = tslice_with(&prog, crit, &TsliceConfig::with_vsa());
+        let ss = crate::sslice::sslice(&prog, crit);
+        for node in &vsa.slice.nodes {
+            assert!(ss.contains(node.inst), "tslice node {:?} missing from sslice", node.inst);
+        }
+    }
+
+    #[test]
+    fn vsa_mode_is_bitwise_identical_when_no_facts_refine() {
+        // `little_program` has no store through a computed register, so the
+        // must-write map is empty and `--vsa` must change nothing at all.
+        let v0 = 0x74404u64;
+        let prog = little_program(v0);
+        let crit = VarAddr::Global(tiara_ir::MemAddr(v0));
+        for base_cfg in [TsliceConfig::default(), TsliceConfig::with_trace()] {
+            let base = tslice_with(&prog, crit, &base_cfg);
+            let vsa = tslice_with(&prog, crit, &TsliceConfig { use_vsa: true, ..base_cfg });
+            assert_eq!(base.slice, vsa.slice);
+            assert_eq!(base.trace, vsa.trace);
+            assert_eq!(vsa.stats.vsa_kills, 0);
+        }
+    }
+
+    #[test]
+    fn vsa_mode_fast_path_matches_reference_mode() {
+        let v0 = 0x74404u64;
+        let crit = VarAddr::Global(tiara_ir::MemAddr(v0));
+        for prog in [computed_store_program(v0), little_program(v0)] {
+            let cfg = TsliceConfig::with_vsa();
+            let fast = tslice_with(&prog, crit, &cfg);
+            let refr = tslice_with(&prog, crit, &TsliceConfig { reference_mode: true, ..cfg });
+            assert_eq!(fast.slice, refr.slice);
+        }
     }
 
     #[test]

@@ -25,8 +25,17 @@ fn small_spec(name: &str, index: usize, seed: u64) -> ProjectSpec {
             set: 1,
             primitive: 10,
             escape: 2,
+            computed: 0,
         },
     }
+}
+
+/// Like [`small_spec`] but with computed-address scenarios mixed in, so the
+/// VSA must-write facts actually refine something.
+fn computed_spec(name: &str, index: usize, seed: u64) -> ProjectSpec {
+    let mut spec = small_spec(name, index, seed);
+    spec.counts.computed = 4;
+    spec
 }
 
 fn reference(cfg: &TsliceConfig) -> TsliceConfig {
@@ -90,10 +99,29 @@ fn fast_path_matches_reference_under_exponential_decay_and_tight_budget() {
         TsliceConfig { lea_tracks_pointer_arith: true, ..TsliceConfig::default() },
         TsliceConfig::with_call_summaries(),
         TsliceConfig { trace: true, ..TsliceConfig::with_call_summaries() },
+        TsliceConfig::with_vsa(),
+        TsliceConfig { trace: true, ..TsliceConfig::with_vsa() },
     ];
     for cfg in &variants {
         for (v0, _) in bin.labeled_vars().take(10) {
             assert_equivalent(&bin, v0, cfg);
+        }
+    }
+}
+
+#[test]
+fn vsa_mode_stays_equivalent_on_computed_address_projects() {
+    // Projects with computed-address scenarios are where the must-write map
+    // is non-empty; fast and reference mode must still agree bit for bit,
+    // and turning VSA on without any facts firing must change nothing.
+    for seed in [5u64, 71] {
+        let bin = generate(&computed_spec("equiv_vsa", (seed % 8) as usize, seed));
+        for cfg in
+            [TsliceConfig::with_vsa(), TsliceConfig { trace: true, ..TsliceConfig::with_vsa() }]
+        {
+            for (v0, _) in bin.labeled_vars().take(10) {
+                assert_equivalent(&bin, v0, &cfg);
+            }
         }
     }
 }
@@ -131,6 +159,7 @@ mod random_programs {
             index in 0usize..11,
             trace in any::<bool>(),
             use_call_summaries in any::<bool>(),
+            use_vsa in any::<bool>(),
             max_steps in 32usize..4096,
         ) {
             let bin = generate(&small_spec("equiv_prop", index, seed));
@@ -138,6 +167,7 @@ mod random_programs {
                 trace,
                 max_steps,
                 use_call_summaries,
+                use_vsa,
                 ..TsliceConfig::default()
             };
             for (v0, _) in bin.labeled_vars().take(6) {

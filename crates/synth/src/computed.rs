@@ -1,0 +1,244 @@
+//! Computed-address scenarios: labeled variables the syntactic discovery
+//! heuristic cannot see.
+//!
+//! `discover_variables` only proposes literal `[ebp+c]` slots in
+//! frame-pointer functions and absolute global operands. Real MSVC output
+//! addresses locals in three other ways — through a `lea`-materialized base
+//! register, through `esp` arithmetic, and directly `esp`-relative in
+//! frame-pointer-omitted (`/Oy`) functions — and heap objects never have a
+//! fixed address at all. Each scenario here emits one function whose single
+//! labeled variable is *only* reachable through one of those four shapes
+//! (cycled per scenario index), so the heuristic's recall measurably drops
+//! on any spec with `TypeCounts::computed > 0` while value-set analysis
+//! resolves every access:
+//!
+//! * variant 0 — frame-pointer-omitted function, `lea` base +
+//!   register-offset field accesses;
+//! * variant 1 — framed function, base register derived by `esp`
+//!   arithmetic (`mov r, esp; add r, k`);
+//! * variant 2 — frame-pointer-omitted function, direct `[esp+k]` accesses;
+//! * variant 3 — heap: `call malloc`, field accesses through the returned
+//!   pointer, recorded as a [`VarAddr::Heap`] allocation-site criterion.
+//!
+//! Ground-truth offsets follow the discovery conventions: framed functions
+//! record `ebp`-relative slots, frame-pointer-omitted functions record
+//! entry-`esp`-relative slots (the synthetic frame region VSA anchors at
+//! function entry, before the return address is accounted — i.e. `-4 -
+//! locals` territory).
+//!
+//! Every body is a single straight-line basic block so the VSA soundness
+//! oracle in tiara-verify can execute it concretely, and every slot is
+//! written before it is read. When `count` is zero this module draws
+//! nothing from the RNG, keeping pre-existing specs bit-identical.
+
+use crate::style::Style;
+use rand::rngs::StdRng;
+use rand::Rng;
+use tiara_ir::{
+    BinOp, ContainerClass, DebugInfo, InstKind, MemAddr, Opcode, Operand, ProgramBuilder, Reg,
+    VarAddr,
+};
+
+/// Locals bytes every scenario function reserves.
+pub const COMPUTED_FRAME_BYTES: i64 = 0x40;
+
+/// The classes scenarios cycle through (one per variant shape).
+pub const COMPUTED_CLASSES: [ContainerClass; 4] =
+    [ContainerClass::Vector, ContainerClass::List, ContainerClass::Map, ContainerClass::Set];
+
+/// Emits `count` computed-address scenarios (one function each), records
+/// their labeled variables in `debug`, and appends the function names to
+/// `func_names` so `main` reaches them. Draws from `rng` only when
+/// `count > 0`.
+pub(crate) fn emit_scenarios(
+    b: &mut ProgramBuilder,
+    debug: &mut DebugInfo,
+    rng: &mut StdRng,
+    style: &Style,
+    count: usize,
+    func_names: &mut Vec<String>,
+) {
+    for i in 0..count {
+        let class = COMPUTED_CLASSES[i % COMPUTED_CLASSES.len()];
+        let name = format!("computed_{i:03}");
+        match i % 4 {
+            0 => emit_fpo_lea(b, debug, rng, style, class, &name),
+            1 => emit_framed_esp_arith(b, debug, rng, style, class, &name),
+            2 => emit_fpo_esp_direct(b, debug, rng, style, class, &name),
+            _ => emit_heap(b, debug, rng, style, class, &name),
+        }
+        func_names.push(name);
+    }
+}
+
+/// A small burst of container-header-shaped field traffic through `base`:
+/// initialize the first three fields, then read-modify-write the size-like
+/// field a few times. Every read follows a write.
+fn emit_field_traffic(b: &mut ProgramBuilder, rng: &mut StdRng, style: &Style, base: Operand) {
+    let field = |off: i64| match base {
+        Operand::Loc(loc) => {
+            Operand::Deref(tiara_ir::Loc { base: loc.base, offset: loc.offset + off })
+        }
+        _ => unreachable!("base is always a Loc"),
+    };
+    for off in [0, 4, 8] {
+        b.inst(
+            Opcode::Mov,
+            InstKind::Mov { dst: field(off), src: Operand::imm(rng.random_range(1..256)) },
+        );
+    }
+    let bumps = rng.random_range(style.ops_per_var.0..=style.ops_per_var.1).max(1);
+    for _ in 0..bumps {
+        b.inst(Opcode::Mov, InstKind::Mov { dst: Operand::reg(Reg::Eax), src: field(4) });
+        b.inst(
+            Opcode::Add,
+            InstKind::Op { op: BinOp::Add, dst: Operand::reg(Reg::Eax), src: Operand::imm(1) },
+        );
+        b.inst(Opcode::Mov, InstKind::Mov { dst: field(4), src: Operand::reg(Reg::Eax) });
+    }
+}
+
+fn fpo_prologue(b: &mut ProgramBuilder) {
+    b.inst(
+        Opcode::Sub,
+        InstKind::Op {
+            op: BinOp::Sub,
+            dst: Operand::reg(Reg::Esp),
+            src: Operand::imm(COMPUTED_FRAME_BYTES),
+        },
+    );
+}
+
+fn fpo_epilogue(b: &mut ProgramBuilder) {
+    b.inst(
+        Opcode::Add,
+        InstKind::Op {
+            op: BinOp::Add,
+            dst: Operand::reg(Reg::Esp),
+            src: Operand::imm(COMPUTED_FRAME_BYTES),
+        },
+    );
+    b.ret();
+}
+
+/// Variant 0: `/Oy` function, base materialized by `lea r, [esp+k]`, all
+/// field accesses `[r+off]`.
+fn emit_fpo_lea(
+    b: &mut ProgramBuilder,
+    debug: &mut DebugInfo,
+    rng: &mut StdRng,
+    style: &Style,
+    class: ContainerClass,
+    name: &str,
+) {
+    let func = b.begin_func(name);
+    fpo_prologue(b);
+    let k = 0x10 + 4 * rng.random_range(0..4i64);
+    // Entry-esp-relative offset of the variable.
+    debug.record(VarAddr::Stack { func, offset: k - COMPUTED_FRAME_BYTES }, class, 0);
+    b.inst(
+        Opcode::Lea,
+        InstKind::Mov {
+            dst: Operand::reg(Reg::Esi),
+            src: Operand::Loc(tiara_ir::Loc::with_offset(Reg::Esp, k)),
+        },
+    );
+    emit_field_traffic(b, rng, style, Operand::Loc(tiara_ir::Loc::with_offset(Reg::Esi, 0)));
+    fpo_epilogue(b);
+    b.end_func();
+}
+
+/// Variant 1: framed function whose base register comes from `esp`
+/// arithmetic instead of `ebp` — the heuristic never sees an `ebp` operand
+/// for this variable.
+fn emit_framed_esp_arith(
+    b: &mut ProgramBuilder,
+    debug: &mut DebugInfo,
+    rng: &mut StdRng,
+    style: &Style,
+    class: ContainerClass,
+    name: &str,
+) {
+    let func = b.begin_func(name);
+    b.inst(Opcode::Push, InstKind::Push { src: Operand::reg(Reg::Ebp) });
+    b.inst(Opcode::Mov, InstKind::Mov { dst: Operand::reg(Reg::Ebp), src: Operand::reg(Reg::Esp) });
+    b.inst(
+        Opcode::Sub,
+        InstKind::Op {
+            op: BinOp::Sub,
+            dst: Operand::reg(Reg::Esp),
+            src: Operand::imm(COMPUTED_FRAME_BYTES),
+        },
+    );
+    let k = 0x14 + 4 * rng.random_range(0..4i64);
+    // esp sits at entry-4-frame; the base is esp + k, which in ebp-relative
+    // terms is k - 0x40 (ebp = entry esp - 4).
+    debug.record(VarAddr::Stack { func, offset: k - COMPUTED_FRAME_BYTES }, class, 0);
+    b.inst(Opcode::Mov, InstKind::Mov { dst: Operand::reg(Reg::Edi), src: Operand::reg(Reg::Esp) });
+    b.inst(
+        Opcode::Add,
+        InstKind::Op { op: BinOp::Add, dst: Operand::reg(Reg::Edi), src: Operand::imm(k) },
+    );
+    emit_field_traffic(b, rng, style, Operand::Loc(tiara_ir::Loc::with_offset(Reg::Edi, 0)));
+    if style.use_leave_epilogue {
+        b.inst(
+            Opcode::Leave,
+            InstKind::Mov { dst: Operand::reg(Reg::Esp), src: Operand::reg(Reg::Ebp) },
+        );
+    } else {
+        b.inst(
+            Opcode::Mov,
+            InstKind::Mov { dst: Operand::reg(Reg::Esp), src: Operand::reg(Reg::Ebp) },
+        );
+    }
+    b.inst(Opcode::Pop, InstKind::Pop { dst: Operand::reg(Reg::Ebp) });
+    b.ret();
+    b.end_func();
+}
+
+/// Variant 2: `/Oy` function addressing the variable directly `[esp+k]`.
+fn emit_fpo_esp_direct(
+    b: &mut ProgramBuilder,
+    debug: &mut DebugInfo,
+    rng: &mut StdRng,
+    style: &Style,
+    class: ContainerClass,
+    name: &str,
+) {
+    let func = b.begin_func(name);
+    fpo_prologue(b);
+    let k = 0x18 + 4 * rng.random_range(0..4i64);
+    debug.record(VarAddr::Stack { func, offset: k - COMPUTED_FRAME_BYTES }, class, 0);
+    emit_field_traffic(b, rng, style, Operand::Loc(tiara_ir::Loc::with_offset(Reg::Esp, k)));
+    fpo_epilogue(b);
+    b.end_func();
+}
+
+/// Variant 3: a heap object — `call malloc`, then field traffic through the
+/// returned pointer. The ground-truth criterion is the allocation site.
+fn emit_heap(
+    b: &mut ProgramBuilder,
+    debug: &mut DebugInfo,
+    rng: &mut StdRng,
+    style: &Style,
+    class: ContainerClass,
+    name: &str,
+) {
+    b.begin_func(name);
+    b.inst(Opcode::Push, InstKind::Push { src: Operand::reg(Reg::Ebp) });
+    b.inst(Opcode::Mov, InstKind::Mov { dst: Operand::reg(Reg::Ebp), src: Operand::reg(Reg::Esp) });
+    b.inst(Opcode::Push, InstKind::Push { src: Operand::imm(0x20) });
+    let site = b.call_extern(tiara_ir::ExternKind::Malloc);
+    debug.record(VarAddr::Heap { site: MemAddr(b.inst_addr(site)) }, class, 0);
+    b.inst(
+        Opcode::Add,
+        InstKind::Op { op: BinOp::Add, dst: Operand::reg(Reg::Esp), src: Operand::imm(4) },
+    );
+    // The returned pointer moves to a callee-saved register first (the
+    // field traffic itself clobbers eax).
+    b.inst(Opcode::Mov, InstKind::Mov { dst: Operand::reg(Reg::Esi), src: Operand::reg(Reg::Eax) });
+    emit_field_traffic(b, rng, style, Operand::Loc(tiara_ir::Loc::with_offset(Reg::Esi, 0)));
+    b.inst(Opcode::Pop, InstKind::Pop { dst: Operand::reg(Reg::Ebp) });
+    b.ret();
+    b.end_func();
+}

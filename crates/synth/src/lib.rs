@@ -39,6 +39,7 @@
 #![forbid(unsafe_code)]
 
 mod chunk;
+pub mod computed;
 pub mod escape;
 mod helpers;
 mod motivating;
@@ -48,6 +49,7 @@ mod style;
 pub mod templates;
 
 pub use chunk::{interleave, Chunk, LocalLabel, Micro};
+pub use computed::{COMPUTED_CLASSES, COMPUTED_FRAME_BYTES};
 pub use escape::{escape_slot_offset, ESCAPE_CLASSES, ESCAPE_IMPORT_SLOT};
 pub use helpers::emit_all as emit_helpers;
 pub use motivating::{motivating_example, MotivatingExample, L_ADDR, V_OFFSET};

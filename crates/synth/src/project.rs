@@ -49,12 +49,26 @@ pub struct TypeCounts {
     /// whose address crosses a call; see [`crate::escape`]).
     #[serde(default)]
     pub escape: usize,
+    /// Computed-address scenarios (each adds one labeled variable that is
+    /// only ever addressed through lea-materialized bases, esp arithmetic,
+    /// frame-pointer-omitted frames, or heap pointers; see
+    /// [`crate::computed`]).
+    #[serde(default)]
+    pub computed: usize,
 }
 
 impl TypeCounts {
-    /// Total number of labeled variables (escape scenarios label one each).
+    /// Total number of labeled variables (escape and computed scenarios
+    /// label one each).
     pub fn total(&self) -> usize {
-        self.list + self.vector + self.map + self.deque + self.set + self.primitive + self.escape
+        self.list
+            + self.vector
+            + self.map
+            + self.deque
+            + self.set
+            + self.primitive
+            + self.escape
+            + self.computed
     }
 
     /// The count for one label.
@@ -355,6 +369,17 @@ pub fn generate(spec: &ProjectSpec) -> Binary {
         &mut func_names,
     );
 
+    // Computed-address scenarios (same prefix property: zero RNG draws when
+    // the count is zero).
+    crate::computed::emit_scenarios(
+        &mut b,
+        &mut debug,
+        &mut rng,
+        &style,
+        spec.counts.computed,
+        &mut func_names,
+    );
+
     // main: call every generated function.
     b.begin_func("main");
     b.inst(Opcode::Push, InstKind::Push { src: Operand::reg(Reg::Ebp) });
@@ -560,6 +585,67 @@ mod tests {
             assert!(
                 with.debug.iter().any(|w| w.addr == r.addr && w.class == r.class),
                 "base label {:?} missing from escape-augmented project",
+                r.addr
+            );
+        }
+    }
+
+    #[test]
+    fn computed_scenarios_emit_all_four_shapes_and_labels() {
+        // `generate` self-verifies in debug builds, so constructing this
+        // binary already proves the scenarios pass every static check.
+        let bin = generate(&ProjectSpec {
+            name: "cva".into(),
+            index: 2,
+            seed: 11,
+            counts: TypeCounts { vector: 1, primitive: 2, computed: 8, ..Default::default() },
+        });
+        let p = &bin.program;
+        let main = p.entry_func();
+        for i in 0..8 {
+            let f = p.func_by_name(&format!("computed_{i:03}")).expect("scenario exists").id;
+            let called_from_main = (p.func(main).start.0..p.func(main).end.0).any(|raw| {
+                matches!(
+                    &p.inst(tiara_ir::InstId(raw)).kind,
+                    InstKind::Call { target: tiara_ir::CallTarget::Direct(g) } if *g == f
+                )
+            });
+            assert!(called_from_main, "main does not call computed_{i:03}");
+        }
+        // One labeled variable per scenario on top of the base counts; the
+        // heap variants (i % 4 == 3) record allocation-site criteria.
+        assert_eq!(bin.debug.len(), 1 + 2 + 8);
+        let heap_labels =
+            bin.debug.iter().filter(|r| matches!(r.addr, VarAddr::Heap { .. })).count();
+        assert_eq!(heap_labels, 2, "scenarios 3 and 7 are heap-shaped");
+        // The frame-pointer-omitted variants really omit the frame pointer.
+        for i in [0usize, 2] {
+            let f = p.func_by_name(&format!("computed_{i:03}")).unwrap().id;
+            assert_eq!(
+                tiara_ir::detect_frame_mode(p, f),
+                tiara_ir::FrameMode::Omitted,
+                "computed_{i:03} must be /Oy"
+            );
+        }
+    }
+
+    #[test]
+    fn computed_zero_draws_nothing_from_the_rng() {
+        // A spec with computed: 0 must be bit-identical to the same spec
+        // before the field existed; in particular no scenario functions.
+        let bin = generate(&small_spec());
+        assert!(bin.program.func_by_name("computed_000").is_none());
+        let with = generate(&ProjectSpec {
+            counts: TypeCounts { computed: 4, ..small_spec().counts },
+            ..small_spec()
+        });
+        // Prefix property: the base functions are generated first and
+        // identically (same RNG stream), computed code only appends.
+        assert!(with.program.num_insts() > bin.program.num_insts());
+        for r in bin.debug.iter() {
+            assert!(
+                with.debug.iter().any(|w| w.addr == r.addr && w.class == r.class),
+                "base label {:?} missing from computed-augmented project",
                 r.addr
             );
         }

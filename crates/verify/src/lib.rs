@@ -27,6 +27,10 @@
 //! | `callee-clobbers-live-caller-reg` | no register live across a direct call sits in the callee's transitive clobber set |
 //! | `dead-argument` | no call site pushes an argument its callee provably ignores |
 //! | `mod-ref-violation` | the escape/mod-ref summaries absorb independently re-derived per-instruction effects and call-edge flows |
+//! | `vsa-out-of-frame` | no provable frame-slot access lands below the stack pointer or implausibly far above the frame (VSA-based) |
+//! | `vsa-esp-balance` | `esp` provably sits at the return-address slot at every `ret` (VSA-based) |
+//! | `vsa-overlap` | no two provable frame-slot accesses overlap within one machine word (VSA-based) |
+//! | `vsa-soundness` | concrete execution of every straight-line function stays inside the VSA value sets (oracle for the analysis itself) |
 //! | `slice-oracle` | TSLICE outputs are connected sub-CFGs, trace faith is monotone, TSLICE ⊆ SSLICE, kill rules agree with reaching definitions |
 //!
 //! The `dead-store` through `const-condition` passes are built on the
@@ -67,6 +71,7 @@ mod oracle;
 mod stack;
 mod uninit;
 mod unreachable;
+mod vsa;
 
 pub use oracle::{
     check_slice, check_trace_monotone, check_tslice_in_sslice, verify_slices, verify_slices_with,
@@ -106,6 +111,14 @@ pub enum PassId {
     /// monotonicity re-derived independently must be absorbed by the stored
     /// summaries.
     ModRefViolation,
+    /// Provable frame-slot accesses outside the live frame (VSA-based).
+    VsaOutOfFrame,
+    /// `esp` not provably at the return-address slot at a `ret` (VSA-based).
+    VsaEspBalance,
+    /// Provable frame-slot accesses that overlap within one word (VSA-based).
+    VsaOverlap,
+    /// Concrete-execution soundness oracle for the VSA value sets.
+    VsaSoundness,
     /// Slice-soundness oracle.
     SliceOracle,
 }
@@ -127,6 +140,10 @@ impl PassId {
             PassId::CalleeClobbersLiveReg => "callee-clobbers-live-caller-reg",
             PassId::DeadArgument => "dead-argument",
             PassId::ModRefViolation => "mod-ref-violation",
+            PassId::VsaOutOfFrame => "vsa-out-of-frame",
+            PassId::VsaEspBalance => "vsa-esp-balance",
+            PassId::VsaOverlap => "vsa-overlap",
+            PassId::VsaSoundness => "vsa-soundness",
             PassId::SliceOracle => "slice-oracle",
         }
     }
@@ -332,6 +349,7 @@ pub fn verify(prog: &Program) -> Report {
         diagnostics.extend(uninit::run(prog));
         diagnostics.extend(constcond::run(prog));
         diagnostics.extend(interproc::run(prog));
+        diagnostics.extend(vsa::run(prog));
     }
     Report { diagnostics }
 }

@@ -25,6 +25,7 @@ fn shrink(spec: &ProjectSpec) -> ProjectSpec {
             deque: s(spec.counts.deque),
             set: s(spec.counts.set),
             escape: s(spec.counts.escape),
+            computed: s(spec.counts.computed),
         },
         ..spec.clone()
     }
@@ -40,6 +41,28 @@ fn every_benchmark_project_lints_clean() {
         assert!(
             !report.has_errors(),
             "`{}` must lint clean:\n{}",
+            bin.name,
+            report.render_human(&bin.program)
+        );
+    }
+}
+
+#[test]
+fn computed_address_scenarios_pass_the_vsa_soundness_oracle() {
+    // The computed scenarios are all straight-line, so every one of them is
+    // concretely executed by the `vsa-soundness` oracle; a VSA transfer bug
+    // would surface as an error here before poisoning discovery or slicing.
+    for seed in [3, 11, 29] {
+        let bin = generate(&ProjectSpec {
+            name: format!("computed-{seed}"),
+            index: (seed % 8) as usize,
+            seed,
+            counts: TypeCounts { primitive: 2, computed: 8, ..Default::default() },
+        });
+        let report = verify(&bin.program);
+        assert!(
+            !report.has_errors(),
+            "`{}` must lint clean under the VSA passes:\n{}",
             bin.name,
             report.render_human(&bin.program)
         );

@@ -57,6 +57,7 @@ fn wire_addrs(bin: &Binary, n: usize) -> Vec<String> {
                     format!("func:{name}:0x{offset:x}")
                 }
             }
+            tiara_ir::VarAddr::Heap { site } => format!("heap:0x{:x}", site.0),
         })
         .collect()
 }
