@@ -1,0 +1,123 @@
+//! Hot-loop microbench for the GNN training kernels (PR 8): block-diagonal
+//! spmm over a batch of pooled adjacencies, the fused matmul+bias+ReLU
+//! forward kernel against its unfused two-pass equivalent, the fused
+//! softmax+cross-entropy, and a full training run on the batched engine vs
+//! the retained per-sample reference tape. The macro-level counterpart is
+//! `tiara-eval bench` → BENCH_PR8.json.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tiara_gnn::{fused, Csr, Gcn, GcnConfig, GraphSample, Matrix};
+
+/// Deterministic pseudo-random matrix (xorshift; benches must not depend on
+/// host entropy).
+fn filled(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 40) as f32 / (1u64 << 24) as f32 - 0.5
+    };
+    let data: Vec<Vec<f32>> = (0..rows).map(|_| (0..cols).map(|_| next()).collect()).collect();
+    let refs: Vec<&[f32]> = data.iter().map(Vec::as_slice).collect();
+    Matrix::from_rows(&refs)
+}
+
+/// A batch of mean-pooled chain adjacencies, as the batched engine sees it.
+fn pooled_blocks(graphs: usize, nodes: usize) -> Vec<Csr> {
+    (0..graphs)
+        .map(|g| {
+            let edges: Vec<(u32, u32)> = (0..nodes as u32 - 1)
+                .flat_map(|i| [(i, i + 1), (i + 1, (i + g as u32) % nodes as u32)])
+                .collect();
+            Csr::mean_pool_adjacency(nodes, &edges)
+        })
+        .collect()
+}
+
+fn training_set(samples: usize, nodes: usize, dim: usize) -> Vec<GraphSample> {
+    (0..samples)
+        .map(|i| {
+            let feats = filled(nodes, dim, 0x9e37 + i as u64);
+            let edges: Vec<(u32, u32)> =
+                (0..nodes as u32 - 1).map(|j| (j, (j + 1 + i as u32 % 3) % nodes as u32)).collect();
+            GraphSample::new(feats, &edges, (i % 5) as u32)
+        })
+        .collect()
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    // 32 graphs × 24 nodes ≈ one training batch of the Table I suite.
+    let blocks = pooled_blocks(32, 24);
+    let refs: Vec<&Csr> = blocks.iter().collect();
+    let feats = filled(32 * 24, 42, 7);
+    let mut adj = Csr::empty();
+    let mut out = Matrix::zeros(0, 0);
+
+    let mut group = c.benchmark_group("gnn_hot_loop");
+    group.bench_function("block_diag_spmm", |b| {
+        b.iter(|| {
+            Csr::block_diag_into(black_box(&refs), &mut adj);
+            adj.spmm_into(black_box(&feats), &mut out);
+            black_box(out.rows());
+        });
+    });
+
+    let a = filled(32 * 24, 64, 11);
+    let w = filled(64, 64, 13);
+    let bias = filled(1, 64, 17);
+    group.bench_function("fused_matmul_bias_relu", |b| {
+        b.iter(|| {
+            fused::matmul_bias_relu_into(black_box(&a), black_box(&w), Some(bias.row(0)), &mut out);
+            black_box(out.rows());
+        });
+    });
+    group.bench_function("unfused_matmul_bias_relu", |b| {
+        b.iter(|| {
+            a.matmul_into(black_box(&w), &mut out);
+            for r in 0..out.rows() {
+                for cc in 0..out.cols() {
+                    let v = (out.get(r, cc) + bias.get(0, cc)).max(0.0);
+                    out.set(r, cc, v);
+                }
+            }
+            black_box(out.rows());
+        });
+    });
+
+    let logits = filled(512, 5, 19);
+    let labels: Vec<u32> = (0..512).map(|i| (i % 5) as u32).collect();
+    group.bench_function("softmax_ce_loss", |b| {
+        b.iter(|| black_box(fused::softmax_ce_loss(black_box(&logits), black_box(&labels))));
+    });
+    group.finish();
+}
+
+fn bench_train(c: &mut Criterion) {
+    let samples = training_set(64, 16, 42);
+    let base = GcnConfig {
+        input_dim: 42,
+        hidden_dim: 64,
+        num_classes: 5,
+        epochs: 3,
+        batch_size: 32,
+        ..GcnConfig::default()
+    };
+    let mut group = c.benchmark_group("gnn_hot_loop/train");
+    group.sample_size(10);
+    for reference_mode in [false, true] {
+        let name = if reference_mode { "reference" } else { "batched" };
+        group.bench_with_input(BenchmarkId::from_parameter(name), &reference_mode, |b, &rm| {
+            b.iter(|| {
+                let mut gcn = Gcn::new(GcnConfig { reference_mode: rm, ..base.clone() });
+                gcn.train(black_box(&samples));
+                black_box(gcn.predict(&samples[0]))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels, bench_train);
+criterion_main!(benches);

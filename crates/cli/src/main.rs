@@ -54,14 +54,17 @@ fn usage() -> &'static str {
                    [--reference] [--vsa]\n\
      tiara analyze --binary prog.tira [--func NAME] [--interproc] [--vsa] [--json]\n\
      tiara lint    --binary prog.tira [--addr ADDR] [--json]\n\
-     tiara train   --binary prog.tira --pdb labels.json --save model.json [--epochs N] [--sslice]\n\
-     tiara predict --binary prog.tira --model model.json --addr ADDR\n\
+     tiara train   --binary prog.tira --pdb labels.json --save model.json [--epochs N]\n\
+                   [--batch N] [--sslice] [--reference-mode]\n\
+     tiara predict --binary prog.tira --model model.json --addr ADDR [--quantized]\n\
      tiara serve   --model model.json [--listen HOST:PORT] [--workers N] [--queue N]\n\
-                   [--max-batch N] [--deadline-ms N]\n\
+                   [--max-batch N] [--deadline-ms N] [--quantized]\n\
      \n\
      ADDR: 0x74404 | 74404h (global) | func:<name>:<offset> (frame slot)\n\
      every command also accepts --threads N (default: TIARA_THREADS or all cores)\n\
-     `serve` answers newline-delimited JSON on stdin/stdout, or on TCP with --listen"
+     `serve` answers newline-delimited JSON on stdin/stdout, or on TCP with --listen\n\
+     --reference-mode trains on the per-sample autodiff tape (slow, bitwise-identical\n\
+     reference for the batched engine); --quantized serves int8-quantized inference"
 }
 
 /// CLI failures, each with a stable exit code (see the module docs).
@@ -124,7 +127,7 @@ fn run() -> Result<(), CliError> {
         if let Some(name) = a.strip_prefix("--") {
             match name {
                 "sslice" | "trace" | "dot" | "json" | "stats" | "reference" | "interproc"
-                | "vsa" => switches.push(name.to_owned()),
+                | "vsa" | "reference-mode" | "quantized" => switches.push(name.to_owned()),
                 _ => {
                     let v = args
                         .next()
@@ -324,13 +327,25 @@ fn run() -> Result<(), CliError> {
                 serde_json::from_str(&read(get("pdb")?)?).map_err(|e| e.to_string())?;
             let slicer = if has("sslice") { Slicer::Sslice } else { Slicer::default() };
             let epochs = flags.get("epochs").map(|s| s.parse().unwrap_or(60)).unwrap_or(60);
+            let batch_size = match flags.get("batch") {
+                Some(b) => b.parse().map_err(|e| CliError::Usage(format!("--batch: {e}")))?,
+                None => ClassifierConfig::default().batch_size,
+            };
+            if batch_size == 0 {
+                return Err(CliError::Usage("--batch must be at least 1".into()));
+            }
             // `--save` writes the whole system (slicer config + weights);
             // `--model` remains as an alias from the pre-bundle CLI.
             let out_path = flags.get("save").or_else(|| flags.get("model")).ok_or_else(|| {
                 CliError::Usage(format!("missing required flag --save\n{}", usage()))
             })?;
             let ds = Dataset::from_binary(&prog, &pdb, "cli", &slicer);
-            let mut clf = Classifier::new(&ClassifierConfig { epochs, ..Default::default() });
+            let mut clf = Classifier::new(&ClassifierConfig {
+                epochs,
+                batch_size,
+                reference_mode: has("reference-mode"),
+                ..Default::default()
+            });
             let stats = clf.train_with_progress(&ds, |s| {
                 if s.epoch % 10 == 0 {
                     eprintln!("epoch {:>4}: loss {:.4} acc {:.2}", s.epoch, s.loss, s.accuracy);
@@ -349,7 +364,10 @@ fn run() -> Result<(), CliError> {
         }
         "predict" => {
             let prog = load_binary(get("binary")?)?;
-            let tiara = load_model(get("model")?)?;
+            let mut tiara = load_model(get("model")?)?;
+            if has("quantized") {
+                tiara.set_quantized_inference(true);
+            }
             let addr = parse_addr(get("addr")?, &prog)?;
             let p = tiara.try_predict(&prog, addr)?;
             println!("{addr}: {}", p.class);
@@ -358,7 +376,13 @@ fn run() -> Result<(), CliError> {
             }
         }
         "serve" => {
-            let tiara = load_model(get("model")?)?;
+            let mut tiara = load_model(get("model")?)?;
+            if has("quantized") {
+                tiara.set_quantized_inference(true);
+                if !tiara.quantized_inference_active() {
+                    eprintln!("--quantized has no effect: model has no quantizable GCN");
+                }
+            }
             let mut config = ServeConfig::default();
             if let Some(w) = flags.get("workers") {
                 config.workers =

@@ -148,3 +148,16 @@ fn usage_errors_and_missing_files_keep_their_codes() {
     let missing = tiara(&["disasm", "--binary", "/nonexistent/prog.tira"]);
     assert_eq!(missing.status.code(), Some(3), "I/O failures exit 3");
 }
+
+#[test]
+fn reference_mode_and_quantized_parse_as_switches() {
+    // Both are value-less switches; the parser must not eat a following
+    // flag as their "value". Missing --binary is the error we expect.
+    let train = tiara(&["train", "--reference-mode", "--pdb", "/nonexistent/labels.json"]);
+    let err = String::from_utf8_lossy(&train.stderr);
+    assert!(!err.contains("missing value for --reference-mode"), "switch ate a value: {err}");
+    assert!(err.contains("--binary"), "expected a missing --binary error: {err}");
+    let predict = tiara(&["predict", "--quantized", "--addr", "0x100000"]);
+    let err = String::from_utf8_lossy(&predict.stderr);
+    assert!(!err.contains("missing value for --quantized"), "switch ate a value: {err}");
+}

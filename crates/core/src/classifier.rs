@@ -6,7 +6,9 @@ use crate::error::Error;
 use crate::features::FEATURE_DIM;
 use crate::metrics::Evaluation;
 use serde::{Deserialize, Serialize};
-use tiara_gnn::{EpochStats, Gcn, GcnConfig, GraphSample, Mlp, MlpConfig};
+use tiara_gnn::{
+    EpochStats, Gcn, GcnConfig, GraphSample, Mlp, MlpConfig, QuantizedGcn, TrainStats,
+};
 use tiara_ir::ContainerClass;
 
 /// Which model backs the classifier.
@@ -40,6 +42,12 @@ pub struct ClassifierConfig {
     pub batch_size: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Train through the per-sample autodiff tape instead of the batched
+    /// block-diagonal engine. Slower, bitwise identical; kept as the
+    /// reference implementation for differential testing. Absent from old
+    /// config files (defaults to the fast path).
+    #[serde(default)]
+    pub reference_mode: bool,
 }
 
 impl Default for ClassifierConfig {
@@ -53,6 +61,7 @@ impl Default for ClassifierConfig {
             epochs: 300,
             batch_size: 32,
             seed: 0x0007_1A2A,
+            reference_mode: false,
         }
     }
 }
@@ -81,6 +90,7 @@ impl ClassifierConfig {
             epochs: self.epochs,
             batch_size: self.batch_size,
             seed: self.seed,
+            reference_mode: self.reference_mode,
         }
     }
 }
@@ -210,6 +220,44 @@ impl Classifier {
         match &self.model {
             Model::Gcn(g) => g.predict_proba(graph),
             Model::Mlp(m) => m.predict_proba(graph),
+        }
+    }
+
+    /// Predicted classes for a batch of slice graphs, one batched forward
+    /// pass per `batch_size` chunk.
+    pub fn predict_batch(&self, graphs: &[GraphSample]) -> Vec<ContainerClass> {
+        let preds = match &self.model {
+            Model::Gcn(g) => g.predict_batch(graphs),
+            Model::Mlp(m) => m.predict_batch(graphs),
+        };
+        preds.into_iter().map(|p| ContainerClass::from_index(p as usize)).collect()
+    }
+
+    /// Class probabilities for a batch of slice graphs, one batched forward
+    /// pass per `batch_size` chunk. Row `i` is bitwise identical to
+    /// `predict_proba(&graphs[i])`.
+    pub fn predict_proba_batch(&self, graphs: &[GraphSample]) -> Vec<Vec<f32>> {
+        match &self.model {
+            Model::Gcn(g) => g.predict_proba_batch(graphs),
+            Model::Mlp(m) => m.predict_proba_batch(graphs),
+        }
+    }
+
+    /// Perf counters of the most recent training call (zeroed for the MLP
+    /// baseline and untrained models; not persisted).
+    pub fn train_stats(&self) -> TrainStats {
+        match &self.model {
+            Model::Gcn(g) => g.train_stats(),
+            Model::Mlp(_) => TrainStats::default(),
+        }
+    }
+
+    /// An int8-quantized copy of the model for fast approximate inference,
+    /// or `None` for the MLP baseline (see [`tiara_gnn::QuantizedGcn`]).
+    pub fn quantize(&self) -> Option<QuantizedGcn> {
+        match &self.model {
+            Model::Gcn(g) => Some(g.quantize()),
+            Model::Mlp(_) => None,
         }
     }
 

@@ -27,7 +27,7 @@ use crate::dataset::{Dataset, Slicer};
 use crate::error::Error;
 use crate::graph::slice_to_graph;
 use crate::slice_cache;
-use tiara_gnn::EpochStats;
+use tiara_gnn::{argmax_slice, EpochStats, QuantizedGcn};
 use tiara_ir::{ContainerClass, DebugInfo, Program, VarAddr};
 use tiara_par::Executor;
 use tiara_slice::SliceStats;
@@ -71,6 +71,12 @@ pub struct TiaraConfig {
     pub slicer: Slicer,
     /// The classification stage.
     pub classifier: ClassifierConfig,
+    /// Serve predictions from an int8-quantized copy of the trained model
+    /// (see [`tiara_gnn::QuantizedGcn`]). Probabilities become approximate
+    /// (labels are differentially tested for parity); training and the saved
+    /// model artifact are unaffected. Absent from old config files.
+    #[serde(default)]
+    pub quantized_inference: bool,
 }
 
 impl TiaraConfig {
@@ -89,6 +95,13 @@ impl TiaraConfig {
     /// Replaces the classifier stage.
     pub fn with_classifier(mut self, classifier: ClassifierConfig) -> TiaraConfig {
         self.classifier = classifier;
+        self
+    }
+
+    /// Toggles int8-quantized inference (see
+    /// [`TiaraConfig::quantized_inference`]).
+    pub fn with_quantized_inference(mut self, on: bool) -> TiaraConfig {
+        self.quantized_inference = on;
         self
     }
 }
@@ -131,12 +144,44 @@ struct SavedTiara {
 pub struct Tiara {
     slicer: Slicer,
     classifier: Classifier,
+    /// Whether to serve predictions from the quantized model copy.
+    quantize_inference: bool,
+    /// The int8 model copy, rebuilt whenever the classifier changes while
+    /// the toggle is on. Never serialized — it is derived state.
+    quantized: Option<QuantizedGcn>,
 }
 
 impl Tiara {
     /// Creates an untrained system.
     pub fn new(config: TiaraConfig) -> Tiara {
-        Tiara { slicer: config.slicer.clone(), classifier: Classifier::new(&config.classifier) }
+        Tiara {
+            slicer: config.slicer.clone(),
+            classifier: Classifier::new(&config.classifier),
+            quantize_inference: config.quantized_inference,
+            quantized: None,
+        }
+    }
+
+    /// Turns int8-quantized inference on or off, (re)quantizing the current
+    /// model as needed. A no-op for untrained models and the MLP baseline
+    /// (which has no quantized path); training or replacing the classifier
+    /// re-applies the toggle automatically.
+    pub fn set_quantized_inference(&mut self, on: bool) {
+        self.quantize_inference = on;
+        self.refresh_quantized();
+    }
+
+    /// Whether predictions are currently served from the quantized model.
+    pub fn quantized_inference_active(&self) -> bool {
+        self.quantized.is_some()
+    }
+
+    fn refresh_quantized(&mut self) {
+        self.quantized = if self.quantize_inference && self.classifier.is_trained() {
+            self.classifier.quantize()
+        } else {
+            None
+        };
     }
 
     /// The slicer in use.
@@ -154,6 +199,12 @@ impl Tiara {
         self.classifier.is_trained()
     }
 
+    /// Perf counters of the most recent training call (see
+    /// [`Classifier::train_stats`]).
+    pub fn train_stats(&self) -> tiara_gnn::TrainStats {
+        self.classifier.train_stats()
+    }
+
     /// Builds the training dataset from labeled binaries (slicing every
     /// recorded variable) and trains the classifier.
     ///
@@ -169,7 +220,9 @@ impl Tiara {
         for (name, prog, debug) in binaries {
             ds.merge(Dataset::from_binary(prog, debug, name, &self.slicer));
         }
-        self.classifier.train(&ds)
+        let stats = self.classifier.train(&ds)?;
+        self.refresh_quantized();
+        Ok(stats)
     }
 
     /// Trains directly on a pre-built dataset.
@@ -178,7 +231,9 @@ impl Tiara {
     ///
     /// Returns [`Error::EmptyDataset`] if the dataset is empty.
     pub fn train_on(&mut self, dataset: &Dataset) -> Result<Vec<EpochStats>, Error> {
-        self.classifier.train(dataset)
+        let stats = self.classifier.train(dataset)?;
+        self.refresh_quantized();
+        Ok(stats)
     }
 
     /// Predicts the container class of the variable at `addr`: runs the
@@ -264,7 +319,8 @@ impl Tiara {
             }
         }
         let slicer_fp = slice_cache::slicer_fingerprint(&self.slicer);
-        Ok(exec.par_map(addrs, |_, &addr| {
+        // Stage 1 — slice and encode, parallel per address.
+        let sliced = exec.par_map(addrs, |_, &addr| {
             let spills_before = tiara_slice::thread_spills();
             let mut stats = SliceStats::default();
             let slice =
@@ -278,15 +334,36 @@ impl Tiara {
                 });
             stats.set_spills = tiara_slice::thread_spills() - spills_before;
             let graph = slice_to_graph(prog, &slice, 0);
-            Prediction {
+            (graph, slice.num_nodes(), slice.num_edges(), stats)
+        });
+        // Stage 2 — classify the whole batch in one pass: the forward runs
+        // once per `batch_size` chunk instead of twice per address (the
+        // pre-PR8 cost: a tape forward for the class and another for the
+        // probabilities). Labels are read off the probability rows with the
+        // same argmax every other path uses.
+        let mut graphs = Vec::with_capacity(sliced.len());
+        let mut metas = Vec::with_capacity(sliced.len());
+        for (g, n, e, s) in sliced {
+            graphs.push(g);
+            metas.push((n, e, s));
+        }
+        let probs = match &self.quantized {
+            Some(q) => q.predict_proba_batch(&graphs),
+            None => self.classifier.predict_proba_batch(&graphs),
+        };
+        Ok(addrs
+            .iter()
+            .zip(metas)
+            .zip(probs)
+            .map(|((&addr, (slice_nodes, slice_edges, stats)), probs)| Prediction {
                 addr,
-                class: self.classifier.predict(&graph),
-                probs: self.classifier.predict_proba(&graph),
-                slice_nodes: slice.num_nodes(),
-                slice_edges: slice.num_edges(),
+                class: ContainerClass::from_index(argmax_slice(&probs)),
+                probs,
+                slice_nodes,
+                slice_edges,
                 stats,
-            }
-        }))
+            })
+            .collect())
     }
 
     /// Predicts the container class of the variable at `addr`.
@@ -320,6 +397,7 @@ impl Tiara {
     /// Replaces the classifier with a previously trained one.
     pub fn with_classifier(mut self, classifier: Classifier) -> Tiara {
         self.classifier = classifier;
+        self.refresh_quantized();
         self
     }
 
@@ -344,7 +422,12 @@ impl Tiara {
     /// Returns a deserializer error.
     pub fn from_json(s: &str) -> Result<Tiara, Error> {
         let saved: SavedTiara = serde_json::from_str(s)?;
-        Ok(Tiara { slicer: saved.slicer, classifier: saved.classifier })
+        Ok(Tiara {
+            slicer: saved.slicer,
+            classifier: saved.classifier,
+            quantize_inference: false,
+            quantized: None,
+        })
     }
 
     /// Saves the whole system (config + model) to a file.
@@ -531,8 +614,60 @@ mod tests {
     fn config_builder_composes() {
         let cfg = TiaraConfig::new()
             .with_slicer(Slicer::Sslice)
-            .with_classifier(ClassifierConfig { epochs: 9, ..Default::default() });
+            .with_classifier(ClassifierConfig { epochs: 9, ..Default::default() })
+            .with_quantized_inference(true);
         assert!(matches!(cfg.slicer, Slicer::Sslice));
         assert_eq!(cfg.classifier.epochs, 9);
+        assert!(cfg.quantized_inference);
+    }
+
+    #[test]
+    fn quantized_inference_keeps_labels_and_toggles_cleanly() {
+        let bin = e2e_binary();
+        let cfg = TiaraConfig::new().with_classifier(ClassifierConfig {
+            epochs: 10,
+            batch_size: 8,
+            ..Default::default()
+        });
+        let mut tiara = Tiara::new(cfg);
+        assert!(!tiara.quantized_inference_active(), "untrained: nothing to quantize");
+        tiara.train(&[("e2e", &bin.program, &bin.debug)]).unwrap();
+
+        let addrs: Vec<_> = bin.labeled_vars().map(|(a, _)| a).collect();
+        let f32_preds = tiara.predict_batch(&bin.program, &addrs).unwrap();
+        tiara.set_quantized_inference(true);
+        assert!(tiara.quantized_inference_active());
+        let q_preds = tiara.predict_batch(&bin.program, &addrs).unwrap();
+        for (a, b) in f32_preds.iter().zip(&q_preds) {
+            assert_eq!(a.class, b.class, "quantized label parity at {}", a.addr);
+            assert_eq!(a.slice_nodes, b.slice_nodes, "slicing must be unaffected");
+        }
+        // Toggling off restores bitwise-f32 serving.
+        tiara.set_quantized_inference(false);
+        assert!(!tiara.quantized_inference_active());
+        let back = tiara.predict_batch(&bin.program, &addrs).unwrap();
+        for (a, b) in f32_preds.iter().zip(&back) {
+            assert_eq!(
+                a.probs.iter().map(|p| p.to_bits()).collect::<Vec<_>>(),
+                b.probs.iter().map(|p| p.to_bits()).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn train_stats_flow_through_the_pipeline() {
+        let bin = e2e_binary();
+        let cfg = TiaraConfig::new().with_classifier(ClassifierConfig {
+            epochs: 2,
+            batch_size: 8,
+            ..Default::default()
+        });
+        let mut tiara = Tiara::new(cfg);
+        assert_eq!(tiara.train_stats().batches, 0, "untrained: zeroed counters");
+        tiara.train(&[("e2e", &bin.program, &bin.debug)]).unwrap();
+        let ts = tiara.train_stats();
+        assert!(ts.batches > 0);
+        assert!(ts.fused_kernel_calls > 0);
+        assert!(ts.forward_secs >= 0.0 && ts.backward_secs >= 0.0);
     }
 }

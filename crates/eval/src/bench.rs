@@ -1,5 +1,5 @@
 //! The `tiara-eval bench` mode: measured slicing/encoding/training
-//! throughput at 1 vs N threads, emitted as text or as `BENCH_PR5.json`.
+//! throughput at 1 vs N threads, emitted as text or as `BENCH_PR8.json`.
 //!
 //! Every later perf PR regenerates this file and compares: the report
 //! carries slices/sec, graphs/sec (slice→graph + feature encoding with a
@@ -17,12 +17,21 @@
 //! hits), with a byte-identical-response check — the daemon's determinism
 //! contract.
 //!
+//! Since PR 8 each run additionally carries the trainer's own hot-loop
+//! counters ([`TrainStats`]): wall time split into forward/backward/
+//! optimizer, batches run, fused-kernel invocations, and workspace bytes
+//! reused instead of reallocated. The report also cross-checks the batched
+//! engine against the retained per-sample reference tape
+//! (`reference_digest_match`) and measures a quantized (int8 conv) warm
+//! serving pass with a label-parity check against the f32 responses.
+//!
 //! JSON is rendered by hand (no serde round-trip) so the output is a plain
 //! artifact of the harness itself.
 
 use std::fmt::Write as _;
 use std::hash::{DefaultHasher, Hash, Hasher};
 use tiara::{slice_cache, Classifier, ClassifierConfig, Dataset, Slicer, Tiara, TiaraConfig};
+use tiara_gnn::TrainStats;
 use tiara_ir::VarAddr;
 use tiara_par::Executor;
 use tiara_serve::{ServeConfig, Server};
@@ -68,6 +77,8 @@ pub struct ThreadBench {
     pub model_digest: u64,
     /// Slicer hot-loop counters aggregated over the cold pass.
     pub slice_stats: SliceStats,
+    /// Trainer hot-loop counters for the measured training run.
+    pub train_stats: TrainStats,
 }
 
 /// Measurements of the serving path: predict batches answered by an
@@ -89,6 +100,13 @@ pub struct ServeBench {
     /// Whether the warm pass produced byte-identical responses to the cold
     /// pass — the daemon's determinism contract.
     pub responses_identical: bool,
+    /// Warm pass through a quantized (int8 conv) server, seconds.
+    pub quantized_warm_secs: f64,
+    /// Quantized warm throughput, addresses/second.
+    pub quantized_warm_addrs_per_sec: f64,
+    /// Whether the quantized server predicted the same class labels as the
+    /// f32 server on every address.
+    pub quantized_labels_match: bool,
 }
 
 /// The full bench report.
@@ -108,6 +126,10 @@ pub struct BenchReport {
     pub end_to_end_speedup: f64,
     /// Whether every run produced a bitwise-identical trained model.
     pub models_identical: bool,
+    /// Whether the batched engine's model is bitwise identical to one
+    /// trained through the retained per-sample reference tape
+    /// (`ClassifierConfig::reference_mode`).
+    pub reference_digest_match: bool,
     /// Cores available to this process: speedups saturate here, so a report
     /// generated on a 1-core host legitimately shows ~1x.
     pub host_cpus: usize,
@@ -187,7 +209,29 @@ fn bench_at(bins: &[Binary], cfg: &BenchConfig, threads: usize) -> ThreadBench {
         end_to_end_secs: slice_secs + train_secs,
         model_digest: model_digest(&clf, &merged),
         slice_stats,
+        train_stats: clf.train_stats(),
     }
+}
+
+/// Trains once through the retained per-sample reference tape at 1 thread
+/// and digests the model — the batched engine must reproduce it bitwise.
+fn reference_digest(bins: &[Binary], cfg: &BenchConfig) -> u64 {
+    let exec = Executor::new(1);
+    let slicer = Slicer::default();
+    tiara_par::set_global_threads(1);
+    slice_cache::clear();
+    let mut merged = Dataset::new();
+    for b in bins {
+        merged.merge(Dataset::from_binary_with(&b.program, &b.debug, &b.name, &slicer, &exec));
+    }
+    let mut clf = Classifier::new(&ClassifierConfig {
+        epochs: cfg.epochs,
+        seed: cfg.seed,
+        reference_mode: true,
+        ..Default::default()
+    });
+    clf.train(&merged).expect("bench suite is nonempty");
+    model_digest(&clf, &merged)
 }
 
 /// The wire notation of an address (see `tiara_ir::parse_var_addr`).
@@ -206,20 +250,45 @@ fn addr_notation(bin: &Binary, addr: VarAddr) -> String {
     }
 }
 
-fn bench_serve(bins: &[Binary], cfg: &BenchConfig) -> ServeBench {
-    let bin = &bins[0];
+/// Pulls every `"class":"…"` value, in order, out of a batch of wire
+/// responses — enough to compare predicted labels across servers without
+/// re-parsing the whole payload.
+fn class_labels(responses: &[String]) -> Vec<String> {
+    let mut out = Vec::new();
+    for r in responses {
+        let mut rest = r.as_str();
+        while let Some(i) = rest.find("\"class\":\"") {
+            let tail = &rest[i + "\"class\":\"".len()..];
+            let end = tail.find('"').unwrap_or(tail.len());
+            out.push(tail[..end].to_owned());
+            rest = &tail[end..];
+        }
+    }
+    out
+}
+
+fn bench_tiara(bin: &Binary, cfg: &BenchConfig) -> Tiara {
     let mut tiara = Tiara::new(TiaraConfig::new().with_classifier(ClassifierConfig {
         epochs: cfg.epochs,
         seed: cfg.seed,
         ..Default::default()
     }));
     tiara.train(&[(bin.name.as_str(), &bin.program, &bin.debug)]).expect("bench suite is nonempty");
-    let server = Server::new(tiara, ServeConfig::default()).expect("trained model serves");
+    tiara
+}
 
+fn upload(server: &Server, bin: &Binary) {
     let hex = tiara_serve::protocol::hex_encode(&tiara_ir::assemble(&bin.program));
     let up = server
         .handle_line(&format!("{{\"op\":\"upload\",\"handle\":\"b\",\"program_hex\":\"{hex}\"}}"));
     assert!(up.contains("\"ok\":true"), "bench upload failed: {up}");
+}
+
+fn bench_serve(bins: &[Binary], cfg: &BenchConfig) -> ServeBench {
+    let bin = &bins[0];
+    let server =
+        Server::new(bench_tiara(bin, cfg), ServeConfig::default()).expect("trained model serves");
+    upload(&server, bin);
 
     const BATCH: usize = 16;
     let addrs: Vec<String> = bin.debug.vars.iter().map(|v| addr_notation(bin, v.addr)).collect();
@@ -243,6 +312,21 @@ fn bench_serve(bins: &[Binary], cfg: &BenchConfig) -> ServeBench {
     let warm: Vec<String> = requests.iter().map(|r| server.handle_line(r)).collect();
     let warm_secs = t1.elapsed().as_secs_f64();
     server.drain();
+
+    // Quantized pass: a second server over the identically-trained model
+    // with int8 conv inference enabled, run against the already-warm slice
+    // cache so the delta is pure inference. Labels must agree with f32.
+    let mut qtiara = bench_tiara(bin, cfg);
+    qtiara.set_quantized_inference(true);
+    let qserver = Server::new(qtiara, ServeConfig::default()).expect("quantized model serves");
+    upload(&qserver, bin);
+    for r in &requests {
+        let _ = qserver.handle_line(r); // prime caches
+    }
+    let t2 = std::time::Instant::now();
+    let quant: Vec<String> = requests.iter().map(|r| qserver.handle_line(r)).collect();
+    let quantized_warm_secs = t2.elapsed().as_secs_f64();
+    qserver.drain();
     slice_cache::clear();
 
     ServeBench {
@@ -253,6 +337,12 @@ fn bench_serve(bins: &[Binary], cfg: &BenchConfig) -> ServeBench {
         warm_secs,
         warm_addrs_per_sec: addrs.len() as f64 / warm_secs.max(1e-9),
         responses_identical: cold == warm,
+        quantized_warm_secs,
+        quantized_warm_addrs_per_sec: addrs.len() as f64 / quantized_warm_secs.max(1e-9),
+        quantized_labels_match: {
+            let (f32_labels, q_labels) = (class_labels(&warm), class_labels(&quant));
+            !f32_labels.is_empty() && f32_labels == q_labels
+        },
     }
 }
 
@@ -264,6 +354,7 @@ pub fn run_bench(config: &BenchConfig) -> BenchReport {
     let prev_threads = tiara_par::global().threads();
     let mut runs = vec![bench_at(&bins, config, 1)];
     runs.push(bench_at(&bins, config, n));
+    let reference_digest_match = reference_digest(&bins, config) == runs[0].model_digest;
     let serve = bench_serve(&bins, config);
     // Restore the executor configuration for whatever runs next.
     tiara_par::set_global_threads(prev_threads);
@@ -275,6 +366,7 @@ pub fn run_bench(config: &BenchConfig) -> BenchReport {
         epoch_speedup: one.epoch_secs / nthr.epoch_secs.max(1e-9),
         end_to_end_speedup: one.end_to_end_secs / nthr.end_to_end_secs.max(1e-9),
         models_identical: runs.iter().all(|r| r.model_digest == runs[0].model_digest),
+        reference_digest_match,
         host_cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
         runs,
         serve,
@@ -287,7 +379,7 @@ pub fn render_json(r: &BenchReport) -> String {
     let mut s = String::new();
     let _ = write!(
         s,
-        "{{\n  \"bench\": \"PR5\",\n  \"scale\": {},\n  \"epochs\": {},\n  \"seed\": {},\n  \"host_cpus\": {},\n  \"runs\": [",
+        "{{\n  \"bench\": \"PR8\",\n  \"scale\": {},\n  \"epochs\": {},\n  \"seed\": {},\n  \"host_cpus\": {},\n  \"runs\": [",
         r.config.scale, r.config.epochs, r.config.seed, r.host_cpus
     );
     for (i, run) in r.runs.iter().enumerate() {
@@ -299,7 +391,10 @@ pub fn render_json(r: &BenchReport) -> String {
              \"train_secs\": {:.6}, \"epoch_secs\": {:.6}, \"end_to_end_secs\": {:.6}, \
              \"model_digest\": \"{:016x}\",\n     \"slice_stats\": {{\"steps\": {}, \
              \"faith_cut_pops\": {}, \"merges_skipped\": {}, \"snapshot_bytes_avoided\": {}, \
-             \"set_spills\": {}, \"worklist_hits\": {}}}}}",
+             \"set_spills\": {}, \"worklist_hits\": {}}},\n     \
+             \"train_stats\": {{\"forward_secs\": {:.6}, \"backward_secs\": {:.6}, \
+             \"optimizer_secs\": {:.6}, \"batches\": {}, \"fused_kernel_calls\": {}, \
+             \"bytes_reused\": {}}}}}",
             if i == 0 { "" } else { "," },
             run.threads,
             run.slices,
@@ -316,7 +411,13 @@ pub fn render_json(r: &BenchReport) -> String {
             st.merges_skipped,
             st.snapshot_bytes_avoided,
             st.set_spills,
-            st.worklist_hits
+            st.worklist_hits,
+            run.train_stats.forward_secs,
+            run.train_stats.backward_secs,
+            run.train_stats.optimizer_secs,
+            run.train_stats.batches,
+            run.train_stats.fused_kernel_calls,
+            run.train_stats.bytes_reused
         );
     }
     let sv = &r.serve;
@@ -324,20 +425,29 @@ pub fn render_json(r: &BenchReport) -> String {
         s,
         "\n  ],\n  \"serve\": {{\"addrs\": {}, \"batch\": {}, \"cold_secs\": {:.6}, \
          \"cold_addrs_per_sec\": {:.2}, \"warm_secs\": {:.6}, \"warm_addrs_per_sec\": {:.2}, \
-         \"responses_identical\": {}}},\n",
+         \"responses_identical\": {},\n            \"quantized_warm_secs\": {:.6}, \
+         \"quantized_warm_addrs_per_sec\": {:.2}, \"quantized_labels_match\": {}}},\n",
         sv.addrs,
         sv.batch,
         sv.cold_secs,
         sv.cold_addrs_per_sec,
         sv.warm_secs,
         sv.warm_addrs_per_sec,
-        sv.responses_identical
+        sv.responses_identical,
+        sv.quantized_warm_secs,
+        sv.quantized_warm_addrs_per_sec,
+        sv.quantized_labels_match
     );
     let _ = write!(
         s,
         "  \"slicing_speedup\": {:.3},\n  \"epoch_speedup\": {:.3},\n  \
-         \"end_to_end_speedup\": {:.3},\n  \"models_identical\": {}\n}}\n",
-        r.slicing_speedup, r.epoch_speedup, r.end_to_end_speedup, r.models_identical
+         \"end_to_end_speedup\": {:.3},\n  \"models_identical\": {},\n  \
+         \"reference_digest_match\": {}\n}}\n",
+        r.slicing_speedup,
+        r.epoch_speedup,
+        r.end_to_end_speedup,
+        r.models_identical,
+        r.reference_digest_match
     );
     s
 }
@@ -376,7 +486,21 @@ pub fn render_text(r: &BenchReport) -> String {
     );
     if let Some(run) = r.runs.first() {
         let _ = writeln!(s, "slicer counters (cold pass, 1 thread): {}", run.slice_stats);
+        let ts = &run.train_stats;
+        let _ = writeln!(
+            s,
+            "trainer counters (1 thread): fwd {:.3}s, bwd {:.3}s, opt {:.3}s over {} batches; \
+             {} fused kernel calls, {} workspace bytes reused",
+            ts.forward_secs,
+            ts.backward_secs,
+            ts.optimizer_secs,
+            ts.batches,
+            ts.fused_kernel_calls,
+            ts.bytes_reused
+        );
     }
+    let _ =
+        writeln!(s, "batched engine matches reference tape bitwise: {}", r.reference_digest_match);
     let _ = writeln!(
         s,
         "served: {} addrs in batches of {} — cold {:.1} addrs/s, warm {:.1} addrs/s; responses identical: {}",
@@ -385,6 +509,11 @@ pub fn render_text(r: &BenchReport) -> String {
         r.serve.cold_addrs_per_sec,
         r.serve.warm_addrs_per_sec,
         r.serve.responses_identical
+    );
+    let _ = writeln!(
+        s,
+        "quantized (int8 conv) warm: {:.1} addrs/s; labels match f32: {}",
+        r.serve.quantized_warm_addrs_per_sec, r.serve.quantized_labels_match
     );
     s
 }
@@ -409,17 +538,34 @@ mod tests {
             report.serve.responses_identical,
             "served responses must be byte-identical cold vs warm"
         );
+        assert!(
+            report.reference_digest_match,
+            "batched training must match the reference tape bitwise"
+        );
+        assert!(
+            report.serve.quantized_labels_match,
+            "quantized serving must agree with f32 labels"
+        );
+        assert!(report.runs[0].train_stats.batches > 0);
+        assert!(report.runs[0].train_stats.fused_kernel_calls > 0);
+        assert!(report.runs[0].train_stats.bytes_reused > 0);
         let json = render_json(&report);
-        assert!(json.contains("\"bench\": \"PR5\""));
+        assert!(json.contains("\"bench\": \"PR8\""));
         assert!(json.contains("\"models_identical\": true"));
+        assert!(json.contains("\"reference_digest_match\": true"));
         assert!(json.contains("\"slice_stats\""));
+        assert!(json.contains("\"train_stats\""));
+        assert!(json.contains("\"fused_kernel_calls\""));
         assert!(json.contains("\"serve\""));
         assert!(json.contains("\"responses_identical\": true"));
+        assert!(json.contains("\"quantized_labels_match\": true"));
         assert!(json.trim_start().starts_with('{') && json.trim_end().ends_with('}'));
         let text = render_text(&report);
         assert!(text.contains("speedups"));
         assert!(text.contains("slicer counters"));
+        assert!(text.contains("trainer counters"));
         assert!(text.contains("served:"));
+        assert!(text.contains("quantized"));
         // The fast path did real work on a real suite: steps were taken and
         // per-edge snapshots were avoided.
         let st = &report.runs[0].slice_stats;

@@ -46,26 +46,49 @@ impl Adam {
     /// pairs returned by [`crate::Tape::backward`]. Parameters without a
     /// gradient are left untouched.
     pub fn step(&mut self, params: &mut [(ParamId, &mut Matrix)], grads: &[(ParamId, Matrix)]) {
-        self.t += 1;
-        let t = self.t as i32;
-        let bc1 = 1.0 - self.beta1.powi(t);
-        let bc2 = 1.0 - self.beta2.powi(t);
+        self.begin_step();
         for (id, w) in params.iter_mut() {
             let Some((_, g)) = grads.iter().find(|(gid, _)| gid == id) else {
                 continue;
             };
-            let m = self.m.entry(id.0).or_insert_with(|| Matrix::zeros(w.rows(), w.cols()));
-            let v = self.v.entry(id.0).or_insert_with(|| Matrix::zeros(w.rows(), w.cols()));
-            let (mw, vw, ww) = (m.as_mut_slice(), v.as_mut_slice(), w.as_mut_slice());
-            for ((wi, (mi, vi)), gi) in
-                ww.iter_mut().zip(mw.iter_mut().zip(vw.iter_mut())).zip(g.as_slice())
-            {
-                *mi = self.beta1 * *mi + (1.0 - self.beta1) * gi;
-                *vi = self.beta2 * *vi + (1.0 - self.beta2) * gi * gi;
-                let mhat = *mi / bc1;
-                let vhat = *vi / bc2;
-                *wi -= self.lr * mhat / (vhat.sqrt() + self.eps);
-            }
+            self.step_param(*id, w, g);
+        }
+    }
+
+    /// Advances the step counter. Call once per minibatch, then apply
+    /// [`Adam::step_param`] to each parameter. `step` is exactly
+    /// `begin_step` + one `step_param` per matched pair, so the two APIs
+    /// produce bit-identical updates; this split lets the batched trainer
+    /// update parameters straight from its gradient arena without building
+    /// per-batch `(ParamId, Matrix)` vectors.
+    pub fn begin_step(&mut self) {
+        self.t += 1;
+    }
+
+    /// Applies the Adam update for one parameter using the step count set by
+    /// the enclosing [`Adam::begin_step`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before any `begin_step`, or if `g` has a different
+    /// element count than `w`.
+    pub fn step_param(&mut self, id: ParamId, w: &mut Matrix, g: &Matrix) {
+        assert!(self.t > 0, "step_param called before begin_step");
+        assert_eq!(w.rows() * w.cols(), g.rows() * g.cols(), "gradient shape mismatch");
+        let t = self.t as i32;
+        let bc1 = 1.0 - self.beta1.powi(t);
+        let bc2 = 1.0 - self.beta2.powi(t);
+        let m = self.m.entry(id.0).or_insert_with(|| Matrix::zeros(w.rows(), w.cols()));
+        let v = self.v.entry(id.0).or_insert_with(|| Matrix::zeros(w.rows(), w.cols()));
+        let (mw, vw, ww) = (m.as_mut_slice(), v.as_mut_slice(), w.as_mut_slice());
+        for ((wi, (mi, vi)), gi) in
+            ww.iter_mut().zip(mw.iter_mut().zip(vw.iter_mut())).zip(g.as_slice())
+        {
+            *mi = self.beta1 * *mi + (1.0 - self.beta1) * gi;
+            *vi = self.beta2 * *vi + (1.0 - self.beta2) * gi * gi;
+            let mhat = *mi / bc1;
+            let vhat = *vi / bc2;
+            *wi -= self.lr * mhat / (vhat.sqrt() + self.eps);
         }
     }
 
@@ -112,5 +135,27 @@ mod tests {
         }
         assert!(a.get(0, 0) < 0.0);
         assert_eq!(b.get(0, 0), 0.0);
+    }
+
+    /// `begin_step` + `step_param` must be bitwise identical to `step`.
+    #[test]
+    fn split_api_matches_step_bitwise() {
+        let mut whole = Adam::new(0.01);
+        let mut split = Adam::new(0.01);
+        let mut wa = Matrix::from_rows(&[&[0.3, -0.2], &[1.5, 0.0]]);
+        let mut wb = wa.clone();
+        for i in 0..25 {
+            let g = Matrix::from_rows(&[
+                &[(i as f32 * 0.37).sin(), 0.5],
+                &[-0.25, (i as f32 * 0.11).cos()],
+            ]);
+            whole.step(&mut [(ParamId(0), &mut wa)], &[(ParamId(0), g.clone())]);
+            split.begin_step();
+            split.step_param(ParamId(0), &mut wb, &g);
+        }
+        let a: Vec<u32> = wa.as_slice().iter().map(|v| v.to_bits()).collect();
+        let b: Vec<u32> = wb.as_slice().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(a, b);
+        assert_eq!(whole.steps(), split.steps());
     }
 }

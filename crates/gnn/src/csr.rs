@@ -4,7 +4,7 @@
 //! predecessor adjacency `Â`, where row `v` holds `1 / |N(v) ∪ {v}|` at the
 //! columns of `v`'s predecessors and of `v` itself.
 
-use crate::matrix::Matrix;
+use crate::matrix::{exec_for, Matrix};
 use serde::{Deserialize, Serialize};
 use tiara_par::Executor;
 
@@ -16,6 +16,13 @@ pub struct Csr {
     indptr: Vec<u32>,
     indices: Vec<u32>,
     values: Vec<f32>,
+}
+
+impl Default for Csr {
+    /// The empty `0×0` matrix (see [`Csr::empty`]).
+    fn default() -> Csr {
+        Csr::empty()
+    }
 }
 
 impl Csr {
@@ -133,27 +140,51 @@ impl Csr {
     /// relies on this to keep its parallel gather bitwise identical to the
     /// sequential scatter.
     pub fn transpose(&self) -> Csr {
+        let mut out = Csr::empty();
+        self.transpose_into(&mut out);
+        out
+    }
+
+    /// [`Csr::transpose`] into a caller-owned matrix, reusing its
+    /// allocations (workspace pattern; no scratch allocation at steady
+    /// state). Produces the identical stable counting sort.
+    pub fn transpose_into(&self, out: &mut Csr) {
         let nnz = self.nnz();
-        let mut indptr = vec![0u32; self.cols + 1];
+        out.rows = self.cols;
+        out.cols = self.rows;
+        out.indptr.clear();
+        out.indptr.resize(self.cols + 1, 0);
         for &c in &self.indices {
-            indptr[c as usize + 1] += 1;
+            out.indptr[c as usize + 1] += 1;
         }
         for i in 1..=self.cols {
-            indptr[i] += indptr[i - 1];
+            out.indptr[i] += out.indptr[i - 1];
         }
-        let mut cursor: Vec<u32> = indptr[..self.cols].to_vec();
-        let mut indices = vec![0u32; nnz];
-        let mut values = vec![0.0f32; nnz];
+        out.indices.clear();
+        out.indices.resize(nnz, 0);
+        out.values.clear();
+        out.values.resize(nnz, 0.0);
+        // `indptr[c]` doubles as the placement cursor of row `c`; after the
+        // scan it holds row ends, which one right-shift turns back into row
+        // starts.
         for r in 0..self.rows {
             for k in self.indptr[r] as usize..self.indptr[r + 1] as usize {
                 let c = self.indices[k] as usize;
-                let pos = cursor[c] as usize;
-                cursor[c] += 1;
-                indices[pos] = r as u32;
-                values[pos] = self.values[k];
+                let pos = out.indptr[c] as usize;
+                out.indptr[c] += 1;
+                out.indices[pos] = r as u32;
+                out.values[pos] = self.values[k];
             }
         }
-        Csr { rows: self.cols, cols: self.rows, indptr, indices, values }
+        for i in (1..=self.cols).rev() {
+            out.indptr[i] = out.indptr[i - 1];
+        }
+        out.indptr[0] = 0;
+    }
+
+    /// A 0×0 matrix with no entries (workspace seed for the `_into` APIs).
+    pub fn empty() -> Csr {
+        Csr { rows: 0, cols: 0, indptr: vec![0], indices: Vec::new(), values: Vec::new() }
     }
 
     /// Row boundaries splitting the stored entries into roughly `parts` runs
@@ -187,16 +218,23 @@ impl Csr {
     /// Panics on shape mismatch.
     pub fn spmm(&self, dense: &Matrix) -> Matrix {
         let work = self.nnz() * dense.cols();
-        self.spmm_with(dense, &tiara_par::global().for_work(work))
+        self.spmm_with(dense, &exec_for(work))
     }
 
-    /// [`Csr::spmm`] on an explicit executor, bypassing the size threshold.
-    pub fn spmm_with(&self, dense: &Matrix, exec: &Executor) -> Matrix {
+    /// [`Csr::spmm`] writing into a caller-owned output matrix (resized and
+    /// zeroed in place, reusing its allocation), on the same
+    /// executor-dispatch policy. Bitwise identical to the allocating version.
+    pub fn spmm_into(&self, dense: &Matrix, out: &mut Matrix) {
+        let work = self.nnz() * dense.cols();
+        self.spmm_into_with(dense, out, &exec_for(work));
+    }
+
+    fn spmm_into_with(&self, dense: &Matrix, out: &mut Matrix, exec: &Executor) {
         assert_eq!(self.cols, dense.rows(), "spmm shape mismatch");
-        let mut out = Matrix::zeros(self.rows, dense.cols());
+        out.reset(self.rows, dense.cols());
         let n = dense.cols();
         if n == 0 {
-            return out;
+            return;
         }
         // Over-partition 4× the thread count so stealing can smooth out any
         // residual nnz imbalance between runs.
@@ -205,6 +243,12 @@ impl Csr {
         exec.par_partitions(out.as_mut_slice(), &cuts, |off, block| {
             self.spmm_rows(dense, off / n, block);
         });
+    }
+
+    /// [`Csr::spmm`] on an explicit executor, bypassing the size threshold.
+    pub fn spmm_with(&self, dense: &Matrix, exec: &Executor) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.spmm_into_with(dense, &mut out, exec);
         out
     }
 
@@ -234,21 +278,39 @@ impl Csr {
     /// the two paths are bitwise identical.
     pub fn t_spmm(&self, dense: &Matrix) -> Matrix {
         let work = self.nnz() * dense.cols();
-        self.t_spmm_with(dense, &tiara_par::global().for_work(work))
+        self.t_spmm_with(dense, &exec_for(work))
+    }
+
+    /// [`Csr::t_spmm`] writing into a caller-owned output matrix, with an
+    /// optional caller-owned transpose cache: when the region is large enough
+    /// to parallelize, the explicit transpose is (re)built into `t_cache`
+    /// instead of a fresh allocation. Bitwise identical to [`Csr::t_spmm`].
+    pub fn t_spmm_into(&self, dense: &Matrix, out: &mut Matrix, t_cache: &mut Csr) {
+        let work = self.nnz() * dense.cols();
+        let exec = exec_for(work);
+        if exec.threads() <= 1 || dense.cols() == 0 {
+            self.t_spmm_scatter_into(dense, out);
+        } else {
+            self.transpose_into(t_cache);
+            t_cache.spmm_into_with(dense, out, &exec);
+        }
     }
 
     /// [`Csr::t_spmm`] on an explicit executor, bypassing the size threshold.
     pub fn t_spmm_with(&self, dense: &Matrix, exec: &Executor) -> Matrix {
         assert_eq!(self.rows, dense.rows(), "t_spmm shape mismatch");
         if exec.threads() <= 1 || dense.cols() == 0 {
-            return self.t_spmm_scatter(dense);
+            let mut out = Matrix::zeros(0, 0);
+            self.t_spmm_scatter_into(dense, &mut out);
+            return out;
         }
         self.transpose().spmm_with(dense, exec)
     }
 
     /// The sequential scatter kernel for `self^T @ dense`.
-    fn t_spmm_scatter(&self, dense: &Matrix) -> Matrix {
-        let mut out = Matrix::zeros(self.cols, dense.cols());
+    fn t_spmm_scatter_into(&self, dense: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.rows, dense.rows(), "t_spmm shape mismatch");
+        out.reset(self.cols, dense.cols());
         for r in 0..self.rows {
             let src = dense.row(r);
             for k in self.indptr[r] as usize..self.indptr[r + 1] as usize {
@@ -260,7 +322,6 @@ impl Csr {
                 }
             }
         }
-        out
     }
 
     /// The dense equivalent (testing aid).
@@ -276,25 +337,49 @@ impl Csr {
 
     /// Block-diagonal stacking of several CSR matrices (graph batching).
     pub fn block_diag(blocks: &[&Csr]) -> Csr {
+        let mut out = Csr::empty();
+        Csr::block_diag_into(blocks, &mut out);
+        out
+    }
+
+    /// [`Csr::block_diag`] into a caller-owned matrix, reusing its
+    /// allocations. Returns the number of buffer bytes that were reused
+    /// (i.e. needed no fresh allocation), for workspace accounting.
+    pub fn block_diag_into(blocks: &[&Csr], out: &mut Csr) -> usize {
         let rows: usize = blocks.iter().map(|b| b.rows).sum();
         let cols: usize = blocks.iter().map(|b| b.cols).sum();
         let nnz: usize = blocks.iter().map(|b| b.nnz()).sum();
-        let mut indptr = Vec::with_capacity(rows + 1);
-        let mut indices = Vec::with_capacity(nnz);
-        let mut values = Vec::with_capacity(nnz);
-        indptr.push(0u32);
+        let mut reused = 0usize;
+        if out.indptr.capacity() > rows {
+            reused += (rows + 1) * 4;
+        }
+        if out.indices.capacity() >= nnz {
+            reused += nnz * 4;
+        }
+        if out.values.capacity() >= nnz {
+            reused += nnz * 4;
+        }
+        out.rows = rows;
+        out.cols = cols;
+        out.indptr.clear();
+        out.indices.clear();
+        out.values.clear();
+        out.indptr.reserve(rows + 1);
+        out.indices.reserve(nnz);
+        out.values.reserve(nnz);
+        out.indptr.push(0u32);
         let mut col_off = 0u32;
         for b in blocks {
             for r in 0..b.rows {
                 for k in b.indptr[r] as usize..b.indptr[r + 1] as usize {
-                    indices.push(b.indices[k] + col_off);
-                    values.push(b.values[k]);
+                    out.indices.push(b.indices[k] + col_off);
+                    out.values.push(b.values[k]);
                 }
-                indptr.push(indices.len() as u32);
+                out.indptr.push(out.indices.len() as u32);
             }
             col_off += b.cols as u32;
         }
-        Csr { rows, cols, indptr, indices, values }
+        reused
     }
 }
 
@@ -414,6 +499,29 @@ mod tests {
             assert_eq!(a.spmm_with(&x, &seq), a.spmm_with(&x, &par));
             assert_eq!(a.t_spmm_with(&g, &seq), a.t_spmm_with(&g, &par));
         }
+    }
+
+    #[test]
+    fn into_variants_match_allocating_versions() {
+        let a = Csr::mean_pool_adjacency(5, &[(0, 1), (1, 2), (3, 4), (0, 4)]);
+        let x = Matrix::from_rows(&[&[1.0], &[2.0], &[3.0], &[4.0], &[5.0]]);
+        let mut out = Matrix::zeros(16, 16);
+        a.spmm_into(&x, &mut out);
+        assert_eq!(out, a.spmm(&x));
+        let mut t = Csr::empty();
+        a.transpose_into(&mut t);
+        assert_eq!(t, a.transpose());
+        let mut tout = Matrix::zeros(0, 0);
+        let mut cache = Csr::empty();
+        a.t_spmm_into(&x, &mut tout, &mut cache);
+        assert_eq!(tout, a.t_spmm(&x));
+        let b = Csr::mean_pool_adjacency(2, &[(0, 1)]);
+        let mut bd = Csr::empty();
+        let first = Csr::block_diag_into(&[&a, &b], &mut bd);
+        assert_eq!(bd, Csr::block_diag(&[&a, &b]));
+        // A second pack into the same workspace reuses every buffer.
+        let again = Csr::block_diag_into(&[&a, &b], &mut bd);
+        assert!(again > first, "second block_diag_into should report reuse ({again} vs {first})");
     }
 
     #[test]

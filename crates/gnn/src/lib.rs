@@ -28,15 +28,20 @@
 #![forbid(unsafe_code)]
 
 mod adam;
+mod batch;
 mod csr;
+pub mod fused;
 mod gcn;
 mod matrix;
 mod mlp;
+mod quant;
 mod tape;
 
 pub use adam::Adam;
+pub use batch::TrainStats;
 pub use csr::Csr;
 pub use gcn::{Aggregation, EpochStats, Gcn, GcnConfig, GraphSample};
-pub use matrix::Matrix;
+pub use matrix::{argmax_slice, Matrix, KERNEL_INLINE_WORK};
 pub use mlp::{Mlp, MlpConfig};
+pub use quant::{QuantizedGcn, QuantizedMatrix};
 pub use tape::{ParamId, Tape, Var};

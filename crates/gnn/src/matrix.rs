@@ -16,6 +16,30 @@ const TILE_K: usize = 64;
 /// each output row is written by exactly one thread.
 const BLOCK_ROWS: usize = 64;
 
+/// Multiply-accumulate count below which the dense and sparse kernels run
+/// inline on the calling thread instead of entering the work-stealing
+/// executor.
+///
+/// The executor spawns scoped OS threads per parallel region, which costs
+/// tens of microseconds — more than a small matmul takes outright. BENCH_PR5
+/// measured `epoch_speedup = 0.892` (parallel training *slower* than
+/// sequential) because every per-batch GCN op was just above the executor's
+/// generic [`tiara_par::MIN_PARALLEL_WORK`] floor. This kernel-specific
+/// threshold is 4× higher; the sequential path is bitwise identical, so
+/// flipping it never changes results, only where the time goes.
+pub const KERNEL_INLINE_WORK: usize = 1 << 21;
+
+/// The executor the GCN kernels dispatch to for a region of `work`
+/// multiply-accumulates: inline below [`KERNEL_INLINE_WORK`], the global
+/// executor (itself floor-gated) above.
+pub(crate) fn exec_for(work: usize) -> tiara_par::Executor {
+    if work < KERNEL_INLINE_WORK {
+        Executor::sequential()
+    } else {
+        tiara_par::global().for_work(work)
+    }
+}
+
 /// A dense row-major matrix of `f32`.
 ///
 /// # Examples
@@ -32,6 +56,14 @@ pub struct Matrix {
     rows: usize,
     cols: usize,
     data: Vec<f32>,
+}
+
+impl Default for Matrix {
+    /// The empty `0×0` matrix (a workspace placeholder; any `*_into` kernel
+    /// resizes it in place).
+    fn default() -> Matrix {
+        Matrix::zeros(0, 0)
+    }
 }
 
 impl Matrix {
@@ -128,10 +160,26 @@ impl Matrix {
         &mut self.data
     }
 
+    /// Allocated element capacity of the backing buffer (workspace-reuse
+    /// accounting aid: a [`Matrix::reset`] within capacity allocates
+    /// nothing).
+    pub fn capacity(&self) -> usize {
+        self.data.capacity()
+    }
+
+    /// Reshapes to `rows × cols` with every element zeroed, reusing the
+    /// backing allocation when capacity allows.
+    pub fn reset(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
     /// Matrix product `self @ other`, cache-blocked and parallelized over
     /// output-row blocks on the global executor (regions below
-    /// [`tiara_par::MIN_PARALLEL_WORK`] multiply-accumulates run
-    /// sequentially).
+    /// [`KERNEL_INLINE_WORK`] multiply-accumulates run inline on the calling
+    /// thread).
     ///
     /// Each output row is reduced by exactly one thread with the inner
     /// dimension walked in ascending order, so the result is bitwise
@@ -142,19 +190,56 @@ impl Matrix {
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
         let work = self.rows * self.cols * other.cols;
-        self.matmul_with(other, &tiara_par::global().for_work(work))
+        self.matmul_with(other, &exec_for(work))
+    }
+
+    /// [`Matrix::matmul`] writing into a caller-owned output matrix (resized
+    /// and zeroed in place, reusing its allocation), on the same
+    /// executor-dispatch policy as [`Matrix::matmul`]. Bitwise identical to
+    /// the allocating version.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
+        let work = self.rows * self.cols * other.cols;
+        self.matmul_into_with(other, out, &exec_for(work));
+    }
+
+    fn matmul_into_with(&self, other: &Matrix, out: &mut Matrix, exec: &Executor) {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        out.reset(self.rows, other.cols);
+        let n = other.cols.max(1);
+        exec.par_blocks_mut(&mut out.data, BLOCK_ROWS * n, |off, block| {
+            matmul_block(self, other, off / n, block);
+        });
     }
 
     /// [`Matrix::matmul`] on an explicit executor, bypassing the size
     /// threshold.
     pub fn matmul_with(&self, other: &Matrix, exec: &Executor) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_into_with(other, &mut out, exec);
+        out
+    }
+
+    /// `self @ other` into `out` with a per-output-row epilogue applied
+    /// inside the same parallel region, while the freshly written block is
+    /// still cache-hot (the fusion point of [`crate::fused`]).
+    pub(crate) fn fused_matmul_post(
+        &self,
+        other: &Matrix,
+        out: &mut Matrix,
+        exec: &Executor,
+        post: impl Fn(&mut [f32]) + Sync,
+    ) {
         assert_eq!(self.cols, other.rows, "matmul shape mismatch");
-        let mut out = Matrix::zeros(self.rows, other.cols);
+        out.reset(self.rows, other.cols);
         let n = other.cols.max(1);
         exec.par_blocks_mut(&mut out.data, BLOCK_ROWS * n, |off, block| {
             matmul_block(self, other, off / n, block);
+            if other.cols > 0 {
+                for row in block.chunks_mut(other.cols) {
+                    post(row);
+                }
+            }
         });
-        out
     }
 
     /// Matrix product `self^T @ other` without materializing the transpose.
@@ -164,18 +249,30 @@ impl Matrix {
     /// block, preserving the sequential accumulation order bit for bit.
     pub fn t_matmul(&self, other: &Matrix) -> Matrix {
         let work = self.rows * self.cols * other.cols;
-        self.t_matmul_with(other, &tiara_par::global().for_work(work))
+        self.t_matmul_with(other, &exec_for(work))
+    }
+
+    /// [`Matrix::t_matmul`] writing into a caller-owned output matrix
+    /// (allocation-reusing; bitwise identical to the allocating version).
+    pub fn t_matmul_into(&self, other: &Matrix, out: &mut Matrix) {
+        let work = self.rows * self.cols * other.cols;
+        self.t_matmul_into_with(other, out, &exec_for(work));
+    }
+
+    fn t_matmul_into_with(&self, other: &Matrix, out: &mut Matrix, exec: &Executor) {
+        assert_eq!(self.rows, other.rows, "t_matmul shape mismatch");
+        out.reset(self.cols, other.cols);
+        let n = other.cols.max(1);
+        exec.par_blocks_mut(&mut out.data, BLOCK_ROWS * n, |off, block| {
+            t_matmul_block(self, other, off / n, block);
+        });
     }
 
     /// [`Matrix::t_matmul`] on an explicit executor, bypassing the size
     /// threshold.
     pub fn t_matmul_with(&self, other: &Matrix, exec: &Executor) -> Matrix {
-        assert_eq!(self.rows, other.rows, "t_matmul shape mismatch");
-        let mut out = Matrix::zeros(self.cols, other.cols);
-        let n = other.cols.max(1);
-        exec.par_blocks_mut(&mut out.data, BLOCK_ROWS * n, |off, block| {
-            t_matmul_block(self, other, off / n, block);
-        });
+        let mut out = Matrix::zeros(0, 0);
+        self.t_matmul_into_with(other, &mut out, exec);
         out
     }
 
@@ -185,18 +282,30 @@ impl Matrix {
     /// parallelism is trivially bitwise deterministic.
     pub fn matmul_t(&self, other: &Matrix) -> Matrix {
         let work = self.rows * other.rows * self.cols;
-        self.matmul_t_with(other, &tiara_par::global().for_work(work))
+        self.matmul_t_with(other, &exec_for(work))
+    }
+
+    /// [`Matrix::matmul_t`] writing into a caller-owned output matrix
+    /// (allocation-reusing; bitwise identical to the allocating version).
+    pub fn matmul_t_into(&self, other: &Matrix, out: &mut Matrix) {
+        let work = self.rows * other.rows * self.cols;
+        self.matmul_t_into_with(other, out, &exec_for(work));
+    }
+
+    fn matmul_t_into_with(&self, other: &Matrix, out: &mut Matrix, exec: &Executor) {
+        assert_eq!(self.cols, other.cols, "matmul_t shape mismatch");
+        out.reset(self.rows, other.rows);
+        let n = other.rows.max(1);
+        exec.par_blocks_mut(&mut out.data, BLOCK_ROWS * n, |off, block| {
+            matmul_t_block(self, other, off / n, block);
+        });
     }
 
     /// [`Matrix::matmul_t`] on an explicit executor, bypassing the size
     /// threshold.
     pub fn matmul_t_with(&self, other: &Matrix, exec: &Executor) -> Matrix {
-        assert_eq!(self.cols, other.cols, "matmul_t shape mismatch");
-        let mut out = Matrix::zeros(self.rows, other.rows);
-        let n = other.rows.max(1);
-        exec.par_blocks_mut(&mut out.data, BLOCK_ROWS * n, |off, block| {
-            matmul_t_block(self, other, off / n, block);
-        });
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_t_into_with(other, &mut out, exec);
         out
     }
 
@@ -233,25 +342,31 @@ impl Matrix {
         self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
     }
 
-    /// Index of the maximum element in a row.
-    ///
-    /// NaN entries are skipped entirely, so the result is deterministic
-    /// regardless of where NaNs appear. Ties keep the *first* (lowest) index
-    /// of the maximum. An empty or all-NaN row yields 0.
+    /// Index of the maximum element in a row (see [`argmax_slice`]).
     pub fn argmax_row(&self, r: usize) -> usize {
-        let row = self.row(r);
-        let mut best: Option<(usize, f32)> = None;
-        for (i, &x) in row.iter().enumerate() {
-            if x.is_nan() {
-                continue;
-            }
-            match best {
-                Some((_, bv)) if x <= bv => {}
-                _ => best = Some((i, x)),
-            }
-        }
-        best.map_or(0, |(i, _)| i)
+        argmax_slice(self.row(r))
     }
+}
+
+/// Index of the maximum element of a slice.
+///
+/// NaN entries are skipped entirely, so the result is deterministic
+/// regardless of where NaNs appear. Ties keep the *first* (lowest) index of
+/// the maximum. An empty or all-NaN slice yields 0. This is the one argmax
+/// used everywhere a class label is read off a probability row, so every
+/// consumer breaks ties identically.
+pub fn argmax_slice(xs: &[f32]) -> usize {
+    let mut best: Option<(usize, f32)> = None;
+    for (i, &x) in xs.iter().enumerate() {
+        if x.is_nan() {
+            continue;
+        }
+        match best {
+            Some((_, bv)) if x <= bv => {}
+            _ => best = Some((i, x)),
+        }
+    }
+    best.map_or(0, |(i, _)| i)
 }
 
 /// Blocked `A @ B` over output rows `row_off..row_off + block.len() / B.cols`.
@@ -422,6 +537,35 @@ mod tests {
         let c = Matrix::zeros(3, 4);
         let d = Matrix::zeros(4, 0);
         assert_eq!(c.matmul_with(&d, &exec), Matrix::zeros(3, 0));
+    }
+
+    #[test]
+    fn into_variants_match_allocating_versions_and_reuse_capacity() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let a = Matrix::xavier(37, 19, &mut rng);
+        let b = Matrix::xavier(19, 8, &mut rng);
+        let c = Matrix::xavier(37, 8, &mut rng);
+        // Seed the output with stale large contents so reuse is exercised.
+        let mut out = Matrix::zeros(64, 64);
+        let cap = out.capacity();
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, a.matmul(&b));
+        assert_eq!(out.capacity(), cap, "matmul_into reallocated");
+        a.t_matmul_into(&c, &mut out);
+        assert_eq!(out, a.t_matmul(&c));
+        c.matmul_t_into(&c, &mut out);
+        assert_eq!(out, c.matmul_t(&c));
+        assert_eq!(out.capacity(), cap, "in-place products must reuse the buffer");
+    }
+
+    #[test]
+    fn reset_zeroes_and_reshapes_in_place() {
+        let mut m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let cap = m.capacity();
+        m.reset(1, 3);
+        assert_eq!((m.rows(), m.cols()), (1, 3));
+        assert!(m.as_slice().iter().all(|&x| x == 0.0));
+        assert_eq!(m.capacity(), cap);
     }
 
     #[test]

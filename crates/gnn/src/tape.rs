@@ -3,6 +3,7 @@
 //! segment-sum readout (eq. 5), and a fused softmax + cross-entropy loss.
 
 use crate::csr::Csr;
+use crate::fused;
 use crate::matrix::Matrix;
 use std::sync::Arc;
 
@@ -120,32 +121,17 @@ impl Tape {
     /// Panics if `labels.len()` differs from the number of logit rows.
     pub fn softmax_cross_entropy(&mut self, logits: Var, labels: Arc<Vec<u32>>) -> Var {
         let z = &self.nodes[logits.0].value;
-        assert_eq!(labels.len(), z.rows(), "one label per row");
-        let mut loss = 0.0f64;
-        for (r, &y) in labels.iter().enumerate() {
-            let row = z.row(r);
-            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-            let lse: f32 = row.iter().map(|&v| (v - max).exp()).sum::<f32>().ln() + max;
-            loss += f64::from(lse - row[y as usize]);
-        }
-        let mean = (loss / labels.len() as f64) as f32;
+        let mean = fused::softmax_ce_loss(z, &labels);
         self.push(Op::SoftmaxCrossEntropy(logits.0, labels), Matrix::from_vec(1, 1, vec![mean]))
     }
 
     /// Softmax probabilities of a logits node (inference helper; not
-    /// differentiated).
+    /// differentiated). Delegates to the shared
+    /// [`fused::softmax_rows_into`] kernel so tape-mode probabilities carry
+    /// the same bits as the batched fast path.
     pub fn softmax(&self, logits: Var) -> Matrix {
-        let z = &self.nodes[logits.0].value;
-        let mut out = Matrix::zeros(z.rows(), z.cols());
-        for r in 0..z.rows() {
-            let row = z.row(r);
-            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-            let exps: Vec<f32> = row.iter().map(|&v| (v - max).exp()).collect();
-            let sum: f32 = exps.iter().sum();
-            for (c, e) in exps.iter().enumerate() {
-                out.set(r, c, e / sum);
-            }
-        }
+        let mut out = Matrix::zeros(0, 0);
+        fused::softmax_rows_into(&self.nodes[logits.0].value, &mut out);
         out
     }
 
@@ -218,11 +204,7 @@ impl Tape {
                 Step::SoftmaxCe(a, labels) => {
                     let scale = g.get(0, 0) / labels.len() as f32;
                     let mut ga = self.softmax(Var(a));
-                    for (r, &y) in labels.iter().enumerate() {
-                        let v = ga.get(r, y as usize) - 1.0;
-                        ga.set(r, y as usize, v);
-                    }
-                    ga.scale(scale);
+                    fused::softmax_ce_grad_into(&mut ga, &labels, scale);
                     accumulate(&mut self.nodes[a].grad, ga);
                 }
             }

@@ -321,6 +321,7 @@ impl Server {
                     let n = inner.programs.lock().unwrap_or_else(PoisonError::into_inner).len();
                     Value::Int(n as i64)
                 }),
+                ("quantized_inference", Value::Bool(inner.tiara.quantized_inference_active())),
                 (
                     "rejected",
                     Value::obj([
@@ -828,6 +829,41 @@ mod tests {
         let lat = v.get("latency_us").unwrap();
         assert_eq!(lat.get("count").and_then(Value::as_i64), Some(1));
         assert!(v.get("slice_stats").unwrap().get("steps").and_then(Value::as_i64).is_some());
+        server.drain();
+    }
+
+    #[test]
+    fn quantized_serving_answers_with_parity_labels() {
+        let (mut tiara, bin) = trained();
+        // Labels from the f32 model, for the parity check below.
+        let addrs = addr_strings(&bin, 4);
+        let parsed: Vec<VarAddr> =
+            addrs.iter().map(|a| parse_var_addr(&bin.program, a).unwrap()).collect();
+        let f32_preds = tiara.predict_batch(&bin.program, &parsed).unwrap();
+
+        tiara.set_quantized_inference(true);
+        let server = Server::new(tiara, ServeConfig::default()).unwrap();
+        let v = parse(&server.handle_line("{\"op\":\"stats\"}")).unwrap();
+        assert_eq!(v.get("quantized_inference").and_then(Value::as_bool), Some(true));
+
+        server.handle_line(&upload_line(&bin, "p"));
+        let req = format!(
+            "{{\"op\":\"predict\",\"program\":\"p\",\"addrs\":[{}]}}",
+            addrs.iter().map(|a| format!("\"{a}\"")).collect::<Vec<_>>().join(",")
+        );
+        let resp = server.handle_line(&req);
+        let v = parse(&resp).unwrap();
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
+        let results = v.get("results").and_then(Value::as_array).unwrap();
+        assert_eq!(results.len(), 4);
+        for (r, p) in results.iter().zip(&f32_preds) {
+            assert_eq!(
+                r.get("class").and_then(Value::as_str),
+                Some(p.class.to_string().as_str()),
+                "quantized serving must agree with f32 labels"
+            );
+        }
+        assert_eq!(resp, server.handle_line(&req), "quantized responses are deterministic");
         server.drain();
     }
 

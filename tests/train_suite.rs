@@ -1,0 +1,125 @@
+//! Repository-level differential suite for the batched training engine
+//! (PR 8): the block-diagonal fast path must be bitwise identical to the
+//! retained per-sample reference tape (`ClassifierConfig::reference_mode`)
+//! across seeds, batch sizes, and thread counts — and the opt-in int8
+//! quantized inference path must agree with f32 on every predicted label
+//! over the eval suite.
+//!
+//! Together with `par_suite.rs` this is the contract that lets the fast
+//! engine replace the tape wholesale: same bits, fewer seconds.
+
+use tiara::{Classifier, ClassifierConfig, Dataset, Slicer, Tiara, TiaraConfig};
+use tiara_par::{set_global_threads, Executor};
+use tiara_synth::{generate, Binary, ProjectSpec, TypeCounts};
+
+fn training_binary(seed: u64) -> Binary {
+    generate(&ProjectSpec {
+        name: "train-suite".into(),
+        index: 1,
+        seed,
+        counts: TypeCounts { list: 4, vector: 5, map: 4, primitive: 12, ..Default::default() },
+    })
+}
+
+fn dataset(bin: &Binary) -> Dataset {
+    Dataset::from_binary_with(
+        &bin.program,
+        &bin.debug,
+        "train-suite",
+        &Slicer::default(),
+        &Executor::sequential(),
+    )
+}
+
+fn train(ds: &Dataset, seed: u64, batch_size: usize, reference_mode: bool) -> Classifier {
+    let mut clf = Classifier::new(&ClassifierConfig {
+        epochs: 10,
+        seed,
+        batch_size,
+        reference_mode,
+        ..Default::default()
+    });
+    clf.train(ds).expect("nonempty dataset");
+    clf
+}
+
+/// The model's observable bits: every class probability over every sample.
+fn proba_bits(clf: &Classifier, ds: &Dataset) -> Vec<u32> {
+    ds.samples
+        .iter()
+        .flat_map(|s| clf.predict_proba(&s.graph).into_iter().map(f32::to_bits))
+        .collect()
+}
+
+#[test]
+fn batched_engine_matches_reference_tape_across_seeds_and_batch_sizes() {
+    let bin = training_binary(41);
+    let ds = dataset(&bin);
+    set_global_threads(1);
+    for seed in [7u64, 23] {
+        for batch_size in [1usize, 4, 32] {
+            let fast = train(&ds, seed, batch_size, false);
+            let reference = train(&ds, seed, batch_size, true);
+            assert_eq!(
+                proba_bits(&fast, &ds),
+                proba_bits(&reference, &ds),
+                "batched and reference training diverged at seed {seed}, batch {batch_size}"
+            );
+        }
+    }
+}
+
+#[test]
+fn batched_engine_matches_reference_tape_across_thread_counts() {
+    let bin = training_binary(42);
+    let ds = dataset(&bin);
+    set_global_threads(1);
+    let reference = train(&ds, 7, 8, true);
+    let want = proba_bits(&reference, &ds);
+    for threads in [1usize, 2, 4] {
+        set_global_threads(threads);
+        let fast = train(&ds, 7, 8, false);
+        assert_eq!(
+            proba_bits(&fast, &ds),
+            want,
+            "batched training at {threads} threads diverged from the reference tape"
+        );
+    }
+    set_global_threads(1);
+}
+
+#[test]
+fn quantized_inference_matches_f32_labels_over_eval_suite() {
+    // A small cut of the Table I suite; quantized (int8 conv) inference
+    // must predict the same class as full f32 at every labeled address.
+    let bins = tiara_eval::build_suite(5, 0.05);
+    let corpus: Vec<(&str, &tiara_ir::Program, &tiara_ir::DebugInfo)> =
+        bins.iter().map(|b| (b.name.as_str(), &b.program, &b.debug)).collect();
+    set_global_threads(1);
+    let mut tiara = Tiara::new(TiaraConfig::new().with_classifier(ClassifierConfig {
+        epochs: 10,
+        seed: 5,
+        ..Default::default()
+    }));
+    tiara.train(&corpus).expect("suite is nonempty");
+
+    let mut checked = 0usize;
+    for bin in &bins {
+        let addrs: Vec<_> = bin.debug.vars.iter().map(|v| v.addr).collect();
+        let f32_preds = tiara.predict_batch(&bin.program, &addrs).expect("f32 predict");
+        tiara.set_quantized_inference(true);
+        assert!(tiara.quantized_inference_active(), "GCN model must quantize");
+        let q_preds = tiara.predict_batch(&bin.program, &addrs).expect("quantized predict");
+        tiara.set_quantized_inference(false);
+        assert_eq!(f32_preds.len(), q_preds.len());
+        for (addr, (f, q)) in addrs.iter().zip(f32_preds.iter().zip(&q_preds)) {
+            assert_eq!(
+                f.class, q.class,
+                "quantized label diverged from f32 at {addr:?} in {}",
+                bin.name
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked > 0, "suite produced no labeled addresses");
+}
