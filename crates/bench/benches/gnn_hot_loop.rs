@@ -3,7 +3,7 @@
 //! forward kernel against its unfused two-pass equivalent, the fused
 //! softmax+cross-entropy, and a full training run on the batched engine vs
 //! the retained per-sample reference tape. The macro-level counterpart is
-//! `tiara-eval bench` → BENCH_PR8.json.
+//! `tiara-eval bench` → BENCH_PR9.json.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;

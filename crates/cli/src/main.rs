@@ -10,12 +10,18 @@
 //!               [--reference] [--vsa]
 //! tiara analyze --binary prog.tira [--func <NAME>] [--interproc] [--vsa] [--json]
 //! tiara lint    --binary prog.tira [--addr <ADDR>] [--json]
-//! tiara train   --binary prog.tira --pdb labels.json --save model.json
+//! tiara train   --binary prog.tira --pdb labels.json --save model.tc
 //!               [--epochs N] [--sslice]
-//! tiara predict --binary prog.tira --model model.json --addr <ADDR>
-//! tiara serve   --model model.json [--listen HOST:PORT] [--workers N]
-//!               [--queue N] [--max-batch N] [--deadline-ms N]
+//! tiara predict --binary prog.tira --model model.tc --addr <ADDR>
+//! tiara inspect model.tc [--json]
+//! tiara serve   --model model.tc [--listen HOST:PORT] [--workers N]
+//!               [--queue N] [--max-batch N] [--deadline-ms N] [--no-persist]
 //! ```
+//!
+//! Model files are `.tc` containers (see `tiara-container`): weights are
+//! mapped zero-copy at load, and `serve` persists the slice cache back into
+//! the container on shutdown so the next process starts warm. Legacy JSON
+//! bundles still load (detected by the magic bytes).
 //!
 //! `<ADDR>` is `0x74404` / `74404h` for a global, or `func:<name>:<offset>`
 //! for a frame slot (e.g. `func:fn_0000:-0x18`).
@@ -45,7 +51,7 @@ use tiara_serve::{ServeConfig, Server};
 use tiara_slice::{tslice_with, TsliceConfig};
 
 fn usage() -> &'static str {
-    "usage: tiara <asm|disasm|synth|slice|analyze|lint|train|predict|serve> [flags]\n\
+    "usage: tiara <asm|disasm|synth|slice|analyze|lint|train|predict|inspect|serve> [flags]\n\
      \n\
      tiara asm     --in listing.asm --out prog.tira\n\
      tiara disasm  --binary prog.tira\n\
@@ -54,15 +60,18 @@ fn usage() -> &'static str {
                    [--reference] [--vsa]\n\
      tiara analyze --binary prog.tira [--func NAME] [--interproc] [--vsa] [--json]\n\
      tiara lint    --binary prog.tira [--addr ADDR] [--json]\n\
-     tiara train   --binary prog.tira --pdb labels.json --save model.json [--epochs N]\n\
+     tiara train   --binary prog.tira --pdb labels.json --save model.tc [--epochs N]\n\
                    [--batch N] [--sslice] [--reference-mode]\n\
-     tiara predict --binary prog.tira --model model.json --addr ADDR [--quantized]\n\
-     tiara serve   --model model.json [--listen HOST:PORT] [--workers N] [--queue N]\n\
-                   [--max-batch N] [--deadline-ms N] [--quantized]\n\
+     tiara predict --binary prog.tira --model model.tc --addr ADDR [--quantized]\n\
+     tiara inspect model.tc [--json]\n\
+     tiara serve   --model model.tc [--listen HOST:PORT] [--workers N] [--queue N]\n\
+                   [--max-batch N] [--deadline-ms N] [--quantized] [--no-persist]\n\
      \n\
      ADDR: 0x74404 | 74404h (global) | func:<name>:<offset> (frame slot)\n\
      every command also accepts --threads N (default: TIARA_THREADS or all cores)\n\
-     `serve` answers newline-delimited JSON on stdin/stdout, or on TCP with --listen\n\
+     `serve` answers newline-delimited JSON on stdin/stdout, or on TCP with --listen;\n\
+     on shutdown it persists the slice cache into the model container (--no-persist\n\
+     to skip). `inspect` prints a .tc container's header and section table.\n\
      --reference-mode trains on the per-sample autodiff tape (slow, bitwise-identical\n\
      reference for the batched engine); --quantized serves int8-quantized inference"
 }
@@ -123,11 +132,14 @@ fn run() -> Result<(), CliError> {
     let command = args.next().ok_or_else(|| CliError::Usage(usage().to_owned()))?;
     let mut flags: HashMap<String, String> = HashMap::new();
     let mut switches: Vec<String> = Vec::new();
+    let mut positional: Vec<String> = Vec::new();
     while let Some(a) = args.next() {
         if let Some(name) = a.strip_prefix("--") {
             match name {
                 "sslice" | "trace" | "dot" | "json" | "stats" | "reference" | "interproc"
-                | "vsa" | "reference-mode" | "quantized" => switches.push(name.to_owned()),
+                | "vsa" | "reference-mode" | "quantized" | "no-persist" => {
+                    switches.push(name.to_owned());
+                }
                 _ => {
                     let v = args
                         .next()
@@ -135,6 +147,9 @@ fn run() -> Result<(), CliError> {
                     flags.insert(name.to_owned(), v);
                 }
             }
+        } else if command == "inspect" && positional.is_empty() {
+            // `inspect` takes its file as a positional argument.
+            positional.push(a);
         } else {
             return Err(CliError::Usage(format!("unexpected argument `{a}`\n{}", usage())));
         }
@@ -375,14 +390,39 @@ fn run() -> Result<(), CliError> {
                 println!("  {:<12} {:.3}", c.to_string(), p.probs[c.index()]);
             }
         }
+        "inspect" => {
+            let path =
+                positional.first().or_else(|| flags.get("model")).cloned().ok_or_else(|| {
+                    CliError::Usage(format!("inspect needs a container file\n{}", usage()))
+                })?;
+            let bytes = tiara_container::AlignedBytes::read_file(std::path::Path::new(&path))
+                .map_err(|e| io_err(&path, e))?;
+            let reader = tiara_container::Reader::new(bytes)
+                .map_err(|e| CliError::Pipeline(Error::Persistence(format!("{path}: {e}"))))?;
+            if has("json") {
+                println!("{}", render_inspect_json(&path, &reader));
+            } else {
+                print!("{}", render_inspect_text(&path, &reader));
+            }
+        }
         "serve" => {
-            let mut tiara = load_model(get("model")?)?;
+            let model_path = get("model")?.clone();
+            let mut tiara = load_model(&model_path)?;
             if has("quantized") {
                 tiara.set_quantized_inference(true);
                 if !tiara.quantized_inference_active() {
                     eprintln!("--quantized has no effect: model has no quantizable GCN");
                 }
             }
+            let restored = tiara.restored_cache_entries();
+            if restored > 0 {
+                eprintln!("restored {restored} cached slice(s) from {model_path}");
+            }
+            // On shutdown, write the (possibly grown) slice cache back into
+            // the container so the next process starts warm. Legacy JSON
+            // bundles are never rewritten in place.
+            let persist = !has("no-persist") && is_container_file(&model_path);
+            let keeper = persist.then(|| tiara.clone());
             let mut config = ServeConfig::default();
             if let Some(w) = flags.get("workers") {
                 config.workers =
@@ -425,6 +465,13 @@ fn run() -> Result<(), CliError> {
                 }
             }
             eprintln!("tiara-serve drained and stopped");
+            if let Some(t) = keeper {
+                t.save_with_cache(&PathBuf::from(&model_path))?;
+                eprintln!(
+                    "persisted {} cached slice(s) to {model_path}",
+                    tiara::slice_cache::stats().entries
+                );
+            }
         }
         other => return Err(CliError::Usage(format!("unknown command `{other}`\n{}", usage()))),
     }
@@ -450,18 +497,110 @@ fn load_binary(path: &str) -> Result<Program, CliError> {
     disassemble(&bytes).map_err(|e| CliError::Other(format!("{path}: {e}")))
 }
 
-/// Loads a saved system: the PR5 bundle (slicer + weights) or, as a
-/// fallback, a pre-bundle classifier-only `model.json` (paired with the
-/// default slicer).
+/// Loads a saved system: a `.tc` container (weights mapped zero-copy, slice
+/// cache restored), the PR5 JSON bundle, or — as a last resort — a
+/// pre-bundle classifier-only `model.json` paired with the default slicer.
+/// The format is detected from the file's magic bytes, not its name.
 fn load_model(path: &str) -> Result<Tiara, CliError> {
-    let text = read(path)?;
-    match Tiara::from_json(&text) {
+    match Tiara::load(std::path::Path::new(path)) {
         Ok(t) => Ok(t),
-        Err(bundle_err) => match Classifier::from_json(&text) {
-            Ok(clf) => Ok(Tiara::new(TiaraConfig::new()).with_classifier(clf)),
-            Err(_) => Err(CliError::Pipeline(bundle_err)),
-        },
+        Err(Error::Io(e)) => Err(io_err(path, e)),
+        Err(bundle_err) => {
+            if let Ok(text) = std::fs::read_to_string(path) {
+                if let Ok(clf) = Classifier::from_json(&text) {
+                    return Ok(Tiara::new(TiaraConfig::new()).with_classifier(clf));
+                }
+            }
+            Err(CliError::Pipeline(bundle_err))
+        }
     }
+}
+
+/// Whether `path` starts with the `.tc` container magic (without decoding).
+fn is_container_file(path: &str) -> bool {
+    use std::io::Read as _;
+    let mut magic = [0u8; 8];
+    std::fs::File::open(path)
+        .and_then(|mut f| f.read_exact(&mut magic))
+        .map(|()| magic == tiara_container::MAGIC)
+        .unwrap_or(false)
+}
+
+fn uuid_hex(uuid: [u8; 16]) -> String {
+    uuid.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+fn render_inspect_text(path: &str, r: &tiara_container::Reader) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "{path}: TIARA.TC container");
+    let _ = writeln!(out, "  format version {}", r.version());
+    let _ = writeln!(out, "  uuid           {}", uuid_hex(r.uuid()));
+    let _ = writeln!(out, "  file length    {} bytes", r.file_len());
+    let _ = writeln!(out, "  sections       {}", r.toc().len());
+    let _ = writeln!(
+        out,
+        "  {:<13} {:>3} {:>10} {:>10} {:>10}  {:<16}",
+        "kind", "idx", "offset", "length", "aligned", "checksum"
+    );
+    for e in r.toc() {
+        let _ = writeln!(
+            out,
+            "  {:<13} {:>3} {:>10} {:>10} {:>10}  {:016x}",
+            tiara_container::kind::name(e.kind),
+            e.index,
+            e.offset,
+            e.len,
+            e.aligned_len(),
+            e.checksum
+        );
+    }
+    out
+}
+
+fn render_inspect_json(path: &str, r: &tiara_container::Reader) -> String {
+    let sections: Vec<String> = r
+        .toc()
+        .iter()
+        .map(|e| {
+            format!(
+                "{{\"kind\":\"{}\",\"kind_id\":{},\"index\":{},\"offset\":{},\"len\":{},\
+                 \"aligned_len\":{},\"checksum\":\"{:016x}\"}}",
+                tiara_container::kind::name(e.kind),
+                e.kind,
+                e.index,
+                e.offset,
+                e.len,
+                e.aligned_len(),
+                e.checksum
+            )
+        })
+        .collect();
+    format!(
+        "{{\"file\":{},\"format_version\":{},\"uuid\":\"{}\",\"file_len\":{},\"sections\":[{}]}}",
+        json_string(path),
+        r.version(),
+        uuid_hex(r.uuid()),
+        r.file_len(),
+        sections.join(",")
+    )
+}
+
+/// Minimal JSON string escaping for the `inspect --json` output (paths are
+/// the only free-form strings it emits).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 fn parse_counts(s: &str) -> Result<tiara_synth::TypeCounts, CliError> {
@@ -514,9 +653,10 @@ mod tests {
 
     #[test]
     fn usage_mentions_every_command() {
-        for cmd in
-            ["asm", "disasm", "synth", "slice", "analyze", "lint", "train", "predict", "serve"]
-        {
+        for cmd in [
+            "asm", "disasm", "synth", "slice", "analyze", "lint", "train", "predict", "inspect",
+            "serve",
+        ] {
             assert!(usage().contains(cmd), "usage is missing `{cmd}`");
         }
     }

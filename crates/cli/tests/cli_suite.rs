@@ -1,14 +1,75 @@
 //! End-to-end tests of the `tiara` binary itself: exit codes follow the
-//! documented contract and `analyze --interproc` emits the summary report.
+//! documented contract, `analyze --interproc` emits the summary report,
+//! `inspect` walks `.tc` containers, and `serve` persists the slice cache
+//! across processes.
 
-use std::path::PathBuf;
-use std::process::{Command, Output};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output, Stdio};
 
 fn tiara(args: &[&str]) -> Output {
     Command::new(env!("CARGO_BIN_EXE_tiara"))
         .args(args)
         .output()
         .expect("spawning the tiara binary")
+}
+
+/// Runs `tiara serve --model <model>` on stdio, feeding it `input` and
+/// returning its stdout (one response line per request).
+fn serve_once(model: &Path, input: &str) -> String {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_tiara"))
+        .args(["serve", "--model", model.to_str().unwrap()])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawning tiara serve");
+    child.stdin.take().unwrap().write_all(input.as_bytes()).unwrap();
+    let out = child.wait_with_output().expect("waiting for tiara serve");
+    assert!(out.status.success(), "serve failed: {}", String::from_utf8_lossy(&out.stderr));
+    String::from_utf8(out.stdout).unwrap()
+}
+
+/// Trains a tiny system in-process and saves it as a `.tc` container next to
+/// the assembled program; returns the model path, the program path, and a
+/// few labeled criterion addresses in CLI notation.
+fn trained_model(dir: &Path) -> (PathBuf, PathBuf, Vec<String>) {
+    let bin = tiara_synth::generate(&tiara_synth::ProjectSpec {
+        name: "clm".into(),
+        index: 1,
+        seed: 21,
+        counts: tiara_synth::TypeCounts { vector: 2, map: 1, primitive: 3, ..Default::default() },
+    });
+    let mut t =
+        tiara::Tiara::new(tiara::TiaraConfig::new().with_classifier(tiara::ClassifierConfig {
+            epochs: 2,
+            batch_size: 4,
+            ..Default::default()
+        }));
+    t.train(&[("clm", &bin.program, &bin.debug)]).unwrap();
+    let model = dir.join("model.tc");
+    t.save(&model).unwrap();
+    let prog = dir.join("prog.tira");
+    std::fs::write(&prog, tiara_ir::assemble(&bin.program)).unwrap();
+    let addrs = bin
+        .debug
+        .vars
+        .iter()
+        .take(3)
+        .map(|v| match v.addr {
+            tiara_ir::VarAddr::Global(m) => format!("0x{:x}", m.value()),
+            tiara_ir::VarAddr::Stack { func, offset } => {
+                let name = &bin.program.funcs()[func.0 as usize].name;
+                if offset < 0 {
+                    format!("func:{name}:-0x{:x}", -offset)
+                } else {
+                    format!("func:{name}:0x{offset:x}")
+                }
+            }
+            tiara_ir::VarAddr::Heap { site } => format!("heap:0x{:x}", site.value()),
+        })
+        .collect();
+    (model, prog, addrs)
 }
 
 /// Generates a small escape-bearing binary on disk and returns its path.
@@ -147,6 +208,89 @@ fn usage_errors_and_missing_files_keep_their_codes() {
     assert_eq!(unknown.status.code(), Some(2));
     let missing = tiara(&["disasm", "--binary", "/nonexistent/prog.tira"]);
     assert_eq!(missing.status.code(), Some(3), "I/O failures exit 3");
+}
+
+#[test]
+fn inspect_reports_container_header_and_sections() {
+    let dir = tempdir("inspect");
+    let (model, _prog, _addrs) = trained_model(&dir);
+
+    let out = tiara(&["inspect", model.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("TIARA.TC container"), "missing header:\n{text}");
+    assert!(text.contains("format version 1"), "missing version:\n{text}");
+    for kind in ["model-config", "slicer-config", "label-vocab", "weight-f32"] {
+        assert!(text.contains(kind), "missing `{kind}` section:\n{text}");
+    }
+
+    let json = tiara(&["inspect", model.to_str().unwrap(), "--json"]);
+    assert_eq!(json.status.code(), Some(0));
+    let body = String::from_utf8_lossy(&json.stdout);
+    assert!(body.contains("\"format_version\":1"), "json shape:\n{body}");
+    assert!(body.contains("\"uuid\":\""), "json shape:\n{body}");
+    assert!(body.contains("\"kind\":\"weight-f32\""), "json shape:\n{body}");
+    assert!(body.contains("\"checksum\":\""), "json shape:\n{body}");
+
+    // A non-container file is an invalid bundle (exit 9), a missing file is
+    // an I/O failure (exit 3), and no file at all is a usage error (exit 2).
+    let junk = dir.join("junk.json");
+    std::fs::write(&junk, b"{}").unwrap();
+    assert_eq!(tiara(&["inspect", junk.to_str().unwrap()]).status.code(), Some(9));
+    assert_eq!(tiara(&["inspect", "/nonexistent/model.tc"]).status.code(), Some(3));
+    assert_eq!(tiara(&["inspect"]).status.code(), Some(2));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn predict_loads_tc_containers() {
+    let dir = tempdir("predict-tc");
+    let (model, prog, addrs) = trained_model(&dir);
+    let out = tiara(&[
+        "predict",
+        "--binary",
+        prog.to_str().unwrap(),
+        "--model",
+        model.to_str().unwrap(),
+        "--addr",
+        &addrs[0],
+    ]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("std::vector"), "missing the probability table:\n{text}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_persists_and_reuses_the_slice_cache_across_processes() {
+    let dir = tempdir("serve-cache");
+    let (model, prog, addrs) = trained_model(&dir);
+    let addr_list = addrs.iter().map(|a| format!("\"{a}\"")).collect::<Vec<_>>().join(",");
+    let predict = format!(
+        "{{\"op\":\"predict\",\"program_path\":\"{}\",\"addrs\":[{addr_list}]}}",
+        prog.to_str().unwrap()
+    );
+
+    // Process 1 slices cold, then persists the cache into the container on
+    // shutdown.
+    let out1 = serve_once(&model, &format!("{predict}\n{{\"op\":\"shutdown\"}}\n"));
+    let first = out1.lines().next().expect("a predict response");
+    assert!(first.contains("\"ok\":true"), "predict failed: {first}");
+    let ins = tiara(&["inspect", model.to_str().unwrap()]);
+    let text = String::from_utf8_lossy(&ins.stdout);
+    assert!(text.contains("cache-shard"), "no persisted cache shard:\n{text}");
+
+    // Process 2 starts warm: every address hits the restored cache, and the
+    // response bytes are identical to the cold run.
+    let out2 =
+        serve_once(&model, &format!("{predict}\n{{\"op\":\"stats\"}}\n{{\"op\":\"shutdown\"}}\n"));
+    let mut lines = out2.lines();
+    let again = lines.next().expect("a predict response");
+    assert_eq!(first, again, "cached responses must be byte-identical across processes");
+    let stats = lines.next().expect("a stats response");
+    let want = format!("\"slice_cache\":{{\"hits\":{},\"misses\":0", addrs.len());
+    assert!(stats.contains(&want), "expected {want} in stats: {stats}");
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

@@ -1,0 +1,153 @@
+//! The one unsafe corner of the crate: alignment- and length-checked
+//! reinterpretation of raw bytes as `f32`/`i8` slices, plus the
+//! 8-byte-aligned byte buffer those views borrow from.
+//!
+//! Safety argument (see DESIGN.md "Container format"):
+//! - [`AlignedBytes`] is backed by a `Vec<u64>`, so its base pointer is
+//!   8-byte aligned by construction; every view is carved out of that one
+//!   allocation and bounds-checked by safe slice indexing before any cast.
+//! - [`f32s`] refuses slices whose pointer is not 4-byte aligned or whose
+//!   length is not a multiple of 4, so the produced `&[f32]` covers exactly
+//!   the input bytes. Every `f32` bit pattern is a valid value (NaNs
+//!   included), so no bit pattern can produce undefined behavior.
+//! - [`i8s`] is infallible: `i8` has alignment 1 and every bit pattern is
+//!   valid.
+//! - The container format is little-endian on disk and the views do no
+//!   byte-swapping, so the crate refuses to compile on big-endian targets
+//!   rather than silently mis-read weights.
+
+#[cfg(not(target_endian = "little"))]
+compile_error!("tiara-container zero-copy views require a little-endian target");
+
+use std::io::Read;
+
+/// An owned byte buffer whose base address is 8-byte aligned.
+///
+/// Reading a container file lands its bytes here in a single allocation;
+/// all zero-copy section views borrow from this buffer (usually through an
+/// `Arc`). Because section offsets in the container format are multiples of
+/// 8, any section payload viewed from an `AlignedBytes` is itself suitably
+/// aligned for `u64`/`f64`/`f32`/`u32` reads.
+pub struct AlignedBytes {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl AlignedBytes {
+    /// An all-zero buffer of `len` bytes.
+    pub fn with_len(len: usize) -> AlignedBytes {
+        AlignedBytes { words: vec![0u64; len.div_ceil(8)], len }
+    }
+
+    /// Copies `bytes` into a fresh aligned buffer.
+    pub fn copy_from(bytes: &[u8]) -> AlignedBytes {
+        let mut a = AlignedBytes::with_len(bytes.len());
+        a.bytes_mut().copy_from_slice(bytes);
+        a
+    }
+
+    /// Reads a whole file into an aligned buffer (one allocation, one
+    /// `read_exact` — the closest portable stand-in for `mmap`).
+    pub fn read_file(path: &std::path::Path) -> std::io::Result<AlignedBytes> {
+        let mut file = std::fs::File::open(path)?;
+        let len = file.metadata()?.len();
+        let len = usize::try_from(len).map_err(|_| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "file larger than address space")
+        })?;
+        let mut a = AlignedBytes::with_len(len);
+        file.read_exact(a.bytes_mut())?;
+        Ok(a)
+    }
+
+    /// Number of bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the buffer holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The buffer contents.
+    pub fn as_bytes(&self) -> &[u8] {
+        // SAFETY: `words` is a live allocation of `words.len() * 8` bytes,
+        // `u8` has alignment 1 and every byte is initialized (u64s are
+        // plain data). `len <= words.len() * 8` by construction.
+        let all = unsafe {
+            std::slice::from_raw_parts(self.words.as_ptr().cast::<u8>(), self.words.len() * 8)
+        };
+        &all[..self.len]
+    }
+
+    /// Mutable access to the buffer contents.
+    pub fn bytes_mut(&mut self) -> &mut [u8] {
+        // SAFETY: as in `as_bytes`, plus exclusive access through `&mut`.
+        let all = unsafe {
+            std::slice::from_raw_parts_mut(
+                self.words.as_mut_ptr().cast::<u8>(),
+                self.words.len() * 8,
+            )
+        };
+        &mut all[..self.len]
+    }
+}
+
+impl std::fmt::Debug for AlignedBytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AlignedBytes").field("len", &self.len).finish()
+    }
+}
+
+/// Views `bytes` as a slice of `f32`s without copying.
+///
+/// Returns `None` when the pointer is not 4-byte aligned or the length is
+/// not a multiple of 4 — the caller treats that as corruption, never as a
+/// reason to copy silently.
+pub fn f32s(bytes: &[u8]) -> Option<&[f32]> {
+    if !bytes.len().is_multiple_of(4)
+        || bytes.as_ptr().align_offset(std::mem::align_of::<f32>()) != 0
+    {
+        return None;
+    }
+    // SAFETY: alignment and length were just checked; every 4-byte pattern
+    // is a valid f32; the lifetime is tied to `bytes`.
+    Some(unsafe { std::slice::from_raw_parts(bytes.as_ptr().cast::<f32>(), bytes.len() / 4) })
+}
+
+/// Views `bytes` as a slice of `i8`s without copying (always succeeds:
+/// alignment 1, every bit pattern valid).
+pub fn i8s(bytes: &[u8]) -> &[i8] {
+    // SAFETY: i8 and u8 have identical size and alignment.
+    unsafe { std::slice::from_raw_parts(bytes.as_ptr().cast::<i8>(), bytes.len()) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligned_bytes_round_trip_and_alignment() {
+        let a = AlignedBytes::copy_from(&[1, 2, 3, 4, 5]);
+        assert_eq!(a.len(), 5);
+        assert_eq!(a.as_bytes(), &[1, 2, 3, 4, 5]);
+        assert_eq!(a.as_bytes().as_ptr().align_offset(8), 0, "base must be 8-aligned");
+    }
+
+    #[test]
+    fn f32_cast_checks_length_and_value() {
+        let mut a = AlignedBytes::with_len(8);
+        a.bytes_mut()[0..4].copy_from_slice(&1.5f32.to_le_bytes());
+        a.bytes_mut()[4..8].copy_from_slice(&(-2.0f32).to_le_bytes());
+        let v = f32s(a.as_bytes()).unwrap();
+        assert_eq!(v, &[1.5, -2.0]);
+        assert!(f32s(&a.as_bytes()[..7]).is_none(), "length not a multiple of 4");
+        assert!(f32s(&a.as_bytes()[1..5]).is_none(), "misaligned pointer");
+    }
+
+    #[test]
+    fn i8_cast_preserves_bits() {
+        let a = AlignedBytes::copy_from(&[0x00, 0x7F, 0x80, 0xFF]);
+        assert_eq!(i8s(a.as_bytes()), &[0, 127, -128, -1]);
+    }
+}

@@ -101,6 +101,12 @@ impl From<std::io::Error> for Error {
     }
 }
 
+impl From<tiara_container::ContainerError> for Error {
+    fn from(e: tiara_container::ContainerError) -> Error {
+        Error::Persistence(e.to_string())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

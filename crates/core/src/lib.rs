@@ -49,6 +49,7 @@
 #![forbid(unsafe_code)]
 
 mod classifier;
+mod container;
 mod dataset;
 pub mod discovery;
 mod error;

@@ -136,19 +136,55 @@ pub fn set_enabled(enabled: bool) {
     cache().enabled.store(enabled, Ordering::Relaxed);
 }
 
+/// One persistable cache entry: the key triple plus the computed slice.
+pub(crate) type SnapshotEntry = (u64, u64, VarAddr, Arc<Slice>);
+
+/// A deterministic per-shard snapshot of every cached slice: entry `i` of
+/// the result holds shard `i`'s entries sorted by key, so two snapshots of
+/// equal cache contents are byte-for-byte identical once encoded.
+pub(crate) fn snapshot() -> Vec<Vec<SnapshotEntry>> {
+    let c = cache();
+    let mut out: Vec<Vec<SnapshotEntry>> = Vec::with_capacity(SHARDS);
+    for shard in &c.shards {
+        let mut entries: Vec<SnapshotEntry> = shard
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|((p, s, a), slice)| (*p, *s, *a, Arc::clone(slice)))
+            .collect();
+        entries.sort_by(|a, b| (a.0, a.1, format!("{}", a.2)).cmp(&(b.0, b.1, format!("{}", b.2))));
+        out.push(entries);
+    }
+    out
+}
+
+/// Re-inserts persisted entries into their shards without touching the
+/// hit/miss counters (a restore is neither). Entries are routed by key, so
+/// a snapshot written with a different shard count still lands correctly.
+pub(crate) fn restore(entries: impl IntoIterator<Item = SnapshotEntry>) {
+    let c = cache();
+    for (program_fp, slicer_fp, addr, slice) in entries {
+        let key = (program_fp, slicer_fp, addr);
+        let shard = &c.shards[shard_of(&key)];
+        shard.lock().unwrap_or_else(PoisonError::into_inner).insert(key, slice);
+    }
+}
+
+/// Serializes tests (here and in [`crate::pipeline`]) that clear the cache,
+/// toggle [`set_enabled`], or assert on the global counters. Other core
+/// tests use the cache too, but only ever with it enabled, which every
+/// assertion under this lock tolerates.
+#[cfg(test)]
+pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use tiara_ir::FuncId;
     use tiara_synth::{generate, ProjectSpec, TypeCounts};
-
-    /// Serializes the tests that toggle [`set_enabled`] against the ones
-    /// that rely on the cache being on. Other core tests use the cache too,
-    /// but only ever with it enabled, which every assertion below tolerates.
-    fn test_lock() -> std::sync::MutexGuard<'static, ()> {
-        static LOCK: Mutex<()> = Mutex::new(());
-        LOCK.lock().unwrap_or_else(PoisonError::into_inner)
-    }
 
     fn empty_slice(criterion: VarAddr) -> Slice {
         Slice { criterion, nodes: Vec::new(), edges: Vec::new(), explored: 0, steps: 0 }
@@ -226,5 +262,25 @@ mod tests {
             empty_slice(addr)
         });
         assert_eq!(runs, 4, "clear drops entries");
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_without_counting() {
+        let _guard = test_lock();
+        clear();
+        let addr = VarAddr::Stack { func: FuncId(u32::MAX - 1), offset: -1234 };
+        let _ = get_or_slice(7, 8, addr, || empty_slice(addr));
+        let snap = snapshot();
+        assert_eq!(snap.len(), SHARDS);
+        assert_eq!(snap.iter().map(Vec::len).sum::<usize>(), 1);
+        clear();
+        assert_eq!(stats().entries, 0);
+        restore(snap.into_iter().flatten());
+        let restored = stats();
+        assert_eq!(restored.entries, 1, "entry came back");
+        assert_eq!((restored.hits, restored.misses), (0, 0), "a restore is not a lookup");
+        let _ = get_or_slice(7, 8, addr, || panic!("restored entry must hit"));
+        assert_eq!(stats().hits, 1, "fresh process hits persisted shards");
+        clear();
     }
 }

@@ -1,5 +1,5 @@
 //! The `tiara-eval bench` mode: measured slicing/encoding/training
-//! throughput at 1 vs N threads, emitted as text or as `BENCH_PR8.json`.
+//! throughput at 1 vs N threads, emitted as text or as `BENCH_PR9.json`.
 //!
 //! Every later perf PR regenerates this file and compares: the report
 //! carries slices/sec, graphs/sec (slice→graph + feature encoding with a
@@ -24,6 +24,15 @@
 //! engine against the retained per-sample reference tape
 //! (`reference_digest_match`) and measures a quantized (int8 conv) warm
 //! serving pass with a label-parity check against the f32 responses.
+//!
+//! Since PR 9 the report also measures **cold start**: a trained system plus
+//! its warm slice cache is persisted as a `.tc` container
+//! (`tiara-container`), the process-wide cache is dropped, and the timed
+//! region covers `Tiara::load` (weights mapped zero-copy, cache shards
+//! restored) plus the first predict batch. The same batch is then answered
+//! through the legacy JSON path (parse + cold slicing) for the speedup
+//! baseline, with bitwise response and model-digest equality checks between
+//! the two paths.
 //!
 //! JSON is rendered by hand (no serde round-trip) so the output is a plain
 //! artifact of the harness itself.
@@ -109,6 +118,40 @@ pub struct ServeBench {
     pub quantized_labels_match: bool,
 }
 
+/// Measurements of the cold-start path: container load + first batch vs
+/// the legacy JSON path on the same addresses.
+#[derive(Debug, Clone)]
+pub struct ColdStartBench {
+    /// Size of the persisted `.tc` container, bytes.
+    pub container_bytes: usize,
+    /// Weight bytes the loaded system consumes zero-copy from the mapped
+    /// container (the reused-bytes stat; 0 would mean weights were copied).
+    pub mapped_weight_bytes: usize,
+    /// Persisted slice-cache entries restored by the load.
+    pub restored_cache_entries: usize,
+    /// Addresses in the first predict batch.
+    pub addrs: usize,
+    /// Container path: `Tiara::load` + first batch, seconds.
+    pub cold_start_secs: f64,
+    /// Container-path first-batch throughput, addresses/second.
+    pub cold_addrs_per_sec: f64,
+    /// JSON path: parse + cold first batch (slices recomputed), seconds.
+    pub json_cold_start_secs: f64,
+    /// JSON-path first-batch throughput, addresses/second.
+    pub json_cold_addrs_per_sec: f64,
+    /// Whether the legacy JSON parse itself succeeded. False under the
+    /// offline serde stub; the baseline then reuses the in-memory system
+    /// and still pays the full cold slicing cost.
+    pub legacy_parse_ok: bool,
+    /// `json_cold_start_secs / cold_start_secs`.
+    pub speedup: f64,
+    /// First-batch predictions bitwise identical between the two paths.
+    pub responses_identical: bool,
+    /// Model digests equal between the container-loaded and JSON-path
+    /// systems.
+    pub digests_equal: bool,
+}
+
 /// The full bench report.
 #[derive(Debug, Clone)]
 pub struct BenchReport {
@@ -118,6 +161,8 @@ pub struct BenchReport {
     pub runs: Vec<ThreadBench>,
     /// The serving-path measurements.
     pub serve: ServeBench,
+    /// The cold-start measurements (container vs legacy JSON).
+    pub cold_start: ColdStartBench,
     /// `slices_per_sec(N) / slices_per_sec(1)`.
     pub slicing_speedup: f64,
     /// `epoch_secs(1) / epoch_secs(N)`.
@@ -346,6 +391,68 @@ fn bench_serve(bins: &[Binary], cfg: &BenchConfig) -> ServeBench {
     }
 }
 
+/// Measures cold start: persist a trained system + warm slice cache as a
+/// `.tc` container, drop the in-process cache, then time `Tiara::load` plus
+/// the first predict batch — against the legacy JSON path on the same batch.
+fn bench_cold_start(bins: &[Binary], cfg: &BenchConfig) -> ColdStartBench {
+    let bin = &bins[0];
+    let tiara = bench_tiara(bin, cfg);
+    let addrs: Vec<VarAddr> = bin.debug.vars.iter().map(|v| v.addr).collect();
+
+    // Warm the slice cache (unmeasured), then persist system + cache.
+    slice_cache::clear();
+    let warm_preds = tiara.predict_batch(&bin.program, &addrs).expect("bench model predicts");
+    let path = std::env::temp_dir().join(format!("tiara-bench-cold-{}.tc", std::process::id()));
+    tiara.save_with_cache(&path).expect("bench container saves");
+    let container_bytes = std::fs::metadata(&path).map(|m| m.len() as usize).unwrap_or(0);
+    let json = tiara.to_json().expect("bench model serializes");
+
+    // Container path: load (maps weights, restores cache shards) + first
+    // batch, all inside the timed region.
+    slice_cache::clear();
+    let t0 = std::time::Instant::now();
+    let loaded = Tiara::load(&path).expect("bench container loads");
+    let cold_preds = loaded.predict_batch(&bin.program, &addrs).expect("loaded model predicts");
+    let cold_start_secs = t0.elapsed().as_secs_f64();
+    let _ = std::fs::remove_file(&path);
+
+    // JSON path: parse + cold first batch (every slice recomputed). Under
+    // the offline serde stub the parse fails fast; the baseline then reuses
+    // the in-memory system but still pays the full cold slicing cost.
+    slice_cache::clear();
+    let t1 = std::time::Instant::now();
+    let (json_tiara, legacy_parse_ok) = match Tiara::from_json(&json) {
+        Ok(t) => (t, true),
+        Err(_) => (tiara.clone(), false),
+    };
+    let json_preds = json_tiara.predict_batch(&bin.program, &addrs).expect("json model predicts");
+    let json_cold_start_secs = t1.elapsed().as_secs_f64();
+    slice_cache::clear();
+
+    let bitwise = |a: &[tiara::Prediction], b: &[tiara::Prediction]| {
+        a.len() == b.len()
+            && a.iter().zip(b).all(|(x, y)| {
+                x.class == y.class
+                    && x.probs.len() == y.probs.len()
+                    && x.probs.iter().zip(&y.probs).all(|(p, q)| p.to_bits() == q.to_bits())
+            })
+    };
+    ColdStartBench {
+        container_bytes,
+        mapped_weight_bytes: loaded.mapped_weight_bytes(),
+        restored_cache_entries: loaded.restored_cache_entries(),
+        addrs: addrs.len(),
+        cold_start_secs,
+        cold_addrs_per_sec: addrs.len() as f64 / cold_start_secs.max(1e-9),
+        json_cold_start_secs,
+        json_cold_addrs_per_sec: addrs.len() as f64 / json_cold_start_secs.max(1e-9),
+        legacy_parse_ok,
+        speedup: json_cold_start_secs / cold_start_secs.max(1e-9),
+        responses_identical: bitwise(&cold_preds, &json_preds) && bitwise(&cold_preds, &warm_preds),
+        digests_equal: loaded.model_digest() == json_tiara.model_digest(),
+    }
+}
+
 /// Runs the bench: the Table I suite at `scale`, sliced and trained at
 /// 1 thread and at `config.threads` threads, then the serving path.
 pub fn run_bench(config: &BenchConfig) -> BenchReport {
@@ -356,6 +463,7 @@ pub fn run_bench(config: &BenchConfig) -> BenchReport {
     runs.push(bench_at(&bins, config, n));
     let reference_digest_match = reference_digest(&bins, config) == runs[0].model_digest;
     let serve = bench_serve(&bins, config);
+    let cold_start = bench_cold_start(&bins, config);
     // Restore the executor configuration for whatever runs next.
     tiara_par::set_global_threads(prev_threads);
 
@@ -370,6 +478,7 @@ pub fn run_bench(config: &BenchConfig) -> BenchReport {
         host_cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
         runs,
         serve,
+        cold_start,
     }
 }
 
@@ -379,7 +488,7 @@ pub fn render_json(r: &BenchReport) -> String {
     let mut s = String::new();
     let _ = write!(
         s,
-        "{{\n  \"bench\": \"PR8\",\n  \"scale\": {},\n  \"epochs\": {},\n  \"seed\": {},\n  \"host_cpus\": {},\n  \"runs\": [",
+        "{{\n  \"bench\": \"PR9\",\n  \"scale\": {},\n  \"epochs\": {},\n  \"seed\": {},\n  \"host_cpus\": {},\n  \"runs\": [",
         r.config.scale, r.config.epochs, r.config.seed, r.host_cpus
     );
     for (i, run) in r.runs.iter().enumerate() {
@@ -437,6 +546,28 @@ pub fn render_json(r: &BenchReport) -> String {
         sv.quantized_warm_secs,
         sv.quantized_warm_addrs_per_sec,
         sv.quantized_labels_match
+    );
+    let cs = &r.cold_start;
+    let _ = write!(
+        s,
+        "  \"cold_start\": {{\"container_bytes\": {}, \"mapped_weight_bytes\": {}, \
+         \"restored_cache_entries\": {}, \"addrs\": {},\n                 \
+         \"cold_start_secs\": {:.6}, \"cold_addrs_per_sec\": {:.2}, \
+         \"json_cold_start_secs\": {:.6}, \"json_cold_addrs_per_sec\": {:.2},\n                 \
+         \"legacy_parse_ok\": {}, \"speedup\": {:.3}, \"responses_identical\": {}, \
+         \"digests_equal\": {}}},\n",
+        cs.container_bytes,
+        cs.mapped_weight_bytes,
+        cs.restored_cache_entries,
+        cs.addrs,
+        cs.cold_start_secs,
+        cs.cold_addrs_per_sec,
+        cs.json_cold_start_secs,
+        cs.json_cold_addrs_per_sec,
+        cs.legacy_parse_ok,
+        cs.speedup,
+        cs.responses_identical,
+        cs.digests_equal
     );
     let _ = write!(
         s,
@@ -515,6 +646,26 @@ pub fn render_text(r: &BenchReport) -> String {
         "quantized (int8 conv) warm: {:.1} addrs/s; labels match f32: {}",
         r.serve.quantized_warm_addrs_per_sec, r.serve.quantized_labels_match
     );
+    let cs = &r.cold_start;
+    let _ = writeln!(
+        s,
+        "cold start ({} addrs): container {:.4}s ({:.1} addrs/s) vs json {:.4}s ({:.1} addrs/s) \
+         — {:.1}x; responses identical: {}, digests equal: {}",
+        cs.addrs,
+        cs.cold_start_secs,
+        cs.cold_addrs_per_sec,
+        cs.json_cold_start_secs,
+        cs.json_cold_addrs_per_sec,
+        cs.speedup,
+        cs.responses_identical,
+        cs.digests_equal
+    );
+    let _ = writeln!(
+        s,
+        "container: {} bytes on disk, {} weight bytes mapped zero-copy, {} cached slices \
+         restored (legacy json parse ok: {})",
+        cs.container_bytes, cs.mapped_weight_bytes, cs.restored_cache_entries, cs.legacy_parse_ok
+    );
     s
 }
 
@@ -549,8 +700,18 @@ mod tests {
         assert!(report.runs[0].train_stats.batches > 0);
         assert!(report.runs[0].train_stats.fused_kernel_calls > 0);
         assert!(report.runs[0].train_stats.bytes_reused > 0);
+        let cs = &report.cold_start;
+        assert!(cs.container_bytes > 0, "container was written");
+        assert!(cs.mapped_weight_bytes > 0, "weights must be consumed zero-copy from the map");
+        assert!(cs.restored_cache_entries > 0, "persisted slice-cache shards must restore");
+        assert!(cs.responses_identical, "container path must answer bitwise-identically");
+        assert!(cs.digests_equal, "loaded model digests must match the json path");
         let json = render_json(&report);
-        assert!(json.contains("\"bench\": \"PR8\""));
+        assert!(json.contains("\"bench\": \"PR9\""));
+        assert!(json.contains("\"cold_start\""));
+        assert!(json.contains("\"cold_start_secs\""));
+        assert!(json.contains("\"cold_addrs_per_sec\""));
+        assert!(json.contains("\"digests_equal\": true"));
         assert!(json.contains("\"models_identical\": true"));
         assert!(json.contains("\"reference_digest_match\": true"));
         assert!(json.contains("\"slice_stats\""));
@@ -561,6 +722,7 @@ mod tests {
         assert!(json.contains("\"quantized_labels_match\": true"));
         assert!(json.trim_start().starts_with('{') && json.trim_end().ends_with('}'));
         let text = render_text(&report);
+        assert!(text.contains("cold start"));
         assert!(text.contains("speedups"));
         assert!(text.contains("slicer counters"));
         assert!(text.contains("trainer counters"));

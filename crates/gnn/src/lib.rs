@@ -35,6 +35,7 @@ mod gcn;
 mod matrix;
 mod mlp;
 mod quant;
+mod source;
 mod tape;
 
 pub use adam::Adam;
@@ -44,4 +45,5 @@ pub use gcn::{Aggregation, EpochStats, Gcn, GcnConfig, GraphSample};
 pub use matrix::{argmax_slice, Matrix, KERNEL_INLINE_WORK};
 pub use mlp::{Mlp, MlpConfig};
 pub use quant::{QuantizedGcn, QuantizedMatrix};
+pub use source::{F32Source, I8Source};
 pub use tape::{ParamId, Tape, Var};

@@ -1,8 +1,10 @@
 //! Dense row-major `f32` matrices: the tensor type of the GCN stack.
 
+use crate::source::F32Source;
 use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 use tiara_par::Executor;
 
 /// `k`-tile width of the blocked dense kernels: the inner dimension is walked
@@ -40,7 +42,27 @@ pub(crate) fn exec_for(work: usize) -> tiara_par::Executor {
     }
 }
 
+/// Borrowed backing storage: a range of an [`F32Source`] (e.g. mapped
+/// container bytes). Cloning clones the `Arc`, not the elements.
+#[derive(Clone)]
+struct Shared {
+    src: Arc<dyn F32Source>,
+    start: usize,
+    len: usize,
+}
+
+impl Shared {
+    fn as_slice(&self) -> &[f32] {
+        &self.src.f32s()[self.start..self.start + self.len]
+    }
+}
+
 /// A dense row-major matrix of `f32`.
+///
+/// Storage is either owned (`Vec<f32>`) or borrowed zero-copy from a shared
+/// [`F32Source`] (mapped container bytes); reads are uniform through
+/// [`Matrix::as_slice`], and the first mutation of a borrowed matrix
+/// materializes an owned copy.
 ///
 /// # Examples
 ///
@@ -51,11 +73,34 @@ pub(crate) fn exec_for(work: usize) -> tiara_par::Executor {
 /// let b = Matrix::eye(2);
 /// assert_eq!(a.matmul(&b), a);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Serialize, Deserialize)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
     data: Vec<f32>,
+    /// When set, elements live in the shared source and `data` is empty;
+    /// any mutation first copies them out (copy-on-write). Skipped by
+    /// serde: JSON bundles always carry owned `data`.
+    #[serde(skip)]
+    shared: Option<Shared>,
+}
+
+impl std::fmt::Debug for Matrix {
+    // Renders the *logical* contents (identical for owned and shared
+    // storage), in the exact shape the former derived impl produced.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Matrix")
+            .field("rows", &self.rows)
+            .field("cols", &self.cols)
+            .field("data", &self.as_slice())
+            .finish()
+    }
+}
+
+impl PartialEq for Matrix {
+    fn eq(&self, other: &Matrix) -> bool {
+        self.rows == other.rows && self.cols == other.cols && self.as_slice() == other.as_slice()
+    }
 }
 
 impl Default for Matrix {
@@ -69,7 +114,7 @@ impl Default for Matrix {
 impl Matrix {
     /// An all-zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Matrix {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix { rows, cols, data: vec![0.0; rows * cols], shared: None }
     }
 
     /// The identity matrix.
@@ -94,7 +139,7 @@ impl Matrix {
             assert_eq!(row.len(), c, "ragged rows");
             data.extend_from_slice(row);
         }
-        Matrix { rows: r, cols: c, data }
+        Matrix { rows: r, cols: c, data, shared: None }
     }
 
     /// Builds a matrix from a flat row-major vector.
@@ -104,14 +149,14 @@ impl Matrix {
     /// Panics if `data.len() != rows * cols`.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Matrix {
         assert_eq!(data.len(), rows * cols, "shape mismatch");
-        Matrix { rows, cols, data }
+        Matrix { rows, cols, data, shared: None }
     }
 
     /// Xavier/Glorot-uniform initialization.
     pub fn xavier(rows: usize, cols: usize, rng: &mut StdRng) -> Matrix {
         let bound = (6.0f32 / (rows + cols) as f32).sqrt();
         let data = (0..rows * cols).map(|_| rng.random_range(-bound..bound)).collect();
-        Matrix { rows, cols, data }
+        Matrix { rows, cols, data, shared: None }
     }
 
     /// Number of rows.
@@ -126,37 +171,81 @@ impl Matrix {
         self.cols
     }
 
+    /// A matrix borrowing `rows * cols` elements zero-copy from a shared
+    /// source, starting at element `start` of [`F32Source::f32s`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range does not fit in the source.
+    pub fn from_shared(rows: usize, cols: usize, src: Arc<dyn F32Source>, start: usize) -> Matrix {
+        let len = rows * cols;
+        assert!(
+            start.checked_add(len).is_some_and(|end| end <= src.f32s().len()),
+            "shared range out of bounds"
+        );
+        Matrix { rows, cols, data: Vec::new(), shared: Some(Shared { src, start, len }) }
+    }
+
+    /// Returns `true` while the elements are still borrowed from a shared
+    /// source (no owned copy has been made).
+    pub fn is_shared(&self) -> bool {
+        self.shared.is_some()
+    }
+
+    /// Bytes borrowed from a shared source (0 once owned) — the
+    /// "reused-bytes" stat the zero-copy acceptance check reads.
+    pub fn shared_bytes(&self) -> usize {
+        self.shared.as_ref().map_or(0, |s| s.len * std::mem::size_of::<f32>())
+    }
+
+    /// Copies borrowed elements into owned storage; a no-op when already
+    /// owned. Every mutating accessor calls this first (copy-on-write).
+    pub fn materialize(&mut self) {
+        if let Some(s) = self.shared.take() {
+            self.data.clear();
+            self.data.extend_from_slice(s.as_slice());
+        }
+    }
+
     /// Element access.
     #[inline]
     pub fn get(&self, r: usize, c: usize) -> f32 {
-        self.data[r * self.cols + c]
+        self.as_slice()[r * self.cols + c]
     }
 
     /// Element assignment.
     #[inline]
     pub fn set(&mut self, r: usize, c: usize, v: f32) {
-        self.data[r * self.cols + c] = v;
+        let i = r * self.cols + c;
+        self.materialize();
+        self.data[i] = v;
     }
 
     /// A view of one row.
     #[inline]
     pub fn row(&self, r: usize) -> &[f32] {
-        &self.data[r * self.cols..(r + 1) * self.cols]
+        &self.as_slice()[r * self.cols..(r + 1) * self.cols]
     }
 
     /// A mutable view of one row.
     #[inline]
     pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
-        &mut self.data[r * self.cols..(r + 1) * self.cols]
+        let range = r * self.cols..(r + 1) * self.cols;
+        self.materialize();
+        &mut self.data[range]
     }
 
     /// The flat data slice.
     pub fn as_slice(&self) -> &[f32] {
-        &self.data
+        match &self.shared {
+            Some(s) => s.as_slice(),
+            None => &self.data,
+        }
     }
 
-    /// The flat mutable data slice.
+    /// The flat mutable data slice (materializes borrowed storage).
     pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        self.materialize();
         &mut self.data
     }
 
@@ -168,10 +257,12 @@ impl Matrix {
     }
 
     /// Reshapes to `rows × cols` with every element zeroed, reusing the
-    /// backing allocation when capacity allows.
+    /// backing allocation when capacity allows. Drops any shared borrow —
+    /// the result is always owned.
     pub fn reset(&mut self, rows: usize, cols: usize) {
         self.rows = rows;
         self.cols = cols;
+        self.shared = None;
         self.data.clear();
         self.data.resize(rows * cols, 0.0);
     }
@@ -316,13 +407,15 @@ impl Matrix {
     /// Panics on shape mismatch.
     pub fn add_assign(&mut self, other: &Matrix) {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols), "add shape mismatch");
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
+        self.materialize();
+        for (a, b) in self.data.iter_mut().zip(other.as_slice()) {
             *a += b;
         }
     }
 
     /// Scales every element, in place.
     pub fn scale(&mut self, s: f32) {
+        self.materialize();
         for a in &mut self.data {
             *a *= s;
         }
@@ -333,13 +426,14 @@ impl Matrix {
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().map(|&x| x.max(0.0)).collect(),
+            data: self.as_slice().iter().map(|&x| x.max(0.0)).collect(),
+            shared: None,
         }
     }
 
     /// The Frobenius norm.
     pub fn norm(&self) -> f32 {
-        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+        self.as_slice().iter().map(|x| x * x).sum::<f32>().sqrt()
     }
 
     /// Index of the maximum element in a row (see [`argmax_slice`]).
@@ -580,5 +674,34 @@ mod tests {
         assert_eq!(a.argmax_row(1), 2);
         assert_eq!(a.argmax_row(2), 0, "all-NaN row falls back to 0");
         assert_eq!(a.argmax_row(3), 0, "ties keep the first index");
+    }
+
+    #[test]
+    fn shared_matrices_read_zero_copy_and_copy_on_write() {
+        let src: Arc<dyn F32Source> = Arc::new(vec![0.0f32, 1.0, 2.0, 3.0, 4.0, 5.0]);
+        let m = Matrix::from_shared(2, 2, Arc::clone(&src), 1);
+        assert!(m.is_shared());
+        assert_eq!(m.shared_bytes(), 16);
+        assert_eq!(m.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m, Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]), "logical equality");
+        assert_eq!(m.as_slice().as_ptr(), src.f32s()[1..].as_ptr(), "no copy on read");
+        let clone = m.clone();
+        assert!(clone.is_shared(), "clones keep borrowing");
+        assert_eq!(m.matmul(&Matrix::eye(2)), m, "kernels read borrowed storage");
+        let mut w = m.clone();
+        w.set(0, 0, 9.0);
+        assert!(!w.is_shared(), "first write materializes");
+        assert_eq!(w.get(0, 0), 9.0);
+        assert_eq!(m.get(0, 0), 1.0, "source and sibling views unchanged");
+        let mut z = m.clone();
+        z.reset(1, 1);
+        assert!(!z.is_shared(), "reset always yields owned storage");
+    }
+
+    #[test]
+    #[should_panic(expected = "shared range out of bounds")]
+    fn oversized_shared_range_panics() {
+        let src: Arc<dyn F32Source> = Arc::new(vec![0.0f32; 3]);
+        let _ = Matrix::from_shared(2, 2, src, 0);
     }
 }

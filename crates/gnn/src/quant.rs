@@ -26,16 +26,61 @@ use crate::csr::Csr;
 use crate::fused;
 use crate::gcn::{Gcn, GcnConfig, GraphSample};
 use crate::matrix::Matrix;
+use crate::source::I8Source;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Borrowed int8 weight storage (e.g. a mapped container section).
+#[derive(Clone)]
+struct SharedI8 {
+    src: Arc<dyn I8Source>,
+    start: usize,
+    len: usize,
+}
+
+impl SharedI8 {
+    fn as_slice(&self) -> &[i8] {
+        &self.src.i8s()[self.start..self.start + self.len]
+    }
+}
 
 /// An `i8` row-major matrix with per-column symmetric dequantization scales.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Like [`Matrix`], the int8 block is either owned or borrowed zero-copy
+/// from a shared [`I8Source`]; the (tiny) per-column scale vector is always
+/// owned.
+#[derive(Clone, Serialize, Deserialize)]
 pub struct QuantizedMatrix {
     rows: usize,
     cols: usize,
     q: Vec<i8>,
     /// Per-column scale: `q[r][c] * scales[c] ≈ w[r][c]`.
     scales: Vec<f32>,
+    /// When set, the int8 elements live in the shared source and `q` is
+    /// empty. Skipped by serde: JSON bundles always carry owned `q`.
+    #[serde(skip)]
+    shared_q: Option<SharedI8>,
+}
+
+impl std::fmt::Debug for QuantizedMatrix {
+    // Logical contents, in the shape the former derived impl produced.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QuantizedMatrix")
+            .field("rows", &self.rows)
+            .field("cols", &self.cols)
+            .field("q", &self.q_slice())
+            .field("scales", &self.scales)
+            .finish()
+    }
+}
+
+impl PartialEq for QuantizedMatrix {
+    fn eq(&self, other: &QuantizedMatrix) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self.q_slice() == other.q_slice()
+            && self.scales == other.scales
+    }
 }
 
 impl QuantizedMatrix {
@@ -56,7 +101,47 @@ impl QuantizedMatrix {
                 *qv = (wv / scales[c]).round().clamp(-127.0, 127.0) as i8;
             }
         }
-        QuantizedMatrix { rows, cols, q, scales }
+        QuantizedMatrix { rows, cols, q, scales, shared_q: None }
+    }
+
+    /// Rebuilds a quantized matrix from owned parts (container loading).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q.len() != rows * cols` or `scales.len() != cols`.
+    pub fn from_parts(rows: usize, cols: usize, q: Vec<i8>, scales: Vec<f32>) -> QuantizedMatrix {
+        assert_eq!(q.len(), rows * cols, "quantized shape mismatch");
+        assert_eq!(scales.len(), cols, "one scale per column");
+        QuantizedMatrix { rows, cols, q, scales, shared_q: None }
+    }
+
+    /// A quantized matrix borrowing its int8 block zero-copy from a shared
+    /// source, starting at element `start` of [`I8Source::i8s`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range does not fit in the source or
+    /// `scales.len() != cols`.
+    pub fn from_shared(
+        rows: usize,
+        cols: usize,
+        src: Arc<dyn I8Source>,
+        start: usize,
+        scales: Vec<f32>,
+    ) -> QuantizedMatrix {
+        let len = rows * cols;
+        assert!(
+            start.checked_add(len).is_some_and(|end| end <= src.i8s().len()),
+            "shared range out of bounds"
+        );
+        assert_eq!(scales.len(), cols, "one scale per column");
+        QuantizedMatrix {
+            rows,
+            cols,
+            q: Vec::new(),
+            scales,
+            shared_q: Some(SharedI8 { src, start, len }),
+        }
     }
 
     /// Number of rows.
@@ -69,13 +154,37 @@ impl QuantizedMatrix {
         self.cols
     }
 
+    /// The flat int8 block (row-major).
+    pub fn q_slice(&self) -> &[i8] {
+        match &self.shared_q {
+            Some(s) => s.as_slice(),
+            None => &self.q,
+        }
+    }
+
+    /// The per-column dequantization scales.
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
+    /// Returns `true` while the int8 block is borrowed from a shared source.
+    pub fn is_shared(&self) -> bool {
+        self.shared_q.is_some()
+    }
+
+    /// Bytes borrowed from a shared source (0 once owned).
+    pub fn shared_bytes(&self) -> usize {
+        self.shared_q.as_ref().map_or(0, |s| s.len)
+    }
+
     /// Dequantizes back to `f32` (testing aid; round-trip error is bounded
     /// by half a quantization step per element).
     pub fn dequantize(&self) -> Matrix {
         let mut out = Matrix::zeros(self.rows, self.cols);
+        let q = self.q_slice();
         for r in 0..self.rows {
             for c in 0..self.cols {
-                out.set(r, c, f32::from(self.q[r * self.cols + c]) * self.scales[c]);
+                out.set(r, c, f32::from(q[r * self.cols + c]) * self.scales[c]);
             }
         }
         out
@@ -92,6 +201,7 @@ impl QuantizedMatrix {
     pub fn matmul_dyn_into(&self, a: &Matrix, out: &mut Matrix, relu: bool, qa: &mut Vec<i8>) {
         assert_eq!(a.cols(), self.rows, "matmul shape mismatch");
         out.reset(a.rows(), self.cols);
+        let qm = self.q_slice();
         qa.clear();
         qa.resize(self.rows, 0);
         for r in 0..a.rows() {
@@ -112,7 +222,7 @@ impl QuantizedMatrix {
             for (c, d) in dst.iter_mut().enumerate() {
                 let mut acc = 0i32;
                 for (k, &qv) in qa.iter().enumerate() {
-                    acc += i32::from(qv) * i32::from(self.q[k * self.cols + c]);
+                    acc += i32::from(qv) * i32::from(qm[k * self.cols + c]);
                 }
                 let v = acc as f32 * a_scale * self.scales[c];
                 *d = if relu { v.max(0.0) } else { v };
@@ -154,9 +264,45 @@ impl QuantizedGcn {
         }
     }
 
+    /// Rebuilds a quantized model from already-quantized parts (container
+    /// loading: the int8 tables come straight off the mapped bytes instead
+    /// of being re-derived from the f32 weights).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layer chain is empty or dimensions do not line up.
+    pub fn from_quantized_parts(
+        config: GcnConfig,
+        convs: Vec<QuantizedMatrix>,
+        head: Matrix,
+    ) -> QuantizedGcn {
+        assert!(!convs.is_empty(), "at least one conv layer");
+        assert_eq!(convs[0].rows(), config.input_dim, "first layer input dim");
+        assert_eq!(head.rows(), config.hidden_dim, "head input dim");
+        assert_eq!(head.cols(), config.num_classes, "head output dim");
+        QuantizedGcn { config, convs, head }
+    }
+
     /// The model configuration (shared with the source [`Gcn`]).
     pub fn config(&self) -> &GcnConfig {
         &self.config
+    }
+
+    /// The int8 convolution weights, in layer order.
+    pub fn convs(&self) -> &[QuantizedMatrix] {
+        &self.convs
+    }
+
+    /// The f32 classification head.
+    pub fn head(&self) -> &Matrix {
+        &self.head
+    }
+
+    /// Total bytes the weights borrow zero-copy from mapped storage
+    /// (0 for a fully owned model).
+    pub fn mapped_weight_bytes(&self) -> usize {
+        self.convs.iter().map(QuantizedMatrix::shared_bytes).sum::<usize>()
+            + self.head.shared_bytes()
     }
 
     /// Predicts the class of one graph.

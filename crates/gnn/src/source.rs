@@ -1,0 +1,32 @@
+//! Borrowed weight storage: traits a [`crate::Matrix`] /
+//! [`crate::QuantizedMatrix`] can read its elements from without owning
+//! them.
+//!
+//! `tiara-container` implements these over 8-byte-aligned mapped file
+//! bytes, which is how model weights load zero-copy: the matrix holds an
+//! `Arc<dyn F32Source>` plus a range instead of a `Vec<f32>`, and any
+//! mutation first materializes an owned copy (copy-on-write).
+
+/// A provider of an `f32` slice that outlives the matrices borrowing it.
+pub trait F32Source: Send + Sync {
+    /// The full backing slice; views index a sub-range of it.
+    fn f32s(&self) -> &[f32];
+}
+
+/// A provider of an `i8` slice that outlives the matrices borrowing it.
+pub trait I8Source: Send + Sync {
+    /// The full backing slice; views index a sub-range of it.
+    fn i8s(&self) -> &[i8];
+}
+
+impl F32Source for Vec<f32> {
+    fn f32s(&self) -> &[f32] {
+        self
+    }
+}
+
+impl I8Source for Vec<i8> {
+    fn i8s(&self) -> &[i8] {
+        self
+    }
+}

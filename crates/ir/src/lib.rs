@@ -83,5 +83,5 @@ pub use label::{ContainerClass, DebugInfo, VarAddr, VarRecord};
 pub use opcode::Opcode;
 pub use operand::{Addr, Loc, MemAddr, Operand, OperandType};
 pub use parse::{parse_program, ParseError};
-pub use program::{BuildError, Label, Program, ProgramBuilder};
+pub use program::{BuildError, Label, Program, ProgramBuilder, RawProgram};
 pub use reg::Reg;

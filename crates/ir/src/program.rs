@@ -243,6 +243,72 @@ impl Program {
     pub fn num_cfg_edges(&self) -> usize {
         self.cfg_succs.iter().map(Vec::len).sum()
     }
+
+    /// The program's structural fields, exposed for mutation.
+    ///
+    /// Pair with [`Program::from_raw_unchecked`] to build deliberately
+    /// damaged programs for verifier tests (the one thing a `Program` whose
+    /// invariants were upheld at construction can never become).
+    pub fn to_raw(&self) -> RawProgram {
+        RawProgram {
+            insts: self.insts.clone(),
+            funcs: self.funcs.clone(),
+            inst_func: self.inst_func.clone(),
+            flow_succs: self.flow_succs.clone(),
+            cfg_succs: self.cfg_succs.clone(),
+            cfg_preds: self.cfg_preds.clone(),
+            call_jump_target: self.call_jump_target.clone(),
+            fn_allocates: self.fn_allocates.clone(),
+            fn_frees: self.fn_frees.clone(),
+            entry_func: self.entry_func,
+        }
+    }
+
+    /// Reassembles a program from raw fields **without any validation** —
+    /// the structural equivalent of deserializing hand-edited JSON. The
+    /// result may violate every CFG invariant; feed it only to
+    /// `tiara_verify` (which must reject it), never to the pipeline.
+    pub fn from_raw_unchecked(raw: RawProgram) -> Program {
+        Program {
+            insts: raw.insts,
+            funcs: raw.funcs,
+            inst_func: raw.inst_func,
+            flow_succs: raw.flow_succs,
+            cfg_succs: raw.cfg_succs,
+            cfg_preds: raw.cfg_preds,
+            call_jump_target: raw.call_jump_target,
+            fn_allocates: raw.fn_allocates,
+            fn_frees: raw.fn_frees,
+            entry_func: raw.entry_func,
+        }
+    }
+}
+
+/// The public mirror of [`Program`]'s private fields (see
+/// [`Program::to_raw`]). Field meanings match the originals one-to-one;
+/// nothing here is checked.
+#[derive(Debug, Clone)]
+pub struct RawProgram {
+    /// The instruction list.
+    pub insts: Vec<Inst>,
+    /// The function table (ranges should tile `insts`).
+    pub funcs: Vec<Function>,
+    /// Owning function of each instruction.
+    pub inst_func: Vec<FuncId>,
+    /// Intra-procedural flow successors per instruction.
+    pub flow_succs: Vec<Vec<InstId>>,
+    /// CFG successors per instruction.
+    pub cfg_succs: Vec<Vec<InstId>>,
+    /// CFG predecessors per instruction.
+    pub cfg_preds: Vec<Vec<InstId>>,
+    /// Whether each instruction is a call/jump target.
+    pub call_jump_target: Vec<bool>,
+    /// Whether each function allocates.
+    pub fn_allocates: Vec<bool>,
+    /// Whether each function frees.
+    pub fn_frees: Vec<bool>,
+    /// The entry function.
+    pub entry_func: FuncId,
 }
 
 #[derive(Debug)]

@@ -1,11 +1,12 @@
 //! Corruption tests: `Program` keeps its CFG invariants private, so these
-//! tests go through its serde representation — serialize a well-formed
-//! program, damage one structural fact in the JSON, deserialize, and check
+//! tests use the `RawProgram` escape hatch — take a well-formed program
+//! apart, damage one structural fact, reassemble it unchecked, and check
 //! that the CFG pass rejects the result (and that the later passes are
 //! skipped rather than panicking on the broken structure).
 
-use serde_json::Value;
-use tiara_ir::{InstKind, Opcode, Operand, Program, ProgramBuilder, Reg};
+use tiara_ir::{
+    FuncId, InstId, InstKind, Opcode, Operand, Program, ProgramBuilder, RawProgram, Reg,
+};
 use tiara_verify::{verify, PassId};
 
 /// A small two-function program that verifies clean.
@@ -24,14 +25,14 @@ fn clean_program() -> Program {
     b.finish().expect("program builds")
 }
 
-/// Applies `mutate` to the serde representation of a clean program and
-/// returns the re-deserialized, damaged program.
-fn corrupt(mutate: impl FnOnce(&mut Value)) -> Program {
+/// Applies `mutate` to the raw fields of a clean program and reassembles
+/// the damaged program without validation.
+fn corrupt(mutate: impl FnOnce(&mut RawProgram)) -> Program {
     let prog = clean_program();
     assert!(verify(&prog).is_clean(), "baseline program must be clean");
-    let mut v = serde_json::to_value(&prog).expect("program serializes");
-    mutate(&mut v);
-    serde_json::from_value(v).expect("mutated program deserializes")
+    let mut raw = prog.to_raw();
+    mutate(&mut raw);
+    Program::from_raw_unchecked(raw)
 }
 
 fn cfg_errors(prog: &Program) -> usize {
@@ -47,18 +48,16 @@ fn cfg_errors(prog: &Program) -> usize {
 
 #[test]
 fn dangling_cfg_edge_is_rejected() {
-    let prog = corrupt(|v| {
-        let succs = v["cfg_succs"][0].as_array_mut().expect("edge list");
-        succs.push(Value::from(9999));
+    let prog = corrupt(|raw| {
+        raw.cfg_succs[0].push(InstId(9999));
     });
     assert!(cfg_errors(&prog) >= 1);
 }
 
 #[test]
 fn dangling_flow_edge_is_rejected() {
-    let prog = corrupt(|v| {
-        let succs = v["flow_succs"][0].as_array_mut().expect("edge list");
-        succs.push(Value::from(12345));
+    let prog = corrupt(|raw| {
+        raw.flow_succs[0].push(InstId(12345));
     });
     assert!(cfg_errors(&prog) >= 1);
 }
@@ -67,8 +66,8 @@ fn dangling_flow_edge_is_rejected() {
 fn overlapping_function_table_is_rejected() {
     // Stretch callee's range into main: the table no longer tiles the
     // instruction list.
-    let prog = corrupt(|v| {
-        v["funcs"][0]["end"] = Value::from(3);
+    let prog = corrupt(|raw| {
+        raw.funcs[0].end = InstId(3);
     });
     assert!(cfg_errors(&prog) >= 1);
 }
@@ -76,10 +75,9 @@ fn overlapping_function_table_is_rejected() {
 #[test]
 fn inconsistent_inst_func_map_is_rejected() {
     // Claim main's ret belongs to callee while the table says otherwise.
-    let prog = corrupt(|v| {
-        let map = v["inst_func"].as_array_mut().expect("inst_func map");
-        let last = map.len() - 1;
-        map[last] = Value::from(0);
+    let prog = corrupt(|raw| {
+        let last = raw.inst_func.len() - 1;
+        raw.inst_func[last] = FuncId(0);
     });
     assert!(cfg_errors(&prog) >= 1);
 }
@@ -88,9 +86,17 @@ fn inconsistent_inst_func_map_is_rejected() {
 fn cross_function_flow_edge_is_rejected() {
     // A flow edge from callee's mov straight into main's body: flow is an
     // intra-procedural relation, so this must be flagged.
-    let prog = corrupt(|v| {
-        let succs = v["flow_succs"][0].as_array_mut().expect("edge list");
-        succs.push(Value::from(3));
+    let prog = corrupt(|raw| {
+        raw.flow_succs[0].push(InstId(3));
     });
     assert!(cfg_errors(&prog) >= 1);
+}
+
+#[test]
+fn raw_round_trip_of_an_undamaged_program_stays_clean() {
+    let prog = clean_program();
+    let rebuilt = Program::from_raw_unchecked(prog.to_raw());
+    assert!(verify(&rebuilt).is_clean(), "an unmutated raw round-trip must stay clean");
+    assert_eq!(rebuilt.num_insts(), prog.num_insts());
+    assert_eq!(rebuilt.funcs().len(), prog.funcs().len());
 }
