@@ -14,14 +14,19 @@
 //!               [--epochs N] [--sslice]
 //! tiara predict --binary prog.tira --model model.tc --addr <ADDR>
 //! tiara inspect model.tc [--json]
-//! tiara serve   --model model.tc [--listen HOST:PORT] [--workers N]
-//!               [--queue N] [--max-batch N] [--deadline-ms N] [--no-persist]
+//! tiara serve   --model model.tc | --models a=a.tc b=b.tc [--listen HOST:PORT]
+//!               [--workers N] [--queue N] [--max-batch N] [--deadline-ms N]
+//!               [--max-conns N] [--idle-timeout-ms N] [--no-persist]
 //! ```
 //!
 //! Model files are `.tc` containers (see `tiara-container`): weights are
-//! mapped zero-copy at load, and `serve` persists the slice cache back into
-//! the container on shutdown so the next process starts warm. Legacy JSON
-//! bundles still load (detected by the magic bytes).
+//! mapped zero-copy at load, and `serve` persists each model's slice cache
+//! back into its container on shutdown so the next process starts warm.
+//! Legacy JSON bundles still load (detected by the magic bytes).
+//!
+//! `serve` speaks protocol v2: `--model` loads one model under the
+//! `default` alias (the v1 shape), `--models ALIAS=PATH...` loads several;
+//! more can be loaded, aliased, and unloaded at runtime over the wire.
 //!
 //! `<ADDR>` is `0x74404` / `74404h` for a global, or `func:<name>:<offset>`
 //! for a frame slot (e.g. `func:fn_0000:-0x18`).
@@ -35,8 +40,9 @@
 //! Failures map to distinct codes so scripts can branch without scraping
 //! stderr: `2` usage, and [`tiara::Error::exit_code`] for pipeline errors
 //! (`3` I/O, `4` serialization, `5` untrained model, `6` unknown variable,
-//! `7` empty dataset, `8` slice, `9` persistence, `10` serve). `1` is
-//! reserved for unclassified errors.
+//! `7` empty dataset, `8` slice, `9` persistence, `10` serve, `11` unknown
+//! model alias, `12` model busy, `13` overloaded, `14` connection limit).
+//! `1` is reserved for unclassified errors.
 
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -47,7 +53,7 @@ use tiara_ir::{
     assemble, disassemble, format_inst, format_program, parse_program, parse_var_addr, DebugInfo,
     Program, VarAddr,
 };
-use tiara_serve::{ServeConfig, Server};
+use tiara_serve::{Registry, ServeConfig, Server};
 use tiara_slice::{tslice_with, TsliceConfig};
 
 fn usage() -> &'static str {
@@ -64,14 +70,18 @@ fn usage() -> &'static str {
                    [--batch N] [--sslice] [--reference-mode]\n\
      tiara predict --binary prog.tira --model model.tc --addr ADDR [--quantized]\n\
      tiara inspect model.tc [--json]\n\
-     tiara serve   --model model.tc [--listen HOST:PORT] [--workers N] [--queue N]\n\
-                   [--max-batch N] [--deadline-ms N] [--quantized] [--no-persist]\n\
+     tiara serve   --model model.tc | --models ALIAS=PATH [ALIAS=PATH ...]\n\
+                   [--listen HOST:PORT] [--workers N] [--queue N] [--max-batch N]\n\
+                   [--deadline-ms N] [--max-conns N] [--idle-timeout-ms N]\n\
+                   [--quantized] [--no-persist]\n\
      \n\
      ADDR: 0x74404 | 74404h (global) | func:<name>:<offset> (frame slot)\n\
      every command also accepts --threads N (default: TIARA_THREADS or all cores)\n\
-     `serve` answers newline-delimited JSON on stdin/stdout, or on TCP with --listen;\n\
-     on shutdown it persists the slice cache into the model container (--no-persist\n\
-     to skip). `inspect` prints a .tc container's header and section table.\n\
+     `serve` answers newline-delimited JSON (protocol v2) on stdin/stdout, or on a\n\
+     multiplexed TCP reactor with --listen; --model loads under the `default` alias,\n\
+     --models loads several, and model_load/model_alias/model_unload work at runtime.\n\
+     On shutdown each model's slice cache is persisted into its container\n\
+     (--no-persist to skip). `inspect` prints a .tc container's header and sections.\n\
      --reference-mode trains on the per-sample autodiff tape (slow, bitwise-identical\n\
      reference for the batched engine); --quantized serves int8-quantized inference"
 }
@@ -128,17 +138,34 @@ fn main() -> ExitCode {
 }
 
 fn run() -> Result<(), CliError> {
-    let mut args = std::env::args().skip(1);
+    let mut args = std::env::args().skip(1).peekable();
     let command = args.next().ok_or_else(|| CliError::Usage(usage().to_owned()))?;
     let mut flags: HashMap<String, String> = HashMap::new();
     let mut switches: Vec<String> = Vec::new();
     let mut positional: Vec<String> = Vec::new();
+    let mut models: Vec<String> = Vec::new();
     while let Some(a) = args.next() {
         if let Some(name) = a.strip_prefix("--") {
             match name {
                 "sslice" | "trace" | "dot" | "json" | "stats" | "reference" | "interproc"
                 | "vsa" | "reference-mode" | "quantized" | "no-persist" => {
                     switches.push(name.to_owned());
+                }
+                // `--models` greedily takes every following ALIAS=PATH pair,
+                // so `--models a=a.tc b=b.tc` loads two models.
+                "models" => {
+                    let before = models.len();
+                    while let Some(next) = args.peek() {
+                        if next.starts_with("--") || !next.contains('=') {
+                            break;
+                        }
+                        models.extend(args.next());
+                    }
+                    if models.len() == before {
+                        return Err(CliError::Usage(
+                            "--models expects one or more ALIAS=PATH pairs".into(),
+                        ));
+                    }
                 }
                 _ => {
                     let v = args
@@ -406,23 +433,49 @@ fn run() -> Result<(), CliError> {
             }
         }
         "serve" => {
-            let model_path = get("model")?.clone();
-            let mut tiara = load_model(&model_path)?;
-            if has("quantized") {
-                tiara.set_quantized_inference(true);
-                if !tiara.quantized_inference_active() {
-                    eprintln!("--quantized has no effect: model has no quantizable GCN");
+            // `--model m.tc` is the v1 shape (one model, `default` alias);
+            // `--models a=a.tc b=b.tc` names each alias explicitly. Both can
+            // be combined, and more models can be loaded over the wire.
+            let mut specs: Vec<(String, String)> = Vec::new();
+            if let Some(m) = flags.get("model") {
+                specs.push((tiara_serve::DEFAULT_ALIAS.to_owned(), m.clone()));
+            }
+            for pair in &models {
+                let (alias, path) = pair
+                    .split_once('=')
+                    .filter(|(a, p)| !a.is_empty() && !p.is_empty())
+                    .ok_or_else(|| {
+                        CliError::Usage(format!("--models entry `{pair}` is not ALIAS=PATH"))
+                    })?;
+                specs.push((alias.to_owned(), path.to_owned()));
+            }
+            if specs.is_empty() {
+                return Err(CliError::Usage(format!(
+                    "serve needs --model PATH or --models ALIAS=PATH\n{}",
+                    usage()
+                )));
+            }
+            let registry = Registry::new();
+            for (alias, path) in &specs {
+                let mut tiara = load_model(path)?;
+                if has("quantized") {
+                    tiara.set_quantized_inference(true);
+                    if !tiara.quantized_inference_active() {
+                        eprintln!("--quantized has no effect on {path}: no quantizable GCN");
+                    }
                 }
+                let restored = tiara.restored_cache_entries();
+                if restored > 0 {
+                    eprintln!("restored {restored} cached slice(s) from {path}");
+                }
+                let (entry, fresh) = registry.insert(alias, tiara, Some(path.clone()))?;
+                eprintln!(
+                    "model {alias:<16} digest {:016x}  {}",
+                    entry.digest(),
+                    if fresh { path.as_str() } else { "(shared weights, aliased)" }
+                );
             }
-            let restored = tiara.restored_cache_entries();
-            if restored > 0 {
-                eprintln!("restored {restored} cached slice(s) from {model_path}");
-            }
-            // On shutdown, write the (possibly grown) slice cache back into
-            // the container so the next process starts warm. Legacy JSON
-            // bundles are never rewritten in place.
-            let persist = !has("no-persist") && is_container_file(&model_path);
-            let keeper = persist.then(|| tiara.clone());
+            let persist = !has("no-persist");
             let mut config = ServeConfig::default();
             if let Some(w) = flags.get("workers") {
                 config.workers =
@@ -440,7 +493,15 @@ fn run() -> Result<(), CliError> {
                 config.default_deadline_ms =
                     Some(d.parse().map_err(|e| CliError::Usage(format!("--deadline-ms: {e}")))?);
             }
-            let server = Arc::new(Server::new(tiara, config)?);
+            if let Some(c) = flags.get("max-conns") {
+                config.max_conns =
+                    c.parse().map_err(|e| CliError::Usage(format!("--max-conns: {e}")))?;
+            }
+            if let Some(t) = flags.get("idle-timeout-ms") {
+                config.idle_timeout_ms =
+                    t.parse().map_err(|e| CliError::Usage(format!("--idle-timeout-ms: {e}")))?;
+            }
+            let server = Arc::new(Server::new(registry, config)?);
             match flags.get("listen") {
                 Some(addr) => {
                     let listener = std::net::TcpListener::bind(addr)
@@ -465,12 +526,19 @@ fn run() -> Result<(), CliError> {
                 }
             }
             eprintln!("tiara-serve drained and stopped");
-            if let Some(t) = keeper {
-                t.save_with_cache(&PathBuf::from(&model_path))?;
-                eprintln!(
-                    "persisted {} cached slice(s) to {model_path}",
-                    tiara::slice_cache::stats().entries
-                );
+            // On shutdown, write the (possibly grown) slice cache back into
+            // each model's container so the next process starts warm. Models
+            // loaded over the wire persist too; legacy JSON bundles and
+            // digest-deduped aliases (one entry per digest) are skipped.
+            if persist {
+                for entry in server.registry().entries() {
+                    let Some(src) = entry.source().map(str::to_owned) else { continue };
+                    if !is_container_file(&src) {
+                        continue;
+                    }
+                    entry.tiara().save_with_cache(&PathBuf::from(&src))?;
+                    eprintln!("persisted slice cache to {src}");
+                }
             }
         }
         other => return Err(CliError::Usage(format!("unknown command `{other}`\n{}", usage()))),
@@ -670,5 +738,10 @@ mod tests {
             CliError::Pipeline(Error::Serve("s".into())).exit_code(),
             Error::Serve("s".into()).exit_code()
         );
+        // Protocol v2 registry/admission failures keep their own codes.
+        assert_eq!(CliError::Pipeline(Error::UnknownModel("m".into())).exit_code(), 11);
+        assert_eq!(CliError::Pipeline(Error::ModelBusy("m".into())).exit_code(), 12);
+        assert_eq!(CliError::Pipeline(Error::Overloaded("o".into())).exit_code(), 13);
+        assert_eq!(CliError::Pipeline(Error::ConnLimit("c".into())).exit_code(), 14);
     }
 }

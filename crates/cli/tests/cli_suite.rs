@@ -14,11 +14,12 @@ fn tiara(args: &[&str]) -> Output {
         .expect("spawning the tiara binary")
 }
 
-/// Runs `tiara serve --model <model>` on stdio, feeding it `input` and
-/// returning its stdout (one response line per request).
-fn serve_once(model: &Path, input: &str) -> String {
+/// Runs `tiara serve <args>` on stdio, feeding it `input` and returning its
+/// stdout (one response line per request).
+fn serve_args(args: &[&str], input: &str) -> String {
     let mut child = Command::new(env!("CARGO_BIN_EXE_tiara"))
-        .args(["serve", "--model", model.to_str().unwrap()])
+        .arg("serve")
+        .args(args)
         .stdin(Stdio::piped())
         .stdout(Stdio::piped())
         .stderr(Stdio::piped())
@@ -28,6 +29,12 @@ fn serve_once(model: &Path, input: &str) -> String {
     let out = child.wait_with_output().expect("waiting for tiara serve");
     assert!(out.status.success(), "serve failed: {}", String::from_utf8_lossy(&out.stderr));
     String::from_utf8(out.stdout).unwrap()
+}
+
+/// Runs `tiara serve --model <model>` on stdio, feeding it `input` and
+/// returning its stdout (one response line per request).
+fn serve_once(model: &Path, input: &str) -> String {
+    serve_args(&["--model", model.to_str().unwrap()], input)
 }
 
 /// Trains a tiny system in-process and saves it as a `.tc` container next to
@@ -291,6 +298,107 @@ fn serve_persists_and_reuses_the_slice_cache_across_processes() {
     let want = format!("\"slice_cache\":{{\"hits\":{},\"misses\":0", addrs.len());
     assert!(stats.contains(&want), "expected {want} in stats: {stats}");
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Trains a second, distinct model (different seed → different digest) and
+/// saves it as `model-b.tc` in `dir`.
+fn second_model(dir: &Path) -> PathBuf {
+    let bin = tiara_synth::generate(&tiara_synth::ProjectSpec {
+        name: "clm-b".into(),
+        index: 3,
+        seed: 77,
+        counts: tiara_synth::TypeCounts { list: 2, vector: 1, primitive: 3, ..Default::default() },
+    });
+    let mut t =
+        tiara::Tiara::new(tiara::TiaraConfig::new().with_classifier(tiara::ClassifierConfig {
+            epochs: 2,
+            batch_size: 4,
+            ..Default::default()
+        }));
+    t.train(&[("clm-b", &bin.program, &bin.debug)]).unwrap();
+    let model = dir.join("model-b.tc");
+    t.save(&model).unwrap();
+    model
+}
+
+#[test]
+fn serve_models_flag_loads_two_models_and_routes_predicts() {
+    let dir = tempdir("multi-model");
+    let (model_a, prog, addrs) = trained_model(&dir);
+    let model_b = second_model(&dir);
+    let addr_list = addrs.iter().map(|a| format!("\"{a}\"")).collect::<Vec<_>>().join(",");
+    let prog_path = prog.to_str().unwrap();
+    let input = format!(
+        "{{\"op\":\"hello\",\"id\":1}}\n\
+         {{\"op\":\"predict\",\"program_path\":\"{prog_path}\",\"addrs\":[{addr_list}],\"model\":\"a\",\"id\":2}}\n\
+         {{\"op\":\"predict\",\"program_path\":\"{prog_path}\",\"addrs\":[{addr_list}],\"model\":\"b\",\"id\":3}}\n\
+         {{\"op\":\"predict\",\"program_path\":\"{prog_path}\",\"addrs\":[{addr_list}],\"model\":\"nope\",\"id\":4}}\n\
+         {{\"op\":\"model_list\",\"id\":5}}\n\
+         {{\"op\":\"shutdown\"}}\n"
+    );
+    let spec_a = format!("a={}", model_a.to_str().unwrap());
+    let spec_b = format!("b={}", model_b.to_str().unwrap());
+    let out = serve_args(&["--models", &spec_a, &spec_b, "--no-persist"], &input);
+    let lines: Vec<&str> = out.lines().collect();
+
+    assert!(lines[0].contains("\"proto\":2"), "hello must carry proto 2: {}", lines[0]);
+    assert!(lines[0].contains("\"models\":[\"a\",\"b\"]"), "hello models: {}", lines[0]);
+    assert!(lines[1].contains("\"ok\":true"), "predict via a failed: {}", lines[1]);
+    assert!(lines[2].contains("\"ok\":true"), "predict via b failed: {}", lines[2]);
+    // Distinct weights must answer from distinct models — the two responses
+    // differ beyond their ids.
+    assert_ne!(
+        lines[1].replace("\"id\":2", ""),
+        lines[2].replace("\"id\":3", ""),
+        "models a and b answered identically; routing is broken"
+    );
+    assert!(lines[3].contains("\"kind\":\"unknown_model\""), "bad alias: {}", lines[3]);
+    assert!(lines[4].contains("\"count\":2"), "model_list count: {}", lines[4]);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_wire_ops_round_trip_load_alias_unload() {
+    let dir = tempdir("wire-registry");
+    let (model_a, prog, addrs) = trained_model(&dir);
+    let addr_list = addrs.iter().map(|a| format!("\"{a}\"")).collect::<Vec<_>>().join(",");
+    let prog_path = prog.to_str().unwrap();
+    let model_path = model_a.to_str().unwrap();
+    let input = format!(
+        "{{\"op\":\"model_load\",\"model\":\"fresh\",\"path\":\"{model_path}\",\"id\":1}}\n\
+         {{\"op\":\"model_alias\",\"alias\":\"canary\",\"model\":\"fresh\",\"id\":2}}\n\
+         {{\"op\":\"predict\",\"program_path\":\"{prog_path}\",\"addrs\":[{addr_list}],\"model\":\"canary\",\"id\":3}}\n\
+         {{\"op\":\"model_unload\",\"model\":\"canary\",\"id\":4}}\n\
+         {{\"op\":\"model_unload\",\"model\":\"fresh\",\"id\":5}}\n\
+         {{\"op\":\"predict\",\"program_path\":\"{prog_path}\",\"addrs\":[{addr_list}],\"model\":\"fresh\",\"id\":6}}\n\
+         {{\"op\":\"shutdown\"}}\n"
+    );
+    // Start with only the default model; load/alias/unload happen over the
+    // wire against the same container file.
+    let out = serve_once(&model_a, &input);
+    let lines: Vec<&str> = out.lines().collect();
+
+    // The container is already loaded as `default`, so the wire load dedups
+    // by digest instead of mapping the weights twice.
+    assert!(lines[0].contains("\"ok\":true"), "model_load failed: {}", lines[0]);
+    assert!(lines[0].contains("\"fresh\":false"), "digest dedup missing: {}", lines[0]);
+    assert!(lines[1].contains("\"ok\":true"), "model_alias failed: {}", lines[1]);
+    assert!(lines[2].contains("\"ok\":true"), "predict via alias failed: {}", lines[2]);
+    // Dropping both wire aliases leaves `default` holding the model.
+    assert!(lines[3].contains("\"dropped\":false"), "unload canary: {}", lines[3]);
+    assert!(lines[4].contains("\"dropped\":false"), "unload fresh: {}", lines[4]);
+    assert!(lines[5].contains("\"kind\":\"unknown_model\""), "stale alias: {}", lines[5]);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_models_flag_rejects_malformed_pairs() {
+    let bad = tiara(&["serve", "--models", "not-a-pair"]);
+    assert_eq!(bad.status.code(), Some(2), "malformed --models must be a usage error");
+    let err = String::from_utf8_lossy(&bad.stderr);
+    assert!(err.contains("ALIAS=PATH"), "stderr should show the expected shape: {err}");
+    let none = tiara(&["serve"]);
+    assert_eq!(none.status.code(), Some(2), "serve without models must be a usage error");
 }
 
 #[test]

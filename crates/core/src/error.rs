@@ -30,6 +30,15 @@ pub enum Error {
     /// A serving-layer failure (protocol violation, queue overflow,
     /// deadline exceeded, daemon shutting down).
     Serve(String),
+    /// A request named a model alias the registry does not hold.
+    UnknownModel(String),
+    /// A model could not be unloaded because requests are still in flight.
+    ModelBusy(String),
+    /// The daemon shed the request because its admission cost budget was
+    /// exhausted.
+    Overloaded(String),
+    /// The daemon refused a connection because it was at its connection cap.
+    ConnLimit(String),
 }
 
 impl Error {
@@ -47,6 +56,10 @@ impl Error {
     /// | 8    | slicing failure             |
     /// | 9    | invalid model bundle        |
     /// | 10   | serving failure             |
+    /// | 11   | unknown model alias         |
+    /// | 12   | model busy (in-flight work) |
+    /// | 13   | admission overload shed     |
+    /// | 14   | connection cap reached      |
     ///
     /// (Exit code 1 is reserved for unclassified errors, 2 for usage errors
     /// raised before any pipeline stage runs.)
@@ -60,6 +73,10 @@ impl Error {
             Error::Slice(_) => 8,
             Error::Persistence(_) => 9,
             Error::Serve(_) => 10,
+            Error::UnknownModel(_) => 11,
+            Error::ModelBusy(_) => 12,
+            Error::Overloaded(_) => 13,
+            Error::ConnLimit(_) => 14,
         }
     }
 }
@@ -75,6 +92,10 @@ impl std::fmt::Display for Error {
             Error::Slice(m) => write!(f, "slicing failed: {m}"),
             Error::Persistence(m) => write!(f, "invalid model bundle: {m}"),
             Error::Serve(m) => write!(f, "serving failed: {m}"),
+            Error::UnknownModel(m) => write!(f, "no model loaded under alias `{m}`"),
+            Error::ModelBusy(m) => write!(f, "model `{m}` has requests in flight"),
+            Error::Overloaded(m) => write!(f, "request shed under load: {m}"),
+            Error::ConnLimit(m) => write!(f, "connection limit reached: {m}"),
         }
     }
 }
@@ -139,9 +160,13 @@ mod tests {
             Error::Slice("s".into()),
             Error::Persistence("p".into()),
             Error::Serve("q".into()),
+            Error::UnknownModel("m".into()),
+            Error::ModelBusy("m".into()),
+            Error::Overloaded("o".into()),
+            Error::ConnLimit("c".into()),
         ];
         let codes: Vec<u8> = all.iter().map(Error::exit_code).collect();
-        assert_eq!(codes, vec![3, 4, 5, 6, 7, 8, 9, 10]);
+        assert_eq!(codes, vec![3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14]);
         let mut dedup = codes.clone();
         dedup.sort_unstable();
         dedup.dedup();

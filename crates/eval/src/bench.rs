@@ -1,5 +1,5 @@
 //! The `tiara-eval bench` mode: measured slicing/encoding/training
-//! throughput at 1 vs N threads, emitted as text or as `BENCH_PR9.json`.
+//! throughput at 1 vs N threads, emitted as text or as `BENCH_PR10.json`.
 //!
 //! Every later perf PR regenerates this file and compares: the report
 //! carries slices/sec, graphs/sec (slice→graph + feature encoding with a
@@ -34,16 +34,26 @@
 //! baseline, with bitwise response and model-digest equality checks between
 //! the two paths.
 //!
+//! Since PR 10 the report also measures the **multiplexed serving path**: a
+//! real TCP daemon (the nonblocking reactor) holding two distinct models,
+//! driven by N concurrent clients that interleave model-addressed predict
+//! batches, plus a connection-scaling sweep (ping round-trip with 1, 64,
+//! and 256 idle connections held open). The daemon's own latency histogram
+//! provides p50/p99, and per-client wall times give a fairness ratio.
+//!
 //! JSON is rendered by hand (no serde round-trip) so the output is a plain
 //! artifact of the harness itself.
 
 use std::fmt::Write as _;
 use std::hash::{DefaultHasher, Hash, Hasher};
+use std::io::{BufRead as _, BufReader, Write as _};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
 use tiara::{slice_cache, Classifier, ClassifierConfig, Dataset, Slicer, Tiara, TiaraConfig};
 use tiara_gnn::TrainStats;
 use tiara_ir::VarAddr;
 use tiara_par::Executor;
-use tiara_serve::{ServeConfig, Server};
+use tiara_serve::{Registry, ServeConfig, Server};
 use tiara_slice::SliceStats;
 use tiara_synth::Binary;
 
@@ -152,6 +162,57 @@ pub struct ColdStartBench {
     pub digests_equal: bool,
 }
 
+/// One point in the connection-scaling sweep: `conns` idle connections are
+/// held open against the reactor, then a ping round-trip is measured
+/// through one more connection — idle connections must not tax latency.
+#[derive(Debug, Clone)]
+pub struct ConnScalePoint {
+    /// Idle connections held open during the probe.
+    pub conns: usize,
+    /// Wall time to open them all, seconds.
+    pub connect_secs: f64,
+    /// Best-of-several ping round-trip through a fresh connection while the
+    /// idle connections stay open, microseconds.
+    pub ping_us: u64,
+}
+
+/// Measurements of the multiplexed multi-model serving path: a real TCP
+/// daemon (the nonblocking reactor) holding two distinct models, driven by
+/// N concurrent clients interleaving model-addressed predict batches.
+#[derive(Debug, Clone)]
+pub struct MultiplexBench {
+    /// Concurrent predicting clients.
+    pub clients: usize,
+    /// Distinct models served (distinct digests).
+    pub models: usize,
+    /// Predict requests per client.
+    pub requests_per_client: usize,
+    /// Addresses per predict request.
+    pub batch: usize,
+    /// Total addresses answered in the timed region.
+    pub total_addrs: usize,
+    /// Timed-region wall time, seconds.
+    pub wall_secs: f64,
+    /// Served throughput across all clients, addresses/second.
+    pub addrs_per_sec: f64,
+    /// Daemon-side p50 request latency (queue wait + inference), µs.
+    pub p50_us: u64,
+    /// Daemon-side p99 request latency, µs.
+    pub p99_us: u64,
+    /// Slowest client wall time / fastest client wall time — the WRR
+    /// admission queue should keep this near 1.
+    pub fairness_ratio: f64,
+    /// Every client got byte-identical responses for the same request on
+    /// the same model, and a post-run repeat reproduced them.
+    pub responses_identical: bool,
+    /// Peak simultaneously-open connections the daemon observed.
+    pub conns_peak: u64,
+    /// Predict requests each model answered (alias order).
+    pub per_model_requests: Vec<u64>,
+    /// The connection-scaling sweep.
+    pub scaling: Vec<ConnScalePoint>,
+}
+
 /// The full bench report.
 #[derive(Debug, Clone)]
 pub struct BenchReport {
@@ -163,6 +224,8 @@ pub struct BenchReport {
     pub serve: ServeBench,
     /// The cold-start measurements (container vs legacy JSON).
     pub cold_start: ColdStartBench,
+    /// The multiplexed multi-model serving measurements.
+    pub multiplex: MultiplexBench,
     /// `slices_per_sec(N) / slices_per_sec(1)`.
     pub slicing_speedup: f64,
     /// `epoch_secs(1) / epoch_secs(N)`.
@@ -331,8 +394,8 @@ fn upload(server: &Server, bin: &Binary) {
 
 fn bench_serve(bins: &[Binary], cfg: &BenchConfig) -> ServeBench {
     let bin = &bins[0];
-    let server =
-        Server::new(bench_tiara(bin, cfg), ServeConfig::default()).expect("trained model serves");
+    let server = Server::with_model(bench_tiara(bin, cfg), ServeConfig::default())
+        .expect("trained model serves");
     upload(&server, bin);
 
     const BATCH: usize = 16;
@@ -363,7 +426,8 @@ fn bench_serve(bins: &[Binary], cfg: &BenchConfig) -> ServeBench {
     // cache so the delta is pure inference. Labels must agree with f32.
     let mut qtiara = bench_tiara(bin, cfg);
     qtiara.set_quantized_inference(true);
-    let qserver = Server::new(qtiara, ServeConfig::default()).expect("quantized model serves");
+    let qserver =
+        Server::with_model(qtiara, ServeConfig::default()).expect("quantized model serves");
     upload(&qserver, bin);
     for r in &requests {
         let _ = qserver.handle_line(r); // prime caches
@@ -453,6 +517,192 @@ fn bench_cold_start(bins: &[Binary], cfg: &BenchConfig) -> ColdStartBench {
     }
 }
 
+/// A blocking line-protocol client for the multiplex bench: one socket,
+/// one buffered reader, strict request/response lockstep.
+struct MuxClient {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl MuxClient {
+    fn connect(addr: std::net::SocketAddr) -> MuxClient {
+        let stream = TcpStream::connect(addr).expect("bench client connects");
+        let _ = stream.set_nodelay(true);
+        let reader = BufReader::new(stream.try_clone().expect("bench stream clones"));
+        MuxClient { stream, reader }
+    }
+
+    fn roundtrip(&mut self, line: &str) -> String {
+        self.stream.write_all(line.as_bytes()).expect("bench request writes");
+        self.stream.write_all(b"\n").expect("bench request writes");
+        let mut resp = String::new();
+        self.reader.read_line(&mut resp).expect("bench response reads");
+        resp.truncate(resp.trim_end().len());
+        resp
+    }
+}
+
+/// Concurrent clients in the multiplex bench's timed region.
+const MUX_CLIENTS: usize = 6;
+/// Distinct models (distinct digests) the daemon serves.
+const MUX_MODELS: usize = 2;
+/// Predict requests per client, rotating across models.
+const MUX_REQUESTS: usize = 12;
+/// Addresses per predict request.
+const MUX_BATCH: usize = 8;
+/// Idle-connection counts for the scaling sweep.
+const MUX_SCALING: &[usize] = &[1, 64, 256];
+
+/// Measures the multiplexed multi-model serving path over real TCP: two
+/// distinct models behind one reactor, a connection-scaling sweep, then
+/// N concurrent clients interleaving model-addressed batches.
+fn bench_multiplex(bins: &[Binary], cfg: &BenchConfig) -> MultiplexBench {
+    use tiara_serve::json::Value;
+    let bin = &bins[0];
+    let registry = Registry::new();
+    for m in 0..MUX_MODELS {
+        // Different seeds, same suite: genuinely different weights/digests.
+        let mcfg = BenchConfig { seed: cfg.seed + m as u64, ..cfg.clone() };
+        registry
+            .insert(&format!("m{m}"), bench_tiara(bin, &mcfg), None)
+            .expect("trained model registers");
+    }
+    let server = Arc::new(Server::new(registry, ServeConfig::default()).expect("registry serves"));
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bench listener binds");
+    let addr = listener.local_addr().expect("bench listener has an addr");
+    let reactor = {
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || server.run_tcp(listener))
+    };
+
+    let mut main = MuxClient::connect(addr);
+    // One upload serves every connection: the program store is shared.
+    let hex = tiara_serve::protocol::hex_encode(&tiara_ir::assemble(&bin.program));
+    let up = main
+        .roundtrip(&format!("{{\"op\":\"upload\",\"handle\":\"b\",\"program_hex\":\"{hex}\"}}"));
+    assert!(up.contains("\"ok\":true"), "bench upload failed: {up}");
+
+    // Connection scaling: hold N idle connections open, then measure a ping
+    // round-trip through a fresh one — idle connections are buffers, not
+    // threads, and must not tax latency.
+    let mut scaling = Vec::new();
+    for &n in MUX_SCALING {
+        let t0 = std::time::Instant::now();
+        let idle: Vec<MuxClient> = (0..n).map(|_| MuxClient::connect(addr)).collect();
+        let connect_secs = t0.elapsed().as_secs_f64();
+        let mut probe = MuxClient::connect(addr);
+        let mut ping_us = u64::MAX;
+        for _ in 0..5 {
+            let t = std::time::Instant::now();
+            let pong = probe.roundtrip("{\"op\":\"ping\"}");
+            assert!(pong.contains("\"ok\":true"), "ping failed under {n} idle conns: {pong}");
+            ping_us = ping_us.min(t.elapsed().as_micros() as u64);
+        }
+        scaling.push(ConnScalePoint { conns: n, connect_secs, ping_us });
+        drop(idle);
+    }
+
+    // Every client sends the same rotation of (model, address-chunk) pairs,
+    // so responses for the same request index must agree byte-for-byte
+    // across clients.
+    let notations: Vec<String> =
+        bin.debug.vars.iter().map(|v| addr_notation(bin, v.addr)).collect();
+    let chunks: Vec<(String, usize)> = notations
+        .chunks(MUX_BATCH)
+        .map(|c| (c.iter().map(|a| format!("\"{a}\"")).collect::<Vec<_>>().join(","), c.len()))
+        .collect();
+    let mut per_client_addrs = 0usize;
+    let requests: Arc<Vec<String>> = Arc::new(
+        (0..MUX_REQUESTS)
+            .map(|i| {
+                let (chunk, len) = &chunks[i % chunks.len()];
+                per_client_addrs += len;
+                format!(
+                    "{{\"op\":\"predict\",\"program\":\"b\",\"addrs\":[{chunk}],\"model\":\"m{}\"}}",
+                    i % MUX_MODELS
+                )
+            })
+            .collect(),
+    );
+    // Prime the slice cache so the timed region measures serving throughput,
+    // not first-touch slicing.
+    for r in requests.iter() {
+        let resp = main.roundtrip(r);
+        assert!(resp.contains("\"ok\":true"), "bench prime failed: {resp}");
+    }
+
+    let t0 = std::time::Instant::now();
+    let clients: Vec<_> = (0..MUX_CLIENTS)
+        .map(|_| {
+            let requests = Arc::clone(&requests);
+            std::thread::spawn(move || {
+                let mut client = MuxClient::connect(addr);
+                let t = std::time::Instant::now();
+                let mut firsts = Vec::new();
+                for (i, r) in requests.iter().enumerate() {
+                    let resp = client.roundtrip(r);
+                    assert!(resp.contains("\"ok\":true"), "bench predict failed: {resp}");
+                    if i < MUX_MODELS {
+                        firsts.push(resp);
+                    }
+                }
+                (t.elapsed().as_secs_f64(), firsts)
+            })
+        })
+        .collect();
+    let results: Vec<(f64, Vec<String>)> =
+        clients.into_iter().map(|c| c.join().expect("bench client thread")).collect();
+    let wall_secs = t0.elapsed().as_secs_f64();
+
+    let mut responses_identical = results.windows(2).all(|w| w[0].1 == w[1].1);
+    for (i, r) in requests.iter().take(MUX_MODELS).enumerate() {
+        responses_identical &= main.roundtrip(r) == results[0].1[i];
+    }
+    let fastest = results.iter().map(|r| r.0).fold(f64::MAX, f64::min);
+    let slowest = results.iter().map(|r| r.0).fold(0.0f64, f64::max);
+
+    let stats = tiara_serve::json::parse(&main.roundtrip("{\"op\":\"stats\"}"))
+        .expect("stats reply parses");
+    let quant = |q: &str| {
+        stats.get("latency_us").and_then(|l| l.get(q)).and_then(Value::as_i64).unwrap_or(0) as u64
+    };
+    let conns_peak =
+        stats.get("connections").and_then(|c| c.get("peak")).and_then(Value::as_i64).unwrap_or(0)
+            as u64;
+    let per_model_requests: Vec<u64> = stats
+        .get("models")
+        .and_then(Value::as_array)
+        .map(|ms| {
+            ms.iter()
+                .map(|m| m.get("requests").and_then(Value::as_i64).unwrap_or(0) as u64)
+                .collect()
+        })
+        .unwrap_or_default();
+
+    let bye = main.roundtrip("{\"op\":\"shutdown\"}");
+    assert!(bye.contains("\"ok\":true"), "bench shutdown failed: {bye}");
+    reactor.join().expect("reactor thread").expect("reactor io");
+    slice_cache::clear();
+
+    let total_addrs = per_client_addrs * MUX_CLIENTS;
+    MultiplexBench {
+        clients: MUX_CLIENTS,
+        models: MUX_MODELS,
+        requests_per_client: MUX_REQUESTS,
+        batch: MUX_BATCH,
+        total_addrs,
+        wall_secs,
+        addrs_per_sec: total_addrs as f64 / wall_secs.max(1e-9),
+        p50_us: quant("p50"),
+        p99_us: quant("p99"),
+        fairness_ratio: slowest / fastest.max(1e-9),
+        responses_identical,
+        conns_peak,
+        per_model_requests,
+        scaling,
+    }
+}
+
 /// Runs the bench: the Table I suite at `scale`, sliced and trained at
 /// 1 thread and at `config.threads` threads, then the serving path.
 pub fn run_bench(config: &BenchConfig) -> BenchReport {
@@ -464,6 +714,7 @@ pub fn run_bench(config: &BenchConfig) -> BenchReport {
     let reference_digest_match = reference_digest(&bins, config) == runs[0].model_digest;
     let serve = bench_serve(&bins, config);
     let cold_start = bench_cold_start(&bins, config);
+    let multiplex = bench_multiplex(&bins, config);
     // Restore the executor configuration for whatever runs next.
     tiara_par::set_global_threads(prev_threads);
 
@@ -479,6 +730,7 @@ pub fn run_bench(config: &BenchConfig) -> BenchReport {
         runs,
         serve,
         cold_start,
+        multiplex,
     }
 }
 
@@ -488,7 +740,7 @@ pub fn render_json(r: &BenchReport) -> String {
     let mut s = String::new();
     let _ = write!(
         s,
-        "{{\n  \"bench\": \"PR9\",\n  \"scale\": {},\n  \"epochs\": {},\n  \"seed\": {},\n  \"host_cpus\": {},\n  \"runs\": [",
+        "{{\n  \"bench\": \"PR10\",\n  \"scale\": {},\n  \"epochs\": {},\n  \"seed\": {},\n  \"host_cpus\": {},\n  \"runs\": [",
         r.config.scale, r.config.epochs, r.config.seed, r.host_cpus
     );
     for (i, run) in r.runs.iter().enumerate() {
@@ -569,6 +821,39 @@ pub fn render_json(r: &BenchReport) -> String {
         cs.responses_identical,
         cs.digests_equal
     );
+    let mx = &r.multiplex;
+    let _ = write!(
+        s,
+        "  \"multiplex\": {{\"clients\": {}, \"models\": {}, \"requests_per_client\": {}, \
+         \"batch\": {}, \"total_addrs\": {},\n                \"wall_secs\": {:.6}, \
+         \"addrs_per_sec\": {:.2}, \"p50_us\": {}, \"p99_us\": {}, \"fairness_ratio\": {:.3},\n                \
+         \"responses_identical\": {}, \"conns_peak\": {}, \"per_model_requests\": [{}],\n                \
+         \"scaling\": [",
+        mx.clients,
+        mx.models,
+        mx.requests_per_client,
+        mx.batch,
+        mx.total_addrs,
+        mx.wall_secs,
+        mx.addrs_per_sec,
+        mx.p50_us,
+        mx.p99_us,
+        mx.fairness_ratio,
+        mx.responses_identical,
+        mx.conns_peak,
+        mx.per_model_requests.iter().map(u64::to_string).collect::<Vec<_>>().join(", ")
+    );
+    for (i, p) in mx.scaling.iter().enumerate() {
+        let _ = write!(
+            s,
+            "{}{{\"conns\": {}, \"connect_secs\": {:.6}, \"ping_us\": {}}}",
+            if i == 0 { "" } else { ", " },
+            p.conns,
+            p.connect_secs,
+            p.ping_us
+        );
+    }
+    s.push_str("]},\n");
     let _ = write!(
         s,
         "  \"slicing_speedup\": {:.3},\n  \"epoch_speedup\": {:.3},\n  \
@@ -666,6 +951,29 @@ pub fn render_text(r: &BenchReport) -> String {
          restored (legacy json parse ok: {})",
         cs.container_bytes, cs.mapped_weight_bytes, cs.restored_cache_entries, cs.legacy_parse_ok
     );
+    let mx = &r.multiplex;
+    let _ = writeln!(
+        s,
+        "multiplex: {} clients x {} models, {} addrs in {:.3}s ({:.1} addrs/s); p50 {}us, \
+         p99 {}us; fairness {:.2}x; identical: {}; peak conns {}",
+        mx.clients,
+        mx.models,
+        mx.total_addrs,
+        mx.wall_secs,
+        mx.addrs_per_sec,
+        mx.p50_us,
+        mx.p99_us,
+        mx.fairness_ratio,
+        mx.responses_identical,
+        mx.conns_peak
+    );
+    for p in &mx.scaling {
+        let _ = writeln!(
+            s,
+            "  {} idle conns: connect {:.4}s, ping {}us",
+            p.conns, p.connect_secs, p.ping_us
+        );
+    }
     s
 }
 
@@ -706,8 +1014,20 @@ mod tests {
         assert!(cs.restored_cache_entries > 0, "persisted slice-cache shards must restore");
         assert!(cs.responses_identical, "container path must answer bitwise-identically");
         assert!(cs.digests_equal, "loaded model digests must match the json path");
+        let mx = &report.multiplex;
+        assert_eq!(mx.models, 2);
+        assert!(mx.total_addrs > 0, "multiplex bench served no addresses");
+        assert!(mx.responses_identical, "multiplexed responses must be byte-identical");
+        assert!(mx.conns_peak >= 256, "scaling sweep must actually hold 256 connections");
+        assert_eq!(mx.per_model_requests.len(), 2);
+        assert!(mx.per_model_requests.iter().all(|&n| n > 0), "both models must see traffic");
+        assert_eq!(mx.scaling.len(), 3);
         let json = render_json(&report);
-        assert!(json.contains("\"bench\": \"PR9\""));
+        assert!(json.contains("\"bench\": \"PR10\""));
+        assert!(json.contains("\"multiplex\""));
+        assert!(json.contains("\"p99_us\""));
+        assert!(json.contains("\"scaling\""));
+        assert!(json.contains("\"conns_peak\""));
         assert!(json.contains("\"cold_start\""));
         assert!(json.contains("\"cold_start_secs\""));
         assert!(json.contains("\"cold_addrs_per_sec\""));
@@ -728,6 +1048,8 @@ mod tests {
         assert!(text.contains("trainer counters"));
         assert!(text.contains("served:"));
         assert!(text.contains("quantized"));
+        assert!(text.contains("multiplex:"));
+        assert!(text.contains("idle conns"));
         // The fast path did real work on a real suite: steps were taken and
         // per-edge snapshots were avoided.
         let st = &report.runs[0].slice_stats;

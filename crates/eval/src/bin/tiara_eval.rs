@@ -18,7 +18,7 @@
 //!                 (`--json [--out FILE]` writes DISCOVERY_PR7.json)
 //!   extended      six-class extension (std::deque and std::set added)
 //!   bench         pipeline throughput at 1 vs N threads
-//!                 (`--json [--out FILE]` writes BENCH_PR9.json)
+//!                 (`--json [--out FILE]` writes BENCH_PR10.json)
 //!   all           everything above
 //! ```
 
@@ -172,7 +172,7 @@ fn main() -> ExitCode {
             let report = tiara_eval::bench::run_bench(&cfg);
             print!("{}", tiara_eval::bench::render_text(&report));
             if opts.json {
-                let path = opts.out.clone().unwrap_or_else(|| "BENCH_PR9.json".to_owned());
+                let path = opts.out.clone().unwrap_or_else(|| "BENCH_PR10.json".to_owned());
                 std::fs::write(&path, tiara_eval::bench::render_json(&report))
                     .unwrap_or_else(|e| panic!("writing {path}: {e}"));
                 eprintln!("[tiara-eval] wrote {path}");

@@ -1,0 +1,396 @@
+//! Cost-aware, per-client-fair admission control for the predict queue.
+//!
+//! Replaces the old single bounded FIFO with three coupled mechanisms:
+//!
+//! 1. **Per-client lanes** — jobs queue per client key (peer address), and
+//!    workers dequeue by weighted round-robin across lanes, so one greedy
+//!    client can saturate only its own lane, never another client's
+//!    latency. Equal weights (the default) degenerate to plain round-robin.
+//! 2. **Cost-aware budgeting** — every job carries a cost estimate (address
+//!    count × the model's observed slicer steps per address), and the queue
+//!    tracks total queued cost, not just job count: one 4096-address batch
+//!    occupies the budget 4096 batches of one address would.
+//! 3. **Tiered shedding** — a full client lane rejects with `queue_full`
+//!    (that client should back off; others are unaffected). Total queued
+//!    cost past the *soft* limit sheds probabilistically (a deterministic
+//!    rotor, so tests and replays agree), ramping linearly until the *hard*
+//!    limit rejects everything. `close()` wakes workers for shutdown.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Condvar, Mutex, PoisonError};
+
+/// Why [`AdmissionQueue::try_push`] refused a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmitError {
+    /// This client's lane is at capacity; the caller should retry later.
+    QueueFull,
+    /// The server-wide cost budget is exhausted (hard limit) or the request
+    /// lost the shed lottery in the soft band. Carries the queued cost that
+    /// triggered the shed.
+    Overloaded {
+        /// Total cost queued when the job was shed.
+        queued_cost: u64,
+    },
+    /// The queue was closed (the server is shutting down).
+    Closed,
+}
+
+struct Lane<T> {
+    key: String,
+    items: VecDeque<(u64, T)>,
+    /// Dequeues left this round (replenished to the client's weight).
+    credit: u32,
+}
+
+struct Inner<T> {
+    lanes: Vec<Lane<T>>,
+    /// WRR cursor into `lanes`.
+    next: usize,
+    weights: HashMap<String, u32>,
+    queued: usize,
+    queued_cost: u64,
+    max_depth: usize,
+    /// Deterministic shed rotor: job `n` in the soft band sheds iff
+    /// `n % 100 < shed_pct`.
+    shed_seq: u64,
+    closed: bool,
+}
+
+/// A multi-lane admission queue shared between request handlers (producers)
+/// and worker threads (consumers).
+pub struct AdmissionQueue<T> {
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+    per_client_capacity: usize,
+    soft_cost: u64,
+    hard_cost: u64,
+}
+
+impl<T> AdmissionQueue<T> {
+    /// Creates a queue: at most `per_client_capacity` jobs per client lane,
+    /// probabilistic shedding past `soft_cost` total queued cost, hard
+    /// rejection at `hard_cost`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero capacity or a budget with `hard_cost <= soft_cost`.
+    pub fn new(per_client_capacity: usize, soft_cost: u64, hard_cost: u64) -> AdmissionQueue<T> {
+        assert!(per_client_capacity > 0, "per-client capacity must be positive");
+        assert!(hard_cost > soft_cost, "hard cost limit must exceed the soft limit");
+        AdmissionQueue {
+            inner: Mutex::new(Inner {
+                lanes: Vec::new(),
+                next: 0,
+                weights: HashMap::new(),
+                queued: 0,
+                queued_cost: 0,
+                max_depth: 0,
+                shed_seq: 0,
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            per_client_capacity,
+            soft_cost,
+            hard_cost,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner<T>> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Sets a client's WRR weight (dequeues per round; default 1).
+    pub fn set_weight(&self, client: &str, weight: u32) {
+        self.lock().weights.insert(client.to_owned(), weight.max(1));
+    }
+
+    /// Enqueues a job for `client` with admission cost `cost`.
+    ///
+    /// # Errors
+    ///
+    /// [`AdmitError::QueueFull`] when the client's lane is at capacity,
+    /// [`AdmitError::Overloaded`] when the cost budget sheds the job,
+    /// [`AdmitError::Closed`] after [`AdmissionQueue::close`].
+    pub fn try_push(&self, client: &str, cost: u64, item: T) -> Result<(), AdmitError> {
+        let mut g = self.lock();
+        if g.closed {
+            return Err(AdmitError::Closed);
+        }
+        let lane_depth = g.lanes.iter().find(|l| l.key == client).map_or(0, |l| l.items.len());
+        if lane_depth >= self.per_client_capacity {
+            return Err(AdmitError::QueueFull);
+        }
+        let queued_cost = g.queued_cost;
+        if queued_cost >= self.hard_cost {
+            return Err(AdmitError::Overloaded { queued_cost });
+        }
+        if queued_cost >= self.soft_cost {
+            let band = self.hard_cost - self.soft_cost;
+            let shed_pct = ((queued_cost - self.soft_cost) * 100 / band).clamp(1, 99);
+            let seq = g.shed_seq;
+            g.shed_seq += 1;
+            if seq % 100 < shed_pct {
+                return Err(AdmitError::Overloaded { queued_cost });
+            }
+        }
+        match g.lanes.iter_mut().find(|l| l.key == client) {
+            Some(lane) => lane.items.push_back((cost, item)),
+            None => {
+                let credit = g.weights.get(client).copied().unwrap_or(1);
+                let mut items = VecDeque::new();
+                items.push_back((cost, item));
+                g.lanes.push(Lane { key: client.to_owned(), items, credit });
+            }
+        }
+        g.queued += 1;
+        g.queued_cost += cost;
+        g.max_depth = g.max_depth.max(g.queued);
+        drop(g);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until a job is available, returning `None` once the queue is
+    /// closed *and* drained. Dequeue order is weighted round-robin across
+    /// client lanes, FIFO within a lane.
+    pub fn pop(&self) -> Option<T> {
+        let mut g = self.lock();
+        loop {
+            if g.queued > 0 {
+                return Some(dequeue_wrr(&mut g));
+            }
+            if g.closed {
+                return None;
+            }
+            g = self.ready.wait(g).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Closes the queue: future pushes fail, and blocked poppers return
+    /// `None` once the remaining jobs drain.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Jobs currently waiting (not counting in-flight work).
+    pub fn depth(&self) -> usize {
+        self.lock().queued
+    }
+
+    /// The deepest the queue has ever been (jobs, across all lanes).
+    pub fn max_depth(&self) -> usize {
+        self.lock().max_depth
+    }
+
+    /// Total admission cost currently queued.
+    pub fn queued_cost(&self) -> u64 {
+        self.lock().queued_cost
+    }
+
+    /// Client lanes currently holding jobs.
+    pub fn active_clients(&self) -> usize {
+        self.lock().lanes.iter().filter(|l| !l.items.is_empty()).count()
+    }
+
+    /// The per-client lane capacity.
+    pub fn capacity(&self) -> usize {
+        self.per_client_capacity
+    }
+
+    /// The soft (shed-band start) cost limit.
+    pub fn soft_cost(&self) -> u64 {
+        self.soft_cost
+    }
+
+    /// The hard cost limit.
+    pub fn hard_cost(&self) -> u64 {
+        self.hard_cost
+    }
+}
+
+/// Takes the next job by weighted round-robin. Caller guarantees
+/// `g.queued > 0`.
+fn dequeue_wrr<T>(g: &mut Inner<T>) -> T {
+    loop {
+        let n = g.lanes.len();
+        for i in 0..n {
+            let idx = (g.next + i) % n;
+            let lane = &mut g.lanes[idx];
+            if lane.credit > 0 && !lane.items.is_empty() {
+                let (cost, item) = lane.items.pop_front().expect("lane checked non-empty");
+                lane.credit -= 1;
+                let spent = lane.credit == 0;
+                g.queued -= 1;
+                g.queued_cost -= cost;
+                if g.lanes[idx].items.is_empty() {
+                    // Drop the drained lane so rotation only covers live
+                    // clients; weights persist in the map.
+                    g.lanes.remove(idx);
+                    g.next = if g.lanes.is_empty() { 0 } else { idx % g.lanes.len() };
+                } else if spent {
+                    g.next = (idx + 1) % n;
+                } else {
+                    // Credit remains: the cursor stays so a weight-w client
+                    // really gets w consecutive dequeues per round.
+                    g.next = idx;
+                }
+                return item;
+            }
+        }
+        // Every lane with items is out of credit: start a new round.
+        for lane in &mut g.lanes {
+            lane.credit = g.weights.get(&lane.key).copied().unwrap_or(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_within_a_lane_and_capacity_rejection() {
+        let q = AdmissionQueue::new(2, 1_000, 2_000);
+        q.try_push("a", 1, 1).unwrap();
+        q.try_push("a", 1, 2).unwrap();
+        assert_eq!(q.try_push("a", 1, 3), Err(AdmitError::QueueFull));
+        // Another client is unaffected by a's full lane.
+        q.try_push("b", 1, 10).unwrap();
+        assert_eq!(q.depth(), 3);
+        assert_eq!(q.max_depth(), 3);
+        let mut got = vec![q.pop().unwrap(), q.pop().unwrap(), q.pop().unwrap()];
+        got.sort_unstable();
+        assert_eq!(got, [1, 2, 10]);
+        assert_eq!(q.depth(), 0);
+        assert_eq!(q.capacity(), 2);
+    }
+
+    #[test]
+    fn round_robin_interleaves_clients() {
+        let q = AdmissionQueue::new(16, 1 << 40, 1 << 41);
+        for i in 0..3 {
+            q.try_push("a", 1, ("a", i)).unwrap();
+        }
+        for i in 0..3 {
+            q.try_push("b", 1, ("b", i)).unwrap();
+        }
+        let order: Vec<_> = (0..6).map(|_| q.pop().unwrap()).collect();
+        assert_eq!(
+            order,
+            [("a", 0), ("b", 0), ("a", 1), ("b", 1), ("a", 2), ("b", 2)],
+            "equal weights alternate strictly"
+        );
+    }
+
+    #[test]
+    fn weights_skew_the_rotation() {
+        let q = AdmissionQueue::new(16, 1 << 40, 1 << 41);
+        q.set_weight("heavy", 2);
+        for i in 0..4 {
+            q.try_push("heavy", 1, ("h", i)).unwrap();
+        }
+        for i in 0..2 {
+            q.try_push("light", 1, ("l", i)).unwrap();
+        }
+        let order: Vec<_> = (0..6).map(|_| q.pop().unwrap()).collect();
+        // heavy gets two dequeues per round to light's one.
+        assert_eq!(order, [("h", 0), ("h", 1), ("l", 0), ("h", 2), ("h", 3), ("l", 1)]);
+    }
+
+    #[test]
+    fn cost_budget_sheds_deterministically() {
+        // soft=100, hard=200: at queued_cost 150 the shed pct is 50.
+        let q = AdmissionQueue::new(1_000, 100, 200);
+        q.try_push("a", 150, 0).unwrap();
+        let mut admitted = 0;
+        let mut shed = 0;
+        for i in 1..=100 {
+            match q.try_push("b", 0, i) {
+                Ok(()) => admitted += 1,
+                Err(AdmitError::Overloaded { queued_cost }) => {
+                    shed += 1;
+                    assert_eq!(queued_cost, 150);
+                }
+                Err(e) => panic!("unexpected {e:?}"),
+            }
+        }
+        assert_eq!((admitted, shed), (50, 50), "50% band sheds exactly half");
+        // Past the hard limit everything is rejected.
+        while q.pop().is_some() {
+            if q.depth() == 0 {
+                break;
+            }
+        }
+        q.try_push("a", 250, 0).unwrap();
+        assert!(matches!(q.try_push("b", 1, 1), Err(AdmitError::Overloaded { .. })));
+    }
+
+    #[test]
+    fn close_rejects_pushes_but_drains_remaining_jobs() {
+        let q = AdmissionQueue::new(4, 1_000, 2_000);
+        q.try_push("a", 1, "x").unwrap();
+        q.close();
+        assert_eq!(q.try_push("a", 1, "y"), Err(AdmitError::Closed));
+        assert_eq!(q.pop(), Some("x"));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None, "closed + empty stays None");
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumers() {
+        let q = Arc::new(AdmissionQueue::<u32>::new(1, 100, 200));
+        let waiter = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(waiter.join().unwrap(), None);
+    }
+
+    #[test]
+    fn many_producers_many_consumers_deliver_everything_once() {
+        let q = Arc::new(AdmissionQueue::new(8, 1 << 40, 1 << 41));
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(v) = q.pop() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let key = format!("client-{p}");
+                    for i in 0..50u32 {
+                        let v = p * 1000 + i;
+                        loop {
+                            match q.try_push(&key, 1, v) {
+                                Ok(()) => break,
+                                Err(AdmitError::QueueFull) => std::thread::yield_now(),
+                                Err(e) => panic!("unexpected {e:?}"),
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        let mut all: Vec<u32> = consumers.into_iter().flat_map(|c| c.join().unwrap()).collect();
+        all.sort_unstable();
+        let want: Vec<u32> = (0..4).flat_map(|p| (0..50).map(move |i| p * 1000 + i)).collect();
+        assert_eq!(all, want, "every job delivered exactly once");
+        assert_eq!(q.queued_cost(), 0, "cost accounting drains to zero");
+    }
+}

@@ -1,36 +1,55 @@
 //! # tiara-serve
 //!
-//! A long-running inference daemon for the TIARA reproduction: load a
-//! trained model once, then answer container-type queries over a
-//! newline-delimited JSON protocol — on TCP for real clients, on
+//! A long-running multi-model inference daemon for the TIARA reproduction:
+//! load one or more trained model containers, then answer container-type
+//! queries over a newline-delimited JSON protocol — on TCP (a nonblocking
+//! reactor multiplexing thousands of connections) for real clients, on
 //! stdin/stdout for tests and shell pipelines.
 //!
-//! ## Protocol
+//! ## Protocol (v2)
 //!
-//! One JSON object per line in, one per line out (see [`protocol`]):
+//! One JSON object per line in, one per line out (see [`protocol`]). Every
+//! request may address a model by alias; requests that omit `model` resolve
+//! against the `default` alias, so v1 clients keep working unchanged:
 //!
 //! ```text
+//! → {"op":"hello"}
+//! ← {"ok":true,"proto":2,"op":"hello","server":"tiara-serve","version":"0.1.0",
+//!    "models":["default"],"capabilities":[...],"max_batch":4096}
+//! → {"op":"model_load","model":"v2","path":"models/v2.tc"}
+//! ← {"ok":true,"proto":2,"op":"model_load","model":"v2","digest":"9f...","fresh":true,...}
 //! → {"op":"upload","handle":"app","program_hex":"544952..."}
-//! ← {"ok":true,"op":"upload","handle":"app","funcs":12,"insts":340,"fingerprint":"9f..."}
-//! → {"op":"predict","program":"app","addrs":["0x74404","func:fn_0003:-0x18"],"id":1}
-//! ← {"ok":true,"op":"predict","complete":true,"answered":2,"requested":2,
-//!    "results":[{"addr":"0x74404","class":"std::vector",...},...],"id":1}
+//! ← {"ok":true,"proto":2,"op":"upload","handle":"app","funcs":12,"insts":340,...}
+//! → {"op":"predict","program":"app","addrs":["0x74404"],"model":"v2","id":1}
+//! ← {"ok":true,"proto":2,"op":"predict","complete":true,"answered":1,"requested":1,
+//!    "results":[{"addr":"0x74404","class":"std::vector",...}],"id":1}
 //! ```
 //!
 //! ## Production shape
 //!
-//! * **Backpressure** — predict batches land in a bounded queue
-//!   ([`queue::BoundedQueue`]); at capacity the server answers `queue_full`
-//!   with a `retry_after_ms` hint instead of buffering unboundedly.
+//! * **Multiplexed connections** — the TCP front end is a single-threaded
+//!   nonblocking reactor (`reactor`, internal): per-connection read/write
+//!   buffers, an idle timeout, and a connection cap, with predict work
+//!   executed by a fixed worker pool. Idle connections cost a buffer, not a
+//!   thread.
+//! * **Model registry** — models live in a [`registry::Registry`] keyed by
+//!   content digest with aliases on top; `model_load` / `model_unload` /
+//!   `model_alias` / `model_list` manage them at runtime, and refcounts make
+//!   unload safe while requests are in flight.
+//! * **Admission control** — predict batches land in a cost-aware,
+//!   per-client weighted-round-robin queue ([`admission::AdmissionQueue`]):
+//!   per-client lane caps answer `queue_full`, and a slice-step cost budget
+//!   sheds probabilistically (`overloaded`) before hard-rejecting.
 //! * **Deadlines** — each request may carry `deadline_ms`; work is chunked
 //!   so an expired deadline returns the answered prefix with
 //!   `"complete":false` rather than nothing.
 //! * **Graceful shutdown** — a `shutdown` request (or stdio EOF) drains
 //!   queued and in-flight work, refuses new work with `shutting_down`, and
-//!   stops the workers.
-//! * **Observability** — a `stats` request reports request counters, queue
-//!   depth, latency quantiles, slice-cache hits, and the slicer's hot-loop
-//!   counter rollups.
+//!   stops the workers; the reactor then flushes and closes every
+//!   connection.
+//! * **Observability** — a `stats` request reports request counters,
+//!   per-model stats, queue and admission state, connection gauges, latency
+//!   quantiles, slice-cache hits, and the slicer's hot-loop counter rollups.
 //! * **Determinism** — the same predict request always renders the same
 //!   bytes: classification is bitwise thread-invariant
 //!   ([`tiara::Tiara::predict_batch`]), responses are rendered by an
@@ -39,15 +58,19 @@
 //!
 //! The codec is hand-rolled and dependency-free on purpose: the daemon and
 //! its tests must run in offline environments where no JSON crate is
-//! available at runtime.
+//! available at runtime — the reactor likewise sticks to `std` nonblocking
+//! sockets rather than a platform poller.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod admission;
 pub mod json;
 pub mod metrics;
 pub mod protocol;
-pub mod queue;
+mod reactor;
+pub mod registry;
 mod server;
 
-pub use server::{ServeConfig, Server};
+pub use registry::{ModelEntry, ModelHandle, Registry, UnloadOutcome};
+pub use server::{ServeConfig, Server, DEFAULT_ALIAS};

@@ -1,17 +1,69 @@
-//! Daemon-side counters and a latency histogram for the `stats` endpoint.
+//! Daemon-side counters and latency histograms for the `stats` endpoint.
 //!
 //! Everything here is lock-free (`AtomicU64` with relaxed ordering): the
 //! counters sit on the request hot path and must never serialize concurrent
-//! connections. Quantiles come from a fixed log2-bucketed histogram —
+//! connections. Quantiles come from a fixed log2-bucketed [`Histogram`] —
 //! microsecond-exact percentiles are not worth a mutex around a sorted
 //! vector, and bucket resolution (~2× per step) is plenty to tell a healthy
-//! daemon from a drowning one.
+//! daemon from a drowning one. The registry embeds one `Histogram` per model
+//! so `stats` can report per-model p50/p99 alongside the server-wide view.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Number of log2 latency buckets. Bucket `i` holds latencies in
 /// `[2^i, 2^(i+1))` µs; 40 buckets cover up to ~2^40 µs ≈ 12 days.
 const BUCKETS: usize = 40;
+
+/// A lock-free log2-bucketed latency histogram.
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Histogram {
+        Histogram { buckets: std::array::from_fn(|_| AtomicU64::new(0)), count: AtomicU64::new(0) }
+    }
+
+    /// Records one latency observation in microseconds.
+    pub fn observe_us(&self, us: u64) {
+        let bucket = (63 - us.max(1).leading_zeros()) as usize;
+        self.buckets[bucket.min(BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// The upper bound (µs) of the bucket containing quantile `q` (0..=1),
+    /// or 0 with no observations. An upper bound so the report errs
+    /// pessimistic.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        // ceil(q * total), clamped into 1..=total.
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return 1u64 << (i + 1);
+            }
+        }
+        1u64 << BUCKETS
+    }
+}
 
 /// Atomic counter set for one server instance.
 pub struct Metrics {
@@ -23,18 +75,33 @@ pub struct Metrics {
     pub addrs_total: AtomicU64,
     /// Programs stored via `upload`.
     pub uploads: AtomicU64,
+    /// Models loaded via `model_load` (startup loads included).
+    pub model_loads: AtomicU64,
+    /// Models dropped via `model_unload`.
+    pub model_unloads: AtomicU64,
     /// Predict requests rejected with `queue_full`.
     pub rejected_queue_full: AtomicU64,
+    /// Predict requests shed with `overloaded`.
+    pub rejected_overloaded: AtomicU64,
     /// Predict requests rejected with `oversized_batch`.
     pub rejected_oversized: AtomicU64,
     /// Predict requests rejected because the server was draining.
     pub rejected_shutting_down: AtomicU64,
+    /// Requests naming a model alias the registry does not hold.
+    pub rejected_unknown_model: AtomicU64,
     /// Lines that failed to parse or validate.
     pub malformed: AtomicU64,
     /// Predict responses cut short by their deadline.
     pub deadline_partial: AtomicU64,
-    latency_buckets: [AtomicU64; BUCKETS],
-    latency_count: AtomicU64,
+    /// Currently open reactor connections (gauge).
+    pub conns_open: AtomicU64,
+    /// High-water mark of simultaneously open connections.
+    pub conns_peak: AtomicU64,
+    /// Connections refused at the connection cap.
+    pub conn_limit_rejects: AtomicU64,
+    /// Connections closed by the idle timeout.
+    pub idle_disconnects: AtomicU64,
+    latency: Histogram,
 }
 
 impl Default for Metrics {
@@ -51,13 +118,20 @@ impl Metrics {
             predict_requests: AtomicU64::new(0),
             addrs_total: AtomicU64::new(0),
             uploads: AtomicU64::new(0),
+            model_loads: AtomicU64::new(0),
+            model_unloads: AtomicU64::new(0),
             rejected_queue_full: AtomicU64::new(0),
+            rejected_overloaded: AtomicU64::new(0),
             rejected_oversized: AtomicU64::new(0),
             rejected_shutting_down: AtomicU64::new(0),
+            rejected_unknown_model: AtomicU64::new(0),
             malformed: AtomicU64::new(0),
             deadline_partial: AtomicU64::new(0),
-            latency_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
-            latency_count: AtomicU64::new(0),
+            conns_open: AtomicU64::new(0),
+            conns_peak: AtomicU64::new(0),
+            conn_limit_rejects: AtomicU64::new(0),
+            idle_disconnects: AtomicU64::new(0),
+            latency: Histogram::new(),
         }
     }
 
@@ -71,36 +145,30 @@ impl Metrics {
         counter.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Raises the connection gauge and updates its high-water mark.
+    pub fn conn_opened(&self) {
+        let now = self.conns_open.fetch_add(1, Ordering::Relaxed) + 1;
+        self.conns_peak.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Lowers the connection gauge.
+    pub fn conn_closed(&self) {
+        self.conns_open.fetch_sub(1, Ordering::Relaxed);
+    }
+
     /// Records one predict request's end-to-end latency.
     pub fn observe_latency_us(&self, us: u64) {
-        let bucket = (63 - us.max(1).leading_zeros()) as usize;
-        self.latency_buckets[bucket.min(BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
-        self.latency_count.fetch_add(1, Ordering::Relaxed);
+        self.latency.observe_us(us);
     }
 
     /// Number of recorded latencies.
     pub fn latency_count(&self) -> u64 {
-        self.latency_count.load(Ordering::Relaxed)
+        self.latency.count()
     }
 
-    /// The upper bound (µs) of the bucket containing quantile `q` (0..=1),
-    /// or 0 with no observations. An upper bound so the report errs
-    /// pessimistic.
+    /// The upper bound (µs) of the latency bucket containing quantile `q`.
     pub fn latency_quantile_us(&self, q: f64) -> u64 {
-        let total = self.latency_count();
-        if total == 0 {
-            return 0;
-        }
-        // ceil(q * total), clamped into 1..=total.
-        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
-        let mut seen = 0u64;
-        for (i, b) in self.latency_buckets.iter().enumerate() {
-            seen += b.load(Ordering::Relaxed);
-            if seen >= rank {
-                return 1u64 << (i + 1);
-            }
-        }
-        1u64 << BUCKETS
+        self.latency.quantile_us(q)
     }
 }
 
@@ -139,5 +207,26 @@ mod tests {
         Metrics::add(&m.addrs_total, 7);
         assert_eq!(m.requests_total.load(Ordering::Relaxed), 1);
         assert_eq!(m.addrs_total.load(Ordering::Relaxed), 7);
+    }
+
+    #[test]
+    fn connection_gauge_tracks_peak() {
+        let m = Metrics::new();
+        m.conn_opened();
+        m.conn_opened();
+        m.conn_closed();
+        m.conn_opened();
+        assert_eq!(m.conns_open.load(Ordering::Relaxed), 2);
+        assert_eq!(m.conns_peak.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn standalone_histogram_matches_metrics_behavior() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile_us(0.99), 0);
+        h.observe_us(100);
+        h.observe_us(100);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.quantile_us(1.0), 128);
     }
 }

@@ -1,27 +1,41 @@
-//! The newline-delimited JSON wire protocol: request shapes, structured
-//! error replies, and the hex transport encoding for program images.
+//! The newline-delimited JSON wire protocol (v2): request shapes,
+//! structured error replies, and the hex transport encoding for program
+//! images.
 //!
 //! Every request is one JSON object on one line with an `"op"` field; every
-//! response is one JSON object on one line with `"ok"` plus either the
-//! op-specific payload or an `"error"` object. An optional client `"id"`
-//! (string or integer) is echoed back verbatim so clients can pipeline
-//! requests over one connection.
+//! response is one JSON object on one line with `"ok"` and `"proto":2` plus
+//! either the op-specific payload or an `"error"` object. An optional client
+//! `"id"` (string or integer) is echoed back verbatim so clients can
+//! pipeline requests over one connection.
 //!
 //! Operations:
 //!
-//! | op         | request fields                                               |
-//! |------------|--------------------------------------------------------------|
-//! | `ping`     | —                                                            |
-//! | `upload`   | `handle`, and `program_hex` or `program_path`                |
-//! | `predict`  | `program` (handle) or `program_hex`/`program_path`, `addrs`, optional `deadline_ms` |
-//! | `stats`    | —                                                            |
-//! | `shutdown` | —                                                            |
+//! | op             | request fields                                           |
+//! |----------------|----------------------------------------------------------|
+//! | `hello`        | —                                                        |
+//! | `ping`         | —                                                        |
+//! | `upload`       | `handle`, and `program_hex` or `program_path`            |
+//! | `predict`      | `program` (handle) or `program_hex`/`program_path`, `addrs`, optional `model`, optional `deadline_ms` |
+//! | `model_load`   | `model` (alias), `path` (a `.tc` container)              |
+//! | `model_unload` | `model`, optional `force`                                |
+//! | `model_alias`  | `alias` (new name), `model` (existing alias)             |
+//! | `model_list`   | —                                                        |
+//! | `stats`        | —                                                        |
+//! | `shutdown`     | —                                                        |
+//!
+//! **v1 compatibility:** requests without a `model` field run against the
+//! `default` alias, so a v1 client pointed at a v2 daemon keeps working
+//! unchanged (responses gain the `"proto":2` marker, which v1 clients
+//! ignore by construction — they switch on `ok`/`error.kind`).
 //!
 //! Addresses use the notation of [`tiara_ir::parse_var_addr`]:
 //! `0x74404` / `74404h` / decimal for globals, `func:<name>:<offset>` for
 //! frame slots.
 
 use crate::json::{parse, Value};
+
+/// The protocol generation carried in every response's `"proto"` field.
+pub const PROTO_VERSION: i64 = 2;
 
 /// Machine-readable error kinds carried in `error.kind` of failure replies.
 /// Stable protocol surface: clients switch on these strings.
@@ -43,6 +57,17 @@ pub enum ErrorKind {
     UnknownProgram,
     /// A program image failed to decode (bad hex or corrupt `TIRA` bytes).
     BadProgram,
+    /// A request named a model alias the registry does not hold.
+    UnknownModel,
+    /// `model_unload` was refused because requests are in flight.
+    ModelBusy,
+    /// The admission cost budget shed the request; back off harder than for
+    /// `queue_full`.
+    Overloaded,
+    /// The connection was refused at the server's connection cap.
+    ConnLimit,
+    /// A `.tc` container failed to load as a servable model.
+    BadModel,
     /// The model or filesystem failed mid-request.
     Internal,
 }
@@ -59,6 +84,11 @@ impl ErrorKind {
             ErrorKind::BadAddress => "bad_address",
             ErrorKind::UnknownProgram => "unknown_program",
             ErrorKind::BadProgram => "bad_program",
+            ErrorKind::UnknownModel => "unknown_model",
+            ErrorKind::ModelBusy => "model_busy",
+            ErrorKind::Overloaded => "overloaded",
+            ErrorKind::ConnLimit => "conn_limit",
+            ErrorKind::BadModel => "bad_model",
             ErrorKind::Internal => "internal",
         }
     }
@@ -78,6 +108,8 @@ pub enum ProgramRef {
 /// One parsed request line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
+    /// Version/capability handshake.
+    Hello,
     /// Liveness check.
     Ping,
     /// Registers a program under a handle for later predict calls.
@@ -93,9 +125,35 @@ pub enum Request {
         program: ProgramRef,
         /// Address strings, resolved against the program.
         addrs: Vec<String>,
+        /// The model alias to answer with; `None` (a v1 request) means the
+        /// `default` alias.
+        model: Option<String>,
         /// Per-request deadline override (milliseconds).
         deadline_ms: Option<u64>,
     },
+    /// Loads a `.tc` model container from a server-side path.
+    ModelLoad {
+        /// The alias the model will be reachable under.
+        model: String,
+        /// Filesystem path of the container.
+        path: String,
+    },
+    /// Drops a model alias (and the model, when it was the last alias).
+    ModelUnload {
+        /// The alias to remove.
+        model: String,
+        /// Detach even with requests in flight (they finish safely).
+        force: bool,
+    },
+    /// Points a new alias at an already-loaded model.
+    ModelAlias {
+        /// The new name.
+        alias: String,
+        /// The existing alias to share a model with.
+        model: String,
+    },
+    /// Lists loaded models with their per-model stats.
+    ModelList,
     /// Server counters.
     Stats,
     /// Graceful shutdown: drain in-flight work, refuse new work.
@@ -159,6 +217,7 @@ pub fn parse_request(line: &str) -> Result<Envelope, (ErrorKind, String, Option<
         .and_then(Value::as_str)
         .ok_or_else(|| malformed("missing or non-string field `op`".into()))?;
     let request = match op {
+        "hello" => Request::Hello,
         "ping" => Request::Ping,
         "stats" => Request::Stats,
         "shutdown" => Request::Shutdown,
@@ -166,6 +225,24 @@ pub fn parse_request(line: &str) -> Result<Envelope, (ErrorKind, String, Option<
             handle: field_str(&v, "handle").map_err(&malformed)?,
             source: program_ref(&v, false).map_err(&malformed)?,
         },
+        "model_load" => Request::ModelLoad {
+            model: field_str(&v, "model").map_err(&malformed)?,
+            path: field_str(&v, "path").map_err(&malformed)?,
+        },
+        "model_unload" => Request::ModelUnload {
+            model: field_str(&v, "model").map_err(&malformed)?,
+            force: match v.get("force") {
+                None | Some(Value::Null) => false,
+                Some(f) => {
+                    f.as_bool().ok_or_else(|| malformed("`force` must be a boolean".into()))?
+                }
+            },
+        },
+        "model_alias" => Request::ModelAlias {
+            alias: field_str(&v, "alias").map_err(&malformed)?,
+            model: field_str(&v, "model").map_err(&malformed)?,
+        },
+        "model_list" => Request::ModelList,
         "predict" => {
             let addrs_val = v
                 .get("addrs")
@@ -185,9 +262,18 @@ pub fn parse_request(line: &str) -> Result<Envelope, (ErrorKind, String, Option<
                     malformed("`deadline_ms` must be a non-negative integer".into())
                 })? as u64),
             };
+            let model = match v.get("model") {
+                None | Some(Value::Null) => None,
+                Some(m) => Some(
+                    m.as_str()
+                        .map(str::to_owned)
+                        .ok_or_else(|| malformed("`model` must be a string".into()))?,
+                ),
+            };
             Request::Predict {
                 program: program_ref(&v, true).map_err(&malformed)?,
                 addrs,
+                model,
                 deadline_ms,
             }
         }
@@ -205,6 +291,7 @@ pub fn error_reply(
 ) -> String {
     let mut pairs = vec![
         ("ok".to_owned(), Value::Bool(false)),
+        ("proto".to_owned(), Value::Int(PROTO_VERSION)),
         (
             "error".to_owned(),
             Value::obj([
@@ -222,10 +309,14 @@ pub fn error_reply(
     Value::Object(pairs).render()
 }
 
-/// Starts a success reply: `{"ok":true,"op":<op>, ...}`. Callers extend the
-/// pair list and render.
+/// Starts a success reply: `{"ok":true,"proto":2,"op":<op>, ...}`. Callers
+/// extend the pair list and render.
 pub fn ok_reply_base(op: &str) -> Vec<(String, Value)> {
-    vec![("ok".to_owned(), Value::Bool(true)), ("op".to_owned(), Value::Str(op.to_owned()))]
+    vec![
+        ("ok".to_owned(), Value::Bool(true)),
+        ("proto".to_owned(), Value::Int(PROTO_VERSION)),
+        ("op".to_owned(), Value::Str(op.to_owned())),
+    ]
 }
 
 /// Lowercase hex encoding of a program image.
@@ -264,9 +355,11 @@ mod tests {
 
     #[test]
     fn parses_every_op() {
+        assert_eq!(parse_request("{\"op\":\"hello\"}").unwrap().request, Request::Hello);
         assert_eq!(parse_request("{\"op\":\"ping\"}").unwrap().request, Request::Ping);
         assert_eq!(parse_request("{\"op\":\"stats\"}").unwrap().request, Request::Stats);
         assert_eq!(parse_request("{\"op\":\"shutdown\"}").unwrap().request, Request::Shutdown);
+        assert_eq!(parse_request("{\"op\":\"model_list\"}").unwrap().request, Request::ModelList);
         let up = parse_request("{\"op\":\"upload\",\"handle\":\"p\",\"program_hex\":\"aa\"}")
             .unwrap()
             .request;
@@ -284,9 +377,43 @@ mod tests {
             Request::Predict {
                 program: ProgramRef::Handle("p".into()),
                 addrs: vec!["0x10".into()],
+                model: None,
                 deadline_ms: Some(250),
             }
         );
+    }
+
+    #[test]
+    fn parses_model_ops() {
+        let load = parse_request("{\"op\":\"model_load\",\"model\":\"a\",\"path\":\"/m.tc\"}")
+            .unwrap()
+            .request;
+        assert_eq!(load, Request::ModelLoad { model: "a".into(), path: "/m.tc".into() });
+        let un = parse_request("{\"op\":\"model_unload\",\"model\":\"a\"}").unwrap().request;
+        assert_eq!(un, Request::ModelUnload { model: "a".into(), force: false });
+        let un = parse_request("{\"op\":\"model_unload\",\"model\":\"a\",\"force\":true}")
+            .unwrap()
+            .request;
+        assert_eq!(un, Request::ModelUnload { model: "a".into(), force: true });
+        let al = parse_request("{\"op\":\"model_alias\",\"alias\":\"b\",\"model\":\"a\"}")
+            .unwrap()
+            .request;
+        assert_eq!(al, Request::ModelAlias { alias: "b".into(), model: "a".into() });
+        let pr =
+            parse_request("{\"op\":\"predict\",\"program\":\"p\",\"addrs\":[],\"model\":\"b\"}")
+                .unwrap()
+                .request;
+        assert!(matches!(pr, Request::Predict { model: Some(m), .. } if m == "b"));
+        for bad in [
+            "{\"op\":\"model_load\",\"model\":\"a\"}", // no path
+            "{\"op\":\"model_unload\"}",               // no model
+            "{\"op\":\"model_unload\",\"model\":\"a\",\"force\":1}",
+            "{\"op\":\"model_alias\",\"alias\":\"b\"}",
+            "{\"op\":\"predict\",\"program\":\"p\",\"addrs\":[],\"model\":3}",
+        ] {
+            let (kind, _, _) = parse_request(bad).unwrap_err();
+            assert_eq!(kind, ErrorKind::Malformed, "{bad}");
+        }
     }
 
     #[test]
@@ -325,8 +452,8 @@ mod tests {
         );
         assert_eq!(
             line,
-            "{\"ok\":false,\"error\":{\"kind\":\"queue_full\",\"message\":\"queue at capacity\"},\
-             \"retry_after_ms\":50,\"id\":3}"
+            "{\"ok\":false,\"proto\":2,\"error\":{\"kind\":\"queue_full\",\
+             \"message\":\"queue at capacity\"},\"retry_after_ms\":50,\"id\":3}"
         );
     }
 

@@ -1,0 +1,445 @@
+//! The multi-model registry behind protocol v2.
+//!
+//! One daemon holds many trained models at once, each keyed by its
+//! content [`Tiara::model_digest`] and reachable through any number of
+//! string aliases (`model_load`, `model_alias`, `model_unload`,
+//! `model_list` ops). The registry is the single source of truth for which
+//! models exist; the server resolves every predict against it.
+//!
+//! ## Lifecycle and refcounting
+//!
+//! ```text
+//!   model_load ──▶ [alias ──▶ digest ──▶ Arc<ModelEntry>]
+//!                     │                        ▲
+//!   model_alias ──────┘ (many aliases,         │ in_flight guard per
+//!                        one entry)            │ running predict
+//!   model_unload ─▶ drop alias; drop entry when the last alias goes
+//!                   (refused with ModelBusy while in_flight > 0,
+//!                    unless forced — in-flight jobs keep their own
+//!                    Arc, so even a forced unload never invalidates
+//!                    running work)
+//! ```
+//!
+//! Loading the same `.tc` file under two aliases stores ONE entry: the
+//! digest dedups, so both aliases share weights, stats, and the process-wide
+//! slice cache keyed by the model's slicer fingerprint.
+
+use crate::metrics::Histogram;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use tiara::{Error, Tiara};
+
+/// Fallback cost estimate (slicer steps per address) for a model that has
+/// not answered anything yet. Roughly one median TSLICE run.
+const DEFAULT_STEPS_PER_ADDR: u64 = 1024;
+
+/// Per-model serving counters, updated lock-free by workers.
+pub struct ModelStats {
+    /// Predict batches answered by this model.
+    pub requests: AtomicU64,
+    /// Addresses classified by this model.
+    pub addrs: AtomicU64,
+    /// Slicer steps spent on this model's addresses (cache hits contribute
+    /// zero — they really are that cheap, and the cost estimator should
+    /// learn that).
+    pub slice_steps: AtomicU64,
+    /// Per-batch end-to-end latency.
+    pub latency: Histogram,
+}
+
+impl ModelStats {
+    fn new() -> ModelStats {
+        ModelStats {
+            requests: AtomicU64::new(0),
+            addrs: AtomicU64::new(0),
+            slice_steps: AtomicU64::new(0),
+            latency: Histogram::new(),
+        }
+    }
+
+    /// Records one answered batch.
+    pub fn record(&self, addrs: u64, slice_steps: u64, latency_us: u64) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.addrs.fetch_add(addrs, Ordering::Relaxed);
+        self.slice_steps.fetch_add(slice_steps, Ordering::Relaxed);
+        self.latency.observe_us(latency_us);
+    }
+}
+
+/// One resident model: weights, identity, counters, and the in-flight
+/// refcount that guards unload.
+pub struct ModelEntry {
+    tiara: Tiara,
+    digest: u64,
+    source: Option<String>,
+    stats: ModelStats,
+    in_flight: AtomicU64,
+}
+
+impl ModelEntry {
+    /// The trained model.
+    pub fn tiara(&self) -> &Tiara {
+        &self.tiara
+    }
+
+    /// The content digest this entry is keyed by.
+    pub fn digest(&self) -> u64 {
+        self.digest
+    }
+
+    /// The filesystem path this model was loaded from, when it has one
+    /// (used by the CLI to persist slice caches on drain).
+    pub fn source(&self) -> Option<&str> {
+        self.source.as_deref()
+    }
+
+    /// Serving counters for this model.
+    pub fn stats(&self) -> &ModelStats {
+        &self.stats
+    }
+
+    /// Predict batches currently running against this model.
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight.load(Ordering::SeqCst)
+    }
+
+    /// Admission-cost estimate: observed slicer steps per address, or a
+    /// fixed prior before any traffic. Cache-heavy models converge toward
+    /// cheap; cold models start pessimistic.
+    pub fn est_steps_per_addr(&self) -> u64 {
+        let addrs = self.stats.addrs.load(Ordering::Relaxed);
+        if addrs == 0 {
+            return DEFAULT_STEPS_PER_ADDR;
+        }
+        (self.stats.slice_steps.load(Ordering::Relaxed) / addrs).max(1)
+    }
+}
+
+/// An RAII in-flight guard: holding one keeps the model's refcount up (so a
+/// non-forced unload is refused) and keeps the entry alive outright (so even
+/// a forced unload cannot invalidate running work).
+pub struct ModelHandle {
+    entry: Arc<ModelEntry>,
+}
+
+impl ModelHandle {
+    fn acquire(entry: Arc<ModelEntry>) -> ModelHandle {
+        entry.in_flight.fetch_add(1, Ordering::SeqCst);
+        ModelHandle { entry }
+    }
+
+    /// The guarded entry.
+    pub fn entry(&self) -> &Arc<ModelEntry> {
+        &self.entry
+    }
+}
+
+impl std::ops::Deref for ModelHandle {
+    type Target = ModelEntry;
+    fn deref(&self) -> &ModelEntry {
+        &self.entry
+    }
+}
+
+impl Drop for ModelHandle {
+    fn drop(&mut self) {
+        self.entry.in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// What `model_unload` did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnloadOutcome {
+    /// Digest of the model the alias pointed at.
+    pub digest: u64,
+    /// Whether the entry itself was dropped (last alias removed).
+    pub dropped: bool,
+    /// Aliases still pointing at the entry after this unload.
+    pub aliases_left: usize,
+}
+
+struct RegistryInner {
+    models: HashMap<u64, Arc<ModelEntry>>,
+    aliases: BTreeMap<String, u64>,
+}
+
+/// A shared, thread-safe alias → model map. Cloning is cheap (one `Arc`);
+/// the server and the CLI hold clones of the same registry.
+#[derive(Clone)]
+pub struct Registry {
+    inner: Arc<Mutex<RegistryInner>>,
+}
+
+impl Default for Registry {
+    fn default() -> Registry {
+        Registry::new()
+    }
+}
+
+impl Registry {
+    /// An empty registry: the daemon starts and models arrive via
+    /// `model_load`.
+    pub fn new() -> Registry {
+        Registry {
+            inner: Arc::new(Mutex::new(RegistryInner {
+                models: HashMap::new(),
+                aliases: BTreeMap::new(),
+            })),
+        }
+    }
+
+    /// A registry holding one model under the v1-compat `default` alias.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Untrained`] if the model cannot answer queries.
+    pub fn with_default(tiara: Tiara) -> Result<Registry, Error> {
+        let reg = Registry::new();
+        reg.insert("default", tiara, None)?;
+        Ok(reg)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, RegistryInner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Registers `tiara` under `alias`. Models dedup by digest: loading the
+    /// same weights under a second alias shares the existing entry (and its
+    /// stats). Returns the entry and whether it was newly inserted.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Untrained`] for a model that cannot answer queries.
+    pub fn insert(
+        &self,
+        alias: &str,
+        tiara: Tiara,
+        source: Option<String>,
+    ) -> Result<(Arc<ModelEntry>, bool), Error> {
+        if !tiara.is_trained() {
+            return Err(Error::Untrained);
+        }
+        let digest = tiara.model_digest();
+        let mut g = self.lock();
+        let (entry, fresh) = match g.models.get(&digest) {
+            Some(existing) => (Arc::clone(existing), false),
+            None => {
+                let entry = Arc::new(ModelEntry {
+                    tiara,
+                    digest,
+                    source,
+                    stats: ModelStats::new(),
+                    in_flight: AtomicU64::new(0),
+                });
+                g.models.insert(digest, Arc::clone(&entry));
+                (entry, true)
+            }
+        };
+        g.aliases.insert(alias.to_owned(), digest);
+        // An alias retarget may have orphaned the model it used to name.
+        sweep_orphans(&mut g);
+        Ok((entry, fresh))
+    }
+
+    /// Points `alias` at the model `existing` already names.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownModel`] if `existing` is not a registered alias.
+    pub fn alias(&self, alias: &str, existing: &str) -> Result<Arc<ModelEntry>, Error> {
+        let mut g = self.lock();
+        let digest =
+            *g.aliases.get(existing).ok_or_else(|| Error::UnknownModel(existing.to_owned()))?;
+        g.aliases.insert(alias.to_owned(), digest);
+        sweep_orphans(&mut g);
+        Ok(Arc::clone(&g.models[&digest]))
+    }
+
+    /// Resolves an alias into an in-flight guard for one predict batch.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownModel`] for an unregistered alias.
+    pub fn resolve(&self, alias: &str) -> Result<ModelHandle, Error> {
+        let g = self.lock();
+        let digest = g.aliases.get(alias).ok_or_else(|| Error::UnknownModel(alias.to_owned()))?;
+        Ok(ModelHandle::acquire(Arc::clone(&g.models[digest])))
+    }
+
+    /// Looks an alias up without taking an in-flight guard (stats, CLI).
+    pub fn get(&self, alias: &str) -> Option<Arc<ModelEntry>> {
+        let g = self.lock();
+        g.aliases.get(alias).map(|d| Arc::clone(&g.models[d]))
+    }
+
+    /// Removes `alias`. Dropping the LAST alias of a model drops the model —
+    /// refused while requests are in flight unless `force` (in-flight jobs
+    /// hold their own `Arc` and finish safely either way).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownModel`] for an unregistered alias,
+    /// [`Error::ModelBusy`] for a non-forced unload with work in flight.
+    pub fn unload(&self, alias: &str, force: bool) -> Result<UnloadOutcome, Error> {
+        let mut g = self.lock();
+        let digest = *g.aliases.get(alias).ok_or_else(|| Error::UnknownModel(alias.to_owned()))?;
+        let aliases_left = g.aliases.values().filter(|&&d| d == digest).count() - 1;
+        if aliases_left == 0 {
+            let busy = g.models[&digest].in_flight.load(Ordering::SeqCst);
+            if busy > 0 && !force {
+                return Err(Error::ModelBusy(format!("{alias} ({busy} in flight)")));
+            }
+        }
+        g.aliases.remove(alias);
+        let dropped = aliases_left == 0;
+        if dropped {
+            g.models.remove(&digest);
+        }
+        Ok(UnloadOutcome { digest, dropped, aliases_left })
+    }
+
+    /// Every `(alias, entry)` pair, sorted by alias.
+    pub fn list(&self) -> Vec<(String, Arc<ModelEntry>)> {
+        let g = self.lock();
+        g.aliases.iter().map(|(a, d)| (a.clone(), Arc::clone(&g.models[d]))).collect()
+    }
+
+    /// Every distinct model entry (one per digest, aliases collapsed),
+    /// sorted by digest for determinism.
+    pub fn entries(&self) -> Vec<Arc<ModelEntry>> {
+        let g = self.lock();
+        let mut out: Vec<_> = g.models.values().map(Arc::clone).collect();
+        out.sort_by_key(|e| e.digest);
+        out
+    }
+
+    /// Number of registered aliases.
+    pub fn alias_count(&self) -> usize {
+        self.lock().aliases.len()
+    }
+
+    /// Number of distinct resident models.
+    pub fn model_count(&self) -> usize {
+        self.lock().models.len()
+    }
+}
+
+/// Drops models no alias points at anymore (after an alias retarget).
+/// In-flight work is unaffected: jobs hold their own `Arc<ModelEntry>`.
+fn sweep_orphans(g: &mut RegistryInner) {
+    g.models.retain(|digest, _| g.aliases.values().any(|d| d == digest));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiara::{ClassifierConfig, TiaraConfig};
+    use tiara_synth::{generate, ProjectSpec, TypeCounts};
+
+    fn trained(seed: u64) -> Tiara {
+        let bin = generate(&ProjectSpec {
+            name: format!("reg{seed}"),
+            index: 1,
+            seed,
+            counts: TypeCounts { list: 2, vector: 2, map: 2, primitive: 4, ..Default::default() },
+        });
+        let mut t = Tiara::new(TiaraConfig::new().with_classifier(ClassifierConfig {
+            epochs: 2,
+            batch_size: 8,
+            ..Default::default()
+        }));
+        t.train(&[("reg", &bin.program, &bin.debug)]).unwrap();
+        t
+    }
+
+    #[test]
+    fn untrained_models_are_refused() {
+        let reg = Registry::new();
+        let err = match reg.insert("m", Tiara::new(TiaraConfig::new()), None) {
+            Err(e) => e,
+            Ok(_) => panic!("untrained model must be refused"),
+        };
+        assert!(matches!(err, Error::Untrained));
+        assert_eq!(reg.alias_count(), 0);
+    }
+
+    #[test]
+    fn aliases_dedup_by_digest() {
+        let reg = Registry::new();
+        let t = trained(7);
+        let digest = t.model_digest();
+        let (_, fresh) = reg.insert("a", t, None).unwrap();
+        assert!(fresh);
+        let (entry, fresh) = reg.insert("b", trained(7), None).unwrap();
+        assert!(!fresh, "same digest reuses the entry");
+        assert_eq!(entry.digest(), digest);
+        assert_eq!(reg.alias_count(), 2);
+        assert_eq!(reg.model_count(), 1);
+        let listed: Vec<String> = reg.list().into_iter().map(|(a, _)| a).collect();
+        assert_eq!(listed, ["a", "b"], "list is alias-sorted");
+    }
+
+    #[test]
+    fn unload_respects_in_flight_refcounts() {
+        let reg = Registry::new();
+        reg.insert("m", trained(9), None).unwrap();
+        let handle = reg.resolve("m").unwrap();
+        assert_eq!(handle.in_flight(), 1);
+        let err = reg.unload("m", false).unwrap_err();
+        assert!(matches!(err, Error::ModelBusy(_)));
+        assert_eq!(reg.model_count(), 1, "refused unload keeps the model");
+        // Forced unload succeeds; the handle's Arc keeps the entry alive.
+        let out = reg.unload("m", true).unwrap();
+        assert!(out.dropped);
+        assert_eq!(reg.model_count(), 0);
+        assert!(handle.tiara().is_trained(), "in-flight work still has its model");
+        drop(handle);
+
+        // With no work in flight, a plain unload drops the entry.
+        reg.insert("n", trained(9), None).unwrap();
+        let out = reg.unload("n", false).unwrap();
+        assert!(out.dropped);
+        assert!(matches!(reg.unload("n", false), Err(Error::UnknownModel(_))));
+    }
+
+    #[test]
+    fn unloading_one_of_two_aliases_keeps_the_model() {
+        let reg = Registry::new();
+        reg.insert("a", trained(11), None).unwrap();
+        reg.alias("b", "a").unwrap();
+        let handle = reg.resolve("a").unwrap();
+        // `a` is not the last alias, so unload succeeds even while busy.
+        let out = reg.unload("a", false).unwrap();
+        assert!(!out.dropped);
+        assert_eq!(out.aliases_left, 1);
+        assert_eq!(reg.model_count(), 1);
+        assert!(reg.resolve("b").is_ok());
+        drop(handle);
+    }
+
+    #[test]
+    fn alias_retarget_sweeps_orphaned_models() {
+        let reg = Registry::new();
+        reg.insert("a", trained(13), None).unwrap();
+        reg.insert("b", trained(17), None).unwrap();
+        assert_eq!(reg.model_count(), 2);
+        // Point `b` at `a`'s model: the old `b` model has no alias left.
+        reg.alias("b", "a").unwrap();
+        assert_eq!(reg.model_count(), 1);
+        assert_eq!(reg.get("b").unwrap().digest(), reg.get("a").unwrap().digest());
+    }
+
+    #[test]
+    fn cost_estimates_start_at_the_prior_and_track_traffic() {
+        let reg = Registry::new();
+        let (entry, _) = reg.insert("m", trained(19), None).unwrap();
+        assert_eq!(entry.est_steps_per_addr(), DEFAULT_STEPS_PER_ADDR);
+        entry.stats().record(10, 500, 1_000);
+        assert_eq!(entry.est_steps_per_addr(), 50);
+        entry.stats().record(10, 0, 10); // all cache hits
+        assert_eq!(entry.est_steps_per_addr(), 25);
+        assert_eq!(entry.stats().requests.load(Ordering::Relaxed), 2);
+        assert_eq!(entry.stats().latency.count(), 2);
+    }
+}

@@ -13,7 +13,7 @@ use std::time::Duration;
 use tiara::{ClassifierConfig, Slicer, Tiara, TiaraConfig};
 use tiara_serve::json::{parse, Value};
 use tiara_serve::protocol::hex_encode;
-use tiara_serve::{ServeConfig, Server};
+use tiara_serve::{Registry, ServeConfig, Server};
 use tiara_synth::{generate, Binary, ProjectSpec, TypeCounts};
 
 fn serve_binary() -> Binary {
@@ -76,26 +76,42 @@ fn error_kind(v: &Value) -> Option<String> {
 #[test]
 fn golden_wire_fixtures_are_stable() {
     let bin = serve_binary();
-    let server =
-        Server::new(trained_on(&bin), ServeConfig { max_batch: 2, ..ServeConfig::default() })
-            .unwrap();
+    let server = Server::with_model(
+        trained_on(&bin),
+        ServeConfig { max_batch: 2, ..ServeConfig::default() },
+    )
+    .unwrap();
 
     // Exact request → response byte strings: any change here is a wire
-    // protocol break and must be deliberate.
+    // protocol break and must be deliberate. The first block pins protocol
+    // v2 framing (every response carries `"proto":2`); the second pins v1
+    // requests still answering through the `default` alias.
     let fixtures: &[(&str, &str)] = &[
-        ("{\"op\":\"ping\",\"id\":7}", "{\"ok\":true,\"op\":\"ping\",\"id\":7}"),
-        ("{\"op\":\"ping\"}", "{\"ok\":true,\"op\":\"ping\"}"),
+        ("{\"op\":\"ping\",\"id\":7}", "{\"ok\":true,\"proto\":2,\"op\":\"ping\",\"id\":7}"),
+        ("{\"op\":\"ping\"}", "{\"ok\":true,\"proto\":2,\"op\":\"ping\"}"),
+        (
+            "{\"op\":\"hello\",\"id\":8}",
+            "{\"ok\":true,\"proto\":2,\"op\":\"hello\",\"server\":\"tiara-serve\",\"version\":\"0.1.0\",\"models\":[\"default\"],\"capabilities\":[\"admission_control\",\"deadlines\",\"model_registry\",\"multiplexed_tcp\",\"predict_batch\",\"slice_cache\"],\"max_batch\":2,\"id\":8}",
+        ),
         (
             "{\"op\":\"frobnicate\",\"id\":3}",
-            "{\"ok\":false,\"error\":{\"kind\":\"unknown_op\",\"message\":\"unknown op `frobnicate`\"},\"id\":3}",
+            "{\"ok\":false,\"proto\":2,\"error\":{\"kind\":\"unknown_op\",\"message\":\"unknown op `frobnicate`\"},\"id\":3}",
         ),
         (
             "{\"op\":\"predict\",\"program\":\"ghost\",\"addrs\":[],\"id\":4}",
-            "{\"ok\":false,\"error\":{\"kind\":\"unknown_program\",\"message\":\"no uploaded program `ghost`\"},\"id\":4}",
+            "{\"ok\":false,\"proto\":2,\"error\":{\"kind\":\"unknown_program\",\"message\":\"no uploaded program `ghost`\"},\"id\":4}",
+        ),
+        (
+            "{\"op\":\"predict\",\"program\":\"ghost\",\"addrs\":[],\"model\":\"nope\",\"id\":6}",
+            "{\"ok\":false,\"proto\":2,\"error\":{\"kind\":\"unknown_model\",\"message\":\"no model loaded under alias `nope`\"},\"model\":\"nope\",\"id\":6}",
+        ),
+        (
+            "{\"op\":\"model_unload\",\"model\":\"nope\",\"id\":9}",
+            "{\"ok\":false,\"proto\":2,\"error\":{\"kind\":\"unknown_model\",\"message\":\"no model loaded under alias `nope`\"},\"model\":\"nope\",\"id\":9}",
         ),
         (
             "{\"op\":\"predict\",\"program\":\"ghost\",\"addrs\":[\"0x1\",\"0x2\",\"0x3\"],\"id\":5}",
-            "{\"ok\":false,\"error\":{\"kind\":\"oversized_batch\",\"message\":\"batch of 3 exceeds max_batch 2\"},\"max_batch\":2,\"id\":5}",
+            "{\"ok\":false,\"proto\":2,\"error\":{\"kind\":\"oversized_batch\",\"message\":\"batch of 3 exceeds max_batch 2\"},\"max_batch\":2,\"id\":5}",
         ),
     ];
     for (req, want) in fixtures {
@@ -107,9 +123,11 @@ fn golden_wire_fixtures_are_stable() {
 #[test]
 fn malformed_and_oversized_requests_get_structured_rejections() {
     let bin = serve_binary();
-    let server =
-        Server::new(trained_on(&bin), ServeConfig { max_batch: 3, ..ServeConfig::default() })
-            .unwrap();
+    let server = Server::with_model(
+        trained_on(&bin),
+        ServeConfig { max_batch: 3, ..ServeConfig::default() },
+    )
+    .unwrap();
     server.handle_line(&upload_line(&bin, "p"));
 
     for bad in [
@@ -140,7 +158,7 @@ fn malformed_and_oversized_requests_get_structured_rejections() {
 #[test]
 fn expired_deadlines_return_partial_results() {
     let bin = serve_binary();
-    let server = Server::new(trained_on(&bin), ServeConfig::default()).unwrap();
+    let server = Server::with_model(trained_on(&bin), ServeConfig::default()).unwrap();
     server.handle_line(&upload_line(&bin, "p"));
     let addrs = wire_addrs(&bin, 5);
 
@@ -164,7 +182,7 @@ fn expired_deadlines_return_partial_results() {
 #[test]
 fn repeated_requests_are_byte_identical() {
     let bin = serve_binary();
-    let server = Server::new(trained_on(&bin), ServeConfig::default()).unwrap();
+    let server = Server::with_model(trained_on(&bin), ServeConfig::default()).unwrap();
     server.handle_line(&upload_line(&bin, "p"));
     let addrs = wire_addrs(&bin, 6);
     let req = predict_req("p", &addrs, ",\"id\":\"rep\"");
@@ -181,7 +199,7 @@ fn repeated_requests_are_byte_identical() {
 #[test]
 fn graceful_shutdown_drains_in_flight_work() {
     let bin = serve_binary();
-    let server = Arc::new(Server::new(trained_on(&bin), ServeConfig::default()).unwrap());
+    let server = Arc::new(Server::with_model(trained_on(&bin), ServeConfig::default()).unwrap());
     server.handle_line(&upload_line(&bin, "p"));
     let addrs = wire_addrs(&bin, 4);
 
@@ -222,7 +240,7 @@ fn graceful_shutdown_drains_in_flight_work() {
 #[test]
 fn eight_concurrent_tcp_clients_are_sustained() {
     let bin = serve_binary();
-    let server = Arc::new(Server::new(trained_on(&bin), ServeConfig::default()).unwrap());
+    let server = Arc::new(Server::with_model(trained_on(&bin), ServeConfig::default()).unwrap());
     let listener = TcpListener::bind("127.0.0.1:0").unwrap();
     let addr = listener.local_addr().unwrap();
     let acceptor = {
@@ -278,7 +296,9 @@ fn eight_concurrent_tcp_clients_are_sustained() {
     let queue = v.get("queue").unwrap();
     let depth_cap = queue.get("capacity").and_then(Value::as_i64).unwrap();
     let max_depth = queue.get("max_depth").and_then(Value::as_i64).unwrap();
-    assert!(max_depth <= depth_cap, "queue depth {max_depth} exceeded capacity {depth_cap}");
+    // `capacity` is per client lane since protocol v2.
+    let global_cap = depth_cap * CLIENTS as i64;
+    assert!(max_depth <= global_cap, "queue depth {max_depth} exceeded {global_cap}");
     assert!(v.get("predict_requests").and_then(Value::as_i64).unwrap() >= (CLIENTS * REQS) as i64);
     let lat = v.get("latency_us").unwrap();
     assert!(
@@ -290,6 +310,95 @@ fn eight_concurrent_tcp_clients_are_sustained() {
     assert_eq!(parse(&bye).unwrap().get("ok").and_then(Value::as_bool), Some(true));
     acceptor.join().unwrap().unwrap();
     assert!(server.is_stopped());
+}
+
+#[test]
+fn model_registry_round_trips_over_the_wire() {
+    let bin = serve_binary();
+    let dir = std::env::temp_dir().join(format!("tiara-serve-suite-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("m.tc");
+    trained_on(&bin).save_with_cache(&path).unwrap();
+    let path = path.display().to_string();
+
+    // A server may start with an empty registry; models arrive on the wire.
+    let server = Server::new(Registry::new(), ServeConfig::default()).unwrap();
+    let v = parse(&server.handle_line("{\"op\":\"hello\"}")).unwrap();
+    assert_eq!(v.get("models").and_then(Value::as_array).unwrap().len(), 0);
+
+    // A v1 request (no model field) against an empty registry names the
+    // missing `default` alias in its rejection.
+    let v = parse(&server.handle_line(&predict_req("p", &[], ""))).unwrap();
+    assert_eq!(error_kind(&v).as_deref(), Some("unknown_model"));
+    assert_eq!(v.get("model").and_then(Value::as_str), Some("default"));
+
+    // Load from the .tc container, twice: the second alias dedups by digest.
+    let v = parse(
+        &server
+            .handle_line(&format!("{{\"op\":\"model_load\",\"model\":\"a\",\"path\":\"{path}\"}}")),
+    )
+    .unwrap();
+    assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
+    assert_eq!(v.get("fresh").and_then(Value::as_bool), Some(true));
+    let digest = v.get("digest").and_then(Value::as_str).unwrap().to_owned();
+    assert_eq!(digest.len(), 16);
+    assert!(v.get("cached_slices").and_then(Value::as_i64).unwrap() > 0);
+    let v = parse(
+        &server
+            .handle_line(&format!("{{\"op\":\"model_load\",\"model\":\"b\",\"path\":\"{path}\"}}")),
+    )
+    .unwrap();
+    assert_eq!(v.get("fresh").and_then(Value::as_bool), Some(false), "same digest dedups");
+    assert_eq!(v.get("digest").and_then(Value::as_str), Some(digest.as_str()));
+
+    // Alias the default name onto `a`, upload, and predict through all
+    // three aliases: byte-identical responses, one underlying model.
+    let v = parse(
+        &server.handle_line("{\"op\":\"model_alias\",\"alias\":\"default\",\"model\":\"a\"}"),
+    )
+    .unwrap();
+    assert_eq!(v.get("digest").and_then(Value::as_str), Some(digest.as_str()));
+    server.handle_line(&upload_line(&bin, "p"));
+    let addrs = wire_addrs(&bin, 3);
+    let v1 = server.handle_line(&predict_req("p", &addrs, ""));
+    let via_a = server.handle_line(&predict_req("p", &addrs, ",\"model\":\"a\""));
+    let via_b = server.handle_line(&predict_req("p", &addrs, ",\"model\":\"b\""));
+    assert!(parse(&v1).unwrap().get("ok").and_then(Value::as_bool) == Some(true));
+    assert_eq!(v1, via_a, "default alias and explicit alias answer identically");
+    assert_eq!(v1, via_b, "two aliases of one digest answer identically");
+
+    let v = parse(&server.handle_line("{\"op\":\"model_list\"}")).unwrap();
+    assert_eq!(v.get("count").and_then(Value::as_i64), Some(3));
+    let models = v.get("models").and_then(Value::as_array).unwrap();
+    let names: Vec<&str> =
+        models.iter().filter_map(|m| m.get("model").and_then(Value::as_str)).collect();
+    assert_eq!(names, ["a", "b", "default"], "model_list is alias-sorted");
+    for m in models {
+        assert_eq!(m.get("digest").and_then(Value::as_str), Some(digest.as_str()));
+    }
+
+    // Unloading one alias keeps the model; unloading the rest drops it.
+    let v = parse(&server.handle_line("{\"op\":\"model_unload\",\"model\":\"b\"}")).unwrap();
+    assert_eq!(v.get("dropped").and_then(Value::as_bool), Some(false));
+    assert_eq!(v.get("aliases_left").and_then(Value::as_i64), Some(2));
+    let v = parse(&server.handle_line("{\"op\":\"model_unload\",\"model\":\"default\"}")).unwrap();
+    assert_eq!(v.get("dropped").and_then(Value::as_bool), Some(false));
+    let v = parse(&server.handle_line("{\"op\":\"model_unload\",\"model\":\"a\"}")).unwrap();
+    assert_eq!(v.get("dropped").and_then(Value::as_bool), Some(true));
+    assert_eq!(v.get("aliases_left").and_then(Value::as_i64), Some(0));
+    let v = parse(&server.handle_line(&predict_req("p", &addrs, ",\"model\":\"a\""))).unwrap();
+    assert_eq!(error_kind(&v).as_deref(), Some("unknown_model"));
+
+    // A bad path is a structured bad_model error, not a crash.
+    let v = parse(
+        &server
+            .handle_line("{\"op\":\"model_load\",\"model\":\"x\",\"path\":\"/nonexistent/x.tc\"}"),
+    )
+    .unwrap();
+    assert_eq!(error_kind(&v).as_deref(), Some("bad_model"));
+
+    server.drain();
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
